@@ -1,0 +1,86 @@
+// Ablation: global coordination via the HeMem daemon (paper Section 3.4).
+// Two HeMem "processes" share one socket: a hot-set GUPS instance and a
+// uniform-random GUPS instance. Without coordination, first-touch splits
+// DRAM arbitrarily; with the daemon, DRAM quotas follow measured hot-set
+// demand, so the skewed instance keeps its hot set resident while the
+// uniform instance (which cannot benefit from DRAM beyond its floor) cedes
+// capacity.
+
+#include "gups_bench.h"
+
+#include "core/daemon.h"
+
+using namespace hemem;
+using namespace hemem::bench;
+
+namespace {
+
+struct PairOut {
+  double skewed_gups = 0.0;
+  double uniform_gups = 0.0;
+  uint64_t skewed_quota = 0;
+  uint64_t uniform_quota = 0;
+};
+
+PairOut RunPair(bool with_daemon) {
+  Machine machine(GupsMachine());
+  Hemem skewed(machine);
+  Hemem uniform(machine);
+  skewed.Start();
+  uniform.Start();
+
+  HememDaemon daemon(machine);
+  if (with_daemon) {
+    daemon.Attach(&skewed);
+    daemon.Attach(&uniform);
+    daemon.Start();
+  }
+
+  GupsConfig sconfig = StandardHotGups(8);
+  sconfig.working_set = PaperGiB(256);
+  sconfig.hot_set = PaperGiB(64);
+  sconfig.updates_per_thread = ~0ull >> 2;
+  sconfig.measure_after = 500 * kMillisecond;
+  sconfig.seed = 11;
+  GupsBenchmark skewed_gups(skewed, sconfig);
+  skewed_gups.Prepare();
+
+  GupsConfig uconfig;
+  uconfig.threads = 8;
+  uconfig.working_set = PaperGiB(256);
+  uconfig.hot_set = 0;  // uniform
+  uconfig.updates_per_thread = ~0ull >> 2;
+  uconfig.measure_after = 500 * kMillisecond;
+  uconfig.seed = 12;
+  GupsBenchmark uniform_gups(uniform, uconfig);
+  uniform_gups.Prepare();
+
+  machine.engine().Run(560 * kMillisecond);
+
+  PairOut out;
+  out.skewed_gups = skewed_gups.Run().gups;   // engine drained; collects
+  out.uniform_gups = uniform_gups.Run().gups;
+  out.skewed_quota = skewed.dram_quota();
+  out.uniform_quota = uniform.dram_quota();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  PrintTitle("Ablation: HeMem daemon", "two instances sharing a socket (GUPS)",
+             "skewed: 256 GB WS / 64 GB hot; uniform: 256 GB WS; quotas in paper GB");
+  PrintCols({"config", "skewed", "uniform", "quota_skewed", "quota_uniform"});
+
+  for (const bool with_daemon : {false, true}) {
+    const PairOut out = RunPair(with_daemon);
+    PrintCell(std::string(with_daemon ? "daemon" : "uncoordinated"));
+    PrintCell(out.skewed_gups);
+    PrintCell(out.uniform_gups);
+    const double to_gb = kGupsScale / (1024.0 * 1024.0 * 1024.0);
+    PrintCell(Fmt("%.0f", static_cast<double>(out.skewed_quota) * to_gb));
+    PrintCell(Fmt("%.0f", static_cast<double>(out.uniform_quota) * to_gb));
+    EndRow();
+  }
+  return 0;
+}

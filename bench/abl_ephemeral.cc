@@ -1,0 +1,90 @@
+// Ablation: data-scalability awareness (paper Sections 1 and 3.3).
+// "Not all data structures scale unbounded in size... buffers, queues, and
+// stacks are small and often ephemeral. They best remain in DRAM." A worker
+// continuously allocates small short-lived buffers (below the managed
+// threshold, so they are forwarded to the kernel) and works on them while a
+// large, cold, managed region fills most of memory. HeMem must (a) leave the
+// small allocations in DRAM and (b) keep its 1 GB free-DRAM watermark so
+// those allocations never fall back to NVM; X-Mem shows the same rule
+// statically; MM has no notion of allocations at all.
+
+#include "apps/gups.h"
+#include "bench_common.h"
+
+#include "sim/script_thread.h"
+
+using namespace hemem;
+using namespace hemem::bench;
+
+namespace {
+
+struct Out {
+  double alloc_work_us = 0.0;  // mean time to allocate + fill + use a buffer
+  double dram_fraction = 0.0;  // small-buffer accesses served from DRAM
+};
+
+Out RunEphemeral(const std::string& system) {
+  Machine machine(GupsMachine());
+  std::unique_ptr<TieredMemoryManager> manager = MakeSystem(system, machine);
+  manager->Start();
+
+  // Background pressure: a big region that eats all of DRAM and most of NVM.
+  const uint64_t big = manager->Mmap(PaperGiB(700.0), {.label = "cold-heap"});
+
+  const uint64_t dram_loads_before = machine.dram().stats().loads;
+  const uint64_t nvm_loads_before = machine.nvm().stats().loads;
+
+  Out out;
+  Rng rng(17);
+  SimTime work_total = 0;
+  int buffers = 0;
+  ScriptThread t([&, n = 0u](ScriptThread& self) mutable {
+    // Touch the cold heap now and then (keeps pressure on placement)...
+    manager->Access(self, big + rng.NextBounded(PaperGiB(700.0) / 64) * 64, 64,
+                    AccessKind::kStore);
+    // ...and every few ops, run one ephemeral buffer lifecycle: allocate a
+    // 64 KiB scratch buffer, stream it, read it back, free it.
+    if (n % 4 == 0) {
+      const SimTime t0 = self.now();
+      const uint64_t buf = manager->Mmap(KiB(64), {.label = "scratch"});
+      for (uint64_t off = 0; off < KiB(64); off += KiB(16)) {
+        manager->Access(self, buf + off, KiB(16), AccessKind::kStore);
+      }
+      for (uint64_t off = 0; off < KiB(64); off += KiB(16)) {
+        manager->Access(self, buf + off, KiB(16), AccessKind::kLoad);
+      }
+      manager->Munmap(buf);
+      work_total += self.now() - t0;
+      buffers++;
+    }
+    return ++n < 40'000;
+  });
+  machine.engine().AddThread(&t);
+  machine.engine().Run();
+
+  out.alloc_work_us = static_cast<double>(work_total) / buffers / 1000.0;
+  const double dram_loads =
+      static_cast<double>(machine.dram().stats().loads - dram_loads_before);
+  const double nvm_loads =
+      static_cast<double>(machine.nvm().stats().loads - nvm_loads_before);
+  out.dram_fraction = dram_loads / (dram_loads + nvm_loads);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  PrintTitle("Ablation: ephemeral allocations", "small short-lived buffers under pressure",
+             "700 GB cold heap resident; 64 KiB scratch buffers allocated/freed "
+             "continuously");
+  PrintCols({"system", "buffer_cycle_us", "dram_load_frac"});
+
+  for (const std::string system : {"HeMem", "X-Mem", "MM", "NVM"}) {
+    const Out out = RunEphemeral(system);
+    PrintCell(system);
+    PrintCell(out.alloc_work_us);
+    PrintCell(out.dram_fraction);
+    EndRow();
+  }
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Ablation: the swap tier (paper Section 3.4 extension).
+// With a block device configured, HeMem pages the coldest NVM data out to
+// disk, so working sets beyond DRAM+NVM keep running and degrade gracefully
+// rather than failing to map. Hot-set GUPS across working sets that cross
+// total physical memory (DRAM+NVM = 960 GB paper-equivalent at 1/256 scale).
+
+#include "gups_bench.h"
+
+using namespace hemem;
+using namespace hemem::bench;
+
+int main() {
+  PrintTitle("Ablation: swap tier", "GUPS vs working set with disk swap",
+             "16 GB hot set; DRAM+NVM = 960 GB paper-equivalent; swap = NVMe model");
+  PrintCols({"ws_GB", "gups", "swapped_out", "swapped_in", "disk_MB_written"});
+
+  for (const double ws_gb : {512.0, 896.0, 1024.0, 1280.0}) {
+    MachineConfig mc = GupsMachine();
+    mc.swap_bytes = PaperGiB(1024.0);
+
+    Machine machine(mc);
+    HememParams params;
+    params.enable_swap = true;
+    params.nvm_free_watermark = GiB(32);
+    Hemem manager(machine, params);
+    manager.Start();
+
+    GupsConfig config = StandardHotGups();
+    config.working_set = PaperGiB(ws_gb);
+    config.updates_per_thread = ~0ull >> 2;
+    // Past total memory the prefill itself pages through the disk; give
+    // those rows a much longer warmup.
+    const SimTime warmup = ws_gb > 900 ? 2500 * kMillisecond : 500 * kMillisecond;
+    config.measure_after = warmup;
+    GupsBenchmark gups(manager, config);
+    gups.Prepare();
+    const GupsResult result = gups.Run(warmup + 100 * kMillisecond);
+
+    PrintCell(Fmt("%.0f", ws_gb));
+    PrintCell(result.gups);
+    PrintCell(Fmt("%.0f", static_cast<double>(manager.hstats().pages_swapped_out)));
+    PrintCell(Fmt("%.0f", static_cast<double>(manager.hstats().pages_swapped_in)));
+    PrintCell(static_cast<double>(machine.swap()->stats().bytes_written) /
+              (1024.0 * 1024.0));
+    EndRow();
+  }
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Ablation: access-tracking mechanisms compared head-to-head.
+// PEBS event sampling (HeMem) vs page-table A/D-bit scanning (HeMem-PT-Async)
+// vs Thermostat-style page poisoning (samples a random page subset exactly,
+// at a per-access fault cost) on the standard hot-set GUPS. The comparison
+// the paper makes qualitatively in Section 6.
+
+#include "gups_bench.h"
+
+using namespace hemem;
+using namespace hemem::bench;
+
+int main() {
+  PrintTitle("Ablation: tracking mechanisms", "hot-set GUPS by tracking approach",
+             "512 GB WS / 16 GB hot at 1/256 scale, 16 threads");
+  PrintCols({"system", "gups", "promoted", "nvm_wear_MB"});
+
+  for (const std::string system :
+       {"HeMem", "HeMem-PT-Async", "Thermostat", "MM", "NVM"}) {
+    const GupsRunOutput out = RunGupsSystem(system, StandardHotGups());
+    PrintCell(system);
+    PrintCell(out.result.gups);
+    PrintCell(Fmt("%.0f", static_cast<double>(out.pages_promoted)));
+    PrintCell(static_cast<double>(out.nvm_media_writes) / 1048576.0);
+    EndRow();
+  }
+  return 0;
+}

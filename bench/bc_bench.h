@@ -1,0 +1,46 @@
+// Shared runner for the GAP betweenness-centrality benches (Figures 14-16).
+
+#ifndef HEMEM_BENCH_BC_BENCH_H_
+#define HEMEM_BENCH_BC_BENCH_H_
+
+#include "apps/bc.h"
+#include "apps/graph.h"
+#include "bench_common.h"
+
+namespace hemem::bench {
+
+// 1/1024-scale vertex counts; the machine is scaled so the small graph fits
+// DRAM and the large one does not (as 2^28 vs 2^29 do against 192 GB).
+constexpr int kBcSmallScale = 18;  // stands in for 2^28 vertices
+constexpr int kBcLargeScale = 19;  // stands in for 2^29 vertices
+
+// `scale` picks the DRAM:footprint ratio: 4096 gives the small graph head
+// room (fits), 8192 makes the large graph oversubscribe DRAM ~2:1.
+inline MachineConfig BcMachine(double scale) {
+  MachineConfig config = MachineConfig::Scaled(scale);
+  config.page_bytes = KiB(64);
+  config.pebs.SetAllPeriods(ScaledPebsPeriod(kPaperPebsPeriod, 64.0));
+  config.pebs.buffer_capacity = 1 << 17;
+  return config;
+}
+
+inline BcResult RunBc(const std::string& system, const CsrGraph& graph, int iterations,
+                      double machine_scale, uint64_t* nvm_writes_total = nullptr) {
+  Machine machine(BcMachine(machine_scale));
+  std::unique_ptr<TieredMemoryManager> manager = MakeSystem(system, machine);
+  manager->Start();
+  SimGraph sim_graph(*manager, graph);
+  BcConfig config;
+  config.iterations = iterations;
+  BcBenchmark bc(sim_graph, config);
+  bc.Prepare();
+  BcResult result = bc.Run();
+  if (nvm_writes_total != nullptr) {
+    *nvm_writes_total = machine.nvm().stats().media_bytes_written;
+  }
+  return result;
+}
+
+}  // namespace hemem::bench
+
+#endif  // HEMEM_BENCH_BC_BENCH_H_

@@ -1,0 +1,44 @@
+// Raw-device workload driver shared by the Table 1 / Figure 1 / Figure 2
+// characterization benches: N logical streams of back-to-back accesses
+// against one memory device, sequential or random, returning aggregate GB/s.
+
+#ifndef HEMEM_BENCH_DEVICE_WORKLOAD_H_
+#define HEMEM_BENCH_DEVICE_WORKLOAD_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+#include "mem/device.h"
+
+namespace hemem::bench {
+
+inline double DeviceThroughputGBs(MemoryDevice& dev, int threads, uint32_t size,
+                                  AccessKind kind, bool sequential,
+                                  int accesses_per_thread = 4000) {
+  std::vector<SimTime> clock(static_cast<size_t>(threads), 0);
+  std::vector<uint64_t> addr(static_cast<size_t>(threads));
+  Rng rng(1234);
+  for (int t = 0; t < threads; ++t) {
+    // Streams start far apart so sequential runs never merge.
+    addr[static_cast<size_t>(t)] = static_cast<uint64_t>(t) * GiB(4);
+  }
+  SimTime end = 0;
+  for (int i = 0; i < accesses_per_thread; ++i) {
+    for (int t = 0; t < threads; ++t) {
+      const auto ti = static_cast<size_t>(t);
+      const uint64_t a =
+          sequential ? addr[ti] : rng.NextBounded(dev.capacity() / size) * size;
+      clock[ti] = dev.Access(clock[ti], a, size, kind, static_cast<uint32_t>(t));
+      addr[ti] += size;
+      end = std::max(end, clock[ti]);
+    }
+  }
+  const double bytes =
+      static_cast<double>(accesses_per_thread) * threads * static_cast<double>(size);
+  return bytes / static_cast<double>(end) * 1e9 / (1024.0 * 1024.0 * 1024.0);
+}
+
+}  // namespace hemem::bench
+
+#endif  // HEMEM_BENCH_DEVICE_WORKLOAD_H_

@@ -1,0 +1,45 @@
+// Figure 10: PEBS sampling-period sensitivity (512 GB WS / 16 GB hot).
+// Paper shape: very low periods overwhelm the PEBS thread (up to 30% of
+// samples dropped) and show high run-to-run variance; periods between 5k and
+// 100k perform well with <0.02% drops; periods above 100k sample too rarely
+// and performance falls off.
+
+#include "gups_bench.h"
+
+using namespace hemem;
+using namespace hemem::bench;
+
+int main() {
+  PrintTitle("Figure 10", "PEBS sampling period sensitivity (GUPS)",
+             "min/avg/max over 3 seeds; drop rate of PEBS samples; periods are "
+             "paper-equivalent (scaled per bench_common.h ScaledPebsPeriod)");
+  PrintCols({"period", "min", "avg", "max", "drop_rate"});
+
+  for (const uint64_t paper_period : {300ull, 640ull, 1250ull, 3200ull, 5000ull,
+                                      12500ull, 50000ull, 200000ull, 1000000ull}) {
+    const uint64_t period = ScaledPebsPeriod(paper_period);
+    double min = 1e9;
+    double max = 0.0;
+    double sum = 0.0;
+    double drops = 0.0;
+    constexpr int kRuns = 3;
+    for (int run = 0; run < kRuns; ++run) {
+      MachineConfig mc = GupsMachine();
+      mc.pebs.SetAllPeriods(period);
+      GupsConfig config = StandardHotGups();
+      config.seed = 42 + static_cast<uint64_t>(run);
+      const GupsRunOutput out = RunGupsSystem("HeMem", config, mc);
+      min = std::min(min, out.result.gups);
+      max = std::max(max, out.result.gups);
+      sum += out.result.gups;
+      drops += out.pebs_drop_rate;
+    }
+    PrintCell(Fmt("%.0f", static_cast<double>(paper_period)));
+    PrintCell(min);
+    PrintCell(sum / kRuns);
+    PrintCell(max);
+    PrintCell(drops / kRuns);
+    EndRow();
+  }
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Figure 12: Memory-cooling threshold sensitivity.
+// Dynamic hot-set scenario (as Figure 9); the cooling threshold controls how
+// aggressively access counts decay. Paper shape: cooling at the hot
+// threshold (8) underestimates the hot set (too aggressive); moderate values
+// (13-26) adapt quickly after the shift; very high values (30+) leave too
+// many pages hot, which then compete for DRAM.
+
+#include <numeric>
+
+#include "gups_bench.h"
+
+using namespace hemem;
+using namespace hemem::bench;
+
+int main() {
+  // The shift happens only after classification+migration converge (~400 ms
+  // at this scale, cf. Figure 9); "steady" is then meaningful.
+  constexpr SimTime kShiftAt = 450 * kMillisecond;
+  constexpr SimTime kEnd = 700 * kMillisecond;
+  constexpr SimTime kBucket = 25 * kMillisecond;
+
+  PrintTitle("Figure 12", "Cooling threshold sensitivity",
+             "hot-set shift mid-run; steady = GUPS before shift, "
+             "recovered = GUPS over the final 100 ms");
+  PrintCols({"cooling", "steady", "recovered"});
+
+  for (const uint32_t cooling : {8u, 10u, 13u, 18u, 22u, 26u, 30u, 40u}) {
+    HememParams params;
+    params.cooling_threshold = cooling;
+    GupsConfig config = StandardHotGups();
+    config.shift_at = kShiftAt;
+    config.shift_bytes = PaperGiB(4);
+    config.series_bucket = kBucket;
+    const GupsRunOutput out =
+        RunGupsSystem("HeMem", config, GupsMachine(), params,
+                      /*warmup=*/100 * kMillisecond, /*window=*/kEnd - 100 * kMillisecond);
+
+    auto bucket_gups = [&](size_t b) {
+      return b < out.series.size() ? out.series[b] / static_cast<double>(kBucket) : 0.0;
+    };
+    const size_t shift_bucket = static_cast<size_t>(kShiftAt / kBucket);
+    const size_t end_bucket = static_cast<size_t>(kEnd / kBucket);
+    double steady = 0.0;
+    for (size_t b = shift_bucket - 4; b < shift_bucket; ++b) {
+      steady += bucket_gups(b) / 4.0;
+    }
+    double recovered = 0.0;
+    for (size_t b = end_bucket - 4; b < end_bucket; ++b) {
+      recovered += bucket_gups(b) / 4.0;
+    }
+    PrintCell(Fmt("%.0f", static_cast<double>(cooling)));
+    PrintCell(steady);
+    PrintCell(recovered);
+    EndRow();
+  }
+  return 0;
+}

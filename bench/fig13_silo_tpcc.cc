@@ -1,0 +1,66 @@
+// Figure 13: Silo TPC-C warehouse scalability (higher is better).
+// 16 threads, warehouses swept so the working set crosses DRAM capacity at
+// 864 warehouses. Paper shape: HeMem leads MM (up to 13%) and Nimble (up to
+// 82%) while the working set fits DRAM; past DRAM, MM edges out HeMem (17%);
+// static NVM placement (X-Mem) runs at ~1/3 of HeMem/MM throughput.
+
+#include "apps/silo.h"
+#include "bench_common.h"
+
+using namespace hemem;
+using namespace hemem::bench;
+
+namespace {
+
+// Machine scaled so 864 warehouses' footprint ~= DRAM capacity; tracking
+// granularity and sampling period scale with it (cf. GupsMachine).
+MachineConfig TpccMachine() {
+  MachineConfig config = MachineConfig::Scaled(115.0);
+  config.page_bytes = KiB(64);
+  config.pebs.SetAllPeriods(ScaledPebsPeriod(kPaperPebsPeriod, 40.0));
+  config.pebs.buffer_capacity = 1 << 17;
+  return config;
+}
+
+SiloConfig ScaledSilo(int warehouses) {
+  SiloConfig config;
+  config.warehouses = warehouses;
+  config.items = 1024;                   // scaled from 100k
+  config.customers_per_district = 64;    // scaled from 3,000
+  config.order_capacity_per_district = 128;
+  return config;
+}
+
+double RunTpcc(const std::string& system, int warehouses) {
+  Machine machine(TpccMachine());
+  std::unique_ptr<TieredMemoryManager> manager = MakeSystem(system, machine);
+  manager->Start();
+  SiloDb db(*manager, ScaledSilo(warehouses));
+  TpccConfig config;
+  config.threads = 16;
+  config.transactions_per_thread = 1500;
+  config.warmup_transactions_per_thread = 500;
+  TpccBenchmark tpcc(db, config);
+  tpcc.Prepare();
+  return tpcc.Run().txn_per_sec;
+}
+
+}  // namespace
+
+int main() {
+  PrintTitle("Figure 13", "Silo TPC-C throughput vs warehouses (txn/s)",
+             "16 threads; 864 warehouses ~= DRAM capacity (1/115 scale)");
+  const std::vector<std::string> systems = {"HeMem", "MM", "Nimble", "NVM"};
+  std::vector<std::string> cols = {"warehouses"};
+  cols.insert(cols.end(), systems.begin(), systems.end());
+  PrintCols(cols);
+
+  for (const int warehouses : {16, 108, 432, 864, 1296, 1728}) {
+    PrintCell(Fmt("%.0f", warehouses));
+    for (const auto& system : systems) {
+      PrintCell(RunTpcc(system, warehouses));
+    }
+    EndRow();
+  }
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Figure 1: Memory access throughput scalability.
+// 256-byte accesses, sequential and random, reads and writes, DRAM vs
+// Optane, sweeping the number of threads. Paper shape: DRAM scales with
+// threads in all modes; Optane write bandwidth saturates at ~4 threads;
+// Optane random reads keep scaling but stay well below DRAM; Optane
+// sequential reads can surpass DRAM *random* throughput.
+
+#include "bench_common.h"
+#include "device_workload.h"
+
+using namespace hemem;
+using namespace hemem::bench;
+
+int main() {
+  PrintTitle("Figure 1", "Memory access throughput scalability (GB/s)",
+             "256 B accesses; columns are device/pattern/direction");
+  PrintCols({"threads", "dram_seq_rd", "dram_rnd_rd", "dram_seq_wr", "dram_rnd_wr",
+             "nvm_seq_rd", "nvm_rnd_rd", "nvm_seq_wr", "nvm_rnd_wr"});
+
+  for (const int threads : {1, 2, 4, 8, 12, 16, 20, 24}) {
+    PrintCell(static_cast<double>(threads));
+    for (const bool is_dram : {true, false}) {
+      for (const auto [kind, seq] :
+           {std::pair{AccessKind::kLoad, true}, {AccessKind::kLoad, false},
+            {AccessKind::kStore, true}, {AccessKind::kStore, false}}) {
+        MemoryDevice dev(is_dram ? DeviceParams::Dram(GiB(192))
+                                 : DeviceParams::OptaneNvm(GiB(768)));
+        PrintCell(DeviceThroughputGBs(dev, threads, 256, kind, seq));
+      }
+    }
+    EndRow();
+  }
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Figure 5: Uniform-random GUPS vs working set size (higher is better).
+// Paper shape: DRAM/HeMem/MM track each other while the working set fits in
+// DRAM; MM degrades from conflict misses as the working set approaches DRAM
+// capacity while HeMem does not (3.2x at 128 GB); Nimble trails from scan +
+// migration overhead; past DRAM capacity every system converges to NVM.
+
+#include "gups_bench.h"
+
+using namespace hemem;
+using namespace hemem::bench;
+
+int main() {
+  PrintTitle("Figure 5", "Uniform GUPS vs working set (GUPS)",
+             "16 threads, 8 B updates; sizes are paper-equivalent GB at 1/256 scale "
+             "(DRAM = 192 GB)");
+  const std::vector<std::string> systems = {"DRAM", "MM", "HeMem", "Nimble", "NVM"};
+  std::vector<std::string> cols = {"ws_GB"};
+  cols.insert(cols.end(), systems.begin(), systems.end());
+  PrintCols(cols);
+
+  for (const double ws_gb : {8.0, 16.0, 32.0, 64.0, 128.0, 192.0, 256.0}) {
+    PrintCell(Fmt("%.0f", ws_gb));
+    for (const auto& system : systems) {
+      GupsConfig config;
+      config.threads = 16;
+      config.working_set = PaperGiB(ws_gb);
+      config.hot_set = 0;  // uniform
+      // Uniform access needs no classification warmup; 200 ms covers
+      // fault-in and cache warm.
+      const GupsRunOutput out = RunGupsSystem(system, config, GupsMachine(), std::nullopt,
+                                              /*warmup=*/200 * kMillisecond);
+      PrintCell(out.result.gups);
+    }
+    EndRow();
+  }
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Figure 7: GUPS thread scalability (512 GB working set, 16 GB hot set).
+// Paper shape: HeMem and MM scale together at low thread counts; at >= 21
+// threads HeMem's helper threads contend with GUPS for the 24-core socket
+// (~10% below MM); the CPU-copy configuration (HeMem-Threads, no DMA
+// engine) loses further ground.
+
+#include "gups_bench.h"
+
+using namespace hemem;
+using namespace hemem::bench;
+
+int main() {
+  PrintTitle("Figure 7", "GUPS vs thread count (GUPS)",
+             "512 GB working set / 16 GB hot set at 1/256 scale; 24-core socket");
+  const std::vector<std::string> systems = {"MM", "HeMem", "HeMem-Threads"};
+  std::vector<std::string> cols = {"threads"};
+  cols.insert(cols.end(), systems.begin(), systems.end());
+  PrintCols(cols);
+
+  for (const int threads : {1, 4, 8, 12, 16, 20, 21, 22, 24}) {
+    PrintCell(Fmt("%.0f", threads));
+    for (const auto& system : systems) {
+      const GupsConfig config = StandardHotGups(threads);
+      // Few threads fault the working set in slowly; give them a longer
+      // warmup so measurement starts after the prefill completes.
+      const SimTime warmup = threads < 8 ? 1400 * kMillisecond : kGupsWarmup;
+      const GupsRunOutput out =
+          RunGupsSystem(system, config, GupsMachine(), std::nullopt, warmup);
+      PrintCell(out.result.gups);
+    }
+    EndRow();
+  }
+  return 0;
+}

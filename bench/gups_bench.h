@@ -1,0 +1,74 @@
+// Shared GUPS runner for the Figure 5-12 / Table 2 benches.
+//
+// Runs are fixed-window: workers warm up (fault-in + classification +
+// migration convergence) until `measure_after`, then updates are counted
+// until the deadline. Windows are sized for the 1/256-scale platform, where
+// convergence dynamics play out ~256x faster than on the paper's testbed.
+
+#ifndef HEMEM_BENCH_GUPS_BENCH_H_
+#define HEMEM_BENCH_GUPS_BENCH_H_
+
+#include <optional>
+
+#include "apps/gups.h"
+#include "bench_common.h"
+
+namespace hemem::bench {
+
+constexpr SimTime kGupsWarmup = 400 * kMillisecond;
+constexpr SimTime kGupsWindow = 60 * kMillisecond;
+
+struct GupsRunOutput {
+  GupsResult result;
+  uint64_t nvm_media_writes = 0;
+  uint64_t pages_promoted = 0;
+  uint64_t pages_demoted = 0;
+  double pebs_drop_rate = 0.0;
+  std::vector<double> series;  // updates per series bucket
+};
+
+inline GupsRunOutput RunGupsSystem(const std::string& system, GupsConfig config,
+                                   MachineConfig machine_config = GupsMachine(),
+                                   std::optional<HememParams> hemem_params = std::nullopt,
+                                   SimTime warmup = kGupsWarmup,
+                                   SimTime window = kGupsWindow) {
+  Machine machine(machine_config);
+  std::unique_ptr<TieredMemoryManager> manager;
+  if (hemem_params.has_value()) {
+    manager = std::make_unique<Hemem>(machine, *hemem_params);
+  } else {
+    manager = MakeSystem(system, machine);
+  }
+  manager->Start();
+
+  config.updates_per_thread = ~0ull >> 2;  // deadline-bounded
+  config.measure_after = warmup;
+  GupsBenchmark gups(*manager, config);
+  gups.Prepare();
+
+  GupsRunOutput out;
+  out.result = gups.Run(warmup + window);
+  out.nvm_media_writes = machine.nvm().stats().media_bytes_written;
+  out.pages_promoted = manager->stats().pages_promoted;
+  out.pages_demoted = manager->stats().pages_demoted;
+  out.pebs_drop_rate = machine.pebs().stats().DropRate();
+  out.series = gups.series().buckets();
+  return out;
+}
+
+// The paper's standard hot-set configuration: 512 GB working set, 16 GB hot,
+// 16 threads, 90% of operations to the hot set. Hot-chunk granularity is
+// auto-sized (see GupsBenchmark): sub-page for small hot sets so each
+// thread holds several chunks, page-sized otherwise.
+inline GupsConfig StandardHotGups(int threads = 16) {
+  GupsConfig config;
+  config.threads = threads;
+  config.working_set = PaperGiB(512);
+  config.hot_set = PaperGiB(16);
+  config.hot_fraction = 0.9;
+  return config;
+}
+
+}  // namespace hemem::bench
+
+#endif  // HEMEM_BENCH_GUPS_BENCH_H_

@@ -1,0 +1,76 @@
+// google-benchmark microbenchmarks of the simulator substrate itself: how
+// fast the host can push accesses through the device model, page table, and
+// PEBS machinery. These guard against simulator-performance regressions
+// (the paper benches simulate hundreds of millions of accesses).
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "mem/device.h"
+#include "pebs/pebs.h"
+#include "vm/page_table.h"
+
+namespace hemem {
+namespace {
+
+void BM_DeviceRandomAccess(benchmark::State& state) {
+  MemoryDevice dev(DeviceParams::Dram(GiB(192)));
+  Rng rng(1);
+  SimTime t = 0;
+  for (auto _ : state) {
+    t = dev.Access(t, rng.NextBounded(GiB(192) / 64) * 64, 64, AccessKind::kLoad, 0);
+    benchmark::DoNotOptimize(t);
+  }
+}
+BENCHMARK(BM_DeviceRandomAccess);
+
+void BM_DeviceSequentialAccess(benchmark::State& state) {
+  MemoryDevice dev(DeviceParams::OptaneNvm(GiB(768)));
+  SimTime t = 0;
+  uint64_t addr = 0;
+  for (auto _ : state) {
+    t = dev.Access(t, addr, 256, AccessKind::kLoad, 0);
+    addr += 256;
+    benchmark::DoNotOptimize(t);
+  }
+}
+BENCHMARK(BM_DeviceSequentialAccess);
+
+void BM_PageTableLookup(benchmark::State& state) {
+  PageTable pt;
+  std::vector<uint64_t> bases;
+  for (int i = 0; i < 8; ++i) {
+    const uint64_t base = pt.ReserveVa(GiB(1), MiB(2));
+    pt.MapRegion(base, GiB(1), MiB(2), true, "r");
+    bases.push_back(base);
+  }
+  Rng rng(2);
+  for (auto _ : state) {
+    const uint64_t va = bases[rng.NextBounded(8)] + rng.NextBounded(GiB(1));
+    benchmark::DoNotOptimize(pt.Lookup(va));
+  }
+}
+BENCHMARK(BM_PageTableLookup);
+
+void BM_PebsCountAccess(benchmark::State& state) {
+  PebsBuffer pebs;
+  uint64_t va = 0;
+  for (auto _ : state) {
+    pebs.CountAccess(0, va++, PebsEvent::kStore);
+  }
+  benchmark::DoNotOptimize(pebs.pending());
+}
+BENCHMARK(BM_PebsCountAccess);
+
+void BM_RadixScanCost(benchmark::State& state) {
+  RadixCostModel model;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.ScanTime(TiB(1), KiB(4)));
+  }
+}
+BENCHMARK(BM_RadixScanCost);
+
+}  // namespace
+}  // namespace hemem
+
+BENCHMARK_MAIN();

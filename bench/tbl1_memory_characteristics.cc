@@ -1,0 +1,41 @@
+// Table 1: Main memory technology comparison.
+// Paper: DDR4 DRAM 82 ns, 107/80 GB/s, 1x capacity;
+//        Optane DC 175/94 ns, 32/11.2 GB/s, 8x capacity.
+
+#include "bench_common.h"
+#include "device_workload.h"
+
+using namespace hemem;
+using namespace hemem::bench;
+
+int main() {
+  PrintTitle("Table 1", "Main memory technology comparison",
+             "bandwidths measured on the device model with 16 streaming threads");
+
+  MemoryDevice dram(DeviceParams::Dram(GiB(192)));
+  MemoryDevice dram2(DeviceParams::Dram(GiB(192)));
+  MemoryDevice nvm(DeviceParams::OptaneNvm(GiB(768)));
+  MemoryDevice nvm2(DeviceParams::OptaneNvm(GiB(768)));
+
+  const double dram_read = DeviceThroughputGBs(dram, 16, 4096, AccessKind::kLoad, true);
+  const double dram_write = DeviceThroughputGBs(dram2, 16, 4096, AccessKind::kStore, true);
+  const double nvm_read = DeviceThroughputGBs(nvm, 16, 4096, AccessKind::kLoad, true);
+  const double nvm_write = DeviceThroughputGBs(nvm2, 16, 4096, AccessKind::kStore, true);
+
+  PrintCols({"memory", "r_latency_ns", "w_latency_ns", "r_GBps", "w_GBps", "capacity"});
+  PrintCell("DDR4-DRAM");
+  PrintCell(static_cast<double>(dram.params().read_latency));
+  PrintCell(static_cast<double>(dram.params().write_latency));
+  PrintCell(dram_read);
+  PrintCell(dram_write);
+  PrintCell("1x");
+  EndRow();
+  PrintCell("Optane-DC");
+  PrintCell(static_cast<double>(nvm.params().read_latency));
+  PrintCell(static_cast<double>(nvm.params().write_latency));
+  PrintCell(nvm_read);
+  PrintCell(nvm_write);
+  PrintCell("4x-8x");
+  EndRow();
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Table 4: FlexKVS latency under performance isolation.
+// Two FlexKVS instances share the machine: a prioritized instance with a
+// 16 GB working set and a regular instance with a 500 GB uniformly-accessed
+// working set. Under HeMem the priority instance pins its key-value pairs to
+// DRAM. Paper shape: HeMem improves the priority instance's median latency
+// by ~47% and 99p by ~16% over MM, with no tangible harm to the regular
+// instance (MM cannot prioritize).
+
+#include "apps/flexkvs.h"
+#include "bench_common.h"
+
+using namespace hemem;
+using namespace hemem::bench;
+
+namespace {
+
+constexpr double kKvsScale = 256.0;
+
+struct PairResult {
+  Histogram priority;
+  Histogram regular;
+};
+
+PairResult RunPair(const std::string& system) {
+  Machine machine(GupsMachine());  // same 1/256-scale platform discipline
+  std::unique_ptr<TieredMemoryManager> manager = MakeSystem(system, machine);
+  manager->Start();
+
+  KvsConfig regular;
+  regular.value_bytes = 4096;
+  regular.server_threads = 6;
+  regular.num_keys = PaperGiB(500.0, kKvsScale) / 4224;
+  regular.hot_key_fraction = 0.0;  // uniform random
+  regular.requests_per_thread = 25'000;
+  regular.warmup_requests_per_thread = 25'000;
+  regular.bulk_load = true;
+  regular.net_rtt = 5 * kMicrosecond;  // keep memory effects visible at scale
+  regular.label = "regular";
+  regular.seed = 100;
+
+  KvsConfig priority = regular;
+  priority.server_threads = 2;
+  priority.num_keys = PaperGiB(16.0, kKvsScale) / 4224;
+  priority.label = "priority";
+  priority.seed = 200;
+  if (system == "HeMem") {
+    priority.pin_tier = Tier::kDram;  // the per-application policy knob
+  }
+
+  FlexKvs regular_kvs(*manager, regular);
+  FlexKvs priority_kvs(*manager, priority);
+  regular_kvs.Prepare();
+  priority_kvs.Prepare();
+  machine.engine().Run();
+
+  PairResult out;
+  out.priority = priority_kvs.Run().latency;  // engine drained; collects
+  out.regular = regular_kvs.Run().latency;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  PrintTitle("Table 4", "FlexKVS latency with priority (us)",
+             "priority: 16 GB pinned to DRAM under HeMem; regular: 500 GB uniform "
+             "(1/256 scale)");
+  PrintCols({"system", "prio_50p", "prio_99p", "prio_99.9p", "reg_50p", "reg_99p",
+             "reg_99.9p"});
+
+  for (const std::string system : {"HeMem", "MM"}) {
+    const PairResult result = RunPair(system);
+    PrintCell(system);
+    for (const double q : {0.5, 0.99, 0.999}) {
+      PrintCell(static_cast<double>(result.priority.Percentile(q)));
+    }
+    for (const double q : {0.5, 0.99, 0.999}) {
+      PrintCell(static_cast<double>(result.regular.Percentile(q)));
+    }
+    EndRow();
+  }
+  return 0;
+}

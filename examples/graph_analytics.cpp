@@ -1,0 +1,59 @@
+// Graph analytics on tiered memory: generates a Kronecker power-law graph
+// larger than DRAM, runs betweenness centrality under HeMem, and shows how
+// per-iteration runtime improves as the hot parts of the graph migrate.
+//
+//   $ ./graph_analytics
+
+#include <cstdio>
+
+#include "apps/bc.h"
+#include "apps/graph.h"
+#include "core/hemem.h"
+
+using namespace hemem;
+
+int main() {
+  KroneckerConfig kconfig;
+  kconfig.scale = 16;  // 64k vertices, ~1M edges
+  kconfig.average_degree = 16;
+  const CsrGraph graph = GenerateKronecker(kconfig);
+  std::printf("Kronecker graph: %lu vertices, %lu edges (power-law)\n",
+              graph.num_vertices, graph.num_edges);
+
+  MachineConfig config;
+  config.dram_bytes = MiB(5);  // graph + BC state slightly exceed DRAM
+  config.nvm_bytes = MiB(32);
+  config.page_bytes = KiB(64);
+  config.label_scale = 4096.0;
+  config.pebs.SetAllPeriods(100);
+  Machine machine(config);
+
+  Hemem hemem(machine);
+  hemem.Start();
+
+  SimGraph sim_graph(hemem, graph);
+  BcConfig bconfig;
+  bconfig.iterations = 6;
+  BcBenchmark bc(sim_graph, bconfig);
+  bc.Prepare();
+  const BcResult result = bc.Run();
+
+  std::printf("\n%-10s %-14s %-18s\n", "iteration", "runtime_ms", "nvm_writes_MiB");
+  for (size_t i = 0; i < result.iteration_time.size(); ++i) {
+    std::printf("%-10zu %-14.2f %-18.2f\n", i + 1,
+                static_cast<double>(result.iteration_time[i]) / 1e6,
+                static_cast<double>(result.iteration_nvm_writes[i]) / 1048576.0);
+  }
+  std::printf("\npages promoted: %lu, demoted: %lu\n", hemem.stats().pages_promoted,
+              hemem.stats().pages_demoted);
+
+  // The scores are real: compare against the reference implementation.
+  const auto expected = BcBenchmark::Reference(graph, bc.sources());
+  double max_err = 0.0;
+  for (size_t v = 0; v < expected.size(); ++v) {
+    max_err = std::max(max_err, std::abs(result.centrality[v] - expected[v]));
+  }
+  std::printf("max |centrality - reference| = %g (exact algorithm over simulated memory)\n",
+              max_err);
+  return 0;
+}

@@ -1,0 +1,224 @@
+#include "apps/bc.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hemem {
+
+namespace {
+// Vertices processed per engine slice. BC must yield frequently: the
+// management threads (PEBS drain, policy migration) interleave with the
+// traversal, exactly as concurrent threads would on real hardware.
+constexpr size_t kVerticesPerSlice = 64;
+}  // namespace
+
+// Resumable executor: one bounded quantum of the current phase per slice.
+class BcBenchmark::Driver : public SimThread {
+ public:
+  explicit Driver(BcBenchmark& bench) : SimThread("bc-driver"), bench_(bench) {}
+
+  bool RunSlice() override { return bench_.Step(*this); }
+
+ private:
+  BcBenchmark& bench_;
+};
+
+BcBenchmark::BcBenchmark(SimGraph& graph, BcConfig config) : graph_(graph), config_(config) {
+  Rng rng(Mix64(config.seed));
+  for (int i = 0; i < config.iterations; ++i) {
+    // Sample sources with outgoing edges (GAP skips degree-0 sources).
+    uint32_t v;
+    do {
+      v = static_cast<uint32_t>(rng.NextBounded(graph.num_vertices()));
+    } while (graph.csr().Degree(v) == 0);
+    sources_.push_back(v);
+  }
+}
+
+BcBenchmark::~BcBenchmark() = default;
+
+void BcBenchmark::Prepare() {
+  const uint64_t n = graph_.num_vertices();
+  depth_.assign(n, -1);
+  sigma_.assign(n, 0);
+  delta_.assign(n, 0.0);
+  centrality_.assign(n, 0.0);
+  bfs_order_.reserve(n);
+  depth_array_ = SimGraph::VertexArray(graph_, 4, "bc-depth");
+  sigma_array_ = SimGraph::VertexArray(graph_, 8, "bc-sigma");
+  delta_array_ = SimGraph::VertexArray(graph_, 8, "bc-delta");
+  centrality_array_ = SimGraph::VertexArray(graph_, 8, "bc-scores");
+  driver_ = std::make_unique<Driver>(*this);
+  graph_.manager().machine().engine().AddThread(driver_.get());
+}
+
+void BcBenchmark::StartIteration(SimThread& thread) {
+  const uint64_t n = graph_.num_vertices();
+  std::fill(depth_.begin(), depth_.end(), -1);
+  std::fill(sigma_.begin(), sigma_.end(), 0);
+  std::fill(delta_.begin(), delta_.end(), 0.0);
+  bfs_order_.clear();
+  // Charged as bulk sequential stores over the three state arrays.
+  depth_array_.WriteRange(thread, 0, n);
+  sigma_array_.WriteRange(thread, 0, n);
+  delta_array_.WriteRange(thread, 0, n);
+
+  const uint32_t source = sources_[iteration_];
+  depth_[source] = 0;
+  sigma_[source] = 1;
+  depth_array_.Write(thread, source);
+  sigma_array_.Write(thread, source);
+  bfs_order_.push_back(source);
+  forward_head_ = 0;
+}
+
+void BcBenchmark::ForwardQuantum(SimThread& thread) {
+  for (size_t q = 0; q < kVerticesPerSlice && forward_head_ < bfs_order_.size(); ++q) {
+    const uint32_t v = bfs_order_[forward_head_++];
+    uint64_t degree = 0;
+    const uint32_t* adj = graph_.Neighbors(thread, v, &degree);
+    const uint64_t sigma_v = sigma_[v];
+    const int32_t next_depth = depth_[v] + 1;
+    for (uint64_t i = 0; i < degree; ++i) {
+      const uint32_t w = adj[i];
+      depth_array_.Read(thread, w);
+      if (depth_[w] < 0) {
+        depth_[w] = next_depth;
+        depth_array_.Write(thread, w);
+        bfs_order_.push_back(w);
+      }
+      if (depth_[w] == next_depth) {
+        sigma_[w] += sigma_v;
+        sigma_array_.Write(thread, w);
+      }
+    }
+  }
+}
+
+void BcBenchmark::BackwardQuantum(SimThread& thread) {
+  const uint32_t source = sources_[iteration_];
+  for (size_t q = 0; q < kVerticesPerSlice && backward_pos_ > 1; ++q) {
+    const uint32_t w = bfs_order_[--backward_pos_];
+    uint64_t degree = 0;
+    const uint32_t* adj = graph_.Neighbors(thread, w, &degree);
+    // Brandes on a directed graph: pull contributions from BFS-tree
+    // successors while walking the order backwards.
+    double delta_w = delta_[w];
+    for (uint64_t j = 0; j < degree; ++j) {
+      const uint32_t x = adj[j];
+      depth_array_.Read(thread, x);
+      if (depth_[x] == depth_[w] + 1 && sigma_[x] > 0) {
+        delta_array_.Read(thread, x);
+        delta_w += static_cast<double>(sigma_[w]) / static_cast<double>(sigma_[x]) *
+                   (1.0 + delta_[x]);
+      }
+    }
+    delta_[w] = delta_w;
+    delta_array_.Write(thread, w);
+    if (w != source) {
+      centrality_[w] += delta_w;
+      centrality_array_.Write(thread, w);
+    }
+  }
+}
+
+bool BcBenchmark::Step(SimThread& thread) {
+  MemoryDevice& nvm = graph_.manager().machine().nvm();
+  switch (phase_) {
+    case Phase::kPrefill:
+      // The graph build/load happens before any kernel runs (as in GAP), so
+      // its pages claim physical memory first.
+      graph_.Prefill(thread);
+      phase_ = Phase::kStartIteration;
+      return true;
+    case Phase::kStartIteration:
+      iteration_start_ = thread.now();
+      iteration_wear_start_ = nvm.stats().media_bytes_written;
+      StartIteration(thread);
+      phase_ = Phase::kForward;
+      return true;
+    case Phase::kForward:
+      ForwardQuantum(thread);
+      if (forward_head_ >= bfs_order_.size()) {
+        backward_pos_ = bfs_order_.size();
+        phase_ = Phase::kBackward;
+      }
+      return true;
+    case Phase::kBackward:
+      BackwardQuantum(thread);
+      if (backward_pos_ <= 1) {
+        result_.iteration_time.push_back(thread.now() - iteration_start_);
+        result_.iteration_nvm_writes.push_back(nvm.stats().media_bytes_written -
+                                               iteration_wear_start_);
+        iteration_++;
+        if (iteration_ >= sources_.size()) {
+          return false;
+        }
+        phase_ = Phase::kStartIteration;
+      }
+      return true;
+  }
+  return false;
+}
+
+BcResult BcBenchmark::Run() {
+  graph_.manager().machine().engine().Run();
+  result_.total_time = 0;
+  for (const SimTime t : result_.iteration_time) {
+    result_.total_time += t;
+  }
+  result_.centrality = centrality_;
+  return result_;
+}
+
+std::vector<double> BcBenchmark::Reference(const CsrGraph& graph,
+                                           const std::vector<uint32_t>& sources) {
+  const uint64_t n = graph.num_vertices;
+  std::vector<double> centrality(n, 0.0);
+  std::vector<int32_t> depth(n);
+  std::vector<uint64_t> sigma(n);
+  std::vector<double> delta(n);
+  std::vector<uint32_t> order;
+  order.reserve(n);
+
+  for (const uint32_t source : sources) {
+    std::fill(depth.begin(), depth.end(), -1);
+    std::fill(sigma.begin(), sigma.end(), 0);
+    std::fill(delta.begin(), delta.end(), 0.0);
+    order.clear();
+    depth[source] = 0;
+    sigma[source] = 1;
+    order.push_back(source);
+    for (size_t head = 0; head < order.size(); ++head) {
+      const uint32_t v = order[head];
+      for (uint64_t i = graph.offsets[v]; i < graph.offsets[v + 1]; ++i) {
+        const uint32_t w = graph.neighbors[i];
+        if (depth[w] < 0) {
+          depth[w] = depth[v] + 1;
+          order.push_back(w);
+        }
+        if (depth[w] == depth[v] + 1) {
+          sigma[w] += sigma[v];
+        }
+      }
+    }
+    for (size_t i = order.size(); i > 1; --i) {
+      const uint32_t w = order[i - 1];
+      double delta_w = delta[w];
+      for (uint64_t j = graph.offsets[w]; j < graph.offsets[w + 1]; ++j) {
+        const uint32_t x = graph.neighbors[j];
+        if (depth[x] == depth[w] + 1 && sigma[x] > 0) {
+          delta_w += static_cast<double>(sigma[w]) / static_cast<double>(sigma[x]) *
+                     (1.0 + delta[x]);
+        }
+      }
+      delta[w] = delta_w;
+      if (w != source) {
+        centrality[w] += delta_w;
+      }
+    }
+  }
+  return centrality;
+}
+
+}  // namespace hemem

@@ -1,0 +1,92 @@
+// Betweenness centrality (Brandes' algorithm, source-sampled) — the GAP
+// kernel the paper evaluates (Figures 14-16).
+//
+// Each iteration picks a random source vertex and runs: (1) a forward BFS
+// computing depths and shortest-path counts (sigma), then (2) a backward
+// sweep over the BFS order accumulating dependencies (delta) into the
+// centrality scores. The computation is real — scores are verifiable
+// against a reference implementation — and every array touch is charged to
+// the tiering manager: graph structure reads stream, per-vertex state is
+// random-access and write-intensive (sigma/delta/depth writes), matching the
+// paper's observation that BC's small, write-heavy accesses make NVM
+// residency very costly.
+
+#ifndef HEMEM_APPS_BC_H_
+#define HEMEM_APPS_BC_H_
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "apps/graph.h"
+
+namespace hemem {
+
+struct BcConfig {
+  int iterations = 15;  // one sampled source per iteration
+  uint64_t seed = 3;
+};
+
+struct BcResult {
+  std::vector<SimTime> iteration_time;        // per-iteration runtime
+  std::vector<uint64_t> iteration_nvm_writes;  // NVM media bytes written per iteration
+  SimTime total_time = 0;
+  std::vector<double> centrality;  // final scores (host-verifiable)
+};
+
+class BcBenchmark {
+ public:
+  BcBenchmark(SimGraph& graph, BcConfig config);
+  ~BcBenchmark();
+
+  void Prepare();  // allocates per-vertex state regions, registers the thread
+  BcResult Run();
+
+  // Reference (uncharged) implementation for correctness tests.
+  static std::vector<double> Reference(const CsrGraph& graph,
+                                       const std::vector<uint32_t>& sources);
+  const std::vector<uint32_t>& sources() const { return sources_; }
+
+ private:
+  class Driver;
+
+  enum class Phase { kPrefill, kStartIteration, kForward, kBackward };
+
+  // Executes one bounded quantum of the current phase; returns false once
+  // every iteration has completed.
+  bool Step(SimThread& thread);
+  void StartIteration(SimThread& thread);
+  void ForwardQuantum(SimThread& thread);
+  void BackwardQuantum(SimThread& thread);
+
+  SimGraph& graph_;
+  BcConfig config_;
+  std::vector<uint32_t> sources_;
+
+  // Host-side algorithm state (contents), sim-side charge arrays (traffic).
+  std::vector<int32_t> depth_;
+  std::vector<uint64_t> sigma_;
+  std::vector<double> delta_;
+  std::vector<double> centrality_;
+  std::vector<uint32_t> bfs_order_;
+  SimGraph::VertexArray depth_array_;
+  SimGraph::VertexArray sigma_array_;
+  SimGraph::VertexArray delta_array_;
+  SimGraph::VertexArray centrality_array_;
+
+  std::unique_ptr<Driver> driver_;
+  BcResult result_;
+
+  // Stepping state.
+  Phase phase_ = Phase::kPrefill;
+  size_t iteration_ = 0;
+  size_t forward_head_ = 0;
+  size_t backward_pos_ = 0;
+  SimTime iteration_start_ = 0;
+  uint64_t iteration_wear_start_ = 0;
+};
+
+}  // namespace hemem
+
+#endif  // HEMEM_APPS_BC_H_

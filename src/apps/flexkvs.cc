@@ -1,0 +1,414 @@
+#include "apps/flexkvs.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hemem {
+
+namespace {
+constexpr uint64_t kItemHeaderBytes = 48;  // key, version, size, checksum, next
+constexpr uint64_t kKeyBytes = 16;
+constexpr uint64_t kRequestsPerSlice = 1;
+// Cleaning hysteresis, in segments per server thread.
+constexpr uint32_t kCleanLowWater = 2;
+constexpr uint32_t kCleanHighWater = 4;
+}  // namespace
+
+// A server thread processing its share of the client request stream.
+class FlexKvs::Worker : public SimThread {
+ public:
+  Worker(FlexKvs& kvs, int index)
+      : SimThread(kvs.config_.label + "-srv-" + std::to_string(index)),
+        kvs_(kvs),
+        index_(index),
+        rng_(Mix64(kvs.config_.seed ^ 0xbeef) + static_cast<uint64_t>(index)) {
+    remaining_warmup_ = kvs_.config_.warmup_requests_per_thread;
+    remaining_ = kvs_.config_.requests_per_thread;
+    if (kvs_.config_.zipf_theta > 0.0) {
+      zipf_.emplace(kvs_.config_.num_keys, kvs_.config_.zipf_theta);
+    }
+  }
+
+  bool RunSlice() override {
+    // Thread 0 performs the (untimed for latency, but fully charged) bulk
+    // load before any worker serves traffic.
+    if (!kvs_.loaded_) {
+      if (index_ == 0) {
+        kvs_.LoadAll(*this);
+      } else {
+        AdvanceTo(now() + kMillisecond);  // wait for the loader
+        return true;
+      }
+    }
+    for (uint64_t i = 0; i < kRequestsPerSlice; ++i) {
+      if (remaining_warmup_ == 0 && !measuring_) {
+        measuring_ = true;
+        measure_start_ = now();
+      }
+      if (remaining_warmup_ == 0 && remaining_ == 0) {
+        measure_end_ = now();
+        return false;
+      }
+      DoRequest();
+      if (remaining_warmup_ > 0) {
+        remaining_warmup_--;
+      } else {
+        remaining_--;
+        completed_++;
+      }
+    }
+    return true;
+  }
+
+  uint64_t completed() const { return completed_; }
+  SimTime measure_start() const { return measure_start_; }
+  SimTime measure_end() const { return measure_end_ == 0 ? now() : measure_end_; }
+  const Histogram& latency() const { return latency_; }
+
+ private:
+  uint64_t PickKey() {
+    const KvsConfig& config = kvs_.config_;
+    if (zipf_) {
+      return zipf_->Next(rng_);
+    }
+    const uint64_t hot_keys = static_cast<uint64_t>(
+        config.hot_key_fraction * static_cast<double>(config.num_keys));
+    if (hot_keys > 0 && rng_.NextBool(config.hot_access_fraction)) {
+      return rng_.NextBounded(hot_keys);
+    }
+    return rng_.NextBounded(config.num_keys);
+  }
+
+  void DoRequest() {
+    const KvsConfig& config = kvs_.config_;
+    const SimTime t0 = now();
+    const uint64_t key = PickKey();
+    ChargeCompute(config.compute_per_request);
+    if (rng_.NextBool(config.get_fraction)) {
+      uint64_t version = 0;
+      const bool ok = kvs_.Get(*this, key, &version);
+      (void)ok;
+    } else if (config.del_fraction > 0.0 && rng_.NextBool(config.del_fraction)) {
+      kvs_.Del(*this, key);
+    } else {
+      kvs_.Set(*this, index_, key);
+    }
+    const SimTime service = now() - t0;
+    if (remaining_warmup_ == 0) {
+      latency_.Record(static_cast<uint64_t>((service + config.net_rtt) / kMicrosecond));
+    }
+    if (config.load < 1.0) {
+      // Open loop: idle so the thread's utilization approximates `load`.
+      const double idle = static_cast<double>(service) * (1.0 / config.load - 1.0);
+      Advance(static_cast<SimTime>(idle));
+    }
+  }
+
+  FlexKvs& kvs_;
+  int index_;
+  Rng rng_;
+  std::optional<ZipfGenerator> zipf_;
+  uint64_t remaining_warmup_ = 0;
+  uint64_t remaining_ = 0;
+  uint64_t completed_ = 0;
+  bool measuring_ = false;
+  SimTime measure_start_ = 0;
+  SimTime measure_end_ = 0;
+  Histogram latency_;
+};
+
+FlexKvs::FlexKvs(TieredMemoryManager& manager, KvsConfig config)
+    : manager_(manager),
+      config_(config),
+      item_bytes_(RoundUp(kItemHeaderBytes + kKeyBytes + config.value_bytes, 64)),
+      num_buckets_(std::max<uint64_t>(1, config.num_keys / 4)) {}
+
+FlexKvs::~FlexKvs() = default;
+
+void FlexKvs::Prepare() {
+  const uint64_t dataset = config_.num_keys * item_bytes_;
+  // Keep a healthy segment count: with too few segments the cleaner's free
+  // reserve would eat the whole over-provisioned space and the log would
+  // thrash relocating live data.
+  const uint64_t max_segment =
+      std::max<uint64_t>(RoundUp(static_cast<uint64_t>(static_cast<double>(dataset) *
+                                                       config_.log_overprovision) /
+                                     512,
+                                 item_bytes_),
+                         4 * item_bytes_);
+  config_.segment_bytes = std::min(config_.segment_bytes, max_segment);
+  log_bytes_ = RoundUp(static_cast<uint64_t>(static_cast<double>(dataset) *
+                                             config_.log_overprovision),
+                       config_.segment_bytes);
+  AllocOptions log_opts{.label = config_.label + "-log", .pin_tier = config_.pin_tier};
+  log_region_ = manager_.Mmap(log_bytes_, log_opts);
+  AllocOptions hash_opts{.label = config_.label + "-hash", .pin_tier = config_.pin_tier};
+  hash_region_ = manager_.Mmap(num_buckets_ * kBlockBytes, hash_opts);
+
+  items_.assign(config_.num_keys, ItemLoc{});
+  bucket_count_.assign(num_buckets_, 0);
+
+  const uint32_t num_segments = static_cast<uint32_t>(log_bytes_ / config_.segment_bytes);
+  segments_.resize(num_segments);
+  for (uint32_t i = 0; i < num_segments; ++i) {
+    segments_[i].base = log_region_ + static_cast<uint64_t>(i) * config_.segment_bytes;
+  }
+  // Hand the highest-numbered segments out last so the load phase appends
+  // forward through the log.
+  free_segments_.reserve(num_segments);
+  for (uint32_t i = num_segments; i > 0; --i) {
+    free_segments_.push_back(i - 1);
+  }
+  active_segment_.assign(static_cast<size_t>(config_.server_threads), UINT32_MAX);
+
+  // Register server threads only when there is a request stream to serve;
+  // tests and multi-instance setups may drive the store directly.
+  if (config_.requests_per_thread + config_.warmup_requests_per_thread > 0) {
+    Engine& engine = manager_.machine().engine();
+    for (int i = 0; i < config_.server_threads; ++i) {
+      workers_.push_back(std::make_unique<Worker>(*this, i));
+      engine.AddThread(workers_.back().get());
+    }
+  }
+}
+
+uint64_t FlexKvs::BucketOf(uint64_t key) const { return Mix64(key * 31 + 11) % num_buckets_; }
+
+uint32_t FlexKvs::SegmentIndexOf(uint64_t va) const {
+  return static_cast<uint32_t>((va - log_region_) / config_.segment_bytes);
+}
+
+void FlexKvs::ChargeChainWalk(SimThread& thread, uint64_t bucket, uint32_t chain_pos,
+                              AccessKind kind) {
+  // Reaching slot `chain_pos` touches 1 + chain_pos / kEntriesPerBlock chain
+  // blocks. Chain overflow blocks live adjacent in the hash region (modeled
+  // at deterministic offsets past the bucket array).
+  const uint32_t blocks = 1 + chain_pos / kEntriesPerBlock;
+  stats_.chain_blocks_walked += blocks;
+  for (uint32_t b = 0; b < blocks; ++b) {
+    // Overflow blocks live at deterministic slots elsewhere in the hash
+    // region; only the final block is written on updates.
+    const uint64_t slot = b == 0 ? bucket : Mix64(bucket + b * 0x10001) % num_buckets_;
+    const AccessKind k = (b + 1 == blocks) ? kind : AccessKind::kLoad;
+    manager_.Access(thread, hash_region_ + slot * kBlockBytes, kBlockBytes, k);
+  }
+}
+
+std::optional<uint64_t> FlexKvs::AppendItem(SimThread& thread, int server_thread,
+                                            uint64_t key) {
+  uint32_t& active = active_segment_[static_cast<size_t>(server_thread)];
+  if (active == UINT32_MAX ||
+      segments_[active].used + item_bytes_ > config_.segment_bytes) {
+    if (free_segments_.size() <=
+        kCleanLowWater * static_cast<uint32_t>(config_.server_threads)) {
+      CleanSegments(thread, server_thread);
+    }
+    if (free_segments_.empty()) {
+      return std::nullopt;
+    }
+    active = free_segments_.back();
+    free_segments_.pop_back();
+    segments_[active].used = 0;
+    segments_[active].dead = 0;
+    segments_[active].resident_keys.clear();
+  }
+  Segment& segment = segments_[active];
+  const uint64_t va = segment.base + segment.used;
+  segment.used += item_bytes_;
+  segment.resident_keys.push_back(key);
+  return va;
+}
+
+void FlexKvs::CleanSegments(SimThread& thread, int server_thread) {
+  if (cleaning_) {
+    return;  // relocation appends must not recurse into the cleaner
+  }
+  cleaning_ = true;
+  const uint32_t target = kCleanHighWater * static_cast<uint32_t>(config_.server_threads);
+  while (free_segments_.size() < target) {
+    // Pick the fullest-of-dead sealed segment.
+    uint32_t best = UINT32_MAX;
+    uint64_t best_dead = 0;
+    for (uint32_t i = 0; i < segments_.size(); ++i) {
+      const bool active_now =
+          std::find(active_segment_.begin(), active_segment_.end(), i) !=
+          active_segment_.end();
+      const bool free_now =
+          std::find(free_segments_.begin(), free_segments_.end(), i) != free_segments_.end();
+      if (active_now || free_now || segments_[i].used == 0) {
+        continue;
+      }
+      if (segments_[i].dead >= best_dead) {
+        best_dead = segments_[i].dead;
+        best = i;
+      }
+    }
+    if (best == UINT32_MAX || best_dead == 0) {
+      break;  // nothing reclaimable
+    }
+    Segment& victim = segments_[best];
+    // Relocate live items: read them out, append elsewhere, fix the index.
+    for (const uint64_t key : victim.resident_keys) {
+      ItemLoc& loc = items_[key];
+      if (!loc.present || SegmentIndexOf(loc.va) != best) {
+        continue;  // dead or already superseded
+      }
+      manager_.Access(thread, loc.va, static_cast<uint32_t>(item_bytes_), AccessKind::kLoad);
+      const std::optional<uint64_t> dst = AppendItem(thread, server_thread, key);
+      if (!dst.has_value()) {
+        cleaning_ = false;
+        return;  // log completely full; give up
+      }
+      manager_.Access(thread, *dst, static_cast<uint32_t>(item_bytes_), AccessKind::kStore);
+      log_truth_.erase(loc.va);
+      log_truth_[*dst] = {key, loc.version};
+      loc.va = *dst;
+      const uint64_t bucket = BucketOf(key);
+      ChargeChainWalk(thread, bucket, loc.chain_pos, AccessKind::kStore);
+      stats_.items_relocated++;
+    }
+    victim.used = 0;
+    victim.dead = 0;
+    victim.resident_keys.clear();
+    free_segments_.push_back(best);
+    stats_.segments_cleaned++;
+  }
+  cleaning_ = false;
+}
+
+bool FlexKvs::Get(SimThread& thread, uint64_t key, uint64_t* version_out) {
+  stats_.gets++;
+  ItemLoc& loc = items_[key];
+  const uint64_t bucket = BucketOf(key);
+  if (!loc.present) {
+    // Full chain walk required to conclude a miss.
+    ChargeChainWalk(thread, bucket, bucket_count_[bucket], AccessKind::kLoad);
+    stats_.get_misses++;
+    return false;
+  }
+  ChargeChainWalk(thread, bucket, loc.chain_pos, AccessKind::kLoad);
+  manager_.Access(thread, loc.va, static_cast<uint32_t>(item_bytes_), AccessKind::kLoad);
+  // Verify the log address resolves to the promised item (catches index or
+  // cleaner bugs immediately).
+  const auto truth = log_truth_.find(loc.va);
+  assert(truth != log_truth_.end() && truth->second.first == key &&
+         truth->second.second == loc.version);
+  (void)truth;
+  if (version_out != nullptr) {
+    *version_out = loc.version;
+  }
+  return true;
+}
+
+bool FlexKvs::Del(SimThread& thread, uint64_t key) {
+  stats_.dels++;
+  ItemLoc& loc = items_[key];
+  const uint64_t bucket = BucketOf(key);
+  if (!loc.present) {
+    ChargeChainWalk(thread, bucket, bucket_count_[bucket], AccessKind::kLoad);
+    return false;
+  }
+  // Unlink from the chain (write the owning block) and tombstone the item.
+  ChargeChainWalk(thread, bucket, loc.chain_pos, AccessKind::kStore);
+  manager_.Access(thread, loc.va, 64, AccessKind::kStore);  // header tombstone
+  segments_[SegmentIndexOf(loc.va)].dead += item_bytes_;
+  log_truth_.erase(loc.va);
+  loc.present = false;
+  loc.version = 0;
+  return true;
+}
+
+bool FlexKvs::Set(SimThread& thread, int server_thread, uint64_t key) {
+  stats_.sets++;
+  const std::optional<uint64_t> va = AppendItem(thread, server_thread, key);
+  if (!va.has_value()) {
+    return false;
+  }
+  // Item body streams into the log (header + key + value, sequential).
+  manager_.Access(thread, *va, static_cast<uint32_t>(item_bytes_), AccessKind::kStore);
+
+  ItemLoc& loc = items_[key];
+  const uint64_t bucket = BucketOf(key);
+  if (loc.present) {
+    // Supersede: old location becomes garbage.
+    Segment& old_seg = segments_[SegmentIndexOf(loc.va)];
+    old_seg.dead += item_bytes_;
+    log_truth_.erase(loc.va);
+  } else {
+    loc.chain_pos = bucket_count_[bucket]++;
+  }
+  loc.va = *va;
+  loc.version++;
+  loc.present = true;
+  log_truth_[loc.va] = {key, loc.version};
+  ChargeChainWalk(thread, bucket, loc.chain_pos, AccessKind::kStore);
+  return true;
+}
+
+void FlexKvs::LoadAll(SimThread& loader) {
+  if (!config_.bulk_load) {
+    for (uint64_t key = 0; key < config_.num_keys; ++key) {
+      const bool ok = Set(loader, 0, key);
+      assert(ok && "log sized too small for the dataset");
+      (void)ok;
+    }
+    loaded_ = true;
+    return;
+  }
+  // Bulk path: lay items out exactly as the Set path would, but charge the
+  // log as streaming segment-sized writes and the index as one bulk fill.
+  uint64_t pending_segment_bytes = 0;
+  uint64_t segment_charge_base = 0;
+  for (uint64_t key = 0; key < config_.num_keys; ++key) {
+    const std::optional<uint64_t> va = AppendItem(loader, /*server_thread=*/0, key);
+    assert(va.has_value() && "log sized too small for the dataset");
+    if (pending_segment_bytes == 0) {
+      segment_charge_base = *va;
+    }
+    pending_segment_bytes += item_bytes_;
+    if (pending_segment_bytes + item_bytes_ > config_.segment_bytes ||
+        key + 1 == config_.num_keys) {
+      manager_.Access(loader, segment_charge_base,
+                      static_cast<uint32_t>(pending_segment_bytes), AccessKind::kStore);
+      pending_segment_bytes = 0;
+    }
+    ItemLoc& loc = items_[key];
+    const uint64_t bucket = BucketOf(key);
+    loc.chain_pos = bucket_count_[bucket]++;
+    loc.va = *va;
+    loc.version = 1;
+    loc.present = true;
+    log_truth_[loc.va] = {key, 1};
+    stats_.sets++;
+  }
+  // Index bulk fill.
+  uint64_t offset = 0;
+  const uint64_t hash_bytes = num_buckets_ * kBlockBytes;
+  while (offset < hash_bytes) {
+    const auto chunk = static_cast<uint32_t>(std::min<uint64_t>(hash_bytes - offset, MiB(1)));
+    manager_.Access(loader, hash_region_ + offset, chunk, AccessKind::kStore);
+    offset += chunk;
+  }
+  loaded_ = true;
+}
+
+KvsResult FlexKvs::Run(SimTime deadline) {
+  Engine& engine = manager_.machine().engine();
+  engine.Run(deadline);
+
+  KvsResult result;
+  SimTime start = std::numeric_limits<SimTime>::max();
+  SimTime end = 0;
+  for (const auto& worker : workers_) {
+    result.total_requests += worker->completed();
+    result.latency.Merge(worker->latency());
+    start = std::min(start, worker->measure_start());
+    end = std::max(end, worker->measure_end());
+  }
+  result.elapsed = std::max<SimTime>(end - start, 1);
+  result.mops = static_cast<double>(result.total_requests) * 1e3 /
+                static_cast<double>(result.elapsed);
+  return result;
+}
+
+}  // namespace hemem

@@ -1,0 +1,171 @@
+// FlexKVS: a Memcached-compatible in-memory key-value store (Section 5.2.2).
+//
+// Faithful to the design the paper describes: items live in a *segmented
+// log* (log-structured allocation reduces synchronization: each server
+// thread appends to its own active segment) and are indexed by a *block
+// chain hash table* (buckets are cache-line blocks holding several entries;
+// overflow extends the chain by another block — MICA-style, minimizing
+// coherence traffic per lookup).
+//
+// The store is a real key-value store over the simulated address space:
+// every GET walks the bucket chain and reads the item; every SET appends a
+// new item version, updates the index, and marks the old version dead; a
+// segment cleaner relocates live items out of the dirtiest segments when
+// free segments run low. Values are synthetic (content derived
+// deterministically from key and version) so that hundreds of simulated GB
+// cost no host memory, but the index, log discipline, and GC are fully
+// materialized and verified: a GET checks that the item it addressed in the
+// log is the version the index promised.
+//
+// Workload: the paper's client mix — GET/SET 90/10, 20% of keys hot and
+// taking 90% of accesses, per-request latency including a network RTT, and
+// an open-loop `load` knob for the 30%-load latency experiment.
+
+#ifndef HEMEM_APPS_FLEXKVS_H_
+#define HEMEM_APPS_FLEXKVS_H_
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "tier/manager.h"
+
+namespace hemem {
+
+struct KvsConfig {
+  uint64_t num_keys = 100'000;
+  uint32_t value_bytes = 4096;
+  int server_threads = 8;
+  uint64_t requests_per_thread = 100'000;
+  uint64_t warmup_requests_per_thread = 0;
+
+  double get_fraction = 0.9;
+  double del_fraction = 0.0;  // of the non-GET share, fraction that DELETEs
+  // Hot subset: `hot_key_fraction` of keys receive `hot_access_fraction` of
+  // requests. Set hot_key_fraction to 0 for uniform access.
+  double hot_key_fraction = 0.2;
+  double hot_access_fraction = 0.9;
+  // Alternative key popularity: a Zipf(theta) distribution over the key
+  // space (YCSB-style). When > 0, replaces the two-level hot/cold model.
+  double zipf_theta = 0.0;
+
+  uint64_t segment_bytes = MiB(1);
+  double log_overprovision = 1.6;  // log capacity / live dataset
+  std::optional<Tier> pin_tier;    // priority instance pins its memory
+
+  SimTime net_rtt = 10 * kMicrosecond;  // client network round trip
+  double load = 1.0;  // open-loop offered load (1.0 = closed loop)
+  SimTime compute_per_request = 300;  // request parsing / hashing / response
+
+  uint64_t seed = 7;
+  std::string label = "kvs";
+  // Bulk load: the initial dataset streams into the log as large sequential
+  // writes (prefill-from-disk) instead of item-by-item Sets. Identical final
+  // layout; much cheaper to simulate. Tests use the slow path.
+  bool bulk_load = false;
+};
+
+struct KvsStats {
+  uint64_t gets = 0;
+  uint64_t sets = 0;
+  uint64_t dels = 0;
+  uint64_t get_misses = 0;
+  uint64_t chain_blocks_walked = 0;
+  uint64_t segments_cleaned = 0;
+  uint64_t items_relocated = 0;
+};
+
+struct KvsResult {
+  double mops = 0.0;  // million operations per simulated second
+  SimTime elapsed = 0;
+  uint64_t total_requests = 0;
+  Histogram latency;  // microseconds, includes net_rtt
+};
+
+class FlexKvs {
+ public:
+  FlexKvs(TieredMemoryManager& manager, KvsConfig config);
+  ~FlexKvs();
+
+  // Allocates log + index regions and registers loader/worker threads.
+  void Prepare();
+
+  // Runs load phase + workload; returns throughput and latency.
+  KvsResult Run(SimTime deadline = std::numeric_limits<SimTime>::max());
+
+  const KvsStats& kvs_stats() const { return stats_; }
+
+  // Core operations (public for tests and for multi-instance benches).
+  // Returns false on a missing key (Get/Del) / failed allocation (Set).
+  bool Get(SimThread& thread, uint64_t key, uint64_t* version_out = nullptr);
+  bool Set(SimThread& thread, int server_thread, uint64_t key);
+  bool Del(SimThread& thread, uint64_t key);
+
+  uint64_t item_bytes() const { return item_bytes_; }
+  const KvsConfig& config() const { return config_; }
+
+  // Allocates regions and bulk-loads every key via `loader` (charged).
+  void LoadAll(SimThread& loader);
+
+ private:
+  class Worker;
+
+  static constexpr uint64_t kBlockBytes = 64;    // one cache line per chain block
+  static constexpr uint32_t kEntriesPerBlock = 7;  // MICA-style block chain
+
+  struct ItemLoc {
+    uint64_t va = 0;
+    uint64_t version = 0;
+    uint32_t chain_pos = 0;  // slot within the bucket chain
+    bool present = false;
+  };
+
+  struct Segment {
+    uint64_t base = 0;
+    uint64_t used = 0;
+    uint64_t dead = 0;
+    std::vector<uint64_t> resident_keys;  // lazily maintained
+  };
+
+  uint64_t BucketOf(uint64_t key) const;
+  // Charges the bucket-chain walk for reaching `chain_pos`.
+  void ChargeChainWalk(SimThread& thread, uint64_t bucket, uint32_t chain_pos,
+                       AccessKind kind);
+  // Appends a new item for `key`; returns its va or nullopt when the log is
+  // full even after cleaning.
+  std::optional<uint64_t> AppendItem(SimThread& thread, int server_thread, uint64_t key);
+  void CleanSegments(SimThread& thread, int server_thread);
+  uint32_t SegmentIndexOf(uint64_t va) const;
+
+  TieredMemoryManager& manager_;
+  KvsConfig config_;
+  uint64_t item_bytes_;
+  uint64_t num_buckets_;
+  uint64_t hash_region_ = 0;
+  uint64_t log_region_ = 0;
+  uint64_t log_bytes_ = 0;
+
+  std::vector<ItemLoc> items_;           // per key
+  std::vector<uint32_t> bucket_count_;   // entries per bucket chain
+  std::vector<Segment> segments_;
+  std::vector<uint32_t> free_segments_;
+  std::vector<uint32_t> active_segment_;  // per server thread
+  // Ground truth for verification: log offset -> (key, version).
+  std::unordered_map<uint64_t, std::pair<uint64_t, uint64_t>> log_truth_;
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  KvsStats stats_;
+  bool loaded_ = false;
+  bool cleaning_ = false;
+};
+
+}  // namespace hemem
+
+#endif  // HEMEM_APPS_FLEXKVS_H_

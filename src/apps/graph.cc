@@ -1,0 +1,120 @@
+#include "apps/graph.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hemem {
+
+CsrGraph GenerateKronecker(const KroneckerConfig& config) {
+  const uint64_t n = 1ull << config.scale;
+  const uint64_t m = n * static_cast<uint64_t>(config.average_degree);
+  Rng rng(Mix64(config.seed));
+
+  std::vector<std::pair<uint32_t, uint32_t>> edges;
+  edges.reserve(m);
+  for (uint64_t e = 0; e < m; ++e) {
+    uint64_t src = 0;
+    uint64_t dst = 0;
+    for (int bit = 0; bit < config.scale; ++bit) {
+      const double r = rng.NextDouble();
+      // Quadrant selection per RMAT: (0,0)=a, (0,1)=b, (1,0)=c, (1,1)=rest.
+      uint64_t sbit = 0;
+      uint64_t dbit = 0;
+      if (r < config.a) {
+        // top-left
+      } else if (r < config.a + config.b) {
+        dbit = 1;
+      } else if (r < config.a + config.b + config.c) {
+        sbit = 1;
+      } else {
+        sbit = 1;
+        dbit = 1;
+      }
+      src = (src << 1) | sbit;
+      dst = (dst << 1) | dbit;
+    }
+    if (src == dst) {
+      continue;  // drop self-loops
+    }
+    edges.emplace_back(static_cast<uint32_t>(src), static_cast<uint32_t>(dst));
+  }
+
+  // Build CSR via counting sort on source vertex.
+  CsrGraph graph;
+  graph.num_vertices = n;
+  graph.num_edges = edges.size();
+  graph.offsets.assign(n + 1, 0);
+  for (const auto& [src, dst] : edges) {
+    graph.offsets[src + 1]++;
+  }
+  for (uint64_t v = 0; v < n; ++v) {
+    graph.offsets[v + 1] += graph.offsets[v];
+  }
+  graph.neighbors.resize(edges.size());
+  std::vector<uint64_t> cursor(graph.offsets.begin(), graph.offsets.end() - 1);
+  for (const auto& [src, dst] : edges) {
+    graph.neighbors[cursor[src]++] = dst;
+  }
+  return graph;
+}
+
+SimGraph::SimGraph(TieredMemoryManager& manager, const CsrGraph& graph)
+    : manager_(manager), graph_(graph) {
+  offsets_region_ =
+      manager_.Mmap((graph.num_vertices + 1) * sizeof(uint64_t), {.label = "gap-offsets"});
+  neighbors_region_ =
+      manager_.Mmap(std::max<uint64_t>(graph.num_edges, 1) * sizeof(uint32_t),
+                    {.label = "gap-neighbors"});
+}
+
+void SimGraph::Prefill(SimThread& thread) {
+  const auto stream = [&](uint64_t base, uint64_t bytes) {
+    uint64_t offset = 0;
+    while (offset < bytes) {
+      const auto chunk = static_cast<uint32_t>(std::min<uint64_t>(bytes - offset, MiB(1)));
+      manager_.Access(thread, base + offset, chunk, AccessKind::kStore);
+      offset += chunk;
+    }
+  };
+  stream(offsets_region_, (graph_.num_vertices + 1) * sizeof(uint64_t));
+  stream(neighbors_region_, std::max<uint64_t>(graph_.num_edges, 1) * sizeof(uint32_t));
+}
+
+const uint32_t* SimGraph::Neighbors(SimThread& thread, uint64_t v, uint64_t* degree_out) {
+  const uint64_t degree = graph_.Degree(v);
+  *degree_out = degree;
+  manager_.Access(thread, offsets_region_ + v * sizeof(uint64_t), sizeof(uint64_t),
+                  AccessKind::kLoad);
+  if (degree > 0) {
+    manager_.Access(thread, neighbors_region_ + graph_.offsets[v] * sizeof(uint32_t),
+                    static_cast<uint32_t>(degree * sizeof(uint32_t)), AccessKind::kLoad);
+  }
+  return graph_.neighbors.data() + graph_.offsets[v];
+}
+
+SimGraph::VertexArray::VertexArray(SimGraph& graph, uint32_t element_bytes, const char* label)
+    : manager_(&graph.manager()),
+      base_(graph.manager().Mmap(graph.num_vertices() * element_bytes, {.label = label})),
+      element_bytes_(element_bytes) {}
+
+void SimGraph::VertexArray::Read(SimThread& thread, uint64_t v) {
+  manager_->Access(thread, base_ + v * element_bytes_, element_bytes_, AccessKind::kLoad);
+}
+
+void SimGraph::VertexArray::Write(SimThread& thread, uint64_t v) {
+  manager_->Access(thread, base_ + v * element_bytes_, element_bytes_, AccessKind::kStore);
+}
+
+void SimGraph::VertexArray::WriteRange(SimThread& thread, uint64_t v, uint64_t count) {
+  uint64_t offset = v * element_bytes_;
+  uint64_t remaining = count * element_bytes_;
+  // Chunked so one call cannot exceed the 32-bit access-size interface.
+  while (remaining > 0) {
+    const auto chunk = static_cast<uint32_t>(std::min<uint64_t>(remaining, MiB(1)));
+    manager_->Access(thread, base_ + offset, chunk, AccessKind::kStore);
+    offset += chunk;
+    remaining -= chunk;
+  }
+}
+
+}  // namespace hemem

@@ -1,0 +1,99 @@
+// GAP benchmark substrate: Kronecker (RMAT) graph generation and CSR layout
+// in tiered memory.
+//
+// GAP's synthetic input is a Kronecker power-law graph with average degree
+// 16 (Graph500 parameters A=0.57, B=0.19, C=0.19). Power-law graphs have
+// locality — high-degree vertices are traversed disproportionately often —
+// which is precisely the property that lets page-granularity tiering win on
+// graph workloads (paper Section 5.2.3).
+//
+// The graph is built for real on the host (CSR arrays with genuine
+// topology), then laid out in simulated regions; traversals charge
+// per-element accesses through the tiering manager: offset reads are random
+// 8 B loads, neighbor-list scans are sequential block reads, and per-vertex
+// algorithm state (depths, path counts, dependencies) is randomly
+// read/written — write-heavy, exactly the pattern the paper calls costly
+// on NVM.
+
+#ifndef HEMEM_APPS_GRAPH_H_
+#define HEMEM_APPS_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "tier/manager.h"
+
+namespace hemem {
+
+struct KroneckerConfig {
+  int scale = 16;           // 2^scale vertices
+  int average_degree = 16;  // edges = vertices * average_degree
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;
+  uint64_t seed = 12;
+};
+
+// Host-side CSR graph (directed edges stored once; traversal treats the
+// graph as directed, as GAP's generator emits).
+struct CsrGraph {
+  uint64_t num_vertices = 0;
+  uint64_t num_edges = 0;
+  std::vector<uint64_t> offsets;    // num_vertices + 1
+  std::vector<uint32_t> neighbors;  // num_edges
+
+  uint64_t Degree(uint64_t v) const { return offsets[v + 1] - offsets[v]; }
+};
+
+// Generates a Kronecker graph (RMAT edge sampling, self-loops dropped,
+// duplicates kept as in Graph500).
+CsrGraph GenerateKronecker(const KroneckerConfig& config);
+
+// A CSR graph mapped into tiered memory, with charged accessors.
+class SimGraph {
+ public:
+  SimGraph(TieredMemoryManager& manager, const CsrGraph& graph);
+
+  // Streams the CSR arrays into memory (the graph build/load phase). GAP
+  // constructs the graph before any kernel runs, so its pages fault in first
+  // and the per-iteration algorithm state must be placed later.
+  void Prefill(SimThread& thread);
+
+  // Charged reads: one 8 B offsets access + one sequential block read of the
+  // neighbor list. Returns the host-side adjacency span.
+  const uint32_t* Neighbors(SimThread& thread, uint64_t v, uint64_t* degree_out);
+
+  uint64_t num_vertices() const { return graph_.num_vertices; }
+  uint64_t num_edges() const { return graph_.num_edges; }
+  const CsrGraph& csr() const { return graph_; }
+  TieredMemoryManager& manager() { return manager_; }
+
+  // Auxiliary per-vertex array carved from a dedicated region; element
+  // accesses are charged at `element_bytes` granularity.
+  class VertexArray {
+   public:
+    VertexArray() = default;
+    VertexArray(SimGraph& graph, uint32_t element_bytes, const char* label);
+
+    void Read(SimThread& thread, uint64_t v);
+    void Write(SimThread& thread, uint64_t v);
+    // Bulk sequential write of `count` elements starting at `v` (resets).
+    void WriteRange(SimThread& thread, uint64_t v, uint64_t count);
+
+   private:
+    TieredMemoryManager* manager_ = nullptr;
+    uint64_t base_ = 0;
+    uint32_t element_bytes_ = 0;
+  };
+
+ private:
+  TieredMemoryManager& manager_;
+  const CsrGraph& graph_;
+  uint64_t offsets_region_ = 0;
+  uint64_t neighbors_region_ = 0;
+};
+
+}  // namespace hemem
+
+#endif  // HEMEM_APPS_GRAPH_H_

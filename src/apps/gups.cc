@@ -1,0 +1,270 @@
+#include "apps/gups.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hemem {
+
+namespace {
+// One update per engine slice: threads must interleave at operation
+// granularity or their channel reservations serialize behind each other.
+constexpr uint64_t kOpsPerSlice = 1;
+}  // namespace
+
+class GupsBenchmark::Worker : public SimThread {
+ public:
+  Worker(GupsBenchmark& bench, int index, uint64_t part_base, uint64_t part_bytes)
+      : SimThread("gups-" + std::to_string(index)),
+        bench_(bench),
+        rng_(Mix64(bench.config_.seed) ^ static_cast<uint64_t>(index) * 0xabcd1234ull),
+        part_base_(part_base),
+        part_bytes_(part_bytes) {
+    const GupsConfig& config = bench_.config_;
+    if (config.split_hot_region) {
+      // Split layout: this thread's hot slice lives in the dedicated hot
+      // region; part_base_/part_bytes_ describe its cold slice.
+      const uint64_t hot_part = config.hot_set / static_cast<uint64_t>(config.threads);
+      hot_part_base_ = bench_.hot_base_ + static_cast<uint64_t>(index) * hot_part;
+      hot_part_bytes_ = hot_part;
+      write_only_bytes_ = static_cast<uint64_t>(config.write_only_hot_fraction *
+                                                static_cast<double>(hot_part));
+      remaining_warmup_ = config.warmup_updates_per_thread;
+      remaining_ = config.updates_per_thread;
+      return;
+    }
+    if (config.hot_set > 0) {
+      const uint64_t page = bench_.manager_.machine().page_bytes();
+      if (config.hot_chunk_bytes != 0) {
+        chunk_bytes_ = config.hot_chunk_bytes;
+      } else if (config.hot_set / static_cast<uint64_t>(config.threads) >= 4 * page) {
+        // Enough chunks per thread at page granularity: no dilution.
+        chunk_bytes_ = page;
+      } else {
+        // Small hot sets: sub-page chunks so each thread still holds several
+        // (one or two page-sized chunks per thread makes a thread's initial
+        // DRAM/NVM placement binary — a miniaturization artifact). The page
+        // footprint dilates by at most 4x, which small hot sets afford.
+        chunk_bytes_ = std::max<uint64_t>(page / 4, config.object_bytes);
+      }
+      const uint64_t chunks = part_bytes_ / chunk_bytes_;
+      uint64_t hot_chunks =
+          config.hot_set / static_cast<uint64_t>(config.threads) / chunk_bytes_;
+      hot_chunks = std::clamp<uint64_t>(hot_chunks, 1, chunks);
+      // A random, non-consecutive subset of the partition's chunks is hot.
+      Rng layout_rng(Mix64(config.seed ^ 0x777) + static_cast<uint64_t>(index));
+      std::vector<uint64_t> perm = RandomPermutation(chunks, layout_rng);
+      hot_.assign(perm.begin(), perm.begin() + static_cast<long>(hot_chunks));
+      cold_.assign(perm.begin() + static_cast<long>(hot_chunks), perm.end());
+      write_only_chunks_ = static_cast<uint64_t>(config.write_only_hot_fraction *
+                                                 static_cast<double>(hot_chunks));
+    }
+    remaining_warmup_ = config.warmup_updates_per_thread;
+    remaining_ = config.updates_per_thread;
+    if (config.prefill) {
+      const uint64_t page = bench_.manager_.machine().page_bytes();
+      prefill_total_ = (hot_part_bytes_ + part_bytes_) / page;
+      prefill_remaining_ = prefill_total_;
+    }
+  }
+
+  bool RunSlice() override {
+    if (prefill_remaining_ > 0) {
+      DoPrefillTouch();
+      return true;
+    }
+    for (uint64_t i = 0; i < kOpsPerSlice; ++i) {
+      const bool warm = remaining_warmup_ == 0 && now() >= bench_.config_.measure_after;
+      if (warm && !measuring_) {
+        measuring_ = true;
+        measure_start_ = now();
+      }
+      if (measuring_ && remaining_ == 0) {
+        measure_end_ = now();
+        return false;
+      }
+      DoUpdate();
+      if (remaining_warmup_ > 0) {
+        remaining_warmup_--;
+      } else if (measuring_) {
+        remaining_--;
+        completed_++;
+      }
+      bench_.series_.Record(now());
+    }
+    return true;
+  }
+
+  uint64_t completed() const { return completed_; }
+  SimTime measure_start() const { return measure_start_; }
+  SimTime measure_end() const { return measure_end_ == 0 ? now() : measure_end_; }
+
+ private:
+  void DoPrefillTouch() {
+    // One store per page, hot slice first, then the cold slice.
+    const uint64_t page = bench_.manager_.machine().page_bytes();
+    const uint64_t hot_pages = hot_part_bytes_ / page;
+    const uint64_t offset = prefill_total_ - prefill_remaining_;
+    const uint64_t addr = offset < hot_pages
+                              ? hot_part_base_ + offset * page
+                              : part_base_ + (offset - hot_pages) * page;
+    bench_.manager_.Access(*this, addr, 8, AccessKind::kStore);
+    prefill_remaining_--;
+  }
+
+  void DoUpdate() {
+    const GupsConfig& config = bench_.config_;
+    if (config.split_hot_region) {
+      DoSplitUpdate();
+      return;
+    }
+    if (config.shift_at > 0 && !shifted_ && now() >= config.shift_at) {
+      ShiftHotSet();
+    }
+
+    const uint64_t obj = config.object_bytes;
+    bool to_hot = false;
+    uint64_t chunk = 0;
+    uint64_t addr;
+    if (!hot_.empty() && rng_.NextBool(config.hot_fraction)) {
+      to_hot = true;
+      const uint64_t pick = rng_.NextBounded(hot_.size());
+      chunk = pick;
+      const uint64_t off = rng_.NextBounded(chunk_bytes_ / obj) * obj;
+      addr = part_base_ + hot_[pick] * chunk_bytes_ + off;
+    } else {
+      addr = part_base_ + rng_.NextBounded(part_bytes_ / obj) * obj;
+    }
+
+    TieredMemoryManager& manager = bench_.manager_;
+    const auto size = static_cast<uint32_t>(obj);
+    if (config.write_only_hot_fraction > 0.0) {
+      // Asymmetric variant: write-only hot chunks take pure stores, all
+      // other locations pure loads.
+      if (to_hot && chunk < write_only_chunks_) {
+        manager.Access(*this, addr, size, AccessKind::kStore);
+      } else {
+        manager.Access(*this, addr, size, AccessKind::kLoad);
+      }
+    } else {
+      manager.Update(*this, addr, size);
+    }
+    ChargeCompute(config.compute_per_update);
+  }
+
+  void DoSplitUpdate() {
+    const GupsConfig& config = bench_.config_;
+    const uint64_t obj = config.object_bytes;
+    TieredMemoryManager& manager = bench_.manager_;
+    const auto size = static_cast<uint32_t>(obj);
+
+    bool in_hot = false;
+    uint64_t hot_off = 0;
+    uint64_t addr;
+    if (hot_part_bytes_ > 0 && rng_.NextBool(config.hot_fraction)) {
+      in_hot = true;
+      hot_off = rng_.NextBounded(hot_part_bytes_ / obj) * obj;
+      addr = hot_part_base_ + hot_off;
+    } else {
+      // Uniform over the whole per-thread slice (hot + cold).
+      const uint64_t off = rng_.NextBounded((hot_part_bytes_ + part_bytes_) / obj) * obj;
+      if (off < hot_part_bytes_) {
+        in_hot = true;
+        hot_off = off;
+        addr = hot_part_base_ + off;
+      } else {
+        addr = part_base_ + (off - hot_part_bytes_);
+      }
+    }
+    if (config.write_only_hot_fraction > 0.0) {
+      const AccessKind kind = in_hot && hot_off < write_only_bytes_ ? AccessKind::kStore
+                                                                    : AccessKind::kLoad;
+      manager.Access(*this, addr, size, kind);
+    } else {
+      manager.Update(*this, addr, size);
+    }
+    ChargeCompute(config.compute_per_update);
+  }
+
+  void ShiftHotSet() {
+    shifted_ = true;
+    const GupsConfig& config = bench_.config_;
+    uint64_t n = config.shift_bytes / static_cast<uint64_t>(config.threads) / chunk_bytes_;
+    n = std::min<uint64_t>({n, hot_.size(), cold_.size()});
+    for (uint64_t i = 0; i < n; ++i) {
+      std::swap(hot_[i], cold_[i]);
+    }
+  }
+
+  GupsBenchmark& bench_;
+  Rng rng_;
+  uint64_t part_base_;
+  uint64_t part_bytes_;
+  uint64_t chunk_bytes_ = 0;
+  std::vector<uint64_t> hot_;
+  std::vector<uint64_t> cold_;
+  uint64_t write_only_chunks_ = 0;
+  // Split-layout state.
+  uint64_t hot_part_base_ = 0;
+  uint64_t hot_part_bytes_ = 0;
+  uint64_t write_only_bytes_ = 0;
+
+  uint64_t prefill_total_ = 0;
+  uint64_t prefill_remaining_ = 0;
+  uint64_t remaining_warmup_ = 0;
+  uint64_t remaining_ = 0;
+  uint64_t completed_ = 0;
+  bool measuring_ = false;
+  bool shifted_ = false;
+  SimTime measure_start_ = 0;
+  SimTime measure_end_ = 0;
+};
+
+GupsBenchmark::GupsBenchmark(TieredMemoryManager& manager, GupsConfig config)
+    : manager_(manager), config_(config), series_(config.series_bucket) {
+  assert(config_.threads > 0 && config_.working_set > 0);
+}
+
+GupsBenchmark::~GupsBenchmark() = default;
+
+void GupsBenchmark::Prepare() {
+  uint64_t cold_bytes = config_.working_set;
+  if (config_.split_hot_region) {
+    assert(config_.shift_at == 0 && "split layout does not support shifting");
+    cold_bytes -= config_.hot_set;
+    hot_base_ = manager_.Mmap(config_.hot_set, AllocOptions{.label = "gups-hot",
+                                                            .prefer_tier =
+                                                                config_.hot_region_hint});
+    base_va_ = manager_.Mmap(cold_bytes, AllocOptions{.label = "gups-cold",
+                                                      .prefer_tier =
+                                                          config_.cold_region_hint});
+  } else {
+    base_va_ = manager_.Mmap(config_.working_set, AllocOptions{.label = "gups-ws"});
+  }
+  const uint64_t part = cold_bytes / static_cast<uint64_t>(config_.threads);
+  Engine& engine = manager_.machine().engine();
+  for (int i = 0; i < config_.threads; ++i) {
+    workers_.push_back(std::make_unique<Worker>(
+        *this, i, base_va_ + static_cast<uint64_t>(i) * part, part));
+    engine.AddThread(workers_.back().get());
+  }
+}
+
+GupsResult GupsBenchmark::Run(SimTime deadline) {
+  Engine& engine = manager_.machine().engine();
+  engine.Run(deadline);
+
+  GupsResult result;
+  SimTime start = std::numeric_limits<SimTime>::max();
+  SimTime end = 0;
+  for (const auto& worker : workers_) {
+    result.total_updates += worker->completed();
+    start = std::min(start, worker->measure_start());
+    end = std::max(end, worker->measure_end());
+  }
+  result.elapsed = std::max<SimTime>(end - start, 1);
+  result.gups = static_cast<double>(result.total_updates) /
+                static_cast<double>(result.elapsed);  // updates/ns == G updates/s
+  return result;
+}
+
+}  // namespace hemem

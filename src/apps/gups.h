@@ -1,0 +1,110 @@
+// GUPS (Giga Updates Per Second) microbenchmark.
+//
+// The paper's primary microbenchmark (Section 5.1): N threads perform
+// read-modify-write updates to fixed-size objects within per-thread
+// partitions of a shared working set. Variants exercised here:
+//
+//   * uniform random over the whole partition (Figure 5),
+//   * hot/cold: a random, non-consecutive hot subset receives
+//     `hot_fraction` (90%) of operations (Figure 6),
+//   * dynamic hot set: at `shift_at`, part of the hot set goes cold and an
+//     equal amount of cold data becomes hot (Figures 9 and 12),
+//   * asymmetric read/write skew: part of the hot set is write-only and the
+//     rest of the working set read-only (Table 2).
+//
+// The working set is synthetic — accesses are charged through the tiering
+// manager but no payload bytes are materialized — which is what lets the
+// benchmark address hundreds of simulated gigabytes.
+
+#ifndef HEMEM_APPS_GUPS_H_
+#define HEMEM_APPS_GUPS_H_
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/time_series.h"
+#include "tier/manager.h"
+
+namespace hemem {
+
+struct GupsConfig {
+  int threads = 16;
+  uint64_t working_set = 0;  // bytes (already machine-scale)
+  uint64_t object_bytes = 8;
+  uint64_t updates_per_thread = 1'000'000;
+  uint64_t warmup_updates_per_thread = 0;
+  // Time-based warmup: counting starts once the simulated clock passes this
+  // (combined with the count-based warmup; both must be satisfied). Used by
+  // the benches together with a Run() deadline for fixed-window measurement.
+  SimTime measure_after = 0;
+
+  // Touch every page of the partition once before issuing updates (the
+  // paper's workloads allocate large ranges at start and prefill them from
+  // disk). Keeps demand faults out of the measured phase.
+  bool prefill = true;
+
+  // Hot-set variant: 0 disables (uniform access).
+  uint64_t hot_set = 0;       // aggregate bytes
+  double hot_fraction = 0.9;  // probability an op targets the hot set
+  // Granularity of the random hot subset (0 = the machine's page size).
+  uint64_t hot_chunk_bytes = 0;
+
+  // Dynamic variant: at shift_at, shift_bytes of hot becomes cold & vice versa.
+  SimTime shift_at = 0;
+  uint64_t shift_bytes = 0;
+
+  // Asymmetric variant (Table 2): leading fraction of the hot set is
+  // write-only; every other access is a pure load. Disabled when 0.
+  double write_only_hot_fraction = 0.0;
+
+  // Figure 8 "Opt" layout: the hot set lives in its own region, with
+  // optional fault-placement hints for both regions (manual placement).
+  // Incompatible with shift_at.
+  bool split_hot_region = false;
+  std::optional<Tier> hot_region_hint;
+  std::optional<Tier> cold_region_hint;
+
+  SimTime compute_per_update = 15;  // ns of index arithmetic per update
+  uint64_t seed = 42;
+  SimTime series_bucket = kSecond;
+};
+
+struct GupsResult {
+  double gups = 0.0;          // billions of updates per simulated second
+  SimTime elapsed = 0;        // measured window (excludes warmup)
+  uint64_t total_updates = 0;
+};
+
+class GupsBenchmark {
+ public:
+  GupsBenchmark(TieredMemoryManager& manager, GupsConfig config);
+  ~GupsBenchmark();
+
+  // Allocates the working set and registers worker threads. Call exactly
+  // once, after manager.Start().
+  void Prepare();
+
+  // Runs to completion (or the deadline) and reports aggregate GUPS.
+  GupsResult Run(SimTime deadline = std::numeric_limits<SimTime>::max());
+
+  // Updates completed per wall-clock-second bucket (instantaneous GUPS).
+  const TimeSeries& series() const { return series_; }
+
+ private:
+  class Worker;
+
+  TieredMemoryManager& manager_;
+  GupsConfig config_;
+  uint64_t base_va_ = 0;
+  uint64_t hot_base_ = 0;  // split layout only
+  std::vector<std::unique_ptr<Worker>> workers_;
+  TimeSeries series_;
+};
+
+}  // namespace hemem
+
+#endif  // HEMEM_APPS_GUPS_H_

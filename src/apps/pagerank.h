@@ -1,0 +1,71 @@
+// PageRank over tiered memory — a second GAP kernel beyond the paper's BC.
+//
+// Push-based power iteration: each pass streams every vertex's neighbor
+// list (sequential reads of the CSR) and scatters rank contributions into
+// the next-scores array (random 8 B writes). Compared to BC the access mix
+// is heavier on sequential graph reads and lighter on random state, which
+// makes it a useful contrast workload for tiering policies (the hot state is
+// just 2 x 8 B per vertex).
+//
+// The computation is real: scores converge to the true PageRank (verified
+// against a reference implementation in tests).
+
+#ifndef HEMEM_APPS_PAGERANK_H_
+#define HEMEM_APPS_PAGERANK_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "apps/graph.h"
+
+namespace hemem {
+
+struct PageRankConfig {
+  int iterations = 10;
+  double damping = 0.85;
+};
+
+struct PageRankResult {
+  std::vector<SimTime> iteration_time;
+  SimTime total_time = 0;
+  std::vector<double> scores;
+};
+
+class PageRankBenchmark {
+ public:
+  PageRankBenchmark(SimGraph& graph, PageRankConfig config);
+  ~PageRankBenchmark();
+
+  void Prepare();  // allocates score arrays, registers the driver thread
+  PageRankResult Run();
+
+  // Reference (uncharged) implementation for correctness tests.
+  static std::vector<double> Reference(const CsrGraph& graph, const PageRankConfig& config);
+
+ private:
+  class Driver;
+
+  // Executes one bounded quantum; returns false when all iterations done.
+  bool Step(SimThread& thread);
+
+  SimGraph& graph_;
+  PageRankConfig config_;
+
+  std::vector<double> scores_;
+  std::vector<double> next_;
+  SimGraph::VertexArray scores_array_;
+  SimGraph::VertexArray next_array_;
+
+  std::unique_ptr<Driver> driver_;
+  PageRankResult result_;
+
+  bool prefilled_ = false;
+  int iteration_ = 0;
+  uint64_t cursor_ = 0;  // next vertex to process this iteration
+  SimTime iteration_start_ = 0;
+};
+
+}  // namespace hemem
+
+#endif  // HEMEM_APPS_PAGERANK_H_

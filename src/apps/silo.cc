@@ -1,0 +1,304 @@
+#include "apps/silo.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hemem {
+
+SiloDb::SiloDb(TieredMemoryManager& manager, SiloConfig config)
+    : manager_(manager), config_(config), data_rng_(Mix64(config.seed)) {}
+
+void SiloDb::Load(SimThread& loader) {
+  const auto w = static_cast<uint64_t>(config_.warehouses);
+  const auto d = static_cast<uint64_t>(config_.districts_per_warehouse);
+  const auto c = static_cast<uint64_t>(config_.customers_per_district);
+  const auto items = static_cast<uint64_t>(config_.items);
+  const auto cap = static_cast<uint64_t>(config_.order_capacity_per_district);
+
+  warehouse_region_ = manager_.Mmap(w * SiloSchema::kWarehouseRow, {.label = "silo-warehouse"});
+  district_region_ = manager_.Mmap(w * d * SiloSchema::kDistrictRow, {.label = "silo-district"});
+  customer_region_ =
+      manager_.Mmap(w * d * c * SiloSchema::kCustomerRow, {.label = "silo-customer"});
+  item_region_ = manager_.Mmap(items * SiloSchema::kItemRow, {.label = "silo-item"});
+  stock_region_ = manager_.Mmap(w * items * SiloSchema::kStockRow, {.label = "silo-stock"});
+  order_region_ = manager_.Mmap(w * d * cap * SiloSchema::kOrderRow, {.label = "silo-order"});
+  orderline_region_ =
+      manager_.Mmap(w * d * cap * SiloSchema::kMaxOrderLines * SiloSchema::kOrderLineRow,
+                    {.label = "silo-orderline"});
+  history_region_ =
+      manager_.Mmap(w * d * c * SiloSchema::kHistoryRow, {.label = "silo-history"});
+  index_region_ = manager_.Mmap((w * items + w * d * c) * SiloSchema::kIndexNode / 4 + MiB(1),
+                                {.label = "silo-index"});
+
+  warehouse_ytd_.assign(w, 0.0);
+  district_ytd_.assign(w * d, 0.0);
+  stock_qty_.assign(w * items, 0);
+  customer_balance_.assign(w * d * c, 0.0);
+  districts_.resize(w * d);
+  for (District& district : districts_) {
+    district.orders.resize(cap);
+  }
+
+  // Populate: tables stream in once (the paper's prefill-from-disk), charged
+  // as bulk sequential stores; row-level host state is set alongside.
+  BulkFill(loader, warehouse_region_, w * SiloSchema::kWarehouseRow);
+  BulkFill(loader, district_region_, w * d * SiloSchema::kDistrictRow);
+  BulkFill(loader, customer_region_, w * d * c * SiloSchema::kCustomerRow);
+  BulkFill(loader, item_region_, items * SiloSchema::kItemRow);
+  BulkFill(loader, stock_region_, w * items * SiloSchema::kStockRow);
+  BulkFill(loader, order_region_, w * d * cap * SiloSchema::kOrderRow);
+  BulkFill(loader, orderline_region_,
+           w * d * cap * SiloSchema::kMaxOrderLines * SiloSchema::kOrderLineRow);
+  for (uint64_t i = 0; i < w * items; ++i) {
+    stock_qty_[i] = 50 + static_cast<int>(data_rng_.NextBounded(51));
+  }
+  // TPC-C ships with populated order books (3,000 initial orders per
+  // district); fill half of each district's (scaled) ring so Order-Status,
+  // Delivery and Stock-Level see comparable books at every warehouse count.
+  for (size_t didx = 0; didx < districts_.size(); ++didx) {
+    District& dist = districts_[didx];
+    const uint64_t initial = dist.orders.size() / 2;
+    for (uint64_t o = 0; o < initial; ++o) {
+      Order& order = dist.orders[o];
+      order.customer = static_cast<int>(data_rng_.NextBounded(c));
+      order.line_count = 5 + static_cast<int>(data_rng_.NextBounded(11));
+      order.line_base = (didx * cap + o) * SiloSchema::kMaxOrderLines;
+      order.delivered = false;
+      orders_created_++;
+    }
+    dist.next_order = initial;
+  }
+}
+
+void SiloDb::BulkFill(SimThread& thread, uint64_t region, uint64_t bytes) {
+  uint64_t offset = 0;
+  while (offset < bytes) {
+    const auto chunk = static_cast<uint32_t>(std::min<uint64_t>(bytes - offset, MiB(1)));
+    manager_.Access(thread, region + offset, chunk, AccessKind::kStore);
+    offset += chunk;
+  }
+}
+
+void SiloDb::ReadRow(SimThread& thread, uint64_t region, uint64_t row, uint32_t row_bytes) {
+  manager_.Access(thread, region + row * row_bytes, row_bytes, AccessKind::kLoad);
+}
+
+void SiloDb::WriteRow(SimThread& thread, uint64_t region, uint64_t row, uint32_t row_bytes) {
+  manager_.Access(thread, region + row * row_bytes, row_bytes, AccessKind::kStore);
+}
+
+void SiloDb::IndexLookup(SimThread& thread, uint64_t index_region, uint64_t key) {
+  // Three-level tree descent: root and interior nodes cluster near the front
+  // of the index region (hot), leaves spread across it.
+  Region* region = manager_.machine().page_table().Find(index_region);
+  const uint64_t index_bytes = region != nullptr ? region->bytes : MiB(1);
+  const uint64_t leaf_slots = index_bytes / SiloSchema::kIndexNode;
+  const uint64_t root = index_region;
+  const uint64_t interior =
+      index_region + (Mix64(key) % 64) * SiloSchema::kIndexNode;
+  const uint64_t leaf =
+      index_region + (Mix64(key * 2654435761) % leaf_slots) * SiloSchema::kIndexNode;
+  manager_.Access(thread, root, SiloSchema::kIndexNode, AccessKind::kLoad);
+  manager_.Access(thread, interior, SiloSchema::kIndexNode, AccessKind::kLoad);
+  manager_.Access(thread, leaf, SiloSchema::kIndexNode, AccessKind::kLoad);
+}
+
+void SiloDb::ChargeCommit(SimThread& thread, int read_set, int write_set) {
+  // OCC validation re-reads each read-set record's TID word; the commit then
+  // stamps each write-set record's TID. 8-byte touches at the row heads are
+  // approximated by cache-line accesses into the index region.
+  for (int i = 0; i < read_set; ++i) {
+    manager_.Access(thread, index_region_ + (Mix64(thread.now() + i) % 4096) * 64, 8,
+                    AccessKind::kLoad);
+  }
+  for (int i = 0; i < write_set; ++i) {
+    manager_.Access(thread, index_region_ + (Mix64(thread.now() * 31 + i) % 4096) * 64, 8,
+                    AccessKind::kStore);
+  }
+  thread.ChargeCompute(500);  // serialization-point bookkeeping
+}
+
+bool SiloDb::NewOrder(SimThread& thread, Rng& rng, int warehouse) {
+  const int district = static_cast<int>(rng.NextBounded(config_.districts_per_warehouse));
+  const int customer = static_cast<int>(rng.NextBounded(config_.customers_per_district));
+  const size_t didx = DistIdx(warehouse, district);
+  District& dist = districts_[didx];
+
+  IndexLookup(thread, index_region_, didx);
+  ReadRow(thread, warehouse_region_, warehouse, SiloSchema::kWarehouseRow);
+  ReadRow(thread, district_region_, didx, SiloSchema::kDistrictRow);
+  WriteRow(thread, district_region_, didx, SiloSchema::kDistrictRow);  // next_o_id++
+  ReadRow(thread, customer_region_, CustIdx(warehouse, district, customer),
+          SiloSchema::kCustomerRow);
+
+  const int lines = 5 + static_cast<int>(rng.NextBounded(11));  // 5..15
+  const uint64_t cap = dist.orders.size();
+  const uint64_t order_id = dist.next_order++;
+  if (order_id - dist.next_delivery >= cap) {
+    // Order book full: auto-deliver the oldest to keep the ring bounded.
+    dist.next_delivery++;
+    orders_delivered_++;
+  }
+  Order& order = dist.orders[order_id % cap];
+  order.customer = customer;
+  order.line_count = lines;
+  order.line_base = (didx * cap + order_id % cap) * SiloSchema::kMaxOrderLines;
+  order.delivered = false;
+
+  for (int l = 0; l < lines; ++l) {
+    int supply_warehouse = warehouse;
+    // TPC-C: ~1% of order lines are supplied by a remote warehouse.
+    if (config_.warehouses > 1 && rng.NextBool(0.01)) {
+      supply_warehouse = static_cast<int>(rng.NextBounded(config_.warehouses));
+    }
+    const int item = static_cast<int>(rng.NextBounded(config_.items));
+    IndexLookup(thread, index_region_, static_cast<uint64_t>(item));
+    ReadRow(thread, item_region_, item, SiloSchema::kItemRow);
+    const size_t sidx = StockIdx(supply_warehouse, item);
+    ReadRow(thread, stock_region_, sidx, SiloSchema::kStockRow);
+    int& qty = stock_qty_[sidx];
+    const int ordered = 1 + static_cast<int>(rng.NextBounded(10));
+    qty = qty - ordered >= 10 ? qty - ordered : qty - ordered + 91;
+    WriteRow(thread, stock_region_, sidx, SiloSchema::kStockRow);
+    WriteRow(thread, orderline_region_, order.line_base + static_cast<uint64_t>(l),
+             SiloSchema::kOrderLineRow);
+  }
+  WriteRow(thread, order_region_, didx * cap + order_id % cap, SiloSchema::kOrderRow);
+  orders_created_++;
+  ChargeCommit(thread, 3 + 2 * lines, 2 + 2 * lines);
+  return true;
+}
+
+bool SiloDb::Payment(SimThread& thread, Rng& rng, int warehouse) {
+  int customer_warehouse = warehouse;
+  // TPC-C: 15% of payments are for a customer of a remote warehouse.
+  if (config_.warehouses > 1 && rng.NextBool(0.15)) {
+    customer_warehouse = static_cast<int>(rng.NextBounded(config_.warehouses));
+  }
+  const int district = static_cast<int>(rng.NextBounded(config_.districts_per_warehouse));
+  const int customer = static_cast<int>(rng.NextBounded(config_.customers_per_district));
+  const double amount = 1.0 + rng.NextDouble() * 4999.0;
+
+  const size_t didx = DistIdx(warehouse, district);
+  const size_t cidx = CustIdx(customer_warehouse, district, customer);
+
+  IndexLookup(thread, index_region_, cidx);
+  ReadRow(thread, warehouse_region_, warehouse, SiloSchema::kWarehouseRow);
+  WriteRow(thread, warehouse_region_, warehouse, SiloSchema::kWarehouseRow);
+  warehouse_ytd_[warehouse] += amount;
+  ReadRow(thread, district_region_, didx, SiloSchema::kDistrictRow);
+  WriteRow(thread, district_region_, didx, SiloSchema::kDistrictRow);
+  district_ytd_[didx] += amount;
+  if (rng.NextBool(0.6)) {
+    // Lookup by last name: scan a handful of leaf entries.
+    IndexLookup(thread, index_region_, cidx ^ 0x5a5a);
+  }
+  ReadRow(thread, customer_region_, cidx, SiloSchema::kCustomerRow);
+  WriteRow(thread, customer_region_, cidx, SiloSchema::kCustomerRow);
+  customer_balance_[cidx] -= amount;
+  const uint64_t history_rows =
+      warehouse_ytd_.size() * static_cast<uint64_t>(config_.districts_per_warehouse) *
+      static_cast<uint64_t>(config_.customers_per_district);
+  WriteRow(thread, history_region_, history_next_++ % history_rows, SiloSchema::kHistoryRow);
+  ChargeCommit(thread, 3, 4);
+  return true;
+}
+
+bool SiloDb::OrderStatus(SimThread& thread, Rng& rng, int warehouse) {
+  const int district = static_cast<int>(rng.NextBounded(config_.districts_per_warehouse));
+  const int customer = static_cast<int>(rng.NextBounded(config_.customers_per_district));
+  const size_t didx = DistIdx(warehouse, district);
+  District& dist = districts_[didx];
+
+  IndexLookup(thread, index_region_, CustIdx(warehouse, district, customer));
+  ReadRow(thread, customer_region_, CustIdx(warehouse, district, customer),
+          SiloSchema::kCustomerRow);
+  if (dist.next_order == 0) {
+    return false;
+  }
+  const uint64_t cap = dist.orders.size();
+  const uint64_t order_id = dist.next_order - 1;
+  const Order& order = dist.orders[order_id % cap];
+  ReadRow(thread, order_region_, didx * cap + order_id % cap, SiloSchema::kOrderRow);
+  for (int l = 0; l < order.line_count; ++l) {
+    ReadRow(thread, orderline_region_, order.line_base + static_cast<uint64_t>(l),
+            SiloSchema::kOrderLineRow);
+  }
+  ChargeCommit(thread, 2 + order.line_count, 0);
+  return true;
+}
+
+bool SiloDb::Delivery(SimThread& thread, Rng& rng, int warehouse) {
+  (void)rng;
+  bool any = false;
+  for (int district = 0; district < config_.districts_per_warehouse; ++district) {
+    const size_t didx = DistIdx(warehouse, district);
+    District& dist = districts_[didx];
+    if (dist.next_delivery >= dist.next_order) {
+      continue;  // no undelivered orders in this district
+    }
+    const uint64_t cap = dist.orders.size();
+    const uint64_t order_id = dist.next_delivery++;
+    Order& order = dist.orders[order_id % cap];
+    if (order.delivered) {
+      continue;
+    }
+    order.delivered = true;
+    orders_delivered_++;
+    any = true;
+
+    IndexLookup(thread, index_region_, didx * cap + order_id);
+    ReadRow(thread, order_region_, didx * cap + order_id % cap, SiloSchema::kOrderRow);
+    WriteRow(thread, order_region_, didx * cap + order_id % cap, SiloSchema::kOrderRow);
+    for (int l = 0; l < order.line_count; ++l) {
+      ReadRow(thread, orderline_region_, order.line_base + static_cast<uint64_t>(l),
+              SiloSchema::kOrderLineRow);
+      WriteRow(thread, orderline_region_, order.line_base + static_cast<uint64_t>(l),
+               SiloSchema::kOrderLineRow);  // delivery date
+    }
+    const size_t cidx = CustIdx(warehouse, district, order.customer);
+    ReadRow(thread, customer_region_, cidx, SiloSchema::kCustomerRow);
+    WriteRow(thread, customer_region_, cidx, SiloSchema::kCustomerRow);
+    ChargeCommit(thread, 2 + 2 * order.line_count, 2 + order.line_count);
+  }
+  return any;
+}
+
+bool SiloDb::StockLevel(SimThread& thread, Rng& rng, int warehouse) {
+  const int district = static_cast<int>(rng.NextBounded(config_.districts_per_warehouse));
+  const size_t didx = DistIdx(warehouse, district);
+  District& dist = districts_[didx];
+
+  ReadRow(thread, district_region_, didx, SiloSchema::kDistrictRow);
+  // Examine order lines of the last up-to-20 orders, checking stock levels.
+  const uint64_t cap = dist.orders.size();
+  const uint64_t newest = dist.next_order;
+  const uint64_t oldest = newest >= 20 ? newest - 20 : 0;
+  int low_stock = 0;
+  for (uint64_t order_id = oldest; order_id < newest; ++order_id) {
+    const Order& order = dist.orders[order_id % cap];
+    for (int l = 0; l < order.line_count; ++l) {
+      ReadRow(thread, orderline_region_, order.line_base + static_cast<uint64_t>(l),
+              SiloSchema::kOrderLineRow);
+      const int item = static_cast<int>(rng.NextBounded(config_.items));
+      const size_t sidx = StockIdx(warehouse, item);
+      ReadRow(thread, stock_region_, sidx, SiloSchema::kStockRow);
+      if (stock_qty_[sidx] < 15) {
+        low_stock++;
+      }
+    }
+  }
+  (void)low_stock;
+  ChargeCommit(thread, 8, 0);
+  return true;
+}
+
+double SiloDb::district_ytd_sum(int warehouse) const {
+  double sum = 0.0;
+  for (int d = 0; d < config_.districts_per_warehouse; ++d) {
+    sum += district_ytd_[DistIdx(warehouse, d)];
+  }
+  return sum;
+}
+
+}  // namespace hemem

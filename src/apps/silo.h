@@ -1,0 +1,184 @@
+// Silo: an in-memory transactional database (Tu et al., SOSP '13), as the
+// TPC-C substrate for the paper's Section 5.2.1 experiment.
+//
+// This is a working in-memory database over the simulated address space: all
+// nine TPC-C tables are laid out in tiered-memory regions, row reads/writes
+// are charged through the tiering manager, and the *contents* that the
+// transactions depend on (stock quantities, YTD balances, order books) are
+// maintained in host-side mirrors so the workload's control flow and
+// read/write footprint are real — a New-Order really picks untouched items,
+// really appends order lines, and consistency is checkable in tests
+// (sum of district YTDs == warehouse YTD, etc.).
+//
+// Simplifications vs. real Silo, documented here deliberately:
+//  * Concurrency control: the simulator interleaves logical threads at
+//    operation granularity, so transactions serialize trivially; Silo's OCC
+//    commit protocol is represented by its memory traffic (re-reading the
+//    read set's TID words at commit), not by aborts.
+//  * Index: Silo's Masstree is modeled as a 3-level index whose node reads
+//    are charged per lookup against a per-table index region.
+
+#ifndef HEMEM_APPS_SILO_H_
+#define HEMEM_APPS_SILO_H_
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "tier/manager.h"
+
+namespace hemem {
+
+struct SiloConfig {
+  int warehouses = 16;
+  int districts_per_warehouse = 10;
+  int customers_per_district = 96;   // scaled from TPC-C's 3,000
+  int items = 4096;                  // scaled from TPC-C's 100,000
+  int order_capacity_per_district = 256;  // order-book ring capacity
+  uint64_t seed = 99;
+};
+
+// Row sizes approximating the TPC-C schema footprints (bytes).
+struct SiloSchema {
+  static constexpr uint32_t kWarehouseRow = 96;
+  static constexpr uint32_t kDistrictRow = 96;
+  static constexpr uint32_t kCustomerRow = 656;
+  static constexpr uint32_t kItemRow = 88;
+  static constexpr uint32_t kStockRow = 320;
+  static constexpr uint32_t kOrderRow = 48;
+  static constexpr uint32_t kOrderLineRow = 56;
+  static constexpr uint32_t kHistoryRow = 64;
+  static constexpr uint32_t kIndexNode = 64;
+  static constexpr int kMaxOrderLines = 15;
+};
+
+class SiloDb {
+ public:
+  SiloDb(TieredMemoryManager& manager, SiloConfig config);
+
+  // Allocates all table regions and populates initial state; charged to
+  // `loader`.
+  void Load(SimThread& loader);
+
+  // TPC-C transactions. Each returns true on commit (all commit here; the
+  // return value reports logical success, e.g. Delivery with empty queues).
+  bool NewOrder(SimThread& thread, Rng& rng, int warehouse);
+  bool Payment(SimThread& thread, Rng& rng, int warehouse);
+  bool OrderStatus(SimThread& thread, Rng& rng, int warehouse);
+  bool Delivery(SimThread& thread, Rng& rng, int warehouse);
+  bool StockLevel(SimThread& thread, Rng& rng, int warehouse);
+
+  const SiloConfig& config() const { return config_; }
+  TieredMemoryManager& manager() { return manager_; }
+
+  // Consistency probes for tests.
+  double warehouse_ytd(int warehouse) const { return warehouse_ytd_[warehouse]; }
+  double district_ytd_sum(int warehouse) const;
+  uint64_t orders_created() const { return orders_created_; }
+  uint64_t orders_delivered() const { return orders_delivered_; }
+  int stock_quantity(int warehouse, int item) const {
+    return stock_qty_[StockIdx(warehouse, item)];
+  }
+
+ private:
+  struct Order {
+    int customer = 0;
+    int line_count = 0;
+    uint64_t line_base = 0;  // first order-line slot
+    bool delivered = false;
+  };
+
+  struct District {
+    uint64_t next_order = 0;      // next order id to create
+    uint64_t next_delivery = 0;   // oldest undelivered order id
+    std::vector<Order> orders;    // ring of order_capacity entries
+  };
+
+  // Charged accessors -----------------------------------------------------
+  void ReadRow(SimThread& thread, uint64_t region, uint64_t row, uint32_t row_bytes);
+  void WriteRow(SimThread& thread, uint64_t region, uint64_t row, uint32_t row_bytes);
+  // Streaming prefill of a whole table region.
+  void BulkFill(SimThread& thread, uint64_t region, uint64_t bytes);
+  // Masstree-style lookup: three node reads within the table's index region.
+  void IndexLookup(SimThread& thread, uint64_t index_region, uint64_t key);
+  // Silo OCC commit: re-read `read_set` TID words, then write the commit TID.
+  void ChargeCommit(SimThread& thread, int read_set, int write_set);
+
+  size_t DistIdx(int warehouse, int district) const {
+    return static_cast<size_t>(warehouse) *
+               static_cast<size_t>(config_.districts_per_warehouse) +
+           static_cast<size_t>(district);
+  }
+  size_t CustIdx(int warehouse, int district, int customer) const {
+    return DistIdx(warehouse, district) * static_cast<size_t>(config_.customers_per_district) +
+           static_cast<size_t>(customer);
+  }
+  size_t StockIdx(int warehouse, int item) const {
+    return static_cast<size_t>(warehouse) * static_cast<size_t>(config_.items) +
+           static_cast<size_t>(item);
+  }
+
+  TieredMemoryManager& manager_;
+  SiloConfig config_;
+
+  // Table regions (simulated VAs).
+  uint64_t warehouse_region_ = 0;
+  uint64_t district_region_ = 0;
+  uint64_t customer_region_ = 0;
+  uint64_t item_region_ = 0;
+  uint64_t stock_region_ = 0;
+  uint64_t order_region_ = 0;
+  uint64_t orderline_region_ = 0;
+  uint64_t history_region_ = 0;
+  uint64_t index_region_ = 0;
+
+  // Host-side mirrors for transaction logic and consistency checks.
+  std::vector<double> warehouse_ytd_;
+  std::vector<double> district_ytd_;
+  std::vector<int> stock_qty_;
+  std::vector<double> customer_balance_;
+  std::vector<District> districts_;
+  uint64_t history_next_ = 0;
+  uint64_t orders_created_ = 0;
+  uint64_t orders_delivered_ = 0;
+  Rng data_rng_;
+};
+
+// The TPC-C driver: worker threads running the standard transaction mix
+// against their home warehouses (with the standard ~1%/15% remote touches).
+struct TpccConfig {
+  int threads = 16;
+  uint64_t transactions_per_thread = 10'000;
+  uint64_t warmup_transactions_per_thread = 0;
+  uint64_t seed = 5;
+};
+
+struct TpccResult {
+  double txn_per_sec = 0.0;
+  uint64_t total_transactions = 0;
+  SimTime elapsed = 0;
+};
+
+class TpccBenchmark {
+ public:
+  TpccBenchmark(SiloDb& db, TpccConfig config);
+  ~TpccBenchmark();
+
+  void Prepare();  // registers worker threads (db must already be Loaded)
+  TpccResult Run(SimTime deadline = std::numeric_limits<SimTime>::max());
+
+ private:
+  class Worker;
+
+  SiloDb& db_;
+  TpccConfig config_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  bool loaded_ = false;
+};
+
+}  // namespace hemem
+
+#endif  // HEMEM_APPS_SILO_H_

@@ -1,0 +1,126 @@
+// TPC-C driver for the Silo database: the standard transaction mix
+// (New-Order 45%, Payment 43%, Order-Status 4%, Delivery 4%, Stock-Level 4%)
+// issued by worker threads against their home warehouses. Matches the
+// paper's Section 5.2.1 setup: 16 threads, warehouses striped over threads.
+
+#include <algorithm>
+#include <cassert>
+
+#include "apps/silo.h"
+
+namespace hemem {
+
+namespace {
+constexpr uint64_t kTxnsPerSlice = 1;
+}  // namespace
+
+class TpccBenchmark::Worker : public SimThread {
+ public:
+  Worker(TpccBenchmark& bench, int index)
+      : SimThread("tpcc-" + std::to_string(index)),
+        bench_(bench),
+        index_(index),
+        rng_(Mix64(bench.config_.seed) + static_cast<uint64_t>(index) * 77) {
+    remaining_warmup_ = bench_.config_.warmup_transactions_per_thread;
+    remaining_ = bench_.config_.transactions_per_thread;
+  }
+
+  bool RunSlice() override {
+    // Worker 0 populates the database before anyone runs transactions.
+    if (!bench_.loaded_) {
+      if (index_ == 0) {
+        bench_.db_.Load(*this);
+        bench_.loaded_ = true;
+      } else {
+        AdvanceTo(now() + kMillisecond);
+        return true;
+      }
+    }
+    for (uint64_t i = 0; i < kTxnsPerSlice; ++i) {
+      if (remaining_warmup_ == 0 && !measuring_) {
+        measuring_ = true;
+        measure_start_ = now();
+      }
+      if (remaining_warmup_ == 0 && remaining_ == 0) {
+        measure_end_ = now();
+        return false;
+      }
+      DoTransaction();
+      if (remaining_warmup_ > 0) {
+        remaining_warmup_--;
+      } else {
+        remaining_--;
+        completed_++;
+      }
+    }
+    return true;
+  }
+
+  uint64_t completed() const { return completed_; }
+  SimTime measure_start() const { return measure_start_; }
+  SimTime measure_end() const { return measure_end_ == 0 ? now() : measure_end_; }
+
+ private:
+  void DoTransaction() {
+    SiloDb& db = bench_.db_;
+    // Home warehouse per transaction: terminals rotate over all warehouses
+    // (the paper scales the warehouse count at a fixed 16 threads, so the
+    // working set must grow with it).
+    const int warehouses = db.config().warehouses;
+    const int home = static_cast<int>(rng_.NextBounded(static_cast<uint64_t>(warehouses)));
+    const uint64_t dice = rng_.NextBounded(100);
+    if (dice < 45) {
+      db.NewOrder(*this, rng_, home);
+    } else if (dice < 88) {
+      db.Payment(*this, rng_, home);
+    } else if (dice < 92) {
+      db.OrderStatus(*this, rng_, home);
+    } else if (dice < 96) {
+      db.Delivery(*this, rng_, home);
+    } else {
+      db.StockLevel(*this, rng_, home);
+    }
+  }
+
+  TpccBenchmark& bench_;
+  int index_;
+  Rng rng_;
+  uint64_t remaining_warmup_ = 0;
+  uint64_t remaining_ = 0;
+  uint64_t completed_ = 0;
+  bool measuring_ = false;
+  SimTime measure_start_ = 0;
+  SimTime measure_end_ = 0;
+};
+
+TpccBenchmark::TpccBenchmark(SiloDb& db, TpccConfig config) : db_(db), config_(config) {}
+
+TpccBenchmark::~TpccBenchmark() = default;
+
+void TpccBenchmark::Prepare() {
+  Engine& engine = db_.manager().machine().engine();
+  for (int i = 0; i < config_.threads; ++i) {
+    workers_.push_back(std::make_unique<Worker>(*this, i));
+    engine.AddThread(workers_.back().get());
+  }
+}
+
+TpccResult TpccBenchmark::Run(SimTime deadline) {
+  Engine& engine = db_.manager().machine().engine();
+  engine.Run(deadline);
+
+  TpccResult result;
+  SimTime start = std::numeric_limits<SimTime>::max();
+  SimTime end = 0;
+  for (const auto& worker : workers_) {
+    result.total_transactions += worker->completed();
+    start = std::min(start, worker->measure_start());
+    end = std::max(end, worker->measure_end());
+  }
+  result.elapsed = std::max<SimTime>(end - start, 1);
+  result.txn_per_sec = static_cast<double>(result.total_transactions) /
+                       (static_cast<double>(result.elapsed) / static_cast<double>(kSecond));
+  return result;
+}
+
+}  // namespace hemem

@@ -1,0 +1,96 @@
+#include "common/histogram.h"
+
+#include <bit>
+
+namespace hemem {
+
+Histogram::Histogram() : buckets_(static_cast<size_t>(kGroups) * kSubBuckets, 0) {}
+
+int Histogram::BucketIndex(uint64_t value) {
+  // Group = position of the highest bit above the sub-bucket range; sub-bucket
+  // = the kSubBucketBits bits below it. Values < kSubBuckets land in group 0
+  // with exact (width-1) buckets.
+  if (value < kSubBuckets) {
+    return static_cast<int>(value);
+  }
+  const int high = 63 - std::countl_zero(value);
+  const int group = high - kSubBucketBits + 1;
+  const int sub = static_cast<int>(value >> (high - kSubBucketBits)) & (kSubBuckets - 1);
+  return group * kSubBuckets + sub;
+}
+
+uint64_t Histogram::BucketMidpoint(int index) {
+  const int group = index / kSubBuckets;
+  const int sub = index % kSubBuckets;
+  if (group == 0) {
+    return static_cast<uint64_t>(sub);
+  }
+  const int shift = group - 1;
+  const uint64_t base = (static_cast<uint64_t>(kSubBuckets) | static_cast<uint64_t>(sub))
+                        << shift;
+  const uint64_t width = 1ull << shift;
+  return base + width / 2;
+}
+
+void Histogram::Record(uint64_t value) {
+  buckets_[static_cast<size_t>(BucketIndex(value))]++;
+  count_++;
+  sum_ += value;
+  if (value < min_) {
+    min_ = value;
+  }
+  if (value > max_) {
+    max_ = value;
+  }
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  if (other.count_ > 0) {
+    if (other.min_ < min_) {
+      min_ = other.min_;
+    }
+    if (other.max_ > max_) {
+      max_ = other.max_;
+    }
+  }
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = ~0ull;
+  max_ = 0;
+}
+
+uint64_t Histogram::Percentile(double q) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  if (q < 0) {
+    q = 0;
+  }
+  if (q > 1) {
+    q = 1;
+  }
+  const uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count_ - 1)) + 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) {
+      return BucketMidpoint(static_cast<int>(i));
+    }
+  }
+  return max_;
+}
+
+double Histogram::Mean() const {
+  return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+}  // namespace hemem

@@ -1,0 +1,50 @@
+// Latency histogram with percentile queries.
+//
+// HDR-style log-linear bucketing: values are grouped into buckets whose width
+// grows with magnitude, giving ~1% relative precision across nine decades
+// with a few KB of memory. Used by the key-value store benches to report the
+// paper's 50p/90p/99p/99.9p latency rows (Tables 3 and 4).
+
+#ifndef HEMEM_COMMON_HISTOGRAM_H_
+#define HEMEM_COMMON_HISTOGRAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hemem {
+
+class Histogram {
+ public:
+  Histogram();
+
+  void Record(uint64_t value);
+  void Merge(const Histogram& other);
+  void Reset();
+
+  // Value at quantile q in [0, 1]; returns 0 on an empty histogram.
+  uint64_t Percentile(double q) const;
+
+  uint64_t count() const { return count_; }
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+  double Mean() const;
+
+ private:
+  static constexpr int kSubBucketBits = 6;  // 64 linear sub-buckets per decade-ish group
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;
+  static constexpr int kGroups = 64 - kSubBucketBits;
+
+  static int BucketIndex(uint64_t value);
+  static uint64_t BucketMidpoint(int index);
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = ~0ull;
+  uint64_t max_ = 0;
+};
+
+}  // namespace hemem
+
+#endif  // HEMEM_COMMON_HISTOGRAM_H_

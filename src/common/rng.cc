@@ -1,0 +1,119 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace hemem {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+uint64_t Mix64(uint64_t x) {
+  uint64_t state = x;
+  return SplitMix64(state);
+}
+
+Rng::Rng(uint64_t seed) {
+  // Seed the four lanes from SplitMix64 per the xoshiro authors'
+  // recommendation; a raw user seed (even 0) yields a full-period state.
+  uint64_t sm = seed;
+  for (auto& lane : s_) {
+    lane = SplitMix64(sm);
+  }
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  // Lemire's multiply-shift rejection method: unbiased and branch-light.
+  uint64_t x = Next();
+  __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
+  uint64_t l = static_cast<uint64_t>(m);
+  if (l < bound) {
+    const uint64_t t = -bound % bound;
+    while (l < t) {
+      x = Next();
+      m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
+      l = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+uint64_t Rng::NextInRange(uint64_t lo, uint64_t hi) { return lo + NextBounded(hi - lo + 1); }
+
+double Rng::NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+bool Rng::NextBool(double p) { return NextDouble() < p; }
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double theta) : n_(n), theta_(theta) {
+  h_x1_ = H(1.5) - 1.0;
+  h_n_ = H(static_cast<double>(n_) + 0.5);
+  s_ = 2.0 - HInverse(H(2.5) - std::pow(2.0, -theta_));
+}
+
+double ZipfGenerator::H(double x) const {
+  // Integral of x^-theta; special-cased near theta == 1.
+  const double one_minus = 1.0 - theta_;
+  if (std::abs(one_minus) < 1e-12) {
+    return std::log(x);
+  }
+  return std::pow(x, one_minus) / one_minus;
+}
+
+double ZipfGenerator::HInverse(double x) const {
+  const double one_minus = 1.0 - theta_;
+  if (std::abs(one_minus) < 1e-12) {
+    return std::exp(x);
+  }
+  return std::pow(x * one_minus, 1.0 / one_minus);
+}
+
+uint64_t ZipfGenerator::Next(Rng& rng) {
+  while (true) {
+    const double u = h_x1_ + rng.NextDouble() * (h_n_ - h_x1_);
+    const double x = HInverse(u);
+    const uint64_t k = static_cast<uint64_t>(x + 0.5);
+    const double kd = static_cast<double>(k);
+    if (kd - x <= s_) {
+      return (k == 0 ? 1 : k) - 1;
+    }
+    if (u >= H(kd + 0.5) - std::pow(kd, -theta_)) {
+      return (k == 0 ? 1 : k) - 1;
+    }
+  }
+}
+
+std::vector<uint64_t> RandomPermutation(uint64_t n, Rng& rng) {
+  std::vector<uint64_t> perm(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    perm[i] = i;
+  }
+  for (uint64_t i = n; i > 1; --i) {
+    const uint64_t j = rng.NextBounded(i);
+    std::swap(perm[i - 1], perm[j]);
+  }
+  return perm;
+}
+
+}  // namespace hemem

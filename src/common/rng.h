@@ -1,0 +1,81 @@
+// Deterministic pseudo-random number generation for simulation.
+//
+// Everything in this repository must be reproducible run-to-run, so all
+// randomness flows through explicitly seeded generators. We use
+// xoshiro256** (Blackman & Vigna) — fast, high quality, and trivially
+// embeddable — plus distribution helpers (uniform ranges, Zipf) that the
+// workload generators need.
+
+#ifndef HEMEM_COMMON_RNG_H_
+#define HEMEM_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace hemem {
+
+// xoshiro256** 1.0. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ull; }
+
+  uint64_t operator()() { return Next(); }
+  uint64_t Next();
+
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  // Uniform in [lo, hi] inclusive.
+  uint64_t NextInRange(uint64_t lo, uint64_t hi);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // True with probability p.
+  bool NextBool(double p);
+
+ private:
+  uint64_t s_[4];
+};
+
+// Zipf-distributed generator over [0, n). Produces ranks where rank 0 is the
+// most popular. Uses the rejection-inversion method of Hörmann & Derflinger,
+// which needs no O(n) setup table and is exact for any n.
+class ZipfGenerator {
+ public:
+  // theta is the Zipf exponent (0 = uniform-ish as theta->0; ~0.99 typical for
+  // key-value store workloads).
+  ZipfGenerator(uint64_t n, double theta);
+
+  uint64_t Next(Rng& rng);
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  double H(double x) const;
+  double HInverse(double x) const;
+
+  uint64_t n_;
+  double theta_;
+  double h_x1_;
+  double h_n_;
+  double s_;
+};
+
+// Fisher-Yates shuffle of an index permutation [0, n); used to build
+// non-consecutive hot sets (the paper's hot pages are a random subset).
+std::vector<uint64_t> RandomPermutation(uint64_t n, Rng& rng);
+
+// SplitMix64 hash; used to derive per-thread seeds and synthetic contents
+// deterministically from addresses.
+uint64_t Mix64(uint64_t x);
+
+}  // namespace hemem
+
+#endif  // HEMEM_COMMON_RNG_H_

@@ -1,0 +1,50 @@
+// Fixed-width time-bucketed accumulator for "instantaneous" metrics
+// (e.g. the paper's Figure 9 instantaneous-GUPS and Figure 16 per-iteration
+// NVM-write plots). Header-only.
+
+#ifndef HEMEM_COMMON_TIME_SERIES_H_
+#define HEMEM_COMMON_TIME_SERIES_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/units.h"
+
+namespace hemem {
+
+class TimeSeries {
+ public:
+  explicit TimeSeries(SimTime bucket_width) : bucket_width_(bucket_width) {}
+
+  void Record(SimTime t, double value = 1.0) {
+    if (t < 0) {
+      return;
+    }
+    const size_t idx = static_cast<size_t>(t / bucket_width_);
+    if (idx >= buckets_.size()) {
+      buckets_.resize(idx + 1, 0.0);
+    }
+    buckets_[idx] += value;
+  }
+
+  // Value per bucket divided by the bucket width in seconds (a rate).
+  std::vector<double> RatePerSecond() const {
+    std::vector<double> out(buckets_.size());
+    const double seconds = static_cast<double>(bucket_width_) / static_cast<double>(kSecond);
+    for (size_t i = 0; i < buckets_.size(); ++i) {
+      out[i] = buckets_[i] / seconds;
+    }
+    return out;
+  }
+
+  const std::vector<double>& buckets() const { return buckets_; }
+  SimTime bucket_width() const { return bucket_width_; }
+
+ private:
+  SimTime bucket_width_;
+  std::vector<double> buckets_;
+};
+
+}  // namespace hemem
+
+#endif  // HEMEM_COMMON_TIME_SERIES_H_

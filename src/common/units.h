@@ -1,0 +1,50 @@
+// Size and time unit helpers used throughout the simulator.
+//
+// All simulated time is kept in nanoseconds as int64_t (SimTime); all sizes
+// are bytes as uint64_t. The helpers below exist so that configuration code
+// reads like the paper ("192 GB DRAM", "10 ms policy period") rather than as
+// raw magic numbers.
+
+#ifndef HEMEM_COMMON_UNITS_H_
+#define HEMEM_COMMON_UNITS_H_
+
+#include <cstdint>
+
+namespace hemem {
+
+// Simulated time, in nanoseconds.
+using SimTime = int64_t;
+
+constexpr SimTime kNanosecond = 1;
+constexpr SimTime kMicrosecond = 1000 * kNanosecond;
+constexpr SimTime kMillisecond = 1000 * kMicrosecond;
+constexpr SimTime kSecond = 1000 * kMillisecond;
+
+constexpr uint64_t KiB(uint64_t n) { return n << 10; }
+constexpr uint64_t MiB(uint64_t n) { return n << 20; }
+constexpr uint64_t GiB(uint64_t n) { return n << 30; }
+constexpr uint64_t TiB(uint64_t n) { return n << 40; }
+
+// Gigabytes-per-second expressed as bytes-per-nanosecond times 2^30 / 10^9;
+// we keep bandwidth as double bytes/ns for precision.
+constexpr double GiBps(double gib_per_s) {
+  return gib_per_s * (1024.0 * 1024.0 * 1024.0) / 1e9;  // bytes per ns
+}
+
+// Converts a byte count to seconds at the given bandwidth (bytes/ns).
+constexpr double TransferNs(uint64_t bytes, double bytes_per_ns) {
+  return static_cast<double>(bytes) / bytes_per_ns;
+}
+
+// Integer ceiling division.
+constexpr uint64_t CeilDiv(uint64_t a, uint64_t b) { return (a + b - 1) / b; }
+
+// Rounds `v` up to a multiple of `align` (align need not be a power of two).
+constexpr uint64_t RoundUp(uint64_t v, uint64_t align) { return CeilDiv(v, align) * align; }
+
+// Rounds `v` down to a multiple of `align`.
+constexpr uint64_t RoundDown(uint64_t v, uint64_t align) { return v / align * align; }
+
+}  // namespace hemem
+
+#endif  // HEMEM_COMMON_UNITS_H_

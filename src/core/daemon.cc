@@ -1,0 +1,70 @@
+#include "core/daemon.h"
+
+#include <algorithm>
+
+namespace hemem {
+
+class HememDaemon::DaemonThread : public PeriodicThread {
+ public:
+  DaemonThread(HememDaemon& owner, SimTime period)
+      : PeriodicThread("hemem-daemon", period, /*cpu_share=*/0.1), owner_(owner) {}
+
+  SimTime Tick() override { return owner_.Rebalance(); }
+
+ private:
+  HememDaemon& owner_;
+};
+
+HememDaemon::HememDaemon(Machine& machine, DaemonParams params)
+    : machine_(machine), params_(params) {}
+
+HememDaemon::~HememDaemon() = default;
+
+void HememDaemon::Attach(Hemem* instance) { instances_.push_back(instance); }
+
+void HememDaemon::Start() {
+  const SimTime period = std::max<SimTime>(
+      static_cast<SimTime>(static_cast<double>(params_.rebalance_period) /
+                           machine_.config().label_scale),
+      100 * kMicrosecond);
+  thread_ = std::make_unique<DaemonThread>(*this, period);
+  machine_.engine().AddThread(thread_.get());
+}
+
+SimTime HememDaemon::Rebalance() {
+  if (instances_.empty()) {
+    return kMicrosecond;
+  }
+  stats_.rebalances++;
+
+  // Demand signal: each instance's tracked hot bytes (both tiers — NVM-hot
+  // pages represent unmet demand), floored so nobody starves.
+  const uint64_t dram = machine_.config().dram_bytes;
+  const uint64_t page = machine_.page_bytes();
+  const uint64_t floor_bytes = RoundUp(
+      static_cast<uint64_t>(params_.min_share * static_cast<double>(dram)), page);
+
+  std::vector<double> demand(instances_.size());
+  double total_demand = 0.0;
+  for (size_t i = 0; i < instances_.size(); ++i) {
+    demand[i] = static_cast<double>(instances_[i]->hot_bytes(Tier::kDram) +
+                                    instances_[i]->hot_bytes(Tier::kNvm) + page);
+    total_demand += demand[i];
+  }
+
+  const uint64_t distributable =
+      dram - std::min(dram, floor_bytes * instances_.size());
+  for (size_t i = 0; i < instances_.size(); ++i) {
+    const auto share = static_cast<uint64_t>(
+        static_cast<double>(distributable) * demand[i] / total_demand);
+    instances_[i]->set_dram_quota(RoundUp(floor_bytes + share, page));
+  }
+  // Bookkeeping cost: reading counters and poking quotas.
+  return static_cast<SimTime>(instances_.size()) * kMicrosecond;
+}
+
+uint64_t HememDaemon::quota_of(size_t instance) const {
+  return instances_[instance]->dram_quota();
+}
+
+}  // namespace hemem

@@ -1,0 +1,61 @@
+// HememDaemon: global tiered-memory coordination across processes.
+//
+// The paper's Section 3.4 sketches this exactly: "a userspace HeMem daemon
+// can coordinate per-process HeMem instances. Processes would request memory
+// from the HeMem daemon, which manages the global pool, attaches to each
+// processes' userfaultfd and PEBS buffers, and migrates memory on behalf of
+// these processes." Here each process is a Hemem instance sharing one
+// Machine; the daemon periodically re-divides the DRAM pool between them in
+// proportion to their measured hot-set sizes (with a configurable floor per
+// instance), and the instances' policy threads enforce the quotas.
+
+#ifndef HEMEM_CORE_DAEMON_H_
+#define HEMEM_CORE_DAEMON_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/hemem.h"
+
+namespace hemem {
+
+struct DaemonParams {
+  SimTime rebalance_period = 100 * kMillisecond;  // paper-scale; scaled by label_scale
+  // Every instance keeps at least this share of DRAM regardless of demand.
+  double min_share = 0.10;
+};
+
+struct DaemonStats {
+  uint64_t rebalances = 0;
+};
+
+class HememDaemon {
+ public:
+  HememDaemon(Machine& machine, DaemonParams params = DaemonParams{});
+  ~HememDaemon();
+
+  // Registers a per-process instance (non-owning; caller keeps it alive).
+  void Attach(Hemem* instance);
+
+  // Starts the rebalancing thread. Call after attaching the instances.
+  void Start();
+
+  // One rebalancing decision (exposed for tests); returns its work time.
+  SimTime Rebalance();
+
+  const DaemonStats& stats() const { return stats_; }
+  uint64_t quota_of(size_t instance) const;
+
+ private:
+  class DaemonThread;
+
+  Machine& machine_;
+  DaemonParams params_;
+  std::vector<Hemem*> instances_;
+  std::unique_ptr<DaemonThread> thread_;
+  DaemonStats stats_;
+};
+
+}  // namespace hemem
+
+#endif  // HEMEM_CORE_DAEMON_H_

@@ -1,0 +1,720 @@
+#include "core/hemem.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "core/scanner.h"
+
+namespace hemem {
+
+namespace {
+
+// List-maintenance cost of one policy wakeup, independent of migrations.
+constexpr SimTime kPolicyBaseCost = 2 * kMicrosecond;
+// Cost of examining one page during a page-table scan pass, beyond the raw
+// PTE traffic (list moves, counter updates).
+constexpr SimTime kPtPerPageCost = 5;
+
+}  // namespace
+
+Hemem::Hemem(Machine& machine, HememParams params)
+    : TieredMemoryManager(machine),
+      params_(params),
+      watermark_bytes_(static_cast<uint64_t>(static_cast<double>(params.dram_free_watermark) /
+                                             machine.config().label_scale)),
+      managed_threshold_bytes_(static_cast<uint64_t>(
+          static_cast<double>(params.managed_threshold) / machine.config().label_scale)),
+      copier_(params.copy_threads) {
+  // On small scaled machines the watermark must stay a meaningful number of
+  // pages yet a bounded fraction of DRAM.
+  watermark_bytes_ = std::min(watermark_bytes_, machine.config().dram_bytes / 4);
+  watermark_bytes_ = std::max(watermark_bytes_, 2 * machine.page_bytes());
+  // Management cadence scales with the platform (see DESIGN.md): capacities
+  // shrink by label_scale, so thread periods shrink alike to preserve the
+  // management-to-workload duty cycle. Migration budgets derive from the
+  // scaled period, so the paper's 10 GB/s cap is preserved as a *rate*.
+  const double scale = machine.config().label_scale;
+  auto scaled = [scale](SimTime t, SimTime floor) {
+    return std::max<SimTime>(static_cast<SimTime>(static_cast<double>(t) / scale), floor);
+  };
+  params_.policy_period = scaled(params_.policy_period, 20 * kMicrosecond);
+  params_.pt_scan_period = scaled(params_.pt_scan_period, 20 * kMicrosecond);
+  params_.pebs_drain_period = scaled(params_.pebs_drain_period, 10 * kMicrosecond);
+  nvm_watermark_bytes_ = static_cast<uint64_t>(
+      static_cast<double>(params.nvm_free_watermark) / machine.config().label_scale);
+  nvm_watermark_bytes_ = std::min(nvm_watermark_bytes_, machine.config().nvm_bytes / 4);
+  nvm_watermark_bytes_ = std::max(nvm_watermark_bytes_, 2 * machine.page_bytes());
+  if (params_.enable_swap && machine.swap() != nullptr) {
+    swap_space_.emplace(machine.swap()->capacity(), machine.page_bytes());
+  }
+  drain_buf_.reserve(4096);
+}
+
+Hemem::~Hemem() = default;
+
+const char* Hemem::name() const {
+  switch (params_.scan_mode) {
+    case ScanMode::kPebs:
+      return "HeMem";
+    case ScanMode::kPtSync:
+      return "HeMem-PT-Sync";
+    case ScanMode::kPtAsync:
+      return "HeMem-PT-Async";
+    case ScanMode::kNone:
+      return "HeMem-NoScan";
+  }
+  return "HeMem";
+}
+
+void Hemem::Start() {
+  Engine& engine = machine_.engine();
+  switch (params_.scan_mode) {
+    case ScanMode::kPebs:
+      pebs_thread_ = std::make_unique<PebsThread>(*this);
+      engine.AddThread(pebs_thread_.get());
+      break;
+    case ScanMode::kPtAsync:
+      pt_scan_thread_ = std::make_unique<PtScanThread>(*this);
+      engine.AddThread(pt_scan_thread_.get());
+      break;
+    case ScanMode::kPtSync:
+    case ScanMode::kNone:
+      break;
+  }
+  if (params_.enable_policy) {
+    policy_thread_ = std::make_unique<HememPolicyThread>(
+        *this, /*scan_inline=*/params_.scan_mode == ScanMode::kPtSync);
+    engine.AddThread(policy_thread_.get());
+  }
+}
+
+uint64_t Hemem::Mmap(uint64_t bytes, AllocOptions opts) {
+  PageTable& pt = machine_.page_table();
+  const uint64_t page = machine_.page_bytes();
+  const uint64_t base = pt.ReserveVa(bytes, page);
+
+  // Small allocations are forwarded to the kernel; they stay in DRAM and are
+  // not tracked. A label whose cumulative small allocations cross the
+  // managed threshold flips to managed (the growth rule).
+  uint64_t& grown = label_growth_[opts.label];
+  const bool managed =
+      opts.pin_tier.has_value() || bytes >= managed_threshold_bytes_ ||
+      grown + bytes >= managed_threshold_bytes_;
+  grown += bytes;
+
+  Region* region = pt.MapRegion(base, bytes, page, managed, opts.label);
+  if (!managed) {
+    stats_.small_allocs++;
+    return base;
+  }
+  stats_.managed_allocs++;
+
+  std::vector<HememPage>& pages = meta_[region];
+  pages.resize(region->num_pages());
+  for (uint64_t i = 0; i < region->num_pages(); ++i) {
+    pages[i].region = region;
+    pages[i].index = static_cast<uint32_t>(i);
+  }
+  pinned_[region] = opts.pin_tier.has_value();
+  if (opts.prefer_tier.has_value()) {
+    preferred_[region] = *opts.prefer_tier;
+  }
+
+  if (opts.pin_tier.has_value()) {
+    // Pinned regions (the Opt bound, FlexKVS's priority instance) are mapped
+    // eagerly on the requested tier and excluded from lists and policy.
+    for (PageEntry& entry : region->pages) {
+      Tier tier = *opts.pin_tier;
+      std::optional<uint32_t> frame = machine_.frames(tier).Alloc();
+      if (!frame.has_value()) {
+        tier = tier == Tier::kDram ? Tier::kNvm : Tier::kDram;
+        frame = machine_.frames(tier).Alloc();
+      }
+      assert(frame.has_value() && "machine out of physical memory");
+      entry.frame = *frame;
+      entry.tier = tier;
+      entry.present = true;
+      if (tier == Tier::kDram) {
+        dram_pages_owned_++;
+      }
+    }
+  }
+  return base;
+}
+
+void Hemem::Munmap(uint64_t va) {
+  Region* region = machine_.page_table().Find(va);
+  if (region == nullptr) {
+    return;
+  }
+  const auto it = meta_.find(region);
+  if (it != meta_.end()) {
+    for (HememPage& page : it->second) {
+      DetachFromList(&page);
+    }
+    meta_.erase(it);
+  }
+  pinned_.erase(region);
+  preferred_.erase(region);
+  for (const PageEntry& entry : region->pages) {
+    if (entry.present && entry.tier == Tier::kDram) {
+      dram_pages_owned_--;
+    }
+  }
+  ReleaseRegionFrames(*region);
+  machine_.page_table().UnmapRegion(region->base);
+}
+
+std::optional<Hemem::PageProbe> Hemem::ProbePage(uint64_t va) {
+  Region* region = machine_.page_table().Find(va);
+  if (region == nullptr) {
+    return std::nullopt;
+  }
+  HememPage* page = MetaOf(region, region->PageIndexOf(va));
+  if (page == nullptr) {
+    return std::nullopt;
+  }
+  return PageProbe{page->reads, page->writes, page->write_heavy,
+                   page->list == PageListId::kHot, page->tier()};
+}
+
+HememPage* Hemem::MetaOf(Region* region, uint64_t index) {
+  const auto it = meta_.find(region);
+  if (it == meta_.end()) {
+    return nullptr;
+  }
+  return &it->second[index];
+}
+
+void Hemem::HandleMissingFault(SimThread& thread, Region& region, uint64_t index) {
+  PageEntry& entry = region.pages[index];
+  // userfaultfd round trip to the fault thread, then a zero-filled page.
+  // DRAM is preferred so ephemeral data lands (and dies) in fast memory,
+  // unless the region carries an explicit placement hint.
+  Tier tier = Tier::kDram;
+  const auto pref = preferred_.find(&region);
+  if (pref != preferred_.end()) {
+    tier = pref->second;
+  } else if (dram_quota_bytes_ > 0 && dram_usage() >= dram_quota_bytes_) {
+    tier = Tier::kNvm;  // over quota: fresh pages go to NVM
+  }
+  std::optional<uint32_t> frame = machine_.frames(tier).Alloc();
+  if (!frame.has_value()) {
+    tier = tier == Tier::kDram ? Tier::kNvm : Tier::kDram;
+    frame = machine_.frames(tier).Alloc();
+  }
+  assert(frame.has_value() && "machine out of physical memory");
+  entry.frame = *frame;
+  entry.tier = tier;
+  entry.present = true;
+  if (tier == Tier::kDram) {
+    dram_pages_owned_++;
+  }
+  thread.Advance(fault_costs_.userfaultfd_roundtrip);
+  thread.AdvanceTo(machine_.device(tier).BulkTransfer(thread.now(), region.page_bytes,
+                                                      AccessKind::kStore));
+  stats_.missing_faults++;
+
+  HememPage* page = MetaOf(&region, index);
+  if (page != nullptr && !pinned_[&region]) {
+    // Fresh pages start cold; FIFO order gives ephemeral data its DRAM grace
+    // period before it becomes a demotion candidate.
+    page->cool_snapshot = cool_clock_;
+    Classify(page);
+  }
+}
+
+void Hemem::HandleSwapInFault(SimThread& thread, Region& region, uint64_t index) {
+  PageEntry& entry = region.pages[index];
+  BlockDevice* disk = machine_.swap();
+  assert(disk != nullptr && swap_space_.has_value());
+  // Major fault: userfaultfd round trip, then the page streams back from the
+  // block device into a fresh frame (DRAM preferred — it is being touched —
+  // unless a daemon quota says otherwise).
+  Tier tier = Tier::kDram;
+  if (dram_quota_bytes_ > 0 && dram_usage() >= dram_quota_bytes_) {
+    tier = Tier::kNvm;
+  }
+  std::optional<uint32_t> frame = machine_.frames(tier).Alloc();
+  if (!frame.has_value()) {
+    tier = Tier::kNvm;
+    frame = machine_.frames(tier).Alloc();
+  }
+  assert(frame.has_value() && "machine out of physical memory");
+  thread.Advance(fault_costs_.userfaultfd_roundtrip);
+  const SimTime read_done = disk->Read(thread.now(), region.page_bytes);
+  const SimTime fill_done =
+      machine_.device(tier).BulkTransfer(thread.now(), region.page_bytes,
+                                         AccessKind::kStore);
+  thread.AdvanceTo(std::max(read_done, fill_done));
+  swap_space_->Free(entry.frame);
+  entry.frame = *frame;
+  entry.tier = tier;
+  entry.swapped = false;
+  entry.present = true;
+  if (tier == Tier::kDram) {
+    dram_pages_owned_++;
+  }
+  hstats_.pages_swapped_in++;
+
+  HememPage* page = MetaOf(&region, index);
+  if (page != nullptr && !pinned_[&region]) {
+    page->cool_snapshot = cool_clock_;
+    Classify(page);
+  }
+}
+
+SimTime Hemem::SwapOutColdPages(SimTime t, uint64_t* budget) {
+  BlockDevice* disk = machine_.swap();
+  const uint64_t page_bytes = machine_.page_bytes();
+  FrameAllocator& nvm_frames = machine_.frames(Tier::kNvm);
+  const int nvm = static_cast<int>(Tier::kNvm);
+  while (nvm_frames.free_bytes() < nvm_watermark_bytes_ && *budget >= page_bytes) {
+    HememPage* victim = cold_[nvm].PopFront();
+    if (victim == nullptr) {
+      break;  // nothing cold enough to evict
+    }
+    victim->list = PageListId::kNone;
+    const uint32_t slot = swap_space_->Alloc();
+    if (slot == UINT32_MAX) {
+      Classify(victim);
+      break;  // swap space full
+    }
+    PageEntry& entry = victim->entry();
+    // Stream the page out: NVM read feeding a disk write.
+    const SimTime nvm_done =
+        machine_.nvm().BulkTransfer(t, page_bytes, AccessKind::kLoad);
+    t = disk->Write(nvm_done, page_bytes);
+    nvm_frames.Free(entry.frame);
+    entry.frame = slot;
+    entry.present = false;
+    entry.swapped = true;
+    *budget -= page_bytes;
+    hstats_.pages_swapped_out++;
+  }
+  return t;
+}
+
+void Hemem::AccessPage(SimThread& thread, uint64_t va, uint32_t size, AccessKind kind) {
+  Region* region = machine_.page_table().Find(va);
+  assert(region != nullptr && "access to unmapped address");
+  const uint64_t page_bytes = machine_.page_bytes();
+  const uint64_t index = region->PageIndexOf(va);
+  PageEntry& entry = region->pages[index];
+
+  if (!entry.present && entry.swapped) {
+    HandleSwapInFault(thread, *region, index);
+  }
+  if (!entry.present) {
+    if (region->managed) {
+      HandleMissingFault(thread, *region, index);
+    } else {
+      // Kernel-managed small allocation: anonymous fault, DRAM first.
+      Tier tier = Tier::kDram;
+      std::optional<uint32_t> frame = machine_.frames(tier).Alloc();
+      if (!frame.has_value()) {
+        tier = Tier::kNvm;
+        frame = machine_.frames(tier).Alloc();
+      }
+      assert(frame.has_value() && "machine out of physical memory");
+      entry.frame = *frame;
+      entry.tier = tier;
+      entry.present = true;
+      if (tier == Tier::kDram) {
+        dram_pages_owned_++;
+      }
+      thread.Advance(fault_costs_.kernel_fault);
+      thread.AdvanceTo(machine_.device(tier).BulkTransfer(thread.now(), page_bytes,
+                                                          AccessKind::kStore));
+      stats_.missing_faults++;
+    }
+  }
+
+  // Stores against a page whose migration is still in flight wait for the
+  // copy (reads proceed; the paper measures such pauses at < 0.00013%).
+  if (kind == AccessKind::kStore && entry.wp_until > thread.now()) {
+    stats_.wp_faults++;
+    stats_.wp_wait_ns += entry.wp_until - thread.now();
+    thread.Advance(fault_costs_.userfaultfd_roundtrip);
+    thread.AdvanceTo(entry.wp_until);
+  }
+
+  entry.accessed = true;  // hardware A/D bits (used by the PT-scan variants)
+  if (kind == AccessKind::kStore) {
+    entry.dirty = true;
+  }
+
+  const uint64_t pa = static_cast<uint64_t>(entry.frame) * page_bytes + va % page_bytes;
+  thread.AdvanceTo(
+      machine_.device(entry.tier).Access(thread.now(), pa, size, kind, thread.stream_id()));
+
+  if (params_.scan_mode == ScanMode::kPebs) {
+    const PebsEvent event = kind == AccessKind::kStore
+                                ? PebsEvent::kStore
+                                : (entry.tier == Tier::kNvm ? PebsEvent::kNvmLoad
+                                                            : PebsEvent::kDramLoad);
+    machine_.pebs().CountAccess(thread.now(), va, event, thread.stream_id());
+  }
+}
+
+void Hemem::NoteSampleForCooling(HememPage* page) {
+  // Cooling epoch trigger. The paper advances the clock "once any page
+  // accumulates [the cooling threshold] of sampled accesses"; for uniform
+  // hot sets that makes a typical page accrue ~the threshold per epoch. We
+  // generalize the trigger to aggregate samples per *distinct* page sampled
+  // this epoch, which reduces to the paper's rule when pages are equally hot
+  // but stays stable under heavy per-page skew (one mega-hot page must not
+  // halve everyone hundreds of times per second; see DESIGN.md).
+  if (page->sample_stamp != cool_clock_) {
+    page->sample_stamp = cool_clock_;
+    distinct_sampled_++;
+  }
+  samples_since_cool_++;
+  if (samples_since_cool_ >=
+      static_cast<uint64_t>(params_.cooling_threshold) *
+          std::max<uint64_t>(1, distinct_sampled_)) {
+    cool_clock_++;
+    hstats_.cooling_epochs++;
+    samples_since_cool_ = 0;
+    distinct_sampled_ = 0;
+    CoolPage(page);
+  }
+}
+
+void Hemem::CoolPage(HememPage* page) {
+  const uint64_t missed = cool_clock_ - page->cool_snapshot;
+  if (missed == 0) {
+    return;
+  }
+  const int shifts = static_cast<int>(std::min<uint64_t>(missed, 31));
+  page->reads >>= shifts;
+  page->writes >>= shifts;
+  page->cool_snapshot = cool_clock_;
+  if (page->write_heavy && page->writes < params_.hot_write_threshold) {
+    // No longer write-heavy: the paper moves it to the ordinary hot list
+    // (one second chance to stay in DRAM) instead of dropping it to cold.
+    page->write_heavy = false;
+    page->second_chance = true;
+  }
+}
+
+void Hemem::DetachFromList(HememPage* page) {
+  switch (page->list) {
+    case PageListId::kHot:
+      hot_[static_cast<int>(page->list_tier)].Remove(page);
+      break;
+    case PageListId::kCold:
+      cold_[static_cast<int>(page->list_tier)].Remove(page);
+      break;
+    case PageListId::kNone:
+      break;
+  }
+  page->list = PageListId::kNone;
+}
+
+void Hemem::Classify(HememPage* page) {
+  DetachFromList(page);
+  const Tier tier = page->tier();
+  page->list_tier = tier;
+  const bool hot = PageIsHot(*page);
+  if (!hot && page->second_chance) {
+    // Spent: the page rides the hot list once more, then must requalify.
+    page->second_chance = false;
+    page->list = PageListId::kHot;
+    hot_[static_cast<int>(tier)].PushBack(page);
+    return;
+  }
+  if (hot) {
+    page->list = PageListId::kHot;
+    if (page->write_heavy) {
+      // Write-heavy pages jump the queue: NVM write bandwidth is the scarce
+      // resource, so they must reach DRAM before read-heavy pages.
+      hot_[static_cast<int>(tier)].PushFront(page);
+    } else {
+      hot_[static_cast<int>(tier)].PushBack(page);
+    }
+  } else {
+    page->list = PageListId::kCold;
+    cold_[static_cast<int>(tier)].PushBack(page);
+  }
+}
+
+void Hemem::OnSample(uint64_t va, bool is_store) {
+  Region* region = machine_.page_table().Find(va);
+  if (region == nullptr || !region->managed) {
+    return;  // sample outside HeMem-managed memory
+  }
+  if (pinned_[region]) {
+    return;  // pinned regions are not policy-managed
+  }
+  HememPage* page = MetaOf(region, region->PageIndexOf(va));
+  if (page == nullptr || !page->entry().present) {
+    return;
+  }
+
+  CoolPage(page);
+  if (is_store) {
+    page->writes++;
+    if (page->writes >= params_.hot_write_threshold) {
+      page->write_heavy = true;
+    }
+  } else {
+    page->reads++;
+  }
+  NoteSampleForCooling(page);
+  Classify(page);
+  hstats_.samples_processed++;
+}
+
+SimTime Hemem::DrainPebs(SimTime start) {
+  (void)start;
+  PebsBuffer& pebs = machine_.pebs();
+  SimTime work = 0;
+  while (pebs.pending() > 0) {
+    drain_buf_.clear();
+    const size_t n = pebs.Drain(drain_buf_, 4096);
+    for (const PebsRecord& record : drain_buf_) {
+      OnSample(record.va, record.event == PebsEvent::kStore);
+    }
+    work += static_cast<SimTime>(n) * params_.per_sample_cost;
+  }
+  return work;
+}
+
+SimTime Hemem::PtScanPass(SimTime start) {
+  (void)start;
+  hstats_.pt_scans++;
+  const uint64_t page_bytes = machine_.page_bytes();
+  uint64_t scanned_bytes = 0;
+  uint64_t cleared = 0;
+  SimTime work = 0;
+
+  for (auto& [region, pages] : meta_) {
+    if (pinned_[region]) {
+      continue;
+    }
+    scanned_bytes += region->bytes;
+    for (HememPage& page : pages) {
+      PageEntry& entry = page.entry();
+      if (!entry.present) {
+        continue;
+      }
+      work += kPtPerPageCost;
+      if (!entry.accessed) {
+        continue;
+      }
+      cleared++;
+      CoolPage(&page);
+      // A scan only sees binary bits: one observation per pass, regardless
+      // of how many times the page was touched — the fidelity loss that
+      // makes PT variants overestimate the hot set under background traffic.
+      if (entry.dirty) {
+        page.writes++;
+        if (page.writes >= params_.hot_write_threshold) {
+          page.write_heavy = true;
+        }
+      } else {
+        page.reads++;
+      }
+      NoteSampleForCooling(&page);
+      Classify(&page);
+      entry.accessed = false;
+      entry.dirty = false;
+    }
+  }
+
+  // Raw PTE traffic of walking the tables at tracking granularity...
+  work += machine_.config().radix.ScanTime(scanned_bytes, page_bytes);
+  // ...plus clearing A/D bits, which costs TLB shootdowns felt by the app.
+  work += machine_.config().radix.ClearCost(cleared, machine_.engine().cores() - 1);
+  machine_.tlb().ShootdownBatch(machine_.engine(), nullptr, CeilDiv(cleared, 512));
+  return work;
+}
+
+SimTime Hemem::MigrateBatch(SimTime t, std::vector<Migration>& batch) {
+  if (batch.empty()) {
+    return t;
+  }
+  const uint64_t page_bytes = machine_.page_bytes();
+  SimTime done = t;
+  std::vector<SimTime> per_request;
+  if (params_.use_dma) {
+    std::vector<CopyRequest> reqs;
+    reqs.reserve(batch.size());
+    for (const Migration& m : batch) {
+      reqs.push_back(CopyRequest{&machine_.device(m.page->tier()), &machine_.device(m.dst),
+                                 page_bytes});
+    }
+    done = machine_.dma().CopyBatch(t, reqs, params_.dma_channels, &per_request);
+  } else {
+    for (const Migration& m : batch) {
+      per_request.push_back(copier_.Copy(t, machine_.device(m.page->tier()),
+                                         machine_.device(m.dst), page_bytes));
+      done = std::max(done, per_request.back());
+    }
+  }
+
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const Migration& m = batch[i];
+    PageEntry& entry = m.page->entry();
+    const Tier src = entry.tier;
+    // Stores block only while this page's own copy is in flight.
+    entry.wp_until = per_request[i];
+    machine_.frames(src).Free(entry.frame);
+    entry.tier = m.dst;
+    entry.frame = m.frame;
+    if (m.dst == Tier::kDram) {
+      stats_.pages_promoted++;
+      dram_pages_owned_++;
+    } else {
+      stats_.pages_demoted++;
+      if (src == Tier::kDram) {
+        dram_pages_owned_--;
+      }
+    }
+    stats_.bytes_migrated += page_bytes;
+    // Re-enqueue on the destination tier's list matching its temperature.
+    Classify(m.page);
+  }
+  // Remaps are batched under one shootdown.
+  machine_.tlb().ShootdownBatch(machine_.engine(), nullptr, 1);
+  done += machine_.tlb().params().initiator_cost;
+  batch.clear();
+  return done;
+}
+
+SimTime Hemem::PolicyPass(SimTime start) {
+  hstats_.policy_passes++;
+  const uint64_t page_bytes = machine_.page_bytes();
+  const int dram = static_cast<int>(Tier::kDram);
+  const int nvm = static_cast<int>(Tier::kNvm);
+  SimTime t = start + kPolicyBaseCost;
+  // Rate cap per pass; never below one DMA batch or short scaled periods
+  // could not migrate at all.
+  uint64_t budget = std::max<uint64_t>(
+      static_cast<uint64_t>(params_.migration_rate *
+                            static_cast<double>(params_.policy_period)),
+      static_cast<uint64_t>(params_.dma_batch) * page_bytes);
+
+  std::vector<Migration> batch;
+
+  // Phase -1: with a swap tier enabled, free NVM first — the demotion phases
+  // below need NVM frames to demote into.
+  if (swap_space_.has_value()) {
+    t = SwapOutColdPages(t, &budget);
+  }
+
+  // Phase 0: an externally assigned DRAM quota (HememDaemon) caps this
+  // instance; demote cold pages down to it.
+  if (dram_quota_bytes_ > 0) {
+    while (dram_usage() > dram_quota_bytes_ && budget >= page_bytes) {
+      HememPage* victim = cold_[dram].PopFront();
+      if (victim == nullptr) {
+        victim = hot_[dram].PopBack();
+      }
+      if (victim == nullptr) {
+        break;
+      }
+      victim->list = PageListId::kNone;
+      const std::optional<uint32_t> frame = machine_.frames(Tier::kNvm).Alloc();
+      if (!frame.has_value()) {
+        Classify(victim);
+        break;
+      }
+      batch.push_back(Migration{victim, Tier::kNvm, *frame});
+      budget -= page_bytes;
+      if (static_cast<int>(batch.size()) >= params_.dma_batch) {
+        t = MigrateBatch(t, batch);
+      }
+    }
+    t = MigrateBatch(t, batch);
+  }
+
+  // Phase 1: keep the DRAM free watermark so allocations land in DRAM.
+  // Demote cold pages first; if none are cold, demote "random" data (we take
+  // the oldest hot page — deterministic and FIFO-fair).
+  FrameAllocator& dram_frames = machine_.frames(Tier::kDram);
+  FrameAllocator& nvm_frames = machine_.frames(Tier::kNvm);
+  while (dram_frames.free_bytes() +
+                 static_cast<uint64_t>(batch.size()) * page_bytes <
+             watermark_bytes_ &&
+         budget >= page_bytes) {
+    HememPage* victim = cold_[dram].PopFront();
+    if (victim == nullptr) {
+      victim = hot_[dram].PopBack();
+    }
+    if (victim == nullptr) {
+      break;
+    }
+    victim->list = PageListId::kNone;
+    const std::optional<uint32_t> frame = nvm_frames.Alloc();
+    if (!frame.has_value()) {
+      Classify(victim);  // put it back; NVM is full
+      break;
+    }
+    batch.push_back(Migration{victim, Tier::kNvm, *frame});
+    budget -= page_bytes;
+    if (static_cast<int>(batch.size()) >= params_.dma_batch) {
+      t = MigrateBatch(t, batch);
+    }
+  }
+  t = MigrateBatch(t, batch);
+
+  // Phase 2: promote the NVM hot list (write-heavy pages sit at its front).
+  bool stalled = false;
+  while (!stalled && budget >= page_bytes && !hot_[nvm].empty()) {
+    while (static_cast<int>(batch.size()) < params_.dma_batch && budget >= page_bytes) {
+      HememPage* hot_page = hot_[nvm].PopFront();
+      if (hot_page == nullptr) {
+        break;
+      }
+      hot_page->list = PageListId::kNone;
+      // Above the quota no promotion happens (the daemon gave the DRAM to
+      // someone else); otherwise a DRAM frame comes from free memory above
+      // the watermark, else by demoting a cold DRAM page. No cold DRAM page
+      // and no free memory means the hot set exceeds DRAM: stop migrating.
+      if (dram_quota_bytes_ > 0 && dram_usage() >= dram_quota_bytes_) {
+        Classify(hot_page);
+        stalled = true;
+        break;
+      }
+      std::optional<uint32_t> frame;
+      if (dram_frames.free_bytes() > watermark_bytes_) {
+        frame = dram_frames.Alloc();
+      }
+      if (!frame.has_value()) {
+        HememPage* victim = cold_[dram].PopFront();
+        if (victim == nullptr) {
+          Classify(hot_page);  // back onto the NVM hot list
+          stalled = true;
+          hstats_.promotion_stalls++;
+          break;
+        }
+        victim->list = PageListId::kNone;
+        const std::optional<uint32_t> nvm_frame = nvm_frames.Alloc();
+        if (!nvm_frame.has_value()) {
+          Classify(hot_page);
+          Classify(victim);
+          stalled = true;
+          break;
+        }
+        std::vector<Migration> demote_batch;
+        demote_batch.push_back(Migration{victim, Tier::kNvm, *nvm_frame});
+        budget = budget >= page_bytes ? budget - page_bytes : 0;
+        t = MigrateBatch(t, demote_batch);
+        frame = dram_frames.Alloc();
+        if (!frame.has_value()) {
+          Classify(hot_page);
+          stalled = true;
+          break;
+        }
+      }
+      batch.push_back(Migration{hot_page, Tier::kDram, *frame});
+      budget -= page_bytes;
+    }
+    t = MigrateBatch(t, batch);
+  }
+  return t - start;
+}
+
+}  // namespace hemem

@@ -1,0 +1,208 @@
+// HeMem: the paper's user-level tiered memory manager.
+//
+// Architecture (paper Figure 4c): applications' allocation calls are
+// intercepted (Mmap below); small allocations are forwarded to the kernel
+// and implicitly stay in DRAM, while large ranges are managed by HeMem
+// through userfaultfd-style faults. Three asynchronous helper threads do all
+// management work off the application's critical path:
+//
+//   * the PEBS thread drains the CPU's sample buffer and classifies pages
+//     into per-tier hot/cold FIFO lists, cooling counts with a lazy clock;
+//   * the policy thread (10 ms period) keeps a free-DRAM watermark and
+//     migrates NVM-hot pages to DRAM (write-heavy pages first) in DMA
+//     batches, write-protecting pages only for the duration of the copy;
+//   * the fault path maps zero-filled pages, preferring DRAM.
+//
+// The scan mode selects the paper's ablations: kPebs is HeMem proper;
+// kPtSync/kPtAsync replace sampling with page-table accessed/dirty-bit
+// scanning (synchronously on the policy thread, or on a separate scan
+// thread) — the configurations Figures 8, 9, 15 and 16 compare against;
+// kNone disables tracking entirely (the "Opt" manual-placement bound).
+
+#ifndef HEMEM_CORE_HEMEM_H_
+#define HEMEM_CORE_HEMEM_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/page_lists.h"
+#include "mem/block_device.h"
+#include "mem/dma.h"
+#include "pebs/pebs.h"
+#include "tier/machine.h"
+#include "tier/manager.h"
+
+namespace hemem {
+
+class PebsThread;
+class PtScanThread;
+class HememPolicyThread;
+
+struct HememParams {
+  enum class ScanMode { kNone, kPebs, kPtSync, kPtAsync };
+
+  ScanMode scan_mode = ScanMode::kPebs;
+  bool enable_policy = true;  // watermark enforcement + migration
+
+  // Classification thresholds (paper Section 3.1, defaults from Section 5.1).
+  uint32_t hot_read_threshold = 8;
+  uint32_t hot_write_threshold = 4;
+  uint32_t cooling_threshold = 18;
+
+  SimTime policy_period = 10 * kMillisecond;
+  SimTime pebs_drain_period = 1 * kMillisecond;
+  SimTime per_sample_cost = 150;  // ns of PEBS-thread work per record
+  SimTime pt_scan_period = 10 * kMillisecond;
+
+  // Paper-scale values; divided by the machine's label_scale at construction.
+  uint64_t dram_free_watermark = GiB(1);
+  uint64_t managed_threshold = GiB(1);
+
+  double migration_rate = GiBps(10.0);  // cap on migration traffic
+
+  // Swap tier (paper Section 3.4): when the machine has a block device and
+  // this is set, the policy thread swaps the coldest NVM pages out once free
+  // NVM falls below the watermark, and swapped pages fault back in on touch.
+  bool enable_swap = false;
+  uint64_t nvm_free_watermark = GiB(4);  // paper-scale; divided by label_scale
+  bool use_dma = true;
+  int dma_channels = 2;
+  int dma_batch = 4;
+  int copy_threads = 4;  // CPU-copy fallback when use_dma is false
+};
+
+struct HememStats {
+  uint64_t samples_processed = 0;
+  uint64_t cooling_epochs = 0;
+  uint64_t pt_scans = 0;
+  uint64_t policy_passes = 0;
+  uint64_t promotion_stalls = 0;  // hot set exceeded DRAM; migration paused
+  uint64_t pages_swapped_out = 0;
+  uint64_t pages_swapped_in = 0;
+};
+
+class Hemem : public TieredMemoryManager {
+ public:
+  using ScanMode = HememParams::ScanMode;
+
+  explicit Hemem(Machine& machine, HememParams params = HememParams{});
+  ~Hemem() override;
+
+  const char* name() const override;
+
+  uint64_t Mmap(uint64_t bytes, AllocOptions opts = {}) override;
+  void Munmap(uint64_t va) override;
+  void AccessPage(SimThread& thread, uint64_t va, uint32_t size, AccessKind kind) override;
+  void Start() override;
+
+  const HememParams& params() const { return params_; }
+
+  // Global coordination (paper Section 3.4): a HememDaemon may cap this
+  // instance's DRAM usage. 0 means uncapped. The policy thread demotes down
+  // to the quota and stops promoting above it.
+  void set_dram_quota(uint64_t bytes) { dram_quota_bytes_ = bytes; }
+  uint64_t dram_quota() const { return dram_quota_bytes_; }
+  // DRAM bytes currently owned by this instance's pages.
+  uint64_t dram_usage() const { return dram_pages_owned_ * machine_.page_bytes(); }
+  const HememStats& hstats() const { return hstats_; }
+  uint64_t cooling_clock() const { return cool_clock_; }
+  uint64_t hot_pages(Tier tier) const { return hot_[static_cast<int>(tier)].size(); }
+  uint64_t cold_pages(Tier tier) const { return cold_[static_cast<int>(tier)].size(); }
+  uint64_t hot_bytes(Tier tier) const { return hot_pages(tier) * machine_.page_bytes(); }
+
+  // Introspection for tests and diagnostics: the tracked counters of the
+  // page containing `va` (reads, writes, write_heavy, hot-list membership).
+  struct PageProbe {
+    uint32_t reads = 0;
+    uint32_t writes = 0;
+    bool write_heavy = false;
+    bool on_hot_list = false;
+    Tier tier = Tier::kDram;
+  };
+  std::optional<PageProbe> ProbePage(uint64_t va);
+
+ private:
+  friend class PebsThread;
+  friend class PtScanThread;
+  friend class HememPolicyThread;
+
+  struct Migration {
+    HememPage* page = nullptr;
+    Tier dst = Tier::kDram;
+    uint32_t frame = kInvalidFrame;
+  };
+
+  HememPage* MetaOf(Region* region, uint64_t index);
+
+  // Sample-path classification (called by the PEBS thread per record).
+  void OnSample(uint64_t va, bool is_store);
+  // Epoch accounting for one sample; may advance the global cooling clock.
+  void NoteSampleForCooling(HememPage* page);
+  // Lazily applies missed cooling epochs to the page.
+  void CoolPage(HememPage* page);
+  // Unlinks the page from whichever list currently holds it.
+  void DetachFromList(HememPage* page);
+  // Moves the page onto the list its counters demand.
+  void Classify(HememPage* page);
+
+  // Page-table-scan tracking pass; returns simulated duration.
+  SimTime PtScanPass(SimTime start);
+  // Migration policy pass; returns simulated duration.
+  SimTime PolicyPass(SimTime start);
+  // PEBS buffer drain; returns simulated duration.
+  SimTime DrainPebs(SimTime start);
+
+  void HandleMissingFault(SimThread& thread, Region& region, uint64_t index);
+  // Major fault: brings a swapped-out page back from the block device.
+  void HandleSwapInFault(SimThread& thread, Region& region, uint64_t index);
+  // Swaps cold NVM pages out until free NVM reaches the watermark or the
+  // budget is spent; returns the new time cursor.
+  SimTime SwapOutColdPages(SimTime t, uint64_t* budget);
+  // Copies every page in `batch` to its destination; updates mappings,
+  // lists, stats; one TLB shootdown per batch. Returns the new time cursor.
+  SimTime MigrateBatch(SimTime t, std::vector<Migration>& batch);
+
+  bool PageIsHot(const HememPage& page) const {
+    return page.reads >= params_.hot_read_threshold ||
+           page.writes >= params_.hot_write_threshold;
+  }
+
+  HememParams params_;
+  uint64_t watermark_bytes_;
+  uint64_t nvm_watermark_bytes_;
+  uint64_t managed_threshold_bytes_;
+  std::optional<SwapSpace> swap_space_;
+
+  PageList hot_[kNumTiers];
+  PageList cold_[kNumTiers];
+  std::unordered_map<Region*, std::vector<HememPage>> meta_;
+  std::unordered_map<Region*, bool> pinned_;
+  std::unordered_map<Region*, Tier> preferred_;  // fault-time placement hints
+  uint64_t cool_clock_ = 0;
+  uint64_t dram_quota_bytes_ = 0;   // 0 = uncapped
+  uint64_t dram_pages_owned_ = 0;   // this instance's DRAM-resident pages
+  uint64_t samples_since_cool_ = 0;
+  uint64_t distinct_sampled_ = 0;  // distinct pages sampled this epoch
+
+  CpuCopier copier_;
+  FaultCosts fault_costs_;
+  std::unique_ptr<PebsThread> pebs_thread_;
+  std::unique_ptr<PtScanThread> pt_scan_thread_;
+  std::unique_ptr<HememPolicyThread> policy_thread_;
+
+  // Cumulative small-allocation growth per label: once a label's total
+  // crosses the managed threshold, later allocations with it are managed
+  // (the paper's "regions growing via small allocations" rule).
+  std::unordered_map<std::string, uint64_t> label_growth_;
+
+  std::vector<PebsRecord> drain_buf_;
+  HememStats hstats_;
+};
+
+}  // namespace hemem
+
+#endif  // HEMEM_CORE_HEMEM_H_

@@ -1,0 +1,68 @@
+#include "core/page_lists.h"
+
+#include <cassert>
+
+namespace hemem {
+
+void PageList::PushBack(HememPage* page) {
+  assert(page->prev == nullptr && page->next == nullptr);
+  page->prev = tail_;
+  if (tail_ != nullptr) {
+    tail_->next = page;
+  } else {
+    head_ = page;
+  }
+  tail_ = page;
+  size_++;
+}
+
+void PageList::PushFront(HememPage* page) {
+  assert(page->prev == nullptr && page->next == nullptr);
+  page->next = head_;
+  if (head_ != nullptr) {
+    head_->prev = page;
+  } else {
+    tail_ = page;
+  }
+  head_ = page;
+  size_++;
+}
+
+void PageList::Remove(HememPage* page) {
+  if (page->prev != nullptr) {
+    page->prev->next = page->next;
+  } else {
+    assert(head_ == page);
+    head_ = page->next;
+  }
+  if (page->next != nullptr) {
+    page->next->prev = page->prev;
+  } else {
+    assert(tail_ == page);
+    tail_ = page->prev;
+  }
+  page->prev = nullptr;
+  page->next = nullptr;
+  assert(size_ > 0);
+  size_--;
+}
+
+HememPage* PageList::PopFront() {
+  if (head_ == nullptr) {
+    return nullptr;
+  }
+  HememPage* page = head_;
+  Remove(page);
+  return page;
+}
+
+HememPage* PageList::PopBack() {
+  if (tail_ == nullptr) {
+    return nullptr;
+  }
+  HememPage* page = tail_;
+  Remove(page);
+  return page;
+}
+
+}  // namespace hemem

@@ -1,0 +1,73 @@
+// HeMem per-page metadata and the hot/cold FIFO queues.
+//
+// HeMem tracks every managed page's sampled read and write counts and keeps
+// pages on one of four intrusive FIFO lists: {hot, cold} x {DRAM, NVM}
+// (free space is tracked by the frame allocators). Intrusive links give O(1)
+// membership moves on every sample, which matters because the PEBS thread
+// touches a page's list position on each processed record.
+//
+// Cooling is the paper's lazy clock: a global epoch counter increments when
+// any page accumulates the cooling threshold of sampled accesses; a page's
+// counts are halved once per epoch it missed, the next time it is touched.
+
+#ifndef HEMEM_CORE_PAGE_LISTS_H_
+#define HEMEM_CORE_PAGE_LISTS_H_
+
+#include <cstdint>
+
+#include "vm/page_table.h"
+
+namespace hemem {
+
+enum class PageListId : uint8_t { kNone, kHot, kCold };
+
+struct HememPage {
+  Region* region = nullptr;
+  uint32_t index = 0;
+
+  uint32_t reads = 0;   // sampled loads since last cooling
+  uint32_t writes = 0;  // sampled stores since last cooling
+  uint64_t cool_snapshot = 0;
+  uint64_t sample_stamp = ~0ull;  // epoch in which this page was last sampled
+  bool write_heavy = false;
+  // A formerly write-heavy page keeps one round on the hot list after
+  // cooling drops it below the write threshold (paper Section 3.3).
+  bool second_chance = false;
+
+  PageListId list = PageListId::kNone;
+  Tier list_tier = Tier::kDram;  // which tier's list the links belong to
+  HememPage* prev = nullptr;
+  HememPage* next = nullptr;
+
+  PageEntry& entry() const { return region->pages[index]; }
+  Tier tier() const { return entry().tier; }
+  uint64_t va() const { return region->base + static_cast<uint64_t>(index) * region->page_bytes; }
+};
+
+// Intrusive doubly-linked FIFO. Not owning; pages live in per-region arrays.
+class PageList {
+ public:
+  PageList() = default;
+
+  PageList(const PageList&) = delete;
+  PageList& operator=(const PageList&) = delete;
+
+  void PushBack(HememPage* page);
+  void PushFront(HememPage* page);
+  void Remove(HememPage* page);
+  HememPage* PopFront();
+  HememPage* PopBack();
+
+  HememPage* front() const { return head_; }
+  uint64_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+ private:
+  HememPage* head_ = nullptr;
+  HememPage* tail_ = nullptr;
+  uint64_t size_ = 0;
+};
+
+}  // namespace hemem
+
+#endif  // HEMEM_CORE_PAGE_LISTS_H_

@@ -1,0 +1,36 @@
+#include "core/scanner.h"
+
+namespace hemem {
+
+PebsThread::PebsThread(Hemem& owner)
+    : PeriodicThread("hemem-pebs", owner.params().pebs_drain_period, /*cpu_share=*/1.0),
+      owner_(owner) {}
+
+SimTime PebsThread::Tick() { return owner_.DrainPebs(now()); }
+
+PtScanThread::PtScanThread(Hemem& owner)
+    : PeriodicThread("hemem-ptscan", owner.params().pt_scan_period, /*cpu_share=*/1.0),
+      owner_(owner) {}
+
+SimTime PtScanThread::Tick() { return owner_.PtScanPass(now()); }
+
+HememPolicyThread::HememPolicyThread(Hemem& owner, bool scan_inline)
+    : PeriodicThread("hemem-policy", owner.params().policy_period, /*cpu_share=*/0.5),
+      owner_(owner),
+      scan_inline_(scan_inline) {}
+
+SimTime HememPolicyThread::Tick() {
+  // The policy (and its device traffic) is timed from the wakeup even in the
+  // synchronous-scan configuration: migration *decisions* still see only the
+  // post-scan state, but device reservations must not be issued at a cursor
+  // far ahead of the application frontier (the channel model would block the
+  // gap). The thread's total busy time still serializes scan + policy.
+  SimTime work = 0;
+  if (scan_inline_) {
+    work += owner_.PtScanPass(now());
+  }
+  const SimTime policy_work = owner_.PolicyPass(now());
+  return work + policy_work;
+}
+
+}  // namespace hemem

@@ -1,0 +1,52 @@
+// HeMem's asynchronous helper threads.
+//
+// Thin PeriodicThread shells: the actual logic lives in Hemem (DrainPebs,
+// PtScanPass, PolicyPass) so the ablation variants can recombine it — the
+// synchronous page-table configuration (Figure 8's "PT Scan + M. Sync")
+// runs the scan inside the policy thread's tick, reproducing Nimble-style
+// staleness, while the asynchronous one scans on its own thread.
+//
+// CPU shares reflect the real implementation: the PEBS reader spins on the
+// sample buffer (a full core), and the policy thread wakes every 10 ms.
+
+#ifndef HEMEM_CORE_SCANNER_H_
+#define HEMEM_CORE_SCANNER_H_
+
+#include "core/hemem.h"
+#include "sim/engine.h"
+
+namespace hemem {
+
+class PebsThread : public PeriodicThread {
+ public:
+  explicit PebsThread(Hemem& owner);
+  SimTime Tick() override;
+
+ private:
+  Hemem& owner_;
+};
+
+class PtScanThread : public PeriodicThread {
+ public:
+  explicit PtScanThread(Hemem& owner);
+  SimTime Tick() override;
+
+ private:
+  Hemem& owner_;
+};
+
+class HememPolicyThread : public PeriodicThread {
+ public:
+  // `scan_inline` runs the page-table scan synchronously before migrating
+  // (the kPtSync ablation).
+  HememPolicyThread(Hemem& owner, bool scan_inline);
+  SimTime Tick() override;
+
+ private:
+  Hemem& owner_;
+  bool scan_inline_;
+};
+
+}  // namespace hemem
+
+#endif  // HEMEM_CORE_SCANNER_H_

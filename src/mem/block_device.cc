@@ -1,0 +1,60 @@
+#include "mem/block_device.h"
+
+#include <algorithm>
+
+namespace hemem {
+
+BlockDevice::BlockDevice(BlockDeviceParams params) : params_(params) {
+  slot_free_.assign(static_cast<size_t>(params_.queue_depth), 0);
+}
+
+SimTime BlockDevice::Submit(SimTime start, uint64_t bytes, double bw) {
+  const uint64_t io_bytes = RoundUp(std::max<uint64_t>(bytes, 1), params_.sector_bytes);
+  const SimTime busy =
+      params_.access_latency + static_cast<SimTime>(static_cast<double>(io_bytes) / bw);
+  size_t best = 0;
+  for (size_t i = 1; i < slot_free_.size(); ++i) {
+    if (slot_free_[i] < slot_free_[best]) {
+      best = i;
+    }
+  }
+  const SimTime begin = std::max(start, slot_free_[best]);
+  slot_free_[best] = begin + busy;
+  return begin + busy;
+}
+
+SimTime BlockDevice::Read(SimTime start, uint64_t bytes) {
+  stats_.reads++;
+  stats_.bytes_read += bytes;
+  return Submit(start, bytes, params_.read_bw);
+}
+
+SimTime BlockDevice::Write(SimTime start, uint64_t bytes) {
+  stats_.writes++;
+  stats_.bytes_written += bytes;
+  return Submit(start, bytes, params_.write_bw);
+}
+
+SwapSpace::SwapSpace(uint64_t capacity_bytes, uint64_t slot_bytes)
+    : total_slots_(capacity_bytes / slot_bytes), slot_bytes_(slot_bytes) {}
+
+uint32_t SwapSpace::Alloc() {
+  if (!free_list_.empty()) {
+    const uint32_t slot = free_list_.back();
+    free_list_.pop_back();
+    used_++;
+    return slot;
+  }
+  if (next_fresh_ < total_slots_) {
+    used_++;
+    return static_cast<uint32_t>(next_fresh_++);
+  }
+  return UINT32_MAX;
+}
+
+void SwapSpace::Free(uint32_t slot) {
+  used_--;
+  free_list_.push_back(slot);
+}
+
+}  // namespace hemem

@@ -1,0 +1,86 @@
+// Block-device timing model for the swap tier.
+//
+// The paper's Section 3.4 notes that swapping to a block device can provide
+// an additional, slowest memory tier below NVM ("both fast and slow memory
+// are backed by files and the file system can be configured ... to swap
+// files in memory to disk"). This models an NVMe-class SSD: fixed
+// per-request access latency, sequential bandwidth, queue depth realized as
+// parallel slots, and 4 KiB sector granularity.
+
+#ifndef HEMEM_MEM_BLOCK_DEVICE_H_
+#define HEMEM_MEM_BLOCK_DEVICE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.h"
+
+namespace hemem {
+
+struct BlockDeviceParams {
+  uint64_t capacity = 0;
+  SimTime access_latency = 10 * kMicrosecond;  // submission + flash access
+  double read_bw = GiBps(3.0);
+  double write_bw = GiBps(2.0);
+  int queue_depth = 8;  // concurrent in-flight requests
+  uint64_t sector_bytes = KiB(4);
+
+  static BlockDeviceParams NvmeSsd(uint64_t capacity) {
+    BlockDeviceParams p;
+    p.capacity = capacity;
+    return p;
+  }
+};
+
+struct BlockDeviceStats {
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;
+};
+
+class BlockDevice {
+ public:
+  explicit BlockDevice(BlockDeviceParams params);
+
+  // Times one request of `bytes` (rounded up to sectors) starting no earlier
+  // than `start`; returns completion.
+  SimTime Read(SimTime start, uint64_t bytes);
+  SimTime Write(SimTime start, uint64_t bytes);
+
+  const BlockDeviceParams& params() const { return params_; }
+  const BlockDeviceStats& stats() const { return stats_; }
+  uint64_t capacity() const { return params_.capacity; }
+
+ private:
+  SimTime Submit(SimTime start, uint64_t bytes, double bw);
+
+  BlockDeviceParams params_;
+  std::vector<SimTime> slot_free_;
+  BlockDeviceStats stats_;
+};
+
+// Swap-slot allocator over the device's capacity.
+class SwapSpace {
+ public:
+  SwapSpace(uint64_t capacity_bytes, uint64_t slot_bytes);
+
+  // Returns a slot index, or UINT32_MAX when the swap space is full.
+  uint32_t Alloc();
+  void Free(uint32_t slot);
+
+  uint64_t used_slots() const { return used_; }
+  uint64_t total_slots() const { return total_slots_; }
+  uint64_t slot_bytes() const { return slot_bytes_; }
+
+ private:
+  uint64_t total_slots_;
+  uint64_t slot_bytes_;
+  uint64_t used_ = 0;
+  uint64_t next_fresh_ = 0;
+  std::vector<uint32_t> free_list_;
+};
+
+}  // namespace hemem
+
+#endif  // HEMEM_MEM_BLOCK_DEVICE_H_

@@ -1,0 +1,98 @@
+#include "mem/dma.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hemem {
+
+namespace {
+
+// Earliest-free slot reservation shared by the engine and the CPU copier.
+SimTime ReserveSlot(std::vector<SimTime>& free_at, SimTime start, SimTime busy) {
+  size_t best = 0;
+  for (size_t i = 1; i < free_at.size(); ++i) {
+    if (free_at[i] < free_at[best]) {
+      best = i;
+    }
+  }
+  const SimTime begin = std::max(start, free_at[best]);
+  free_at[best] = begin + busy;
+  return begin;
+}
+
+}  // namespace
+
+DmaEngine::DmaEngine(DmaParams params) : params_(params) {
+  channel_free_.assign(static_cast<size_t>(params_.channels), 0);
+}
+
+SimTime DmaEngine::CopyBatch(SimTime start, std::span<const CopyRequest> batch,
+                             int channels_to_use, std::vector<SimTime>* per_request_done) {
+  assert(static_cast<int>(batch.size()) <= params_.max_batch);
+  assert(channels_to_use >= 1 && channels_to_use <= params_.channels);
+  if (per_request_done != nullptr) {
+    per_request_done->clear();
+  }
+
+  const SimTime issue = start + params_.submit_overhead;
+  SimTime done = issue;
+  // Requests round-robin over the selected engine channels; each request is
+  // limited by the slowest of: its engine channel, source read bandwidth,
+  // destination write bandwidth.
+  std::vector<SimTime> lane_free(static_cast<size_t>(channels_to_use), issue);
+  int lane = 0;
+  for (const CopyRequest& req : batch) {
+    assert(req.src != nullptr && req.dst != nullptr);
+    const SimTime engine_busy =
+        static_cast<SimTime>(static_cast<double>(req.bytes) / params_.channel_bw);
+    // Engine channel availability gates the start...
+    const SimTime engine_begin = ReserveSlot(channel_free_, std::max(issue, lane_free[lane]),
+                                             engine_busy);
+    // ...then the copy streams through both devices.
+    const SimTime src_done = req.src->BulkTransfer(engine_begin, req.bytes, AccessKind::kLoad);
+    const SimTime dst_done = req.dst->BulkTransfer(engine_begin, req.bytes, AccessKind::kStore);
+    const SimTime req_done = std::max({engine_begin + engine_busy, src_done, dst_done});
+    lane_free[lane] = req_done;
+    done = std::max(done, req_done);
+    lane = (lane + 1) % channels_to_use;
+    if (per_request_done != nullptr) {
+      per_request_done->push_back(req_done);
+    }
+
+    stats_.copies++;
+    stats_.bytes_copied += req.bytes;
+  }
+  stats_.batches++;
+  return done;
+}
+
+SimTime DmaEngine::Copy(SimTime start, MemoryDevice& src, MemoryDevice& dst, uint64_t bytes,
+                        int channels_to_use) {
+  const CopyRequest req{&src, &dst, bytes};
+  return CopyBatch(start, std::span<const CopyRequest>(&req, 1), channels_to_use);
+}
+
+CpuCopier::CpuCopier(int threads, double per_thread_bw)
+    : threads_(threads), per_thread_bw_(per_thread_bw) {
+  worker_free_.assign(static_cast<size_t>(threads), 0);
+}
+
+SimTime CpuCopier::Copy(SimTime start, MemoryDevice& src, MemoryDevice& dst, uint64_t bytes) {
+  // Split the copy over the workers; each chunk is gated by the worker's own
+  // throughput plus the shared device channels.
+  const uint64_t chunk = CeilDiv(bytes, static_cast<uint64_t>(threads_));
+  SimTime done = start;
+  uint64_t remaining = bytes;
+  for (int i = 0; i < threads_ && remaining > 0; ++i) {
+    const uint64_t n = std::min<uint64_t>(chunk, remaining);
+    remaining -= n;
+    const SimTime busy = static_cast<SimTime>(static_cast<double>(n) / per_thread_bw_);
+    const SimTime begin = ReserveSlot(worker_free_, start, busy);
+    const SimTime src_done = src.BulkTransfer(begin, n, AccessKind::kLoad);
+    const SimTime dst_done = dst.BulkTransfer(begin, n, AccessKind::kStore);
+    done = std::max({done, begin + busy, src_done, dst_done});
+  }
+  return done;
+}
+
+}  // namespace hemem

@@ -1,0 +1,37 @@
+#include "pebs/pebs.h"
+
+namespace hemem {
+
+PebsBuffer::PebsBuffer(PebsParams params) : params_(params) {}
+
+void PebsBuffer::CountAccess(SimTime now, uint64_t va, PebsEvent event,
+                             uint32_t stream_id) {
+  stats_.accesses_counted++;
+  const int idx = static_cast<int>(event);
+  uint64_t& counter = counter_[stream_id % kMaxContexts][idx];
+  if (++counter < params_.period[idx]) {
+    return;
+  }
+  counter = 0;
+  if (ring_.size() >= params_.buffer_capacity) {
+    // Hardware keeps writing past a full buffer only by overwriting the
+    // interrupt threshold; in practice the record is lost.
+    stats_.samples_dropped++;
+    return;
+  }
+  ring_.push_back(PebsRecord{va, event, now});
+  stats_.samples_written++;
+}
+
+size_t PebsBuffer::Drain(std::vector<PebsRecord>& out, size_t max) {
+  size_t n = 0;
+  while (n < max && !ring_.empty()) {
+    out.push_back(ring_.front());
+    ring_.pop_front();
+    ++n;
+  }
+  stats_.samples_drained += n;
+  return n;
+}
+
+}  // namespace hemem

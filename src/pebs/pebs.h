@@ -1,0 +1,96 @@
+// Processor event-based sampling (PEBS) model.
+//
+// HeMem configures three hardware counters — loads served from NVM
+// (MEM_LOAD_RETIRED.LOCAL_PMM), loads served from DRAM
+// (MEM_LOAD_L3_MISS_RETIRED.LOCAL_DRAM), and all retired stores
+// (MEM_INST_RETIRED.ALL_STORES) — each with a sample-after value ("period").
+// When a counter overflows, the CPU appends a record carrying the access's
+// virtual address to a preallocated buffer with no software involvement; a
+// software thread drains the buffer asynchronously. If the buffer fills
+// before it is drained, further records are dropped (the Figure 10
+// sensitivity study hinges on this).
+//
+// The model counts every access the tiering manager reports and emits a
+// record each time a counter crosses its period. Determinism: counters are
+// exact, so sampling is stride-based rather than statistically perturbed —
+// the same workload always yields the same sample stream.
+
+#ifndef HEMEM_PEBS_PEBS_H_
+#define HEMEM_PEBS_PEBS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/units.h"
+
+namespace hemem {
+
+enum class PebsEvent : uint8_t { kNvmLoad = 0, kDramLoad = 1, kStore = 2 };
+inline constexpr int kNumPebsEvents = 3;
+
+struct PebsRecord {
+  uint64_t va = 0;
+  PebsEvent event = PebsEvent::kNvmLoad;
+  SimTime time = 0;
+};
+
+struct PebsParams {
+  // Sample-after value per event; the paper's default is 5,000 accesses.
+  uint64_t period[kNumPebsEvents] = {5000, 5000, 5000};
+  // Buffer capacity in records. Sized like the paper's preallocated buffer:
+  // large enough for moderate periods, overrunnable at aggressive ones.
+  size_t buffer_capacity = 1 << 14;
+
+  void SetAllPeriods(uint64_t p) {
+    for (auto& x : period) {
+      x = p;
+    }
+  }
+};
+
+struct PebsStats {
+  uint64_t accesses_counted = 0;
+  uint64_t samples_written = 0;
+  uint64_t samples_dropped = 0;
+  uint64_t samples_drained = 0;
+
+  double DropRate() const {
+    const uint64_t produced = samples_written + samples_dropped;
+    return produced == 0 ? 0.0 : static_cast<double>(samples_dropped) /
+                                     static_cast<double>(produced);
+  }
+};
+
+class PebsBuffer {
+ public:
+  explicit PebsBuffer(PebsParams params = PebsParams{});
+
+  // Called by the tiering manager on every access it wants monitored.
+  // Constant time; appends a record when the event's counter overflows.
+  // Counters are per hardware context (`stream_id`, i.e. the issuing
+  // logical thread), as real PMUs are per-core — a single global counter
+  // would alias the sampling stride with the thread interleaving pattern.
+  void CountAccess(SimTime now, uint64_t va, PebsEvent event, uint32_t stream_id = 0);
+
+  // Drains up to `max` records into `out` (appends). Returns count drained.
+  size_t Drain(std::vector<PebsRecord>& out, size_t max);
+
+  size_t pending() const { return ring_.size(); }
+  const PebsStats& stats() const { return stats_; }
+  const PebsParams& params() const { return params_; }
+
+ private:
+  static constexpr uint32_t kMaxContexts = 64;
+
+  PebsParams params_;
+  // counter_[context][event]
+  uint64_t counter_[kMaxContexts][kNumPebsEvents] = {};
+  std::deque<PebsRecord> ring_;
+  PebsStats stats_;
+};
+
+}  // namespace hemem
+
+#endif  // HEMEM_PEBS_PEBS_H_

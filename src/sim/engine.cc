@@ -1,0 +1,129 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hemem {
+
+SimThread::SimThread(std::string name, bool foreground, double cpu_share)
+    : name_(std::move(name)), foreground_(foreground), cpu_share_(cpu_share) {}
+
+SimThread::~SimThread() = default;
+
+void SimThread::Advance(SimTime ns) {
+  assert(ns >= 0);
+  now_ += ns;
+}
+
+void SimThread::AdvanceTo(SimTime t) {
+  if (t > now_) {
+    now_ = t;
+  }
+}
+
+void SimThread::set_cpu_share(double share) {
+  if (engine_ != nullptr && !finished_) {
+    engine_->cpu_demand_ += share - cpu_share_;
+  }
+  cpu_share_ = share;
+}
+
+void SimThread::ChargeCompute(SimTime ns) {
+  const double factor = engine_ != nullptr ? engine_->ContentionFactor() : 1.0;
+  now_ += static_cast<SimTime>(static_cast<double>(ns) * factor);
+}
+
+PeriodicThread::PeriodicThread(std::string name, SimTime period, double cpu_share)
+    : SimThread(std::move(name), /*foreground=*/false, cpu_share), period_(period) {}
+
+bool PeriodicThread::RunSlice() {
+  const SimTime start = now();
+  const SimTime work = Tick();
+  Advance(work);
+  const SimTime next = std::max(now(), start + period_);
+  // Exponentially-averaged busy fraction over recent periods.
+  const double busy =
+      static_cast<double>(work) / static_cast<double>(std::max<SimTime>(next - start, 1));
+  duty_cycle_ = 0.8 * duty_cycle_ + 0.2 * busy;
+  AdvanceTo(next);
+  return true;
+}
+
+Engine::Engine(int cores) : cores_(cores) {}
+
+void Engine::AddThread(SimThread* thread) {
+  thread->engine_ = this;
+  thread->stream_id_ = static_cast<uint32_t>(threads_.size());
+  threads_.push_back(thread);
+  if (thread->foreground()) {
+    live_foreground_++;
+  }
+  cpu_demand_ += thread->cpu_share_;
+  Push(thread);
+}
+
+void Engine::Push(SimThread* thread) {
+  heap_.push_back({thread->now(), next_seq_++, thread});
+  std::push_heap(heap_.begin(), heap_.end(), std::greater<>());
+}
+
+SimTime Engine::now() const { return heap_.empty() ? 0 : heap_.front().time; }
+
+double Engine::ContentionFactor() const {
+  const double factor = cpu_demand_ / static_cast<double>(cores_);
+  return factor > 1.0 ? factor : 1.0;
+}
+
+void Engine::PenalizeForeground(SimTime ns, const SimThread* except) {
+  for (SimThread* t : threads_) {
+    if (t->foreground() && !t->finished_ && t != except) {
+      t->AddPenalty(ns);
+    }
+  }
+}
+
+void Engine::Finish(SimThread* thread) {
+  thread->finished_ = true;
+  if (thread->foreground()) {
+    live_foreground_--;
+  }
+  cpu_demand_ -= thread->cpu_share_;
+}
+
+SimTime Engine::Run(SimTime deadline) {
+  SimTime last = 0;
+  while (live_foreground_ > 0 && !heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>());
+    const HeapEntry entry = heap_.back();
+    heap_.pop_back();
+    SimThread* thread = entry.thread;
+    if (thread->finished_) {
+      continue;
+    }
+    // The stored key can be stale if the thread accrued penalties since it was
+    // pushed; the penalty is applied now, before the slice runs.
+    if (thread->pending_penalty_ > 0) {
+      thread->Advance(thread->pending_penalty_);
+      thread->pending_penalty_ = 0;
+      // Re-queue at its corrected time so ordering stays honest.
+      Push(thread);
+      continue;
+    }
+    if (thread->now() > deadline) {
+      // Past the deadline: park the thread (it stays live but stops running).
+      Finish(thread);
+      last = deadline;
+      continue;
+    }
+    const bool alive = thread->RunSlice();
+    last = thread->now();
+    if (!alive) {
+      Finish(thread);
+      continue;
+    }
+    Push(thread);
+  }
+  return last;
+}
+
+}  // namespace hemem

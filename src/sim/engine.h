@@ -1,0 +1,164 @@
+// Virtual-time simulation engine.
+//
+// The entire reproduction runs on simulated time: application workloads,
+// HeMem's background threads, baselines' kernel threads, and the memory
+// devices all observe one coherent virtual clock. The engine models each
+// logical thread with its own clock and always executes the thread with the
+// smallest clock next ("min-time-first"). Because a thread's slice only
+// consumes shared resources (memory-device channels, DMA channels) at times
+// >= its own clock, and the globally-minimal thread runs first, resource
+// causality is preserved without a general event queue.
+//
+// Threads come in two flavors:
+//  * foreground threads (application workers) — the engine runs until all of
+//    them finish (or a deadline passes);
+//  * background threads (PEBS readers, policy threads, kernel scanners) —
+//    periodic actors that stop when the run ends.
+//
+// CPU core contention: each thread declares a cpu_share in [0,1] (how much of
+// a core it occupies while runnable). When the sum of shares exceeds the core
+// count, compute time (not memory-device time) is stretched proportionally.
+// This reproduces the paper's Figure 7 effect where HeMem's helper threads
+// steal cycles from GUPS at >= 21 application threads on a 24-core socket.
+
+#ifndef HEMEM_SIM_ENGINE_H_
+#define HEMEM_SIM_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace hemem {
+
+class Engine;
+
+// A logical thread driven by the engine. Subclasses implement RunSlice() to
+// perform one small unit of work (typically one application operation or one
+// background-thread wakeup), advancing their own clock via Advance*().
+class SimThread {
+ public:
+  explicit SimThread(std::string name, bool foreground = true, double cpu_share = 1.0);
+  virtual ~SimThread();
+
+  SimThread(const SimThread&) = delete;
+  SimThread& operator=(const SimThread&) = delete;
+
+  // Performs one slice of work. Returns false when the thread is finished and
+  // should be removed from the run queue.
+  virtual bool RunSlice() = 0;
+
+  SimTime now() const { return now_; }
+  const std::string& name() const { return name_; }
+  // Stable per-engine identity; memory devices use it for stream detection.
+  uint32_t stream_id() const { return stream_id_; }
+  bool foreground() const { return foreground_; }
+  double cpu_share() const { return cpu_share_; }
+  void set_cpu_share(double share);
+
+  // Advances this thread's clock by `ns` of wall (device/wait) time.
+  void Advance(SimTime ns);
+  // Moves the clock to `t` if `t` is in the future.
+  void AdvanceTo(SimTime t);
+  // Advances by `ns` of CPU time, stretched by the engine's contention factor.
+  void ChargeCompute(SimTime ns);
+
+  // Queues a penalty (e.g. a TLB-shootdown IPI) that is applied to this
+  // thread's clock at the start of its next slice. Safe to call from any
+  // other thread's slice.
+  void AddPenalty(SimTime ns) { pending_penalty_ += ns; }
+
+  Engine* engine() const { return engine_; }
+
+ private:
+  friend class Engine;
+
+  std::string name_;
+  bool foreground_;
+  double cpu_share_;
+  SimTime now_ = 0;
+  SimTime pending_penalty_ = 0;
+  Engine* engine_ = nullptr;
+  bool finished_ = false;
+  uint32_t stream_id_ = 0;
+};
+
+// Convenience base for periodic background actors (policy thread, PEBS
+// thread, kernel scanner). Tick() returns how many nanoseconds of work the
+// wakeup performed; the next wakeup happens period() after the previous
+// wakeup *started*, unless the work ran longer (natural backpressure).
+class PeriodicThread : public SimThread {
+ public:
+  PeriodicThread(std::string name, SimTime period, double cpu_share = 1.0);
+
+  bool RunSlice() final;
+
+  // Returns the simulated duration of the work done in this wakeup.
+  virtual SimTime Tick() = 0;
+
+  SimTime period() const { return period_; }
+  void set_period(SimTime period) { period_ = period; }
+
+  // Fraction of recent wall time this actor spent working; used to attribute
+  // core occupancy of mostly-idle helpers honestly.
+  double duty_cycle() const { return duty_cycle_; }
+
+ private:
+  SimTime period_;
+  double duty_cycle_ = 0.0;
+};
+
+class Engine {
+ public:
+  explicit Engine(int cores = 24);
+
+  // Registers a thread (non-owning; callers keep threads alive for the run).
+  void AddThread(SimThread* thread);
+
+  // Runs until every foreground thread finished or `deadline` passed.
+  // Returns the final virtual time.
+  SimTime Run(SimTime deadline = std::numeric_limits<SimTime>::max());
+
+  // Smallest clock among live threads (the global frontier).
+  SimTime now() const;
+
+  int cores() const { return cores_; }
+
+  // Compute-time stretch factor given current cpu_share demand.
+  double ContentionFactor() const;
+
+  // Applies `ns` of penalty to every live foreground thread except `except`.
+  // Used for TLB shootdowns.
+  void PenalizeForeground(SimTime ns, const SimThread* except = nullptr);
+
+  int live_foreground() const { return live_foreground_; }
+
+ private:
+  friend class SimThread;
+
+  struct HeapEntry {
+    SimTime time;
+    uint64_t seq;
+    SimThread* thread;
+    bool operator>(const HeapEntry& other) const {
+      return time != other.time ? time > other.time : seq > other.seq;
+    }
+  };
+
+  void Push(SimThread* thread);
+  void Finish(SimThread* thread);
+
+  int cores_;
+  uint64_t next_seq_ = 0;
+  std::vector<HeapEntry> heap_;
+  std::vector<SimThread*> threads_;
+  int live_foreground_ = 0;
+  double cpu_demand_ = 0.0;  // sum of live threads' cpu_share, kept incrementally
+};
+
+}  // namespace hemem
+
+#endif  // HEMEM_SIM_ENGINE_H_

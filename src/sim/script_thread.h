@@ -1,0 +1,30 @@
+// A foreground thread driven by a callable: invokes `step(self)` once per
+// slice until it returns false. The quickest way to put an ad-hoc access
+// script on the engine (tests, ablation benches, examples).
+
+#ifndef HEMEM_SIM_SCRIPT_THREAD_H_
+#define HEMEM_SIM_SCRIPT_THREAD_H_
+
+#include <functional>
+#include <utility>
+
+#include "sim/engine.h"
+
+namespace hemem {
+
+class ScriptThread : public SimThread {
+ public:
+  // step(self) -> keep_running
+  explicit ScriptThread(std::function<bool(ScriptThread&)> step,
+                        const char* name = "script")
+      : SimThread(name), step_(std::move(step)) {}
+
+  bool RunSlice() override { return step_(*this); }
+
+ private:
+  std::function<bool(ScriptThread&)> step_;
+};
+
+}  // namespace hemem
+
+#endif  // HEMEM_SIM_SCRIPT_THREAD_H_

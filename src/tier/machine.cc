@@ -1,0 +1,82 @@
+#include "tier/machine.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hemem {
+
+MachineConfig MachineConfig::Scaled(double s) {
+  MachineConfig config;
+  config.dram_bytes = static_cast<uint64_t>(static_cast<double>(GiB(192)) / s);
+  config.nvm_bytes = static_cast<uint64_t>(static_cast<double>(GiB(768)) / s);
+  config.label_scale = s;
+  return config;
+}
+
+FrameAllocator::FrameAllocator(uint64_t capacity_bytes, uint64_t frame_bytes,
+                               uint64_t shuffle_seed, bool allow_overcommit,
+                               uint64_t shuffle_chunk_frames)
+    : total_frames_(capacity_bytes / frame_bytes),
+      frame_bytes_(frame_bytes),
+      allow_overcommit_(allow_overcommit) {
+  if (shuffle_seed != 0 && shuffle_chunk_frames > 0) {
+    Rng rng(shuffle_seed);
+    const uint64_t chunks = CeilDiv(total_frames_, shuffle_chunk_frames);
+    const std::vector<uint64_t> perm = RandomPermutation(chunks, rng);
+    shuffled_.reserve(total_frames_);
+    for (const uint64_t chunk : perm) {
+      const uint64_t begin = chunk * shuffle_chunk_frames;
+      const uint64_t end = std::min(begin + shuffle_chunk_frames, total_frames_);
+      for (uint64_t f = begin; f < end; ++f) {
+        shuffled_.push_back(static_cast<uint32_t>(f));
+      }
+    }
+  }
+}
+
+std::optional<uint32_t> FrameAllocator::Alloc() {
+  if (!free_list_.empty()) {
+    const uint32_t frame = free_list_.back();
+    free_list_.pop_back();
+    used_++;
+    return frame;
+  }
+  if (next_fresh_ < total_frames_) {
+    const uint64_t idx = next_fresh_++;
+    used_++;
+    return shuffled_.empty() ? static_cast<uint32_t>(idx) : shuffled_[idx];
+  }
+  if (allow_overcommit_) {
+    // Idealized device: pretend capacity is unbounded (frames beyond the
+    // device range still time like in-range ones).
+    used_++;
+    return static_cast<uint32_t>(next_fresh_++);
+  }
+  return std::nullopt;
+}
+
+void FrameAllocator::Free(uint32_t frame) {
+  assert(used_ > 0);
+  used_--;
+  free_list_.push_back(frame);
+}
+
+Machine::Machine(MachineConfig config)
+    : config_(config),
+      engine_(config.cores),
+      dram_(config.dram_override.value_or(DeviceParams::Dram(config.dram_bytes))),
+      nvm_(config.nvm_override.value_or(DeviceParams::OptaneNvm(config.nvm_bytes))),
+      dram_frames_(config.dram_bytes, config.page_bytes, /*shuffle_seed=*/0,
+                   /*allow_overcommit=*/false),
+      nvm_frames_(config.nvm_bytes, config.page_bytes, config.frame_shuffle_seed,
+                  /*allow_overcommit=*/false),
+      dma_(config.dma),
+      tlb_(config.tlb),
+      pebs_(config.pebs) {
+  if (config_.swap_bytes > 0) {
+    swap_.emplace(config_.swap_override.value_or(
+        BlockDeviceParams::NvmeSsd(config_.swap_bytes)));
+  }
+}
+
+}  // namespace hemem

@@ -1,0 +1,133 @@
+// The simulated evaluation platform.
+//
+// A Machine bundles what one socket of the paper's testbed provides: a DRAM
+// device, an Optane NVM device, an I/OAT DMA engine, PEBS, a TLB, a page
+// table, frame allocators for both devices, and the virtual-time engine with
+// a core count. Tiering managers and applications are constructed against a
+// Machine; benches construct one Machine per experimental run.
+//
+// MachineConfig::Scaled(s) produces a platform whose capacities are the
+// paper's 192 GB DRAM / 768 GB NVM socket divided by s, preserving every
+// capacity *ratio* (watermarks, thresholds, hot-set fractions) so that
+// crossover shapes survive scaling; label_scale lets benches print
+// paper-equivalent sizes.
+
+#ifndef HEMEM_TIER_MACHINE_H_
+#define HEMEM_TIER_MACHINE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "mem/block_device.h"
+#include "mem/device.h"
+#include "mem/dma.h"
+#include "pebs/pebs.h"
+#include "sim/engine.h"
+#include "vm/page_table.h"
+#include "vm/tlb.h"
+
+namespace hemem {
+
+struct MachineConfig {
+  uint64_t dram_bytes = GiB(192);
+  uint64_t nvm_bytes = GiB(768);
+  int cores = 24;
+  uint64_t page_bytes = MiB(2);  // tracking and migration granularity
+
+  std::optional<DeviceParams> dram_override;
+  std::optional<DeviceParams> nvm_override;
+  // Optional swap tier (paper Section 3.4): 0 disables the block device.
+  uint64_t swap_bytes = 0;
+  std::optional<BlockDeviceParams> swap_override;
+  DmaParams dma;
+  PebsParams pebs;
+  TlbParams tlb;
+  RadixCostModel radix;
+
+  // Scatter physical frame allocation over the device (true for the NVM pool
+  // under memory mode, where fragmentation causes cache conflicts).
+  uint64_t frame_shuffle_seed = 0;  // 0 = sequential allocation
+
+  double label_scale = 1.0;  // multiply sizes by this when printing
+
+  // The paper's testbed divided by `s`.
+  static MachineConfig Scaled(double s);
+};
+
+// Allocates fixed-size frames from a device. Frames are handed out either in
+// address order or in a seeded shuffled order (physical fragmentation).
+// Overcommit (for the idealized all-DRAM baseline) grows past capacity.
+class FrameAllocator {
+ public:
+  // `shuffle_chunk_frames` sets the granularity of scattering: frames are
+  // handed out sequentially within chunks of that many frames, with the
+  // chunks themselves in seeded-shuffled order (physical memory is
+  // fragmented at a coarse granularity, not per page).
+  FrameAllocator(uint64_t capacity_bytes, uint64_t frame_bytes, uint64_t shuffle_seed,
+                 bool allow_overcommit, uint64_t shuffle_chunk_frames = 1);
+
+  std::optional<uint32_t> Alloc();
+  void Free(uint32_t frame);
+
+  uint64_t total_frames() const { return total_frames_; }
+  uint64_t used_frames() const { return used_; }
+  uint64_t free_frames() const {
+    return allow_overcommit_ ? ~0ull : total_frames_ - used_;
+  }
+  uint64_t free_bytes() const { return (total_frames_ - used_) * frame_bytes_; }
+  uint64_t frame_bytes() const { return frame_bytes_; }
+
+ private:
+  uint64_t total_frames_;
+  uint64_t frame_bytes_;
+  bool allow_overcommit_;
+  uint64_t used_ = 0;
+  uint64_t next_fresh_ = 0;  // frames never yet handed out
+  std::vector<uint32_t> free_list_;
+  std::vector<uint32_t> shuffled_;  // non-empty when shuffled allocation is on
+};
+
+class Machine {
+ public:
+  explicit Machine(MachineConfig config);
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  Engine& engine() { return engine_; }
+  MemoryDevice& device(Tier tier) { return tier == Tier::kDram ? dram_ : nvm_; }
+  MemoryDevice& dram() { return dram_; }
+  MemoryDevice& nvm() { return nvm_; }
+  FrameAllocator& frames(Tier tier) {
+    return tier == Tier::kDram ? dram_frames_ : nvm_frames_;
+  }
+  DmaEngine& dma() { return dma_; }
+  PageTable& page_table() { return page_table_; }
+  Tlb& tlb() { return tlb_; }
+  PebsBuffer& pebs() { return pebs_; }
+  // The swap block device, or nullptr when the machine has none.
+  BlockDevice* swap() { return swap_ ? &*swap_ : nullptr; }
+  const MachineConfig& config() const { return config_; }
+
+  uint64_t page_bytes() const { return config_.page_bytes; }
+
+ private:
+  MachineConfig config_;
+  Engine engine_;
+  MemoryDevice dram_;
+  MemoryDevice nvm_;
+  FrameAllocator dram_frames_;
+  FrameAllocator nvm_frames_;
+  DmaEngine dma_;
+  PageTable page_table_;
+  Tlb tlb_;
+  PebsBuffer pebs_;
+  std::optional<BlockDevice> swap_;
+};
+
+}  // namespace hemem
+
+#endif  // HEMEM_TIER_MACHINE_H_

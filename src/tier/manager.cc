@@ -1,0 +1,24 @@
+#include "tier/manager.h"
+
+namespace hemem {
+
+void TieredMemoryManager::Munmap(uint64_t va) {
+  Region* region = machine_.page_table().Find(va);
+  if (region == nullptr) {
+    return;
+  }
+  ReleaseRegionFrames(*region);
+  machine_.page_table().UnmapRegion(region->base);
+}
+
+void TieredMemoryManager::ReleaseRegionFrames(Region& region) {
+  for (PageEntry& entry : region.pages) {
+    if (entry.present) {
+      machine_.frames(entry.tier).Free(entry.frame);
+      entry.present = false;
+      entry.frame = kInvalidFrame;
+    }
+  }
+}
+
+}  // namespace hemem

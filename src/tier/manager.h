@@ -1,0 +1,111 @@
+// Tiered-memory-manager interface.
+//
+// Every tiering system in the repository — HeMem itself, hardware memory
+// mode, Nimble, X-Mem, and the plain single-tier baselines — implements this
+// interface. Applications allocate through Mmap (HeMem's interception of
+// mmap/malloc) and perform every data access through Access, which resolves
+// placement, charges device time onto the calling logical thread, and feeds
+// whatever tracking machinery the manager uses (PEBS counters, page-table
+// A/D bits, cache tags).
+
+#ifndef HEMEM_TIER_MANAGER_H_
+#define HEMEM_TIER_MANAGER_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "mem/device.h"
+#include "sim/engine.h"
+#include "tier/machine.h"
+#include "vm/page_table.h"
+
+namespace hemem {
+
+struct AllocOptions {
+  std::string label = "anon";
+  // Forces placement (FlexKVS's priority instance pins its pairs to DRAM).
+  // Pinned regions are mapped eagerly and excluded from tracking/migration.
+  std::optional<Tier> pin_tier;
+  // Softer hint: prefer this tier at fault time but keep the region fully
+  // tracked and migratable (the Figure 8 "Opt" manual-placement bound).
+  std::optional<Tier> prefer_tier;
+};
+
+struct ManagerStats {
+  uint64_t missing_faults = 0;   // first-touch page faults handled
+  uint64_t wp_faults = 0;        // stores that hit a page under migration
+  SimTime wp_wait_ns = 0;        // total time stores stalled on migrations
+  uint64_t pages_promoted = 0;   // NVM -> DRAM
+  uint64_t pages_demoted = 0;    // DRAM -> NVM
+  uint64_t bytes_migrated = 0;
+  uint64_t small_allocs = 0;     // left to the kernel (stay in DRAM)
+  uint64_t managed_allocs = 0;
+};
+
+class TieredMemoryManager {
+ public:
+  explicit TieredMemoryManager(Machine& machine) : machine_(machine) {}
+  virtual ~TieredMemoryManager() = default;
+
+  TieredMemoryManager(const TieredMemoryManager&) = delete;
+  TieredMemoryManager& operator=(const TieredMemoryManager&) = delete;
+
+  virtual const char* name() const = 0;
+
+  // Allocates a virtual range of `bytes`; returns its base address.
+  virtual uint64_t Mmap(uint64_t bytes, AllocOptions opts = {}) = 0;
+
+  // Releases the region at `va` (must be a Mmap return value).
+  virtual void Munmap(uint64_t va);
+
+  // Performs one data access on behalf of `thread`, advancing its clock.
+  // Accesses may span page boundaries; they are split here so managers only
+  // ever see page-contained accesses.
+  void Access(SimThread& thread, uint64_t va, uint32_t size, AccessKind kind) {
+    const uint64_t page = machine_.page_bytes();
+    while (size > 0) {
+      const uint64_t room = page - va % page;
+      const auto chunk = static_cast<uint32_t>(std::min<uint64_t>(size, room));
+      AccessPage(thread, va, chunk, kind);
+      va += chunk;
+      size -= chunk;
+    }
+  }
+
+  // Registers background threads (policy/scan/PEBS actors) with the engine.
+  // Managers without background work keep the default no-op.
+  virtual void Start() {}
+
+  const ManagerStats& stats() const { return stats_; }
+  Machine& machine() { return machine_; }
+
+  // Convenience: RMW (load + dependent store) at one address.
+  void Update(SimThread& thread, uint64_t va, uint32_t size) {
+    Access(thread, va, size, AccessKind::kLoad);
+    Access(thread, va, size, AccessKind::kStore);
+  }
+
+ protected:
+  // Single-page access implementation (va+size never crosses a page).
+  virtual void AccessPage(SimThread& thread, uint64_t va, uint32_t size, AccessKind kind) = 0;
+
+  // Shared helper: frees every present page of a region back to its tier.
+  void ReleaseRegionFrames(Region& region);
+
+  Machine& machine_;
+  ManagerStats stats_;
+};
+
+// Cost constants shared by library-level managers (HeMem, and the baselines
+// where analogous kernel paths exist).
+struct FaultCosts {
+  // userfaultfd round trip: fault -> kernel -> handler thread -> wake.
+  SimTime userfaultfd_roundtrip = 8 * kMicrosecond;
+  // kernel anonymous-page fault (no userspace round trip).
+  SimTime kernel_fault = 2 * kMicrosecond;
+};
+
+}  // namespace hemem
+
+#endif  // HEMEM_TIER_MANAGER_H_

@@ -1,0 +1,178 @@
+#include "tier/memory_mode.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+#include "common/rng.h"
+
+namespace hemem {
+
+namespace {
+
+// Sampled-set budget: exact tags for at most ~2^20 sets keeps memory use
+// bounded regardless of simulated DRAM size.
+constexpr uint64_t kMaxSampledSets = 1ull << 20;
+
+uint64_t ChooseSampleMask(uint64_t num_sets) {
+  uint64_t mask = 0;
+  while ((num_sets >> std::popcount(mask)) > kMaxSampledSets) {
+    mask = (mask << 1) | 1;
+  }
+  return mask;
+}
+
+// EWMA smoothing for the rates applied to unsampled sets.
+constexpr double kRateAlpha = 1.0 / 4096.0;
+
+}  // namespace
+
+MemoryMode::MemoryMode(Machine& machine)
+    : TieredMemoryManager(machine),
+      num_sets_(machine.config().dram_bytes / kLineBytes),
+      sample_mask_(ChooseSampleMask(num_sets_)),
+      pool_(machine.config().nvm_bytes, machine.page_bytes(),
+            /*shuffle_seed=*/0x5eed5eed5eed5eedull, /*allow_overcommit=*/false,
+            // Physical fragmentation at ~1/12th-of-DRAM granularity: small
+            // working sets stay mostly conflict-free; conflicts grow as
+            // occupancy approaches DRAM capacity (the paper's Figure 5/6
+            // degradation curve).
+            /*shuffle_chunk_frames=*/
+            std::max<uint64_t>(1, machine.config().dram_bytes / 12 /
+                                      machine.page_bytes())) {
+  assert(num_sets_ > 0);
+}
+
+uint64_t MemoryMode::Mmap(uint64_t bytes, AllocOptions opts) {
+  PageTable& pt = machine_.page_table();
+  const uint64_t page = machine_.page_bytes();
+  const uint64_t base = pt.ReserveVa(bytes, page);
+  Region* region = pt.MapRegion(base, bytes, page, /*managed=*/true, opts.label);
+  for (PageEntry& entry : region->pages) {
+    const std::optional<uint32_t> frame = pool_.Alloc();
+    assert(frame.has_value() && "memory-mode pool exhausted");
+    entry.frame = *frame;
+    entry.tier = Tier::kNvm;  // home location; DRAM is invisible cache
+    entry.present = true;
+  }
+  stats_.managed_allocs++;
+  return base;
+}
+
+void MemoryMode::Munmap(uint64_t va) {
+  Region* region = machine_.page_table().Find(va);
+  if (region == nullptr) {
+    return;
+  }
+  for (PageEntry& entry : region->pages) {
+    if (entry.present) {
+      pool_.Free(entry.frame);
+      entry.present = false;
+    }
+  }
+  machine_.page_table().UnmapRegion(region->base);
+}
+
+MemoryMode::LineOutcome MemoryMode::ProbeLine(uint64_t line_addr, bool is_store) {
+  access_seq_++;
+  mm_stats_.line_probes++;
+  const uint64_t set = line_addr % num_sets_;
+  const uint64_t tag = line_addr / num_sets_;
+
+  LineOutcome out;
+  if (SetIsSampled(set)) {
+    SetState& state = sampled_sets_[set];
+    out.hit = state.valid && state.tag == tag;
+    out.writeback = !out.hit && state.valid && state.dirty;
+    state.valid = true;
+    state.tag = tag;
+    state.dirty = out.hit ? (state.dirty || is_store) : is_store;
+    hit_rate_ += kRateAlpha * ((out.hit ? 1.0 : 0.0) - hit_rate_);
+    writeback_rate_ += kRateAlpha * ((out.writeback ? 1.0 : 0.0) - writeback_rate_);
+  } else {
+    // Deterministic extrapolation from the sampled rates: the hash varies
+    // per access, so a line hits with the measured steady-state probability.
+    const uint64_t h = Mix64(line_addr ^ (access_seq_ * 0x9e3779b97f4a7c15ull));
+    const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+    out.hit = u < hit_rate_;
+    if (!out.hit) {
+      const uint64_t h2 = Mix64(h);
+      const double u2 = static_cast<double>(h2 >> 11) * 0x1.0p-53;
+      out.writeback = u2 < writeback_rate_;
+    }
+  }
+  if (out.hit) {
+    mm_stats_.hits++;
+  } else {
+    mm_stats_.misses++;
+  }
+  if (out.writeback) {
+    mm_stats_.writebacks++;
+  }
+  return out;
+}
+
+void MemoryMode::AccessPage(SimThread& thread, uint64_t va, uint32_t size, AccessKind kind) {
+  Region* region = machine_.page_table().Find(va);
+  assert(region != nullptr && "access to unmapped address");
+  const uint64_t page = machine_.page_bytes();
+  PageEntry& entry = region->pages[region->PageIndexOf(va)];
+  const uint64_t pa = static_cast<uint64_t>(entry.frame) * page + va % page;
+
+  // Walk the lines the access covers, classifying each against the cache.
+  const uint64_t first_line = pa / kLineBytes;
+  const uint64_t last_line = (pa + size - 1) / kLineBytes;
+  uint32_t hit_lines = 0;
+  uint32_t miss_lines = 0;
+  uint32_t writeback_lines = 0;
+  const bool is_store = kind == AccessKind::kStore;
+  for (uint64_t line = first_line; line <= last_line; ++line) {
+    const LineOutcome out = ProbeLine(line, is_store);
+    if (out.hit) {
+      hit_lines++;
+    } else {
+      miss_lines++;
+    }
+    if (out.writeback) {
+      writeback_lines++;
+    }
+  }
+
+  MemoryDevice& dram = machine_.dram();
+  MemoryDevice& nvm = machine_.nvm();
+  SimTime done = thread.now();
+  if (hit_lines > 0) {
+    done = std::max(done, dram.Access(thread.now(), pa, hit_lines * kLineBytes, kind,
+                                      thread.stream_id()));
+  }
+  if (miss_lines > 0) {
+    // Demand fill from NVM gates the thread...
+    const SimTime fill = nvm.Access(thread.now(), pa, miss_lines * kLineBytes,
+                                    AccessKind::kLoad, thread.stream_id());
+    done = std::max(done, fill);
+    // ...the DRAM-side fill write happens off the critical path.
+    dram.Access(thread.now(), pa, miss_lines * kLineBytes, AccessKind::kStore,
+                thread.stream_id());
+    if (is_store) {
+      // Write-allocate: the store itself retires into the freshly filled line.
+      dram.Access(fill, pa, miss_lines * kLineBytes, AccessKind::kStore, thread.stream_id());
+    }
+  }
+  if (writeback_lines > 0) {
+    // Victim writeback: asynchronous, but it burns scarce NVM write bandwidth
+    // and wears the media (random 64 B lines occupy 256 B media blocks each).
+    // When the write-pending queue is saturated, demand misses stall behind
+    // the backlog (real Optane couples reads and writes on the media).
+    SimTime wb_done = thread.now();
+    for (uint32_t i = 0; i < writeback_lines; ++i) {
+      wb_done = nvm.Access(thread.now(), Mix64(pa + i) % machine_.config().nvm_bytes,
+                           kLineBytes, AccessKind::kStore, ~0u);
+    }
+    if (nvm.ChannelPressure(thread.now(), AccessKind::kStore) >= 1.0) {
+      done = std::max(done, wb_done - nvm.params().write_latency);
+    }
+  }
+  thread.AdvanceTo(done);
+}
+
+}  // namespace hemem

@@ -1,0 +1,89 @@
+// Intel Optane DC "memory mode" (MM): hardware tiering baseline.
+//
+// In memory mode the OS sees one large physical pool (the NVM capacity) and
+// DRAM becomes a direct-mapped, write-back, write-allocate cache in front of
+// it with a cache-line (64 B) effective block size. Software has no control:
+// every accessed line is pulled into DRAM, evicting whatever direct-mapped
+// line it conflicts with; a dirty eviction writes the victim line back to
+// NVM. Conflict misses — two physical lines mapping to the same DRAM set —
+// are what degrade MM as occupancy grows (Figures 5/6) and dirty writebacks
+// are what wear the NVM media (Figure 16).
+//
+// Implementation notes:
+//  * Physical frames are allocated in a seeded-shuffled order. Real machines
+//    scatter a process's pages across the physical pool, which is exactly
+//    why conflicts appear well before the working set reaches DRAM size.
+//  * Tag state is simulated exactly for a sampled subset of cache sets (set
+//    sampling, the standard cache-simulation technique) because full tag
+//    arrays for terabyte pools don't fit. Unsampled sets consume the
+//    hit/writeback rates measured on the sampled sets via a deterministic
+//    per-access hash, so behaviour is reproducible run to run.
+
+#ifndef HEMEM_TIER_MEMORY_MODE_H_
+#define HEMEM_TIER_MEMORY_MODE_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "tier/machine.h"
+#include "tier/manager.h"
+
+namespace hemem {
+
+struct MemoryModeStats {
+  uint64_t line_probes = 0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t writebacks = 0;
+
+  double HitRate() const {
+    return line_probes == 0 ? 0.0
+                            : static_cast<double>(hits) / static_cast<double>(line_probes);
+  }
+};
+
+class MemoryMode : public TieredMemoryManager {
+ public:
+  explicit MemoryMode(Machine& machine);
+
+  const char* name() const override { return "MM"; }
+
+  uint64_t Mmap(uint64_t bytes, AllocOptions opts = {}) override;
+  void Munmap(uint64_t va) override;
+  void AccessPage(SimThread& thread, uint64_t va, uint32_t size, AccessKind kind) override;
+
+  const MemoryModeStats& mm_stats() const { return mm_stats_; }
+
+ private:
+  static constexpr uint64_t kLineBytes = 64;
+
+  struct SetState {
+    uint64_t tag = ~0ull;
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  struct LineOutcome {
+    bool hit = false;
+    bool writeback = false;
+  };
+
+  // Probes one line (exact on sampled sets, rate-extrapolated elsewhere).
+  LineOutcome ProbeLine(uint64_t line_addr, bool is_store);
+
+  bool SetIsSampled(uint64_t set) const { return (set & sample_mask_) == 0; }
+
+  uint64_t num_sets_;
+  uint64_t sample_mask_;  // set sampled iff (set & mask) == 0
+  std::unordered_map<uint64_t, SetState> sampled_sets_;
+  // EWMA rates measured on sampled sets, applied to the rest.
+  double hit_rate_ = 0.0;
+  double writeback_rate_ = 0.0;
+  uint64_t access_seq_ = 0;
+  FrameAllocator pool_;  // shuffled physical allocation over the NVM pool
+  MemoryModeStats mm_stats_;
+};
+
+}  // namespace hemem
+
+#endif  // HEMEM_TIER_MEMORY_MODE_H_

@@ -1,0 +1,246 @@
+#include "tier/nimble.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hemem {
+
+// The single kernel daemon: scan, clear, migrate — strictly in sequence.
+class Nimble::KernelThread : public PeriodicThread {
+ public:
+  KernelThread(Nimble& owner, SimTime period)
+      : PeriodicThread("nimble-kernel", period, /*cpu_share=*/1.0), owner_(owner) {}
+
+  SimTime Tick() override { return owner_.KernelPass(now()); }
+
+ private:
+  Nimble& owner_;
+};
+
+Nimble::Nimble(Machine& machine, NimbleParams params)
+    : TieredMemoryManager(machine),
+      params_(params),
+      scaled_exchange_budget_(std::max<uint64_t>(
+          static_cast<uint64_t>(static_cast<double>(params.exchange_budget_per_pass) /
+                                machine.config().label_scale),
+          8 * machine.page_bytes())),
+      copier_(params.migration_threads) {}
+
+Nimble::~Nimble() = default;
+
+void Nimble::Start() {
+  // Management cadence scales with the platform: capacities (and therefore
+  // scan costs and workload phase lengths) shrink by label_scale, so the
+  // scan period must shrink alike to preserve the paper's scan-to-migration
+  // duty cycle.
+  const SimTime period = std::max<SimTime>(
+      static_cast<SimTime>(static_cast<double>(params_.scan_period) /
+                           machine_.config().label_scale),
+      50 * kMicrosecond);
+  kernel_thread_ = std::make_unique<KernelThread>(*this, period);
+  machine_.engine().AddThread(kernel_thread_.get());
+}
+
+uint64_t Nimble::Mmap(uint64_t bytes, AllocOptions opts) {
+  PageTable& pt = machine_.page_table();
+  const uint64_t page = machine_.page_bytes();
+  const uint64_t base = pt.ReserveVa(bytes, page);
+  Region* region = pt.MapRegion(base, bytes, page, /*managed=*/true, opts.label);
+  pages_.reserve(pages_.size() + region->num_pages());
+  for (uint64_t i = 0; i < region->num_pages(); ++i) {
+    pages_.push_back(PageInfo{region, i, 0});
+  }
+  region_first_id_[region] = pages_.size() - region->num_pages();
+  stats_.managed_allocs++;
+  return base;
+}
+
+void Nimble::AccessPage(SimThread& thread, uint64_t va, uint32_t size, AccessKind kind) {
+  Region* region = machine_.page_table().Find(va);
+  assert(region != nullptr && "access to unmapped address");
+  const uint64_t page = machine_.page_bytes();
+  const uint64_t index = region->PageIndexOf(va);
+  PageEntry& entry = region->pages[index];
+
+  if (!entry.present) {
+    // Kernel anonymous fault: local (DRAM) allocation first, NVM when full.
+    Tier tier = Tier::kDram;
+    std::optional<uint32_t> frame = machine_.frames(tier).Alloc();
+    if (!frame.has_value()) {
+      tier = Tier::kNvm;
+      frame = machine_.frames(tier).Alloc();
+    }
+    assert(frame.has_value() && "machine out of physical memory");
+    entry.frame = *frame;
+    entry.tier = tier;
+    entry.present = true;
+    thread.Advance(fault_costs_.kernel_fault);
+    // Zero-fill the fresh page.
+    thread.AdvanceTo(machine_.device(tier).BulkTransfer(thread.now(), page,
+                                                        AccessKind::kStore));
+    stats_.missing_faults++;
+    if (tier == Tier::kDram) {
+      dram_fifo_.push_back(region_first_id_[region] + index);
+    }
+  }
+
+  // Writes to a page mid-migration wait for the exchange to finish.
+  if (kind == AccessKind::kStore && entry.write_protected) {
+    if (entry.wp_until > thread.now()) {
+      stats_.wp_faults++;
+      stats_.wp_wait_ns += entry.wp_until - thread.now();
+      thread.AdvanceTo(entry.wp_until);
+    }
+    entry.write_protected = false;
+  }
+
+  entry.accessed = true;
+  if (kind == AccessKind::kStore) {
+    entry.dirty = true;
+  }
+
+  const uint64_t pa = static_cast<uint64_t>(entry.frame) * page + va % page;
+  thread.AdvanceTo(
+      machine_.device(entry.tier).Access(thread.now(), pa, size, kind, thread.stream_id()));
+}
+
+SimTime Nimble::MovePage(SimTime t, PageInfo& info, Tier dst_tier, uint32_t frame) {
+  PageEntry& entry = EntryOf(info);
+  const uint64_t page = machine_.page_bytes();
+  entry.write_protected = true;
+  const SimTime done = copier_.Copy(t, machine_.device(entry.tier),
+                                    machine_.device(dst_tier), page);
+  entry.wp_until = done;
+  machine_.frames(entry.tier).Free(entry.frame);
+  entry.tier = dst_tier;
+  entry.frame = frame;
+  if (dst_tier == Tier::kDram) {
+    stats_.pages_promoted++;
+  } else {
+    stats_.pages_demoted++;
+  }
+  stats_.bytes_migrated += page;
+  return done;
+}
+
+SimTime Nimble::KernelPass(SimTime start) {
+  const uint64_t page = machine_.page_bytes();
+  const uint64_t managed_bytes = machine_.page_table().total_mapped_bytes();
+  SimTime t = start;
+
+  // Phase 1: sequential PTE scan at base-page granularity (kernel LRU).
+  t += machine_.config().radix.ScanTime(managed_bytes, KiB(4));
+
+  std::vector<size_t> promote;
+  uint64_t cleared = 0;
+  for (size_t id = 0; id < pages_.size(); ++id) {
+    PageInfo& info = pages_[id];
+    if (info.region == nullptr) {
+      continue;
+    }
+    PageEntry& entry = EntryOf(info);
+    if (!entry.present) {
+      continue;
+    }
+    if (entry.accessed) {
+      cleared++;
+      info.idle_scans = 0;
+      if (entry.tier == Tier::kNvm) {
+        promote.push_back(id);
+      }
+      entry.accessed = false;
+      entry.dirty = false;
+    } else if (info.idle_scans < 255) {
+      info.idle_scans++;
+    }
+  }
+
+  // Phase 2: clearing A/D bits requires flushing stale TLB entries.
+  const uint64_t base_pages_cleared = cleared * (page / KiB(4));
+  t += machine_.config().radix.ClearCost(base_pages_cleared, machine_.engine().cores() - 1);
+  machine_.tlb().ShootdownBatch(machine_.engine(), nullptr, CeilDiv(base_pages_cleared, 512));
+
+  // Phase 3: exchange-based migration on this same thread. Candidates are
+  // taken from a rotating cursor so every accessed NVM page is eventually
+  // promoted (scan order would starve high-address pages once the per-pass
+  // budget is smaller than the candidate list).
+  uint64_t budget = scaled_exchange_budget_;
+  uint64_t moved_since_shootdown = 0;
+  // Copies are timed along their own cursor from the start of the pass:
+  // device reservations issued at the post-scan cursor (milliseconds ahead
+  // of the application frontier) would otherwise block the channels for the
+  // whole gap. The kernel thread still pays scan + copy time in sequence.
+  SimTime copy_cursor = start;
+  const auto cursor_pos =
+      std::lower_bound(promote.begin(), promote.end(), promote_cursor_) - promote.begin();
+  for (size_t i = 0; i < promote.size(); ++i) {
+    const size_t id = promote[(static_cast<size_t>(cursor_pos) + i) % promote.size()];
+    if (budget < page) {
+      break;
+    }
+    promote_cursor_ = id + 1;
+    PageInfo& info = pages_[id];
+    if (info.region == nullptr || !EntryOf(info).present || EntryOf(info).tier != Tier::kNvm) {
+      continue;
+    }
+    // Find a DRAM frame: free memory first, otherwise demote the oldest
+    // DRAM page (second chance: prefer idle pages, but under pressure even
+    // recently used ones go — Nimble's exchange does not check again).
+    std::optional<uint32_t> dram_frame = machine_.frames(Tier::kDram).Alloc();
+    if (!dram_frame.has_value()) {
+      // Demote the oldest DRAM page that has been idle long enough; rotate
+      // recently used pages to the back (second chance). If nothing is
+      // idle, promotion stops — exchanging active pages would only thrash.
+      size_t victim_id = SIZE_MAX;
+      size_t inspected = 0;
+      const size_t fifo_size = dram_fifo_.size();
+      while (!dram_fifo_.empty() && inspected < fifo_size) {
+        const size_t cand = dram_fifo_.front();
+        dram_fifo_.pop_front();
+        inspected++;
+        PageInfo& ci = pages_[cand];
+        if (ci.region == nullptr || !EntryOf(ci).present ||
+            EntryOf(ci).tier != Tier::kDram) {
+          continue;  // stale entry
+        }
+        if (ci.idle_scans >= params_.demote_after_scans) {
+          victim_id = cand;
+          break;
+        }
+        dram_fifo_.push_back(cand);
+      }
+      if (victim_id == SIZE_MAX) {
+        break;  // nothing idle in DRAM
+      }
+      PageInfo& victim = pages_[victim_id];
+      const std::optional<uint32_t> nvm_frame = machine_.frames(Tier::kNvm).Alloc();
+      if (!nvm_frame.has_value()) {
+        break;  // NVM exhausted; nothing to exchange with
+      }
+      copy_cursor = MovePage(copy_cursor, victim, Tier::kNvm, *nvm_frame);
+      budget -= page;
+      dram_frame = machine_.frames(Tier::kDram).Alloc();
+      if (!dram_frame.has_value()) {
+        break;
+      }
+    }
+    copy_cursor = MovePage(copy_cursor, info, Tier::kDram, *dram_frame);
+    dram_fifo_.push_back(id);
+    budget -= page;
+    if (++moved_since_shootdown >= 64) {
+      machine_.tlb().ShootdownBatch(machine_.engine(), nullptr, 1);
+      t += machine_.tlb().params().initiator_cost;
+      moved_since_shootdown = 0;
+    }
+  }
+  if (moved_since_shootdown > 0) {
+    machine_.tlb().ShootdownBatch(machine_.engine(), nullptr, 1);
+    t += machine_.tlb().params().initiator_cost;
+  }
+  // The sequential kernel thread finishes when both the scan/clear work and
+  // the (pipelined-in-device-time) copies are done.
+  t = std::max(t, copy_cursor);
+  return t - start;
+}
+
+}  // namespace hemem

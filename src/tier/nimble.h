@@ -1,0 +1,92 @@
+// Nimble page management (Yan et al., ASPLOS '19) — kernel tiering baseline.
+//
+// Nimble treats NVM as a far NUMA node and extends Linux's NUMA migration
+// with fast (multi-threaded, exchange-based) huge-page migration. Its
+// defining structural property, which the paper's Figure 4b highlights and
+// its evaluation repeatedly exercises, is that *one* kernel thread does
+// everything sequentially: scan page tables for accessed/dirty bits, clear
+// them (TLB shootdowns), decide, then migrate. Long migrations therefore
+// delay the next scan, so access statistics go stale and the hot set is
+// chronically over-estimated.
+//
+// Model summary:
+//  * first-touch allocation prefers DRAM, falls back to NVM (kernel local
+//    allocation), with a kernel-fault cost, matching anonymous memory;
+//  * the kernel pass charges a 4 KiB-granularity radix scan (kernel LRU
+//    walks base-page PTEs even though migration moves 2 MiB pages), clears
+//    A bits with batched shootdowns, then exchanges pages: accessed NVM
+//    pages are promoted, DRAM pages idle for `demote_after_scans` scans are
+//    demoted; if nothing is idle but promotion candidates exist, Nimble
+//    second-chances the oldest DRAM pages anyway (the thrash the paper
+//    observes under uniform access);
+//  * migration uses `migration_threads` CPU copy threads (the paper
+//    configures 4) and runs inside the same kernel pass.
+
+#ifndef HEMEM_TIER_NIMBLE_H_
+#define HEMEM_TIER_NIMBLE_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/dma.h"
+#include "tier/machine.h"
+#include "tier/manager.h"
+
+namespace hemem {
+
+struct NimbleParams {
+  SimTime scan_period = 100 * kMillisecond;
+  int migration_threads = 4;
+  // Exchange budget per kernel pass; paper-scale bytes (divided by the
+  // machine's label_scale internally).
+  uint64_t exchange_budget_per_pass = MiB(256);
+  int demote_after_scans = 2;  // idle scans before a DRAM page is demoted
+};
+
+class Nimble : public TieredMemoryManager {
+ public:
+  Nimble(Machine& machine, NimbleParams params = NimbleParams{});
+  ~Nimble() override;
+
+  const char* name() const override { return "Nimble"; }
+
+  uint64_t Mmap(uint64_t bytes, AllocOptions opts = {}) override;
+  void AccessPage(SimThread& thread, uint64_t va, uint32_t size, AccessKind kind) override;
+  void Start() override;
+
+ private:
+  class KernelThread;
+
+  struct PageInfo {
+    Region* region = nullptr;
+    uint64_t index = 0;
+    uint8_t idle_scans = 0;
+  };
+
+  // One sequential scan + migrate pass; returns its simulated duration.
+  SimTime KernelPass(SimTime start);
+
+  // Moves the page at `info` to `dst_tier` onto `frame`; returns copy
+  // completion given the pass cursor `t`.
+  SimTime MovePage(SimTime t, PageInfo& info, Tier dst_tier, uint32_t frame);
+
+  PageEntry& EntryOf(PageInfo& info) { return info.region->pages[info.index]; }
+
+  NimbleParams params_;
+  uint64_t scaled_exchange_budget_;
+  CpuCopier copier_;
+  std::unique_ptr<KernelThread> kernel_thread_;
+  std::vector<PageInfo> pages_;  // flat index over all managed pages
+  std::unordered_map<Region*, size_t> region_first_id_;
+  size_t promote_cursor_ = 0;  // round-robin fairness over candidates
+  // FIFO of DRAM-resident page ids, oldest first (second-chance demotion).
+  std::deque<size_t> dram_fifo_;
+  FaultCosts fault_costs_;
+};
+
+}  // namespace hemem
+
+#endif  // HEMEM_TIER_NIMBLE_H_

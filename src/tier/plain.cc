@@ -1,0 +1,54 @@
+#include "tier/plain.h"
+
+#include <cassert>
+
+namespace hemem {
+
+PlainMemory::PlainMemory(Machine& machine, Tier tier, bool overcommit)
+    : TieredMemoryManager(machine),
+      tier_(tier),
+      frames_(tier == Tier::kDram ? machine.config().dram_bytes : machine.config().nvm_bytes,
+              machine.page_bytes(), /*shuffle_seed=*/0, overcommit) {}
+
+uint64_t PlainMemory::Mmap(uint64_t bytes, AllocOptions opts) {
+  PageTable& pt = machine_.page_table();
+  const uint64_t page = machine_.page_bytes();
+  const uint64_t base = pt.ReserveVa(bytes, page);
+  Region* region = pt.MapRegion(base, bytes, page, /*managed=*/true, opts.label);
+  for (PageEntry& entry : region->pages) {
+    const std::optional<uint32_t> frame = frames_.Alloc();
+    assert(frame.has_value() && "PlainMemory device out of capacity");
+    entry.frame = *frame;
+    entry.tier = tier_;
+    entry.present = true;
+  }
+  stats_.managed_allocs++;
+  return base;
+}
+
+void PlainMemory::Munmap(uint64_t va) {
+  Region* region = machine_.page_table().Find(va);
+  if (region == nullptr) {
+    return;
+  }
+  for (PageEntry& entry : region->pages) {
+    if (entry.present) {
+      frames_.Free(entry.frame);
+      entry.present = false;
+    }
+  }
+  machine_.page_table().UnmapRegion(region->base);
+}
+
+void PlainMemory::AccessPage(SimThread& thread, uint64_t va, uint32_t size, AccessKind kind) {
+  Region* region = machine_.page_table().Find(va);
+  assert(region != nullptr && "access to unmapped address");
+  PageEntry& entry = region->pages[region->PageIndexOf(va)];
+  const uint64_t pa =
+      static_cast<uint64_t>(entry.frame) * machine_.page_bytes() + va % machine_.page_bytes();
+  const SimTime done =
+      machine_.device(tier_).Access(thread.now(), pa, size, kind, thread.stream_id());
+  thread.AdvanceTo(done);
+}
+
+}  // namespace hemem

@@ -1,0 +1,37 @@
+// Single-tier baselines.
+//
+// PlainMemory places every allocation on one fixed device. Two uses:
+//   * "DRAM" — the idealized upper bound the paper plots (all data in DRAM,
+//     capacity ignored via overcommit);
+//   * "NVM"  — everything in NVM, the paper's lower bound (and the timing
+//     floor X-Mem converges to for its large objects).
+// Pages are mapped eagerly at Mmap (the paper's baselines prefill), so no
+// faults occur during measurement.
+
+#ifndef HEMEM_TIER_PLAIN_H_
+#define HEMEM_TIER_PLAIN_H_
+
+#include "tier/machine.h"
+#include "tier/manager.h"
+
+namespace hemem {
+
+class PlainMemory : public TieredMemoryManager {
+ public:
+  // `overcommit` lets the device pretend to be big enough (ideal baseline).
+  PlainMemory(Machine& machine, Tier tier, bool overcommit);
+
+  const char* name() const override { return tier_ == Tier::kDram ? "DRAM" : "NVM"; }
+
+  uint64_t Mmap(uint64_t bytes, AllocOptions opts = {}) override;
+  void Munmap(uint64_t va) override;
+  void AccessPage(SimThread& thread, uint64_t va, uint32_t size, AccessKind kind) override;
+
+ private:
+  Tier tier_;
+  FrameAllocator frames_;  // private allocator so overcommit stays local
+};
+
+}  // namespace hemem
+
+#endif  // HEMEM_TIER_PLAIN_H_

@@ -1,0 +1,174 @@
+#include "tier/thermostat.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hemem {
+
+class Thermostat::SamplerThread : public PeriodicThread {
+ public:
+  SamplerThread(Thermostat& owner, SimTime period)
+      : PeriodicThread("thermostat", period, /*cpu_share=*/0.5), owner_(owner) {}
+
+  SimTime Tick() override { return owner_.SamplePass(now()); }
+
+ private:
+  Thermostat& owner_;
+};
+
+Thermostat::Thermostat(Machine& machine, ThermostatParams params)
+    : TieredMemoryManager(machine),
+      params_(params),
+      scaled_budget_(std::max<uint64_t>(
+          static_cast<uint64_t>(static_cast<double>(params.migrate_budget_per_pass) /
+                                machine.config().label_scale),
+          8 * machine.page_bytes())),
+      copier_(params.copy_threads),
+      rng_(0x7e57a7) {}
+
+Thermostat::~Thermostat() = default;
+
+void Thermostat::Start() {
+  const SimTime period = std::max<SimTime>(
+      static_cast<SimTime>(static_cast<double>(params_.sample_interval) /
+                           machine_.config().label_scale),
+      100 * kMicrosecond);
+  thread_ = std::make_unique<SamplerThread>(*this, period);
+  machine_.engine().AddThread(thread_.get());
+}
+
+uint64_t Thermostat::Mmap(uint64_t bytes, AllocOptions opts) {
+  PageTable& pt = machine_.page_table();
+  const uint64_t page = machine_.page_bytes();
+  const uint64_t base = pt.ReserveVa(bytes, page);
+  Region* region = pt.MapRegion(base, bytes, page, /*managed=*/true, opts.label);
+  pages_.reserve(pages_.size() + region->num_pages());
+  for (uint64_t i = 0; i < region->num_pages(); ++i) {
+    pages_.push_back(PageInfo{region, i, false, 0});
+  }
+  region_first_id_[region] = pages_.size() - region->num_pages();
+  stats_.managed_allocs++;
+  return base;
+}
+
+void Thermostat::AccessPage(SimThread& thread, uint64_t va, uint32_t size, AccessKind kind) {
+  Region* region = machine_.page_table().Find(va);
+  assert(region != nullptr && "access to unmapped address");
+  const uint64_t page = machine_.page_bytes();
+  const uint64_t index = region->PageIndexOf(va);
+  PageEntry& entry = region->pages[index];
+
+  if (!entry.present) {
+    Tier tier = Tier::kDram;
+    std::optional<uint32_t> frame = machine_.frames(tier).Alloc();
+    if (!frame.has_value()) {
+      tier = Tier::kNvm;
+      frame = machine_.frames(tier).Alloc();
+    }
+    assert(frame.has_value() && "machine out of physical memory");
+    entry.frame = *frame;
+    entry.tier = tier;
+    entry.present = true;
+    thread.Advance(fault_costs_.kernel_fault);
+    thread.AdvanceTo(machine_.device(tier).BulkTransfer(thread.now(), page,
+                                                        AccessKind::kStore));
+    stats_.missing_faults++;
+  }
+
+  if (kind == AccessKind::kStore && entry.wp_until > thread.now()) {
+    stats_.wp_faults++;
+    stats_.wp_wait_ns += entry.wp_until - thread.now();
+    thread.AdvanceTo(entry.wp_until);
+  }
+
+  PageInfo& info = pages_[region_first_id_[region] + index];
+  if (info.sampled) {
+    // Poisoned base pages: every access takes a counting fault.
+    info.interval_accesses++;
+    tstats_.poison_faults++;
+    thread.Advance(params_.poison_fault_cost);
+  }
+
+  const uint64_t pa = static_cast<uint64_t>(entry.frame) * page + va % page;
+  thread.AdvanceTo(
+      machine_.device(entry.tier).Access(thread.now(), pa, size, kind, thread.stream_id()));
+}
+
+SimTime Thermostat::SamplePass(SimTime start) {
+  tstats_.intervals++;
+  const uint64_t page = machine_.page_bytes();
+  SimTime t = start;
+
+  // Phase 1: classify the pages sampled in the just-finished interval and
+  // migrate accordingly, within the budget.
+  uint64_t budget = scaled_budget_;
+  for (const size_t id : sampled_ids_) {
+    PageInfo& info = pages_[id];
+    info.sampled = false;
+    if (info.region == nullptr || !EntryOf(info).present) {
+      continue;
+    }
+    PageEntry& entry = EntryOf(info);
+    const bool hot = info.interval_accesses >= params_.cold_access_threshold;
+    info.interval_accesses = 0;
+    if (budget < page) {
+      continue;
+    }
+    if (hot && entry.tier == Tier::kNvm) {
+      const std::optional<uint32_t> frame = machine_.frames(Tier::kDram).Alloc();
+      if (!frame.has_value()) {
+        continue;  // Thermostat only uses free fast memory for promotion
+      }
+      entry.wp_until = copier_.Copy(t, machine_.nvm(), machine_.dram(), page);
+      t = entry.wp_until;
+      machine_.frames(Tier::kNvm).Free(entry.frame);
+      entry.frame = *frame;
+      entry.tier = Tier::kDram;
+      stats_.pages_promoted++;
+      stats_.bytes_migrated += page;
+      budget -= page;
+    } else if (!hot && entry.tier == Tier::kDram) {
+      const std::optional<uint32_t> frame = machine_.frames(Tier::kNvm).Alloc();
+      if (!frame.has_value()) {
+        continue;
+      }
+      entry.wp_until = copier_.Copy(t, machine_.dram(), machine_.nvm(), page);
+      t = entry.wp_until;
+      machine_.frames(Tier::kDram).Free(entry.frame);
+      entry.frame = *frame;
+      entry.tier = Tier::kNvm;
+      stats_.pages_demoted++;
+      stats_.bytes_migrated += page;
+      budget -= page;
+    }
+  }
+  if (!sampled_ids_.empty()) {
+    machine_.tlb().ShootdownBatch(machine_.engine(), nullptr, 1);
+    t += machine_.tlb().params().initiator_cost;
+  }
+
+  // Phase 2: poison a fresh random sample. Splintering a huge page into
+  // poisoned base pages costs a shootdown per batch.
+  sampled_ids_.clear();
+  const auto want = static_cast<size_t>(params_.sample_fraction *
+                                        static_cast<double>(pages_.size()));
+  for (size_t i = 0; i < want; ++i) {
+    const size_t id = rng_.NextBounded(pages_.size());
+    PageInfo& info = pages_[id];
+    if (info.region == nullptr || info.sampled || !EntryOf(info).present) {
+      continue;
+    }
+    info.sampled = true;
+    info.interval_accesses = 0;
+    sampled_ids_.push_back(id);
+  }
+  tstats_.pages_sampled += sampled_ids_.size();
+  if (!sampled_ids_.empty()) {
+    machine_.tlb().ShootdownBatch(machine_.engine(), nullptr,
+                                  CeilDiv(sampled_ids_.size(), 64));
+    t += machine_.tlb().params().initiator_cost;
+  }
+  return t - start;
+}
+
+}  // namespace hemem

@@ -1,0 +1,92 @@
+// Thermostat-style baseline (Agarwal & Wenisch, ASPLOS '17).
+//
+// Thermostat is the related-work point the paper contrasts against for
+// page-table *sampling* (vs HeMem's CPU-event sampling): each interval it
+// samples a small random subset of huge pages, "poisons" their base-page
+// mappings so every access faults and can be counted exactly, then
+// extrapolates per-page access rates, demotes pages whose estimated rate is
+// below the cold threshold, and promotes sampled-hot slow-memory pages.
+//
+// The model keeps the essential trade-offs: sampled pages pay a per-access
+// poison-fault cost during their sampling interval; unsampled pages are
+// invisible until sampled, so classification latency scales with
+// (pages / sample size) x interval; migration shares the CPU-copy machinery.
+
+#ifndef HEMEM_TIER_THERMOSTAT_H_
+#define HEMEM_TIER_THERMOSTAT_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "mem/dma.h"
+#include "tier/machine.h"
+#include "tier/manager.h"
+
+namespace hemem {
+
+struct ThermostatParams {
+  SimTime sample_interval = 100 * kMillisecond;  // paper-scale; scaled internally
+  // Fraction of managed pages poisoned per interval (Thermostat uses ~0.5%
+  // of huge pages; we default a little higher for the scaled page counts).
+  double sample_fraction = 0.05;
+  // Estimated accesses/interval below which a page is considered cold.
+  uint64_t cold_access_threshold = 16;
+  SimTime poison_fault_cost = 300;  // per access to a poisoned page
+  uint64_t migrate_budget_per_pass = MiB(128);  // paper-scale bytes
+  int copy_threads = 4;
+};
+
+struct ThermostatStats {
+  uint64_t intervals = 0;
+  uint64_t pages_sampled = 0;
+  uint64_t poison_faults = 0;
+};
+
+class Thermostat : public TieredMemoryManager {
+ public:
+  Thermostat(Machine& machine, ThermostatParams params = ThermostatParams{});
+  ~Thermostat() override;
+
+  const char* name() const override { return "Thermostat"; }
+
+  uint64_t Mmap(uint64_t bytes, AllocOptions opts = {}) override;
+  void Start() override;
+
+  const ThermostatStats& tstats() const { return tstats_; }
+
+ protected:
+  void AccessPage(SimThread& thread, uint64_t va, uint32_t size, AccessKind kind) override;
+
+ private:
+  class SamplerThread;
+
+  struct PageInfo {
+    Region* region = nullptr;
+    uint64_t index = 0;
+    bool sampled = false;
+    uint32_t interval_accesses = 0;
+  };
+
+  // End-of-interval classification + migration + re-sampling; returns work.
+  SimTime SamplePass(SimTime start);
+
+  PageEntry& EntryOf(PageInfo& info) { return info.region->pages[info.index]; }
+
+  ThermostatParams params_;
+  uint64_t scaled_budget_;
+  CpuCopier copier_;
+  Rng rng_;
+  std::vector<PageInfo> pages_;
+  std::vector<size_t> sampled_ids_;
+  std::unordered_map<Region*, size_t> region_first_id_;
+  std::unique_ptr<SamplerThread> thread_;
+  FaultCosts fault_costs_;
+  ThermostatStats tstats_;
+};
+
+}  // namespace hemem
+
+#endif  // HEMEM_TIER_THERMOSTAT_H_

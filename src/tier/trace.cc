@@ -1,0 +1,160 @@
+#include "tier/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+namespace hemem {
+
+namespace {
+constexpr uint32_t kTraceMagic = 0x48544d54;  // "TMTH"
+constexpr uint32_t kTraceVersion = 1;
+}  // namespace
+
+bool Trace::SaveTo(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return false;
+  }
+  bool ok = true;
+  auto put = [&](const void* p, size_t n) { ok = ok && std::fwrite(p, 1, n, f) == n; };
+  const uint32_t header[2] = {kTraceMagic, kTraceVersion};
+  put(header, sizeof(header));
+  const uint64_t counts[2] = {allocs.size(), accesses.size()};
+  put(counts, sizeof(counts));
+  for (const TraceAlloc& a : allocs) {
+    put(&a.va, sizeof(a.va));
+    put(&a.bytes, sizeof(a.bytes));
+    const uint32_t len = static_cast<uint32_t>(a.label.size());
+    put(&len, sizeof(len));
+    put(a.label.data(), len);
+  }
+  for (const TraceAccess& a : accesses) {
+    put(&a.time, sizeof(a.time));
+    put(&a.va, sizeof(a.va));
+    put(&a.size, sizeof(a.size));
+    put(&a.thread, sizeof(a.thread));
+    const uint8_t kind = static_cast<uint8_t>(a.kind);
+    put(&kind, sizeof(kind));
+  }
+  std::fclose(f);
+  return ok;
+}
+
+bool Trace::LoadFrom(const std::string& path, Trace* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return false;
+  }
+  bool ok = true;
+  auto get = [&](void* p, size_t n) { ok = ok && std::fread(p, 1, n, f) == n; };
+  uint32_t header[2] = {};
+  get(header, sizeof(header));
+  if (!ok || header[0] != kTraceMagic || header[1] != kTraceVersion) {
+    std::fclose(f);
+    return false;
+  }
+  uint64_t counts[2] = {};
+  get(counts, sizeof(counts));
+  out->allocs.resize(counts[0]);
+  for (TraceAlloc& a : out->allocs) {
+    get(&a.va, sizeof(a.va));
+    get(&a.bytes, sizeof(a.bytes));
+    uint32_t len = 0;
+    get(&len, sizeof(len));
+    a.label.resize(len);
+    get(a.label.data(), len);
+  }
+  out->accesses.resize(counts[1]);
+  for (TraceAccess& a : out->accesses) {
+    get(&a.time, sizeof(a.time));
+    get(&a.va, sizeof(a.va));
+    get(&a.size, sizeof(a.size));
+    get(&a.thread, sizeof(a.thread));
+    uint8_t kind = 0;
+    get(&kind, sizeof(kind));
+    a.kind = static_cast<AccessKind>(kind);
+  }
+  std::fclose(f);
+  return ok;
+}
+
+TraceRecorder::TraceRecorder(TieredMemoryManager& inner)
+    : TieredMemoryManager(inner.machine()), inner_(inner) {}
+
+uint64_t TraceRecorder::Mmap(uint64_t bytes, AllocOptions opts) {
+  const uint64_t va = inner_.Mmap(bytes, opts);
+  trace_.allocs.push_back(TraceAlloc{va, bytes, opts.label});
+  return va;
+}
+
+void TraceRecorder::Munmap(uint64_t va) { inner_.Munmap(va); }
+
+void TraceRecorder::AccessPage(SimThread& thread, uint64_t va, uint32_t size,
+                               AccessKind kind) {
+  trace_.accesses.push_back(TraceAccess{thread.now(), va, size,
+                                        static_cast<uint16_t>(thread.stream_id()), kind});
+  inner_.Access(thread, va, size, kind);
+}
+
+class TraceReplayer::Thread : public SimThread {
+ public:
+  Thread(TraceReplayer& owner) : SimThread("trace-replay"), owner_(owner) {}
+
+  bool RunSlice() override {
+    const Trace& trace = owner_.trace_;
+    if (next_ >= trace.accesses.size()) {
+      return false;
+    }
+    const TraceAccess& access = trace.accesses[next_];
+    if (owner_.preserve_gaps_ && next_ > 0) {
+      const SimTime gap = access.time - trace.accesses[next_ - 1].time;
+      if (gap > 0) {
+        Advance(gap);
+      }
+    }
+    owner_.manager_.Access(*this, owner_.Translate(access.va), access.size, access.kind);
+    next_++;
+    return true;
+  }
+
+  uint64_t replayed() const { return next_; }
+
+ private:
+  TraceReplayer& owner_;
+  uint64_t next_ = 0;
+};
+
+TraceReplayer::TraceReplayer(TieredMemoryManager& manager, const Trace& trace,
+                             bool preserve_gaps)
+    : manager_(manager), trace_(trace), preserve_gaps_(preserve_gaps) {}
+
+TraceReplayer::~TraceReplayer() = default;
+
+uint64_t TraceReplayer::Translate(uint64_t va) const {
+  for (size_t i = 0; i < trace_.allocs.size(); ++i) {
+    const TraceAlloc& alloc = trace_.allocs[i];
+    if (va >= alloc.va && va < alloc.va + alloc.bytes) {
+      return replay_bases_[i] + (va - alloc.va);
+    }
+  }
+  return va;  // untracked range: replay verbatim
+}
+
+TraceReplayer::Result TraceReplayer::Run() {
+  replay_bases_.clear();
+  for (const TraceAlloc& alloc : trace_.allocs) {
+    replay_bases_.push_back(manager_.Mmap(alloc.bytes, AllocOptions{.label = alloc.label}));
+  }
+  thread_ = std::make_unique<Thread>(*this);
+  Engine& engine = manager_.machine().engine();
+  const SimTime start = engine.now();
+  engine.AddThread(thread_.get());
+  const SimTime end = engine.Run();
+  Result result;
+  result.elapsed = end - start;
+  result.accesses = thread_->replayed();
+  return result;
+}
+
+}  // namespace hemem

@@ -1,0 +1,103 @@
+// Access-trace capture and replay.
+//
+// TraceRecorder is a transparent decorator over any TieredMemoryManager: it
+// forwards every call while appending (time, thread, va, size, kind) records
+// and the allocation events needed to rebuild the address space. A captured
+// trace can then be replayed against a *different* manager or machine
+// configuration with TraceReplayer — the workhorse for "what would this
+// workload have done under X" experiments without re-running the
+// application, and for regression-testing policy changes against frozen
+// workloads.
+//
+// Traces are in-memory (vectors of packed records) with save/load to a
+// simple binary format.
+
+#ifndef HEMEM_TIER_TRACE_H_
+#define HEMEM_TIER_TRACE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tier/manager.h"
+
+namespace hemem {
+
+struct TraceAccess {
+  SimTime time = 0;
+  uint64_t va = 0;
+  uint32_t size = 0;
+  uint16_t thread = 0;
+  AccessKind kind = AccessKind::kLoad;
+};
+
+struct TraceAlloc {
+  uint64_t va = 0;       // base returned by the recorded Mmap
+  uint64_t bytes = 0;
+  std::string label;
+};
+
+struct Trace {
+  std::vector<TraceAlloc> allocs;
+  std::vector<TraceAccess> accesses;
+
+  // Binary round trip (little-endian, versioned header).
+  bool SaveTo(const std::string& path) const;
+  static bool LoadFrom(const std::string& path, Trace* out);
+};
+
+class TraceRecorder : public TieredMemoryManager {
+ public:
+  explicit TraceRecorder(TieredMemoryManager& inner);
+
+  const char* name() const override { return inner_.name(); }
+  uint64_t Mmap(uint64_t bytes, AllocOptions opts = {}) override;
+  void Munmap(uint64_t va) override;
+  void Start() override { inner_.Start(); }
+
+  const Trace& trace() const { return trace_; }
+  Trace TakeTrace() { return std::move(trace_); }
+
+ protected:
+  void AccessPage(SimThread& thread, uint64_t va, uint32_t size, AccessKind kind) override;
+
+ private:
+  TieredMemoryManager& inner_;
+  Trace trace_;
+};
+
+// Replays a trace against a manager as a single logical thread, preserving
+// the recorded inter-access gaps (think-time-accurate) or back-to-back.
+class TraceReplayer {
+ public:
+  struct Result {
+    SimTime elapsed = 0;
+    uint64_t accesses = 0;
+  };
+
+  TraceReplayer(TieredMemoryManager& manager, const Trace& trace,
+                bool preserve_gaps = false);
+  ~TraceReplayer();
+
+  // Performs allocations (remapping recorded va ranges onto fresh ones),
+  // registers the replay thread, runs the engine, and reports timing.
+  Result Run();
+
+ private:
+  class Thread;
+
+  // Recorded va -> replayed va translation.
+  uint64_t Translate(uint64_t va) const;
+
+  TieredMemoryManager& manager_;
+  const Trace& trace_;
+  bool preserve_gaps_;
+  // Parallel to trace_.allocs: base addresses in the replay address space.
+  std::vector<uint64_t> replay_bases_;
+  std::unique_ptr<Thread> thread_;
+};
+
+}  // namespace hemem
+
+#endif  // HEMEM_TIER_TRACE_H_

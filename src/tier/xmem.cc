@@ -1,0 +1,54 @@
+#include "tier/xmem.h"
+
+#include <cassert>
+
+namespace hemem {
+
+XMem::XMem(Machine& machine, uint64_t large_threshold)
+    : TieredMemoryManager(machine),
+      large_threshold_(static_cast<uint64_t>(static_cast<double>(large_threshold) /
+                                             machine.config().label_scale)) {}
+
+uint64_t XMem::Mmap(uint64_t bytes, AllocOptions opts) {
+  PageTable& pt = machine_.page_table();
+  const uint64_t page = machine_.page_bytes();
+  const uint64_t base = pt.ReserveVa(bytes, page);
+  Region* region = pt.MapRegion(base, bytes, page, /*managed=*/true, opts.label);
+
+  Tier want = bytes >= large_threshold_ ? Tier::kNvm : Tier::kDram;
+  if (opts.pin_tier.has_value()) {
+    want = *opts.pin_tier;
+  }
+  if (want == Tier::kNvm) {
+    stats_.managed_allocs++;
+  } else {
+    stats_.small_allocs++;
+  }
+
+  for (PageEntry& entry : region->pages) {
+    Tier tier = want;
+    std::optional<uint32_t> frame = machine_.frames(tier).Alloc();
+    if (!frame.has_value()) {
+      tier = tier == Tier::kDram ? Tier::kNvm : Tier::kDram;
+      frame = machine_.frames(tier).Alloc();
+    }
+    assert(frame.has_value() && "machine out of physical memory");
+    entry.frame = *frame;
+    entry.tier = tier;
+    entry.present = true;
+  }
+  return base;
+}
+
+void XMem::AccessPage(SimThread& thread, uint64_t va, uint32_t size, AccessKind kind) {
+  Region* region = machine_.page_table().Find(va);
+  assert(region != nullptr && "access to unmapped address");
+  PageEntry& entry = region->pages[region->PageIndexOf(va)];
+  const uint64_t pa =
+      static_cast<uint64_t>(entry.frame) * machine_.page_bytes() + va % machine_.page_bytes();
+  const SimTime done =
+      machine_.device(entry.tier).Access(thread.now(), pa, size, kind, thread.stream_id());
+  thread.AdvanceTo(done);
+}
+
+}  // namespace hemem

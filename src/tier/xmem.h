@@ -1,0 +1,39 @@
+// X-Mem emulation (Dulloor et al., EuroSys '16), as the paper emulates it.
+//
+// X-Mem is a language/runtime-based data-tiering system: a profiling step
+// decides per data structure whether it lives in DRAM or NVM, and placement
+// is static afterwards — no migration, no online tracking. The paper
+// emulates it by mapping large, randomly-accessed heap structures from the
+// NVM DAX file and keeping small structures in DRAM; this class reproduces
+// exactly that placement rule:
+//
+//   * allocations below the large-object threshold go to DRAM (falling back
+//     to NVM only when DRAM is exhausted),
+//   * allocations at or above the threshold go to NVM,
+//   * AllocOptions::pin_tier overrides the rule (the "profiling step" that
+//     real X-Mem would run is expressed as an explicit hint).
+
+#ifndef HEMEM_TIER_XMEM_H_
+#define HEMEM_TIER_XMEM_H_
+
+#include "tier/machine.h"
+#include "tier/manager.h"
+
+namespace hemem {
+
+class XMem : public TieredMemoryManager {
+ public:
+  explicit XMem(Machine& machine, uint64_t large_threshold = GiB(1));
+
+  const char* name() const override { return "X-Mem"; }
+
+  uint64_t Mmap(uint64_t bytes, AllocOptions opts = {}) override;
+  void AccessPage(SimThread& thread, uint64_t va, uint32_t size, AccessKind kind) override;
+
+ private:
+  uint64_t large_threshold_;
+};
+
+}  // namespace hemem
+
+#endif  // HEMEM_TIER_XMEM_H_

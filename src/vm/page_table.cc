@@ -1,0 +1,130 @@
+#include "vm/page_table.h"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+
+namespace hemem {
+
+Region* PageTable::MapRegion(uint64_t base, uint64_t bytes, uint64_t page_bytes, bool managed,
+                             std::string label) {
+  assert(bytes > 0 && page_bytes > 0);
+  assert(base % page_bytes == 0);
+  auto region = std::make_unique<Region>();
+  region->base = base;
+  region->bytes = RoundUp(bytes, page_bytes);
+  region->page_bytes = page_bytes;
+  region->managed = managed;
+  region->label = std::move(label);
+  region->pages.resize(region->bytes / page_bytes);
+
+  Region* raw = region.get();
+  const auto pos = std::lower_bound(
+      regions_.begin(), regions_.end(), base,
+      [](const std::unique_ptr<Region>& r, uint64_t b) { return r->base < b; });
+  // Overlap would be a caller bug: ReserveVa hands out disjoint ranges.
+  assert(pos == regions_.end() || (*pos)->base >= base + region->bytes);
+  assert(pos == regions_.begin() || (*(pos - 1))->end() <= base);
+  total_mapped_ += region->bytes;
+  regions_.insert(pos, std::move(region));
+  last_hit_ = raw;
+  return raw;
+}
+
+bool PageTable::UnmapRegion(uint64_t base) {
+  const auto pos = std::lower_bound(
+      regions_.begin(), regions_.end(), base,
+      [](const std::unique_ptr<Region>& r, uint64_t b) { return r->base < b; });
+  if (pos == regions_.end() || (*pos)->base != base) {
+    return false;
+  }
+  if (last_hit_ == pos->get()) {
+    last_hit_ = nullptr;
+  }
+  total_mapped_ -= (*pos)->bytes;
+  regions_.erase(pos);
+  return true;
+}
+
+Region* PageTable::Find(uint64_t va) {
+  if (last_hit_ != nullptr && va >= last_hit_->base && va < last_hit_->end()) {
+    return last_hit_;
+  }
+  // upper_bound-1: the last region whose base is <= va.
+  auto pos = std::upper_bound(
+      regions_.begin(), regions_.end(), va,
+      [](uint64_t v, const std::unique_ptr<Region>& r) { return v < r->base; });
+  if (pos == regions_.begin()) {
+    return nullptr;
+  }
+  --pos;
+  if (va >= (*pos)->end()) {
+    return nullptr;
+  }
+  last_hit_ = pos->get();
+  return last_hit_;
+}
+
+PageEntry* PageTable::Lookup(uint64_t va) {
+  Region* region = Find(va);
+  if (region == nullptr) {
+    return nullptr;
+  }
+  return &region->pages[region->PageIndexOf(va)];
+}
+
+void PageTable::ForEachRegion(const std::function<void(Region&)>& fn) {
+  for (auto& region : regions_) {
+    fn(*region);
+  }
+}
+
+uint64_t PageTable::ReserveVa(uint64_t bytes, uint64_t align) {
+  const uint64_t base = RoundUp(next_va_, align);
+  next_va_ = base + RoundUp(bytes, align) + align;  // guard gap between regions
+  return base;
+}
+
+std::vector<uint64_t> RadixCostModel::EntriesPerLevel(uint64_t bytes, uint64_t page_bytes) {
+  // x86-64 radix: 512 entries per node. Leaf level covers `page_bytes` per
+  // entry; each level above covers 512x more. 4 KiB pages walk 4 levels,
+  // 2 MiB pages 3, 1 GiB pages 2.
+  std::vector<uint64_t> levels;
+  uint64_t coverage = page_bytes;
+  constexpr uint64_t kTopCoverage = 1ull << 48;  // one root node covers 256 TiB
+  while (coverage < kTopCoverage) {
+    levels.push_back(CeilDiv(bytes, coverage));
+    coverage *= 512;
+  }
+  if (levels.empty()) {
+    levels.push_back(1);
+  }
+  return levels;
+}
+
+SimTime RadixCostModel::ScanTime(uint64_t bytes, uint64_t page_bytes) const {
+  const std::vector<uint64_t> levels = EntriesPerLevel(bytes, page_bytes);
+  double total = 0.0;
+  for (size_t level = 0; level < levels.size(); ++level) {
+    const uint64_t entries = levels[level];
+    // Streamed examination of the entries themselves...
+    total += static_cast<double>(entries) * pte_scan_cost;
+    // ...plus a pointer chase into each 512-entry node of the level below the
+    // current cursor (one fetch per node).
+    const uint64_t nodes = CeilDiv(entries, 512);
+    total += static_cast<double>(nodes * static_cast<uint64_t>(node_fetch_latency)) / 8.0;
+  }
+  return static_cast<SimTime>(total);
+}
+
+SimTime RadixCostModel::ClearCost(uint64_t pages_cleared, int other_cores,
+                                  uint64_t pages_per_shootdown) const {
+  if (pages_cleared == 0) {
+    return 0;
+  }
+  const uint64_t shootdowns = CeilDiv(pages_cleared, pages_per_shootdown);
+  const SimTime per = shootdown_base + shootdown_per_core * other_cores;
+  return static_cast<SimTime>(shootdowns) * per;
+}
+
+}  // namespace hemem

@@ -1,0 +1,126 @@
+// Virtual-memory translation substrate.
+//
+// Two cooperating pieces:
+//
+//  * PageTable — the functional mapping tiering managers use: regions of
+//    virtual address space with one PageEntry per tracking-granularity page
+//    (present bit, owning device, frame, accessed/dirty bits, write-protect
+//    state with a "migration completes at" timestamp). Lookup is a
+//    last-region cache plus binary search, O(1) for the common case of a few
+//    large heap regions.
+//
+//  * RadixCostModel — an x86-64 4-level radix page-table *timing* model used
+//    to charge honest costs for page-table scans (Figure 3, the PT-scan
+//    HeMem variants, and Nimble). It computes exact entry counts per level
+//    for a mapping of a given size and page size, and converts them into
+//    scan time: sequential PTE reads at memory bandwidth plus a per-node
+//    pointer-chase latency, plus TLB-shootdown cost when accessed/dirty bits
+//    are cleared.
+
+#ifndef HEMEM_VM_PAGE_TABLE_H_
+#define HEMEM_VM_PAGE_TABLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace hemem {
+
+inline constexpr uint32_t kInvalidFrame = ~0u;
+
+// Which physical device a page lives on. Values index Machine::device().
+enum class Tier : uint8_t { kDram = 0, kNvm = 1 };
+inline constexpr int kNumTiers = 2;
+inline const char* TierName(Tier t) { return t == Tier::kDram ? "dram" : "nvm"; }
+
+struct PageEntry {
+  uint32_t frame = kInvalidFrame;
+  Tier tier = Tier::kDram;
+  bool present = false;
+  // Swapped out to the block device; `frame` then holds the swap slot.
+  bool swapped = false;
+  bool write_protected = false;
+  bool accessed = false;  // hardware A bit (set on any access)
+  bool dirty = false;     // hardware D bit (set on stores)
+  // While a migration is in flight, stores must wait until this time.
+  SimTime wp_until = 0;
+};
+
+// A mapped virtual region with uniform page (tracking) granularity.
+struct Region {
+  uint64_t base = 0;
+  uint64_t bytes = 0;
+  uint64_t page_bytes = 0;
+  // True when the region is under tiered management (vs. left to the kernel).
+  bool managed = true;
+  std::string label;
+  std::vector<PageEntry> pages;
+
+  uint64_t end() const { return base + bytes; }
+  uint64_t num_pages() const { return pages.size(); }
+  uint64_t PageIndexOf(uint64_t va) const { return (va - base) / page_bytes; }
+};
+
+class PageTable {
+ public:
+  PageTable() = default;
+
+  // Creates a region covering [base, base + bytes). Pages start not-present.
+  Region* MapRegion(uint64_t base, uint64_t bytes, uint64_t page_bytes, bool managed,
+                    std::string label);
+  // Removes the region starting at `base`; returns false if absent.
+  bool UnmapRegion(uint64_t base);
+
+  // Region containing va, or nullptr. Cached for repeat lookups.
+  Region* Find(uint64_t va);
+
+  // Entry for va (region must exist). Never returns nullptr for mapped vas.
+  PageEntry* Lookup(uint64_t va);
+
+  // Iterates over all regions (managed and not).
+  void ForEachRegion(const std::function<void(Region&)>& fn);
+
+  uint64_t total_mapped_bytes() const { return total_mapped_; }
+
+  // Returns a fresh virtual base address for a new allocation of `bytes`,
+  // keeping regions disjoint and page-aligned.
+  uint64_t ReserveVa(uint64_t bytes, uint64_t align);
+
+ private:
+  std::vector<std::unique_ptr<Region>> regions_;  // sorted by base
+  Region* last_hit_ = nullptr;
+  uint64_t next_va_ = 1ull << 40;  // arbitrary userspace heap base
+  uint64_t total_mapped_ = 0;
+};
+
+// Timing model for walking/scanning a 4-level radix page table.
+struct RadixCostModel {
+  // Cost knobs (defaults approximate a Cascade Lake-class server).
+  SimTime node_fetch_latency = 82;   // first touch of a 4 KiB table node
+  double pte_scan_cost = 1.2;        // ns per PTE examined (streamed)
+  // Initiator-side cost of one batched shootdown: IPIs broadcast in
+  // parallel, so the per-core share is the ack-wait, not a serial handler.
+  SimTime shootdown_base = 2 * kMicrosecond;
+  SimTime shootdown_per_core = 50;  // ns of ack-wait per remote core
+
+  // Entries that exist at each level (index 0 = leaf PTEs) for `bytes` of
+  // mapping with `page_bytes` pages. Level count shrinks for huge/giga pages
+  // exactly as on x86-64 (2 MiB pages have 3 levels, 1 GiB pages 2).
+  static std::vector<uint64_t> EntriesPerLevel(uint64_t bytes, uint64_t page_bytes);
+
+  // Time to scan every PTE (checking accessed/dirty bits) of such a mapping.
+  SimTime ScanTime(uint64_t bytes, uint64_t page_bytes) const;
+
+  // Additional cost of clearing A/D bits: one flush + shootdown to
+  // `other_cores` cores per `pages_per_shootdown` cleared pages (batched).
+  SimTime ClearCost(uint64_t pages_cleared, int other_cores,
+                    uint64_t pages_per_shootdown = 512) const;
+};
+
+}  // namespace hemem
+
+#endif  // HEMEM_VM_PAGE_TABLE_H_

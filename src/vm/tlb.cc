@@ -1,0 +1,29 @@
+#include "vm/tlb.h"
+
+namespace hemem {
+
+SimTime Tlb::Shootdown(Engine& engine, SimThread* initiator) {
+  return ShootdownBatch(engine, initiator, 1);
+}
+
+SimTime Tlb::ShootdownBatch(Engine& engine, SimThread* initiator, uint64_t count) {
+  if (count == 0) {
+    return 0;
+  }
+  stats_.shootdowns += count;
+  const int victims = engine.live_foreground() - (initiator != nullptr &&
+                                                  initiator->foreground()
+                                                      ? 1
+                                                      : 0);
+  if (victims > 0) {
+    stats_.victim_interrupts += count * static_cast<uint64_t>(victims);
+    engine.PenalizeForeground(static_cast<SimTime>(count) * params_.victim_cost, initiator);
+  }
+  const SimTime cost = static_cast<SimTime>(count) * params_.initiator_cost;
+  if (initiator != nullptr) {
+    initiator->Advance(cost);
+  }
+  return cost;
+}
+
+}  // namespace hemem

@@ -1,0 +1,54 @@
+// TLB shootdown accounting.
+//
+// Remapping or write-protecting a page, and clearing accessed/dirty bits,
+// requires invalidating stale TLB entries on every core that may cache the
+// translation. The initiating thread pays an IPI-send cost and every other
+// running application thread pays an interrupt-handling cost. This is the
+// overhead that makes page-table-based access tracking expensive at scale
+// (Sections 2.3 and 5.1 of the paper) and that HeMem's batched, sampled
+// design avoids.
+
+#ifndef HEMEM_VM_TLB_H_
+#define HEMEM_VM_TLB_H_
+
+#include <cstdint>
+
+#include "common/units.h"
+#include "sim/engine.h"
+
+namespace hemem {
+
+struct TlbParams {
+  SimTime initiator_cost = 2 * kMicrosecond;  // send IPIs + wait for acks
+  SimTime victim_cost = 1 * kMicrosecond;     // interrupt + invalidation on each core
+};
+
+struct TlbStats {
+  uint64_t shootdowns = 0;
+  uint64_t victim_interrupts = 0;
+};
+
+class Tlb {
+ public:
+  explicit Tlb(TlbParams params = TlbParams{}) : params_(params) {}
+
+  // Performs one shootdown initiated by `initiator` (may be nullptr for
+  // hardware-initiated flows): charges the initiator and penalizes every
+  // live foreground thread in `engine`. Returns the initiator-side cost.
+  SimTime Shootdown(Engine& engine, SimThread* initiator);
+
+  // Batched form: `count` shootdowns coalesced into one pass (HeMem batches
+  // per migration round). Victims still pay once per shootdown.
+  SimTime ShootdownBatch(Engine& engine, SimThread* initiator, uint64_t count);
+
+  const TlbStats& stats() const { return stats_; }
+  const TlbParams& params() const { return params_; }
+
+ private:
+  TlbParams params_;
+  TlbStats stats_;
+};
+
+}  // namespace hemem
+
+#endif  // HEMEM_VM_TLB_H_

@@ -1,0 +1,892 @@
+// Unit tests for the application substrates: GUPS, FlexKVS, Silo/TPC-C,
+// and the GAP graph + betweenness-centrality kernels.
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "apps/bc.h"
+#include "apps/flexkvs.h"
+#include "apps/graph.h"
+#include "apps/pagerank.h"
+#include "apps/gups.h"
+#include "apps/silo.h"
+#include "test_util.h"
+#include "core/hemem.h"
+#include "tier/plain.h"
+#include "tier/trace.h"
+
+namespace hemem {
+namespace {
+
+TEST(Gups, RunsToCompletionAndCounts) {
+  Machine machine(TinyMachineConfig());
+  PlainMemory manager(machine, Tier::kDram, true);
+  GupsConfig config;
+  config.threads = 4;
+  config.working_set = MiB(16);
+  config.updates_per_thread = 1000;
+  GupsBenchmark gups(manager, config);
+  gups.Prepare();
+  const GupsResult result = gups.Run();
+  EXPECT_EQ(result.total_updates, 4000u);
+  EXPECT_GT(result.gups, 0.0);
+  EXPECT_GT(result.elapsed, 0);
+}
+
+TEST(Gups, DramFasterThanNvm) {
+  auto run = [](Tier tier) {
+    Machine machine(TinyMachineConfig());
+    PlainMemory manager(machine, tier, true);
+    GupsConfig config;
+    config.threads = 4;
+    config.working_set = MiB(32);
+    config.updates_per_thread = 5000;
+    GupsBenchmark gups(manager, config);
+    gups.Prepare();
+    return gups.Run().gups;
+  };
+  EXPECT_GT(run(Tier::kDram), run(Tier::kNvm) * 2.0);
+}
+
+TEST(Gups, WarmupExcludedFromMeasurement) {
+  Machine machine(TinyMachineConfig());
+  PlainMemory manager(machine, Tier::kDram, true);
+  GupsConfig config;
+  config.threads = 2;
+  config.working_set = MiB(8);
+  config.updates_per_thread = 1000;
+  config.warmup_updates_per_thread = 1000;
+  GupsBenchmark gups(manager, config);
+  gups.Prepare();
+  const GupsResult result = gups.Run();
+  EXPECT_EQ(result.total_updates, 2000u);  // warmup not counted
+}
+
+TEST(Gups, DeterministicAcrossRuns) {
+  auto run = []() {
+    Machine machine(TinyMachineConfig());
+    PlainMemory manager(machine, Tier::kDram, true);
+    GupsConfig config;
+    config.threads = 4;
+    config.working_set = MiB(16);
+    config.updates_per_thread = 2000;
+    GupsBenchmark gups(manager, config);
+    gups.Prepare();
+    return gups.Run().gups;
+  };
+  EXPECT_DOUBLE_EQ(run(), run());
+}
+
+TEST(Gups, DeadlineParksWorkers) {
+  Machine machine(TinyMachineConfig());
+  PlainMemory manager(machine, Tier::kDram, true);
+  GupsConfig config;
+  config.threads = 2;
+  config.working_set = MiB(8);
+  config.updates_per_thread = 100'000'000;  // would run forever
+  GupsBenchmark gups(manager, config);
+  gups.Prepare();
+  const GupsResult result = gups.Run(10 * kMillisecond);
+  EXPECT_GT(result.total_updates, 0u);
+  EXPECT_LT(result.total_updates, 100'000'000u);
+}
+
+TEST(Gups, SeriesRecordsActivity) {
+  Machine machine(TinyMachineConfig());
+  PlainMemory manager(machine, Tier::kDram, true);
+  GupsConfig config;
+  config.threads = 2;
+  config.working_set = MiB(8);
+  config.updates_per_thread = 5000;
+  config.series_bucket = kMillisecond;
+  GupsBenchmark gups(manager, config);
+  gups.Prepare();
+  const GupsResult result = gups.Run();
+  const double total = std::accumulate(gups.series().buckets().begin(),
+                                       gups.series().buckets().end(), 0.0);
+  EXPECT_DOUBLE_EQ(total, static_cast<double>(result.total_updates));
+}
+
+TEST(Gups, HotSetConcentratesTraffic) {
+  // Capture the generated access stream and verify the configured skew:
+  // 90% of updates land within hot chunks covering 1/16th of the space.
+  Machine machine(TinyMachineConfig());
+  PlainMemory inner(machine, Tier::kDram, true);
+  TraceRecorder recorder(inner);
+  GupsConfig config;
+  config.threads = 1;
+  config.working_set = MiB(32);
+  config.hot_set = MiB(2);
+  config.hot_fraction = 0.9;
+  config.updates_per_thread = 20'000;
+  config.prefill = false;
+  GupsBenchmark gups(recorder, config);
+  gups.Prepare();
+  gups.Run();
+
+  const Trace& trace = recorder.trace();
+  ASSERT_EQ(trace.allocs.size(), 1u);
+  // Bucket accesses by 256 KiB chunk (the auto-selected sub-page chunk size)
+  // and measure the share taken by the top 8 chunks (= 2 MiB hot set).
+  std::map<uint64_t, uint64_t> per_chunk;
+  for (const TraceAccess& access : trace.accesses) {
+    per_chunk[(access.va - trace.allocs[0].va) / KiB(256)]++;
+  }
+  std::vector<uint64_t> counts;
+  for (const auto& [chunk, count] : per_chunk) {
+    counts.push_back(count);
+  }
+  std::sort(counts.rbegin(), counts.rend());
+  uint64_t top = 0;
+  uint64_t total = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (i < 8) {
+      top += counts[i];
+    }
+    total += counts[i];
+  }
+  const double share = static_cast<double>(top) / static_cast<double>(total);
+  EXPECT_GT(share, 0.85);  // ~0.9 + the uniform tail also hitting hot chunks
+  EXPECT_LT(share, 0.97);
+}
+
+TEST(FlexKvs, SetThenGetRoundTrips) {
+  Machine machine(TinyMachineConfig());
+  PlainMemory manager(machine, Tier::kDram, true);
+  KvsConfig config;
+  config.num_keys = 500;
+  config.value_bytes = 512;
+  config.server_threads = 1;
+  config.requests_per_thread = 0;
+  FlexKvs kvs(manager, config);
+  kvs.Prepare();
+
+  ScriptThread t([&](ScriptThread& self) {
+    kvs.LoadAll(self);
+    uint64_t version = 0;
+    EXPECT_TRUE(kvs.Get(self, 42, &version));
+    EXPECT_EQ(version, 1u);
+    EXPECT_TRUE(kvs.Set(self, 0, 42));
+    EXPECT_TRUE(kvs.Get(self, 42, &version));
+    EXPECT_EQ(version, 2u);
+    return false;
+  });
+  machine.engine().AddThread(&t);
+  machine.engine().Run();
+  EXPECT_EQ(kvs.kvs_stats().gets, 2u);
+  EXPECT_EQ(kvs.kvs_stats().sets, 501u);  // 500 loads + 1 update
+}
+
+TEST(FlexKvs, WorkloadRunsAndMeasures) {
+  Machine machine(TinyMachineConfig());
+  PlainMemory manager(machine, Tier::kDram, true);
+  KvsConfig config;
+  config.num_keys = 2000;
+  config.value_bytes = 256;
+  config.server_threads = 2;
+  config.requests_per_thread = 2000;
+  FlexKvs kvs(manager, config);
+  kvs.Prepare();
+  const KvsResult result = kvs.Run();
+  EXPECT_EQ(result.total_requests, 4000u);
+  EXPECT_GT(result.mops, 0.0);
+  EXPECT_GT(result.latency.count(), 0u);
+  // Latency includes the 10 us network RTT.
+  EXPECT_GE(result.latency.Percentile(0.5), 10u);
+}
+
+TEST(FlexKvs, CleanerRelocatesWithoutCorruption) {
+  Machine machine(TinyMachineConfig());
+  PlainMemory manager(machine, Tier::kDram, true);
+  KvsConfig config;
+  config.num_keys = 400;
+  config.value_bytes = 1024;
+  config.server_threads = 1;
+  config.requests_per_thread = 0;
+  config.segment_bytes = KiB(64);
+  config.log_overprovision = 1.3;  // tight log forces cleaning
+  FlexKvs kvs(manager, config);
+  kvs.Prepare();
+
+  ScriptThread t([&](ScriptThread& self) {
+    kvs.LoadAll(self);
+    Rng rng(5);
+    // Churn: repeated overwrites generate garbage; the cleaner must run.
+    for (int i = 0; i < 4000; ++i) {
+      EXPECT_TRUE(kvs.Set(self, 0, rng.NextBounded(400)));
+    }
+    // Every key still resolves to its latest version (Get() asserts the log
+    // ground truth internally).
+    for (uint64_t key = 0; key < 400; ++key) {
+      EXPECT_TRUE(kvs.Get(self, key, nullptr));
+    }
+    return false;
+  });
+  machine.engine().AddThread(&t);
+  machine.engine().Run();
+  EXPECT_GT(kvs.kvs_stats().segments_cleaned, 0u);
+  EXPECT_GT(kvs.kvs_stats().items_relocated, 0u);
+}
+
+TEST(FlexKvs, MissOnAbsentKeyBeforeLoad) {
+  Machine machine(TinyMachineConfig());
+  PlainMemory manager(machine, Tier::kDram, true);
+  KvsConfig config;
+  config.num_keys = 100;
+  config.value_bytes = 128;
+  config.server_threads = 1;
+  config.requests_per_thread = 0;
+  FlexKvs kvs(manager, config);
+  kvs.Prepare();
+  ScriptThread t([&](ScriptThread& self) {
+    EXPECT_FALSE(kvs.Get(self, 7, nullptr));
+    return false;
+  });
+  machine.engine().AddThread(&t);
+  machine.engine().Run();
+  EXPECT_EQ(kvs.kvs_stats().get_misses, 1u);
+}
+
+TEST(FlexKvs, OpenLoopLoadStretchesTime) {
+  auto run = [](double load) {
+    Machine machine(TinyMachineConfig());
+    PlainMemory manager(machine, Tier::kDram, true);
+    KvsConfig config;
+    config.num_keys = 1000;
+    config.value_bytes = 256;
+    config.server_threads = 1;
+    config.requests_per_thread = 1000;
+    config.load = load;
+    FlexKvs kvs(manager, config);
+    kvs.Prepare();
+    return kvs.Run().elapsed;
+  };
+  EXPECT_GT(run(0.3), run(1.0) * 2);
+}
+
+TEST(Silo, LoadPopulatesTables) {
+  Machine machine(TinyMachineConfig());
+  PlainMemory manager(machine, Tier::kDram, true);
+  SiloConfig config;
+  config.warehouses = 2;
+  SiloDb db(manager, config);
+  ScriptThread t([&](ScriptThread& self) {
+    db.Load(self);
+    return false;
+  });
+  machine.engine().AddThread(&t);
+  machine.engine().Run();
+  EXPECT_GE(db.stock_quantity(0, 0), 50);
+  EXPECT_LE(db.stock_quantity(1, config.items - 1), 100);
+}
+
+TEST(Silo, PaymentKeepsYtdConsistent) {
+  Machine machine(TinyMachineConfig());
+  PlainMemory manager(machine, Tier::kDram, true);
+  SiloConfig config;
+  config.warehouses = 2;
+  SiloDb db(manager, config);
+  ScriptThread t([&](ScriptThread& self) {
+    db.Load(self);
+    Rng rng(1);
+    for (int i = 0; i < 200; ++i) {
+      db.Payment(self, rng, i % 2);
+    }
+    return false;
+  });
+  machine.engine().AddThread(&t);
+  machine.engine().Run();
+  // Sum of district YTDs equals the warehouse YTD (TPC-C consistency #2).
+  for (int w = 0; w < 2; ++w) {
+    EXPECT_NEAR(db.warehouse_ytd(w), db.district_ytd_sum(w), 1e-6);
+  }
+}
+
+TEST(Silo, NewOrderMaintainsStockBounds) {
+  Machine machine(TinyMachineConfig());
+  PlainMemory manager(machine, Tier::kDram, true);
+  SiloConfig config;
+  config.warehouses = 1;
+  SiloDb db(manager, config);
+  ScriptThread t([&](ScriptThread& self) {
+    db.Load(self);
+    Rng rng(2);
+    for (int i = 0; i < 500; ++i) {
+      db.NewOrder(self, rng, 0);
+    }
+    return false;
+  });
+  machine.engine().AddThread(&t);
+  machine.engine().Run();
+  // 500 New-Orders on top of the initial (prefilled) order books.
+  const uint64_t initial = static_cast<uint64_t>(config.districts_per_warehouse) *
+                           static_cast<uint64_t>(config.order_capacity_per_district) / 2;
+  EXPECT_EQ(db.orders_created(), 500u + initial);
+  for (int item = 0; item < config.items; ++item) {
+    EXPECT_GE(db.stock_quantity(0, item), 0);
+    EXPECT_LE(db.stock_quantity(0, item), 200);
+  }
+}
+
+TEST(Silo, DeliveryNeverExceedsCreated) {
+  Machine machine(TinyMachineConfig());
+  PlainMemory manager(machine, Tier::kDram, true);
+  SiloConfig config;
+  config.warehouses = 1;
+  SiloDb db(manager, config);
+  ScriptThread t([&](ScriptThread& self) {
+    db.Load(self);
+    Rng rng(3);
+    for (int i = 0; i < 300; ++i) {
+      if (i % 3 == 0) {
+        db.NewOrder(self, rng, 0);
+      } else {
+        db.Delivery(self, rng, 0);
+      }
+    }
+    return false;
+  });
+  machine.engine().AddThread(&t);
+  machine.engine().Run();
+  EXPECT_LE(db.orders_delivered(), db.orders_created());
+}
+
+TEST(Silo, AllFiveTransactionsExecute) {
+  Machine machine(TinyMachineConfig());
+  PlainMemory manager(machine, Tier::kDram, true);
+  SiloConfig config;
+  config.warehouses = 2;
+  SiloDb db(manager, config);
+  ScriptThread t([&](ScriptThread& self) {
+    db.Load(self);
+    Rng rng(4);
+    for (int i = 0; i < 20; ++i) {
+      db.NewOrder(self, rng, 0);
+    }
+    EXPECT_TRUE(db.Payment(self, rng, 0));
+    EXPECT_TRUE(db.OrderStatus(self, rng, 0));
+    EXPECT_TRUE(db.Delivery(self, rng, 0));
+    EXPECT_TRUE(db.StockLevel(self, rng, 0));
+    return false;
+  });
+  machine.engine().AddThread(&t);
+  machine.engine().Run();
+}
+
+TEST(Tpcc, BenchmarkRuns) {
+  Machine machine(TinyMachineConfig());
+  PlainMemory manager(machine, Tier::kDram, true);
+  SiloConfig sconfig;
+  sconfig.warehouses = 4;
+  SiloDb db(manager, sconfig);
+  TpccConfig tconfig;
+  tconfig.threads = 4;
+  tconfig.transactions_per_thread = 500;
+  TpccBenchmark tpcc(db, tconfig);
+  tpcc.Prepare();
+  const TpccResult result = tpcc.Run();
+  EXPECT_EQ(result.total_transactions, 2000u);
+  EXPECT_GT(result.txn_per_sec, 0.0);
+}
+
+
+TEST(Gups, SplitLayoutPlacesHintsAndRuns) {
+  Machine machine(TinyMachineConfig());
+  Hemem manager(machine, HememParams{});
+  GupsConfig config;
+  config.threads = 2;
+  config.working_set = MiB(32);
+  config.hot_set = MiB(8);
+  config.split_hot_region = true;
+  config.hot_region_hint = Tier::kDram;
+  config.cold_region_hint = Tier::kNvm;
+  config.updates_per_thread = 20'000;
+  GupsBenchmark gups(manager, config);
+  gups.Prepare();
+  const GupsResult result = gups.Run();
+  EXPECT_EQ(result.total_updates, 40'000u);
+  // The hinted placement put the hot region in DRAM and the cold one in NVM.
+  EXPECT_GT(machine.dram().stats().loads + machine.dram().stats().stores,
+            (machine.nvm().stats().loads + machine.nvm().stats().stores) * 2);
+}
+
+TEST(Gups, PrefillTouchesEveryPageBeforeMeasurement) {
+  Machine machine(TinyMachineConfig());
+  Hemem manager(machine, HememParams{});
+  GupsConfig config;
+  config.threads = 2;
+  config.working_set = MiB(16);
+  config.updates_per_thread = 100;
+  config.prefill = true;
+  GupsBenchmark gups(manager, config);
+  gups.Prepare();
+  gups.Run();
+  // All 16 pages (1 MiB each) were faulted in even though only a few random
+  // updates ran.
+  EXPECT_EQ(manager.stats().missing_faults, 16u);
+}
+
+TEST(Gups, MeasureAfterGatesCounting) {
+  Machine machine(TinyMachineConfig());
+  PlainMemory manager(machine, Tier::kDram, true);
+  GupsConfig config;
+  config.threads = 1;
+  config.working_set = MiB(8);
+  config.updates_per_thread = ~0ull >> 2;
+  config.measure_after = 5 * kMillisecond;
+  GupsBenchmark gups(manager, config);
+  gups.Prepare();
+  const GupsResult result = gups.Run(10 * kMillisecond);
+  EXPECT_GT(result.total_updates, 0u);
+  // Updates before 5 ms were not counted: at ~85 ns/update one thread does
+  // ~118k updates in the 5 ms window; far fewer than a 10 ms run would give.
+  EXPECT_LT(result.total_updates, 90'000u);
+  EXPECT_GE(result.elapsed, 4 * kMillisecond);
+  EXPECT_LE(result.elapsed, 6 * kMillisecond);
+}
+
+TEST(Silo, BulkLoadChargesTables) {
+  Machine machine(TinyMachineConfig());
+  PlainMemory manager(machine, Tier::kDram, true);
+  SiloConfig config;
+  config.warehouses = 2;
+  SiloDb db(manager, config);
+  ScriptThread t([&](ScriptThread& self) {
+    db.Load(self);
+    return false;
+  });
+  machine.engine().AddThread(&t);
+  machine.engine().Run();
+  // The prefill streamed every table through the device.
+  const uint64_t stock_bytes =
+      2ull * config.items * SiloSchema::kStockRow;
+  EXPECT_GE(machine.dram().stats().bytes_requested_written, stock_bytes);
+  EXPECT_GT(t.now(), 0);
+}
+
+TEST(FlexKvs, BulkLoadMatchesItemLayout) {
+  auto build = [](bool bulk) {
+    auto machine = std::make_unique<Machine>(TinyMachineConfig());
+    auto manager = std::make_unique<PlainMemory>(*machine, Tier::kDram, true);
+    KvsConfig config;
+    config.num_keys = 300;
+    config.value_bytes = 256;
+    config.server_threads = 1;
+    config.requests_per_thread = 0;
+    config.bulk_load = bulk;
+    auto kvs = std::make_unique<FlexKvs>(*manager, config);
+    kvs->Prepare();
+    struct Out {
+      std::unique_ptr<Machine> m;
+      std::unique_ptr<PlainMemory> mgr;
+      std::unique_ptr<FlexKvs> kvs;
+    };
+    return Out{std::move(machine), std::move(manager), std::move(kvs)};
+  };
+  auto fast = build(true);
+  auto slow = build(false);
+  ScriptThread t1([&](ScriptThread& self) {
+    fast.kvs->LoadAll(self);
+    return false;
+  });
+  ScriptThread t2([&](ScriptThread& self) {
+    slow.kvs->LoadAll(self);
+    return false;
+  });
+  fast.m->engine().AddThread(&t1);
+  fast.m->engine().Run();
+  slow.m->engine().AddThread(&t2);
+  slow.m->engine().Run();
+  // Same final state: every key present at version 1 in both stores.
+  ScriptThread v1([&](ScriptThread& self) {
+    for (uint64_t k = 0; k < 300; ++k) {
+      uint64_t version = 0;
+      EXPECT_TRUE(fast.kvs->Get(self, k, &version));
+      EXPECT_EQ(version, 1u);
+    }
+    return false;
+  });
+  fast.m->engine().AddThread(&v1);
+  fast.m->engine().Run();
+  // Bulk load charges far fewer (larger) accesses but similar total bytes.
+  EXPECT_LT(fast.m->dram().stats().stores, slow.m->dram().stats().stores);
+}
+
+
+TEST(FlexKvs, DeleteRemovesKey) {
+  Machine machine(TinyMachineConfig());
+  PlainMemory manager(machine, Tier::kDram, true);
+  KvsConfig config;
+  config.num_keys = 100;
+  config.value_bytes = 128;
+  config.server_threads = 1;
+  config.requests_per_thread = 0;
+  FlexKvs kvs(manager, config);
+  kvs.Prepare();
+  ScriptThread t([&](ScriptThread& self) {
+    kvs.LoadAll(self);
+    EXPECT_TRUE(kvs.Del(self, 5));
+    EXPECT_FALSE(kvs.Get(self, 5, nullptr));
+    EXPECT_FALSE(kvs.Del(self, 5));  // already gone
+    EXPECT_TRUE(kvs.Set(self, 0, 5));
+    uint64_t version = 0;
+    EXPECT_TRUE(kvs.Get(self, 5, &version));
+    EXPECT_EQ(version, 1u);  // fresh insert after delete
+    return false;
+  });
+  machine.engine().AddThread(&t);
+  machine.engine().Run();
+  EXPECT_EQ(kvs.kvs_stats().dels, 2u);
+}
+
+TEST(FlexKvs, ZipfWorkloadSkewsTowardLowKeys) {
+  Machine machine(TinyMachineConfig());
+  PlainMemory manager(machine, Tier::kDram, true);
+  KvsConfig config;
+  config.num_keys = 10'000;
+  config.value_bytes = 128;
+  config.server_threads = 2;
+  config.requests_per_thread = 5'000;
+  config.zipf_theta = 0.99;
+  FlexKvs kvs(manager, config);
+  kvs.Prepare();
+  const KvsResult result = kvs.Run();
+  EXPECT_EQ(result.total_requests, 10'000u);
+  EXPECT_GT(result.mops, 0.0);
+}
+
+TEST(FlexKvs, DeleteChurnSurvivesCleaning) {
+  Machine machine(TinyMachineConfig());
+  PlainMemory manager(machine, Tier::kDram, true);
+  KvsConfig config;
+  config.num_keys = 300;
+  config.value_bytes = 512;
+  config.server_threads = 1;
+  config.requests_per_thread = 0;
+  config.segment_bytes = KiB(32);
+  config.log_overprovision = 1.5;
+  FlexKvs kvs(manager, config);
+  kvs.Prepare();
+  ScriptThread t([&](ScriptThread& self) {
+    kvs.LoadAll(self);
+    Rng rng(13);
+    std::vector<bool> alive(300, true);
+    for (int i = 0; i < 5000; ++i) {
+      const uint64_t key = rng.NextBounded(300);
+      if (rng.NextBool(0.3)) {
+        EXPECT_EQ(kvs.Del(self, key), alive[key]) << "key " << key;
+        alive[key] = false;
+      } else {
+        EXPECT_TRUE(kvs.Set(self, 0, key));
+        alive[key] = true;
+      }
+    }
+    for (uint64_t key = 0; key < 300; ++key) {
+      EXPECT_EQ(kvs.Get(self, key, nullptr), static_cast<bool>(alive[key])) << key;
+    }
+    return false;
+  });
+  machine.engine().AddThread(&t);
+  machine.engine().Run();
+  EXPECT_GT(kvs.kvs_stats().segments_cleaned, 0u);
+}
+
+
+TEST(PageRank, WorksUnderFullHemem) {
+  KroneckerConfig kconfig;
+  kconfig.scale = 13;
+  const CsrGraph graph = GenerateKronecker(kconfig);
+  MachineConfig mconfig = TinyMachineConfig();
+  mconfig.dram_bytes = KiB(512);  // graph + state exceed DRAM
+  mconfig.page_bytes = KiB(64);
+  Machine machine(mconfig);
+  Hemem manager(machine, HememParams{});
+  manager.Start();
+  SimGraph sim_graph(manager, graph);
+  PageRankConfig pconfig;
+  pconfig.iterations = 4;
+  PageRankBenchmark pr(sim_graph, pconfig);
+  pr.Prepare();
+  const PageRankResult result = pr.Run();
+  // Exact scores even with migrations happening underneath.
+  const auto expected = PageRankBenchmark::Reference(graph, pconfig);
+  for (size_t v = 0; v < expected.size(); ++v) {
+    ASSERT_NEAR(result.scores[v], expected[v], 1e-12);
+  }
+  EXPECT_GT(machine.nvm().stats().loads + machine.nvm().stats().stores, 0u);
+}
+
+TEST(Kronecker, GeneratesValidCsr) {
+  KroneckerConfig config;
+  config.scale = 10;
+  config.average_degree = 8;
+  const CsrGraph graph = GenerateKronecker(config);
+  EXPECT_EQ(graph.num_vertices, 1024u);
+  EXPECT_GT(graph.num_edges, 7000u);
+  EXPECT_EQ(graph.offsets.size(), 1025u);
+  EXPECT_EQ(graph.offsets[0], 0u);
+  EXPECT_EQ(graph.offsets[1024], graph.num_edges);
+  for (uint64_t v = 0; v < 1024; ++v) {
+    EXPECT_LE(graph.offsets[v], graph.offsets[v + 1]);
+  }
+  for (const uint32_t n : graph.neighbors) {
+    EXPECT_LT(n, 1024u);
+  }
+}
+
+TEST(Kronecker, PowerLawSkew) {
+  KroneckerConfig config;
+  config.scale = 12;
+  const CsrGraph graph = GenerateKronecker(config);
+  // Top 1% of vertices by degree should hold a disproportionate share of
+  // edges (power-law locality the paper relies on).
+  std::vector<uint64_t> degrees(graph.num_vertices);
+  for (uint64_t v = 0; v < graph.num_vertices; ++v) {
+    degrees[v] = graph.Degree(v);
+  }
+  std::sort(degrees.rbegin(), degrees.rend());
+  const uint64_t top = graph.num_vertices / 100;
+  const uint64_t top_edges = std::accumulate(degrees.begin(), degrees.begin() + top, 0ull);
+  EXPECT_GT(static_cast<double>(top_edges) / static_cast<double>(graph.num_edges), 0.10);
+}
+
+TEST(Kronecker, DeterministicForSeed) {
+  KroneckerConfig config;
+  config.scale = 8;
+  const CsrGraph a = GenerateKronecker(config);
+  const CsrGraph b = GenerateKronecker(config);
+  EXPECT_EQ(a.neighbors, b.neighbors);
+}
+
+TEST(Bc, MatchesReferenceImplementation) {
+  KroneckerConfig kconfig;
+  kconfig.scale = 8;
+  const CsrGraph graph = GenerateKronecker(kconfig);
+
+  Machine machine(TinyMachineConfig());
+  PlainMemory manager(machine, Tier::kDram, true);
+  SimGraph sim_graph(manager, graph);
+  BcConfig bconfig;
+  bconfig.iterations = 3;
+  BcBenchmark bc(sim_graph, bconfig);
+  bc.Prepare();
+  const BcResult result = bc.Run();
+
+  const std::vector<double> expected = BcBenchmark::Reference(graph, bc.sources());
+  ASSERT_EQ(result.centrality.size(), expected.size());
+  for (size_t v = 0; v < expected.size(); ++v) {
+    ASSERT_NEAR(result.centrality[v], expected[v], 1e-9) << "vertex " << v;
+  }
+}
+
+TEST(Bc, RecordsPerIterationMetrics) {
+  KroneckerConfig kconfig;
+  kconfig.scale = 8;
+  const CsrGraph graph = GenerateKronecker(kconfig);
+  Machine machine(TinyMachineConfig());
+  PlainMemory manager(machine, Tier::kNvm, true);
+  SimGraph sim_graph(manager, graph);
+  BcConfig bconfig;
+  bconfig.iterations = 4;
+  BcBenchmark bc(sim_graph, bconfig);
+  bc.Prepare();
+  const BcResult result = bc.Run();
+  ASSERT_EQ(result.iteration_time.size(), 4u);
+  for (const SimTime t : result.iteration_time) {
+    EXPECT_GT(t, 0);
+  }
+  EXPECT_EQ(result.total_time,
+            std::accumulate(result.iteration_time.begin(), result.iteration_time.end(),
+                            SimTime{0}));
+}
+
+TEST(Bc, NvmSlowerThanDram) {
+  KroneckerConfig kconfig;
+  kconfig.scale = 10;
+  const CsrGraph graph = GenerateKronecker(kconfig);
+  auto run = [&](Tier tier) {
+    Machine machine(TinyMachineConfig());
+    PlainMemory manager(machine, tier, true);
+    SimGraph sim_graph(manager, graph);
+    BcConfig bconfig;
+    bconfig.iterations = 2;
+    BcBenchmark bc(sim_graph, bconfig);
+    bc.Prepare();
+    return bc.Run().total_time;
+  };
+  EXPECT_GT(run(Tier::kNvm), run(Tier::kDram) * 2);
+}
+
+
+TEST(PageRank, MatchesReferenceImplementation) {
+  KroneckerConfig kconfig;
+  kconfig.scale = 9;
+  const CsrGraph graph = GenerateKronecker(kconfig);
+  Machine machine(TinyMachineConfig());
+  PlainMemory manager(machine, Tier::kDram, true);
+  SimGraph sim_graph(manager, graph);
+  PageRankConfig pconfig;
+  pconfig.iterations = 5;
+  PageRankBenchmark pr(sim_graph, pconfig);
+  pr.Prepare();
+  const PageRankResult result = pr.Run();
+  const auto expected = PageRankBenchmark::Reference(graph, pconfig);
+  ASSERT_EQ(result.scores.size(), expected.size());
+  for (size_t v = 0; v < expected.size(); ++v) {
+    ASSERT_NEAR(result.scores[v], expected[v], 1e-12) << "vertex " << v;
+  }
+  ASSERT_EQ(result.iteration_time.size(), 5u);
+}
+
+TEST(PageRank, ScoresFormDistribution) {
+  KroneckerConfig kconfig;
+  kconfig.scale = 10;
+  const CsrGraph graph = GenerateKronecker(kconfig);
+  Machine machine(TinyMachineConfig());
+  PlainMemory manager(machine, Tier::kDram, true);
+  SimGraph sim_graph(manager, graph);
+  PageRankConfig pconfig;
+  pconfig.iterations = 8;
+  PageRankBenchmark pr(sim_graph, pconfig);
+  pr.Prepare();
+  const PageRankResult result = pr.Run();
+  double sum = 0.0;
+  for (const double s : result.scores) {
+    EXPECT_GE(s, 0.0);
+    sum += s;
+  }
+  // Dangling vertices leak mass, so the sum is <= 1 but substantial.
+  EXPECT_LE(sum, 1.0 + 1e-9);
+  EXPECT_GT(sum, 0.3);
+}
+
+TEST(PageRank, HighDegreeVerticesRankHigher) {
+  KroneckerConfig kconfig;
+  kconfig.scale = 10;
+  const CsrGraph graph = GenerateKronecker(kconfig);
+  Machine machine(TinyMachineConfig());
+  PlainMemory manager(machine, Tier::kDram, true);
+  SimGraph sim_graph(manager, graph);
+  PageRankBenchmark pr(sim_graph, PageRankConfig{});
+  pr.Prepare();
+  const PageRankResult result = pr.Run();
+  // Average rank of the 16 highest in-degree vertices far exceeds the mean.
+  std::vector<uint64_t> indegree(graph.num_vertices, 0);
+  for (const uint32_t w : graph.neighbors) {
+    indegree[w]++;
+  }
+  std::vector<uint32_t> order(graph.num_vertices);
+  for (uint32_t v = 0; v < graph.num_vertices; ++v) {
+    order[v] = v;
+  }
+  std::sort(order.begin(), order.end(),
+            [&](uint32_t a, uint32_t b) { return indegree[a] > indegree[b]; });
+  double top = 0.0;
+  for (int i = 0; i < 16; ++i) {
+    top += result.scores[order[static_cast<size_t>(i)]];
+  }
+  const double mean = 16.0 / static_cast<double>(graph.num_vertices);
+  EXPECT_GT(top, mean * 10);
+}
+
+
+TEST(Silo, OrderStatusReadsLatestOrder) {
+  Machine machine(TinyMachineConfig());
+  PlainMemory manager(machine, Tier::kDram, true);
+  SiloConfig config;
+  config.warehouses = 1;
+  SiloDb db(manager, config);
+  ScriptThread t([&](ScriptThread& self) {
+    db.Load(self);
+    Rng rng(6);
+    EXPECT_TRUE(db.OrderStatus(self, rng, 0));  // prefilled books: has orders
+    db.NewOrder(self, rng, 0);
+    EXPECT_TRUE(db.OrderStatus(self, rng, 0));
+    return false;
+  });
+  machine.engine().AddThread(&t);
+  machine.engine().Run();
+}
+
+TEST(Silo, InitialOrderBooksArePrefilled) {
+  Machine machine(TinyMachineConfig());
+  PlainMemory manager(machine, Tier::kDram, true);
+  SiloConfig config;
+  config.warehouses = 2;
+  SiloDb db(manager, config);
+  ScriptThread t([&](ScriptThread& self) {
+    db.Load(self);
+    return false;
+  });
+  machine.engine().AddThread(&t);
+  machine.engine().Run();
+  const uint64_t expected = 2ull * config.districts_per_warehouse *
+                            config.order_capacity_per_district / 2;
+  EXPECT_EQ(db.orders_created(), expected);
+  EXPECT_EQ(db.orders_delivered(), 0u);
+}
+
+TEST(Silo, DeliveryDrainsPrefilledBooks) {
+  Machine machine(TinyMachineConfig());
+  PlainMemory manager(machine, Tier::kDram, true);
+  SiloConfig config;
+  config.warehouses = 1;
+  SiloDb db(manager, config);
+  ScriptThread t([&](ScriptThread& self) {
+    db.Load(self);
+    Rng rng(8);
+    for (int i = 0; i < 40; ++i) {
+      db.Delivery(self, rng, 0);
+    }
+    return false;
+  });
+  machine.engine().AddThread(&t);
+  machine.engine().Run();
+  // Each Delivery handles one order per district (10 districts).
+  EXPECT_EQ(db.orders_delivered(), 400u);
+}
+
+TEST(PageRank, ChargedTrafficMatchesGraphShape) {
+  KroneckerConfig kconfig;
+  kconfig.scale = 9;
+  const CsrGraph graph = GenerateKronecker(kconfig);
+  Machine machine(TinyMachineConfig());
+  PlainMemory manager(machine, Tier::kDram, true);
+  SimGraph sim_graph(manager, graph);
+  PageRankConfig pconfig;
+  pconfig.iterations = 2;
+  PageRankBenchmark pr(sim_graph, pconfig);
+  pr.Prepare();
+  pr.Run();
+  // Per iteration: one next[] write per edge plus per-vertex reads; total
+  // stores must be at least edges x iterations.
+  EXPECT_GE(machine.dram().stats().stores,
+            graph.num_edges * static_cast<uint64_t>(pconfig.iterations));
+}
+
+TEST(Gups, AsymmetricModeIssuesPureLoadsAndStores) {
+  Machine machine(TinyMachineConfig());
+  PlainMemory manager(machine, Tier::kDram, true);
+  GupsConfig config;
+  config.threads = 2;
+  config.working_set = MiB(16);
+  config.hot_set = MiB(8);
+  config.write_only_hot_fraction = 0.5;
+  config.updates_per_thread = 20'000;
+  GupsBenchmark gups(manager, config);
+  gups.Prepare();
+  const GupsResult result = gups.Run();
+  EXPECT_EQ(result.total_updates, 40'000u);
+  const auto& stats = machine.dram().stats();
+  // Single accesses per op (no RMW): loads + stores ~= updates (+ prefill).
+  EXPECT_LT(stats.loads + stats.stores, 41'000u);
+  EXPECT_GT(stats.stores, 5'000u);   // write-only half of the hot set
+  EXPECT_GT(stats.loads, 15'000u);   // everything else reads
+}
+
+}  // namespace
+}  // namespace hemem

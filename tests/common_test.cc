@@ -1,0 +1,296 @@
+// Unit tests for the common substrate: RNG, distributions, histograms,
+// units, time series.
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "common/time_series.h"
+#include "common/units.h"
+
+namespace hemem {
+namespace {
+
+TEST(Units, SizeHelpers) {
+  EXPECT_EQ(KiB(1), 1024u);
+  EXPECT_EQ(MiB(2), 2u << 20);
+  EXPECT_EQ(GiB(3), 3ull << 30);
+  EXPECT_EQ(TiB(1), 1ull << 40);
+}
+
+TEST(Units, CeilDivAndRound) {
+  EXPECT_EQ(CeilDiv(10, 3), 4u);
+  EXPECT_EQ(CeilDiv(9, 3), 3u);
+  EXPECT_EQ(RoundUp(10, 4), 12u);
+  EXPECT_EQ(RoundUp(12, 4), 12u);
+  EXPECT_EQ(RoundDown(10, 4), 8u);
+}
+
+TEST(Units, BandwidthConversion) {
+  // 1 GiB/s ~= 1.074 bytes per ns.
+  EXPECT_NEAR(GiBps(1.0), 1.0737, 1e-3);
+  EXPECT_NEAR(TransferNs(1024, GiBps(1.0)), 953.7, 1.0);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    same += a.Next() == b.Next() ? 1 : 0;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BoundedStaysInRange) {
+  Rng rng(7);
+  for (uint64_t bound : {1ull, 2ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, BoundedIsRoughlyUniform) {
+  Rng rng(99);
+  constexpr uint64_t kBuckets = 16;
+  constexpr int kSamples = 160000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kSamples; ++i) {
+    counts[rng.NextBounded(kBuckets)]++;
+  }
+  const double expect = static_cast<double>(kSamples) / kBuckets;
+  for (const int c : counts) {
+    EXPECT_NEAR(c, expect, expect * 0.1);
+  }
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(3);
+  double min = 1.0;
+  double max = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    min = std::min(min, d);
+    max = std::max(max, d);
+  }
+  EXPECT_LT(min, 0.01);
+  EXPECT_GT(max, 0.99);
+}
+
+TEST(Rng, NextBoolMatchesProbability) {
+  Rng rng(5);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) {
+    hits += rng.NextBool(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+TEST(Rng, InRangeInclusive) {
+  Rng rng(11);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t v = rng.NextInRange(5, 8);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 8u);
+    saw_lo |= v == 5;
+    saw_hi |= v == 8;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Mix64, AvalanchesAndIsStable) {
+  EXPECT_EQ(Mix64(42), Mix64(42));
+  EXPECT_NE(Mix64(42), Mix64(43));
+  // Flipping one input bit flips roughly half the output bits.
+  const uint64_t delta = Mix64(100) ^ Mix64(101);
+  const int popcount = __builtin_popcountll(delta);
+  EXPECT_GT(popcount, 16);
+  EXPECT_LT(popcount, 48);
+}
+
+TEST(RandomPermutation, IsAPermutation) {
+  Rng rng(17);
+  const auto perm = RandomPermutation(1000, rng);
+  std::set<uint64_t> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), 1000u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 999u);
+}
+
+TEST(RandomPermutation, ActuallyShuffles) {
+  Rng rng(17);
+  const auto perm = RandomPermutation(1000, rng);
+  int fixed_points = 0;
+  for (uint64_t i = 0; i < 1000; ++i) {
+    fixed_points += perm[i] == i ? 1 : 0;
+  }
+  EXPECT_LT(fixed_points, 20);  // E[fixed points] = 1
+}
+
+class ZipfTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfTest, InRangeAndSkewed) {
+  const double theta = GetParam();
+  ZipfGenerator zipf(10000, theta);
+  Rng rng(23);
+  constexpr int kSamples = 100000;
+  int rank0 = 0;
+  int top100 = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    const uint64_t v = zipf.Next(rng);
+    ASSERT_LT(v, 10000u);
+    rank0 += v == 0 ? 1 : 0;
+    top100 += v < 100 ? 1 : 0;
+  }
+  // Rank 0's mass is 1/(H_n) * 1; for theta >= 0.5 the head is clearly
+  // heavier than uniform (uniform would give rank0 ~= 10, top100 ~= 1%).
+  EXPECT_GT(rank0, kSamples / 10000);
+  EXPECT_GT(top100, kSamples / 100);
+}
+
+INSTANTIATE_TEST_SUITE_P(Thetas, ZipfTest, ::testing::Values(0.5, 0.9, 0.99, 1.2));
+
+TEST(Zipf, HigherThetaIsMoreSkewed) {
+  Rng rng1(31);
+  Rng rng2(31);
+  ZipfGenerator mild(10000, 0.5);
+  ZipfGenerator heavy(10000, 1.1);
+  int mild_head = 0;
+  int heavy_head = 0;
+  for (int i = 0; i < 50000; ++i) {
+    mild_head += mild.Next(rng1) < 10 ? 1 : 0;
+    heavy_head += heavy.Next(rng2) < 10 ? 1 : 0;
+  }
+  EXPECT_GT(heavy_head, mild_head);
+}
+
+TEST(Histogram, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Percentile(0.5), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(Histogram, SingleValue) {
+  Histogram h;
+  h.Record(42);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.Percentile(0.0), 42u);
+  EXPECT_EQ(h.Percentile(1.0), 42u);
+  EXPECT_EQ(h.min(), 42u);
+  EXPECT_EQ(h.max(), 42u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 42.0);
+}
+
+TEST(Histogram, SmallValuesAreExact) {
+  Histogram h;
+  for (uint64_t v = 0; v < 64; ++v) {
+    h.Record(v);
+  }
+  EXPECT_EQ(h.Percentile(0.0), 0u);
+  EXPECT_EQ(h.Percentile(0.5), 31u);
+  EXPECT_EQ(h.Percentile(1.0), 63u);
+}
+
+TEST(Histogram, PercentilesOrdered) {
+  Histogram h;
+  Rng rng(1);
+  for (int i = 0; i < 100000; ++i) {
+    h.Record(rng.NextBounded(1000000));
+  }
+  uint64_t prev = 0;
+  for (const double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999}) {
+    const uint64_t v = h.Percentile(q);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(Histogram, UniformPercentilesApproximate) {
+  Histogram h;
+  Rng rng(2);
+  for (int i = 0; i < 200000; ++i) {
+    h.Record(rng.NextBounded(100000));
+  }
+  EXPECT_NEAR(static_cast<double>(h.Percentile(0.5)), 50000, 2500);
+  EXPECT_NEAR(static_cast<double>(h.Percentile(0.9)), 90000, 3000);
+}
+
+TEST(Histogram, RelativePrecisionBounded) {
+  Histogram h;
+  for (uint64_t v : {100ull, 10'000ull, 1'000'000ull, 100'000'000ull}) {
+    h.Reset();
+    h.Record(v);
+    const double got = static_cast<double>(h.Percentile(0.5));
+    EXPECT_NEAR(got, static_cast<double>(v), static_cast<double>(v) * 0.02);
+  }
+}
+
+TEST(Histogram, MergeCombines) {
+  Histogram a;
+  Histogram b;
+  a.Record(10);
+  b.Record(1000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 10u);
+  EXPECT_GE(a.max(), 1000u);
+}
+
+TEST(Histogram, ResetClears) {
+  Histogram h;
+  h.Record(5);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Percentile(0.5), 0u);
+}
+
+TEST(TimeSeries, BucketsByTime) {
+  TimeSeries ts(kSecond);
+  ts.Record(0);
+  ts.Record(kSecond - 1);
+  ts.Record(kSecond);
+  ts.Record(3 * kSecond + 5);
+  ASSERT_EQ(ts.buckets().size(), 4u);
+  EXPECT_DOUBLE_EQ(ts.buckets()[0], 2.0);
+  EXPECT_DOUBLE_EQ(ts.buckets()[1], 1.0);
+  EXPECT_DOUBLE_EQ(ts.buckets()[2], 0.0);
+  EXPECT_DOUBLE_EQ(ts.buckets()[3], 1.0);
+}
+
+TEST(TimeSeries, RatePerSecond) {
+  TimeSeries ts(500 * kMillisecond);
+  ts.Record(0, 10.0);
+  const auto rates = ts.RatePerSecond();
+  ASSERT_EQ(rates.size(), 1u);
+  EXPECT_DOUBLE_EQ(rates[0], 20.0);  // 10 per half second
+}
+
+TEST(TimeSeries, IgnoresNegativeTime) {
+  TimeSeries ts(kSecond);
+  ts.Record(-5);
+  EXPECT_TRUE(ts.buckets().empty());
+}
+
+}  // namespace
+}  // namespace hemem

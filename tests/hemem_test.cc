@@ -1,0 +1,723 @@
+// Unit tests for the HeMem manager: allocation interception, fault policy,
+// PEBS-driven classification, cooling, write-heavy prioritization, the
+// policy thread's watermark and migration behaviour, and the PT-scan
+// ablation variants.
+
+#include <gtest/gtest.h>
+
+#include "core/daemon.h"
+#include "core/hemem.h"
+#include "tier/trace.h"
+#include "test_util.h"
+
+namespace hemem {
+namespace {
+
+HememParams FastParams() {
+  HememParams params;
+  params.policy_period = kMillisecond;
+  params.pebs_drain_period = 100 * kMicrosecond;
+  return params;
+}
+
+// Drives `updates` single-object RMW updates against `va` page-0 offsets.
+void Hammer(Machine& machine, Hemem& manager, uint64_t va, int updates,
+            AccessKind kind = AccessKind::kLoad, SimTime gap = 0) {
+  ScriptThread t([&, n = 0](ScriptThread& self) mutable {
+    manager.Access(self, va, 8, kind);
+    if (gap > 0) {
+      self.Advance(gap);
+    }
+    return ++n < updates;
+  });
+  machine.engine().AddThread(&t);
+  machine.engine().Run();
+}
+
+TEST(HememAlloc, SmallAllocationsForwardedToKernel) {
+  Machine machine(TinyMachineConfig());
+  Hemem manager(machine, FastParams());
+  // Managed threshold = 1 GiB / 3072 = 349,525 bytes.
+  const uint64_t va = manager.Mmap(KiB(64), {.label = "tiny"});
+  Region* region = machine.page_table().Find(va);
+  ASSERT_NE(region, nullptr);
+  EXPECT_FALSE(region->managed);
+  EXPECT_EQ(manager.stats().small_allocs, 1u);
+}
+
+TEST(HememAlloc, LargeAllocationsManaged) {
+  Machine machine(TinyMachineConfig());
+  Hemem manager(machine, FastParams());
+  const uint64_t va = manager.Mmap(MiB(8), {.label = "big"});
+  EXPECT_TRUE(machine.page_table().Find(va)->managed);
+  EXPECT_EQ(manager.stats().managed_allocs, 1u);
+}
+
+TEST(HememAlloc, GrowthRulePromotesLabelToManaged) {
+  Machine machine(TinyMachineConfig());
+  Hemem manager(machine, FastParams());
+  // Threshold is ~341 KiB; allocate 6 x 64 KiB under one label.
+  uint64_t last = 0;
+  for (int i = 0; i < 6; ++i) {
+    last = manager.Mmap(KiB(64), {.label = "grower"});
+  }
+  EXPECT_TRUE(machine.page_table().Find(last)->managed);
+  EXPECT_GT(manager.stats().small_allocs, 0u);
+  EXPECT_GT(manager.stats().managed_allocs, 0u);
+}
+
+TEST(HememAlloc, PinnedRegionsMappedEagerly) {
+  Machine machine(TinyMachineConfig());
+  Hemem manager(machine, FastParams());
+  const uint64_t va = manager.Mmap(MiB(4), {.label = "pin", .pin_tier = Tier::kNvm});
+  PageEntry* entry = machine.page_table().Lookup(va);
+  EXPECT_TRUE(entry->present);
+  EXPECT_EQ(entry->tier, Tier::kNvm);
+}
+
+TEST(HememFault, FirstTouchPrefersDram) {
+  Machine machine(TinyMachineConfig());
+  Hemem manager(machine, FastParams());
+  const uint64_t va = manager.Mmap(MiB(4));
+  Hammer(machine, manager, va, 1);
+  EXPECT_EQ(machine.page_table().Lookup(va)->tier, Tier::kDram);
+  EXPECT_EQ(manager.stats().missing_faults, 1u);
+}
+
+TEST(HememFault, FallsBackToNvmWhenDramExhausted) {
+  Machine machine(TinyMachineConfig());
+  Hemem manager(machine, FastParams());  // policy NOT started: no watermark
+  const uint64_t va = manager.Mmap(MiB(128));
+  ScriptThread t([&, n = 0u](ScriptThread& self) mutable {
+    manager.Access(self, va + static_cast<uint64_t>(n) * MiB(1), 8, AccessKind::kStore);
+    return ++n < 128;
+  });
+  machine.engine().AddThread(&t);
+  machine.engine().Run();
+  EXPECT_EQ(machine.page_table().Lookup(va)->tier, Tier::kDram);
+  EXPECT_EQ(machine.page_table().Lookup(va + MiB(127))->tier, Tier::kNvm);
+}
+
+TEST(HememFault, FaultCostChargedToThread) {
+  Machine machine(TinyMachineConfig());
+  Hemem manager(machine, FastParams());
+  const uint64_t va = manager.Mmap(MiB(4));
+  ScriptThread t([&](ScriptThread& self) {
+    manager.Access(self, va, 8, AccessKind::kLoad);
+    return false;
+  });
+  machine.engine().AddThread(&t);
+  machine.engine().Run();
+  EXPECT_GT(t.now(), 8 * kMicrosecond);  // userfaultfd round trip + zero fill
+}
+
+TEST(HememClassify, PageBecomesHotAfterReadThreshold) {
+  Machine machine(TinyMachineConfig());
+  Hemem manager(machine, FastParams());
+  manager.Start();
+  const uint64_t va = manager.Mmap(MiB(4));
+  // Default PEBS period is 5000: 8 samples need 40k loads.
+  Hammer(machine, manager, va, 50'000, AccessKind::kLoad, 100);
+  EXPECT_GE(manager.hot_pages(Tier::kDram), 1u);
+}
+
+TEST(HememClassify, WriteThresholdIsLower) {
+  Machine machine(TinyMachineConfig());
+  HememParams params = FastParams();
+  Hemem manager(machine, params);
+  manager.Start();
+  const uint64_t va = manager.Mmap(MiB(4));
+  // 4 store samples suffice (vs 8 loads): 20k stores + margin.
+  Hammer(machine, manager, va, 25'000, AccessKind::kStore, 100);
+  EXPECT_GE(manager.hot_pages(Tier::kDram), 1u);
+}
+
+TEST(HememClassify, ColdPagesStayCold) {
+  Machine machine(TinyMachineConfig());
+  Hemem manager(machine, FastParams());
+  manager.Start();
+  const uint64_t va = manager.Mmap(MiB(16));
+  // Touch each page once: far below any hot threshold.
+  ScriptThread t([&, n = 0u](ScriptThread& self) mutable {
+    manager.Access(self, va + static_cast<uint64_t>(n) * MiB(1), 8, AccessKind::kLoad);
+    self.Advance(10 * kMicrosecond);
+    return ++n < 16;
+  });
+  machine.engine().AddThread(&t);
+  machine.engine().Run();
+  EXPECT_EQ(manager.hot_pages(Tier::kDram), 0u);
+  EXPECT_EQ(manager.cold_pages(Tier::kDram), 16u);
+}
+
+TEST(HememCooling, ClockAdvancesUnderSustainedLoad) {
+  Machine machine(TinyMachineConfig());
+  Hemem manager(machine, FastParams());
+  manager.Start();
+  const uint64_t va = manager.Mmap(MiB(4));
+  // Cooling threshold 18 sampled accesses on one page: 18*5000 accesses.
+  Hammer(machine, manager, va, 120'000, AccessKind::kLoad, 50);
+  EXPECT_GE(manager.cooling_clock(), 1u);
+}
+
+TEST(HememPolicy, WatermarkKeepsDramFree) {
+  Machine machine(TinyMachineConfig());
+  HememParams params = FastParams();
+  Hemem manager(machine, params);
+  manager.Start();
+  // Fault in more than DRAM capacity; the policy thread must keep a reserve
+  // free by demoting cold pages.
+  const uint64_t va = manager.Mmap(MiB(128));
+  ScriptThread t([&, n = 0u](ScriptThread& self) mutable {
+    manager.Access(self, va + static_cast<uint64_t>(n % 128) * MiB(1), 8,
+                   AccessKind::kStore);
+    self.Advance(100 * kMicrosecond);
+    return ++n < 512;
+  });
+  machine.engine().AddThread(&t);
+  machine.engine().Run();
+  // Watermark clamps to 2 pages (2 MiB) on this machine; the policy keeps
+  // at least part of it free by demoting.
+  EXPECT_GE(machine.frames(Tier::kDram).free_bytes(), MiB(1));
+  EXPECT_GT(manager.stats().pages_demoted, 0u);
+}
+
+// Fills a 200 MiB region, then hammers a page that ended up NVM-resident.
+// Returns that page's va (picked dynamically: the watermark keeps demoting,
+// so which pages land in NVM depends on policy timing).
+uint64_t FillThenHammerNvmPage(Machine& machine, Hemem& manager) {
+  const uint64_t va = manager.Mmap(MiB(200));
+  uint64_t hot_va = 0;
+  ScriptThread t([&, n = 0u](ScriptThread& self) mutable {
+    if (n < 200) {
+      manager.Access(self, va + static_cast<uint64_t>(n) * MiB(1), 8, AccessKind::kStore);
+    } else {
+      if (hot_va == 0) {
+        for (uint64_t i = 0; i < 200; ++i) {
+          if (machine.page_table().Lookup(va + i * MiB(1))->tier == Tier::kNvm) {
+            hot_va = va + i * MiB(1);
+            break;
+          }
+        }
+      }
+      manager.Access(self, hot_va, 8, AccessKind::kLoad);
+      self.Advance(2 * kMicrosecond);
+    }
+    return ++n < 300'000;
+  });
+  machine.engine().AddThread(&t);
+  machine.engine().Run();
+  return hot_va;
+}
+
+TEST(HememPolicy, HotNvmPagePromoted) {
+  Machine machine(TinyMachineConfig());
+  Hemem manager(machine, FastParams());
+  manager.Start();
+  const uint64_t hot_va = FillThenHammerNvmPage(machine, manager);
+  EXPECT_EQ(machine.page_table().Lookup(hot_va)->tier, Tier::kDram);
+  EXPECT_GT(manager.stats().pages_promoted, 0u);
+}
+
+TEST(HememPolicy, MigrationUsesDma) {
+  Machine machine(TinyMachineConfig());
+  Hemem manager(machine, FastParams());
+  manager.Start();
+  FillThenHammerNvmPage(machine, manager);
+  EXPECT_GT(machine.dma().stats().copies, 0u);
+}
+
+TEST(HememPolicy, PromotionStallsWhenHotSetExceedsDram) {
+  MachineConfig config = TinyMachineConfig();
+  config.dram_bytes = MiB(8);  // tiny DRAM: 8 frames
+  Machine machine(config);
+  HememParams params = FastParams();
+  Hemem manager(machine, params);
+  manager.Start();
+  const uint64_t va = manager.Mmap(MiB(16));
+  // Hammer every page uniformly and heavily: everything goes hot; the hot
+  // set exceeds DRAM, so HeMem must stop migrating rather than thrash.
+  Rng rng(1);
+  ScriptThread t([&, n = 0u](ScriptThread& self) mutable {
+    manager.Access(self, va + rng.NextBounded(16) * MiB(1), 8, AccessKind::kStore);
+    return ++n < 400'000;
+  });
+  machine.engine().AddThread(&t);
+  machine.engine().Run();
+  EXPECT_GT(manager.hstats().promotion_stalls, 0u);
+}
+
+TEST(HememMigration, StoreWaitsForInFlightCopy) {
+  Machine machine(TinyMachineConfig());
+  Hemem manager(machine, FastParams());
+  const uint64_t va = manager.Mmap(MiB(4));
+  // Manually stage a migration-in-flight state via the page entry.
+  ScriptThread toucher([&](ScriptThread& self) {
+    manager.Access(self, va, 8, AccessKind::kStore);  // fault it in at t~0
+    return false;
+  });
+  machine.engine().AddThread(&toucher);
+  machine.engine().Run();
+  PageEntry* entry = machine.page_table().Lookup(va);
+  entry->wp_until = toucher.now() + kSecond;
+
+  Engine* engine = &machine.engine();
+  ScriptThread writer([&](ScriptThread& self) {
+    self.AdvanceTo(toucher.now());
+    manager.Access(self, va, 8, AccessKind::kStore);
+    return false;
+  });
+  engine->AddThread(&writer);
+  engine->Run();
+  EXPECT_GE(writer.now(), entry->wp_until);
+  EXPECT_EQ(manager.stats().wp_faults, 1u);
+  EXPECT_GT(manager.stats().wp_wait_ns, 0);
+}
+
+TEST(HememMigration, ReadsProceedDuringCopy) {
+  Machine machine(TinyMachineConfig());
+  Hemem manager(machine, FastParams());
+  const uint64_t va = manager.Mmap(MiB(4));
+  ScriptThread toucher([&](ScriptThread& self) {
+    manager.Access(self, va, 8, AccessKind::kLoad);
+    return false;
+  });
+  machine.engine().AddThread(&toucher);
+  machine.engine().Run();
+  PageEntry* entry = machine.page_table().Lookup(va);
+  entry->wp_until = toucher.now() + kSecond;
+
+  ScriptThread reader([&](ScriptThread& self) {
+    self.AdvanceTo(toucher.now());
+    manager.Access(self, va, 8, AccessKind::kLoad);
+    return false;
+  });
+  machine.engine().AddThread(&reader);
+  machine.engine().Run();
+  EXPECT_LT(reader.now(), entry->wp_until);  // did not wait
+}
+
+TEST(HememScanModes, NamesIdentifyVariant) {
+  Machine m1(TinyMachineConfig());
+  HememParams pebs = FastParams();
+  EXPECT_STREQ(Hemem(m1, pebs).name(), "HeMem");
+  Machine m2(TinyMachineConfig());
+  HememParams sync = FastParams();
+  sync.scan_mode = HememParams::ScanMode::kPtSync;
+  EXPECT_STREQ(Hemem(m2, sync).name(), "HeMem-PT-Sync");
+  Machine m3(TinyMachineConfig());
+  HememParams async = FastParams();
+  async.scan_mode = HememParams::ScanMode::kPtAsync;
+  EXPECT_STREQ(Hemem(m3, async).name(), "HeMem-PT-Async");
+}
+
+TEST(HememScanModes, PtAsyncClassifiesViaAccessedBits) {
+  Machine machine(TinyMachineConfig());
+  HememParams params = FastParams();
+  params.scan_mode = HememParams::ScanMode::kPtAsync;
+  params.pt_scan_period = 100 * kMicrosecond;
+  Hemem manager(machine, params);
+  manager.Start();
+  const uint64_t va = manager.Mmap(MiB(4));
+  // A page touched every scan interval accrues one observation per scan;
+  // hot after hot_write_threshold (4) dirty scans.
+  Hammer(machine, manager, va, 200, AccessKind::kStore, 50 * kMicrosecond);
+  EXPECT_GE(manager.hstats().pt_scans, 4u);
+  EXPECT_GE(manager.hot_pages(Tier::kDram), 1u);
+}
+
+TEST(HememScanModes, PtScanChargesShootdowns) {
+  Machine machine(TinyMachineConfig());
+  HememParams params = FastParams();
+  params.scan_mode = HememParams::ScanMode::kPtAsync;
+  params.pt_scan_period = 100 * kMicrosecond;
+  Hemem manager(machine, params);
+  manager.Start();
+  const uint64_t va = manager.Mmap(MiB(4));
+  Hammer(machine, manager, va, 200, AccessKind::kStore, 50 * kMicrosecond);
+  EXPECT_GT(machine.tlb().stats().shootdowns, 0u);
+}
+
+TEST(HememScanModes, NoScanTracksNothing) {
+  Machine machine(TinyMachineConfig());
+  HememParams params = FastParams();
+  params.scan_mode = HememParams::ScanMode::kNone;
+  Hemem manager(machine, params);
+  manager.Start();
+  const uint64_t va = manager.Mmap(MiB(4));
+  Hammer(machine, manager, va, 100'000, AccessKind::kStore, 10);
+  EXPECT_EQ(manager.hstats().samples_processed, 0u);
+  EXPECT_EQ(manager.hot_pages(Tier::kDram), 0u);
+}
+
+TEST(HememMunmap, CleansUpListsAndFrames) {
+  Machine machine(TinyMachineConfig());
+  Hemem manager(machine, FastParams());
+  manager.Start();
+  const uint64_t va = manager.Mmap(MiB(16));
+  ScriptThread t([&, n = 0u](ScriptThread& self) mutable {
+    manager.Access(self, va + static_cast<uint64_t>(n % 16) * MiB(1), 8, AccessKind::kStore);
+    return ++n < 64;
+  });
+  machine.engine().AddThread(&t);
+  machine.engine().Run();
+  const uint64_t used_before = machine.frames(Tier::kDram).used_frames();
+  EXPECT_GT(used_before, 0u);
+  manager.Munmap(va);
+  EXPECT_LT(machine.frames(Tier::kDram).used_frames(), used_before);
+  EXPECT_EQ(manager.hot_pages(Tier::kDram) + manager.cold_pages(Tier::kDram) +
+                manager.hot_pages(Tier::kNvm) + manager.cold_pages(Tier::kNvm),
+            machine.frames(Tier::kDram).used_frames() +
+                machine.frames(Tier::kNvm).used_frames());
+}
+
+TEST(HememPebsPath, CountsFeedMachinePebs) {
+  Machine machine(TinyMachineConfig());
+  Hemem manager(machine, FastParams());
+  const uint64_t va = manager.Mmap(MiB(4));
+  Hammer(machine, manager, va, 10'000, AccessKind::kLoad);
+  EXPECT_GE(machine.pebs().stats().accesses_counted, 10'000u);
+}
+
+TEST(HememPebsPath, UnmanagedRegionsSampledButIgnored) {
+  Machine machine(TinyMachineConfig());
+  Hemem manager(machine, FastParams());
+  manager.Start();
+  const uint64_t va = manager.Mmap(KiB(64), {.label = "small"});  // kernel-managed
+  Hammer(machine, manager, va, 60'000, AccessKind::kStore, 20);
+  // Samples were produced but no page was classified.
+  EXPECT_GT(machine.pebs().stats().samples_written, 0u);
+  EXPECT_EQ(manager.hot_pages(Tier::kDram), 0u);
+}
+
+
+TEST(HememAlloc, PreferTierHintHonoredAtFault) {
+  Machine machine(TinyMachineConfig());
+  Hemem manager(machine, FastParams());
+  const uint64_t va = manager.Mmap(MiB(4), {.label = "hint", .prefer_tier = Tier::kNvm});
+  Hammer(machine, manager, va, 1);
+  EXPECT_EQ(machine.page_table().Lookup(va)->tier, Tier::kNvm);
+  // Unlike pinning, the page is tracked: it lands on a list.
+  const auto probe = manager.ProbePage(va);
+  ASSERT_TRUE(probe.has_value());
+}
+
+TEST(HememProbe, ReportsCountersAndListState) {
+  Machine machine(TinyMachineConfig());
+  Hemem manager(machine, FastParams());
+  manager.Start();
+  const uint64_t va = manager.Mmap(MiB(4));
+  Hammer(machine, manager, va, 30'000, AccessKind::kStore, 100);
+  const auto probe = manager.ProbePage(va);
+  ASSERT_TRUE(probe.has_value());
+  EXPECT_GT(probe->writes, 0u);
+  EXPECT_TRUE(probe->write_heavy);
+  EXPECT_TRUE(probe->on_hot_list);
+  EXPECT_FALSE(manager.ProbePage(0xdeadbeef).has_value());
+}
+
+TEST(HememMigration, WriteHeavyPagesLeadTheHotList) {
+  Machine machine(TinyMachineConfig());
+  Hemem manager(machine, FastParams());
+  manager.Start();
+  const uint64_t read_va = manager.Mmap(MiB(1));
+  const uint64_t write_va = manager.Mmap(MiB(1));
+  ScriptThread t([&, n = 0](ScriptThread& self) mutable {
+    // Interleave plenty of loads on one page and stores on the other.
+    manager.Access(self, read_va, 8, AccessKind::kLoad);
+    manager.Access(self, write_va, 8, AccessKind::kStore);
+    self.Advance(100);
+    return ++n < 40'000;
+  });
+  machine.engine().AddThread(&t);
+  machine.engine().Run();
+  const auto rd = manager.ProbePage(read_va);
+  const auto wr = manager.ProbePage(write_va);
+  ASSERT_TRUE(rd && wr);
+  EXPECT_TRUE(wr->write_heavy);
+  EXPECT_FALSE(rd->write_heavy);
+  EXPECT_TRUE(rd->on_hot_list);
+  EXPECT_TRUE(wr->on_hot_list);
+}
+
+
+// --- Swap tier (paper Section 3.4 extension) -------------------------------
+
+MachineConfig SwapMachineConfig() {
+  MachineConfig config = TinyMachineConfig();
+  config.swap_bytes = MiB(512);
+  return config;
+}
+
+HememParams SwapParams() {
+  HememParams params = FastParams();
+  params.enable_swap = true;
+  // Paper-scale 64 GiB reserve -> ~21 MiB on the tiny machine: pressure
+  // appears once the working set nears total capacity.
+  params.nvm_free_watermark = GiB(64);
+  return params;
+}
+
+TEST(HememSwap, DisabledWithoutBlockDevice) {
+  Machine machine(TinyMachineConfig());  // no swap device
+  Hemem manager(machine, SwapParams());
+  manager.Start();
+  const uint64_t va = manager.Mmap(MiB(16));
+  Hammer(machine, manager, va, 100, AccessKind::kStore, kMicrosecond);
+  EXPECT_EQ(manager.hstats().pages_swapped_out, 0u);
+}
+
+TEST(HememSwap, ColdNvmPagesSwapOutUnderPressure) {
+  Machine machine(SwapMachineConfig());
+  Hemem manager(machine, SwapParams());
+  manager.Start();
+  // Fill DRAM (64 MiB) and nearly all of NVM (256 MiB): free NVM drops under
+  // the watermark and cold pages must go to disk.
+  const uint64_t va = manager.Mmap(MiB(310));
+  ScriptThread t([&, n = 0u](ScriptThread& self) mutable {
+    manager.Access(self, va + static_cast<uint64_t>(n % 310) * MiB(1), 8,
+                   AccessKind::kStore);
+    self.Advance(50 * kMicrosecond);
+    return ++n < 2000;
+  });
+  machine.engine().AddThread(&t);
+  machine.engine().Run();
+  EXPECT_GT(manager.hstats().pages_swapped_out, 0u);
+  EXPECT_GT(machine.swap()->stats().writes, 0u);
+  EXPECT_GE(machine.frames(Tier::kNvm).free_bytes(), machine.page_bytes());
+}
+
+TEST(HememSwap, SwappedPageFaultsBackIn) {
+  Machine machine(SwapMachineConfig());
+  Hemem manager(machine, SwapParams());
+  manager.Start();
+  const uint64_t va = manager.Mmap(MiB(310));
+  // Touch everything once, let the policy swap some pages out...
+  ScriptThread filler([&, n = 0u](ScriptThread& self) mutable {
+    manager.Access(self, va + static_cast<uint64_t>(n) * MiB(1), 8, AccessKind::kStore);
+    self.Advance(50 * kMicrosecond);
+    return ++n < 310;
+  });
+  machine.engine().AddThread(&filler);
+  machine.engine().Run();
+  ASSERT_GT(manager.hstats().pages_swapped_out, 0u);
+
+  // ...find one and touch it again: it must come back, charged a major fault.
+  uint64_t swapped_va = 0;
+  for (uint64_t i = 0; i < 310; ++i) {
+    PageEntry* entry = machine.page_table().Lookup(va + i * MiB(1));
+    if (entry->swapped) {
+      swapped_va = va + i * MiB(1);
+      break;
+    }
+  }
+  ASSERT_NE(swapped_va, 0u);
+  ScriptThread toucher([&](ScriptThread& self) {
+    self.AdvanceTo(filler.now());
+    const SimTime t0 = self.now();
+    manager.Access(self, swapped_va, 8, AccessKind::kLoad);
+    EXPECT_GT(self.now() - t0, 100 * kMicrosecond);  // disk latency dominates
+    return false;
+  });
+  machine.engine().AddThread(&toucher);
+  machine.engine().Run();
+  PageEntry* entry = machine.page_table().Lookup(swapped_va);
+  EXPECT_TRUE(entry->present);
+  EXPECT_FALSE(entry->swapped);
+  EXPECT_GT(manager.hstats().pages_swapped_in, 0u);
+  EXPECT_GT(machine.swap()->stats().reads, 0u);
+}
+
+TEST(HememSwap, WorkingSetBeyondTotalMemoryRuns) {
+  // Without swap this working set cannot be mapped at all (64 + 256 MiB of
+  // physical memory vs 350 MiB touched).
+  Machine machine(SwapMachineConfig());
+  Hemem manager(machine, SwapParams());
+  manager.Start();
+  const uint64_t va = manager.Mmap(MiB(350));
+  ScriptThread t([&, n = 0u](ScriptThread& self) mutable {
+    manager.Access(self, va + static_cast<uint64_t>(n % 350) * MiB(1), 8,
+                   AccessKind::kStore);
+    self.Advance(20 * kMicrosecond);
+    return ++n < 3000;
+  });
+  machine.engine().AddThread(&t);
+  machine.engine().Run();
+  // Steady churn: pages cycle to disk and back as the sweep revisits them.
+  EXPECT_GE(manager.hstats().pages_swapped_out, manager.hstats().pages_swapped_in);
+  EXPECT_GT(manager.hstats().pages_swapped_out, 50u);
+  EXPECT_EQ(manager.stats().missing_faults, 350u);
+}
+
+
+// --- DRAM quotas and the global daemon (paper Section 3.4) -----------------
+
+TEST(HememQuota, EnforcedByPolicyThread) {
+  Machine machine(TinyMachineConfig());
+  Hemem manager(machine, FastParams());
+  manager.Start();
+  const uint64_t va = manager.Mmap(MiB(32));
+  ScriptThread t([&, n = 0u](ScriptThread& self) mutable {
+    if (n == 32) {
+      // Everything faulted into DRAM; now the daemon shrinks the quota and
+      // the policy thread must demote down to it.
+      manager.set_dram_quota(MiB(8));
+    }
+    manager.Access(self, va + static_cast<uint64_t>(n % 32) * MiB(1), 8, AccessKind::kStore);
+    self.Advance(50 * kMicrosecond);
+    return ++n < 2000;
+  });
+  machine.engine().AddThread(&t);
+  machine.engine().Run();
+  EXPECT_LE(manager.dram_usage(), MiB(9));  // quota plus one in-flight page
+  EXPECT_GT(manager.stats().pages_demoted, 0u);
+}
+
+TEST(HememQuota, FaultsGoToNvmWhenOverQuota) {
+  Machine machine(TinyMachineConfig());
+  Hemem manager(machine, FastParams());
+  manager.set_dram_quota(MiB(2));
+  const uint64_t va = manager.Mmap(MiB(8));
+  ScriptThread t([&, n = 0u](ScriptThread& self) mutable {
+    manager.Access(self, va + static_cast<uint64_t>(n) * MiB(1), 8, AccessKind::kStore);
+    return ++n < 8;
+  });
+  machine.engine().AddThread(&t);
+  machine.engine().Run();
+  EXPECT_EQ(machine.page_table().Lookup(va)->tier, Tier::kDram);
+  EXPECT_EQ(machine.page_table().Lookup(va + MiB(7))->tier, Tier::kNvm);
+  EXPECT_LE(manager.dram_usage(), MiB(2));
+}
+
+TEST(HememQuota, UsageTracksPlacement) {
+  Machine machine(TinyMachineConfig());
+  Hemem manager(machine, FastParams());
+  const uint64_t va = manager.Mmap(MiB(4), {.pin_tier = Tier::kDram});
+  EXPECT_EQ(manager.dram_usage(), MiB(4));
+  manager.Munmap(va);
+  EXPECT_EQ(manager.dram_usage(), 0u);
+}
+
+TEST(HememDaemonTest, SplitsDramByDemand) {
+  Machine machine(TinyMachineConfig());
+  Hemem busy(machine, FastParams());
+  Hemem idle(machine, FastParams());
+  busy.Start();
+  idle.Start();
+  HememDaemon daemon(machine);
+  daemon.Attach(&busy);
+  daemon.Attach(&idle);
+  daemon.Start();
+
+  // The busy instance hammers a 16 MiB hot set; the idle one barely moves.
+  const uint64_t busy_va = busy.Mmap(MiB(16));
+  const uint64_t idle_va = idle.Mmap(MiB(16));
+  Rng rng(3);
+  ScriptThread t([&, n = 0u](ScriptThread& self) mutable {
+    busy.Access(self, busy_va + rng.NextBounded(16) * MiB(1), 8, AccessKind::kStore);
+    if (n % 64 == 0) {
+      idle.Access(self, idle_va + rng.NextBounded(16) * MiB(1), 8, AccessKind::kLoad);
+    }
+    return ++n < 300'000;
+  });
+  machine.engine().AddThread(&t);
+  machine.engine().Run();
+  EXPECT_GT(daemon.stats().rebalances, 0u);
+  EXPECT_GT(daemon.quota_of(0), daemon.quota_of(1));
+  // Floor: even the idle instance keeps at least 10% of DRAM.
+  EXPECT_GE(daemon.quota_of(1), MiB(6));
+}
+
+TEST(HememDaemonTest, RebalanceWithoutInstancesIsSafe) {
+  Machine machine(TinyMachineConfig());
+  HememDaemon daemon(machine);
+  EXPECT_GT(daemon.Rebalance(), 0);
+}
+
+
+TEST(HememSwap, SwapCoexistsWithQuota) {
+  Machine machine(SwapMachineConfig());
+  HememParams params = SwapParams();
+  Hemem manager(machine, params);
+  manager.Start();
+  manager.set_dram_quota(MiB(16));
+  const uint64_t va = manager.Mmap(MiB(300));
+  ScriptThread t([&, n = 0u](ScriptThread& self) mutable {
+    manager.Access(self, va + static_cast<uint64_t>(n % 300) * MiB(1), 8,
+                   AccessKind::kStore);
+    self.Advance(30 * kMicrosecond);
+    return ++n < 3000;
+  });
+  machine.engine().AddThread(&t);
+  machine.engine().Run();
+  EXPECT_LE(manager.dram_usage(), MiB(17));
+  EXPECT_GT(manager.hstats().pages_swapped_out, 0u);
+}
+
+TEST(HememTrace, RecorderWrapsHemem) {
+  // The trace decorator composes with the full manager (faults, migrations).
+  Machine machine(TinyMachineConfig());
+  Hemem inner(machine, FastParams());
+  TraceRecorder recorder(inner);
+  recorder.Start();
+  const uint64_t va = recorder.Mmap(MiB(8));
+  ScriptThread t([&, n = 0u](ScriptThread& self) mutable {
+    recorder.Access(self, va + static_cast<uint64_t>(n % 8) * MiB(1), 8,
+                    AccessKind::kStore);
+    return ++n < 1000;
+  });
+  machine.engine().AddThread(&t);
+  machine.engine().Run();
+  EXPECT_EQ(recorder.trace().accesses.size(), 1000u);
+  EXPECT_EQ(inner.stats().missing_faults, 8u);
+}
+
+TEST(HememCooling, AggregateTriggerScalesWithPopulation) {
+  // With many equally-warm pages, epochs must be spaced so a typical page
+  // accrues ~the cooling threshold per epoch (not be crushed by one page).
+  Machine machine(TinyMachineConfig());
+  Hemem manager(machine, FastParams());
+  manager.Start();
+  const uint64_t va = manager.Mmap(MiB(32));
+  Rng rng(4);
+  ScriptThread t([&, n = 0u](ScriptThread& self) mutable {
+    manager.Access(self, va + rng.NextBounded(32) * MiB(1), 8, AccessKind::kStore);
+    return ++n < 1'500'000;
+  });
+  machine.engine().AddThread(&t);
+  machine.engine().Run();
+  const uint64_t samples = manager.hstats().samples_processed;
+  const uint64_t epochs = manager.cooling_clock();
+  ASSERT_GT(epochs, 0u);
+  // Mean samples per epoch >= threshold x (population ~32 pages) / slack.
+  EXPECT_GT(samples / epochs, 18u * 8u);
+}
+
+class HememThresholdTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(HememThresholdTest, HigherThresholdsClassifySlower) {
+  const uint32_t threshold = GetParam();
+  Machine machine(TinyMachineConfig());
+  HememParams params = FastParams();
+  params.hot_read_threshold = threshold;
+  params.hot_write_threshold = threshold / 2 + 1;
+  Hemem manager(machine, params);
+  manager.Start();
+  const uint64_t va = manager.Mmap(MiB(4));
+  // Enough loads for exactly 6 samples on the page.
+  Hammer(machine, manager, va, 30'000, AccessKind::kLoad, 100);
+  // Under sustained sampling, counts oscillate up to the cooling threshold
+  // (18) before halving: thresholds below it classify, thresholds above it
+  // are unreachable (the paper's Figure 11 right-hand cliff).
+  const bool hot = manager.hot_pages(Tier::kDram) > 0;
+  if (threshold <= 8) {
+    EXPECT_TRUE(hot);
+  } else if (threshold > 18) {
+    EXPECT_FALSE(hot);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, HememThresholdTest,
+                         ::testing::Values(2u, 4u, 8u, 16u, 32u));
+
+}  // namespace
+}  // namespace hemem

@@ -1,0 +1,348 @@
+// Unit tests for the memory-device timing model and the DMA engine.
+//
+// These tests double as the calibration harness for the Table 1 / Figure 1 /
+// Figure 2 device characteristics: they assert the *relationships* the paper
+// reports (asymmetry, saturation points, media-granularity penalties), not
+// exact nanosecond values.
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "mem/device.h"
+#include "mem/block_device.h"
+#include "mem/dma.h"
+
+namespace hemem {
+namespace {
+
+// Drives `threads` logical streams of back-to-back accesses for `per_thread`
+// accesses each and returns aggregate GB/s.
+double MeasureThroughput(MemoryDevice& dev, int threads, uint32_t size, AccessKind kind,
+                         bool sequential, int per_thread = 2000) {
+  std::vector<SimTime> clock(threads, 0);
+  std::vector<uint64_t> addr(threads);
+  Rng rng(42);
+  for (int t = 0; t < threads; ++t) {
+    addr[t] = static_cast<uint64_t>(t) * GiB(1);
+  }
+  SimTime end = 0;
+  for (int i = 0; i < per_thread; ++i) {
+    for (int t = 0; t < threads; ++t) {
+      const uint64_t a = sequential
+                             ? addr[t]
+                             : (rng.NextBounded(dev.capacity() / 64) * 64);
+      clock[t] = dev.Access(clock[t], a, size, kind, static_cast<uint32_t>(t));
+      addr[t] += size;
+      end = std::max(end, clock[t]);
+    }
+  }
+  const double bytes = static_cast<double>(per_thread) * threads * size;
+  return bytes / static_cast<double>(end) * 1e9 / (1024.0 * 1024.0 * 1024.0);
+}
+
+TEST(DeviceParams, TableOneDefaults) {
+  const DeviceParams dram = DeviceParams::Dram(GiB(192));
+  const DeviceParams nvm = DeviceParams::OptaneNvm(GiB(768));
+  EXPECT_EQ(dram.read_latency, 82);
+  EXPECT_EQ(nvm.read_latency, 175);
+  EXPECT_EQ(nvm.write_latency, 94);
+  EXPECT_EQ(dram.media_granularity, 64u);
+  EXPECT_EQ(nvm.media_granularity, 256u);
+  EXPECT_EQ(nvm.capacity, GiB(768));
+}
+
+TEST(Device, SequentialReadApproachesRatedBandwidth) {
+  MemoryDevice dram(DeviceParams::Dram(GiB(192)));
+  const double gbps = MeasureThroughput(dram, 16, 4096, AccessKind::kLoad, true);
+  EXPECT_GT(gbps, 80.0);
+  EXPECT_LT(gbps, 120.0);
+}
+
+TEST(Device, NvmWriteBandwidthCapped) {
+  MemoryDevice nvm(DeviceParams::OptaneNvm(GiB(768)));
+  const double gbps = MeasureThroughput(nvm, 16, 4096, AccessKind::kStore, true);
+  EXPECT_GT(gbps, 8.0);
+  EXPECT_LT(gbps, 13.0);  // ~11.2 GB/s per Table 1
+}
+
+TEST(Device, NvmWriteSaturatesAtFourThreads) {
+  MemoryDevice nvm(DeviceParams::OptaneNvm(GiB(768)));
+  const double at4 = MeasureThroughput(nvm, 4, 4096, AccessKind::kStore, true);
+  MemoryDevice nvm2(DeviceParams::OptaneNvm(GiB(768)));
+  const double at16 = MeasureThroughput(nvm2, 16, 4096, AccessKind::kStore, true);
+  EXPECT_NEAR(at16 / at4, 1.0, 0.15);  // no further scaling past 4 threads
+}
+
+TEST(Device, DramWriteScalesPastFourThreads) {
+  MemoryDevice a(DeviceParams::Dram(GiB(192)));
+  const double at4 = MeasureThroughput(a, 4, 4096, AccessKind::kStore, true);
+  MemoryDevice b(DeviceParams::Dram(GiB(192)));
+  const double at16 = MeasureThroughput(b, 16, 4096, AccessKind::kStore, true);
+  EXPECT_GT(at16 / at4, 2.0);
+}
+
+TEST(Device, SequentialBeatsRandom) {
+  for (const auto kind : {AccessKind::kLoad, AccessKind::kStore}) {
+    MemoryDevice a(DeviceParams::Dram(GiB(192)));
+    const double seq = MeasureThroughput(a, 8, 256, kind, true);
+    MemoryDevice b(DeviceParams::Dram(GiB(192)));
+    const double rnd = MeasureThroughput(b, 8, 256, kind, false);
+    EXPECT_GT(seq, rnd * 1.3);
+  }
+}
+
+TEST(Device, SmallRandomNvmReadsPayMediaGranularity) {
+  // 64 B random reads occupy a full 256 B media block: useful throughput is
+  // at most 1/4 of what 256 B reads achieve.
+  MemoryDevice a(DeviceParams::OptaneNvm(GiB(768)));
+  const double small = MeasureThroughput(a, 8, 64, AccessKind::kLoad, false);
+  MemoryDevice b(DeviceParams::OptaneNvm(GiB(768)));
+  const double block = MeasureThroughput(b, 8, 256, AccessKind::kLoad, false);
+  EXPECT_LT(small, block / 2.5);
+}
+
+TEST(Device, DramRandomReadBeatsNvmRandomRead) {
+  MemoryDevice dram(DeviceParams::Dram(GiB(192)));
+  MemoryDevice nvm(DeviceParams::OptaneNvm(GiB(768)));
+  const double d = MeasureThroughput(dram, 16, 256, AccessKind::kLoad, false);
+  const double n = MeasureThroughput(nvm, 16, 256, AccessKind::kLoad, false);
+  EXPECT_GT(d / n, 1.8);  // paper: 2.7x at scale
+  EXPECT_LT(d / n, 5.0);
+}
+
+TEST(Device, LatencyVisibleOnIsolatedRandomAccess) {
+  MemoryDevice dram(DeviceParams::Dram(GiB(192)));
+  const SimTime done = dram.Access(0, GiB(1), 64, AccessKind::kLoad, 0);
+  // One access: channel busy + exposed latency fraction; must be at least
+  // a few ns and far below the raw latency (MLP overlaps misses).
+  EXPECT_GT(done, 5);
+  EXPECT_LT(done, 200);
+}
+
+TEST(Device, WearTracksMediaBytes) {
+  MemoryDevice nvm(DeviceParams::OptaneNvm(GiB(768)));
+  nvm.Access(0, 0, 64, AccessKind::kStore, 0);
+  EXPECT_EQ(nvm.stats().stores, 1u);
+  EXPECT_EQ(nvm.stats().bytes_requested_written, 64u);
+  EXPECT_EQ(nvm.stats().media_bytes_written, 256u);  // granularity inflation
+}
+
+TEST(Device, SequentialDetectorCountsStreams) {
+  MemoryDevice dram(DeviceParams::Dram(GiB(192)));
+  SimTime t = 0;
+  for (int i = 0; i < 10; ++i) {
+    t = dram.Access(t, 4096 + static_cast<uint64_t>(i) * 256, 256, AccessKind::kLoad, 3);
+  }
+  EXPECT_EQ(dram.stats().sequential_hits, 9u);  // all but the first
+}
+
+TEST(Device, StreamsAreIndependent) {
+  MemoryDevice dram(DeviceParams::Dram(GiB(192)));
+  dram.Access(0, 0, 256, AccessKind::kLoad, 1);
+  dram.Access(0, MiB(1), 256, AccessKind::kLoad, 2);
+  dram.Access(0, 256, 256, AccessKind::kLoad, 1);  // continues stream 1
+  EXPECT_EQ(dram.stats().sequential_hits, 1u);
+}
+
+TEST(Device, BulkTransferConsumesBandwidth) {
+  MemoryDevice dram(DeviceParams::Dram(GiB(192)));
+  const SimTime done = dram.BulkTransfer(0, MiB(2), AccessKind::kLoad);
+  // 2 MiB at one channel's ~6.7 GB/s is ~300 us.
+  EXPECT_GT(done, 200 * kMicrosecond);
+  EXPECT_LT(done, 500 * kMicrosecond);
+}
+
+TEST(Device, ChannelPressureReflectsBacklog) {
+  MemoryDevice nvm(DeviceParams::OptaneNvm(GiB(768)));
+  EXPECT_DOUBLE_EQ(nvm.ChannelPressure(0, AccessKind::kStore), 0.0);
+  for (int i = 0; i < 64; ++i) {
+    nvm.BulkTransfer(0, MiB(1), AccessKind::kStore);
+  }
+  EXPECT_GT(nvm.ChannelPressure(0, AccessKind::kStore), 0.9);
+}
+
+TEST(Device, ResetStatsClears) {
+  MemoryDevice dram(DeviceParams::Dram(GiB(1)));
+  dram.Access(0, 0, 64, AccessKind::kLoad, 0);
+  dram.ResetStats();
+  EXPECT_EQ(dram.stats().loads, 0u);
+}
+
+TEST(Dma, SingleCopyTime) {
+  DmaEngine dma;
+  MemoryDevice dram(DeviceParams::Dram(GiB(192)));
+  MemoryDevice nvm(DeviceParams::OptaneNvm(GiB(768)));
+  const SimTime done = dma.Copy(0, nvm, dram, MiB(2), 2);
+  // Bounded below by NVM read of 2 MiB on one channel (~500 us) and above by
+  // a loose multiple.
+  EXPECT_GT(done, 300 * kMicrosecond);
+  EXPECT_LT(done, 3 * kMillisecond);
+  EXPECT_EQ(dma.stats().copies, 1u);
+  EXPECT_EQ(dma.stats().bytes_copied, MiB(2));
+}
+
+TEST(Dma, BatchAmortizesSubmitOverhead) {
+  MemoryDevice dram1(DeviceParams::Dram(GiB(192)));
+  MemoryDevice nvm1(DeviceParams::OptaneNvm(GiB(768)));
+  DmaEngine one;
+  SimTime t_single = 0;
+  for (int i = 0; i < 4; ++i) {
+    t_single = one.Copy(t_single, nvm1, dram1, MiB(2), 2);
+  }
+
+  MemoryDevice dram2(DeviceParams::Dram(GiB(192)));
+  MemoryDevice nvm2(DeviceParams::OptaneNvm(GiB(768)));
+  DmaEngine batched;
+  std::vector<CopyRequest> reqs(4, CopyRequest{&nvm2, &dram2, MiB(2)});
+  const SimTime t_batch = batched.CopyBatch(0, reqs, 2);
+  EXPECT_LT(t_batch, t_single);
+}
+
+TEST(Dma, MoreChannelsGoFaster) {
+  MemoryDevice dram1(DeviceParams::Dram(GiB(192)));
+  MemoryDevice nvm1(DeviceParams::OptaneNvm(GiB(768)));
+  DmaEngine a;
+  std::vector<CopyRequest> reqs1(8, CopyRequest{&nvm1, &dram1, MiB(2)});
+  const SimTime narrow = a.CopyBatch(0, reqs1, 1);
+
+  MemoryDevice dram2(DeviceParams::Dram(GiB(192)));
+  MemoryDevice nvm2(DeviceParams::OptaneNvm(GiB(768)));
+  DmaEngine b;
+  std::vector<CopyRequest> reqs2(8, CopyRequest{&nvm2, &dram2, MiB(2)});
+  const SimTime wide = b.CopyBatch(0, reqs2, 4);
+  EXPECT_LT(wide, narrow);
+}
+
+TEST(Dma, ChargesBothDevices) {
+  MemoryDevice dram(DeviceParams::Dram(GiB(192)));
+  MemoryDevice nvm(DeviceParams::OptaneNvm(GiB(768)));
+  DmaEngine dma;
+  dma.Copy(0, nvm, dram, MiB(2), 2);
+  EXPECT_EQ(nvm.stats().media_bytes_read, MiB(2));
+  EXPECT_EQ(dram.stats().media_bytes_written, MiB(2));
+}
+
+TEST(CpuCopier, SplitsAcrossWorkers) {
+  MemoryDevice dram1(DeviceParams::Dram(GiB(192)));
+  MemoryDevice nvm1(DeviceParams::OptaneNvm(GiB(768)));
+  CpuCopier one(1);
+  const SimTime t1 = one.Copy(0, nvm1, dram1, MiB(8));
+
+  MemoryDevice dram2(DeviceParams::Dram(GiB(192)));
+  MemoryDevice nvm2(DeviceParams::OptaneNvm(GiB(768)));
+  CpuCopier four(4);
+  const SimTime t4 = four.Copy(0, nvm2, dram2, MiB(8));
+  EXPECT_LT(t4, t1);
+}
+
+TEST(CpuCopier, SlowerThanDma) {
+  MemoryDevice dram1(DeviceParams::Dram(GiB(192)));
+  MemoryDevice nvm1(DeviceParams::OptaneNvm(GiB(768)));
+  CpuCopier copier(4);
+  SimTime t_cpu = 0;
+  for (int i = 0; i < 16; ++i) {
+    t_cpu = copier.Copy(t_cpu, nvm1, dram1, MiB(2));
+  }
+
+  MemoryDevice dram2(DeviceParams::Dram(GiB(192)));
+  MemoryDevice nvm2(DeviceParams::OptaneNvm(GiB(768)));
+  DmaEngine dma;
+  SimTime t_dma = 0;
+  for (int i = 0; i < 4; ++i) {
+    std::vector<CopyRequest> reqs(4, CopyRequest{&nvm2, &dram2, MiB(2)});
+    t_dma = dma.CopyBatch(t_dma, reqs, 2);
+  }
+  EXPECT_LT(t_dma, t_cpu * 2);  // DMA at least competitive
+}
+
+
+TEST(Device, QueueDelayTracked) {
+  MemoryDevice nvm(DeviceParams::OptaneNvm(GiB(768)));
+  // Saturate the 4 write channels from one instant: later accesses queue.
+  for (int i = 0; i < 64; ++i) {
+    nvm.Access(0, static_cast<uint64_t>(i) * MiB(1), 4096, AccessKind::kStore, 0);
+  }
+  EXPECT_GT(nvm.stats().queue_delay_total_ns, 0u);
+  EXPECT_GT(nvm.stats().queue_delay_max_ns, 0u);
+}
+
+TEST(Device, NoQueueDelayWhenIdle) {
+  MemoryDevice dram(DeviceParams::Dram(GiB(192)));
+  dram.Access(1000, 0, 64, AccessKind::kLoad, 0);
+  EXPECT_EQ(dram.stats().queue_delay_total_ns, 0u);
+}
+
+TEST(Dma, PerRequestCompletionsReported) {
+  MemoryDevice dram(DeviceParams::Dram(GiB(192)));
+  MemoryDevice nvm(DeviceParams::OptaneNvm(GiB(768)));
+  DmaEngine dma;
+  std::vector<CopyRequest> reqs(4, CopyRequest{&nvm, &dram, MiB(2)});
+  std::vector<SimTime> done;
+  const SimTime batch_done = dma.CopyBatch(0, reqs, 2, &done);
+  ASSERT_EQ(done.size(), 4u);
+  SimTime max_done = 0;
+  for (const SimTime t : done) {
+    EXPECT_GT(t, 0);
+    EXPECT_LE(t, batch_done);
+    max_done = std::max(max_done, t);
+  }
+  EXPECT_EQ(max_done, batch_done);
+  // With 2 lanes, the first request completes before the whole batch.
+  EXPECT_LT(done[0], batch_done);
+}
+
+
+TEST(BlockDevice, LatencyAndBandwidth) {
+  BlockDevice ssd(BlockDeviceParams::NvmeSsd(GiB(1)));
+  // A 4 KiB read: ~10 us access latency + ~1.3 us transfer.
+  const SimTime small = ssd.Read(0, KiB(4));
+  EXPECT_GT(small, 10 * kMicrosecond);
+  EXPECT_LT(small, 20 * kMicrosecond);
+  // A 2 MiB read: transfer dominated (~650 us at 3 GB/s).
+  BlockDevice ssd2(BlockDeviceParams::NvmeSsd(GiB(1)));
+  const SimTime big = ssd2.Read(0, MiB(2));
+  EXPECT_GT(big, 500 * kMicrosecond);
+  EXPECT_LT(big, 1200 * kMicrosecond);
+}
+
+TEST(BlockDevice, WritesSlowerThanReads) {
+  BlockDevice a(BlockDeviceParams::NvmeSsd(GiB(1)));
+  BlockDevice b(BlockDeviceParams::NvmeSsd(GiB(1)));
+  EXPECT_GT(b.Write(0, MiB(4)), a.Read(0, MiB(4)));
+}
+
+TEST(BlockDevice, QueueDepthAllowsParallelism) {
+  BlockDevice ssd(BlockDeviceParams::NvmeSsd(GiB(1)));
+  // 8 concurrent requests fit the queue; the 9th queues behind the first.
+  SimTime first = 0;
+  for (int i = 0; i < 8; ++i) {
+    first = std::max(first, ssd.Read(0, KiB(4)));
+  }
+  const SimTime ninth = ssd.Read(0, KiB(4));
+  EXPECT_GT(ninth, first);
+}
+
+TEST(BlockDevice, RoundsToSectors) {
+  BlockDevice a(BlockDeviceParams::NvmeSsd(GiB(1)));
+  BlockDevice b(BlockDeviceParams::NvmeSsd(GiB(1)));
+  EXPECT_EQ(a.Read(0, 1), b.Read(0, KiB(4)));  // both one sector
+}
+
+TEST(SwapSpace, AllocFreeReuse) {
+  SwapSpace space(MiB(4), MiB(1));
+  EXPECT_EQ(space.total_slots(), 4u);
+  const uint32_t a = space.Alloc();
+  const uint32_t b = space.Alloc();
+  EXPECT_NE(a, b);
+  space.Free(a);
+  EXPECT_EQ(space.Alloc(), a);
+  space.Alloc();
+  space.Alloc();
+  EXPECT_EQ(space.Alloc(), UINT32_MAX);  // full
+}
+
+}  // namespace
+}  // namespace hemem

@@ -1,0 +1,156 @@
+// Unit tests for the PEBS sampling model: periods, per-event counters,
+// buffer overflow drops, drain semantics.
+
+#include <gtest/gtest.h>
+
+#include "pebs/pebs.h"
+
+namespace hemem {
+namespace {
+
+PebsParams SmallParams(uint64_t period, size_t capacity) {
+  PebsParams params;
+  params.SetAllPeriods(period);
+  params.buffer_capacity = capacity;
+  return params;
+}
+
+TEST(Pebs, SamplesEveryPeriodthAccess) {
+  PebsBuffer pebs(SmallParams(10, 1024));
+  for (int i = 0; i < 100; ++i) {
+    pebs.CountAccess(i, 0x1000 + i, PebsEvent::kStore);
+  }
+  EXPECT_EQ(pebs.stats().samples_written, 10u);
+  EXPECT_EQ(pebs.stats().accesses_counted, 100u);
+}
+
+TEST(Pebs, CountersArePerEvent) {
+  PebsBuffer pebs(SmallParams(10, 1024));
+  // 9 stores + 9 NVM loads: neither counter reaches its period.
+  for (int i = 0; i < 9; ++i) {
+    pebs.CountAccess(i, 0, PebsEvent::kStore);
+    pebs.CountAccess(i, 0, PebsEvent::kNvmLoad);
+  }
+  EXPECT_EQ(pebs.stats().samples_written, 0u);
+  pebs.CountAccess(9, 0, PebsEvent::kStore);
+  EXPECT_EQ(pebs.stats().samples_written, 1u);
+}
+
+TEST(Pebs, RecordCarriesAddressEventTime) {
+  PebsBuffer pebs(SmallParams(3, 16));
+  pebs.CountAccess(100, 0xa, PebsEvent::kDramLoad);
+  pebs.CountAccess(200, 0xb, PebsEvent::kDramLoad);
+  pebs.CountAccess(300, 0xc, PebsEvent::kDramLoad);
+  std::vector<PebsRecord> out;
+  ASSERT_EQ(pebs.Drain(out, 10), 1u);
+  EXPECT_EQ(out[0].va, 0xcu);  // the overflowing access is sampled
+  EXPECT_EQ(out[0].event, PebsEvent::kDramLoad);
+  EXPECT_EQ(out[0].time, 300);
+}
+
+TEST(Pebs, DropsWhenBufferFull) {
+  PebsBuffer pebs(SmallParams(1, 4));  // sample every access, tiny buffer
+  for (int i = 0; i < 10; ++i) {
+    pebs.CountAccess(i, i, PebsEvent::kStore);
+  }
+  EXPECT_EQ(pebs.stats().samples_written, 4u);
+  EXPECT_EQ(pebs.stats().samples_dropped, 6u);
+  EXPECT_NEAR(pebs.stats().DropRate(), 0.6, 1e-9);
+}
+
+TEST(Pebs, DrainFreesSpace) {
+  PebsBuffer pebs(SmallParams(1, 4));
+  for (int i = 0; i < 4; ++i) {
+    pebs.CountAccess(i, i, PebsEvent::kStore);
+  }
+  std::vector<PebsRecord> out;
+  EXPECT_EQ(pebs.Drain(out, 2), 2u);
+  EXPECT_EQ(pebs.pending(), 2u);
+  pebs.CountAccess(10, 10, PebsEvent::kStore);
+  EXPECT_EQ(pebs.stats().samples_dropped, 0u);
+}
+
+TEST(Pebs, DrainRespectsMax) {
+  PebsBuffer pebs(SmallParams(1, 64));
+  for (int i = 0; i < 20; ++i) {
+    pebs.CountAccess(i, i, PebsEvent::kStore);
+  }
+  std::vector<PebsRecord> out;
+  EXPECT_EQ(pebs.Drain(out, 5), 5u);
+  EXPECT_EQ(out.size(), 5u);
+  EXPECT_EQ(pebs.Drain(out, 100), 15u);
+  EXPECT_EQ(out.size(), 20u);
+}
+
+TEST(Pebs, DrainIsFifo) {
+  PebsBuffer pebs(SmallParams(1, 64));
+  for (int i = 0; i < 5; ++i) {
+    pebs.CountAccess(i, 0x100 + i, PebsEvent::kNvmLoad);
+  }
+  std::vector<PebsRecord> out;
+  pebs.Drain(out, 5);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(out[static_cast<size_t>(i)].va, 0x100u + static_cast<unsigned>(i));
+  }
+}
+
+TEST(Pebs, DropRateZeroWhenEmpty) {
+  PebsBuffer pebs;
+  EXPECT_DOUBLE_EQ(pebs.stats().DropRate(), 0.0);
+}
+
+
+TEST(Pebs, CountersArePerContext) {
+  PebsBuffer pebs(SmallParams(10, 1024));
+  // 16 contexts each contribute 5 accesses: no single context reaches the
+  // period of 10, so nothing is sampled (a global counter would fire 8x).
+  for (int round = 0; round < 5; ++round) {
+    for (uint32_t ctx = 0; ctx < 16; ++ctx) {
+      pebs.CountAccess(0, ctx, PebsEvent::kStore, ctx);
+    }
+  }
+  EXPECT_EQ(pebs.stats().samples_written, 0u);
+  // Five more rounds push every context over its own period.
+  for (int round = 0; round < 5; ++round) {
+    for (uint32_t ctx = 0; ctx < 16; ++ctx) {
+      pebs.CountAccess(0, ctx, PebsEvent::kStore, ctx);
+    }
+  }
+  EXPECT_EQ(pebs.stats().samples_written, 16u);
+}
+
+TEST(Pebs, ContextSamplingIsFairAcrossThreads) {
+  PebsBuffer pebs(SmallParams(100, 1 << 16));
+  // Interleave 16 contexts round-robin; each should be sampled equally.
+  for (int i = 0; i < 16000; ++i) {
+    const uint32_t ctx = static_cast<uint32_t>(i % 16);
+    pebs.CountAccess(0, ctx, PebsEvent::kNvmLoad, ctx);
+  }
+  std::vector<PebsRecord> out;
+  pebs.Drain(out, 1 << 16);
+  std::vector<int> per_ctx(16, 0);
+  for (const PebsRecord& r : out) {
+    per_ctx[r.va]++;  // va was set to the context id above
+  }
+  for (const int n : per_ctx) {
+    EXPECT_EQ(n, 10);  // 1000 accesses per context / period 100
+  }
+}
+
+class PebsPeriodTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PebsPeriodTest, SampleCountMatchesPeriod) {
+  const uint64_t period = GetParam();
+  PebsBuffer pebs(SmallParams(period, 1 << 20));
+  constexpr uint64_t kAccesses = 100000;
+  for (uint64_t i = 0; i < kAccesses; ++i) {
+    pebs.CountAccess(static_cast<SimTime>(i), i, PebsEvent::kStore);
+  }
+  EXPECT_EQ(pebs.stats().samples_written, kAccesses / period);
+}
+
+INSTANTIATE_TEST_SUITE_P(Periods, PebsPeriodTest,
+                         ::testing::Values(1u, 10u, 100u, 1000u, 5000u, 50000u));
+
+}  // namespace
+}  // namespace hemem

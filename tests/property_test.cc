@@ -1,0 +1,227 @@
+// Property-based tests: randomized operation sequences checked against
+// reference models (parameterized over seeds so each instantiation explores
+// a different trajectory).
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "apps/flexkvs.h"
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "core/page_lists.h"
+#include "test_util.h"
+#include "tier/machine.h"
+#include "tier/plain.h"
+
+namespace hemem {
+namespace {
+
+// --- Histogram vs exact percentiles ----------------------------------------
+
+class HistogramProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HistogramProperty, PercentilesWithinRelativeError) {
+  Rng rng(GetParam());
+  Histogram histogram;
+  std::vector<uint64_t> values;
+  const int n = 2000 + static_cast<int>(rng.NextBounded(3000));
+  for (int i = 0; i < n; ++i) {
+    // Mixed magnitudes: exercise several bucket groups.
+    const uint64_t v = rng.NextBounded(1ull << (4 + rng.NextBounded(30)));
+    values.push_back(v);
+    histogram.Record(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (const double q : {0.0, 0.1, 0.5, 0.9, 0.99, 1.0}) {
+    const uint64_t exact =
+        values[static_cast<size_t>(q * static_cast<double>(values.size() - 1))];
+    const double got = static_cast<double>(histogram.Percentile(q));
+    // Log-linear buckets guarantee ~2% relative precision (plus one bucket).
+    EXPECT_LE(std::abs(got - static_cast<double>(exact)),
+              static_cast<double>(exact) * 0.04 + 2.0)
+        << "q=" << q;
+  }
+  EXPECT_EQ(histogram.count(), static_cast<uint64_t>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HistogramProperty, ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+// --- PageList vs std::deque reference --------------------------------------
+
+class PageListProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PageListProperty, MatchesReferenceDeque) {
+  Rng rng(GetParam());
+  constexpr int kPages = 64;
+  std::vector<HememPage> pages(kPages);
+  PageList list;
+  std::deque<HememPage*> reference;
+
+  auto in_list = [&](HememPage* p) {
+    return std::find(reference.begin(), reference.end(), p) != reference.end();
+  };
+
+  for (int op = 0; op < 2000; ++op) {
+    HememPage* page = &pages[rng.NextBounded(kPages)];
+    switch (rng.NextBounded(4)) {
+      case 0:
+        if (!in_list(page)) {
+          list.PushBack(page);
+          reference.push_back(page);
+        }
+        break;
+      case 1:
+        if (!in_list(page)) {
+          list.PushFront(page);
+          reference.push_front(page);
+        }
+        break;
+      case 2:
+        if (in_list(page)) {
+          list.Remove(page);
+          reference.erase(std::find(reference.begin(), reference.end(), page));
+        }
+        break;
+      case 3: {
+        HememPage* popped = list.PopFront();
+        HememPage* expected = reference.empty() ? nullptr : reference.front();
+        if (!reference.empty()) {
+          reference.pop_front();
+        }
+        ASSERT_EQ(popped, expected);
+        break;
+      }
+    }
+    ASSERT_EQ(list.size(), reference.size());
+    ASSERT_EQ(list.front(), reference.empty() ? nullptr : reference.front());
+  }
+  // Drain and verify order.
+  while (!reference.empty()) {
+    ASSERT_EQ(list.PopFront(), reference.front());
+    reference.pop_front();
+  }
+  ASSERT_EQ(list.PopFront(), nullptr);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PageListProperty, ::testing::Values(10u, 11u, 12u, 13u));
+
+// --- FrameAllocator invariants ----------------------------------------------
+
+class FrameAllocatorProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FrameAllocatorProperty, NeverDoubleAllocates) {
+  Rng rng(GetParam());
+  const bool shuffled = rng.NextBool(0.5);
+  FrameAllocator alloc(MiB(64), MiB(1), shuffled ? rng.Next() | 1 : 0, false,
+                       1 + rng.NextBounded(8));
+  std::set<uint32_t> held;
+  for (int op = 0; op < 5000; ++op) {
+    if (rng.NextBool(0.6)) {
+      const auto frame = alloc.Alloc();
+      if (frame.has_value()) {
+        ASSERT_TRUE(held.insert(*frame).second) << "frame handed out twice";
+        ASSERT_LT(*frame, 64u);
+      } else {
+        ASSERT_EQ(held.size(), 64u);  // only fails when truly full
+      }
+    } else if (!held.empty()) {
+      auto it = held.begin();
+      std::advance(it, static_cast<long>(rng.NextBounded(held.size())));
+      alloc.Free(*it);
+      held.erase(it);
+    }
+    ASSERT_EQ(alloc.used_frames(), held.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FrameAllocatorProperty,
+                         ::testing::Values(20u, 21u, 22u, 23u));
+
+// --- Engine determinism over random thread mixes ----------------------------
+
+class EngineDeterminism : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EngineDeterminism, IdenticalRunsProduceIdenticalClocks) {
+  auto run = [&](std::vector<SimTime>* out) {
+    Rng rng(GetParam());
+    Machine machine(TinyMachineConfig());
+    PlainMemory manager(machine, Tier::kNvm, true);
+    const uint64_t va = manager.Mmap(MiB(8));
+    std::vector<std::unique_ptr<ScriptThread>> threads;
+    const int n = 2 + static_cast<int>(rng.NextBounded(6));
+    for (int i = 0; i < n; ++i) {
+      auto seed = rng.Next();
+      threads.push_back(std::make_unique<ScriptThread>(
+          [&manager, va, seed, count = 0](ScriptThread& self) mutable {
+            Rng local(seed);
+            manager.Access(self, va + local.NextBounded(MiB(8) / 8) * 8, 8,
+                           local.NextBool(0.5) ? AccessKind::kLoad : AccessKind::kStore);
+            return ++count < 500;
+          }));
+      machine.engine().AddThread(threads.back().get());
+    }
+    machine.engine().Run();
+    for (const auto& t : threads) {
+      out->push_back(t->now());
+    }
+  };
+  std::vector<SimTime> first;
+  std::vector<SimTime> second;
+  run(&first);
+  run(&second);
+  ASSERT_EQ(first, second);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineDeterminism, ::testing::Values(30u, 31u, 32u));
+
+// --- FlexKVS vs std::map reference model ------------------------------------
+
+class KvsProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(KvsProperty, RandomOpsMatchReferenceVersions) {
+  Rng rng(GetParam());
+  Machine machine(TinyMachineConfig());
+  PlainMemory manager(machine, Tier::kDram, true);
+  KvsConfig config;
+  config.num_keys = 200;
+  config.value_bytes = 256;
+  config.server_threads = 1;
+  config.requests_per_thread = 0;
+  config.segment_bytes = KiB(32);  // small segments: cleaner exercised
+  config.log_overprovision = 1.4;
+  FlexKvs kvs(manager, config);
+  kvs.Prepare();
+
+  std::map<uint64_t, uint64_t> reference;  // key -> version
+  ScriptThread t([&](ScriptThread& self) {
+    for (int op = 0; op < 6000; ++op) {
+      const uint64_t key = rng.NextBounded(200);
+      if (rng.NextBool(0.5)) {
+        if (kvs.Set(self, 0, key)) {
+          reference[key]++;
+        }
+      } else {
+        uint64_t version = 0;
+        const bool found = kvs.Get(self, key, &version);
+        const auto it = reference.find(key);
+        EXPECT_EQ(found, it != reference.end()) << "key " << key;
+        if (found && it != reference.end()) {
+          EXPECT_EQ(version, it->second) << "key " << key;
+        }
+      }
+    }
+    return false;
+  });
+  machine.engine().AddThread(&t);
+  machine.engine().Run();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KvsProperty, ::testing::Values(40u, 41u, 42u, 43u));
+
+}  // namespace
+}  // namespace hemem

@@ -1,0 +1,287 @@
+// Unit tests for the virtual-time engine: scheduling order, penalties,
+// contention, periodic actors, deadlines.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/engine.h"
+
+namespace hemem {
+namespace {
+
+// A thread that performs `steps` slices, each advancing by `step_ns`, and
+// records its execution order into a shared log.
+class StepThread : public SimThread {
+ public:
+  StepThread(std::string name, int steps, SimTime step_ns, std::vector<std::string>* log)
+      : SimThread(std::move(name)), steps_(steps), step_ns_(step_ns), log_(log) {}
+
+  bool RunSlice() override {
+    if (log_ != nullptr) {
+      log_->push_back(name());
+    }
+    Advance(step_ns_);
+    return --steps_ > 0;
+  }
+
+ private:
+  int steps_;
+  SimTime step_ns_;
+  std::vector<std::string>* log_;
+};
+
+TEST(Engine, RunsToCompletion) {
+  Engine engine(4);
+  StepThread t("a", 5, 100, nullptr);
+  engine.AddThread(&t);
+  const SimTime end = engine.Run();
+  EXPECT_EQ(end, 500);
+  EXPECT_EQ(t.now(), 500);
+}
+
+TEST(Engine, MinTimeFirstOrdering) {
+  Engine engine(4);
+  std::vector<std::string> log;
+  StepThread fast("fast", 4, 10, &log);
+  StepThread slow("slow", 2, 100, &log);
+  engine.AddThread(&fast);
+  engine.AddThread(&slow);
+  engine.Run();
+  // fast runs 4 slices (t=0,10,20,30) before slow's second slice at t=100.
+  // Both start at 0; insertion order breaks the tie.
+  ASSERT_EQ(log.size(), 6u);
+  EXPECT_EQ(log[0], "fast");
+  EXPECT_EQ(log[1], "slow");
+  EXPECT_EQ(log[2], "fast");
+  EXPECT_EQ(log[3], "fast");
+  EXPECT_EQ(log[4], "fast");
+  EXPECT_EQ(log[5], "slow");
+}
+
+TEST(Engine, DeterministicAcrossRuns) {
+  auto run = []() {
+    Engine engine(4);
+    std::vector<std::string> log;
+    StepThread a("a", 50, 7, &log);
+    StepThread b("b", 50, 11, &log);
+    StepThread c("c", 50, 13, &log);
+    engine.AddThread(&a);
+    engine.AddThread(&b);
+    engine.AddThread(&c);
+    engine.Run();
+    return log;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(Engine, StopsAtDeadline) {
+  Engine engine(4);
+  StepThread t("t", 1'000'000, 1000, nullptr);
+  engine.AddThread(&t);
+  const SimTime end = engine.Run(50'000);
+  EXPECT_LE(end, 51'000);
+  EXPECT_EQ(engine.live_foreground(), 0);
+}
+
+TEST(Engine, BackgroundThreadDoesNotKeepRunAlive) {
+  class Forever : public SimThread {
+   public:
+    Forever() : SimThread("bg", /*foreground=*/false) {}
+    bool RunSlice() override {
+      Advance(10);
+      return true;
+    }
+  };
+  Engine engine(4);
+  Forever bg;
+  StepThread fg("fg", 3, 100, nullptr);
+  engine.AddThread(&bg);
+  engine.AddThread(&fg);
+  const SimTime end = engine.Run();
+  EXPECT_EQ(end, 300);
+}
+
+TEST(Engine, PenaltyDelaysThread) {
+  Engine engine(4);
+  StepThread t("t", 2, 100, nullptr);
+  engine.AddThread(&t);
+  t.AddPenalty(5000);
+  engine.Run();
+  // The penalty lands before the first slice: 5000 + 2*100.
+  EXPECT_EQ(t.now(), 5200);
+}
+
+TEST(Engine, PenalizeForegroundSkipsInitiatorAndBackground) {
+  Engine engine(4);
+  StepThread a("a", 1, 10, nullptr);
+  StepThread b("b", 1, 10, nullptr);
+  class Bg : public SimThread {
+   public:
+    Bg() : SimThread("bg", false) {}
+    bool RunSlice() override { return false; }
+  };
+  Bg bg;
+  engine.AddThread(&a);
+  engine.AddThread(&b);
+  engine.AddThread(&bg);
+  engine.PenalizeForeground(1000, &a);
+  engine.Run();
+  EXPECT_EQ(a.now(), 10);
+  EXPECT_EQ(b.now(), 1010);
+  EXPECT_EQ(bg.now(), 0);
+}
+
+TEST(Engine, ContentionBelowCoresIsUnity) {
+  Engine engine(8);
+  StepThread a("a", 1, 10, nullptr);
+  StepThread b("b", 1, 10, nullptr);
+  engine.AddThread(&a);
+  engine.AddThread(&b);
+  EXPECT_DOUBLE_EQ(engine.ContentionFactor(), 1.0);
+}
+
+TEST(Engine, ContentionAboveCoresStretchesCompute) {
+  Engine engine(2);
+  std::vector<std::unique_ptr<StepThread>> threads;
+  for (int i = 0; i < 4; ++i) {
+    threads.push_back(std::make_unique<StepThread>("t" + std::to_string(i), 1, 1, nullptr));
+    engine.AddThread(threads.back().get());
+  }
+  EXPECT_DOUBLE_EQ(engine.ContentionFactor(), 2.0);
+  // ChargeCompute is stretched by the factor.
+  threads[0]->ChargeCompute(100);
+  EXPECT_EQ(threads[0]->now(), 200);
+}
+
+TEST(Engine, ContentionDropsWhenThreadsFinish) {
+  Engine engine(2);
+  StepThread a("a", 1, 10, nullptr);
+  StepThread b("b", 1, 10, nullptr);
+  StepThread c("c", 10, 10, nullptr);
+  StepThread d("d", 10, 10, nullptr);
+  engine.AddThread(&a);
+  engine.AddThread(&b);
+  engine.AddThread(&c);
+  engine.AddThread(&d);
+  EXPECT_DOUBLE_EQ(engine.ContentionFactor(), 2.0);
+  engine.Run();
+  EXPECT_DOUBLE_EQ(engine.ContentionFactor(), 1.0);
+}
+
+TEST(Engine, CpuShareSettable) {
+  Engine engine(1);
+  StepThread a("a", 1, 10, nullptr);
+  StepThread b("b", 1, 10, nullptr);
+  engine.AddThread(&a);
+  engine.AddThread(&b);
+  a.set_cpu_share(0.5);
+  EXPECT_DOUBLE_EQ(engine.ContentionFactor(), 1.5);
+}
+
+TEST(Engine, StreamIdsAreSequential) {
+  Engine engine(4);
+  StepThread a("a", 1, 1, nullptr);
+  StepThread b("b", 1, 1, nullptr);
+  engine.AddThread(&a);
+  engine.AddThread(&b);
+  EXPECT_EQ(a.stream_id(), 0u);
+  EXPECT_EQ(b.stream_id(), 1u);
+}
+
+class CountingPeriodic : public PeriodicThread {
+ public:
+  CountingPeriodic(SimTime period, SimTime work)
+      : PeriodicThread("periodic", period), work_(work) {}
+
+  SimTime Tick() override {
+    ticks_++;
+    tick_times_.push_back(now());
+    return work_;
+  }
+
+  int ticks() const { return ticks_; }
+  const std::vector<SimTime>& tick_times() const { return tick_times_; }
+
+ private:
+  SimTime work_;
+  int ticks_ = 0;
+  std::vector<SimTime> tick_times_;
+};
+
+TEST(PeriodicThread, TicksAtPeriod) {
+  Engine engine(4);
+  CountingPeriodic periodic(100, 5);
+  StepThread fg("fg", 10, 100, nullptr);
+  engine.AddThread(&periodic);
+  engine.AddThread(&fg);
+  engine.Run();
+  // fg runs until t=1000; the periodic actor ticks at 0,100,...
+  EXPECT_GE(periodic.ticks(), 9);
+  for (size_t i = 1; i < periodic.tick_times().size(); ++i) {
+    EXPECT_EQ(periodic.tick_times()[i] - periodic.tick_times()[i - 1], 100);
+  }
+}
+
+TEST(PeriodicThread, LongWorkDelaysNextTick) {
+  Engine engine(4);
+  CountingPeriodic periodic(100, 250);  // work longer than the period
+  StepThread fg("fg", 10, 100, nullptr);
+  engine.AddThread(&periodic);
+  engine.AddThread(&fg);
+  engine.Run();
+  for (size_t i = 1; i < periodic.tick_times().size(); ++i) {
+    EXPECT_GE(periodic.tick_times()[i] - periodic.tick_times()[i - 1], 250);
+  }
+}
+
+TEST(PeriodicThread, DutyCycleReflectsLoad) {
+  Engine engine(4);
+  CountingPeriodic busy(100, 100);
+  CountingPeriodic idle(100, 0);
+  StepThread fg("fg", 100, 100, nullptr);
+  engine.AddThread(&busy);
+  engine.AddThread(&idle);
+  engine.AddThread(&fg);
+  engine.Run();
+  EXPECT_GT(busy.duty_cycle(), 0.9);
+  EXPECT_LT(idle.duty_cycle(), 0.1);
+}
+
+
+TEST(Engine, EmptyRunReturnsZero) {
+  Engine engine(4);
+  EXPECT_EQ(engine.Run(), 0);
+  EXPECT_EQ(engine.now(), 0);
+}
+
+TEST(Engine, DeadlineBeforeFirstSliceParksEveryone) {
+  Engine engine(4);
+  StepThread t("t", 10, 1000, nullptr);
+  engine.AddThread(&t);
+  t.AddPenalty(5000);  // first runnable moment is past the deadline
+  EXPECT_LE(engine.Run(1000), 1000);
+  EXPECT_EQ(engine.live_foreground(), 0);
+}
+
+TEST(PeriodicThread, PeriodAdjustable) {
+  Engine engine(4);
+  CountingPeriodic periodic(1000, 0);
+  StepThread fg("fg", 10, 1000, nullptr);
+  engine.AddThread(&periodic);
+  engine.AddThread(&fg);
+  periodic.set_period(100);
+  engine.Run();
+  EXPECT_GT(periodic.ticks(), 50);  // ~100 ticks at the shortened period
+}
+
+TEST(SimThread, AdvanceToOnlyMovesForward) {
+  StepThread t("t", 1, 1, nullptr);
+  t.AdvanceTo(100);
+  EXPECT_EQ(t.now(), 100);
+  t.AdvanceTo(50);
+  EXPECT_EQ(t.now(), 100);
+}
+
+}  // namespace
+}  // namespace hemem

@@ -1,0 +1,27 @@
+// Shared helpers for the HeMem test suites.
+
+#ifndef HEMEM_TESTS_TEST_UTIL_H_
+#define HEMEM_TESTS_TEST_UTIL_H_
+
+#include "sim/script_thread.h"
+#include "tier/machine.h"
+
+namespace hemem {
+
+// A tiny machine for unit tests: 64 MiB DRAM + 256 MiB NVM, 1 MiB pages
+// (64 DRAM frames / 256 NVM frames), paper ratios preserved.
+inline MachineConfig TinyMachineConfig() {
+  MachineConfig config;
+  config.dram_bytes = MiB(64);
+  config.nvm_bytes = MiB(256);
+  config.page_bytes = MiB(1);
+  config.label_scale = 3072.0;  // 192 GiB / 64 MiB
+  // Space is scaled down 3072x but access rates are not; denser sampling
+  // keeps per-page classification dynamics on the same timescale.
+  config.pebs.SetAllPeriods(500);
+  return config;
+}
+
+}  // namespace hemem
+
+#endif  // HEMEM_TESTS_TEST_UTIL_H_

@@ -1,0 +1,229 @@
+// Unit tests for the virtual-memory substrate: page table regions, lookup,
+// the radix scan-cost model, and TLB shootdown accounting.
+
+#include <gtest/gtest.h>
+
+#include "sim/engine.h"
+#include "vm/page_table.h"
+#include "vm/tlb.h"
+
+namespace hemem {
+namespace {
+
+TEST(PageTable, MapAndFind) {
+  PageTable pt;
+  const uint64_t base = pt.ReserveVa(MiB(10), MiB(2));
+  Region* region = pt.MapRegion(base, MiB(10), MiB(2), true, "r");
+  ASSERT_NE(region, nullptr);
+  EXPECT_EQ(region->num_pages(), 5u);
+  EXPECT_EQ(pt.Find(base), region);
+  EXPECT_EQ(pt.Find(base + MiB(10) - 1), region);
+  EXPECT_EQ(pt.Find(base + MiB(10)), nullptr);
+  EXPECT_EQ(pt.Find(base - 1), nullptr);
+}
+
+TEST(PageTable, RoundsRegionUpToPageSize) {
+  PageTable pt;
+  const uint64_t base = pt.ReserveVa(MiB(3), MiB(2));
+  Region* region = pt.MapRegion(base, MiB(3), MiB(2), true, "r");
+  EXPECT_EQ(region->bytes, MiB(4));
+  EXPECT_EQ(region->num_pages(), 2u);
+}
+
+TEST(PageTable, PageIndexOf) {
+  PageTable pt;
+  const uint64_t base = pt.ReserveVa(MiB(8), MiB(2));
+  Region* region = pt.MapRegion(base, MiB(8), MiB(2), true, "r");
+  EXPECT_EQ(region->PageIndexOf(base), 0u);
+  EXPECT_EQ(region->PageIndexOf(base + MiB(2)), 1u);
+  EXPECT_EQ(region->PageIndexOf(base + MiB(8) - 1), 3u);
+}
+
+TEST(PageTable, LookupReturnsEntry) {
+  PageTable pt;
+  const uint64_t base = pt.ReserveVa(MiB(4), MiB(2));
+  Region* region = pt.MapRegion(base, MiB(4), MiB(2), true, "r");
+  PageEntry* entry = pt.Lookup(base + MiB(2) + 5);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry, &region->pages[1]);
+  EXPECT_EQ(pt.Lookup(base - 100), nullptr);
+}
+
+TEST(PageTable, MultipleRegionsDisjoint) {
+  PageTable pt;
+  std::vector<uint64_t> bases;
+  std::vector<Region*> regions;
+  for (int i = 0; i < 10; ++i) {
+    const uint64_t base = pt.ReserveVa(MiB(2) * (i + 1), MiB(2));
+    bases.push_back(base);
+    regions.push_back(pt.MapRegion(base, MiB(2) * (i + 1), MiB(2), true, "r"));
+  }
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(pt.Find(bases[i]), regions[i]);
+  }
+}
+
+TEST(PageTable, UnmapRemoves) {
+  PageTable pt;
+  const uint64_t base = pt.ReserveVa(MiB(4), MiB(2));
+  pt.MapRegion(base, MiB(4), MiB(2), true, "r");
+  EXPECT_EQ(pt.total_mapped_bytes(), MiB(4));
+  EXPECT_TRUE(pt.UnmapRegion(base));
+  EXPECT_EQ(pt.Find(base), nullptr);
+  EXPECT_EQ(pt.total_mapped_bytes(), 0u);
+  EXPECT_FALSE(pt.UnmapRegion(base));
+}
+
+TEST(PageTable, ForEachRegionVisitsAll) {
+  PageTable pt;
+  for (int i = 0; i < 5; ++i) {
+    const uint64_t base = pt.ReserveVa(MiB(2), MiB(2));
+    pt.MapRegion(base, MiB(2), MiB(2), i % 2 == 0, "r" + std::to_string(i));
+  }
+  int count = 0;
+  pt.ForEachRegion([&](Region&) { count++; });
+  EXPECT_EQ(count, 5);
+}
+
+TEST(PageTable, ReserveVaAligned) {
+  PageTable pt;
+  const uint64_t a = pt.ReserveVa(MiB(3), MiB(2));
+  const uint64_t b = pt.ReserveVa(MiB(1), MiB(2));
+  EXPECT_EQ(a % MiB(2), 0u);
+  EXPECT_EQ(b % MiB(2), 0u);
+  EXPECT_GE(b, a + MiB(4));  // rounded size plus guard gap
+}
+
+TEST(RadixCostModel, EntriesPerLevelBasePages) {
+  // 1 GiB of 4 KiB pages: 256K PTEs, 512 L2 entries, 1 L3, 1 L4.
+  const auto levels = RadixCostModel::EntriesPerLevel(GiB(1), KiB(4));
+  ASSERT_EQ(levels.size(), 4u);
+  EXPECT_EQ(levels[0], 262144u);
+  EXPECT_EQ(levels[1], 512u);
+  EXPECT_EQ(levels[2], 1u);
+  EXPECT_EQ(levels[3], 1u);
+}
+
+TEST(RadixCostModel, HugePagesHaveFewerLevels) {
+  const auto huge = RadixCostModel::EntriesPerLevel(GiB(1), MiB(2));
+  ASSERT_EQ(huge.size(), 3u);
+  EXPECT_EQ(huge[0], 512u);
+  const auto giga = RadixCostModel::EntriesPerLevel(GiB(4), GiB(1));
+  ASSERT_EQ(giga.size(), 2u);
+  EXPECT_EQ(giga[0], 4u);
+}
+
+TEST(RadixCostModel, ScanTimeGrowsLinearly) {
+  RadixCostModel model;
+  const SimTime t1 = model.ScanTime(GiB(64), KiB(4));
+  const SimTime t2 = model.ScanTime(GiB(128), KiB(4));
+  EXPECT_NEAR(static_cast<double>(t2) / static_cast<double>(t1), 2.0, 0.1);
+}
+
+TEST(RadixCostModel, SmallerPagesScanSlower) {
+  RadixCostModel model;
+  const SimTime base = model.ScanTime(TiB(1), KiB(4));
+  const SimTime huge = model.ScanTime(TiB(1), MiB(2));
+  const SimTime giga = model.ScanTime(TiB(1), GiB(1));
+  EXPECT_GT(base, huge * 100);
+  EXPECT_GT(huge, giga * 100);
+}
+
+TEST(RadixCostModel, TerabyteBasePageScanTakesNearSeconds) {
+  // The paper's Figure 3: scanning terabytes of 4 KiB mappings takes on the
+  // order of seconds.
+  RadixCostModel model;
+  const SimTime t = model.ScanTime(TiB(4), KiB(4));
+  EXPECT_GT(t, 500 * kMillisecond);
+  EXPECT_LT(t, 60 * kSecond);
+}
+
+TEST(RadixCostModel, ClearCostScalesWithPagesAndCores) {
+  RadixCostModel model;
+  EXPECT_EQ(model.ClearCost(0, 23), 0);
+  const SimTime few = model.ClearCost(512, 23);
+  const SimTime many = model.ClearCost(512 * 64, 23);
+  EXPECT_NEAR(static_cast<double>(many) / static_cast<double>(few), 64.0, 1.0);
+  EXPECT_GT(model.ClearCost(512, 47), model.ClearCost(512, 11));
+}
+
+TEST(Tlb, ShootdownChargesInitiatorAndVictims) {
+  Engine engine(4);
+  class Dummy : public SimThread {
+   public:
+    explicit Dummy(const char* n) : SimThread(n) {}
+    bool RunSlice() override { return false; }
+  };
+  Dummy initiator("init");
+  Dummy victim("victim");
+  engine.AddThread(&initiator);
+  engine.AddThread(&victim);
+
+  Tlb tlb;
+  const SimTime cost = tlb.Shootdown(engine, &initiator);
+  EXPECT_EQ(cost, tlb.params().initiator_cost);
+  EXPECT_EQ(initiator.now(), tlb.params().initiator_cost);
+  EXPECT_EQ(tlb.stats().shootdowns, 1u);
+  EXPECT_EQ(tlb.stats().victim_interrupts, 1u);
+  engine.Run();
+  EXPECT_EQ(victim.now(), tlb.params().victim_cost);
+}
+
+TEST(Tlb, BatchCountsEach) {
+  Engine engine(4);
+  Tlb tlb;
+  tlb.ShootdownBatch(engine, nullptr, 10);
+  EXPECT_EQ(tlb.stats().shootdowns, 10u);
+}
+
+TEST(Tlb, NullInitiatorChargesNobodyDirectly) {
+  Engine engine(4);
+  Tlb tlb;
+  const SimTime cost = tlb.Shootdown(engine, nullptr);
+  EXPECT_EQ(cost, tlb.params().initiator_cost);  // reported, not applied
+}
+
+
+TEST(PageTable, FindAfterUnmapDoesNotUseStaleCache) {
+  PageTable pt;
+  const uint64_t base = pt.ReserveVa(MiB(2), MiB(2));
+  pt.MapRegion(base, MiB(2), MiB(2), true, "r");
+  ASSERT_NE(pt.Find(base), nullptr);  // warms the cache
+  ASSERT_TRUE(pt.UnmapRegion(base));
+  EXPECT_EQ(pt.Find(base), nullptr);
+}
+
+TEST(PageTable, InterleavedMapUnmapKeepsAccounting) {
+  PageTable pt;
+  std::vector<uint64_t> bases;
+  for (int round = 0; round < 20; ++round) {
+    const uint64_t base = pt.ReserveVa(MiB(4), MiB(2));
+    pt.MapRegion(base, MiB(4), MiB(2), true, "r");
+    bases.push_back(base);
+    if (round % 3 == 2) {
+      pt.UnmapRegion(bases[static_cast<size_t>(round / 2)]);
+    }
+  }
+  uint64_t live = 0;
+  pt.ForEachRegion([&](Region& r) { live += r.bytes; });
+  EXPECT_EQ(live, pt.total_mapped_bytes());
+}
+
+TEST(RadixCostModel, EntriesForTinyMappings) {
+  const auto levels = RadixCostModel::EntriesPerLevel(KiB(4), KiB(4));
+  ASSERT_EQ(levels.size(), 4u);
+  EXPECT_EQ(levels[0], 1u);
+  EXPECT_EQ(levels[1], 1u);
+}
+
+TEST(PageEntryDefaults, StartNotPresent) {
+  PageEntry entry;
+  EXPECT_FALSE(entry.present);
+  EXPECT_FALSE(entry.write_protected);
+  EXPECT_FALSE(entry.accessed);
+  EXPECT_FALSE(entry.dirty);
+  EXPECT_EQ(entry.frame, kInvalidFrame);
+}
+
+}  // namespace
+}  // namespace hemem

@@ -1,0 +1,268 @@
+// hemem_sim: command-line driver for ad-hoc tiered-memory experiments.
+//
+// Runs one workload against one tiering system on a scaled machine and
+// prints throughput plus manager/device statistics. Examples:
+//
+//   hemem_sim --workload=gups --system=HeMem --ws-gb=512 --hot-gb=16
+//   hemem_sim --workload=kvs --system=MM --ws-gb=700
+//   hemem_sim --workload=tpcc --system=Nimble --warehouses=864
+//   hemem_sim --workload=bc --system=HeMem --graph-scale=18
+//   hemem_sim --workload=pagerank --system=MM --graph-scale=18
+//   hemem_sim --workload=gups --record=/tmp/t.bin --updates=200000
+//   hemem_sim --workload=replay --trace=/tmp/t.bin --system=MM
+//
+// Flags (all optional):
+//   --workload=gups|kvs|tpcc|bc   --system=<MakeSystem name>
+//   --scale=<machine divisor>     --threads=<n>
+//   --ws-gb --hot-gb              (gups, kvs)
+//   --warehouses                  (tpcc)
+//   --graph-scale --iterations    (bc)
+//   --seed                        deterministic run seed
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "apps/bc.h"
+#include "tier/trace.h"
+#include "apps/flexkvs.h"
+#include "apps/gups.h"
+#include "apps/pagerank.h"
+#include "apps/silo.h"
+#include "bench_common.h"
+#include "gups_bench.h"
+
+using namespace hemem;
+using namespace hemem::bench;
+
+namespace {
+
+std::map<std::string, std::string> ParseFlags(int argc, char** argv) {
+  std::map<std::string, std::string> flags;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--", 2) != 0) {
+      std::fprintf(stderr, "unrecognized argument: %s\n", arg);
+      std::exit(2);
+    }
+    const char* eq = std::strchr(arg, '=');
+    if (eq != nullptr) {
+      flags[std::string(arg + 2, eq)] = std::string(eq + 1);
+    } else {
+      flags[std::string(arg + 2)] = "1";
+    }
+  }
+  return flags;
+}
+
+double FlagD(const std::map<std::string, std::string>& flags, const std::string& key,
+             double fallback) {
+  const auto it = flags.find(key);
+  return it == flags.end() ? fallback : std::atof(it->second.c_str());
+}
+
+std::string FlagS(const std::map<std::string, std::string>& flags, const std::string& key,
+                  const std::string& fallback) {
+  const auto it = flags.find(key);
+  return it == flags.end() ? fallback : it->second;
+}
+
+void PrintCommonStats(Machine& machine, TieredMemoryManager& manager) {
+  const auto& stats = manager.stats();
+  std::printf("faults=%lu promoted=%lu demoted=%lu migrated_MB=%.1f wp_faults=%lu\n",
+              stats.missing_faults, stats.pages_promoted, stats.pages_demoted,
+              static_cast<double>(stats.bytes_migrated) / 1048576.0, stats.wp_faults);
+  const auto& dram = machine.dram().stats();
+  const auto& nvm = machine.nvm().stats();
+  std::printf("dram: loads=%lu stores=%lu | nvm: loads=%lu stores=%lu wear_MB=%.1f\n",
+              dram.loads, dram.stores, nvm.loads, nvm.stores,
+              static_cast<double>(nvm.media_bytes_written) / 1048576.0);
+}
+
+int RunGupsCli(const std::map<std::string, std::string>& flags) {
+  const std::string system = FlagS(flags, "system", "HeMem");
+  GupsConfig config = StandardHotGups(static_cast<int>(FlagD(flags, "threads", 16)));
+  config.working_set = PaperGiB(FlagD(flags, "ws-gb", 512));
+  config.hot_set = PaperGiB(FlagD(flags, "hot-gb", 16));
+  config.seed = static_cast<uint64_t>(FlagD(flags, "seed", 42));
+
+  const std::string record_path = FlagS(flags, "record", "");
+  if (!record_path.empty()) {
+    // Capture the access trace while running (use a modest op count: traces
+    // hold every access).
+    Machine machine(GupsMachine());
+    auto manager = MakeSystem(system, machine);
+    TraceRecorder recorder(*manager);
+    recorder.Start();
+    config.updates_per_thread = static_cast<uint64_t>(FlagD(flags, "updates", 100'000));
+    config.prefill = false;
+    GupsBenchmark gups(recorder, config);
+    gups.Prepare();
+    const GupsResult result = gups.Run();
+    if (!recorder.trace().SaveTo(record_path)) {
+      std::fprintf(stderr, "failed to write %s\n", record_path.c_str());
+      return 1;
+    }
+    std::printf("recorded %zu accesses (%lu updates) to %s\n",
+                recorder.trace().accesses.size(), result.total_updates,
+                record_path.c_str());
+    return 0;
+  }
+
+  const GupsRunOutput out = RunGupsSystem(system, config);
+  std::printf("gups=%.4f updates=%lu elapsed_ms=%.1f\n", out.result.gups,
+              out.result.total_updates, static_cast<double>(out.result.elapsed) / 1e6);
+  std::printf("promoted=%lu demoted=%lu nvm_wear_MB=%.1f pebs_drop=%.4f\n",
+              out.pages_promoted, out.pages_demoted,
+              static_cast<double>(out.nvm_media_writes) / 1048576.0, out.pebs_drop_rate);
+  return 0;
+}
+
+int RunReplayCli(const std::map<std::string, std::string>& flags) {
+  const std::string path = FlagS(flags, "trace", "");
+  Trace trace;
+  if (path.empty() || !Trace::LoadFrom(path, &trace)) {
+    std::fprintf(stderr, "cannot load trace '%s'\n", path.c_str());
+    return 1;
+  }
+  Machine machine(GupsMachine());
+  auto manager = MakeSystem(FlagS(flags, "system", "HeMem"), machine);
+  manager->Start();
+  TraceReplayer replayer(*manager, trace, flags.count("preserve-gaps") > 0);
+  const TraceReplayer::Result result = replayer.Run();
+  std::printf("replayed %lu accesses in %.1f ms under %s\n", result.accesses,
+              static_cast<double>(result.elapsed) / 1e6, manager->name());
+  PrintCommonStats(machine, *manager);
+  return 0;
+}
+
+int RunKvsCli(const std::map<std::string, std::string>& flags) {
+  Machine machine(GupsMachine());
+  auto manager = MakeSystem(FlagS(flags, "system", "HeMem"), machine);
+  manager->Start();
+  KvsConfig config;
+  config.value_bytes = 4096;
+  config.server_threads = static_cast<int>(FlagD(flags, "threads", 8));
+  config.num_keys = PaperGiB(FlagD(flags, "ws-gb", 128)) / 4224;
+  config.requests_per_thread = 40'000;
+  config.warmup_requests_per_thread = 100'000;
+  config.bulk_load = true;
+  config.seed = static_cast<uint64_t>(FlagD(flags, "seed", 7));
+  FlexKvs kvs(*manager, config);
+  kvs.Prepare();
+  const KvsResult result = kvs.Run();
+  std::printf("mops=%.3f p50_us=%lu p99_us=%lu p999_us=%lu\n", result.mops,
+              result.latency.Percentile(0.5), result.latency.Percentile(0.99),
+              result.latency.Percentile(0.999));
+  PrintCommonStats(machine, *manager);
+  return 0;
+}
+
+int RunTpccCli(const std::map<std::string, std::string>& flags) {
+  MachineConfig mc = MachineConfig::Scaled(115.0);
+  mc.page_bytes = KiB(64);
+  mc.pebs.SetAllPeriods(ScaledPebsPeriod(kPaperPebsPeriod, 40.0));
+  Machine machine(mc);
+  auto manager = MakeSystem(FlagS(flags, "system", "HeMem"), machine);
+  manager->Start();
+  SiloConfig sconfig;
+  sconfig.warehouses = static_cast<int>(FlagD(flags, "warehouses", 432));
+  sconfig.items = 1024;
+  sconfig.customers_per_district = 64;
+  sconfig.order_capacity_per_district = 128;
+  SiloDb db(*manager, sconfig);
+  TpccConfig tconfig;
+  tconfig.threads = static_cast<int>(FlagD(flags, "threads", 16));
+  tconfig.transactions_per_thread = 1500;
+  tconfig.warmup_transactions_per_thread = 500;
+  tconfig.seed = static_cast<uint64_t>(FlagD(flags, "seed", 5));
+  TpccBenchmark tpcc(db, tconfig);
+  tpcc.Prepare();
+  const TpccResult result = tpcc.Run();
+  std::printf("txn_per_sec=%.0f transactions=%lu\n", result.txn_per_sec,
+              result.total_transactions);
+  PrintCommonStats(machine, *manager);
+  return 0;
+}
+
+int RunPageRankCli(const std::map<std::string, std::string>& flags) {
+  KroneckerConfig kconfig;
+  kconfig.scale = static_cast<int>(FlagD(flags, "graph-scale", 18));
+  kconfig.seed = static_cast<uint64_t>(FlagD(flags, "seed", 12));
+  const CsrGraph graph = GenerateKronecker(kconfig);
+  MachineConfig mc = MachineConfig::Scaled(FlagD(flags, "scale", 8192.0));
+  mc.page_bytes = KiB(64);
+  mc.pebs.SetAllPeriods(ScaledPebsPeriod(kPaperPebsPeriod, 64.0));
+  Machine machine(mc);
+  auto manager = MakeSystem(FlagS(flags, "system", "HeMem"), machine);
+  manager->Start();
+  SimGraph sim_graph(*manager, graph);
+  PageRankConfig pconfig;
+  pconfig.iterations = static_cast<int>(FlagD(flags, "iterations", 8));
+  PageRankBenchmark pr(sim_graph, pconfig);
+  pr.Prepare();
+  const PageRankResult result = pr.Run();
+  std::printf("graph: %lu vertices, %lu edges\n", graph.num_vertices, graph.num_edges);
+  for (size_t i = 0; i < result.iteration_time.size(); ++i) {
+    std::printf("iteration %zu: %.1f ms\n", i + 1,
+                static_cast<double>(result.iteration_time[i]) / 1e6);
+  }
+  PrintCommonStats(machine, *manager);
+  return 0;
+}
+
+int RunBcCli(const std::map<std::string, std::string>& flags) {
+  KroneckerConfig kconfig;
+  kconfig.scale = static_cast<int>(FlagD(flags, "graph-scale", 18));
+  kconfig.seed = static_cast<uint64_t>(FlagD(flags, "seed", 12));
+  const CsrGraph graph = GenerateKronecker(kconfig);
+  MachineConfig mc = MachineConfig::Scaled(FlagD(flags, "scale", 8192.0));
+  mc.page_bytes = KiB(64);
+  mc.pebs.SetAllPeriods(ScaledPebsPeriod(kPaperPebsPeriod, 64.0));
+  Machine machine(mc);
+  auto manager = MakeSystem(FlagS(flags, "system", "HeMem"), machine);
+  manager->Start();
+  SimGraph sim_graph(*manager, graph);
+  BcConfig bconfig;
+  bconfig.iterations = static_cast<int>(FlagD(flags, "iterations", 5));
+  BcBenchmark bc(sim_graph, bconfig);
+  bc.Prepare();
+  const BcResult result = bc.Run();
+  std::printf("graph: %lu vertices, %lu edges\n", graph.num_vertices, graph.num_edges);
+  for (size_t i = 0; i < result.iteration_time.size(); ++i) {
+    std::printf("iteration %zu: %.1f ms, nvm writes %.1f MB\n", i + 1,
+                static_cast<double>(result.iteration_time[i]) / 1e6,
+                static_cast<double>(result.iteration_nvm_writes[i]) / 1048576.0);
+  }
+  PrintCommonStats(machine, *manager);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto flags = ParseFlags(argc, argv);
+  const std::string workload = FlagS(flags, "workload", "gups");
+  if (workload == "gups") {
+    return RunGupsCli(flags);
+  }
+  if (workload == "kvs") {
+    return RunKvsCli(flags);
+  }
+  if (workload == "tpcc") {
+    return RunTpccCli(flags);
+  }
+  if (workload == "bc") {
+    return RunBcCli(flags);
+  }
+  if (workload == "pagerank") {
+    return RunPageRankCli(flags);
+  }
+  if (workload == "replay") {
+    return RunReplayCli(flags);
+  }
+  std::fprintf(stderr, "unknown workload '%s' (gups|kvs|tpcc|bc|pagerank|replay)\n", workload.c_str());
+  return 2;
+}
