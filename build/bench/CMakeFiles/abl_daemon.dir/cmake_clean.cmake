@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_daemon.dir/abl_daemon.cc.o"
+  "CMakeFiles/abl_daemon.dir/abl_daemon.cc.o.d"
+  "abl_daemon"
+  "abl_daemon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_daemon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_dma_config.dir/abl_dma_config.cc.o"
+  "CMakeFiles/abl_dma_config.dir/abl_dma_config.cc.o.d"
+  "abl_dma_config"
+  "abl_dma_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_dma_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_ephemeral.dir/abl_ephemeral.cc.o"
+  "CMakeFiles/abl_ephemeral.dir/abl_ephemeral.cc.o.d"
+  "abl_ephemeral"
+  "abl_ephemeral.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_ephemeral.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

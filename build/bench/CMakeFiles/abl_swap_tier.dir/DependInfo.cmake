@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/abl_swap_tier.cc" "bench/CMakeFiles/abl_swap_tier.dir/abl_swap_tier.cc.o" "gcc" "bench/CMakeFiles/abl_swap_tier.dir/abl_swap_tier.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hemem_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hemem_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hemem_tier.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hemem_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hemem_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hemem_pebs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hemem_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hemem_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_swap_tier.dir/abl_swap_tier.cc.o"
+  "CMakeFiles/abl_swap_tier.dir/abl_swap_tier.cc.o.d"
+  "abl_swap_tier"
+  "abl_swap_tier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_swap_tier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

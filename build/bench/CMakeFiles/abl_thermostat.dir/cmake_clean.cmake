@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_thermostat.dir/abl_thermostat.cc.o"
+  "CMakeFiles/abl_thermostat.dir/abl_thermostat.cc.o.d"
+  "abl_thermostat"
+  "abl_thermostat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_thermostat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

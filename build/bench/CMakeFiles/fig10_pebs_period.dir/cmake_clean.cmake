@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_pebs_period.dir/fig10_pebs_period.cc.o"
+  "CMakeFiles/fig10_pebs_period.dir/fig10_pebs_period.cc.o.d"
+  "fig10_pebs_period"
+  "fig10_pebs_period.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_pebs_period.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

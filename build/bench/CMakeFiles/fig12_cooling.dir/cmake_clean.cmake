@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_cooling.dir/fig12_cooling.cc.o"
+  "CMakeFiles/fig12_cooling.dir/fig12_cooling.cc.o.d"
+  "fig12_cooling"
+  "fig12_cooling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_cooling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

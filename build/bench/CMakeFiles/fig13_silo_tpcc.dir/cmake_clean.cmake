@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_silo_tpcc.dir/fig13_silo_tpcc.cc.o"
+  "CMakeFiles/fig13_silo_tpcc.dir/fig13_silo_tpcc.cc.o.d"
+  "fig13_silo_tpcc"
+  "fig13_silo_tpcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_silo_tpcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_bc_small.dir/fig14_bc_small.cc.o"
+  "CMakeFiles/fig14_bc_small.dir/fig14_bc_small.cc.o.d"
+  "fig14_bc_small"
+  "fig14_bc_small.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_bc_small.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_nvm_wear.dir/fig16_nvm_wear.cc.o"
+  "CMakeFiles/fig16_nvm_wear.dir/fig16_nvm_wear.cc.o.d"
+  "fig16_nvm_wear"
+  "fig16_nvm_wear.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_nvm_wear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

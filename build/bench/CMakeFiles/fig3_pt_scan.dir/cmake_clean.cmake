@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_pt_scan.dir/fig3_pt_scan.cc.o"
+  "CMakeFiles/fig3_pt_scan.dir/fig3_pt_scan.cc.o.d"
+  "fig3_pt_scan"
+  "fig3_pt_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_pt_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_gups_uniform.dir/fig5_gups_uniform.cc.o"
+  "CMakeFiles/fig5_gups_uniform.dir/fig5_gups_uniform.cc.o.d"
+  "fig5_gups_uniform"
+  "fig5_gups_uniform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_gups_uniform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_gups_hotset.dir/fig6_gups_hotset.cc.o"
+  "CMakeFiles/fig6_gups_hotset.dir/fig6_gups_hotset.cc.o.d"
+  "fig6_gups_hotset"
+  "fig6_gups_hotset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_gups_hotset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

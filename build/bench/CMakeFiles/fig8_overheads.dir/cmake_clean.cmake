@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_overheads.dir/fig8_overheads.cc.o"
+  "CMakeFiles/fig8_overheads.dir/fig8_overheads.cc.o.d"
+  "fig8_overheads"
+  "fig8_overheads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_overheads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_dynamic_hotset.dir/fig9_dynamic_hotset.cc.o"
+  "CMakeFiles/fig9_dynamic_hotset.dir/fig9_dynamic_hotset.cc.o.d"
+  "fig9_dynamic_hotset"
+  "fig9_dynamic_hotset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_dynamic_hotset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

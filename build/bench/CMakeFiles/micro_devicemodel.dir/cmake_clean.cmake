@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_devicemodel.dir/micro_devicemodel.cc.o"
+  "CMakeFiles/micro_devicemodel.dir/micro_devicemodel.cc.o.d"
+  "micro_devicemodel"
+  "micro_devicemodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_devicemodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbl1_memory_characteristics.dir/tbl1_memory_characteristics.cc.o"
+  "CMakeFiles/tbl1_memory_characteristics.dir/tbl1_memory_characteristics.cc.o.d"
+  "tbl1_memory_characteristics"
+  "tbl1_memory_characteristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl1_memory_characteristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

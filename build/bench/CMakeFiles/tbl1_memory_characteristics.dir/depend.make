@@ -1,0 +1,2 @@
+# Empty dependencies file for tbl1_memory_characteristics.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbl2_write_skew.dir/tbl2_write_skew.cc.o"
+  "CMakeFiles/tbl2_write_skew.dir/tbl2_write_skew.cc.o.d"
+  "tbl2_write_skew"
+  "tbl2_write_skew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl2_write_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

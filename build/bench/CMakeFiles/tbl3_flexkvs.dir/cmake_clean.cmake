@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbl3_flexkvs.dir/tbl3_flexkvs.cc.o"
+  "CMakeFiles/tbl3_flexkvs.dir/tbl3_flexkvs.cc.o.d"
+  "tbl3_flexkvs"
+  "tbl3_flexkvs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl3_flexkvs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

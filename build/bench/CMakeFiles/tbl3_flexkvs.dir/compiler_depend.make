@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tbl3_flexkvs.
+# This may be replaced when dependencies are built.

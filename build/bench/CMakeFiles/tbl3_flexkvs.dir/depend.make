@@ -1,0 +1,2 @@
+# Empty dependencies file for tbl3_flexkvs.
+# This may be replaced when dependencies are built.

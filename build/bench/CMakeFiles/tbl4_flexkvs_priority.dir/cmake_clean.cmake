@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbl4_flexkvs_priority.dir/tbl4_flexkvs_priority.cc.o"
+  "CMakeFiles/tbl4_flexkvs_priority.dir/tbl4_flexkvs_priority.cc.o.d"
+  "tbl4_flexkvs_priority"
+  "tbl4_flexkvs_priority.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl4_flexkvs_priority.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tbl4_flexkvs_priority.
+# This may be replaced when dependencies are built.

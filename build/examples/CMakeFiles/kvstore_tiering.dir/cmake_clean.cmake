@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvstore_tiering.dir/kvstore_tiering.cpp.o"
+  "CMakeFiles/kvstore_tiering.dir/kvstore_tiering.cpp.o.d"
+  "kvstore_tiering"
+  "kvstore_tiering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvstore_tiering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/bc.cc" "src/CMakeFiles/hemem_apps.dir/apps/bc.cc.o" "gcc" "src/CMakeFiles/hemem_apps.dir/apps/bc.cc.o.d"
+  "/root/repo/src/apps/flexkvs.cc" "src/CMakeFiles/hemem_apps.dir/apps/flexkvs.cc.o" "gcc" "src/CMakeFiles/hemem_apps.dir/apps/flexkvs.cc.o.d"
+  "/root/repo/src/apps/graph.cc" "src/CMakeFiles/hemem_apps.dir/apps/graph.cc.o" "gcc" "src/CMakeFiles/hemem_apps.dir/apps/graph.cc.o.d"
+  "/root/repo/src/apps/gups.cc" "src/CMakeFiles/hemem_apps.dir/apps/gups.cc.o" "gcc" "src/CMakeFiles/hemem_apps.dir/apps/gups.cc.o.d"
+  "/root/repo/src/apps/pagerank.cc" "src/CMakeFiles/hemem_apps.dir/apps/pagerank.cc.o" "gcc" "src/CMakeFiles/hemem_apps.dir/apps/pagerank.cc.o.d"
+  "/root/repo/src/apps/silo.cc" "src/CMakeFiles/hemem_apps.dir/apps/silo.cc.o" "gcc" "src/CMakeFiles/hemem_apps.dir/apps/silo.cc.o.d"
+  "/root/repo/src/apps/tpcc.cc" "src/CMakeFiles/hemem_apps.dir/apps/tpcc.cc.o" "gcc" "src/CMakeFiles/hemem_apps.dir/apps/tpcc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hemem_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hemem_tier.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hemem_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hemem_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hemem_pebs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hemem_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hemem_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hemem_apps.dir/apps/bc.cc.o"
+  "CMakeFiles/hemem_apps.dir/apps/bc.cc.o.d"
+  "CMakeFiles/hemem_apps.dir/apps/flexkvs.cc.o"
+  "CMakeFiles/hemem_apps.dir/apps/flexkvs.cc.o.d"
+  "CMakeFiles/hemem_apps.dir/apps/graph.cc.o"
+  "CMakeFiles/hemem_apps.dir/apps/graph.cc.o.d"
+  "CMakeFiles/hemem_apps.dir/apps/gups.cc.o"
+  "CMakeFiles/hemem_apps.dir/apps/gups.cc.o.d"
+  "CMakeFiles/hemem_apps.dir/apps/pagerank.cc.o"
+  "CMakeFiles/hemem_apps.dir/apps/pagerank.cc.o.d"
+  "CMakeFiles/hemem_apps.dir/apps/silo.cc.o"
+  "CMakeFiles/hemem_apps.dir/apps/silo.cc.o.d"
+  "CMakeFiles/hemem_apps.dir/apps/tpcc.cc.o"
+  "CMakeFiles/hemem_apps.dir/apps/tpcc.cc.o.d"
+  "libhemem_apps.a"
+  "libhemem_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hemem_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

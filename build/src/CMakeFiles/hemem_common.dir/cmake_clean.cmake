@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hemem_common.dir/common/histogram.cc.o"
+  "CMakeFiles/hemem_common.dir/common/histogram.cc.o.d"
+  "CMakeFiles/hemem_common.dir/common/rng.cc.o"
+  "CMakeFiles/hemem_common.dir/common/rng.cc.o.d"
+  "libhemem_common.a"
+  "libhemem_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hemem_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hemem_core.dir/core/daemon.cc.o"
+  "CMakeFiles/hemem_core.dir/core/daemon.cc.o.d"
+  "CMakeFiles/hemem_core.dir/core/hemem.cc.o"
+  "CMakeFiles/hemem_core.dir/core/hemem.cc.o.d"
+  "CMakeFiles/hemem_core.dir/core/page_lists.cc.o"
+  "CMakeFiles/hemem_core.dir/core/page_lists.cc.o.d"
+  "CMakeFiles/hemem_core.dir/core/scanner.cc.o"
+  "CMakeFiles/hemem_core.dir/core/scanner.cc.o.d"
+  "libhemem_core.a"
+  "libhemem_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hemem_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

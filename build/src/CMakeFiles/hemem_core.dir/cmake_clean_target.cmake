@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhemem_core.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/block_device.cc" "src/CMakeFiles/hemem_mem.dir/mem/block_device.cc.o" "gcc" "src/CMakeFiles/hemem_mem.dir/mem/block_device.cc.o.d"
+  "/root/repo/src/mem/device.cc" "src/CMakeFiles/hemem_mem.dir/mem/device.cc.o" "gcc" "src/CMakeFiles/hemem_mem.dir/mem/device.cc.o.d"
+  "/root/repo/src/mem/dma.cc" "src/CMakeFiles/hemem_mem.dir/mem/dma.cc.o" "gcc" "src/CMakeFiles/hemem_mem.dir/mem/dma.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hemem_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hemem_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hemem_mem.dir/mem/block_device.cc.o"
+  "CMakeFiles/hemem_mem.dir/mem/block_device.cc.o.d"
+  "CMakeFiles/hemem_mem.dir/mem/device.cc.o"
+  "CMakeFiles/hemem_mem.dir/mem/device.cc.o.d"
+  "CMakeFiles/hemem_mem.dir/mem/dma.cc.o"
+  "CMakeFiles/hemem_mem.dir/mem/dma.cc.o.d"
+  "libhemem_mem.a"
+  "libhemem_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hemem_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

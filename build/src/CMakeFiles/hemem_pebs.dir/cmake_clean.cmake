@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hemem_pebs.dir/pebs/pebs.cc.o"
+  "CMakeFiles/hemem_pebs.dir/pebs/pebs.cc.o.d"
+  "libhemem_pebs.a"
+  "libhemem_pebs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hemem_pebs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hemem_sim.dir/sim/engine.cc.o"
+  "CMakeFiles/hemem_sim.dir/sim/engine.cc.o.d"
+  "libhemem_sim.a"
+  "libhemem_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hemem_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tier/machine.cc" "src/CMakeFiles/hemem_tier.dir/tier/machine.cc.o" "gcc" "src/CMakeFiles/hemem_tier.dir/tier/machine.cc.o.d"
+  "/root/repo/src/tier/manager.cc" "src/CMakeFiles/hemem_tier.dir/tier/manager.cc.o" "gcc" "src/CMakeFiles/hemem_tier.dir/tier/manager.cc.o.d"
+  "/root/repo/src/tier/memory_mode.cc" "src/CMakeFiles/hemem_tier.dir/tier/memory_mode.cc.o" "gcc" "src/CMakeFiles/hemem_tier.dir/tier/memory_mode.cc.o.d"
+  "/root/repo/src/tier/nimble.cc" "src/CMakeFiles/hemem_tier.dir/tier/nimble.cc.o" "gcc" "src/CMakeFiles/hemem_tier.dir/tier/nimble.cc.o.d"
+  "/root/repo/src/tier/plain.cc" "src/CMakeFiles/hemem_tier.dir/tier/plain.cc.o" "gcc" "src/CMakeFiles/hemem_tier.dir/tier/plain.cc.o.d"
+  "/root/repo/src/tier/thermostat.cc" "src/CMakeFiles/hemem_tier.dir/tier/thermostat.cc.o" "gcc" "src/CMakeFiles/hemem_tier.dir/tier/thermostat.cc.o.d"
+  "/root/repo/src/tier/trace.cc" "src/CMakeFiles/hemem_tier.dir/tier/trace.cc.o" "gcc" "src/CMakeFiles/hemem_tier.dir/tier/trace.cc.o.d"
+  "/root/repo/src/tier/xmem.cc" "src/CMakeFiles/hemem_tier.dir/tier/xmem.cc.o" "gcc" "src/CMakeFiles/hemem_tier.dir/tier/xmem.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hemem_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hemem_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hemem_pebs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hemem_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hemem_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hemem_tier.dir/tier/machine.cc.o"
+  "CMakeFiles/hemem_tier.dir/tier/machine.cc.o.d"
+  "CMakeFiles/hemem_tier.dir/tier/manager.cc.o"
+  "CMakeFiles/hemem_tier.dir/tier/manager.cc.o.d"
+  "CMakeFiles/hemem_tier.dir/tier/memory_mode.cc.o"
+  "CMakeFiles/hemem_tier.dir/tier/memory_mode.cc.o.d"
+  "CMakeFiles/hemem_tier.dir/tier/nimble.cc.o"
+  "CMakeFiles/hemem_tier.dir/tier/nimble.cc.o.d"
+  "CMakeFiles/hemem_tier.dir/tier/plain.cc.o"
+  "CMakeFiles/hemem_tier.dir/tier/plain.cc.o.d"
+  "CMakeFiles/hemem_tier.dir/tier/thermostat.cc.o"
+  "CMakeFiles/hemem_tier.dir/tier/thermostat.cc.o.d"
+  "CMakeFiles/hemem_tier.dir/tier/trace.cc.o"
+  "CMakeFiles/hemem_tier.dir/tier/trace.cc.o.d"
+  "CMakeFiles/hemem_tier.dir/tier/xmem.cc.o"
+  "CMakeFiles/hemem_tier.dir/tier/xmem.cc.o.d"
+  "libhemem_tier.a"
+  "libhemem_tier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hemem_tier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

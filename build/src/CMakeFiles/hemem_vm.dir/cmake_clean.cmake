@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hemem_vm.dir/vm/page_table.cc.o"
+  "CMakeFiles/hemem_vm.dir/vm/page_table.cc.o.d"
+  "CMakeFiles/hemem_vm.dir/vm/tlb.cc.o"
+  "CMakeFiles/hemem_vm.dir/vm/tlb.cc.o.d"
+  "libhemem_vm.a"
+  "libhemem_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hemem_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

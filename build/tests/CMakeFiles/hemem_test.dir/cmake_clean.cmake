@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hemem_test.dir/hemem_test.cc.o"
+  "CMakeFiles/hemem_test.dir/hemem_test.cc.o.d"
+  "hemem_test"
+  "hemem_test.pdb"
+  "hemem_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hemem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hemem_cli.dir/hemem_sim.cc.o"
+  "CMakeFiles/hemem_cli.dir/hemem_sim.cc.o.d"
+  "hemem_sim"
+  "hemem_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hemem_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
