@@ -1,0 +1,189 @@
+// Hot-path microbenchmark: raw TieredMemoryManager::Access throughput.
+//
+// Unlike the figure benches (which report *simulated* application metrics),
+// this bench measures the simulator's own wall-clock cost per simulated
+// access — the dominant cost of every figure reproduction. One single-thread
+// workload (uniform loads/stores over a two-tier working set, fixed seed) is
+// driven through each manager; we report wall-clock accesses/second plus a
+// determinism fingerprint (final virtual time and ManagerStats) so hot-path
+// optimizations can prove themselves behavior-preserving.
+//
+// Output: a human-readable table on stdout and BENCH_hotpath.json (path
+// overridable with --out=...). The baseline column is the pre-refactor
+// (PR 1 seed) throughput recorded on the reference container; speedup is
+// measured/baseline.
+
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/rng.h"
+#include "sim/script_thread.h"
+
+namespace hemem::bench {
+namespace {
+
+constexpr uint64_t kWorkingSet = MiB(128);
+constexpr uint64_t kAccessBytes = 64;
+constexpr uint64_t kPrefillTouches = kWorkingSet / MiB(1);
+constexpr SimTime kComputePerOp = 15;
+
+// The machine mirrors tests/test_util.h's TinyMachineConfig: 64 MiB DRAM +
+// 256 MiB NVM at 1 MiB pages, so the working set spans both tiers and HeMem's
+// policy machinery is live during measurement.
+MachineConfig HotpathMachine() {
+  MachineConfig config;
+  config.dram_bytes = MiB(64);
+  config.nvm_bytes = MiB(256);
+  config.page_bytes = MiB(1);
+  config.label_scale = 3072.0;
+  config.pebs.SetAllPeriods(500);
+  return config;
+}
+
+// Pre-refactor single-thread throughput (accesses/s) captured on the
+// reference container at the PR 1 seed, used to report the speedup of the
+// shared-skeleton hot path. 0 = no baseline recorded for that system.
+struct Baseline {
+  const char* system;
+  double accesses_per_s;
+};
+constexpr Baseline kPreRefactorBaseline[] = {
+    {"DRAM", 31.2e6},  {"NVM", 34.7e6},        {"MM", 1.84e6},  {"Nimble", 18.3e6},
+    {"X-Mem", 35.0e6}, {"Thermostat", 26.1e6}, {"HeMem", 16.1e6},
+};
+
+double BaselineFor(const std::string& system) {
+  for (const Baseline& b : kPreRefactorBaseline) {
+    if (system == b.system) {
+      return b.accesses_per_s;
+    }
+  }
+  return 0.0;
+}
+
+struct CaseResult {
+  std::string system;
+  double accesses_per_s = 0.0;
+  uint64_t measured_ops = 0;
+  SimTime sim_end_ns = 0;
+  ManagerStats stats;
+};
+
+CaseResult RunCase(const std::string& system, uint64_t ops) {
+  Machine machine(HotpathMachine());
+  std::unique_ptr<TieredMemoryManager> manager = MakeSystem(system, machine);
+  manager->Start();
+  const uint64_t va = manager->Mmap(kWorkingSet, {.label = "hotpath"});
+
+  Rng access_rng(0x601dca7ull);
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point t0;
+  Clock::time_point t1;
+  uint64_t op = 0;
+  const uint64_t prefill = kPrefillTouches;
+  ScriptThread thread([&](ScriptThread& self) mutable {
+    if (op < prefill) {
+      // Touch every page once so demand faults stay out of the timed phase.
+      manager->Access(self, va + op * MiB(1), kAccessBytes, AccessKind::kStore);
+      if (++op == prefill) {
+        t0 = Clock::now();
+      }
+      return true;
+    }
+    const uint64_t slot = access_rng.NextBounded(kWorkingSet / kAccessBytes);
+    const AccessKind kind = (op & 3) == 0 ? AccessKind::kStore : AccessKind::kLoad;
+    manager->Access(self, va + slot * kAccessBytes, kAccessBytes, kind);
+    self.Advance(kComputePerOp);
+    return ++op < prefill + ops;
+  });
+  machine.engine().AddThread(&thread);
+  const SimTime end = machine.engine().Run();
+  t1 = Clock::now();
+
+  CaseResult result;
+  result.system = system;
+  result.measured_ops = ops;
+  result.sim_end_ns = end;
+  result.stats = manager->stats();
+  const double wall_ns =
+      static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+  result.accesses_per_s = static_cast<double>(ops) / (wall_ns * 1e-9);
+  return result;
+}
+
+void WriteJson(const std::string& path, const std::vector<CaseResult>& results) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "hotpath_bench: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"benchmark\": \"hotpath\",\n  \"systems\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const CaseResult& r = results[i];
+    const double baseline = BaselineFor(r.system);
+    std::fprintf(f,
+                 "    {\"system\": \"%s\", \"accesses_per_s\": %.0f, "
+                 "\"ns_per_access\": %.2f, \"baseline_accesses_per_s\": %.0f, "
+                 "\"speedup\": %.3f, \"sim_end_ns\": %lld, \"measured_ops\": %llu, "
+                 "\"stats\": {\"missing_faults\": %llu, \"wp_faults\": %llu, "
+                 "\"wp_wait_ns\": %lld, \"pages_promoted\": %llu, "
+                 "\"pages_demoted\": %llu, \"bytes_migrated\": %llu}}%s\n",
+                 r.system.c_str(), r.accesses_per_s, 1e9 / r.accesses_per_s, baseline,
+                 baseline > 0.0 ? r.accesses_per_s / baseline : 0.0,
+                 static_cast<long long>(r.sim_end_ns),
+                 static_cast<unsigned long long>(r.measured_ops),
+                 static_cast<unsigned long long>(r.stats.missing_faults),
+                 static_cast<unsigned long long>(r.stats.wp_faults),
+                 static_cast<long long>(r.stats.wp_wait_ns),
+                 static_cast<unsigned long long>(r.stats.pages_promoted),
+                 static_cast<unsigned long long>(r.stats.pages_demoted),
+                 static_cast<unsigned long long>(r.stats.bytes_migrated),
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("# wrote %s\n", path.c_str());
+}
+
+}  // namespace
+}  // namespace hemem::bench
+
+int main(int argc, char** argv) {
+  using namespace hemem;
+  using namespace hemem::bench;
+
+  uint64_t ops = 2'000'000;
+  std::string out = "BENCH_hotpath.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--ops=", 6) == 0) {
+      ops = std::strtoull(argv[i] + 6, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out = argv[i] + 6;
+    }
+  }
+
+  PrintTitle("hotpath", "raw Access() throughput per manager (wall clock)",
+             "single thread; uniform 64 B loads/stores over 128 MiB spanning both tiers");
+  PrintCols({"system", "Macc/s", "ns/access", "speedup", "sim_end_ms", "faults"});
+
+  const std::vector<std::string> systems = {"DRAM",   "NVM",        "MM",    "Nimble",
+                                            "X-Mem",  "Thermostat", "HeMem"};
+  std::vector<CaseResult> results;
+  for (const std::string& system : systems) {
+    CaseResult r = RunCase(system, ops);
+    const double baseline = BaselineFor(system);
+    PrintCell(r.system);
+    PrintCell(Fmt("%.2f", r.accesses_per_s / 1e6));
+    PrintCell(Fmt("%.1f", 1e9 / r.accesses_per_s));
+    PrintCell(baseline > 0.0 ? Fmt("%.3f", r.accesses_per_s / baseline) : "n/a");
+    PrintCell(Fmt("%.2f", static_cast<double>(r.sim_end_ns) / 1e6));
+    PrintCell(Fmt("%.0f", static_cast<double>(r.stats.missing_faults)));
+    EndRow();
+    results.push_back(std::move(r));
+  }
+  WriteJson(out, results);
+  return 0;
+}

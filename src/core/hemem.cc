@@ -47,6 +47,11 @@ Hemem::Hemem(Machine& machine, HememParams params)
   if (params_.enable_swap && machine.swap() != nullptr) {
     swap_space_.emplace(machine.swap()->capacity(), machine.page_bytes());
   }
+  // Skeleton configuration: a store stalling on an in-flight migration pays a
+  // userfaultfd round trip before waiting out the copy, and PEBS counting
+  // runs after the device charge (with the post-access timestamp).
+  wp_stall_cost_ = fault_costs_.userfaultfd_roundtrip;
+  post_charge_hook_ = params_.scan_mode == ScanMode::kPebs;
   drain_buf_.reserve(4096);
 }
 
@@ -109,16 +114,15 @@ uint64_t Hemem::Mmap(uint64_t bytes, AllocOptions opts) {
   }
   stats_.managed_allocs++;
 
-  std::vector<HememPage>& pages = meta_[region];
-  pages.resize(region->num_pages());
+  auto meta = std::make_unique<HememRegionMeta>();
+  meta->pages.resize(region->num_pages());
   for (uint64_t i = 0; i < region->num_pages(); ++i) {
-    pages[i].region = region;
-    pages[i].index = static_cast<uint32_t>(i);
+    meta->pages[i].region = region;
+    meta->pages[i].index = static_cast<uint32_t>(i);
   }
-  pinned_[region] = opts.pin_tier.has_value();
-  if (opts.prefer_tier.has_value()) {
-    preferred_[region] = *opts.prefer_tier;
-  }
+  meta->pinned = opts.pin_tier.has_value();
+  meta->preferred = opts.prefer_tier;
+  AttachRegionMeta(*region, std::move(meta));
 
   if (opts.pin_tier.has_value()) {
     // Pinned regions (the Opt bound, FlexKVS's priority instance) are mapped
@@ -142,27 +146,21 @@ uint64_t Hemem::Mmap(uint64_t bytes, AllocOptions opts) {
   return base;
 }
 
-void Hemem::Munmap(uint64_t va) {
-  Region* region = machine_.page_table().Find(va);
-  if (region == nullptr) {
-    return;
-  }
-  const auto it = meta_.find(region);
-  if (it != meta_.end()) {
-    for (HememPage& page : it->second) {
+void Hemem::OnUnmapRegion(Region& region) {
+  // Unlink every tracked page from the hot/cold lists before the base class
+  // destroys the metadata — a HememPage must never dangle on a list. The
+  // base Munmap then detaches the region slot and releases the frames.
+  HememRegionMeta* meta = MetaOfRegion(region);
+  if (meta != nullptr) {
+    for (HememPage& page : meta->pages) {
       DetachFromList(&page);
     }
-    meta_.erase(it);
   }
-  pinned_.erase(region);
-  preferred_.erase(region);
-  for (const PageEntry& entry : region->pages) {
+  for (const PageEntry& entry : region.pages) {
     if (entry.present && entry.tier == Tier::kDram) {
       dram_pages_owned_--;
     }
   }
-  ReleaseRegionFrames(*region);
-  machine_.page_table().UnmapRegion(region->base);
 }
 
 std::optional<Hemem::PageProbe> Hemem::ProbePage(uint64_t va) {
@@ -179,11 +177,11 @@ std::optional<Hemem::PageProbe> Hemem::ProbePage(uint64_t va) {
 }
 
 HememPage* Hemem::MetaOf(Region* region, uint64_t index) {
-  const auto it = meta_.find(region);
-  if (it == meta_.end()) {
+  HememRegionMeta* meta = MetaOfRegion(*region);
+  if (meta == nullptr) {
     return nullptr;
   }
-  return &it->second[index];
+  return &meta->pages[index];
 }
 
 void Hemem::HandleMissingFault(SimThread& thread, Region& region, uint64_t index) {
@@ -192,9 +190,9 @@ void Hemem::HandleMissingFault(SimThread& thread, Region& region, uint64_t index
   // DRAM is preferred so ephemeral data lands (and dies) in fast memory,
   // unless the region carries an explicit placement hint.
   Tier tier = Tier::kDram;
-  const auto pref = preferred_.find(&region);
-  if (pref != preferred_.end()) {
-    tier = pref->second;
+  HememRegionMeta* meta = MetaOfRegion(region);
+  if (meta != nullptr && meta->preferred.has_value()) {
+    tier = *meta->preferred;
   } else if (dram_quota_bytes_ > 0 && dram_usage() >= dram_quota_bytes_) {
     tier = Tier::kNvm;  // over quota: fresh pages go to NVM
   }
@@ -215,10 +213,10 @@ void Hemem::HandleMissingFault(SimThread& thread, Region& region, uint64_t index
                                                       AccessKind::kStore));
   stats_.missing_faults++;
 
-  HememPage* page = MetaOf(&region, index);
-  if (page != nullptr && !pinned_[&region]) {
+  if (meta != nullptr && !meta->pinned) {
     // Fresh pages start cold; FIFO order gives ephemeral data its DRAM grace
     // period before it becomes a demotion candidate.
+    HememPage* page = &meta->pages[index];
     page->cool_snapshot = cool_clock_;
     Classify(page);
   }
@@ -257,8 +255,9 @@ void Hemem::HandleSwapInFault(SimThread& thread, Region& region, uint64_t index)
   }
   hstats_.pages_swapped_in++;
 
-  HememPage* page = MetaOf(&region, index);
-  if (page != nullptr && !pinned_[&region]) {
+  HememRegionMeta* meta = MetaOfRegion(region);
+  if (meta != nullptr && !meta->pinned) {
+    HememPage* page = &meta->pages[index];
     page->cool_snapshot = cool_clock_;
     Classify(page);
   }
@@ -295,66 +294,33 @@ SimTime Hemem::SwapOutColdPages(SimTime t, uint64_t* budget) {
   return t;
 }
 
-void Hemem::AccessPage(SimThread& thread, uint64_t va, uint32_t size, AccessKind kind) {
-  Region* region = machine_.page_table().Find(va);
-  assert(region != nullptr && "access to unmapped address");
-  const uint64_t page_bytes = machine_.page_bytes();
-  const uint64_t index = region->PageIndexOf(va);
-  PageEntry& entry = region->pages[index];
-
-  if (!entry.present && entry.swapped) {
-    HandleSwapInFault(thread, *region, index);
+void Hemem::OnMissingPage(SimThread& thread, Region& region, uint64_t index) {
+  PageEntry& entry = region.pages[index];
+  if (entry.swapped) {
+    // Major fault: the page lives on the swap device.
+    HandleSwapInFault(thread, region, index);
   }
   if (!entry.present) {
-    if (region->managed) {
-      HandleMissingFault(thread, *region, index);
+    if (region.managed) {
+      HandleMissingFault(thread, region, index);
     } else {
       // Kernel-managed small allocation: anonymous fault, DRAM first.
-      Tier tier = Tier::kDram;
-      std::optional<uint32_t> frame = machine_.frames(tier).Alloc();
-      if (!frame.has_value()) {
-        tier = Tier::kNvm;
-        frame = machine_.frames(tier).Alloc();
-      }
-      assert(frame.has_value() && "machine out of physical memory");
-      entry.frame = *frame;
-      entry.tier = tier;
-      entry.present = true;
-      if (tier == Tier::kDram) {
+      if (KernelFirstTouch(thread, region, entry) == Tier::kDram) {
         dram_pages_owned_++;
       }
-      thread.Advance(fault_costs_.kernel_fault);
-      thread.AdvanceTo(machine_.device(tier).BulkTransfer(thread.now(), page_bytes,
-                                                          AccessKind::kStore));
-      stats_.missing_faults++;
     }
   }
+}
 
-  // Stores against a page whose migration is still in flight wait for the
-  // copy (reads proceed; the paper measures such pauses at < 0.00013%).
-  if (kind == AccessKind::kStore && entry.wp_until > thread.now()) {
-    stats_.wp_faults++;
-    stats_.wp_wait_ns += entry.wp_until - thread.now();
-    thread.Advance(fault_costs_.userfaultfd_roundtrip);
-    thread.AdvanceTo(entry.wp_until);
-  }
-
-  entry.accessed = true;  // hardware A/D bits (used by the PT-scan variants)
-  if (kind == AccessKind::kStore) {
-    entry.dirty = true;
-  }
-
-  const uint64_t pa = static_cast<uint64_t>(entry.frame) * page_bytes + va % page_bytes;
-  thread.AdvanceTo(
-      machine_.device(entry.tier).Access(thread.now(), pa, size, kind, thread.stream_id()));
-
-  if (params_.scan_mode == ScanMode::kPebs) {
-    const PebsEvent event = kind == AccessKind::kStore
-                                ? PebsEvent::kStore
-                                : (entry.tier == Tier::kNvm ? PebsEvent::kNvmLoad
-                                                            : PebsEvent::kDramLoad);
-    machine_.pebs().CountAccess(thread.now(), va, event, thread.stream_id());
-  }
+void Hemem::OnAccessCharged(SimThread& thread, uint64_t va, PageEntry& entry,
+                            AccessKind kind) {
+  // Runs only in kPebs mode (post_charge_hook_): counts the access in the
+  // CPU's sample buffer with the post-access timestamp.
+  const PebsEvent event = kind == AccessKind::kStore
+                              ? PebsEvent::kStore
+                              : (entry.tier == Tier::kNvm ? PebsEvent::kNvmLoad
+                                                          : PebsEvent::kDramLoad);
+  machine_.pebs().CountAccess(thread.now(), va, event, thread.stream_id());
 }
 
 void Hemem::NoteSampleForCooling(HememPage* page) {
@@ -444,11 +410,12 @@ void Hemem::OnSample(uint64_t va, bool is_store) {
   if (region == nullptr || !region->managed) {
     return;  // sample outside HeMem-managed memory
   }
-  if (pinned_[region]) {
-    return;  // pinned regions are not policy-managed
+  HememRegionMeta* meta = MetaOfRegion(*region);
+  if (meta == nullptr || meta->pinned) {
+    return;  // foreign or pinned regions are not policy-managed
   }
-  HememPage* page = MetaOf(region, region->PageIndexOf(va));
-  if (page == nullptr || !page->entry().present) {
+  HememPage* page = &meta->pages[region->PageIndexOf(va)];
+  if (!page->entry().present) {
     return;
   }
 
@@ -489,12 +456,16 @@ SimTime Hemem::PtScanPass(SimTime start) {
   uint64_t cleared = 0;
   SimTime work = 0;
 
-  for (auto& [region, pages] : meta_) {
-    if (pinned_[region]) {
-      continue;
+  // Regions are walked in address order (the page table keeps them sorted),
+  // matching how a real scanner walks the radix tree — and keeping the scan
+  // deterministic, unlike iteration over a pointer-keyed hash map.
+  machine_.page_table().ForEachRegion([&](Region& region) {
+    HememRegionMeta* meta = MetaOfRegion(region);
+    if (meta == nullptr || meta->pinned) {
+      return;
     }
-    scanned_bytes += region->bytes;
-    for (HememPage& page : pages) {
+    scanned_bytes += region.bytes;
+    for (HememPage& page : meta->pages) {
       PageEntry& entry = page.entry();
       if (!entry.present) {
         continue;
@@ -521,7 +492,7 @@ SimTime Hemem::PtScanPass(SimTime start) {
       entry.accessed = false;
       entry.dirty = false;
     }
-  }
+  });
 
   // Raw PTE traffic of walking the tables at tracking granularity...
   work += machine_.config().radix.ScanTime(scanned_bytes, page_bytes);

@@ -95,8 +95,6 @@ class Hemem : public TieredMemoryManager {
   const char* name() const override;
 
   uint64_t Mmap(uint64_t bytes, AllocOptions opts = {}) override;
-  void Munmap(uint64_t va) override;
-  void AccessPage(SimThread& thread, uint64_t va, uint32_t size, AccessKind kind) override;
   void Start() override;
 
   const HememParams& params() const { return params_; }
@@ -125,6 +123,16 @@ class Hemem : public TieredMemoryManager {
   };
   std::optional<PageProbe> ProbePage(uint64_t va);
 
+ protected:
+  // Skeleton hooks: the shared AccessPage handles WP stalls (with the
+  // userfaultfd round-trip cost), A/D bits, and the device charge; HeMem
+  // adds fault handling (userfaultfd/swap-in for managed regions, kernel
+  // fault for small allocations) and post-charge PEBS counting.
+  void OnMissingPage(SimThread& thread, Region& region, uint64_t index) override;
+  void OnAccessCharged(SimThread& thread, uint64_t va, PageEntry& entry,
+                       AccessKind kind) override;
+  void OnUnmapRegion(Region& region) override;
+
  private:
   friend class PebsThread;
   friend class PtScanThread;
@@ -136,6 +144,18 @@ class Hemem : public TieredMemoryManager {
     uint32_t frame = kInvalidFrame;
   };
 
+  // Region-attached metadata (lives in Region::manager_data via the base
+  // class): the page tracking array plus the placement flags that used to
+  // live in three side hash maps. Access is one indexed load, no hashing.
+  struct HememRegionMeta : RegionMetaBase {
+    std::vector<HememPage> pages;
+    bool pinned = false;
+    std::optional<Tier> preferred;  // fault-time placement hint
+  };
+
+  HememRegionMeta* MetaOfRegion(const Region& region) const {
+    return RegionMetaAs<HememRegionMeta>(region);
+  }
   HememPage* MetaOf(Region* region, uint64_t index);
 
   // Sample-path classification (called by the PEBS thread per record).
@@ -179,9 +199,6 @@ class Hemem : public TieredMemoryManager {
 
   PageList hot_[kNumTiers];
   PageList cold_[kNumTiers];
-  std::unordered_map<Region*, std::vector<HememPage>> meta_;
-  std::unordered_map<Region*, bool> pinned_;
-  std::unordered_map<Region*, Tier> preferred_;  // fault-time placement hints
   uint64_t cool_clock_ = 0;
   uint64_t dram_quota_bytes_ = 0;   // 0 = uncapped
   uint64_t dram_pages_owned_ = 0;   // this instance's DRAM-resident pages
@@ -189,7 +206,6 @@ class Hemem : public TieredMemoryManager {
   uint64_t distinct_sampled_ = 0;  // distinct pages sampled this epoch
 
   CpuCopier copier_;
-  FaultCosts fault_costs_;
   std::unique_ptr<PebsThread> pebs_thread_;
   std::unique_ptr<PtScanThread> pt_scan_thread_;
   std::unique_ptr<HememPolicyThread> policy_thread_;

@@ -1,6 +1,7 @@
 #include "mem/device.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 
 namespace hemem {
@@ -46,26 +47,48 @@ DeviceParams DeviceParams::OptaneNvm(uint64_t capacity) {
 
 MemoryDevice::MemoryDevice(DeviceParams params)
     : params_(std::move(params)), stream_last_end_(kMaxStreams, ~0ull) {
+  // ReserveChannel packs (free_time, index) into one key with 5 index bits.
+  assert(params_.read_channels >= 1 && params_.read_channels <= 32);
+  assert(params_.write_channels >= 1 && params_.write_channels <= 32);
   read_.channel_free.assign(static_cast<size_t>(params_.read_channels), 0);
+  write_.channel_free.assign(static_cast<size_t>(params_.write_channels), 0);
   read_.channel_bw = params_.read_channel_bw;
   read_.latency = params_.read_latency;
   read_.random_penalty = params_.random_read_penalty;
-  write_.channel_free.assign(static_cast<size_t>(params_.write_channels), 0);
   write_.channel_bw = params_.write_channel_bw;
   write_.latency = params_.write_latency;
   write_.random_penalty = params_.random_write_penalty;
+  read_.exposed_latency =
+      static_cast<SimTime>(static_cast<double>(read_.latency) / params_.mlp);
+  write_.exposed_latency =
+      static_cast<SimTime>(static_cast<double>(write_.latency) / params_.mlp);
+  if (std::has_single_bit(params_.media_granularity)) {
+    media_mask_ = params_.media_granularity - 1;
+  }
 }
 
 SimTime MemoryDevice::ReserveChannel(Direction& dir, SimTime start, SimTime busy) {
-  // Earliest-free channel; ties broken by index for determinism.
-  size_t best = 0;
-  for (size_t i = 1; i < dir.channel_free.size(); ++i) {
-    if (dir.channel_free[i] < dir.channel_free[best]) {
-      best = i;
-    }
+  // Earliest-free channel; ties broken by lowest index for determinism.
+  // Packing (free_time << 5 | index) turns the argmin-with-tie-break into a
+  // branchless min reduction; lossless for <= 32 channels (ctor-asserted)
+  // and free times below 2^58 ns (~9 simulated years).
+  auto& free = dir.channel_free;
+  const size_t n = free.size();
+  // Two accumulators halve the dependent-min chain; min is associative and
+  // commutative over distinct keys, so the result is unchanged.
+  uint64_t best0 = static_cast<uint64_t>(free[0]) << 5;
+  uint64_t best1 = ~0ull;
+  size_t i = 1;
+  for (; i + 1 < n; i += 2) {
+    best0 = std::min(best0, (static_cast<uint64_t>(free[i]) << 5) | i);
+    best1 = std::min(best1, (static_cast<uint64_t>(free[i + 1]) << 5) | (i + 1));
   }
-  const SimTime begin = std::max(start, dir.channel_free[best]);
-  dir.channel_free[best] = begin + busy;
+  if (i < n) {
+    best0 = std::min(best0, (static_cast<uint64_t>(free[i]) << 5) | i);
+  }
+  const uint64_t best = std::min(best0, best1);
+  const SimTime begin = std::max(start, static_cast<SimTime>(best >> 5));
+  free[best & 31] = begin + busy;
   return begin;
 }
 
@@ -81,8 +104,15 @@ SimTime MemoryDevice::Access(SimTime start, uint64_t addr, uint32_t size, Access
   const bool sequential = stream_last_end_[slot] == addr;
   stream_last_end_[slot] = addr + size;
 
-  const uint64_t media_bytes = RoundUp(std::max<uint64_t>(size, 1), params_.media_granularity);
-  SimTime busy = static_cast<SimTime>(static_cast<double>(media_bytes) / dir.channel_bw);
+  const uint64_t requested = std::max<uint64_t>(size, 1);
+  const uint64_t media_bytes = media_mask_ != 0
+                                   ? (requested + media_mask_) & ~media_mask_
+                                   : RoundUp(requested, params_.media_granularity);
+  if (media_bytes != dir.memo_media_bytes) {
+    dir.memo_media_bytes = media_bytes;
+    dir.memo_busy = static_cast<SimTime>(static_cast<double>(media_bytes) / dir.channel_bw);
+  }
+  SimTime busy = dir.memo_busy;
   if (!sequential) {
     busy += dir.random_penalty;
   }
@@ -97,7 +127,7 @@ SimTime MemoryDevice::Access(SimTime start, uint64_t addr, uint32_t size, Access
   // misses in flight.
   SimTime exposed = 0;
   if (!sequential) {
-    exposed = static_cast<SimTime>(static_cast<double>(dir.latency) / params_.mlp);
+    exposed = dir.exposed_latency;
   }
 
   if (kind == AccessKind::kLoad) {

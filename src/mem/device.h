@@ -105,12 +105,22 @@ class MemoryDevice {
     double channel_bw = 1.0;
     SimTime latency = 0;
     SimTime random_penalty = 0;
+    // Precomputed static_cast<SimTime>(latency / mlp) — constant per direction.
+    SimTime exposed_latency = 0;
+    // Memoized bytes->busy division: accesses cluster on a few sizes, so the
+    // double divide (whose exact rounding must be preserved) runs once per
+    // distinct media size instead of once per access.
+    uint64_t memo_media_bytes = ~0ull;
+    SimTime memo_busy = 0;
   };
 
   // Reserves the earliest-free channel; returns {begin, channel index}.
   SimTime ReserveChannel(Direction& dir, SimTime start, SimTime busy);
 
   DeviceParams params_;
+  // granularity - 1 when the media granularity is a power of two (the common
+  // case: 64 B DRAM lines, 256 B XPLines); 0 selects the general RoundUp.
+  uint64_t media_mask_ = 0;
   Direction read_;
   Direction write_;
   DeviceStats stats_;

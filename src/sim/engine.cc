@@ -115,13 +115,27 @@ SimTime Engine::Run(SimTime deadline) {
       last = deadline;
       continue;
     }
-    const bool alive = thread->RunSlice();
-    last = thread->now();
-    if (!alive) {
-      Finish(thread);
-      continue;
+    for (;;) {
+      const bool alive = thread->RunSlice();
+      last = thread->now();
+      if (!alive) {
+        Finish(thread);
+        break;
+      }
+      // While the thread stays strictly earliest and penalty-free, a heap
+      // round trip would pop it right back; run the next slice directly.
+      // (>= falls through to the heap so time ties keep seq order.)
+      if (thread->pending_penalty_ != 0 ||
+          (!heap_.empty() && thread->now() >= heap_.front().time)) {
+        Push(thread);
+        break;
+      }
+      if (thread->now() > deadline) {
+        Finish(thread);
+        last = deadline;
+        break;
+      }
     }
-    Push(thread);
   }
   return last;
 }

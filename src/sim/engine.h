@@ -71,6 +71,21 @@ class SimThread {
   // other thread's slice.
   void AddPenalty(SimTime ns) { pending_penalty_ += ns; }
 
+  // Per-thread software TLB: the tier layer's access skeleton caches its
+  // last translation here so repeat accesses skip the page-table walk even
+  // when threads with disjoint working sets interleave (a shared last-region
+  // cache thrashes in that case). `region` is an opaque Region* — the sim
+  // layer sits below the vm layer and never dereferences it. `epoch` is the
+  // PageTable unmap epoch at fill time; a stale epoch invalidates the slot,
+  // since only unmaps can move or free a Region.
+  struct TranslationCache {
+    uint64_t base = 0;
+    uint64_t bytes = 0;
+    void* region = nullptr;
+    uint64_t epoch = ~0ull;
+  };
+  TranslationCache& translation_cache() { return tcache_; }
+
   Engine* engine() const { return engine_; }
 
  private:
@@ -81,6 +96,7 @@ class SimThread {
   double cpu_share_;
   SimTime now_ = 0;
   SimTime pending_penalty_ = 0;
+  TranslationCache tcache_;
   Engine* engine_ = nullptr;
   bool finished_ = false;
   uint32_t stream_id_ = 0;

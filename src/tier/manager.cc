@@ -2,11 +2,106 @@
 
 namespace hemem {
 
+void TieredMemoryManager::AccessPage(SimThread& thread, uint64_t va, uint32_t size,
+                                     AccessKind kind) {
+  const PageTable::Resolution r = ResolveForAccess(thread, va);
+  assert(r.region != nullptr && "access to unmapped address");
+  PageEntry& entry = *r.entry;
+
+  if (!entry.present) [[unlikely]] {
+    OnMissingPage(thread, *r.region, r.index);
+    assert(entry.present && "OnMissingPage must map the page");
+  }
+
+  // Stores against a page whose migration is still in flight wait for the
+  // copy (reads proceed; the paper measures such pauses at < 0.00013%).
+  // Nimble's kernel gates the stall on the PTE write-protect flag — cleared
+  // by the first store even after the copy finished — while HeMem and
+  // Thermostat stall on in-flight copies directly.
+  if (kind == AccessKind::kStore &&
+      (wp_requires_flag_ ? entry.write_protected : entry.wp_until > thread.now()))
+      [[unlikely]] {
+    if (entry.wp_until > thread.now()) {
+      stats_.wp_faults++;
+      stats_.wp_wait_ns += entry.wp_until - thread.now();
+      if (wp_stall_cost_ > 0) {
+        thread.Advance(wp_stall_cost_);
+      }
+      thread.AdvanceTo(entry.wp_until);
+    }
+    entry.write_protected = false;
+  }
+
+  entry.accessed = true;  // hardware A/D bits (used by the PT-scan variants)
+  if (kind == AccessKind::kStore) {
+    entry.dirty = true;
+  }
+
+  if (tracked_hook_) [[unlikely]] {
+    OnTrackedAccess(thread, *r.region, r.index, entry, kind);
+  }
+
+  if (custom_charge_) [[unlikely]] {
+    ChargeDevice(thread, *r.region, va, entry, size, kind);
+  } else {
+    const SimTime done = machine_.device(entry.tier).Access(
+        thread.now(), PhysicalAddress(entry, va), size, kind, thread.stream_id());
+    thread.AdvanceTo(done);
+  }
+
+  if (post_charge_hook_) [[unlikely]] {
+    OnAccessCharged(thread, va, entry, kind);
+  }
+}
+
+void TieredMemoryManager::OnMissingPage(SimThread& thread, Region& region, uint64_t index) {
+  KernelFirstTouch(thread, region, region.pages[index]);
+}
+
+void TieredMemoryManager::OnTrackedAccess(SimThread&, Region&, uint64_t, PageEntry&,
+                                          AccessKind) {}
+
+void TieredMemoryManager::OnAccessCharged(SimThread&, uint64_t, PageEntry&, AccessKind) {}
+
+void TieredMemoryManager::ChargeDevice(SimThread& thread, Region&, uint64_t va,
+                                       PageEntry& entry, uint32_t size, AccessKind kind) {
+  const SimTime done = machine_.device(entry.tier).Access(
+      thread.now(), PhysicalAddress(entry, va), size, kind, thread.stream_id());
+  thread.AdvanceTo(done);
+}
+
+void TieredMemoryManager::OnUnmapRegion(Region&) {}
+
+FrameAllocator& TieredMemoryManager::FramePool(Tier tier) { return machine_.frames(tier); }
+
+Tier TieredMemoryManager::KernelFirstTouch(SimThread& thread, Region& region,
+                                           PageEntry& entry) {
+  // Kernel anonymous fault: local (DRAM) allocation first, NVM when full.
+  Tier tier = Tier::kDram;
+  std::optional<uint32_t> frame = machine_.frames(tier).Alloc();
+  if (!frame.has_value()) {
+    tier = Tier::kNvm;
+    frame = machine_.frames(tier).Alloc();
+  }
+  assert(frame.has_value() && "machine out of physical memory");
+  entry.frame = *frame;
+  entry.tier = tier;
+  entry.present = true;
+  thread.Advance(fault_costs_.kernel_fault);
+  // Zero-fill the fresh page.
+  thread.AdvanceTo(
+      machine_.device(tier).BulkTransfer(thread.now(), region.page_bytes, AccessKind::kStore));
+  stats_.missing_faults++;
+  return tier;
+}
+
 void TieredMemoryManager::Munmap(uint64_t va) {
   Region* region = machine_.page_table().Find(va);
   if (region == nullptr) {
     return;
   }
+  OnUnmapRegion(*region);
+  DetachRegionMeta(*region);
   ReleaseRegionFrames(*region);
   machine_.page_table().UnmapRegion(region->base);
 }
@@ -14,7 +109,7 @@ void TieredMemoryManager::Munmap(uint64_t va) {
 void TieredMemoryManager::ReleaseRegionFrames(Region& region) {
   for (PageEntry& entry : region.pages) {
     if (entry.present) {
-      machine_.frames(entry.tier).Free(entry.frame);
+      FramePool(entry.tier).Free(entry.frame);
       entry.present = false;
       entry.frame = kInvalidFrame;
     }

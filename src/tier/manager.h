@@ -1,4 +1,4 @@
-// Tiered-memory-manager interface.
+// Tiered-memory-manager interface and the shared per-access skeleton.
 //
 // Every tiering system in the repository — HeMem itself, hardware memory
 // mode, Nimble, X-Mem, and the plain single-tier baselines — implements this
@@ -7,13 +7,25 @@
 // placement, charges device time onto the calling logical thread, and feeds
 // whatever tracking machinery the manager uses (PEBS counters, page-table
 // A/D bits, cache tags).
+//
+// The per-access work is a template method: AccessPage's base implementation
+// performs translation (via a per-thread translation cache), missing-page
+// dispatch, write-protect stall accounting, A/D-bit updates, and the device
+// charge once, in a fixed order. Managers customize behaviour only through
+// the narrow hooks below (OnMissingPage, OnTrackedAccess, OnAccessCharged,
+// ChargeDevice, OnUnmapRegion) and must never re-implement the skeleton —
+// the hooks cannot bypass fault or WP accounting, which is what keeps every
+// manager's stats comparable and the golden equivalence tests meaningful.
 
 #ifndef HEMEM_TIER_MANAGER_H_
 #define HEMEM_TIER_MANAGER_H_
 
+#include <cassert>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
 
 #include "mem/device.h"
 #include "sim/engine.h"
@@ -43,9 +55,25 @@ struct ManagerStats {
   uint64_t managed_allocs = 0;
 };
 
+// Cost constants shared by library-level managers (HeMem, and the baselines
+// where analogous kernel paths exist).
+struct FaultCosts {
+  // userfaultfd round trip: fault -> kernel -> handler thread -> wake.
+  SimTime userfaultfd_roundtrip = 8 * kMicrosecond;
+  // kernel anonymous-page fault (no userspace round trip).
+  SimTime kernel_fault = 2 * kMicrosecond;
+};
+
 class TieredMemoryManager {
  public:
-  explicit TieredMemoryManager(Machine& machine) : machine_(machine) {}
+  explicit TieredMemoryManager(Machine& machine)
+      : machine_(machine), page_mask_(machine.page_bytes() - 1) {
+    uint64_t bytes = machine.page_bytes();
+    while (bytes > 1) {
+      bytes >>= 1;
+      page_shift_++;
+    }
+  }
   virtual ~TieredMemoryManager() = default;
 
   TieredMemoryManager(const TieredMemoryManager&) = delete;
@@ -56,16 +84,21 @@ class TieredMemoryManager {
   // Allocates a virtual range of `bytes`; returns its base address.
   virtual uint64_t Mmap(uint64_t bytes, AllocOptions opts = {}) = 0;
 
-  // Releases the region at `va` (must be a Mmap return value).
+  // Releases the region at `va` (must be a Mmap return value). Invokes
+  // OnUnmapRegion, destroys region-attached metadata exactly once, frees the
+  // region's frames, then unmaps.
   virtual void Munmap(uint64_t va);
 
   // Performs one data access on behalf of `thread`, advancing its clock.
   // Accesses may span page boundaries; they are split here so managers only
   // ever see page-contained accesses.
   void Access(SimThread& thread, uint64_t va, uint32_t size, AccessKind kind) {
-    const uint64_t page = machine_.page_bytes();
+    if ((va & page_mask_) + size <= page_mask_ + 1) [[likely]] {
+      AccessPage(thread, va, size, kind);
+      return;
+    }
     while (size > 0) {
-      const uint64_t room = page - va % page;
+      const uint64_t room = page_mask_ + 1 - (va & page_mask_);
       const auto chunk = static_cast<uint32_t>(std::min<uint64_t>(size, room));
       AccessPage(thread, va, chunk, kind);
       va += chunk;
@@ -87,23 +120,133 @@ class TieredMemoryManager {
   }
 
  protected:
-  // Single-page access implementation (va+size never crosses a page).
-  virtual void AccessPage(SimThread& thread, uint64_t va, uint32_t size, AccessKind kind) = 0;
+  // Single-page access (va+size never crosses a page). The base
+  // implementation is the shared skeleton; managers customize it through the
+  // hooks below. Only decorators (TraceRecorder) override the method itself.
+  virtual void AccessPage(SimThread& thread, uint64_t va, uint32_t size, AccessKind kind);
 
-  // Shared helper: frees every present page of a region back to its tier.
+  // ---- Hooks into the skeleton (all optional) ------------------------------
+
+  // A not-present page was touched. Must leave the entry present (or the
+  // skeleton asserts). Default: kernel anonymous first-touch, DRAM first.
+  virtual void OnMissingPage(SimThread& thread, Region& region, uint64_t index);
+
+  // Called after fault/WP/A-D handling and before the device charge, for
+  // tracking costs that gate the access itself (Thermostat's poison faults).
+  // Only invoked when `tracked_hook_` is set.
+  virtual void OnTrackedAccess(SimThread& thread, Region& region, uint64_t index,
+                               PageEntry& entry, AccessKind kind);
+
+  // Called after the device charge, for asynchronous observation of the
+  // access (HeMem's PEBS counting — the sample carries the post-access
+  // timestamp). Only invoked when `post_charge_hook_` is set.
+  virtual void OnAccessCharged(SimThread& thread, uint64_t va, PageEntry& entry,
+                               AccessKind kind);
+
+  // Replaces the default device charge (frame-translated access on the
+  // entry's tier). Only invoked when `custom_charge_` is set; MemoryMode uses
+  // it for its cache-line probing model.
+  virtual void ChargeDevice(SimThread& thread, Region& region, uint64_t va, PageEntry& entry,
+                            uint32_t size, AccessKind kind);
+
+  // Region teardown: detach any tracking state referring into the region
+  // (FIFO lists, flat page arrays). Runs before metadata destruction and
+  // frame release; the Region is still fully valid.
+  virtual void OnUnmapRegion(Region& region);
+
+  // Frame pool pages of `tier` are freed to at unmap. Default: the machine's
+  // shared allocators; managers with private pools (PlainMemory, MemoryMode)
+  // override.
+  virtual FrameAllocator& FramePool(Tier tier);
+
+  // ---- Region-attached metadata -------------------------------------------
+
+  // Managers hang per-region metadata off Region::manager_data through this
+  // base so ownership is singular: Attach stores it (keyed by region) and
+  // publishes the raw pointer in the slot; Munmap (or manager destruction)
+  // destroys it exactly once. `owner` makes the slot safe when several
+  // manager instances share one PageTable (HememDaemon): a foreign
+  // instance's metadata reads as absent, exactly like the old side-map miss.
+  struct RegionMetaBase {
+    virtual ~RegionMetaBase() = default;
+    TieredMemoryManager* owner = nullptr;
+  };
+
+  void AttachRegionMeta(Region& region, std::unique_ptr<RegionMetaBase> meta) {
+    meta->owner = this;
+    region.manager_data = meta.get();
+    region_meta_[&region] = std::move(meta);
+  }
+
+  void DetachRegionMeta(Region& region) {
+    auto* base = static_cast<RegionMetaBase*>(region.manager_data);
+    if (base != nullptr && base->owner == this) {
+      region.manager_data = nullptr;
+      region_meta_.erase(&region);
+    }
+  }
+
+  // This manager's metadata for `region`, or nullptr when the region carries
+  // none (unmanaged) or it belongs to another manager instance.
+  template <typename T>
+  T* RegionMetaAs(const Region& region) const {
+    auto* base = static_cast<RegionMetaBase*>(region.manager_data);
+    return (base != nullptr && base->owner == this) ? static_cast<T*>(base) : nullptr;
+  }
+
+  // ---- Shared helpers ------------------------------------------------------
+
+  // Translation with the per-thread software TLB: repeat accesses to the
+  // same region skip even the page table's own last-region check. Region
+  // pointers are stable until unmap, so the cached slot revalidates against
+  // the table's unmap epoch.
+  PageTable::Resolution ResolveForAccess(SimThread& thread, uint64_t va) {
+    PageTable& pt = machine_.page_table();
+    SimThread::TranslationCache& tc = thread.translation_cache();
+    Region* region;
+    if (tc.epoch == pt.unmap_epoch() && va - tc.base < tc.bytes) [[likely]] {
+      region = static_cast<Region*>(tc.region);
+    } else {
+      region = pt.Find(va);
+      if (region == nullptr) {
+        return {};
+      }
+      tc.base = region->base;
+      tc.bytes = region->bytes;
+      tc.region = region;
+      tc.epoch = pt.unmap_epoch();
+    }
+    const uint64_t index = region->PageIndexOf(va);
+    return {region, &region->pages[index], index};
+  }
+
+  // Kernel anonymous first-touch fault: DRAM-first frame, kernel-fault cost,
+  // zero-fill, missing_faults accounting. Returns the tier the page landed
+  // on so callers can do tier-specific bookkeeping.
+  Tier KernelFirstTouch(SimThread& thread, Region& region, PageEntry& entry);
+
+  // Frees every present page of a region back to FramePool(tier).
   void ReleaseRegionFrames(Region& region);
+
+  uint64_t PhysicalAddress(const PageEntry& entry, uint64_t va) const {
+    return (static_cast<uint64_t>(entry.frame) << page_shift_) | (va & page_mask_);
+  }
 
   Machine& machine_;
   ManagerStats stats_;
-};
+  FaultCosts fault_costs_;
 
-// Cost constants shared by library-level managers (HeMem, and the baselines
-// where analogous kernel paths exist).
-struct FaultCosts {
-  // userfaultfd round trip: fault -> kernel -> handler thread -> wake.
-  SimTime userfaultfd_roundtrip = 8 * kMicrosecond;
-  // kernel anonymous-page fault (no userspace round trip).
-  SimTime kernel_fault = 2 * kMicrosecond;
+  // Skeleton configuration, set once at construction by subclasses.
+  SimTime wp_stall_cost_ = 0;      // charged per WP stall (HeMem: userfaultfd)
+  bool wp_requires_flag_ = false;  // stall gated on write_protected (Nimble)
+  bool tracked_hook_ = false;      // invoke OnTrackedAccess pre-charge
+  bool post_charge_hook_ = false;  // invoke OnAccessCharged post-charge
+  bool custom_charge_ = false;     // invoke ChargeDevice instead of default
+
+ private:
+  uint64_t page_mask_;
+  uint32_t page_shift_ = 0;
+  std::unordered_map<Region*, std::unique_ptr<RegionMetaBase>> region_meta_;
 };
 
 }  // namespace hemem

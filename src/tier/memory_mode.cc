@@ -31,6 +31,11 @@ MemoryMode::MemoryMode(Machine& machine)
     : TieredMemoryManager(machine),
       num_sets_(machine.config().dram_bytes / kLineBytes),
       sample_mask_(ChooseSampleMask(num_sets_)),
+      sample_shift_(std::popcount(sample_mask_)),
+      set_shift_(std::has_single_bit(num_sets_)
+                     ? std::countr_zero(num_sets_)
+                     : -1),
+      sampled_sets_(num_sets_ >> sample_shift_),
       pool_(machine.config().nvm_bytes, machine.page_bytes(),
             /*shuffle_seed=*/0x5eed5eed5eed5eedull, /*allow_overcommit=*/false,
             // Physical fragmentation at ~1/12th-of-DRAM granularity: small
@@ -41,6 +46,7 @@ MemoryMode::MemoryMode(Machine& machine)
             std::max<uint64_t>(1, machine.config().dram_bytes / 12 /
                                       machine.page_bytes())) {
   assert(num_sets_ > 0);
+  custom_charge_ = true;
 }
 
 uint64_t MemoryMode::Mmap(uint64_t bytes, AllocOptions opts) {
@@ -59,29 +65,17 @@ uint64_t MemoryMode::Mmap(uint64_t bytes, AllocOptions opts) {
   return base;
 }
 
-void MemoryMode::Munmap(uint64_t va) {
-  Region* region = machine_.page_table().Find(va);
-  if (region == nullptr) {
-    return;
-  }
-  for (PageEntry& entry : region->pages) {
-    if (entry.present) {
-      pool_.Free(entry.frame);
-      entry.present = false;
-    }
-  }
-  machine_.page_table().UnmapRegion(region->base);
-}
-
 MemoryMode::LineOutcome MemoryMode::ProbeLine(uint64_t line_addr, bool is_store) {
   access_seq_++;
   mm_stats_.line_probes++;
-  const uint64_t set = line_addr % num_sets_;
-  const uint64_t tag = line_addr / num_sets_;
+  const uint64_t set =
+      set_shift_ >= 0 ? line_addr & (num_sets_ - 1) : line_addr % num_sets_;
+  const uint64_t tag =
+      set_shift_ >= 0 ? line_addr >> set_shift_ : line_addr / num_sets_;
 
   LineOutcome out;
   if (SetIsSampled(set)) {
-    SetState& state = sampled_sets_[set];
+    SetState& state = sampled_sets_[set >> sample_shift_];
     out.hit = state.valid && state.tag == tag;
     out.writeback = !out.hit && state.valid && state.dirty;
     state.valid = true;
@@ -112,12 +106,10 @@ MemoryMode::LineOutcome MemoryMode::ProbeLine(uint64_t line_addr, bool is_store)
   return out;
 }
 
-void MemoryMode::AccessPage(SimThread& thread, uint64_t va, uint32_t size, AccessKind kind) {
-  Region* region = machine_.page_table().Find(va);
-  assert(region != nullptr && "access to unmapped address");
-  const uint64_t page = machine_.page_bytes();
-  PageEntry& entry = region->pages[region->PageIndexOf(va)];
-  const uint64_t pa = static_cast<uint64_t>(entry.frame) * page + va % page;
+void MemoryMode::ChargeDevice(SimThread& thread, Region& region, uint64_t va,
+                              PageEntry& entry, uint32_t size, AccessKind kind) {
+  (void)region;
+  const uint64_t pa = PhysicalAddress(entry, va);
 
   // Walk the lines the access covers, classifying each against the cache.
   const uint64_t first_line = pa / kLineBytes;

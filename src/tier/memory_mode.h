@@ -23,7 +23,7 @@
 #define HEMEM_TIER_MEMORY_MODE_H_
 
 #include <cstdint>
-#include <unordered_map>
+#include <vector>
 
 #include "tier/machine.h"
 #include "tier/manager.h"
@@ -49,10 +49,15 @@ class MemoryMode : public TieredMemoryManager {
   const char* name() const override { return "MM"; }
 
   uint64_t Mmap(uint64_t bytes, AllocOptions opts = {}) override;
-  void Munmap(uint64_t va) override;
-  void AccessPage(SimThread& thread, uint64_t va, uint32_t size, AccessKind kind) override;
 
   const MemoryModeStats& mm_stats() const { return mm_stats_; }
+
+ protected:
+  // The DRAM cache replaces the flat device charge: the access is timed line
+  // by line against the direct-mapped tags instead of the home tier.
+  void ChargeDevice(SimThread& thread, Region& region, uint64_t va, PageEntry& entry,
+                    uint32_t size, AccessKind kind) override;
+  FrameAllocator& FramePool(Tier) override { return pool_; }
 
  private:
   static constexpr uint64_t kLineBytes = 64;
@@ -75,7 +80,12 @@ class MemoryMode : public TieredMemoryManager {
 
   uint64_t num_sets_;
   uint64_t sample_mask_;  // set sampled iff (set & mask) == 0
-  std::unordered_map<uint64_t, SetState> sampled_sets_;
+  int sample_shift_;      // popcount(sample_mask_): dense index of a sampled set
+  int set_shift_;         // log2(num_sets_) when a power of two, else -1
+  // Tag state for the sampled sets, indexed densely by set >> sample_shift_
+  // (the mask is contiguous low bits, so sampled sets are exactly the
+  // multiples of 2^sample_shift_). Bounded by kMaxSampledSets entries.
+  std::vector<SetState> sampled_sets_;
   // EWMA rates measured on sampled sets, applied to the rest.
   double hit_rate_ = 0.0;
   double writeback_rate_ = 0.0;

@@ -24,7 +24,11 @@ Nimble::Nimble(Machine& machine, NimbleParams params)
           static_cast<uint64_t>(static_cast<double>(params.exchange_budget_per_pass) /
                                 machine.config().label_scale),
           8 * machine.page_bytes())),
-      copier_(params.migration_threads) {}
+      copier_(params.migration_threads) {
+  // The kernel clears the PTE write-protect flag on the first store, even
+  // after the exchange copy has completed; stalls carry no extra fault cost.
+  wp_requires_flag_ = true;
+}
 
 Nimble::~Nimble() = default;
 
@@ -50,58 +54,30 @@ uint64_t Nimble::Mmap(uint64_t bytes, AllocOptions opts) {
   for (uint64_t i = 0; i < region->num_pages(); ++i) {
     pages_.push_back(PageInfo{region, i, 0});
   }
-  region_first_id_[region] = pages_.size() - region->num_pages();
+  auto meta = std::make_unique<SpanMeta>();
+  meta->first_id = pages_.size() - region->num_pages();
+  AttachRegionMeta(*region, std::move(meta));
   stats_.managed_allocs++;
   return base;
 }
 
-void Nimble::AccessPage(SimThread& thread, uint64_t va, uint32_t size, AccessKind kind) {
-  Region* region = machine_.page_table().Find(va);
-  assert(region != nullptr && "access to unmapped address");
-  const uint64_t page = machine_.page_bytes();
-  const uint64_t index = region->PageIndexOf(va);
-  PageEntry& entry = region->pages[index];
-
-  if (!entry.present) {
-    // Kernel anonymous fault: local (DRAM) allocation first, NVM when full.
-    Tier tier = Tier::kDram;
-    std::optional<uint32_t> frame = machine_.frames(tier).Alloc();
-    if (!frame.has_value()) {
-      tier = Tier::kNvm;
-      frame = machine_.frames(tier).Alloc();
-    }
-    assert(frame.has_value() && "machine out of physical memory");
-    entry.frame = *frame;
-    entry.tier = tier;
-    entry.present = true;
-    thread.Advance(fault_costs_.kernel_fault);
-    // Zero-fill the fresh page.
-    thread.AdvanceTo(machine_.device(tier).BulkTransfer(thread.now(), page,
-                                                        AccessKind::kStore));
-    stats_.missing_faults++;
-    if (tier == Tier::kDram) {
-      dram_fifo_.push_back(region_first_id_[region] + index);
-    }
+void Nimble::OnMissingPage(SimThread& thread, Region& region, uint64_t index) {
+  const Tier tier = KernelFirstTouch(thread, region, region.pages[index]);
+  if (tier == Tier::kDram) {
+    dram_fifo_.push_back(RegionMetaAs<SpanMeta>(region)->first_id + index);
   }
+}
 
-  // Writes to a page mid-migration wait for the exchange to finish.
-  if (kind == AccessKind::kStore && entry.write_protected) {
-    if (entry.wp_until > thread.now()) {
-      stats_.wp_faults++;
-      stats_.wp_wait_ns += entry.wp_until - thread.now();
-      thread.AdvanceTo(entry.wp_until);
-    }
-    entry.write_protected = false;
+void Nimble::OnUnmapRegion(Region& region) {
+  // Disconnect the flat page array from the dying region so the kernel pass
+  // (and stale dram_fifo_ ids) never chase a freed Region.
+  const SpanMeta* meta = RegionMetaAs<SpanMeta>(region);
+  if (meta == nullptr) {
+    return;
   }
-
-  entry.accessed = true;
-  if (kind == AccessKind::kStore) {
-    entry.dirty = true;
+  for (uint64_t i = 0; i < region.num_pages(); ++i) {
+    pages_[meta->first_id + i].region = nullptr;
   }
-
-  const uint64_t pa = static_cast<uint64_t>(entry.frame) * page + va % page;
-  thread.AdvanceTo(
-      machine_.device(entry.tier).Access(thread.now(), pa, size, kind, thread.stream_id()));
 }
 
 SimTime Nimble::MovePage(SimTime t, PageInfo& info, Tier dst_tier, uint32_t frame) {

@@ -28,7 +28,6 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "mem/dma.h"
@@ -54,8 +53,11 @@ class Nimble : public TieredMemoryManager {
   const char* name() const override { return "Nimble"; }
 
   uint64_t Mmap(uint64_t bytes, AllocOptions opts = {}) override;
-  void AccessPage(SimThread& thread, uint64_t va, uint32_t size, AccessKind kind) override;
   void Start() override;
+
+ protected:
+  void OnMissingPage(SimThread& thread, Region& region, uint64_t index) override;
+  void OnUnmapRegion(Region& region) override;
 
  private:
   class KernelThread;
@@ -64,6 +66,11 @@ class Nimble : public TieredMemoryManager {
     Region* region = nullptr;
     uint64_t index = 0;
     uint8_t idle_scans = 0;
+  };
+
+  // Region slot: position of the region's pages in the flat pages_ array.
+  struct SpanMeta : RegionMetaBase {
+    size_t first_id = 0;
   };
 
   // One sequential scan + migrate pass; returns its simulated duration.
@@ -80,11 +87,9 @@ class Nimble : public TieredMemoryManager {
   CpuCopier copier_;
   std::unique_ptr<KernelThread> kernel_thread_;
   std::vector<PageInfo> pages_;  // flat index over all managed pages
-  std::unordered_map<Region*, size_t> region_first_id_;
   size_t promote_cursor_ = 0;  // round-robin fairness over candidates
   // FIFO of DRAM-resident page ids, oldest first (second-chance demotion).
   std::deque<size_t> dram_fifo_;
-  FaultCosts fault_costs_;
 };
 
 }  // namespace hemem

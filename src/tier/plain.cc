@@ -26,29 +26,4 @@ uint64_t PlainMemory::Mmap(uint64_t bytes, AllocOptions opts) {
   return base;
 }
 
-void PlainMemory::Munmap(uint64_t va) {
-  Region* region = machine_.page_table().Find(va);
-  if (region == nullptr) {
-    return;
-  }
-  for (PageEntry& entry : region->pages) {
-    if (entry.present) {
-      frames_.Free(entry.frame);
-      entry.present = false;
-    }
-  }
-  machine_.page_table().UnmapRegion(region->base);
-}
-
-void PlainMemory::AccessPage(SimThread& thread, uint64_t va, uint32_t size, AccessKind kind) {
-  Region* region = machine_.page_table().Find(va);
-  assert(region != nullptr && "access to unmapped address");
-  PageEntry& entry = region->pages[region->PageIndexOf(va)];
-  const uint64_t pa =
-      static_cast<uint64_t>(entry.frame) * machine_.page_bytes() + va % machine_.page_bytes();
-  const SimTime done =
-      machine_.device(tier_).Access(thread.now(), pa, size, kind, thread.stream_id());
-  thread.AdvanceTo(done);
-}
-
 }  // namespace hemem

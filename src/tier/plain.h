@@ -24,8 +24,11 @@ class PlainMemory : public TieredMemoryManager {
   const char* name() const override { return tier_ == Tier::kDram ? "DRAM" : "NVM"; }
 
   uint64_t Mmap(uint64_t bytes, AllocOptions opts = {}) override;
-  void Munmap(uint64_t va) override;
-  void AccessPage(SimThread& thread, uint64_t va, uint32_t size, AccessKind kind) override;
+
+ protected:
+  // Pages come from (and return to) the private allocator regardless of the
+  // nominal tier, so overcommit stays local to this baseline.
+  FrameAllocator& FramePool(Tier) override { return frames_; }
 
  private:
   Tier tier_;

@@ -24,7 +24,11 @@ Thermostat::Thermostat(Machine& machine, ThermostatParams params)
                                 machine.config().label_scale),
           8 * machine.page_bytes())),
       copier_(params.copy_threads),
-      rng_(0x7e57a7) {}
+      rng_(0x7e57a7) {
+  // Poison-sampled pages need the per-access counting hook; stores stalling
+  // on an in-flight migration wait without any extra fault cost.
+  tracked_hook_ = true;
+}
 
 Thermostat::~Thermostat() = default;
 
@@ -46,52 +50,33 @@ uint64_t Thermostat::Mmap(uint64_t bytes, AllocOptions opts) {
   for (uint64_t i = 0; i < region->num_pages(); ++i) {
     pages_.push_back(PageInfo{region, i, false, 0});
   }
-  region_first_id_[region] = pages_.size() - region->num_pages();
+  auto meta = std::make_unique<SpanMeta>();
+  meta->first_id = pages_.size() - region->num_pages();
+  AttachRegionMeta(*region, std::move(meta));
   stats_.managed_allocs++;
   return base;
 }
 
-void Thermostat::AccessPage(SimThread& thread, uint64_t va, uint32_t size, AccessKind kind) {
-  Region* region = machine_.page_table().Find(va);
-  assert(region != nullptr && "access to unmapped address");
-  const uint64_t page = machine_.page_bytes();
-  const uint64_t index = region->PageIndexOf(va);
-  PageEntry& entry = region->pages[index];
-
-  if (!entry.present) {
-    Tier tier = Tier::kDram;
-    std::optional<uint32_t> frame = machine_.frames(tier).Alloc();
-    if (!frame.has_value()) {
-      tier = Tier::kNvm;
-      frame = machine_.frames(tier).Alloc();
-    }
-    assert(frame.has_value() && "machine out of physical memory");
-    entry.frame = *frame;
-    entry.tier = tier;
-    entry.present = true;
-    thread.Advance(fault_costs_.kernel_fault);
-    thread.AdvanceTo(machine_.device(tier).BulkTransfer(thread.now(), page,
-                                                        AccessKind::kStore));
-    stats_.missing_faults++;
-  }
-
-  if (kind == AccessKind::kStore && entry.wp_until > thread.now()) {
-    stats_.wp_faults++;
-    stats_.wp_wait_ns += entry.wp_until - thread.now();
-    thread.AdvanceTo(entry.wp_until);
-  }
-
-  PageInfo& info = pages_[region_first_id_[region] + index];
+void Thermostat::OnTrackedAccess(SimThread& thread, Region& region, uint64_t index,
+                                 PageEntry&, AccessKind) {
+  PageInfo& info = pages_[RegionMetaAs<SpanMeta>(region)->first_id + index];
   if (info.sampled) {
     // Poisoned base pages: every access takes a counting fault.
     info.interval_accesses++;
     tstats_.poison_faults++;
     thread.Advance(params_.poison_fault_cost);
   }
+}
 
-  const uint64_t pa = static_cast<uint64_t>(entry.frame) * page + va % page;
-  thread.AdvanceTo(
-      machine_.device(entry.tier).Access(thread.now(), pa, size, kind, thread.stream_id()));
+void Thermostat::OnUnmapRegion(Region& region) {
+  // Disconnect the flat page array (and any sampled ids) from the region.
+  const SpanMeta* meta = RegionMetaAs<SpanMeta>(region);
+  if (meta == nullptr) {
+    return;
+  }
+  for (uint64_t i = 0; i < region.num_pages(); ++i) {
+    pages_[meta->first_id + i].region = nullptr;
+  }
 }
 
 SimTime Thermostat::SamplePass(SimTime start) {

@@ -17,7 +17,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "common/rng.h"
@@ -58,7 +57,9 @@ class Thermostat : public TieredMemoryManager {
   const ThermostatStats& tstats() const { return tstats_; }
 
  protected:
-  void AccessPage(SimThread& thread, uint64_t va, uint32_t size, AccessKind kind) override;
+  void OnTrackedAccess(SimThread& thread, Region& region, uint64_t index, PageEntry& entry,
+                       AccessKind kind) override;
+  void OnUnmapRegion(Region& region) override;
 
  private:
   class SamplerThread;
@@ -68,6 +69,11 @@ class Thermostat : public TieredMemoryManager {
     uint64_t index = 0;
     bool sampled = false;
     uint32_t interval_accesses = 0;
+  };
+
+  // Region slot: position of the region's pages in the flat pages_ array.
+  struct SpanMeta : RegionMetaBase {
+    size_t first_id = 0;
   };
 
   // End-of-interval classification + migration + re-sampling; returns work.
@@ -81,9 +87,7 @@ class Thermostat : public TieredMemoryManager {
   Rng rng_;
   std::vector<PageInfo> pages_;
   std::vector<size_t> sampled_ids_;
-  std::unordered_map<Region*, size_t> region_first_id_;
   std::unique_ptr<SamplerThread> thread_;
-  FaultCosts fault_costs_;
   ThermostatStats tstats_;
 };
 

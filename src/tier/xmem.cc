@@ -40,15 +40,4 @@ uint64_t XMem::Mmap(uint64_t bytes, AllocOptions opts) {
   return base;
 }
 
-void XMem::AccessPage(SimThread& thread, uint64_t va, uint32_t size, AccessKind kind) {
-  Region* region = machine_.page_table().Find(va);
-  assert(region != nullptr && "access to unmapped address");
-  PageEntry& entry = region->pages[region->PageIndexOf(va)];
-  const uint64_t pa =
-      static_cast<uint64_t>(entry.frame) * machine_.page_bytes() + va % machine_.page_bytes();
-  const SimTime done =
-      machine_.device(entry.tier).Access(thread.now(), pa, size, kind, thread.stream_id());
-  thread.AdvanceTo(done);
-}
-
 }  // namespace hemem

@@ -28,7 +28,6 @@ class XMem : public TieredMemoryManager {
   const char* name() const override { return "X-Mem"; }
 
   uint64_t Mmap(uint64_t bytes, AllocOptions opts = {}) override;
-  void AccessPage(SimThread& thread, uint64_t va, uint32_t size, AccessKind kind) override;
 
  private:
   uint64_t large_threshold_;

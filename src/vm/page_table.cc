@@ -1,6 +1,7 @@
 #include "vm/page_table.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <memory>
 
@@ -9,11 +10,13 @@ namespace hemem {
 Region* PageTable::MapRegion(uint64_t base, uint64_t bytes, uint64_t page_bytes, bool managed,
                              std::string label) {
   assert(bytes > 0 && page_bytes > 0);
+  assert(std::has_single_bit(page_bytes));  // PageIndexOf shifts, not divides
   assert(base % page_bytes == 0);
   auto region = std::make_unique<Region>();
   region->base = base;
   region->bytes = RoundUp(bytes, page_bytes);
   region->page_bytes = page_bytes;
+  region->page_shift = static_cast<uint32_t>(std::countr_zero(page_bytes));
   region->managed = managed;
   region->label = std::move(label);
   region->pages.resize(region->bytes / page_bytes);
@@ -43,13 +46,11 @@ bool PageTable::UnmapRegion(uint64_t base) {
   }
   total_mapped_ -= (*pos)->bytes;
   regions_.erase(pos);
+  ++unmap_epoch_;
   return true;
 }
 
-Region* PageTable::Find(uint64_t va) {
-  if (last_hit_ != nullptr && va >= last_hit_->base && va < last_hit_->end()) {
-    return last_hit_;
-  }
+Region* PageTable::FindSlow(uint64_t va) {
   // upper_bound-1: the last region whose base is <= va.
   auto pos = std::upper_bound(
       regions_.begin(), regions_.end(), va,

@@ -55,14 +55,19 @@ struct Region {
   uint64_t base = 0;
   uint64_t bytes = 0;
   uint64_t page_bytes = 0;
+  uint32_t page_shift = 0;  // log2(page_bytes); page sizes are powers of two
   // True when the region is under tiered management (vs. left to the kernel).
   bool managed = true;
+  // Opaque per-region slot for the owning tiering manager's metadata (HeMem
+  // hangs its HememPage vector here). The PageTable never touches it; the
+  // manager that sets it is responsible for releasing it before unmap.
+  void* manager_data = nullptr;
   std::string label;
   std::vector<PageEntry> pages;
 
   uint64_t end() const { return base + bytes; }
   uint64_t num_pages() const { return pages.size(); }
-  uint64_t PageIndexOf(uint64_t va) const { return (va - base) / page_bytes; }
+  uint64_t PageIndexOf(uint64_t va) const { return (va - base) >> page_shift; }
 };
 
 class PageTable {
@@ -75,11 +80,40 @@ class PageTable {
   // Removes the region starting at `base`; returns false if absent.
   bool UnmapRegion(uint64_t base);
 
-  // Region containing va, or nullptr. Cached for repeat lookups.
-  Region* Find(uint64_t va);
+  // Region containing va, or nullptr. Cached for repeat lookups; the cache
+  // check stays inline so the common case costs one compare.
+  Region* Find(uint64_t va) {
+    // Unsigned wraparound folds the two range checks into one compare.
+    if (last_hit_ != nullptr && va - last_hit_->base < last_hit_->bytes) {
+      return last_hit_;
+    }
+    return FindSlow(va);
+  }
+
+  // One-step translation for the access hot path: region, page entry, and
+  // page index together. `region` is nullptr for unmapped addresses.
+  struct Resolution {
+    Region* region = nullptr;
+    PageEntry* entry = nullptr;
+    uint64_t index = 0;
+  };
+  Resolution Resolve(uint64_t va) {
+    Region* region = Find(va);
+    if (region == nullptr) {
+      return {};
+    }
+    const uint64_t index = region->PageIndexOf(va);
+    return {region, &region->pages[index], index};
+  }
 
   // Entry for va (region must exist). Never returns nullptr for mapped vas.
   PageEntry* Lookup(uint64_t va);
+
+  // Bumped on every UnmapRegion. Region pointers are stable across MapRegion
+  // (only unmap invalidates them), so callers holding cached translations —
+  // the per-thread translation caches in SimThread — revalidate by comparing
+  // this epoch instead of registering for callbacks.
+  uint64_t unmap_epoch() const { return unmap_epoch_; }
 
   // Iterates over all regions (managed and not).
   void ForEachRegion(const std::function<void(Region&)>& fn);
@@ -91,10 +125,13 @@ class PageTable {
   uint64_t ReserveVa(uint64_t bytes, uint64_t align);
 
  private:
+  Region* FindSlow(uint64_t va);
+
   std::vector<std::unique_ptr<Region>> regions_;  // sorted by base
   Region* last_hit_ = nullptr;
   uint64_t next_va_ = 1ull << 40;  // arbitrary userspace heap base
   uint64_t total_mapped_ = 0;
+  uint64_t unmap_epoch_ = 0;
 };
 
 // Timing model for walking/scanning a 4-level radix page table.

@@ -1,0 +1,144 @@
+// Access-path equivalence goldens.
+//
+// Runs one fixed-seed GUPS-style workload (single thread, hot/cold mix,
+// loads and stores, faults, migrations) against every tiering manager and
+// asserts that the final virtual time and the full ManagerStats match values
+// recorded before the shared access-path skeleton was introduced. Any
+// semantic drift on the hot path — a reordered fault step, a lost WP stall,
+// a changed device charge — shows up here as a changed fingerprint.
+//
+// Regenerating goldens (only when an *intentional* behavior change lands):
+//   HEMEM_PRINT_GOLDEN=1 ./access_golden_test --gtest_filter='*Fingerprint*'
+// and paste the printed table over kGolden below.
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/hemem.h"
+#include "test_util.h"
+#include "tier/memory_mode.h"
+#include "tier/nimble.h"
+#include "tier/plain.h"
+#include "tier/thermostat.h"
+#include "tier/xmem.h"
+
+namespace hemem {
+namespace {
+
+struct Fingerprint {
+  const char* system;
+  SimTime end_ns;
+  uint64_t missing_faults;
+  uint64_t wp_faults;
+  SimTime wp_wait_ns;
+  uint64_t pages_promoted;
+  uint64_t pages_demoted;
+  uint64_t bytes_migrated;
+  uint64_t small_allocs;
+  uint64_t managed_allocs;
+};
+
+std::unique_ptr<TieredMemoryManager> MakeSystem(const std::string& kind, Machine& machine) {
+  if (kind == "DRAM") {
+    return std::make_unique<PlainMemory>(machine, Tier::kDram, /*overcommit=*/true);
+  }
+  if (kind == "MM") {
+    return std::make_unique<MemoryMode>(machine);
+  }
+  if (kind == "Nimble") {
+    return std::make_unique<Nimble>(machine);
+  }
+  if (kind == "X-Mem") {
+    return std::make_unique<XMem>(machine);
+  }
+  if (kind == "Thermostat") {
+    return std::make_unique<Thermostat>(machine);
+  }
+  HememParams params;
+  if (kind == "HeMem-PT-Sync") {
+    params.scan_mode = HememParams::ScanMode::kPtSync;
+  }
+  return std::make_unique<Hemem>(machine, params);
+}
+
+// Fixed-seed workload: 300k single-thread ops over 128 MiB, 90% of them into
+// a 16 MiB hot prefix, every third op a store, 15 ns compute between ops.
+Fingerprint RunCase(const std::string& system) {
+  constexpr uint64_t kWorkingSet = MiB(128);
+  constexpr uint64_t kHotSet = MiB(16);
+  constexpr uint64_t kOps = 300'000;
+
+  Machine machine(TinyMachineConfig());
+  std::unique_ptr<TieredMemoryManager> manager = MakeSystem(system, machine);
+  manager->Start();
+  const uint64_t va = manager->Mmap(kWorkingSet, {.label = "golden"});
+
+  Rng access_rng(0xbeefull);
+  uint64_t op = 0;
+  ScriptThread thread([&](ScriptThread& self) mutable {
+    const bool hot = access_rng.NextBool(0.9);
+    const uint64_t span = hot ? kHotSet : kWorkingSet;
+    const uint64_t offset = access_rng.NextBounded(span / 64) * 64;
+    const AccessKind kind = op % 3 == 0 ? AccessKind::kStore : AccessKind::kLoad;
+    manager->Access(self, va + offset, 64, kind);
+    self.Advance(15);
+    return ++op < kOps;
+  });
+  machine.engine().AddThread(&thread);
+  const SimTime end = machine.engine().Run();
+
+  const ManagerStats& s = manager->stats();
+  return Fingerprint{"", end,        s.missing_faults, s.wp_faults,
+                     s.wp_wait_ns,   s.pages_promoted, s.pages_demoted,
+                     s.bytes_migrated, s.small_allocs, s.managed_allocs};
+}
+
+// Recorded at the pre-refactor seed (PR 1), RelWithDebInfo, GCC container.
+// The simulator is deterministic, so these are exact.
+constexpr Fingerprint kGolden[] = {
+    {"DRAM", 14999950, 0, 0, 0, 0, 0, 0, 0, 1},
+    {"MM", 36022983, 0, 0, 0, 0, 0, 0, 0, 1},
+    {"Nimble", 168879376, 128, 75, 4297433, 858, 858, 1799356416, 0, 1},
+    {"X-Mem", 49699834, 0, 0, 0, 0, 0, 0, 0, 1},
+    {"Thermostat", 61440037, 128, 36, 2728058, 39, 151, 199229440, 0, 1},
+    {"HeMem", 62100003, 128, 28, 11348247, 15, 81, 100663296, 0, 1},
+    {"HeMem-PT-Sync", 67156299, 128, 45, 23382973, 49, 115, 171966464, 0, 1},
+};
+
+TEST(AccessGolden, FingerprintMatchesPreRefactorRecording) {
+  const bool print = std::getenv("HEMEM_PRINT_GOLDEN") != nullptr;
+  for (const Fingerprint& golden : kGolden) {
+    const Fingerprint actual = RunCase(golden.system);
+    if (print) {
+      std::printf("    {\"%s\", %lld, %llu, %llu, %lld, %llu, %llu, %llu, %llu, %llu},\n",
+                  golden.system, static_cast<long long>(actual.end_ns),
+                  static_cast<unsigned long long>(actual.missing_faults),
+                  static_cast<unsigned long long>(actual.wp_faults),
+                  static_cast<long long>(actual.wp_wait_ns),
+                  static_cast<unsigned long long>(actual.pages_promoted),
+                  static_cast<unsigned long long>(actual.pages_demoted),
+                  static_cast<unsigned long long>(actual.bytes_migrated),
+                  static_cast<unsigned long long>(actual.small_allocs),
+                  static_cast<unsigned long long>(actual.managed_allocs));
+      continue;
+    }
+    SCOPED_TRACE(golden.system);
+    EXPECT_EQ(actual.end_ns, golden.end_ns);
+    EXPECT_EQ(actual.missing_faults, golden.missing_faults);
+    EXPECT_EQ(actual.wp_faults, golden.wp_faults);
+    EXPECT_EQ(actual.wp_wait_ns, golden.wp_wait_ns);
+    EXPECT_EQ(actual.pages_promoted, golden.pages_promoted);
+    EXPECT_EQ(actual.pages_demoted, golden.pages_demoted);
+    EXPECT_EQ(actual.bytes_migrated, golden.bytes_migrated);
+    EXPECT_EQ(actual.small_allocs, golden.small_allocs);
+    EXPECT_EQ(actual.managed_allocs, golden.managed_allocs);
+  }
+}
+
+}  // namespace
+}  // namespace hemem

@@ -1,0 +1,136 @@
+// Regression tests for region teardown while tracking state is live.
+//
+// Munmap must release region-attached metadata exactly once and leave no
+// dangling HememPage* on the hot/cold FIFO lists: the policy and PEBS
+// threads keep running after the unmap and would chase freed pointers
+// otherwise. The ASan CI job turns any such dangle into a hard failure.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/hemem.h"
+#include "test_util.h"
+
+namespace hemem {
+namespace {
+
+uint64_t TotalListedPages(const Hemem& hemem) {
+  return hemem.hot_pages(Tier::kDram) + hemem.hot_pages(Tier::kNvm) +
+         hemem.cold_pages(Tier::kDram) + hemem.cold_pages(Tier::kNvm);
+}
+
+// Hammer a small region until PEBS classification puts pages on the hot
+// lists, then unmap it mid-run and keep the simulation going on a second
+// region so the background threads get every chance to touch stale state.
+TEST(MunmapSafety, UnmapWithPagesOnHotListDetachesThem) {
+  Machine machine(TinyMachineConfig());
+  Hemem hemem(machine);
+  hemem.Start();
+
+  const uint64_t doomed = hemem.Mmap(MiB(8), {.label = "doomed"});
+  const uint64_t survivor = hemem.Mmap(MiB(8), {.label = "survivor"});
+
+  Rng rng(0xdeadull);
+  uint64_t op = 0;
+  constexpr uint64_t kHeatOps = 200'000;
+  constexpr uint64_t kAfterOps = 100'000;
+  bool unmapped = false;
+  ScriptThread thread([&](ScriptThread& self) {
+    if (op < kHeatOps) {
+      // Phase 1: heat both regions so pages reach the hot lists.
+      const uint64_t base = (op & 1) == 0 ? doomed : survivor;
+      const uint64_t offset = rng.NextBounded(MiB(8) / 64) * 64;
+      hemem.Access(self, base + offset, 64, AccessKind::kStore);
+    } else {
+      if (!unmapped) {
+        EXPECT_GT(TotalListedPages(hemem), 0u);
+        hemem.Munmap(doomed);
+        unmapped = true;
+        // Every tracked page of the doomed region must be off the lists; the
+        // survivor still has at most 8 tracked pages.
+        EXPECT_LE(TotalListedPages(hemem), MiB(8) / machine.page_bytes());
+        EXPECT_FALSE(hemem.ProbePage(doomed).has_value());
+      }
+      // Phase 2: keep the policy/PEBS threads busy after the unmap.
+      const uint64_t offset = rng.NextBounded(MiB(8) / 64) * 64;
+      hemem.Access(self, survivor + offset, 64, AccessKind::kLoad);
+    }
+    self.Advance(20);
+    return ++op < kHeatOps + kAfterOps;
+  });
+  machine.engine().AddThread(&thread);
+  machine.engine().Run();
+
+  EXPECT_TRUE(unmapped);
+  EXPECT_TRUE(hemem.ProbePage(survivor).has_value());
+  hemem.Munmap(survivor);
+  EXPECT_EQ(TotalListedPages(hemem), 0u);
+}
+
+// Unmapping and immediately remapping must not resurrect stale metadata:
+// the fresh region starts with zeroed counters even if the allocator hands
+// back the same virtual range or Region storage.
+TEST(MunmapSafety, RemapAfterUnmapStartsCold) {
+  Machine machine(TinyMachineConfig());
+  Hemem hemem(machine);
+  hemem.Start();
+
+  const uint64_t va = hemem.Mmap(MiB(4), {.label = "a"});
+  uint64_t op = 0;
+  ScriptThread thread([&](ScriptThread& self) {
+    hemem.Access(self, va + (op % 64) * KiB(64), 64, AccessKind::kStore);
+    self.Advance(20);
+    return ++op < 50'000;
+  });
+  machine.engine().AddThread(&thread);
+  machine.engine().Run();
+
+  hemem.Munmap(va);
+  const uint64_t va2 = hemem.Mmap(MiB(4), {.label = "b"});
+  const auto probe = hemem.ProbePage(va2);
+  if (probe.has_value()) {
+    EXPECT_EQ(probe->reads, 0u);
+    EXPECT_EQ(probe->writes, 0u);
+    EXPECT_FALSE(probe->on_hot_list);
+  }
+  hemem.Munmap(va2);
+}
+
+// Double-unmap of distinct regions releases each exactly once (no crash, no
+// double free of frames): exercised indirectly by unmapping many regions in
+// LIFO and FIFO order under ASan.
+TEST(MunmapSafety, ManyRegionsReleaseCleanly) {
+  Machine machine(TinyMachineConfig());
+  Hemem hemem(machine);
+  hemem.Start();
+
+  std::vector<uint64_t> regions;
+  for (int i = 0; i < 8; ++i) {
+    regions.push_back(hemem.Mmap(MiB(2), {.label = "r"}));
+  }
+  uint64_t op = 0;
+  ScriptThread thread([&](ScriptThread& self) {
+    hemem.Access(self, regions[op % regions.size()] + (op % 32) * KiB(64), 64,
+                 AccessKind::kStore);
+    self.Advance(20);
+    return ++op < 50'000;
+  });
+  machine.engine().AddThread(&thread);
+  machine.engine().Run();
+
+  // FIFO half, then LIFO half.
+  hemem.Munmap(regions[0]);
+  hemem.Munmap(regions[1]);
+  hemem.Munmap(regions[2]);
+  hemem.Munmap(regions[3]);
+  hemem.Munmap(regions[7]);
+  hemem.Munmap(regions[6]);
+  hemem.Munmap(regions[5]);
+  hemem.Munmap(regions[4]);
+  EXPECT_EQ(TotalListedPages(hemem), 0u);
+}
+
+}  // namespace
+}  // namespace hemem
