@@ -14,12 +14,14 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "core/hemem.h"
+#include "obs/report.h"
 #include "tier/machine.h"
 #include "tier/manager.h"
 #include "tier/memory_mode.h"
@@ -116,6 +118,21 @@ inline MachineConfig GupsMachine() {
 // Paper-equivalent GiB -> machine bytes at the GUPS scale.
 inline uint64_t PaperGiB(double gib, double scale = kGupsScale) {
   return static_cast<uint64_t>(gib * 1024.0 * 1024.0 * 1024.0 / scale);
+}
+
+// Machine-readable bench reports: when HEMEM_REPORT_DIR is set, writes
+// $HEMEM_REPORT_DIR/<id>.json with the machine's full metrics snapshot —
+// the JSON twin of whatever cells the bench printed. Callers pick ids that
+// identify the sweep point; a repeated id overwrites the earlier file.
+inline void MaybeWriteReport(Machine& machine, const std::string& id,
+                             obs::ReportMeta meta = {}) {
+  const char* dir = std::getenv("HEMEM_REPORT_DIR");
+  if (dir == nullptr || *dir == '\0') {
+    return;
+  }
+  meta.emplace_back("id", id);
+  obs::WriteRunReport(std::string(dir) + "/" + id + ".json",
+                      machine.metrics().Snapshot(), /*sampler=*/nullptr, meta);
 }
 
 // ---------------------------------------------------------------------------

@@ -53,6 +53,7 @@ inline GupsRunOutput RunGupsSystem(const std::string& system, GupsConfig config,
   out.pages_demoted = manager->stats().pages_demoted;
   out.pebs_drop_rate = machine.pebs().stats().DropRate();
   out.series = gups.series().buckets();
+  MaybeWriteReport(machine, "gups-" + system, {{"workload", "gups"}});
   return out;
 }
 

@@ -5,6 +5,7 @@
 #ifndef HEMEM_COMMON_TIME_SERIES_H_
 #define HEMEM_COMMON_TIME_SERIES_H_
 
+#include <algorithm>
 #include <cstddef>
 #include <vector>
 
@@ -25,23 +26,41 @@ class TimeSeries {
       buckets_.resize(idx + 1, 0.0);
     }
     buckets_[idx] += value;
+    last_time_ = std::max(last_time_, t);
   }
 
-  // Value per bucket divided by the bucket width in seconds (a rate).
-  std::vector<double> RatePerSecond() const {
+  // Value per bucket divided by that bucket's observed width in seconds (a
+  // rate). Interior buckets span the full bucket width; the final bucket is
+  // clamped to `end` — or, when no `end` is given, to the last recorded
+  // time — so a run that stops mid-bucket is not understated. An `end`
+  // at or before the final bucket's start degrades to a 1 ns width rather
+  // than dividing by zero.
+  std::vector<double> RatePerSecond(SimTime end = -1) const {
     std::vector<double> out(buckets_.size());
+    if (buckets_.empty()) {
+      return out;
+    }
     const double seconds = static_cast<double>(bucket_width_) / static_cast<double>(kSecond);
-    for (size_t i = 0; i < buckets_.size(); ++i) {
+    for (size_t i = 0; i + 1 < buckets_.size(); ++i) {
       out[i] = buckets_[i] / seconds;
     }
+    const size_t last = buckets_.size() - 1;
+    const SimTime bucket_start = static_cast<SimTime>(last) * bucket_width_;
+    const SimTime observed_end = end >= 0 ? end : last_time_;
+    const SimTime width =
+        std::clamp<SimTime>(observed_end - bucket_start, 1, bucket_width_);
+    out[last] = buckets_[last] / (static_cast<double>(width) / static_cast<double>(kSecond));
     return out;
   }
 
   const std::vector<double>& buckets() const { return buckets_; }
   SimTime bucket_width() const { return bucket_width_; }
+  // Largest time seen by Record (0 when nothing has been recorded).
+  SimTime last_time() const { return last_time_; }
 
  private:
   SimTime bucket_width_;
+  SimTime last_time_ = 0;
   std::vector<double> buckets_;
 };
 

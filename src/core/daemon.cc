@@ -9,16 +9,31 @@ class HememDaemon::DaemonThread : public PeriodicThread {
   DaemonThread(HememDaemon& owner, SimTime period)
       : PeriodicThread("hemem-daemon", period, /*cpu_share=*/0.1), owner_(owner) {}
 
-  SimTime Tick() override { return owner_.Rebalance(); }
+  SimTime Tick() override {
+    const SimTime work = owner_.Rebalance();
+    obs::EventTracer& tracer = owner_.machine_.tracer();
+    if (tracer.enabled()) {
+      tracer.Duration(owner_.trace_track_, "rebalance", "daemon", now(),
+                      now() + work,
+                      {{"instances", static_cast<double>(owner_.instances_.size())}});
+    }
+    return work;
+  }
 
  private:
   HememDaemon& owner_;
 };
 
 HememDaemon::HememDaemon(Machine& machine, DaemonParams params)
-    : machine_(machine), params_(params) {}
+    : machine_(machine), params_(params) {
+  trace_track_ = machine.tracer().RegisterTrack("daemon");
+  machine.metrics().AddProvider(this, [this](obs::MetricsEmitter& e) {
+    e.Emit("daemon.rebalances", stats_.rebalances);
+    e.Emit("daemon.instances", static_cast<uint64_t>(instances_.size()));
+  });
+}
 
-HememDaemon::~HememDaemon() = default;
+HememDaemon::~HememDaemon() { machine_.metrics().RemoveOwner(this); }
 
 void HememDaemon::Attach(Hemem* instance) { instances_.push_back(instance); }
 

@@ -32,6 +32,7 @@ struct DaemonStats {
 class HememDaemon {
  public:
   HememDaemon(Machine& machine, DaemonParams params = DaemonParams{});
+  // Unregisters the daemon's metrics provider from the machine.
   ~HememDaemon();
 
   // Registers a per-process instance (non-owning; caller keeps it alive).
@@ -54,6 +55,7 @@ class HememDaemon {
   std::vector<Hemem*> instances_;
   std::unique_ptr<DaemonThread> thread_;
   DaemonStats stats_;
+  uint32_t trace_track_ = 0;
 };
 
 }  // namespace hemem

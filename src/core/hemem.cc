@@ -53,6 +53,25 @@ Hemem::Hemem(Machine& machine, HememParams params)
   wp_stall_cost_ = fault_costs_.userfaultfd_roundtrip;
   post_charge_hook_ = params_.scan_mode == ScanMode::kPebs;
   drain_buf_.reserve(4096);
+
+  trace_policy_track_ = machine.tracer().RegisterTrack("hemem.policy");
+  trace_sampling_track_ = machine.tracer().RegisterTrack("hemem.sampling");
+  machine.metrics().AddProvider(this, [this](obs::MetricsEmitter& e) {
+    e.Emit("hemem.samples_processed", hstats_.samples_processed);
+    e.Emit("hemem.cooling_epochs", hstats_.cooling_epochs);
+    e.Emit("hemem.pt_scans", hstats_.pt_scans);
+    e.Emit("hemem.policy_passes", hstats_.policy_passes);
+    e.Emit("hemem.promotion_stalls", hstats_.promotion_stalls);
+    e.Emit("hemem.pages_swapped_out", hstats_.pages_swapped_out);
+    e.Emit("hemem.pages_swapped_in", hstats_.pages_swapped_in);
+    e.Emit("hemem.cool_clock", cool_clock_);
+    e.Emit("hemem.dram_usage_bytes", dram_usage());
+    e.Emit("hemem.dram_quota_bytes", dram_quota_bytes_);
+    e.Emit("hemem.hot_pages.dram", hot_pages(Tier::kDram));
+    e.Emit("hemem.hot_pages.nvm", hot_pages(Tier::kNvm));
+    e.Emit("hemem.cold_pages.dram", cold_pages(Tier::kDram));
+    e.Emit("hemem.cold_pages.nvm", cold_pages(Tier::kNvm));
+  });
 }
 
 Hemem::~Hemem() = default;
@@ -265,6 +284,8 @@ void Hemem::HandleSwapInFault(SimThread& thread, Region& region, uint64_t index)
 
 SimTime Hemem::SwapOutColdPages(SimTime t, uint64_t* budget) {
   BlockDevice* disk = machine_.swap();
+  const SimTime swap_start = t;
+  const uint64_t swapped_before = hstats_.pages_swapped_out;
   const uint64_t page_bytes = machine_.page_bytes();
   FrameAllocator& nvm_frames = machine_.frames(Tier::kNvm);
   const int nvm = static_cast<int>(Tier::kNvm);
@@ -290,6 +311,11 @@ SimTime Hemem::SwapOutColdPages(SimTime t, uint64_t* budget) {
     entry.swapped = true;
     *budget -= page_bytes;
     hstats_.pages_swapped_out++;
+  }
+  if (hstats_.pages_swapped_out != swapped_before && machine_.tracer().enabled()) {
+    machine_.tracer().Duration(
+        trace_policy_track_, "swap_out", "hemem", swap_start, t,
+        {{"pages", static_cast<double>(hstats_.pages_swapped_out - swapped_before)}});
   }
   return t;
 }
@@ -323,7 +349,7 @@ void Hemem::OnAccessCharged(SimThread& thread, uint64_t va, PageEntry& entry,
   machine_.pebs().CountAccess(thread.now(), va, event, thread.stream_id());
 }
 
-void Hemem::NoteSampleForCooling(HememPage* page) {
+void Hemem::NoteSampleForCooling(HememPage* page, SimTime t) {
   // Cooling epoch trigger. The paper advances the clock "once any page
   // accumulates [the cooling threshold] of sampled accesses"; for uniform
   // hot sets that makes a typical page accrue ~the threshold per epoch. We
@@ -343,6 +369,10 @@ void Hemem::NoteSampleForCooling(HememPage* page) {
     hstats_.cooling_epochs++;
     samples_since_cool_ = 0;
     distinct_sampled_ = 0;
+    if (machine_.tracer().enabled()) {
+      machine_.tracer().Instant(trace_sampling_track_, "cooling_epoch", "hemem",
+                                t, {{"cool_clock", static_cast<double>(cool_clock_)}});
+    }
     CoolPage(page);
   }
 }
@@ -405,7 +435,7 @@ void Hemem::Classify(HememPage* page) {
   }
 }
 
-void Hemem::OnSample(uint64_t va, bool is_store) {
+void Hemem::OnSample(uint64_t va, bool is_store, SimTime t) {
   Region* region = machine_.page_table().Find(va);
   if (region == nullptr || !region->managed) {
     return;  // sample outside HeMem-managed memory
@@ -428,28 +458,33 @@ void Hemem::OnSample(uint64_t va, bool is_store) {
   } else {
     page->reads++;
   }
-  NoteSampleForCooling(page);
+  NoteSampleForCooling(page, t);
   Classify(page);
   hstats_.samples_processed++;
 }
 
 SimTime Hemem::DrainPebs(SimTime start) {
-  (void)start;
   PebsBuffer& pebs = machine_.pebs();
   SimTime work = 0;
+  uint64_t drained = 0;
   while (pebs.pending() > 0) {
     drain_buf_.clear();
     const size_t n = pebs.Drain(drain_buf_, 4096);
+    drained += n;
     for (const PebsRecord& record : drain_buf_) {
-      OnSample(record.va, record.event == PebsEvent::kStore);
+      OnSample(record.va, record.event == PebsEvent::kStore, record.time);
     }
     work += static_cast<SimTime>(n) * params_.per_sample_cost;
+  }
+  if (drained > 0 && machine_.tracer().enabled()) {
+    machine_.tracer().Duration(trace_sampling_track_, "pebs_drain", "hemem",
+                               start, start + work,
+                               {{"records", static_cast<double>(drained)}});
   }
   return work;
 }
 
 SimTime Hemem::PtScanPass(SimTime start) {
-  (void)start;
   hstats_.pt_scans++;
   const uint64_t page_bytes = machine_.page_bytes();
   uint64_t scanned_bytes = 0;
@@ -487,7 +522,7 @@ SimTime Hemem::PtScanPass(SimTime start) {
       } else {
         page.reads++;
       }
-      NoteSampleForCooling(&page);
+      NoteSampleForCooling(&page, start);
       Classify(&page);
       entry.accessed = false;
       entry.dirty = false;
@@ -499,6 +534,12 @@ SimTime Hemem::PtScanPass(SimTime start) {
   // ...plus clearing A/D bits, which costs TLB shootdowns felt by the app.
   work += machine_.config().radix.ClearCost(cleared, machine_.engine().cores() - 1);
   machine_.tlb().ShootdownBatch(machine_.engine(), nullptr, CeilDiv(cleared, 512));
+  if (machine_.tracer().enabled()) {
+    machine_.tracer().Duration(trace_sampling_track_, "pt_scan", "hemem", start,
+                               start + work,
+                               {{"scanned_bytes", static_cast<double>(scanned_bytes)},
+                                {"pages_cleared", static_cast<double>(cleared)}});
+  }
   return work;
 }
 
@@ -550,12 +591,20 @@ SimTime Hemem::MigrateBatch(SimTime t, std::vector<Migration>& batch) {
   // Remaps are batched under one shootdown.
   machine_.tlb().ShootdownBatch(machine_.engine(), nullptr, 1);
   done += machine_.tlb().params().initiator_cost;
+  if (machine_.tracer().enabled()) {
+    machine_.tracer().Duration(
+        trace_policy_track_,
+        batch[0].dst == Tier::kDram ? "migrate_promote" : "migrate_demote",
+        "hemem", t, done, {{"pages", static_cast<double>(batch.size())}});
+  }
   batch.clear();
   return done;
 }
 
 SimTime Hemem::PolicyPass(SimTime start) {
   hstats_.policy_passes++;
+  const uint64_t promoted_before = stats_.pages_promoted;
+  const uint64_t demoted_before = stats_.pages_demoted;
   const uint64_t page_bytes = machine_.page_bytes();
   const int dram = static_cast<int>(Tier::kDram);
   const int nvm = static_cast<int>(Tier::kNvm);
@@ -684,6 +733,12 @@ SimTime Hemem::PolicyPass(SimTime start) {
       budget -= page_bytes;
     }
     t = MigrateBatch(t, batch);
+  }
+  if (machine_.tracer().enabled()) {
+    machine_.tracer().Duration(
+        trace_policy_track_, "policy_pass", "hemem", start, t,
+        {{"promoted", static_cast<double>(stats_.pages_promoted - promoted_before)},
+         {"demoted", static_cast<double>(stats_.pages_demoted - demoted_before)}});
   }
   return t - start;
 }

@@ -158,10 +158,11 @@ class Hemem : public TieredMemoryManager {
   }
   HememPage* MetaOf(Region* region, uint64_t index);
 
-  // Sample-path classification (called by the PEBS thread per record).
-  void OnSample(uint64_t va, bool is_store);
+  // Sample-path classification (called by the PEBS thread per record); `t`
+  // is the sample's observation time (record timestamp / scan-pass start).
+  void OnSample(uint64_t va, bool is_store, SimTime t);
   // Epoch accounting for one sample; may advance the global cooling clock.
-  void NoteSampleForCooling(HememPage* page);
+  void NoteSampleForCooling(HememPage* page, SimTime t);
   // Lazily applies missed cooling epochs to the page.
   void CoolPage(HememPage* page);
   // Unlinks the page from whichever list currently holds it.
@@ -217,6 +218,12 @@ class Hemem : public TieredMemoryManager {
 
   std::vector<PebsRecord> drain_buf_;
   HememStats hstats_;
+
+  // Trace tracks (registered at construction; events gated on the tracer's
+  // enabled flag). Policy: migrations, swap-out, policy passes. Sampling:
+  // PEBS drains, PT scans, cooling epochs.
+  uint32_t trace_policy_track_ = 0;
+  uint32_t trace_sampling_track_ = 0;
 };
 
 }  // namespace hemem

@@ -4,6 +4,8 @@
 #include <bit>
 #include <cassert>
 
+#include "obs/trace.h"
+
 namespace hemem {
 
 DeviceParams DeviceParams::Dram(uint64_t capacity) {
@@ -156,6 +158,12 @@ SimTime MemoryDevice::BulkTransfer(SimTime start, uint64_t bytes, AccessKind kin
   } else {
     stats_.bytes_requested_written += bytes;
     stats_.media_bytes_written += bytes;
+  }
+  if (tracer_ != nullptr) [[unlikely]] {
+    tracer_->Duration(trace_track_,
+                      kind == AccessKind::kLoad ? "bulk_read" : "bulk_write",
+                      "device", begin, begin + busy,
+                      {{"bytes", static_cast<double>(bytes)}});
   }
   return begin + busy;
 }

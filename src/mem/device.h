@@ -31,6 +31,10 @@
 
 namespace hemem {
 
+namespace obs {
+class EventTracer;
+}
+
 enum class AccessKind : uint8_t { kLoad, kStore };
 
 struct DeviceParams {
@@ -97,6 +101,15 @@ class MemoryDevice {
   void ResetStats() { stats_ = DeviceStats{}; }
   uint64_t capacity() const { return params_.capacity; }
 
+  // Observability: with a tracer attached, bulk transfers (migration and
+  // zero-fill traffic) emit channel-busy intervals onto `track`. Per-access
+  // tracing is deliberately absent — Access() is the simulator's hottest
+  // function and must not grow even a dead branch when tracing is off.
+  void SetTracer(obs::EventTracer* tracer, uint32_t track) {
+    tracer_ = tracer;
+    trace_track_ = track;
+  }
+
  private:
   static constexpr int kMaxStreams = 512;
 
@@ -124,6 +137,8 @@ class MemoryDevice {
   Direction read_;
   Direction write_;
   DeviceStats stats_;
+  obs::EventTracer* tracer_ = nullptr;
+  uint32_t trace_track_ = 0;
   // Sequential-stream detector: last end-address per stream and direction.
   std::vector<uint64_t> stream_last_end_;
 };

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/trace.h"
+
 namespace hemem {
 
 namespace {
@@ -35,6 +37,7 @@ SimTime DmaEngine::CopyBatch(SimTime start, std::span<const CopyRequest> batch,
   }
 
   const SimTime issue = start + params_.submit_overhead;
+  const uint64_t bytes_before = stats_.bytes_copied;
   SimTime done = issue;
   // Requests round-robin over the selected engine channels; each request is
   // limited by the slowest of: its engine channel, source read bandwidth,
@@ -63,6 +66,11 @@ SimTime DmaEngine::CopyBatch(SimTime start, std::span<const CopyRequest> batch,
     stats_.bytes_copied += req.bytes;
   }
   stats_.batches++;
+  if (tracer_ != nullptr) [[unlikely]] {
+    tracer_->Duration(trace_track_, "dma_batch", "migration", start, done,
+                      {{"copies", static_cast<double>(batch.size())},
+                       {"bytes", static_cast<double>(stats_.bytes_copied - bytes_before)}});
+  }
   return done;
 }
 

@@ -62,10 +62,19 @@ class DmaEngine {
   const DmaParams& params() const { return params_; }
   const DmaStats& stats() const { return stats_; }
 
+  // Observability: with a tracer attached, each batch emits one duration
+  // event (submit to last-request-done) onto `track`.
+  void SetTracer(obs::EventTracer* tracer, uint32_t track) {
+    tracer_ = tracer;
+    trace_track_ = track;
+  }
+
  private:
   DmaParams params_;
   std::vector<SimTime> channel_free_;
   DmaStats stats_;
+  obs::EventTracer* tracer_ = nullptr;
+  uint32_t trace_track_ = 0;
 };
 
 // CPU-thread page copier: `threads` parallel memcpy workers, each moving at

@@ -1,0 +1,29 @@
+#include "obs/engine_trace.h"
+
+namespace hemem::obs {
+
+TraceEngineObserver::TraceEngineObserver(EventTracer& tracer)
+    : tracer_(tracer), engine_track_(tracer.RegisterTrack("engine")) {}
+
+void TraceEngineObserver::OnThreadAdded(const SimThread& thread) {
+  if (!tracer_.enabled() || thread.stream_id() == Engine::kObserverStreamId) {
+    return;
+  }
+  tracer_.NameThreadTrack(thread.stream_id(), thread.name());
+}
+
+void TraceEngineObserver::OnThreadFinished(const SimThread& thread, SimTime now) {
+  if (!tracer_.enabled() || thread.stream_id() == Engine::kObserverStreamId) {
+    return;
+  }
+  tracer_.Instant(thread.stream_id(), "thread_finished", "engine", now);
+}
+
+void TraceEngineObserver::OnRunFinished(SimTime end) {
+  if (!tracer_.enabled()) {
+    return;
+  }
+  tracer_.Instant(engine_track_, "run_finished", "engine", end);
+}
+
+}  // namespace hemem::obs

@@ -1,0 +1,28 @@
+// Glue between the sim engine's lifecycle hook and the event tracer: names
+// each engine thread's trace track after the thread (track id == stream id)
+// and marks thread completion / end-of-run as instant events.
+
+#ifndef HEMEM_OBS_ENGINE_TRACE_H_
+#define HEMEM_OBS_ENGINE_TRACE_H_
+
+#include "obs/trace.h"
+#include "sim/engine.h"
+
+namespace hemem::obs {
+
+class TraceEngineObserver : public EngineObserver {
+ public:
+  explicit TraceEngineObserver(EventTracer& tracer);
+
+  void OnThreadAdded(const SimThread& thread) override;
+  void OnThreadFinished(const SimThread& thread, SimTime now) override;
+  void OnRunFinished(SimTime end) override;
+
+ private:
+  EventTracer& tracer_;
+  TrackId engine_track_;
+};
+
+}  // namespace hemem::obs
+
+#endif  // HEMEM_OBS_ENGINE_TRACE_H_

@@ -1,0 +1,128 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace hemem::obs {
+
+const MetricValue* MetricsSnapshot::Find(const std::string& name) const {
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), name,
+      [](const MetricEntry& e, const std::string& n) { return e.name < n; });
+  return it != entries_.end() && it->name == name ? &it->value : nullptr;
+}
+
+Counter* MetricsRegistry::AddCounter(const void* owner, std::string name) {
+  Registration reg;
+  reg.owner = owner;
+  reg.name = std::move(name);
+  reg.counter = std::make_unique<Counter>();
+  Counter* out = reg.counter.get();
+  entries_.push_back(std::move(reg));
+  return out;
+}
+
+Gauge* MetricsRegistry::AddGauge(const void* owner, std::string name) {
+  Registration reg;
+  reg.owner = owner;
+  reg.name = std::move(name);
+  reg.gauge = std::make_unique<Gauge>();
+  Gauge* out = reg.gauge.get();
+  entries_.push_back(std::move(reg));
+  return out;
+}
+
+HistogramMetric* MetricsRegistry::AddHistogram(const void* owner, std::string name) {
+  Registration reg;
+  reg.owner = owner;
+  reg.name = std::move(name);
+  reg.histogram = std::make_unique<HistogramMetric>();
+  HistogramMetric* out = reg.histogram.get();
+  entries_.push_back(std::move(reg));
+  return out;
+}
+
+void MetricsRegistry::AddProvider(const void* owner, Provider provider) {
+  Registration reg;
+  reg.owner = owner;
+  reg.provider = std::move(provider);
+  entries_.push_back(std::move(reg));
+}
+
+void MetricsRegistry::RemoveOwner(const void* owner) {
+  std::erase_if(entries_, [owner](const Registration& r) { return r.owner == owner; });
+}
+
+namespace {
+
+// Renames "prefix.leaf" to "prefix#<n>.leaf" (or "name" to "name#<n>" when
+// there is no dot), so a duplicated provider keeps its leaves grouped.
+std::string Disambiguate(const std::string& name, int n) {
+  const size_t dot = name.rfind('.');
+  const std::string suffix = "#" + std::to_string(n);
+  if (dot == std::string::npos) {
+    return name + suffix;
+  }
+  return name.substr(0, dot) + suffix + name.substr(dot);
+}
+
+}  // namespace
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::vector<MetricEntry> raw;
+  MetricsEmitter emitter(&raw);
+  for (const Registration& reg : entries_) {
+    if (reg.counter != nullptr) {
+      raw.push_back({reg.name, MetricValue::Of(reg.counter->value())});
+    } else if (reg.gauge != nullptr) {
+      raw.push_back({reg.name, MetricValue::Of(reg.gauge->value())});
+    } else if (reg.histogram != nullptr) {
+      const Histogram& h = reg.histogram->histogram();
+      raw.push_back({reg.name + ".count", MetricValue::Of(h.count())});
+      raw.push_back({reg.name + ".mean", MetricValue::Of(h.Mean())});
+      raw.push_back({reg.name + ".p50", MetricValue::Of(h.Percentile(0.5))});
+      raw.push_back({reg.name + ".p99", MetricValue::Of(h.Percentile(0.99))});
+      raw.push_back({reg.name + ".max", MetricValue::Of(h.max())});
+    } else if (reg.provider) {
+      reg.provider(emitter);
+    }
+  }
+
+  // Dedup in emission order: a repeated name (second HeMem instance under a
+  // daemon) gets a stable ordinal suffix on its prefix segment.
+  std::unordered_set<std::string> seen;
+  std::unordered_map<std::string, int> dup_count;
+  seen.reserve(raw.size());
+  for (MetricEntry& e : raw) {
+    if (seen.insert(e.name).second) {
+      continue;
+    }
+    int n = ++dup_count[e.name] + 1;
+    std::string renamed = Disambiguate(e.name, n);
+    while (!seen.insert(renamed).second) {
+      renamed = Disambiguate(e.name, ++n);
+    }
+    e.name = std::move(renamed);
+  }
+
+  MetricsSnapshot snapshot;
+  snapshot.entries_ = std::move(raw);
+  std::sort(snapshot.entries_.begin(), snapshot.entries_.end(),
+            [](const MetricEntry& a, const MetricEntry& b) { return a.name < b.name; });
+  return snapshot;
+}
+
+void MetricsRegistry::Reset() {
+  for (Registration& reg : entries_) {
+    if (reg.counter != nullptr) {
+      reg.counter->Reset();
+    } else if (reg.gauge != nullptr) {
+      reg.gauge->Reset();
+    } else if (reg.histogram != nullptr) {
+      reg.histogram->Reset();
+    }
+  }
+}
+
+}  // namespace hemem::obs

@@ -1,0 +1,168 @@
+// Metrics registry: the one queryable tree of run statistics.
+//
+// Every subsystem keeps its cheap plain-struct counters exactly as before
+// (DeviceStats, DmaStats, PebsStats, ManagerStats, ...); the registry does
+// not sit on any hot path. Instead components register once, at
+// construction, either
+//   * owned instruments (Counter / Gauge / HistogramMetric) allocated by the
+//     registry and updated through a pointer, or
+//   * a provider — a callback that walks an existing stats struct and emits
+//     (name, value) pairs when a snapshot is taken.
+// A snapshot walks all registrations and yields a flat, name-sorted list of
+// leaf metrics; dotted names ("device.nvm.media_bytes_written") form the
+// tree that the JSON exporter (obs/report.h) nests. Names are deduplicated
+// in registration order: the second provider emitting "manager.HeMem.x"
+// (two HeMem instances under one daemon) becomes "manager.HeMem#2.x".
+//
+// Registrations are keyed by an owner pointer so components with a shorter
+// lifetime than the registry (managers constructed per experiment against a
+// shared Machine) can unregister wholesale from their destructor.
+
+#ifndef HEMEM_OBS_METRICS_H_
+#define HEMEM_OBS_METRICS_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+
+namespace hemem::obs {
+
+// A leaf value: integral counters stay exact (uint64_t), derived values
+// (rates, fractions) are doubles. The JSON exporter prints each kind in its
+// natural form.
+struct MetricValue {
+  enum class Kind : uint8_t { kUint, kDouble };
+  Kind kind = Kind::kUint;
+  uint64_t u = 0;
+  double d = 0.0;
+
+  static MetricValue Of(uint64_t v) { return {Kind::kUint, v, 0.0}; }
+  static MetricValue Of(double v) { return {Kind::kDouble, 0, v}; }
+  double AsDouble() const {
+    return kind == Kind::kUint ? static_cast<double>(u) : d;
+  }
+};
+
+struct MetricEntry {
+  std::string name;
+  MetricValue value;
+};
+
+// A snapshot is a flat, name-sorted view of every registered metric.
+class MetricsSnapshot {
+ public:
+  const std::vector<MetricEntry>& entries() const { return entries_; }
+  // Value of `name`, or nullptr when the snapshot has no such metric.
+  const MetricValue* Find(const std::string& name) const;
+
+ private:
+  friend class MetricsRegistry;
+  std::vector<MetricEntry> entries_;
+};
+
+// Monotone counter owned by the registry; components hold the pointer
+// returned by AddCounter and increment through it.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_ += n; }
+  uint64_t value() const { return value_; }
+  void Reset() { value_ = 0; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+// Last-write-wins gauge.
+class Gauge {
+ public:
+  void Set(double v) { value_ = v; }
+  double value() const { return value_; }
+  void Reset() { value_ = 0.0; }
+
+ private:
+  double value_ = 0.0;
+};
+
+// Distribution metric; snapshots emit <name>.count/.mean/.p50/.p99/.max.
+class HistogramMetric {
+ public:
+  void Record(uint64_t v) { hist_.Record(v); }
+  void Reset() { hist_.Reset(); }
+  const Histogram& histogram() const { return hist_; }
+
+ private:
+  Histogram hist_;
+};
+
+// Callback sink handed to providers at snapshot time.
+class MetricsEmitter {
+ public:
+  void Emit(std::string name, uint64_t value) {
+    out_->push_back({std::move(name), MetricValue::Of(value)});
+  }
+  void Emit(std::string name, double value) {
+    out_->push_back({std::move(name), MetricValue::Of(value)});
+  }
+
+ private:
+  friend class MetricsRegistry;
+  explicit MetricsEmitter(std::vector<MetricEntry>* out) : out_(out) {}
+  std::vector<MetricEntry>* out_;
+};
+
+class MetricsRegistry {
+ public:
+  using Provider = std::function<void(MetricsEmitter&)>;
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Owned instruments. The returned pointer stays valid until RemoveOwner
+  // (or registry destruction); `name` is the full dotted path.
+  Counter* AddCounter(const void* owner, std::string name);
+  Gauge* AddGauge(const void* owner, std::string name);
+  HistogramMetric* AddHistogram(const void* owner, std::string name);
+
+  // Registers a stats-struct walker. The callback runs at snapshot time, so
+  // it may consult state (e.g. a virtual name()) that is not ready at
+  // registration time.
+  void AddProvider(const void* owner, Provider provider);
+
+  // Drops every registration made with `owner`. Owned instrument pointers
+  // for that owner become invalid.
+  void RemoveOwner(const void* owner);
+
+  // Walks every registration; entries are name-sorted and deduplicated
+  // (duplicate names gain a "#2", "#3", ... suffix on the segment before the
+  // final dot, in registration order).
+  MetricsSnapshot Snapshot() const;
+
+  // Zeroes every *owned* instrument. Providers mirror component-internal
+  // structs and are intentionally untouched: their reset story belongs to
+  // the component (e.g. MemoryDevice::ResetStats).
+  void Reset();
+
+  size_t registration_count() const { return entries_.size(); }
+
+ private:
+  struct Registration {
+    const void* owner = nullptr;
+    // Exactly one of these is set.
+    std::string name;  // for owned instruments
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<HistogramMetric> histogram;
+    Provider provider;
+  };
+
+  std::vector<Registration> entries_;
+};
+
+}  // namespace hemem::obs
+
+#endif  // HEMEM_OBS_METRICS_H_

@@ -1,0 +1,193 @@
+#include "obs/report.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <map>
+
+namespace hemem::obs {
+namespace {
+
+void AppendEscaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void AppendValue(std::string& out, const MetricValue& v) {
+  char buf[40];
+  if (v.kind == MetricValue::Kind::kUint) {
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, v.u);
+  } else if (std::isfinite(v.d)) {
+    std::snprintf(buf, sizeof(buf), "%.12g", v.d);
+  } else {
+    std::snprintf(buf, sizeof(buf), "null");
+  }
+  out += buf;
+}
+
+// Dotted names form a tree; a node that is both a leaf and a prefix of other
+// names (possible after histogram expansion or odd provider naming) keeps
+// its own value under the child key "value".
+struct Node {
+  std::map<std::string, Node> children;
+  const MetricValue* value = nullptr;
+};
+
+void Insert(Node& root, const std::string& name, const MetricValue& value) {
+  Node* node = &root;
+  size_t start = 0;
+  while (true) {
+    const size_t dot = name.find('.', start);
+    const std::string segment = name.substr(start, dot - start);
+    node = &node->children[segment];
+    if (dot == std::string::npos) {
+      break;
+    }
+    start = dot + 1;
+  }
+  if (!node->children.empty()) {
+    node->children["value"].value = &value;
+  } else {
+    node->value = &value;
+  }
+}
+
+void Serialize(std::string& out, const Node& node, int depth) {
+  if (node.value != nullptr && node.children.empty()) {
+    AppendValue(out, *node.value);
+    return;
+  }
+  const std::string pad(static_cast<size_t>(depth) * 2, ' ');
+  out += "{\n";
+  bool first = true;
+  if (node.value != nullptr) {
+    out += pad + "  \"value\": ";
+    AppendValue(out, *node.value);
+    first = false;
+  }
+  for (const auto& [key, child] : node.children) {
+    if (!first) {
+      out += ",\n";
+    }
+    first = false;
+    out += pad + "  \"";
+    AppendEscaped(out, key);
+    out += "\": ";
+    Serialize(out, child, depth + 1);
+  }
+  out += "\n" + pad + "}";
+}
+
+Node BuildTree(const MetricsSnapshot& snapshot) {
+  Node root;
+  for (const MetricEntry& e : snapshot.entries()) {
+    Insert(root, e.name, e.value);
+  }
+  return root;
+}
+
+}  // namespace
+
+std::string SnapshotToJson(const MetricsSnapshot& snapshot) {
+  const Node root = BuildTree(snapshot);
+  std::string out;
+  Serialize(out, root, 0);
+  return out;
+}
+
+bool WriteRunReport(const std::string& path, const MetricsSnapshot& snapshot,
+                    const MetricsSampler* sampler, const ReportMeta& meta) {
+  std::string out = "{\n  \"meta\": {";
+  bool first = true;
+  for (const auto& [key, value] : meta) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"";
+    AppendEscaped(out, key);
+    out += "\": \"";
+    AppendEscaped(out, value);
+    out += "\"";
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"metrics\": ";
+  {
+    const Node root = BuildTree(snapshot);
+    std::string metrics;
+    Serialize(metrics, root, 1);
+    out += metrics;
+  }
+
+  if (sampler != nullptr) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%" PRId64, sampler->period());
+    out += ",\n  \"series\": {\n    \"period_ns\": ";
+    out += buf;
+    out += ",\n    \"deltas\": {";
+    bool first_series = true;
+    for (const auto& [name, series] : sampler->series()) {
+      out += first_series ? "\n" : ",\n";
+      first_series = false;
+      out += "      \"";
+      AppendEscaped(out, name);
+      out += "\": [";
+      bool first_bucket = true;
+      for (const double v : series.buckets()) {
+        if (!first_bucket) {
+          out += ",";
+        }
+        first_bucket = false;
+        AppendValue(out, MetricValue::Of(v));
+      }
+      out += "]";
+    }
+    out += first_series ? "}\n  }" : "\n    }\n  }";
+  }
+
+  out += "\n}\n";
+
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  const bool ok = std::fwrite(out.data(), 1, out.size(), f) == out.size();
+  std::fclose(f);
+  return ok;
+}
+
+void PrintSnapshot(std::FILE* out, const MetricsSnapshot& snapshot) {
+  size_t width = 0;
+  for (const MetricEntry& e : snapshot.entries()) {
+    width = std::max(width, e.name.size());
+  }
+  for (const MetricEntry& e : snapshot.entries()) {
+    std::string value;
+    AppendValue(value, e.value);
+    std::fprintf(out, "  %-*s %s\n", static_cast<int>(width), e.name.c_str(),
+                 value.c_str());
+  }
+}
+
+}  // namespace hemem::obs

@@ -1,0 +1,42 @@
+// Machine-readable run reports: serializes a metrics snapshot (and,
+// optionally, the sampler's time series) to JSON, and provides the one
+// shared human-readable printer that replaces the per-bench hand-rolled
+// stats dumps. Dotted metric names nest into objects, so
+// "device.nvm.media_bytes_written" appears at
+// metrics.device.nvm.media_bytes_written in the output.
+
+#ifndef HEMEM_OBS_REPORT_H_
+#define HEMEM_OBS_REPORT_H_
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/sampler.h"
+
+namespace hemem::obs {
+
+// Free-form (key, value) strings recorded under "meta" in the report
+// (workload name, system name, flag values, end time).
+using ReportMeta = std::vector<std::pair<std::string, std::string>>;
+
+// The snapshot as a nested JSON object (no surrounding report envelope).
+std::string SnapshotToJson(const MetricsSnapshot& snapshot);
+
+// Writes {"meta": {...}, "metrics": {...}, "series": {...}} to `path`.
+// `sampler` may be null (the "series" section is then omitted); series
+// values are the per-interval deltas the sampler recorded, with the
+// sampling period alongside. Returns false if the file cannot be written.
+bool WriteRunReport(const std::string& path, const MetricsSnapshot& snapshot,
+                    const MetricsSampler* sampler = nullptr,
+                    const ReportMeta& meta = {});
+
+// One "name value" line per metric — the shared replacement for ad-hoc
+// per-bench stats printing.
+void PrintSnapshot(std::FILE* out, const MetricsSnapshot& snapshot);
+
+}  // namespace hemem::obs
+
+#endif  // HEMEM_OBS_REPORT_H_

@@ -1,0 +1,33 @@
+#include "obs/sampler.h"
+
+namespace hemem::obs {
+
+MetricsSampler::MetricsSampler(const MetricsRegistry& registry, SimTime period)
+    : PeriodicThread("metrics-sampler", period, /*cpu_share=*/0.0),
+      registry_(registry) {}
+
+SimTime MetricsSampler::Tick() {
+  const MetricsSnapshot snapshot = registry_.Snapshot();
+  ++samples_taken_;
+  if (have_prev_) {
+    for (const MetricEntry& e : snapshot.entries()) {
+      const double value = e.value.AsDouble();
+      const auto it = prev_.find(e.name);
+      // Metrics that appear mid-run (a manager constructed after the first
+      // sample) start contributing from their next interval.
+      if (it != prev_.end()) {
+        const double delta = value - it->second;
+        series_.try_emplace(e.name, period()).first->second.Record(prev_time_, delta);
+      }
+    }
+  }
+  prev_.clear();
+  for (const MetricEntry& e : snapshot.entries()) {
+    prev_[e.name] = e.value.AsDouble();
+  }
+  have_prev_ = true;
+  prev_time_ = now();
+  return 0;  // pure observation: no simulated work
+}
+
+}  // namespace hemem::obs

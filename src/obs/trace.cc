@@ -1,0 +1,190 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+namespace hemem::obs {
+
+TrackId EventTracer::RegisterTrack(const std::string& name) {
+  for (const auto& [track, existing] : track_names_) {
+    if (track >= kComponentTrackBase && existing == name) {
+      return track;
+    }
+  }
+  const TrackId track = next_component_track_++;
+  track_names_.emplace_back(track, name);
+  return track;
+}
+
+void EventTracer::NameThreadTrack(TrackId track, const std::string& name) {
+  for (auto& [existing, existing_name] : track_names_) {
+    if (existing == track) {
+      existing_name = name;
+      return;
+    }
+  }
+  track_names_.emplace_back(track, name);
+}
+
+void EventTracer::Duration(TrackId track, const char* name, const char* cat,
+                           SimTime begin, SimTime end,
+                           std::initializer_list<TraceArg> args) {
+  Event e;
+  e.name = name;
+  e.cat = cat;
+  e.phase = 'X';
+  e.track = track;
+  e.ts = begin;
+  e.dur = end > begin ? end - begin : 0;
+  e.args.reserve(args.size());
+  for (const TraceArg& a : args) {
+    e.args.emplace_back(a.key, a.value);
+  }
+  events_.push_back(std::move(e));
+}
+
+void EventTracer::Instant(TrackId track, const char* name, const char* cat,
+                          SimTime t, std::initializer_list<TraceArg> args) {
+  Event e;
+  e.name = name;
+  e.cat = cat;
+  e.phase = 'i';
+  e.track = track;
+  e.ts = t;
+  e.args.reserve(args.size());
+  for (const TraceArg& a : args) {
+    e.args.emplace_back(a.key, a.value);
+  }
+  events_.push_back(std::move(e));
+}
+
+namespace {
+
+// Trace-event names here are identifiers plus the occasional dot/dash, but
+// escape defensively so the output always parses.
+void WriteEscaped(FILE* f, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        std::fputs("\\\"", f);
+        break;
+      case '\\':
+        std::fputs("\\\\", f);
+        break;
+      case '\n':
+        std::fputs("\\n", f);
+        break;
+      case '\t':
+        std::fputs("\\t", f);
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          std::fprintf(f, "\\u%04x", c);
+        } else {
+          std::fputc(c, f);
+        }
+    }
+  }
+}
+
+// Virtual ns -> trace µs. Doubles keep sub-µs precision ("ts":12.345).
+void WriteMicros(FILE* f, SimTime ns) {
+  std::fprintf(f, "%" PRId64 ".%03d", ns / 1000,
+               static_cast<int>(ns % 1000));
+}
+
+void WriteArgValue(FILE* f, double v) {
+  // Counters and byte totals flow through double args; print integral
+  // values without a mantissa so they stay exact and grep-able.
+  if (v == static_cast<double>(static_cast<int64_t>(v))) {
+    std::fprintf(f, "%" PRId64, static_cast<int64_t>(v));
+  } else {
+    std::fprintf(f, "%.6g", v);
+  }
+}
+
+}  // namespace
+
+bool EventTracer::WriteJson(const std::string& path) const {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+
+  std::fputs("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n", f);
+  bool first = true;
+
+  // Track-name metadata first, so viewers label tracks before any event.
+  for (const auto& [track, name] : track_names_) {
+    if (!first) {
+      std::fputs(",\n", f);
+    }
+    first = false;
+    std::fprintf(f,
+                 "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":0,\"tid\":%u,"
+                 "\"args\":{\"name\":\"",
+                 track);
+    WriteEscaped(f, name);
+    std::fputs("\"}}", f);
+    std::fprintf(f,
+                 ",\n{\"ph\":\"M\",\"name\":\"thread_sort_index\",\"pid\":0,"
+                 "\"tid\":%u,\"args\":{\"sort_index\":%u}}",
+                 track, track);
+  }
+
+  // Events sorted by begin time; ties keep emission order so nested/adjacent
+  // phases stay deterministic.
+  std::vector<uint32_t> order(events_.size());
+  for (uint32_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  std::stable_sort(order.begin(), order.end(), [this](uint32_t a, uint32_t b) {
+    return events_[a].ts < events_[b].ts;
+  });
+
+  for (const uint32_t idx : order) {
+    const Event& e = events_[idx];
+    if (!first) {
+      std::fputs(",\n", f);
+    }
+    first = false;
+    std::fputs("{\"ph\":\"", f);
+    std::fputc(e.phase, f);
+    std::fputs("\",\"name\":\"", f);
+    WriteEscaped(f, e.name);
+    std::fputs("\",\"cat\":\"", f);
+    WriteEscaped(f, e.cat);
+    std::fprintf(f, "\",\"pid\":0,\"tid\":%u,\"ts\":", e.track);
+    WriteMicros(f, e.ts);
+    if (e.phase == 'X') {
+      std::fputs(",\"dur\":", f);
+      WriteMicros(f, e.dur);
+    } else if (e.phase == 'i') {
+      std::fputs(",\"s\":\"t\"", f);
+    }
+    if (!e.args.empty()) {
+      std::fputs(",\"args\":{", f);
+      bool first_arg = true;
+      for (const auto& [key, value] : e.args) {
+        if (!first_arg) {
+          std::fputc(',', f);
+        }
+        first_arg = false;
+        std::fputc('"', f);
+        WriteEscaped(f, key);
+        std::fputs("\":", f);
+        WriteArgValue(f, value);
+      }
+      std::fputc('}', f);
+    }
+    std::fputc('}', f);
+  }
+
+  std::fputs("\n]}\n", f);
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace hemem::obs

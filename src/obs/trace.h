@@ -1,0 +1,92 @@
+// Virtual-time event tracer emitting Chrome trace-event JSON.
+//
+// Components record duration ("X") and instant ("i") events against tracks:
+// engine threads trace onto a track whose id is their stream id (named by
+// TraceEngineObserver, see obs/engine_trace.h), and components (devices, the
+// DMA engine, HeMem's helper logic) register named tracks of their own. The
+// output of WriteJson loads directly into Perfetto / chrome://tracing;
+// timestamps are the simulation's virtual nanoseconds, emitted in
+// microseconds as the format requires.
+//
+// Cost contract: when the tracer is disabled (the default) the only cost at
+// a call site is the inline enabled() branch the *caller* performs — every
+// instrumentation point in the simulator checks enabled() (or holds a null
+// tracer pointer) before building an event, so golden results and hot-path
+// throughput are unchanged with observability off. Tracing is purely
+// observational: it reads clocks, never advances them, so enabling it must
+// not change simulated times either (asserted by tests/access_golden_test).
+
+#ifndef HEMEM_OBS_TRACE_H_
+#define HEMEM_OBS_TRACE_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/units.h"
+
+namespace hemem::obs {
+
+using TrackId = uint32_t;
+
+// Numeric event argument (shows in the Perfetto event pane).
+struct TraceArg {
+  const char* key;
+  double value;
+};
+
+class EventTracer {
+ public:
+  struct Event {
+    std::string name;
+    const char* cat;  // callers pass string literals
+    char phase;       // 'X' duration, 'i' instant
+    TrackId track;
+    SimTime ts = 0;
+    SimTime dur = 0;
+    std::vector<std::pair<std::string, double>> args;
+  };
+
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+
+  // Returns the id of the component track named `name`, registering it on
+  // first use. Component ids start at kComponentTrackBase so they never
+  // collide with engine-thread tracks (track id == stream id).
+  TrackId RegisterTrack(const std::string& name);
+
+  // Names a thread track (track id == the thread's stream id).
+  void NameThreadTrack(TrackId track, const std::string& name);
+
+  // Complete duration event over [begin, end] of virtual time.
+  void Duration(TrackId track, const char* name, const char* cat, SimTime begin,
+                SimTime end, std::initializer_list<TraceArg> args = {});
+
+  // Instant event at `t`.
+  void Instant(TrackId track, const char* name, const char* cat, SimTime t,
+               std::initializer_list<TraceArg> args = {});
+
+  size_t event_count() const { return events_.size(); }
+  const std::vector<Event>& events() const { return events_; }
+
+  // Serializes to Chrome trace-event JSON ({"traceEvents": [...]}), events
+  // sorted by timestamp. Returns false when the file cannot be written.
+  bool WriteJson(const std::string& path) const;
+
+  void Clear() { events_.clear(); }
+
+  static constexpr TrackId kComponentTrackBase = 1000;
+
+ private:
+  bool enabled_ = false;
+  std::vector<Event> events_;
+  // (track id, display name); thread tracks and component tracks share it.
+  std::vector<std::pair<TrackId, std::string>> track_names_;
+  TrackId next_component_track_ = kComponentTrackBase;
+};
+
+}  // namespace hemem::obs
+
+#endif  // HEMEM_OBS_TRACE_H_

@@ -1,5 +1,7 @@
 #include "pebs/pebs.h"
 
+#include "obs/trace.h"
+
 namespace hemem {
 
 PebsBuffer::PebsBuffer(PebsParams params) : params_(params) {}
@@ -17,7 +19,20 @@ void PebsBuffer::CountAccess(SimTime now, uint64_t va, PebsEvent event,
     // Hardware keeps writing past a full buffer only by overwriting the
     // interrupt threshold; in practice the record is lost.
     stats_.samples_dropped++;
+    if (!overflow_open_) {
+      overflow_open_ = true;
+      if (tracer_ != nullptr) [[unlikely]] {
+        tracer_->Instant(trace_track_, "pebs_buffer_full", "pebs", now,
+                         {{"pending", static_cast<double>(ring_.size())}});
+      }
+    }
     return;
+  }
+  if (overflow_open_) [[unlikely]] {
+    overflow_open_ = false;
+    if (tracer_ != nullptr) {
+      tracer_->Instant(trace_track_, "pebs_buffer_recovered", "pebs", now);
+    }
   }
   ring_.push_back(PebsRecord{va, event, now});
   stats_.samples_written++;

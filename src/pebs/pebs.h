@@ -27,6 +27,10 @@
 
 namespace hemem {
 
+namespace obs {
+class EventTracer;
+}
+
 enum class PebsEvent : uint8_t { kNvmLoad = 0, kDramLoad = 1, kStore = 2 };
 inline constexpr int kNumPebsEvents = 3;
 
@@ -81,6 +85,14 @@ class PebsBuffer {
   const PebsStats& stats() const { return stats_; }
   const PebsParams& params() const { return params_; }
 
+  // Observability: buffer-full / recovered transitions emit instant events
+  // onto `track`. Only the (already cold) overflow-crossing paths check the
+  // tracer; the per-access counting path is untouched.
+  void SetTracer(obs::EventTracer* tracer, uint32_t track) {
+    tracer_ = tracer;
+    trace_track_ = track;
+  }
+
  private:
   static constexpr uint32_t kMaxContexts = 64;
 
@@ -89,6 +101,10 @@ class PebsBuffer {
   uint64_t counter_[kMaxContexts][kNumPebsEvents] = {};
   std::deque<PebsRecord> ring_;
   PebsStats stats_;
+  // True while records are being dropped on the floor (buffer at capacity).
+  bool overflow_open_ = false;
+  obs::EventTracer* tracer_ = nullptr;
+  uint32_t trace_track_ = 0;
 };
 
 }  // namespace hemem

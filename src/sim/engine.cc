@@ -53,11 +53,23 @@ Engine::Engine(int cores) : cores_(cores) {}
 
 void Engine::AddThread(SimThread* thread) {
   thread->engine_ = this;
-  thread->stream_id_ = static_cast<uint32_t>(threads_.size());
+  thread->stream_id_ = next_stream_id_++;
   threads_.push_back(thread);
   if (thread->foreground()) {
     live_foreground_++;
   }
+  cpu_demand_ += thread->cpu_share_;
+  Push(thread);
+  if (observer_ != nullptr) {
+    observer_->OnThreadAdded(*thread);
+  }
+}
+
+void Engine::AddObserverThread(SimThread* thread) {
+  assert(!thread->foreground());
+  thread->engine_ = this;
+  thread->stream_id_ = kObserverStreamId;
+  threads_.push_back(thread);
   cpu_demand_ += thread->cpu_share_;
   Push(thread);
 }
@@ -88,6 +100,9 @@ void Engine::Finish(SimThread* thread) {
     live_foreground_--;
   }
   cpu_demand_ -= thread->cpu_share_;
+  if (observer_ != nullptr) {
+    observer_->OnThreadFinished(*thread, thread->now_);
+  }
 }
 
 SimTime Engine::Run(SimTime deadline) {
@@ -136,6 +151,9 @@ SimTime Engine::Run(SimTime deadline) {
         break;
       }
     }
+  }
+  if (observer_ != nullptr) {
+    observer_->OnRunFinished(last);
   }
   return last;
 }

@@ -35,6 +35,18 @@
 namespace hemem {
 
 class Engine;
+class SimThread;
+
+// Passive engine lifecycle hook. The obs layer's trace glue implements it
+// (the sim layer must not depend on obs); callbacks fire only on cold paths
+// (thread registration, thread completion, end of Run), never per slice.
+class EngineObserver {
+ public:
+  virtual ~EngineObserver() = default;
+  virtual void OnThreadAdded(const SimThread& /*thread*/) {}
+  virtual void OnThreadFinished(const SimThread& /*thread*/, SimTime /*now*/) {}
+  virtual void OnRunFinished(SimTime /*end*/) {}
+};
 
 // A logical thread driven by the engine. Subclasses implement RunSlice() to
 // perform one small unit of work (typically one application operation or one
@@ -134,6 +146,20 @@ class Engine {
   // Registers a thread (non-owning; callers keep threads alive for the run).
   void AddThread(SimThread* thread);
 
+  // Registers a passive background actor (e.g. the obs metrics sampler).
+  // Unlike AddThread it does not consume a stream id — stream ids feed the
+  // memory devices' sequential-stream detector and PEBS's per-context
+  // counters, so observer threads must not shift them or determinism would
+  // depend on whether observability is on. The actor must be background and
+  // must only read simulation state.
+  void AddObserverThread(SimThread* thread);
+
+  // Stream id given to observer threads (never used for device accesses).
+  static constexpr uint32_t kObserverStreamId = ~0u;
+
+  // Lifecycle hook for the obs layer; pass nullptr to detach. Not owned.
+  void set_observer(EngineObserver* observer) { observer_ = observer; }
+
   // Runs until every foreground thread finished or `deadline` passed.
   // Returns the final virtual time.
   SimTime Run(SimTime deadline = std::numeric_limits<SimTime>::max());
@@ -173,6 +199,8 @@ class Engine {
   std::vector<SimThread*> threads_;
   int live_foreground_ = 0;
   double cpu_demand_ = 0.0;  // sum of live threads' cpu_share, kept incrementally
+  uint32_t next_stream_id_ = 0;
+  EngineObserver* observer_ = nullptr;
 };
 
 }  // namespace hemem

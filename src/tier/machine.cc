@@ -77,6 +77,65 @@ Machine::Machine(MachineConfig config)
     swap_.emplace(config_.swap_override.value_or(
         BlockDeviceParams::NvmeSsd(config_.swap_bytes)));
   }
+
+  metrics_.AddProvider(this, [this](obs::MetricsEmitter& e) {
+    const auto device = [&e](const char* prefix, const MemoryDevice& d) {
+      const std::string p = prefix;
+      const DeviceStats& s = d.stats();
+      e.Emit(p + "loads", s.loads);
+      e.Emit(p + "stores", s.stores);
+      e.Emit(p + "bytes_requested_read", s.bytes_requested_read);
+      e.Emit(p + "bytes_requested_written", s.bytes_requested_written);
+      e.Emit(p + "media_bytes_read", s.media_bytes_read);
+      e.Emit(p + "media_bytes_written", s.media_bytes_written);
+      e.Emit(p + "sequential_hits", s.sequential_hits);
+      e.Emit(p + "queue_delay_total_ns", s.queue_delay_total_ns);
+      e.Emit(p + "queue_delay_max_ns", s.queue_delay_max_ns);
+    };
+    device("device.dram.", dram_);
+    device("device.nvm.", nvm_);
+
+    e.Emit("dma.batches", dma_.stats().batches);
+    e.Emit("dma.copies", dma_.stats().copies);
+    e.Emit("dma.bytes_copied", dma_.stats().bytes_copied);
+
+    e.Emit("pebs.accesses_counted", pebs_.stats().accesses_counted);
+    e.Emit("pebs.samples_written", pebs_.stats().samples_written);
+    e.Emit("pebs.samples_dropped", pebs_.stats().samples_dropped);
+    e.Emit("pebs.samples_drained", pebs_.stats().samples_drained);
+    e.Emit("pebs.drop_rate", pebs_.stats().DropRate());
+    e.Emit("pebs.pending", static_cast<uint64_t>(pebs_.pending()));
+
+    e.Emit("tlb.shootdowns", tlb_.stats().shootdowns);
+    e.Emit("tlb.victim_interrupts", tlb_.stats().victim_interrupts);
+
+    e.Emit("frames.dram.used", dram_frames_.used_frames());
+    e.Emit("frames.dram.total", dram_frames_.total_frames());
+    e.Emit("frames.nvm.used", nvm_frames_.used_frames());
+    e.Emit("frames.nvm.total", nvm_frames_.total_frames());
+
+    if (swap_) {
+      const BlockDeviceStats& s = swap_->stats();
+      e.Emit("swap_device.reads", s.reads);
+      e.Emit("swap_device.writes", s.writes);
+      e.Emit("swap_device.bytes_read", s.bytes_read);
+      e.Emit("swap_device.bytes_written", s.bytes_written);
+    }
+  });
+}
+
+void Machine::EnableTracing() {
+  if (tracer_.enabled()) {
+    return;
+  }
+  tracer_.set_enabled(true);
+  engine_trace_.emplace(tracer_);
+  engine_.set_observer(&*engine_trace_);
+  dram_.SetTracer(&tracer_, tracer_.RegisterTrack("device.dram"));
+  nvm_.SetTracer(&tracer_, tracer_.RegisterTrack("device.nvm"));
+  dma_.SetTracer(&tracer_, tracer_.RegisterTrack("dma"));
+  tlb_.SetTracer(&tracer_, tracer_.RegisterTrack("tlb"));
+  pebs_.SetTracer(&tracer_, tracer_.RegisterTrack("pebs"));
 }
 
 }  // namespace hemem

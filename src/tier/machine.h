@@ -24,6 +24,9 @@
 #include "mem/block_device.h"
 #include "mem/device.h"
 #include "mem/dma.h"
+#include "obs/engine_trace.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "pebs/pebs.h"
 #include "sim/engine.h"
 #include "vm/page_table.h"
@@ -114,8 +117,20 @@ class Machine {
 
   uint64_t page_bytes() const { return config_.page_bytes; }
 
+  // Observability. The registry always exists (providers for the machine's
+  // own stats structs are registered at construction; managers add theirs
+  // when built against this machine) and snapshotting it is free until
+  // someone asks. The tracer is off until EnableTracing(), which attaches it
+  // to the devices, DMA engine, TLB, PEBS buffer, and the engine's lifecycle
+  // hook. Call it before constructing managers so their trace tracks exist.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  obs::EventTracer& tracer() { return tracer_; }
+  void EnableTracing();
+
  private:
   MachineConfig config_;
+  obs::MetricsRegistry metrics_;
+  obs::EventTracer tracer_;
   Engine engine_;
   MemoryDevice dram_;
   MemoryDevice nvm_;
@@ -126,6 +141,7 @@ class Machine {
   Tlb tlb_;
   PebsBuffer pebs_;
   std::optional<BlockDevice> swap_;
+  std::optional<obs::TraceEngineObserver> engine_trace_;
 };
 
 }  // namespace hemem

@@ -2,6 +2,22 @@
 
 namespace hemem {
 
+TieredMemoryManager::~TieredMemoryManager() { machine_.metrics().RemoveOwner(this); }
+
+void TieredMemoryManager::RegisterBaseMetrics() {
+  machine_.metrics().AddProvider(this, [this](obs::MetricsEmitter& e) {
+    const std::string p = std::string("manager.") + name() + ".";
+    e.Emit(p + "missing_faults", stats_.missing_faults);
+    e.Emit(p + "wp_faults", stats_.wp_faults);
+    e.Emit(p + "wp_wait_ns", static_cast<uint64_t>(stats_.wp_wait_ns));
+    e.Emit(p + "pages_promoted", stats_.pages_promoted);
+    e.Emit(p + "pages_demoted", stats_.pages_demoted);
+    e.Emit(p + "bytes_migrated", stats_.bytes_migrated);
+    e.Emit(p + "small_allocs", stats_.small_allocs);
+    e.Emit(p + "managed_allocs", stats_.managed_allocs);
+  });
+}
+
 void TieredMemoryManager::AccessPage(SimThread& thread, uint64_t va, uint32_t size,
                                      AccessKind kind) {
   const PageTable::Resolution r = ResolveForAccess(thread, va);
@@ -9,8 +25,14 @@ void TieredMemoryManager::AccessPage(SimThread& thread, uint64_t va, uint32_t si
   PageEntry& entry = *r.entry;
 
   if (!entry.present) [[unlikely]] {
+    const SimTime fault_start = thread.now();
     OnMissingPage(thread, *r.region, r.index);
     assert(entry.present && "OnMissingPage must map the page");
+    if (machine_.tracer().enabled()) {
+      machine_.tracer().Duration(
+          thread.stream_id(), "page_fault", "vm", fault_start, thread.now(),
+          {{"tier", static_cast<double>(static_cast<int>(entry.tier))}});
+    }
   }
 
   // Stores against a page whose migration is still in flight wait for the
@@ -22,12 +44,17 @@ void TieredMemoryManager::AccessPage(SimThread& thread, uint64_t va, uint32_t si
       (wp_requires_flag_ ? entry.write_protected : entry.wp_until > thread.now()))
       [[unlikely]] {
     if (entry.wp_until > thread.now()) {
+      const SimTime stall_start = thread.now();
       stats_.wp_faults++;
       stats_.wp_wait_ns += entry.wp_until - thread.now();
       if (wp_stall_cost_ > 0) {
         thread.Advance(wp_stall_cost_);
       }
       thread.AdvanceTo(entry.wp_until);
+      if (machine_.tracer().enabled()) {
+        machine_.tracer().Duration(thread.stream_id(), "wp_stall", "vm",
+                                   stall_start, thread.now());
+      }
     }
     entry.write_protected = false;
   }

@@ -73,8 +73,10 @@ class TieredMemoryManager {
       bytes >>= 1;
       page_shift_++;
     }
+    RegisterBaseMetrics();
   }
-  virtual ~TieredMemoryManager() = default;
+  // Unregisters this manager's metrics providers from the machine.
+  virtual ~TieredMemoryManager();
 
   TieredMemoryManager(const TieredMemoryManager&) = delete;
   TieredMemoryManager& operator=(const TieredMemoryManager&) = delete;
@@ -244,6 +246,11 @@ class TieredMemoryManager {
   bool custom_charge_ = false;     // invoke ChargeDevice instead of default
 
  private:
+  // Publishes ManagerStats under "manager.<name()>."; name() is virtual, so
+  // the provider resolves it lazily at snapshot time, never during
+  // construction.
+  void RegisterBaseMetrics();
+
   uint64_t page_mask_;
   uint32_t page_shift_ = 0;
   std::unordered_map<Region*, std::unique_ptr<RegionMetaBase>> region_meta_;

@@ -47,6 +47,13 @@ MemoryMode::MemoryMode(Machine& machine)
                                       machine.page_bytes())) {
   assert(num_sets_ > 0);
   custom_charge_ = true;
+  machine.metrics().AddProvider(this, [this](obs::MetricsEmitter& e) {
+    e.Emit("mm.line_probes", mm_stats_.line_probes);
+    e.Emit("mm.hits", mm_stats_.hits);
+    e.Emit("mm.misses", mm_stats_.misses);
+    e.Emit("mm.writebacks", mm_stats_.writebacks);
+    e.Emit("mm.hit_rate", mm_stats_.HitRate());
+  });
 }
 
 uint64_t MemoryMode::Mmap(uint64_t bytes, AllocOptions opts) {

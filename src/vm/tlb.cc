@@ -1,5 +1,7 @@
 #include "vm/tlb.h"
 
+#include "obs/trace.h"
+
 namespace hemem {
 
 SimTime Tlb::Shootdown(Engine& engine, SimThread* initiator) {
@@ -18,6 +20,12 @@ SimTime Tlb::ShootdownBatch(Engine& engine, SimThread* initiator, uint64_t count
   if (victims > 0) {
     stats_.victim_interrupts += count * static_cast<uint64_t>(victims);
     engine.PenalizeForeground(static_cast<SimTime>(count) * params_.victim_cost, initiator);
+  }
+  if (tracer_ != nullptr) [[unlikely]] {
+    const SimTime t = initiator != nullptr ? initiator->now() : engine.now();
+    tracer_->Instant(trace_track_, "tlb_shootdown", "vm", t,
+                     {{"count", static_cast<double>(count)},
+                      {"victims", static_cast<double>(victims > 0 ? victims : 0)}});
   }
   const SimTime cost = static_cast<SimTime>(count) * params_.initiator_cost;
   if (initiator != nullptr) {

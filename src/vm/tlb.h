@@ -18,6 +18,10 @@
 
 namespace hemem {
 
+namespace obs {
+class EventTracer;
+}
+
 struct TlbParams {
   SimTime initiator_cost = 2 * kMicrosecond;  // send IPIs + wait for acks
   SimTime victim_cost = 1 * kMicrosecond;     // interrupt + invalidation on each core
@@ -44,9 +48,17 @@ class Tlb {
   const TlbStats& stats() const { return stats_; }
   const TlbParams& params() const { return params_; }
 
+  // Observability: shootdowns emit instant events onto `track`.
+  void SetTracer(obs::EventTracer* tracer, uint32_t track) {
+    tracer_ = tracer;
+    trace_track_ = track;
+  }
+
  private:
   TlbParams params_;
   TlbStats stats_;
+  obs::EventTracer* tracer_ = nullptr;
+  uint32_t trace_track_ = 0;
 };
 
 }  // namespace hemem

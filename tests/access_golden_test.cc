@@ -14,12 +14,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
 #include "core/hemem.h"
+#include "obs/sampler.h"
 #include "test_util.h"
 #include "tier/memory_mode.h"
 #include "tier/nimble.h"
@@ -68,12 +70,18 @@ std::unique_ptr<TieredMemoryManager> MakeSystem(const std::string& kind, Machine
 
 // Fixed-seed workload: 300k single-thread ops over 128 MiB, 90% of them into
 // a 16 MiB hot prefix, every third op a store, 15 ns compute between ops.
-Fingerprint RunCase(const std::string& system) {
+Fingerprint RunCase(const std::string& system, bool tracing = false) {
   constexpr uint64_t kWorkingSet = MiB(128);
   constexpr uint64_t kHotSet = MiB(16);
   constexpr uint64_t kOps = 300'000;
 
   Machine machine(TinyMachineConfig());
+  std::optional<obs::MetricsSampler> sampler;
+  if (tracing) {
+    machine.EnableTracing();
+    sampler.emplace(machine.metrics(), kMillisecond);
+    machine.engine().AddObserverThread(&*sampler);
+  }
   std::unique_ptr<TieredMemoryManager> manager = MakeSystem(system, machine);
   manager->Start();
   const uint64_t va = manager->Mmap(kWorkingSet, {.label = "golden"});
@@ -127,6 +135,25 @@ TEST(AccessGolden, FingerprintMatchesPreRefactorRecording) {
                   static_cast<unsigned long long>(actual.managed_allocs));
       continue;
     }
+    SCOPED_TRACE(golden.system);
+    EXPECT_EQ(actual.end_ns, golden.end_ns);
+    EXPECT_EQ(actual.missing_faults, golden.missing_faults);
+    EXPECT_EQ(actual.wp_faults, golden.wp_faults);
+    EXPECT_EQ(actual.wp_wait_ns, golden.wp_wait_ns);
+    EXPECT_EQ(actual.pages_promoted, golden.pages_promoted);
+    EXPECT_EQ(actual.pages_demoted, golden.pages_demoted);
+    EXPECT_EQ(actual.bytes_migrated, golden.bytes_migrated);
+    EXPECT_EQ(actual.small_allocs, golden.small_allocs);
+    EXPECT_EQ(actual.managed_allocs, golden.managed_allocs);
+  }
+}
+
+// The observability layer is passive: enabling the tracer and the metrics
+// sampler must not move a single simulated clock or counter. Same goldens,
+// tracing on.
+TEST(AccessGolden, TracingDoesNotPerturbExecution) {
+  for (const Fingerprint& golden : kGolden) {
+    const Fingerprint actual = RunCase(golden.system, /*tracing=*/true);
     SCOPED_TRACE(golden.system);
     EXPECT_EQ(actual.end_ns, golden.end_ns);
     EXPECT_EQ(actual.missing_faults, golden.missing_faults);

@@ -281,9 +281,31 @@ TEST(TimeSeries, BucketsByTime) {
 TEST(TimeSeries, RatePerSecond) {
   TimeSeries ts(500 * kMillisecond);
   ts.Record(0, 10.0);
-  const auto rates = ts.RatePerSecond();
+  const auto rates = ts.RatePerSecond(500 * kMillisecond);
   ASSERT_EQ(rates.size(), 1u);
   EXPECT_DOUBLE_EQ(rates[0], 20.0);  // 10 per half second
+}
+
+TEST(TimeSeries, RatePerSecondClampsFinalBucket) {
+  TimeSeries ts(kSecond);
+  ts.Record(0, 5.0);
+  ts.Record(kSecond + 500 * kMillisecond, 10.0);
+  EXPECT_EQ(ts.last_time(), kSecond + 500 * kMillisecond);
+
+  // Interior bucket uses the full width; the final bucket is divided by the
+  // observed half-second, not the nominal full second.
+  const auto by_last_record = ts.RatePerSecond();
+  ASSERT_EQ(by_last_record.size(), 2u);
+  EXPECT_DOUBLE_EQ(by_last_record[0], 5.0);
+  EXPECT_DOUBLE_EQ(by_last_record[1], 20.0);
+
+  // An explicit run end overrides the last-record clamp.
+  const auto by_end = ts.RatePerSecond(2 * kSecond);
+  EXPECT_DOUBLE_EQ(by_end[1], 10.0);
+
+  // Degenerate end at the bucket start does not divide by zero.
+  const auto degenerate = ts.RatePerSecond(kSecond);
+  EXPECT_GT(degenerate[1], 0.0);
 }
 
 TEST(TimeSeries, IgnoresNegativeTime) {

@@ -1,0 +1,451 @@
+// Unit tests for the observability layer (src/obs): metrics registry,
+// event tracer (including JSON well-formedness of its output), periodic
+// sampler bucket alignment, and the run-report exporter.
+
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/sampler.h"
+#include "obs/trace.h"
+#include "sim/script_thread.h"
+
+namespace hemem {
+namespace {
+
+using obs::EventTracer;
+using obs::MetricsRegistry;
+using obs::MetricsSampler;
+using obs::MetricsSnapshot;
+
+// ---------------------------------------------------------------------------
+// Minimal recursive-descent JSON parser: accepts exactly the RFC 8259
+// grammar, no extensions. The emitted report/trace files must parse — this
+// is the test's stand-in for loading them into Perfetto / python json.
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : s_(text) {}
+
+  bool Valid() {
+    SkipWs();
+    if (!Value()) {
+      return false;
+    }
+    SkipWs();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool Value() {
+    if (pos_ >= s_.size()) {
+      return false;
+    }
+    switch (s_[pos_]) {
+      case '{':
+        return Object();
+      case '[':
+        return Array();
+      case '"':
+        return String();
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        return Number();
+    }
+  }
+
+  bool Object() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (Peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (!String()) {
+        return false;
+      }
+      SkipWs();
+      if (Peek() != ':') {
+        return false;
+      }
+      ++pos_;
+      SkipWs();
+      if (!Value()) {
+        return false;
+      }
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool Array() {
+    ++pos_;  // '['
+    SkipWs();
+    if (Peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (!Value()) {
+        return false;
+      }
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool String() {
+    if (Peek() != '"') {
+      return false;
+    }
+    ++pos_;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return false;  // raw control character
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) {
+          return false;
+        }
+        const char e = s_[pos_];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= s_.size() || !std::isxdigit(static_cast<unsigned char>(s_[pos_]))) {
+              return false;
+            }
+          }
+        } else if (std::string("\"\\/bfnrt").find(e) == std::string::npos) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;  // unterminated
+  }
+
+  bool Number() {
+    const size_t start = pos_;
+    if (Peek() == '-') {
+      ++pos_;
+    }
+    if (!DigitRun()) {
+      return false;
+    }
+    if (Peek() == '.') {
+      ++pos_;
+      if (!DigitRun()) {
+        return false;
+      }
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      ++pos_;
+      if (Peek() == '+' || Peek() == '-') {
+        ++pos_;
+      }
+      if (!DigitRun()) {
+        return false;
+      }
+    }
+    return pos_ > start;
+  }
+
+  bool DigitRun() {
+    const size_t start = pos_;
+    while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool Literal(const char* lit) {
+    const size_t len = std::strlen(lit);
+    if (s_.compare(pos_, len, lit) != 0) {
+      return false;
+    }
+    pos_ += len;
+    return true;
+  }
+
+  char Peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' || s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::string TempPath(const char* leaf) {
+  return testing::TempDir() + "/" + leaf;
+}
+
+// ---------------------------------------------------------------------------
+// Metrics registry
+
+TEST(MetricsRegistry, OwnedInstrumentsSnapshotAndReset) {
+  MetricsRegistry registry;
+  int owner = 0;
+  obs::Counter* c = registry.AddCounter(&owner, "x.count");
+  obs::Gauge* g = registry.AddGauge(&owner, "x.level");
+  obs::HistogramMetric* h = registry.AddHistogram(&owner, "x.latency");
+
+  c->Add(3);
+  c->Add();
+  g->Set(2.5);
+  h->Record(10);
+  h->Record(20);
+
+  const MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_NE(snap.Find("x.count"), nullptr);
+  EXPECT_EQ(snap.Find("x.count")->u, 4u);
+  EXPECT_DOUBLE_EQ(snap.Find("x.level")->AsDouble(), 2.5);
+  ASSERT_NE(snap.Find("x.latency.count"), nullptr);
+  EXPECT_EQ(snap.Find("x.latency.count")->u, 2u);
+  EXPECT_NE(snap.Find("x.latency.p50"), nullptr);
+  EXPECT_NE(snap.Find("x.latency.p99"), nullptr);
+  EXPECT_NE(snap.Find("x.latency.max"), nullptr);
+  EXPECT_NE(snap.Find("x.latency.mean"), nullptr);
+
+  // Snapshot is name-sorted.
+  const auto& entries = snap.entries();
+  for (size_t i = 1; i < entries.size(); ++i) {
+    EXPECT_LT(entries[i - 1].name, entries[i].name);
+  }
+
+  registry.Reset();
+  const MetricsSnapshot zeroed = registry.Snapshot();
+  EXPECT_EQ(zeroed.Find("x.count")->u, 0u);
+  EXPECT_DOUBLE_EQ(zeroed.Find("x.level")->AsDouble(), 0.0);
+  EXPECT_EQ(zeroed.Find("x.latency.count")->u, 0u);
+}
+
+TEST(MetricsRegistry, ProvidersEmitAndDuplicateNamesDisambiguate) {
+  MetricsRegistry registry;
+  int a = 0, b = 0;
+  registry.AddProvider(&a, [](obs::MetricsEmitter& e) {
+    e.Emit("manager.HeMem.faults", static_cast<uint64_t>(7));
+    e.Emit("manager.HeMem.rate", 0.5);
+  });
+  registry.AddProvider(&b, [](obs::MetricsEmitter& e) {
+    e.Emit("manager.HeMem.faults", static_cast<uint64_t>(9));
+  });
+
+  const MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_NE(snap.Find("manager.HeMem.faults"), nullptr);
+  EXPECT_EQ(snap.Find("manager.HeMem.faults")->u, 7u);
+  EXPECT_DOUBLE_EQ(snap.Find("manager.HeMem.rate")->AsDouble(), 0.5);
+  // Second emitter of the same name lands under a "#2" prefix segment.
+  ASSERT_NE(snap.Find("manager.HeMem#2.faults"), nullptr);
+  EXPECT_EQ(snap.Find("manager.HeMem#2.faults")->u, 9u);
+}
+
+TEST(MetricsRegistry, RemoveOwnerDropsAllRegistrations) {
+  MetricsRegistry registry;
+  int a = 0, b = 0;
+  registry.AddCounter(&a, "a.count");
+  registry.AddProvider(&a, [](obs::MetricsEmitter& e) { e.Emit("a.extra", 1.0); });
+  registry.AddCounter(&b, "b.count");
+  EXPECT_EQ(registry.registration_count(), 3u);
+
+  registry.RemoveOwner(&a);
+  EXPECT_EQ(registry.registration_count(), 1u);
+  const MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.Find("a.count"), nullptr);
+  EXPECT_EQ(snap.Find("a.extra"), nullptr);
+  EXPECT_NE(snap.Find("b.count"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Event tracer
+
+TEST(EventTracer, RecordsEventsAndSortsJsonByTimestamp) {
+  EventTracer tracer;
+  tracer.set_enabled(true);
+  const obs::TrackId track = tracer.RegisterTrack("component");
+  EXPECT_GE(track, EventTracer::kComponentTrackBase);
+  EXPECT_EQ(tracer.RegisterTrack("component"), track);  // dedup by name
+
+  // Emit out of timestamp order; WriteJson must sort.
+  tracer.Duration(track, "late", "test", 2000, 2500, {{"bytes", 4096.0}});
+  tracer.Instant(track, "early", "test", 1000);
+  ASSERT_EQ(tracer.event_count(), 2u);
+
+  const std::string path = TempPath("trace_sorted.json");
+  ASSERT_TRUE(tracer.WriteJson(path));
+  const std::string text = ReadFile(path);
+
+  JsonChecker checker(text);
+  EXPECT_TRUE(checker.Valid()) << text;
+  EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+  const size_t early = text.find("\"early\"");
+  const size_t late = text.find("\"late\"");
+  ASSERT_NE(early, std::string::npos);
+  ASSERT_NE(late, std::string::npos);
+  EXPECT_LT(early, late);
+  // Integral args print as integers, not as "4096.000000".
+  EXPECT_NE(text.find("\"bytes\":4096"), std::string::npos);
+  EXPECT_EQ(text.find("4096.0"), std::string::npos);
+}
+
+TEST(EventTracer, EscapesNamesInJson) {
+  EventTracer tracer;
+  tracer.set_enabled(true);
+  const obs::TrackId track = tracer.RegisterTrack("quote\"back\\slash");
+  tracer.Instant(track, "ev\"ent", "test", 10);
+
+  const std::string path = TempPath("trace_escaped.json");
+  ASSERT_TRUE(tracer.WriteJson(path));
+  const std::string text = ReadFile(path);
+  JsonChecker checker(text);
+  EXPECT_TRUE(checker.Valid()) << text;
+  EXPECT_NE(text.find("quote\\\"back\\\\slash"), std::string::npos);
+}
+
+TEST(EventTracer, ClearDropsEvents) {
+  EventTracer tracer;
+  tracer.set_enabled(true);
+  tracer.Instant(tracer.RegisterTrack("t"), "e", "test", 1);
+  EXPECT_EQ(tracer.event_count(), 1u);
+  tracer.Clear();
+  EXPECT_EQ(tracer.event_count(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Sampler
+
+TEST(MetricsSampler, BucketsAlignToSamplingIntervals) {
+  MetricsRegistry registry;
+  int owner = 0;
+  obs::Counter* counter = registry.AddCounter(&owner, "work.ops");
+
+  Engine engine;
+  MetricsSampler sampler(registry, kMillisecond);
+  engine.AddObserverThread(&sampler);
+
+  // Increment strictly inside each interval: +5 at 0.5 ms, +7 at 1.5 ms,
+  // +9 at 2.5 ms. Half-period slices put every increment mid-interval, so
+  // the engine's run-ahead (a slice straddling a tick time commits before
+  // the tick pops) cannot move an increment across a sampling boundary; the
+  // trailing idle step keeps the worker live past the 3 ms tick.
+  int step = 0;
+  ScriptThread worker([&](ScriptThread& self) {
+    self.Advance(kMillisecond / 2);
+    if (step % 2 == 0 && step < 6) {
+      counter->Add(5 + static_cast<uint64_t>(step));
+    }
+    return ++step < 7;
+  });
+  engine.AddThread(&worker);
+  engine.Run();
+
+  ASSERT_TRUE(sampler.series().count("work.ops"));
+  const TimeSeries& series = sampler.series().at("work.ops");
+  EXPECT_EQ(series.bucket_width(), kMillisecond);
+  // Delta for interval k lands in bucket k.
+  ASSERT_GE(series.buckets().size(), 3u);
+  EXPECT_DOUBLE_EQ(series.buckets()[0], 5.0);
+  EXPECT_DOUBLE_EQ(series.buckets()[1], 7.0);
+  EXPECT_DOUBLE_EQ(series.buckets()[2], 9.0);
+  EXPECT_GE(sampler.samples_taken(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Run report
+
+TEST(RunReport, WritesWellFormedNestedJson) {
+  MetricsRegistry registry;
+  int owner = 0;
+  registry.AddCounter(&owner, "device.dram.loads")->Add(11);
+  registry.AddGauge(&owner, "pebs.drop_rate")->Set(0.25);
+
+  Engine engine;
+  MetricsSampler sampler(registry, kMillisecond);
+  engine.AddObserverThread(&sampler);
+  ScriptThread worker([&](ScriptThread& self) {
+    self.Advance(3 * kMillisecond + kMillisecond / 2);
+    return false;
+  });
+  engine.AddThread(&worker);
+  engine.Run();
+
+  const std::string path = TempPath("run_report.json");
+  ASSERT_TRUE(obs::WriteRunReport(path, registry.Snapshot(), &sampler,
+                                  {{"workload", "unit"}, {"system", "none"}}));
+  const std::string text = ReadFile(path);
+  JsonChecker checker(text);
+  EXPECT_TRUE(checker.Valid()) << text;
+
+  // Dotted names nest; meta and series sections are present.
+  EXPECT_NE(text.find("\"meta\""), std::string::npos);
+  EXPECT_NE(text.find("\"workload\": \"unit\""), std::string::npos);
+  EXPECT_NE(text.find("\"dram\""), std::string::npos);
+  EXPECT_NE(text.find("\"loads\": 11"), std::string::npos);
+  EXPECT_NE(text.find("\"series\""), std::string::npos);
+  EXPECT_NE(text.find("\"period_ns\""), std::string::npos);
+}
+
+TEST(RunReport, SnapshotToJsonHandlesLeafPrefixConflict) {
+  MetricsRegistry registry;
+  int owner = 0;
+  registry.AddCounter(&owner, "pebs.samples")->Add(5);
+  registry.AddCounter(&owner, "pebs.samples.dropped")->Add(2);
+
+  const std::string text = obs::SnapshotToJson(registry.Snapshot());
+  JsonChecker checker(text);
+  EXPECT_TRUE(checker.Valid()) << text;
+  // The leaf that is also a prefix keeps its value under "value".
+  EXPECT_NE(text.find("\"value\": 5"), std::string::npos);
+  EXPECT_NE(text.find("\"dropped\": 2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hemem

@@ -1,7 +1,7 @@
 // hemem_sim: command-line driver for ad-hoc tiered-memory experiments.
 //
 // Runs one workload against one tiering system on a scaled machine and
-// prints throughput plus manager/device statistics. Examples:
+// prints throughput plus the full metrics snapshot. Examples:
 //
 //   hemem_sim --workload=gups --system=HeMem --ws-gb=512 --hot-gb=16
 //   hemem_sim --workload=kvs --system=MM --ws-gb=700
@@ -11,18 +11,16 @@
 //   hemem_sim --workload=gups --record=/tmp/t.bin --updates=200000
 //   hemem_sim --workload=replay --trace=/tmp/t.bin --system=MM
 //
-// Flags (all optional):
-//   --workload=gups|kvs|tpcc|bc   --system=<MakeSystem name>
-//   --scale=<machine divisor>     --threads=<n>
-//   --ws-gb --hot-gb              (gups, kvs)
-//   --warehouses                  (tpcc)
-//   --graph-scale --iterations    (bc)
-//   --seed                        deterministic run seed
+// Observability (any workload): --trace-out=t.json writes a Chrome
+// trace-event file (load it in Perfetto / chrome://tracing),
+// --metrics-out=m.json writes the machine-readable run report, and
+// --sample-ms=N adds per-interval metric time series to that report.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "apps/bc.h"
@@ -33,11 +31,48 @@
 #include "apps/silo.h"
 #include "bench_common.h"
 #include "gups_bench.h"
+#include "obs/report.h"
+#include "obs/sampler.h"
+#include "obs/trace.h"
 
 using namespace hemem;
 using namespace hemem::bench;
 
 namespace {
+
+struct FlagSpec {
+  const char* name;
+  const char* help;
+};
+
+constexpr FlagSpec kFlagSpecs[] = {
+    {"workload", "gups|kvs|tpcc|bc|pagerank|replay (default gups)"},
+    {"system", "tiering system: DRAM|NVM|MM|Nimble|X-Mem|Thermostat|HeMem|..."},
+    {"scale", "machine divisor (bc, pagerank)"},
+    {"threads", "worker threads"},
+    {"ws-gb", "working set, paper-equivalent GiB (gups, kvs)"},
+    {"hot-gb", "hot set, paper-equivalent GiB (gups)"},
+    {"warehouses", "TPC-C warehouses (tpcc)"},
+    {"graph-scale", "Kronecker graph scale (bc, pagerank)"},
+    {"iterations", "graph iterations (bc, pagerank)"},
+    {"seed", "deterministic run seed"},
+    {"updates", "updates per thread when recording (gups --record)"},
+    {"warmup-ms", "virtual warmup before the measured window (gups)"},
+    {"window-ms", "virtual measured window (gups)"},
+    {"record", "write the access trace to this file (gups)"},
+    {"trace", "access-trace file to replay (replay)"},
+    {"preserve-gaps", "replay with the recorded inter-access gaps (replay)"},
+    {"metrics-out", "write the JSON run report (metrics + series) here"},
+    {"trace-out", "write a Chrome/Perfetto trace-event JSON file here"},
+    {"sample-ms", "metric sampling interval in virtual ms (needs --metrics-out)"},
+};
+
+void PrintFlagHelp(std::FILE* out) {
+  std::fprintf(out, "valid flags:\n");
+  for (const FlagSpec& spec : kFlagSpecs) {
+    std::fprintf(out, "  --%-14s %s\n", spec.name, spec.help);
+  }
+}
 
 std::map<std::string, std::string> ParseFlags(int argc, char** argv) {
   std::map<std::string, std::string> flags;
@@ -45,14 +80,25 @@ std::map<std::string, std::string> ParseFlags(int argc, char** argv) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--", 2) != 0) {
       std::fprintf(stderr, "unrecognized argument: %s\n", arg);
+      PrintFlagHelp(stderr);
       std::exit(2);
     }
     const char* eq = std::strchr(arg, '=');
-    if (eq != nullptr) {
-      flags[std::string(arg + 2, eq)] = std::string(eq + 1);
-    } else {
-      flags[std::string(arg + 2)] = "1";
+    const std::string key =
+        eq != nullptr ? std::string(arg + 2, eq) : std::string(arg + 2);
+    bool known = false;
+    for (const FlagSpec& spec : kFlagSpecs) {
+      if (key == spec.name) {
+        known = true;
+        break;
+      }
     }
+    if (!known) {
+      std::fprintf(stderr, "unknown flag: --%s\n", key.c_str());
+      PrintFlagHelp(stderr);
+      std::exit(2);
+    }
+    flags[key] = eq != nullptr ? std::string(eq + 1) : "1";
   }
   return flags;
 }
@@ -69,17 +115,51 @@ std::string FlagS(const std::map<std::string, std::string>& flags, const std::st
   return it == flags.end() ? fallback : it->second;
 }
 
-void PrintCommonStats(Machine& machine, TieredMemoryManager& manager) {
-  const auto& stats = manager.stats();
-  std::printf("faults=%lu promoted=%lu demoted=%lu migrated_MB=%.1f wp_faults=%lu\n",
-              stats.missing_faults, stats.pages_promoted, stats.pages_demoted,
-              static_cast<double>(stats.bytes_migrated) / 1048576.0, stats.wp_faults);
-  const auto& dram = machine.dram().stats();
-  const auto& nvm = machine.nvm().stats();
-  std::printf("dram: loads=%lu stores=%lu | nvm: loads=%lu stores=%lu wear_MB=%.1f\n",
-              dram.loads, dram.stores, nvm.loads, nvm.stores,
-              static_cast<double>(nvm.media_bytes_written) / 1048576.0);
-}
+// Per-run observability wiring. Construct right after the Machine and BEFORE
+// the manager (tracing has to be on while managers register their tracks);
+// call Finish once the workload is done.
+class ObsSession {
+ public:
+  ObsSession(Machine& machine, const std::map<std::string, std::string>& flags)
+      : machine_(machine),
+        metrics_out_(FlagS(flags, "metrics-out", "")),
+        trace_out_(FlagS(flags, "trace-out", "")) {
+    if (!trace_out_.empty()) {
+      machine.EnableTracing();
+    }
+    const double sample_ms = FlagD(flags, "sample-ms", 0.0);
+    if (sample_ms > 0.0) {
+      sampler_ = std::make_unique<obs::MetricsSampler>(
+          machine.metrics(),
+          static_cast<SimTime>(sample_ms * static_cast<double>(kMillisecond)));
+      machine.engine().AddObserverThread(sampler_.get());
+    }
+  }
+
+  // Prints the shared stats block and writes any requested report files.
+  // Returns nonzero (suitable as an exit code) if a file cannot be written.
+  int Finish(obs::ReportMeta meta) {
+    const obs::MetricsSnapshot snapshot = machine_.metrics().Snapshot();
+    obs::PrintSnapshot(stdout, snapshot);
+    int status = 0;
+    if (!metrics_out_.empty() &&
+        !obs::WriteRunReport(metrics_out_, snapshot, sampler_.get(), meta)) {
+      std::fprintf(stderr, "failed to write %s\n", metrics_out_.c_str());
+      status = 1;
+    }
+    if (!trace_out_.empty() && !machine_.tracer().WriteJson(trace_out_)) {
+      std::fprintf(stderr, "failed to write %s\n", trace_out_.c_str());
+      status = 1;
+    }
+    return status;
+  }
+
+ private:
+  Machine& machine_;
+  std::string metrics_out_;
+  std::string trace_out_;
+  std::unique_ptr<obs::MetricsSampler> sampler_;
+};
 
 int RunGupsCli(const std::map<std::string, std::string>& flags) {
   const std::string system = FlagS(flags, "system", "HeMem");
@@ -111,16 +191,31 @@ int RunGupsCli(const std::map<std::string, std::string>& flags) {
     return 0;
   }
 
-  const GupsRunOutput out = RunGupsSystem(system, config);
-  std::printf("gups=%.4f updates=%lu elapsed_ms=%.1f\n", out.result.gups,
-              out.result.total_updates, static_cast<double>(out.result.elapsed) / 1e6);
-  std::printf("promoted=%lu demoted=%lu nvm_wear_MB=%.1f pebs_drop=%.4f\n",
-              out.pages_promoted, out.pages_demoted,
-              static_cast<double>(out.nvm_media_writes) / 1048576.0, out.pebs_drop_rate);
-  return 0;
+  const SimTime warmup = static_cast<SimTime>(
+      FlagD(flags, "warmup-ms", static_cast<double>(kGupsWarmup / kMillisecond)) *
+      static_cast<double>(kMillisecond));
+  const SimTime window = static_cast<SimTime>(
+      FlagD(flags, "window-ms", static_cast<double>(kGupsWindow / kMillisecond)) *
+      static_cast<double>(kMillisecond));
+
+  Machine machine(GupsMachine());
+  ObsSession obs_session(machine, flags);
+  auto manager = MakeSystem(system, machine);
+  manager->Start();
+
+  config.updates_per_thread = ~0ull >> 2;  // deadline-bounded
+  config.measure_after = warmup;
+  GupsBenchmark gups(*manager, config);
+  gups.Prepare();
+  const GupsResult result = gups.Run(warmup + window);
+
+  std::printf("gups=%.4f updates=%lu elapsed_ms=%.1f\n", result.gups,
+              result.total_updates, static_cast<double>(result.elapsed) / 1e6);
+  return obs_session.Finish({{"workload", "gups"}, {"system", system}});
 }
 
 int RunReplayCli(const std::map<std::string, std::string>& flags) {
+  const std::string system = FlagS(flags, "system", "HeMem");
   const std::string path = FlagS(flags, "trace", "");
   Trace trace;
   if (path.empty() || !Trace::LoadFrom(path, &trace)) {
@@ -128,19 +223,21 @@ int RunReplayCli(const std::map<std::string, std::string>& flags) {
     return 1;
   }
   Machine machine(GupsMachine());
-  auto manager = MakeSystem(FlagS(flags, "system", "HeMem"), machine);
+  ObsSession obs_session(machine, flags);
+  auto manager = MakeSystem(system, machine);
   manager->Start();
   TraceReplayer replayer(*manager, trace, flags.count("preserve-gaps") > 0);
   const TraceReplayer::Result result = replayer.Run();
   std::printf("replayed %lu accesses in %.1f ms under %s\n", result.accesses,
               static_cast<double>(result.elapsed) / 1e6, manager->name());
-  PrintCommonStats(machine, *manager);
-  return 0;
+  return obs_session.Finish({{"workload", "replay"}, {"system", system}});
 }
 
 int RunKvsCli(const std::map<std::string, std::string>& flags) {
+  const std::string system = FlagS(flags, "system", "HeMem");
   Machine machine(GupsMachine());
-  auto manager = MakeSystem(FlagS(flags, "system", "HeMem"), machine);
+  ObsSession obs_session(machine, flags);
+  auto manager = MakeSystem(system, machine);
   manager->Start();
   KvsConfig config;
   config.value_bytes = 4096;
@@ -156,16 +253,17 @@ int RunKvsCli(const std::map<std::string, std::string>& flags) {
   std::printf("mops=%.3f p50_us=%lu p99_us=%lu p999_us=%lu\n", result.mops,
               result.latency.Percentile(0.5), result.latency.Percentile(0.99),
               result.latency.Percentile(0.999));
-  PrintCommonStats(machine, *manager);
-  return 0;
+  return obs_session.Finish({{"workload", "kvs"}, {"system", system}});
 }
 
 int RunTpccCli(const std::map<std::string, std::string>& flags) {
+  const std::string system = FlagS(flags, "system", "HeMem");
   MachineConfig mc = MachineConfig::Scaled(115.0);
   mc.page_bytes = KiB(64);
   mc.pebs.SetAllPeriods(ScaledPebsPeriod(kPaperPebsPeriod, 40.0));
   Machine machine(mc);
-  auto manager = MakeSystem(FlagS(flags, "system", "HeMem"), machine);
+  ObsSession obs_session(machine, flags);
+  auto manager = MakeSystem(system, machine);
   manager->Start();
   SiloConfig sconfig;
   sconfig.warehouses = static_cast<int>(FlagD(flags, "warehouses", 432));
@@ -183,11 +281,11 @@ int RunTpccCli(const std::map<std::string, std::string>& flags) {
   const TpccResult result = tpcc.Run();
   std::printf("txn_per_sec=%.0f transactions=%lu\n", result.txn_per_sec,
               result.total_transactions);
-  PrintCommonStats(machine, *manager);
-  return 0;
+  return obs_session.Finish({{"workload", "tpcc"}, {"system", system}});
 }
 
 int RunPageRankCli(const std::map<std::string, std::string>& flags) {
+  const std::string system = FlagS(flags, "system", "HeMem");
   KroneckerConfig kconfig;
   kconfig.scale = static_cast<int>(FlagD(flags, "graph-scale", 18));
   kconfig.seed = static_cast<uint64_t>(FlagD(flags, "seed", 12));
@@ -196,7 +294,8 @@ int RunPageRankCli(const std::map<std::string, std::string>& flags) {
   mc.page_bytes = KiB(64);
   mc.pebs.SetAllPeriods(ScaledPebsPeriod(kPaperPebsPeriod, 64.0));
   Machine machine(mc);
-  auto manager = MakeSystem(FlagS(flags, "system", "HeMem"), machine);
+  ObsSession obs_session(machine, flags);
+  auto manager = MakeSystem(system, machine);
   manager->Start();
   SimGraph sim_graph(*manager, graph);
   PageRankConfig pconfig;
@@ -209,11 +308,11 @@ int RunPageRankCli(const std::map<std::string, std::string>& flags) {
     std::printf("iteration %zu: %.1f ms\n", i + 1,
                 static_cast<double>(result.iteration_time[i]) / 1e6);
   }
-  PrintCommonStats(machine, *manager);
-  return 0;
+  return obs_session.Finish({{"workload", "pagerank"}, {"system", system}});
 }
 
 int RunBcCli(const std::map<std::string, std::string>& flags) {
+  const std::string system = FlagS(flags, "system", "HeMem");
   KroneckerConfig kconfig;
   kconfig.scale = static_cast<int>(FlagD(flags, "graph-scale", 18));
   kconfig.seed = static_cast<uint64_t>(FlagD(flags, "seed", 12));
@@ -222,7 +321,8 @@ int RunBcCli(const std::map<std::string, std::string>& flags) {
   mc.page_bytes = KiB(64);
   mc.pebs.SetAllPeriods(ScaledPebsPeriod(kPaperPebsPeriod, 64.0));
   Machine machine(mc);
-  auto manager = MakeSystem(FlagS(flags, "system", "HeMem"), machine);
+  ObsSession obs_session(machine, flags);
+  auto manager = MakeSystem(system, machine);
   manager->Start();
   SimGraph sim_graph(*manager, graph);
   BcConfig bconfig;
@@ -236,8 +336,7 @@ int RunBcCli(const std::map<std::string, std::string>& flags) {
                 static_cast<double>(result.iteration_time[i]) / 1e6,
                 static_cast<double>(result.iteration_nvm_writes[i]) / 1048576.0);
   }
-  PrintCommonStats(machine, *manager);
-  return 0;
+  return obs_session.Finish({{"workload", "bc"}, {"system", system}});
 }
 
 }  // namespace
