@@ -108,6 +108,9 @@ class GupsBenchmark::Worker : public SimThread {
                               ? hot_part_base_ + offset * page
                               : part_base_ + (offset - hot_pages) * page;
     bench_.manager_.Access(*this, addr, 8, AccessKind::kStore);
+    if (bench_.config_.verify) {
+      bench_.ApplyVerifiedUpdate(addr);
+    }
     prefill_remaining_--;
   }
 
@@ -142,11 +145,17 @@ class GupsBenchmark::Worker : public SimThread {
       // other locations pure loads.
       if (to_hot && chunk < write_only_chunks_) {
         manager.Access(*this, addr, size, AccessKind::kStore);
+        if (config.verify) {
+          bench_.ApplyVerifiedUpdate(addr);
+        }
       } else {
         manager.Access(*this, addr, size, AccessKind::kLoad);
       }
     } else {
       manager.Update(*this, addr, size);
+      if (config.verify) {
+        bench_.ApplyVerifiedUpdate(addr);
+      }
     }
     ChargeCompute(config.compute_per_update);
   }
@@ -179,8 +188,14 @@ class GupsBenchmark::Worker : public SimThread {
       const AccessKind kind = in_hot && hot_off < write_only_bytes_ ? AccessKind::kStore
                                                                     : AccessKind::kLoad;
       manager.Access(*this, addr, size, kind);
+      if (config.verify && kind == AccessKind::kStore) {
+        bench_.ApplyVerifiedUpdate(addr);
+      }
     } else {
       manager.Update(*this, addr, size);
+      if (config.verify) {
+        bench_.ApplyVerifiedUpdate(addr);
+      }
     }
     ChargeCompute(config.compute_per_update);
   }
@@ -227,6 +242,9 @@ GupsBenchmark::GupsBenchmark(TieredMemoryManager& manager, GupsConfig config)
 GupsBenchmark::~GupsBenchmark() = default;
 
 void GupsBenchmark::Prepare() {
+  if (config_.verify) {
+    manager_.machine().EnableShadow();
+  }
   uint64_t cold_bytes = config_.working_set;
   if (config_.split_hot_region) {
     assert(config_.shift_at == 0 && "split layout does not support shifting");
@@ -265,6 +283,33 @@ GupsResult GupsBenchmark::Run(SimTime deadline) {
   result.gups = static_cast<double>(result.total_updates) /
                 static_cast<double>(result.elapsed);  // updates/ns == G updates/s
   return result;
+}
+
+void GupsBenchmark::ApplyVerifiedUpdate(uint64_t addr) {
+  ShadowMemory* shadow = manager_.machine().shadow();
+  PageTable& pt = manager_.machine().page_table();
+  // Odd, address-derived delta: a word holding the wrong multiset of deltas
+  // cannot cancel out to the expected sum.
+  const uint64_t delta = Mix64(addr) | 1;
+  shadow->Store(pt, addr, shadow->Load(pt, addr) + delta);
+  expected_[addr] += delta;
+}
+
+uint64_t GupsBenchmark::VerifyData() {
+  ShadowMemory* shadow = manager_.machine().shadow();
+  if (shadow == nullptr) {
+    return 0;
+  }
+  PageTable& pt = manager_.machine().page_table();
+  uint64_t mismatches = 0;
+  verified_words_ = 0;
+  for (const auto& [addr, want] : expected_) {
+    verified_words_++;
+    if (shadow->Load(pt, addr) != want) {
+      mismatches++;
+    }
+  }
+  return mismatches;
 }
 
 }  // namespace hemem

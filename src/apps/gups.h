@@ -23,6 +23,7 @@
 #include <limits>
 #include <memory>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "common/rng.h"
@@ -71,6 +72,14 @@ struct GupsConfig {
   SimTime compute_per_update = 15;  // ns of index arithmetic per update
   uint64_t seed = 42;
   SimTime series_bucket = kSecond;
+
+  // Data-integrity verification (tests): every store additionally updates a
+  // frame-keyed shadow copy of the payload, and VerifyData() re-reads every
+  // written word through the page table after the run. Catches lost or
+  // misdirected copies across migration, rollback, and fallback paths.
+  // Incompatible with a swap tier (the shadow does not follow pages to the
+  // block device). Off by default — the working set stays synthetic.
+  bool verify = false;
 };
 
 struct GupsResult {
@@ -94,8 +103,19 @@ class GupsBenchmark {
   // Updates completed per wall-clock-second bucket (instantaneous GUPS).
   const TimeSeries& series() const { return series_; }
 
+  // Verify mode: re-reads every word the benchmark wrote through the page
+  // table and compares against the expected running sums. Returns the number
+  // of mismatched words (0 = no update lost or corrupted). Only meaningful
+  // after Run() with config.verify set.
+  uint64_t VerifyData();
+  uint64_t verified_words() const { return verified_words_; }
+
  private:
   class Worker;
+
+  // Applies one verified store at `addr`: bumps the shadow word and the
+  // expected value by the same address-derived odd delta.
+  void ApplyVerifiedUpdate(uint64_t addr);
 
   TieredMemoryManager& manager_;
   GupsConfig config_;
@@ -103,6 +123,8 @@ class GupsBenchmark {
   uint64_t hot_base_ = 0;  // split layout only
   std::vector<std::unique_ptr<Worker>> workers_;
   TimeSeries series_;
+  std::unordered_map<uint64_t, uint64_t> expected_;  // va -> expected word
+  uint64_t verified_words_ = 0;
 };
 
 }  // namespace hemem

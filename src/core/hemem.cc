@@ -64,6 +64,9 @@ Hemem::Hemem(Machine& machine, HememParams params)
     e.Emit("hemem.promotion_stalls", hstats_.promotion_stalls);
     e.Emit("hemem.pages_swapped_out", hstats_.pages_swapped_out);
     e.Emit("hemem.pages_swapped_in", hstats_.pages_swapped_in);
+    e.Emit("hemem.migration_aborts", hstats_.migration_aborts);
+    e.Emit("hemem.deferred_allocs", hstats_.deferred_allocs);
+    e.Emit("hemem.dma_fallback_batches", hstats_.dma_fallback_batches);
     e.Emit("hemem.cool_clock", cool_clock_);
     e.Emit("hemem.dram_usage_bytes", dram_usage());
     e.Emit("hemem.dram_quota_bytes", dram_quota_bytes_);
@@ -191,8 +194,8 @@ std::optional<Hemem::PageProbe> Hemem::ProbePage(uint64_t va) {
   if (page == nullptr) {
     return std::nullopt;
   }
-  return PageProbe{page->reads, page->writes, page->write_heavy,
-                   page->list == PageListId::kHot, page->tier()};
+  return PageProbe{page->reads,  page->writes, page->write_heavy,
+                   page->list == PageListId::kHot, page->tier(), page->list};
 }
 
 HememPage* Hemem::MetaOf(Region* region, uint64_t index) {
@@ -226,6 +229,10 @@ void Hemem::HandleMissingFault(SimThread& thread, Region& region, uint64_t index
   entry.present = true;
   if (tier == Tier::kDram) {
     dram_pages_owned_++;
+  }
+  if (ShadowMemory* shadow = machine_.shadow()) {
+    // Zero-fill: a reused frame must not leak a prior owner's contents.
+    shadow->DropPage(tier, *frame);
   }
   thread.Advance(fault_costs_.userfaultfd_roundtrip);
   thread.AdvanceTo(machine_.device(tier).BulkTransfer(thread.now(), region.page_bytes,
@@ -265,6 +272,11 @@ void Hemem::HandleSwapInFault(SimThread& thread, Region& region, uint64_t index)
                                          AccessKind::kStore);
   thread.AdvanceTo(std::max(read_done, fill_done));
   swap_space_->Free(entry.frame);
+  if (ShadowMemory* shadow = machine_.shadow()) {
+    // Swap contents are not shadowed (see vm/shadow.h); the page reads as
+    // zeros after swap-in, and a reused frame must not leak stale contents.
+    shadow->DropPage(tier, *frame);
+  }
   entry.frame = *frame;
   entry.tier = tier;
   entry.swapped = false;
@@ -305,6 +317,9 @@ SimTime Hemem::SwapOutColdPages(SimTime t, uint64_t* budget) {
     const SimTime nvm_done =
         machine_.nvm().BulkTransfer(t, page_bytes, AccessKind::kLoad);
     t = disk->Write(nvm_done, page_bytes);
+    if (ShadowMemory* shadow = machine_.shadow()) {
+      shadow->DropPage(Tier::kNvm, entry.frame);
+    }
     nvm_frames.Free(entry.frame);
     entry.frame = slot;
     entry.present = false;
@@ -557,7 +572,30 @@ SimTime Hemem::MigrateBatch(SimTime t, std::vector<Migration>& batch) {
       reqs.push_back(CopyRequest{&machine_.device(m.page->tier()), &machine_.device(m.dst),
                                  page_bytes});
     }
-    done = machine_.dma().CopyBatch(t, reqs, params_.dma_channels, &per_request);
+    const DmaBatchResult result =
+        machine_.dma().TryCopyBatch(t, reqs, params_.dma_channels, &per_request);
+    if (result.ok) {
+      done = result.done;
+    } else {
+      // Retries exhausted: fall back to the synchronous CPU copiers from the
+      // moment the engine gave up, as HeMem's migration threads do when the
+      // I/OAT ioctl interface errors out. The batch still completes — only
+      // slower — so the policy's bookkeeping below is unchanged.
+      hstats_.dma_fallback_batches++;
+      machine_.dma().NoteFallback(batch.size());
+      done = result.done;
+      per_request.clear();
+      for (const Migration& m : batch) {
+        per_request.push_back(copier_.Copy(result.done, machine_.device(m.page->tier()),
+                                           machine_.device(m.dst), page_bytes));
+        done = std::max(done, per_request.back());
+      }
+      if (machine_.tracer().enabled()) {
+        machine_.tracer().Duration(trace_policy_track_, "dma_fallback_copy", "hemem",
+                                   result.done, done,
+                                   {{"pages", static_cast<double>(batch.size())}});
+      }
+    }
   } else {
     for (const Migration& m : batch) {
       per_request.push_back(copier_.Copy(t, machine_.device(m.page->tier()),
@@ -566,12 +604,45 @@ SimTime Hemem::MigrateBatch(SimTime t, std::vector<Migration>& batch) {
     }
   }
 
+  // Commit point. An abort fired here models Nomad-style migration failure
+  // (contending writer, racing unmap): the copied data is discarded and the
+  // transaction rolls back — every page stays resident and mapped in its
+  // source tier, the claimed destination frames return to their pool, and no
+  // promotion/demotion stats or list accounting change. Stores that raced
+  // the attempt still waited on wp_until, exactly as for a committed copy;
+  // no remap happened, so there is nothing to shoot down.
+  FaultInjector& faults = machine_.faults();
+  if (faults.armed(FaultKind::kMigrationAbort) &&
+      faults.Fire(FaultKind::kMigrationAbort, done) != nullptr) [[unlikely]] {
+    ShadowMemory* shadow = machine_.shadow();
+    for (size_t i = 0; i < batch.size(); ++i) {
+      const Migration& m = batch[i];
+      machine_.frames(m.dst).Free(m.frame);
+      if (shadow != nullptr) {
+        shadow->DropPage(m.dst, m.frame);
+      }
+      m.page->entry().wp_until = per_request[i];
+      Classify(m.page);  // back onto its source tier's list
+    }
+    hstats_.migration_aborts++;
+    if (machine_.tracer().enabled()) {
+      machine_.tracer().Instant(trace_policy_track_, "migrate_abort", "hemem", done,
+                                {{"pages", static_cast<double>(batch.size())}});
+    }
+    batch.clear();
+    return done;
+  }
+
+  ShadowMemory* shadow = machine_.shadow();
   for (size_t i = 0; i < batch.size(); ++i) {
     const Migration& m = batch[i];
     PageEntry& entry = m.page->entry();
     const Tier src = entry.tier;
     // Stores block only while this page's own copy is in flight.
     entry.wp_until = per_request[i];
+    if (shadow != nullptr) {
+      shadow->MovePage(src, entry.frame, m.dst, m.frame);
+    }
     machine_.frames(src).Free(entry.frame);
     entry.tier = m.dst;
     entry.frame = m.frame;
@@ -599,6 +670,16 @@ SimTime Hemem::MigrateBatch(SimTime t, std::vector<Migration>& batch) {
   }
   batch.clear();
   return done;
+}
+
+std::optional<uint32_t> Hemem::TryAllocFrame(Tier tier, SimTime now) {
+  FaultInjector& faults = machine_.faults();
+  if (faults.armed(FaultKind::kAllocFail) &&
+      faults.Fire(FaultKind::kAllocFail, now, TierName(tier)) != nullptr) [[unlikely]] {
+    hstats_.deferred_allocs++;
+    return std::nullopt;
+  }
+  return machine_.frames(tier).Alloc();
 }
 
 SimTime Hemem::PolicyPass(SimTime start) {
@@ -636,7 +717,7 @@ SimTime Hemem::PolicyPass(SimTime start) {
         break;
       }
       victim->list = PageListId::kNone;
-      const std::optional<uint32_t> frame = machine_.frames(Tier::kNvm).Alloc();
+      const std::optional<uint32_t> frame = TryAllocFrame(Tier::kNvm, t);
       if (!frame.has_value()) {
         Classify(victim);
         break;
@@ -667,9 +748,9 @@ SimTime Hemem::PolicyPass(SimTime start) {
       break;
     }
     victim->list = PageListId::kNone;
-    const std::optional<uint32_t> frame = nvm_frames.Alloc();
+    const std::optional<uint32_t> frame = TryAllocFrame(Tier::kNvm, t);
     if (!frame.has_value()) {
-      Classify(victim);  // put it back; NVM is full
+      Classify(victim);  // put it back; NVM is full (or the alloc deferred)
       break;
     }
     batch.push_back(Migration{victim, Tier::kNvm, *frame});
@@ -700,7 +781,7 @@ SimTime Hemem::PolicyPass(SimTime start) {
       }
       std::optional<uint32_t> frame;
       if (dram_frames.free_bytes() > watermark_bytes_) {
-        frame = dram_frames.Alloc();
+        frame = TryAllocFrame(Tier::kDram, t);
       }
       if (!frame.has_value()) {
         HememPage* victim = cold_[dram].PopFront();
@@ -711,7 +792,7 @@ SimTime Hemem::PolicyPass(SimTime start) {
           break;
         }
         victim->list = PageListId::kNone;
-        const std::optional<uint32_t> nvm_frame = nvm_frames.Alloc();
+        const std::optional<uint32_t> nvm_frame = TryAllocFrame(Tier::kNvm, t);
         if (!nvm_frame.has_value()) {
           Classify(hot_page);
           Classify(victim);
@@ -722,7 +803,7 @@ SimTime Hemem::PolicyPass(SimTime start) {
         demote_batch.push_back(Migration{victim, Tier::kNvm, *nvm_frame});
         budget = budget >= page_bytes ? budget - page_bytes : 0;
         t = MigrateBatch(t, demote_batch);
-        frame = dram_frames.Alloc();
+        frame = TryAllocFrame(Tier::kDram, t);
         if (!frame.has_value()) {
           Classify(hot_page);
           stalled = true;

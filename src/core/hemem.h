@@ -83,6 +83,10 @@ struct HememStats {
   uint64_t promotion_stalls = 0;  // hot set exceeded DRAM; migration paused
   uint64_t pages_swapped_out = 0;
   uint64_t pages_swapped_in = 0;
+  // Fault recovery (only nonzero under an armed fault plan).
+  uint64_t migration_aborts = 0;      // batches rolled back before commit
+  uint64_t deferred_allocs = 0;       // policy allocations deferred by faults
+  uint64_t dma_fallback_batches = 0;  // batches completed by CPU copy
 };
 
 class Hemem : public TieredMemoryManager {
@@ -120,6 +124,7 @@ class Hemem : public TieredMemoryManager {
     bool write_heavy = false;
     bool on_hot_list = false;
     Tier tier = Tier::kDram;
+    PageListId list = PageListId::kNone;
   };
   std::optional<PageProbe> ProbePage(uint64_t va);
 
@@ -183,6 +188,11 @@ class Hemem : public TieredMemoryManager {
   // Swaps cold NVM pages out until free NVM reaches the watermark or the
   // budget is spent; returns the new time cursor.
   SimTime SwapOutColdPages(SimTime t, uint64_t* budget);
+  // Policy-path frame allocation with transient-failure injection: a fired
+  // kAllocFail makes the pool look momentarily empty, which every policy
+  // phase already treats as "defer this migration to a later pass". Demand
+  // faults never go through here — a page the app is touching must map.
+  std::optional<uint32_t> TryAllocFrame(Tier tier, SimTime now);
   // Copies every page in `batch` to its destination; updates mappings,
   // lists, stats; one TLB shootdown per batch. Returns the new time cursor.
   SimTime MigrateBatch(SimTime t, std::vector<Migration>& batch);

@@ -119,11 +119,6 @@ SimTime MemoryDevice::Access(SimTime start, uint64_t addr, uint32_t size, Access
     busy += dir.random_penalty;
   }
 
-  const SimTime begin = ReserveChannel(dir, start, busy);
-  const uint64_t queue_delay = static_cast<uint64_t>(begin - start);
-  stats_.queue_delay_total_ns += queue_delay;
-  stats_.queue_delay_max_ns = std::max(stats_.queue_delay_max_ns, queue_delay);
-
   // Latency exposure: a streaming access hides latency behind prefetch; a
   // random access exposes latency/mlp because the thread keeps several
   // misses in flight.
@@ -131,6 +126,20 @@ SimTime MemoryDevice::Access(SimTime start, uint64_t addr, uint32_t size, Access
   if (!sequential) {
     exposed = dir.exposed_latency;
   }
+
+  if (degraded_) [[unlikely]] {
+    const double m = DegradeMultiplier(start);
+    if (m != 1.0) {
+      busy = static_cast<SimTime>(static_cast<double>(busy) * m);
+      exposed = static_cast<SimTime>(static_cast<double>(exposed) * m);
+      stats_.degraded_accesses++;
+    }
+  }
+
+  const SimTime begin = ReserveChannel(dir, start, busy);
+  const uint64_t queue_delay = static_cast<uint64_t>(begin - start);
+  stats_.queue_delay_total_ns += queue_delay;
+  stats_.queue_delay_max_ns = std::max(stats_.queue_delay_max_ns, queue_delay);
 
   if (kind == AccessKind::kLoad) {
     stats_.loads++;
@@ -150,7 +159,10 @@ SimTime MemoryDevice::Access(SimTime start, uint64_t addr, uint32_t size, Access
 
 SimTime MemoryDevice::BulkTransfer(SimTime start, uint64_t bytes, AccessKind kind) {
   Direction& dir = kind == AccessKind::kLoad ? read_ : write_;
-  const SimTime busy = static_cast<SimTime>(static_cast<double>(bytes) / dir.channel_bw);
+  SimTime busy = static_cast<SimTime>(static_cast<double>(bytes) / dir.channel_bw);
+  if (degraded_) [[unlikely]] {
+    busy = static_cast<SimTime>(static_cast<double>(busy) * DegradeMultiplier(start));
+  }
   const SimTime begin = ReserveChannel(dir, start, busy);
   if (kind == AccessKind::kLoad) {
     stats_.bytes_requested_read += bytes;
@@ -166,6 +178,20 @@ SimTime MemoryDevice::BulkTransfer(SimTime start, uint64_t bytes, AccessKind kin
                       {{"bytes", static_cast<double>(bytes)}});
   }
   return begin + busy;
+}
+
+double MemoryDevice::DegradeMultiplier(SimTime at) const {
+  if (at < degrade_.start || at >= degrade_.end) {
+    return 1.0;
+  }
+  double m = degrade_.multiplier;
+  if (degrade_.wear_factor > 0.0 && params_.capacity > 0) {
+    // Wear acceleration: the device slows further as media writes accumulate
+    // (Optane's degradation under sustained write traffic, paper Fig. 16).
+    m *= 1.0 + degrade_.wear_factor * static_cast<double>(stats_.media_bytes_written) /
+                   static_cast<double>(params_.capacity);
+  }
+  return m;
 }
 
 double MemoryDevice::ChannelPressure(SimTime at, AccessKind kind) const {

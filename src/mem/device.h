@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "common/units.h"
+#include "sim/fault.h"
 
 namespace hemem {
 
@@ -74,6 +75,8 @@ struct DeviceStats {
   // Channel-queue waiting observed by Access() calls (begin - start).
   uint64_t queue_delay_total_ns = 0;
   uint64_t queue_delay_max_ns = 0;
+  // Accesses slowed by injected device degradation (fault plans only).
+  uint64_t degraded_accesses = 0;
 };
 
 class MemoryDevice {
@@ -110,6 +113,16 @@ class MemoryDevice {
     trace_track_ = track;
   }
 
+  // Fault injection: applies a latency/bandwidth multiplier to accesses and
+  // bulk transfers inside the degrade window, optionally growing with wear
+  // (media bytes written / capacity). Attached by the Machine only when the
+  // plan degrades this device; undegraded devices take no extra branch
+  // beyond one predictable flag test.
+  void SetDegrade(const DeviceDegrade& degrade) {
+    degrade_ = degrade;
+    degraded_ = degrade.active;
+  }
+
  private:
   static constexpr int kMaxStreams = 512;
 
@@ -129,8 +142,12 @@ class MemoryDevice {
 
   // Reserves the earliest-free channel; returns {begin, channel index}.
   SimTime ReserveChannel(Direction& dir, SimTime start, SimTime busy);
+  // Degrade multiplier in effect at `at` (1.0 outside the window).
+  double DegradeMultiplier(SimTime at) const;
 
   DeviceParams params_;
+  DeviceDegrade degrade_;
+  bool degraded_ = false;
   // granularity - 1 when the media granularity is a power of two (the common
   // case: 64 B DRAM lines, 256 B XPLines); 0 selects the general RoundUp.
   uint64_t media_mask_ = 0;

@@ -28,8 +28,71 @@ DmaEngine::DmaEngine(DmaParams params) : params_(params) {
   channel_free_.assign(static_cast<size_t>(params_.channels), 0);
 }
 
+DmaBatchResult DmaEngine::TryCopyBatch(SimTime start, std::span<const CopyRequest> batch,
+                                       int channels_to_use,
+                                       std::vector<SimTime>* per_request_done) {
+  SimTime t = start;
+  SimTime backoff = params_.retry_backoff;
+  for (int attempt = 1;; ++attempt) {
+    const FaultRule* fault = nullptr;
+    bool timed_out = false;
+    if (injector_ != nullptr) [[unlikely]] {
+      fault = injector_->Fire(FaultKind::kDmaFail, t);
+      if (fault == nullptr) {
+        fault = injector_->Fire(FaultKind::kDmaTimeout, t);
+        timed_out = fault != nullptr;
+      }
+    }
+    if (fault == nullptr) [[likely]] {
+      return {true, DoCopyBatch(t, batch, channels_to_use, per_request_done), attempt};
+    }
+    // Failed submission: the ioctl and descriptor setup were still paid; a
+    // timeout additionally stalls for a multiple of the batch's nominal
+    // engine time before the error surfaces.
+    stats_.failed_attempts++;
+    t += params_.submit_overhead;
+    if (timed_out) {
+      stats_.timeouts++;
+      t += static_cast<SimTime>(fault->magnitude *
+                                static_cast<double>(NominalBatchTime(batch, channels_to_use)));
+    }
+    if (tracer_ != nullptr) {
+      tracer_->Instant(trace_track_, timed_out ? "dma_timeout" : "dma_fail", "migration", t,
+                       {{"attempt", static_cast<double>(attempt)}});
+    }
+    if (attempt >= params_.max_attempts) {
+      stats_.exhausted_batches++;
+      if (per_request_done != nullptr) {
+        per_request_done->clear();
+      }
+      return {false, t, attempt};
+    }
+    stats_.retries++;
+    t += backoff;
+    backoff *= 2;
+  }
+}
+
 SimTime DmaEngine::CopyBatch(SimTime start, std::span<const CopyRequest> batch,
                              int channels_to_use, std::vector<SimTime>* per_request_done) {
+  const DmaBatchResult result = TryCopyBatch(start, batch, channels_to_use, per_request_done);
+  assert(result.ok && "CopyBatch requires a fault-free engine; use TryCopyBatch");
+  return result.done;
+}
+
+SimTime DmaEngine::NominalBatchTime(std::span<const CopyRequest> batch,
+                                    int channels_to_use) const {
+  uint64_t bytes = 0;
+  for (const CopyRequest& req : batch) {
+    bytes += req.bytes;
+  }
+  return params_.submit_overhead +
+         static_cast<SimTime>(static_cast<double>(bytes) /
+                              (params_.channel_bw * static_cast<double>(channels_to_use)));
+}
+
+SimTime DmaEngine::DoCopyBatch(SimTime start, std::span<const CopyRequest> batch,
+                               int channels_to_use, std::vector<SimTime>* per_request_done) {
   assert(static_cast<int>(batch.size()) <= params_.max_batch);
   assert(channels_to_use >= 1 && channels_to_use <= params_.channels);
   if (per_request_done != nullptr) {

@@ -21,6 +21,7 @@
 
 #include "common/units.h"
 #include "mem/device.h"
+#include "sim/fault.h"
 
 namespace hemem {
 
@@ -29,6 +30,15 @@ struct DmaParams {
   double channel_bw = GiBps(5.0);  // per-channel engine throughput
   SimTime submit_overhead = 2 * kMicrosecond;  // ioctl + descriptor setup per batch
   int max_batch = 32;
+
+  // Recovery policy for failed batch submissions (see DESIGN.md, "Fault
+  // model & recovery"): a batch is attempted at most `max_attempts` times,
+  // with an exponentially doubling virtual-time backoff between attempts.
+  // Defaults bound the worst-case retry tail (2 failed submits + 20us +
+  // 40us of backoff ~= 70us) well inside one 10 ms policy period, so a
+  // flaky engine delays a migration pass rather than wedging it.
+  int max_attempts = 3;
+  SimTime retry_backoff = 20 * kMicrosecond;  // first backoff; doubles per retry
 };
 
 struct CopyRequest {
@@ -41,6 +51,20 @@ struct DmaStats {
   uint64_t batches = 0;
   uint64_t copies = 0;
   uint64_t bytes_copied = 0;
+  uint64_t failed_attempts = 0;    // submissions that errored (injected)
+  uint64_t timeouts = 0;           // failed submissions that stalled first
+  uint64_t retries = 0;            // re-submissions after a failed attempt
+  uint64_t exhausted_batches = 0;  // all attempts failed; caller must fall back
+  uint64_t fallback_copies = 0;    // requests completed by the CPU fallback
+};
+
+// Outcome of one TryCopyBatch call. On failure (`ok` false) no data moved:
+// `done` is when the engine gave up and the caller is expected to fall back
+// to a synchronous CPU copy from that time.
+struct DmaBatchResult {
+  bool ok = true;
+  SimTime done = 0;
+  int attempts = 1;
 };
 
 class DmaEngine {
@@ -48,16 +72,33 @@ class DmaEngine {
   explicit DmaEngine(DmaParams params = DmaParams{});
 
   // Submits a batch (<= max_batch requests) spread over `channels_to_use`
-  // engine channels starting no earlier than `start`. Returns the completion
-  // time of the whole batch; if `per_request_done` is non-null it receives
-  // each request's own completion time (requests finish as their channel
-  // drains, not at the batch barrier).
+  // engine channels starting no earlier than `start`; retries failed
+  // submissions per the params' backoff policy. Returns the completion time
+  // of the whole batch; if `per_request_done` is non-null it receives each
+  // request's own completion time (requests finish as their channel drains,
+  // not at the batch barrier). On exhausted retries `per_request_done` is
+  // left empty.
+  DmaBatchResult TryCopyBatch(SimTime start, std::span<const CopyRequest> batch,
+                              int channels_to_use,
+                              std::vector<SimTime>* per_request_done = nullptr);
+
+  // Legacy fire-and-forget form: returns the batch completion time. Only
+  // valid for engines without a fault injector (submission cannot fail).
   SimTime CopyBatch(SimTime start, std::span<const CopyRequest> batch, int channels_to_use,
                     std::vector<SimTime>* per_request_done = nullptr);
 
   // Single copy convenience.
   SimTime Copy(SimTime start, MemoryDevice& src, MemoryDevice& dst, uint64_t bytes,
                int channels_to_use = 2);
+
+  // Called by a caller that recovered from an exhausted batch with a CPU
+  // copy, so the recovery is visible in this engine's metrics.
+  void NoteFallback(uint64_t copies) { stats_.fallback_copies += copies; }
+
+  // Fault injection (kDmaFail / kDmaTimeout opportunities, one per batch
+  // submission attempt). Attached by the Machine only when the plan carries
+  // DMA rules; unattached engines run the exact pre-fault path.
+  void SetFaultInjector(FaultInjector* injector) { injector_ = injector; }
 
   const DmaParams& params() const { return params_; }
   const DmaStats& stats() const { return stats_; }
@@ -70,9 +111,17 @@ class DmaEngine {
   }
 
  private:
+  // One successful batch submission (the pre-fault CopyBatch body).
+  SimTime DoCopyBatch(SimTime start, std::span<const CopyRequest> batch, int channels_to_use,
+                      std::vector<SimTime>* per_request_done);
+  // Engine-side time a batch would nominally occupy; the unit the timeout
+  // stall multiplier applies to.
+  SimTime NominalBatchTime(std::span<const CopyRequest> batch, int channels_to_use) const;
+
   DmaParams params_;
   std::vector<SimTime> channel_free_;
   DmaStats stats_;
+  FaultInjector* injector_ = nullptr;
   obs::EventTracer* tracer_ = nullptr;
   uint32_t trace_track_ = 0;
 };

@@ -15,6 +15,29 @@ void PebsBuffer::CountAccess(SimTime now, uint64_t va, PebsEvent event,
     return;
   }
   counter = 0;
+  if (injector_ != nullptr) [[unlikely]] {
+    if (burst_remaining_ == 0) {
+      if (const FaultRule* burst = injector_->Fire(FaultKind::kPebsBurst, now)) {
+        burst_remaining_ = burst->burst_len;
+        if (tracer_ != nullptr) {
+          tracer_->Instant(trace_track_, "pebs_injected_burst", "pebs", now,
+                           {{"len", static_cast<double>(burst->burst_len)}});
+        }
+      }
+    }
+    bool drop = false;
+    if (burst_remaining_ > 0) {
+      burst_remaining_--;
+      drop = true;
+    } else if (injector_->Fire(FaultKind::kPebsDrop, now) != nullptr) {
+      drop = true;
+    }
+    if (drop) {
+      stats_.samples_dropped++;
+      stats_.injected_drops++;
+      return;
+    }
+  }
   if (ring_.size() >= params_.buffer_capacity) {
     // Hardware keeps writing past a full buffer only by overwriting the
     // interrupt threshold; in practice the record is lost.

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/units.h"
+#include "sim/fault.h"
 
 namespace hemem {
 
@@ -59,6 +60,9 @@ struct PebsStats {
   uint64_t samples_written = 0;
   uint64_t samples_dropped = 0;
   uint64_t samples_drained = 0;
+  // Of samples_dropped, how many were injected faults (drop rules and
+  // overflow bursts) rather than organic buffer-full losses.
+  uint64_t injected_drops = 0;
 
   double DropRate() const {
     const uint64_t produced = samples_written + samples_dropped;
@@ -93,6 +97,12 @@ class PebsBuffer {
     trace_track_ = track;
   }
 
+  // Fault injection (kPebsDrop per record, kPebsBurst opening a window that
+  // swallows the next `len` records). Attached by the Machine only when the
+  // plan carries PEBS rules; the per-access counting path is untouched and
+  // the record-append path checks one pointer.
+  void SetFaultInjector(FaultInjector* injector) { injector_ = injector; }
+
  private:
   static constexpr uint32_t kMaxContexts = 64;
 
@@ -103,6 +113,8 @@ class PebsBuffer {
   PebsStats stats_;
   // True while records are being dropped on the floor (buffer at capacity).
   bool overflow_open_ = false;
+  FaultInjector* injector_ = nullptr;
+  uint64_t burst_remaining_ = 0;  // records left to drop in the open burst
   obs::EventTracer* tracer_ = nullptr;
   uint32_t trace_track_ = 0;
 };

@@ -1,0 +1,300 @@
+#include "sim/fault.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/rng.h"
+
+namespace hemem {
+
+namespace {
+
+struct KindSpec {
+  const char* name;
+  FaultKind kind;
+  const char* target;  // implied rule target, or nullptr
+};
+
+// Rule names as written in a spec. The two degrade rules share a kind and
+// differ only in the implied device target.
+constexpr KindSpec kKindSpecs[] = {
+    {"dma.fail", FaultKind::kDmaFail, nullptr},
+    {"dma.timeout", FaultKind::kDmaTimeout, nullptr},
+    {"dram.degrade", FaultKind::kDeviceDegrade, "dram"},
+    {"nvm.degrade", FaultKind::kDeviceDegrade, "nvm"},
+    {"pebs.drop", FaultKind::kPebsDrop, nullptr},
+    {"pebs.burst", FaultKind::kPebsBurst, nullptr},
+    {"migrate.abort", FaultKind::kMigrationAbort, nullptr},
+    {"alloc.fail", FaultKind::kAllocFail, nullptr},
+};
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+bool ParseDouble(std::string_view value, double* out) {
+  const std::string buf(value);
+  char* end = nullptr;
+  *out = std::strtod(buf.c_str(), &end);
+  return end != buf.c_str() && *end == '\0';
+}
+
+bool ParseU64(std::string_view value, uint64_t* out) {
+  const std::string buf(value);
+  char* end = nullptr;
+  *out = std::strtoull(buf.c_str(), &end, 10);
+  return end != buf.c_str() && *end == '\0';
+}
+
+// "250", "250ns", "3us", "1.5ms", "2s".
+bool ParseTime(std::string_view value, SimTime* out) {
+  double scale = 1.0;
+  if (value.size() >= 2 && value.substr(value.size() - 2) == "ns") {
+    value.remove_suffix(2);
+  } else if (value.size() >= 2 && value.substr(value.size() - 2) == "us") {
+    scale = static_cast<double>(kMicrosecond);
+    value.remove_suffix(2);
+  } else if (value.size() >= 2 && value.substr(value.size() - 2) == "ms") {
+    scale = static_cast<double>(kMillisecond);
+    value.remove_suffix(2);
+  } else if (!value.empty() && value.back() == 's') {
+    scale = static_cast<double>(kSecond);
+    value.remove_suffix(1);
+  }
+  double raw = 0.0;
+  if (!ParseDouble(value, &raw) || raw < 0.0) {
+    return false;
+  }
+  *out = static_cast<SimTime>(raw * scale);
+  return true;
+}
+
+bool ParseRule(std::string_view item, FaultRule* rule, std::string* error) {
+  const size_t colon = item.find(':');
+  const std::string_view name = Trim(colon == std::string_view::npos ? item : item.substr(0, colon));
+  const KindSpec* spec = nullptr;
+  for (const KindSpec& candidate : kKindSpecs) {
+    if (name == candidate.name) {
+      spec = &candidate;
+      break;
+    }
+  }
+  if (spec == nullptr) {
+    *error = "unknown fault rule '" + std::string(name) + "'";
+    return false;
+  }
+  rule->kind = spec->kind;
+  if (spec->target != nullptr) {
+    rule->target = spec->target;
+  }
+  if (rule->kind == FaultKind::kDmaTimeout) {
+    rule->magnitude = 4.0;  // default stall: 4x the batch's nominal time
+  }
+
+  std::string_view rest = colon == std::string_view::npos ? std::string_view{} : item.substr(colon + 1);
+  while (!rest.empty()) {
+    const size_t comma = rest.find(',');
+    const std::string_view kv = Trim(rest.substr(0, comma));
+    rest = comma == std::string_view::npos ? std::string_view{} : rest.substr(comma + 1);
+    if (kv.empty()) {
+      *error = std::string(name) + ": empty key=value entry";
+      return false;
+    }
+    const size_t eq = kv.find('=');
+    if (eq == std::string_view::npos) {
+      *error = std::string(name) + ": expected key=value, got '" + std::string(kv) + "'";
+      return false;
+    }
+    const std::string_view key = Trim(kv.substr(0, eq));
+    const std::string_view value = Trim(kv.substr(eq + 1));
+    if (key == "p") {
+      if (!ParseDouble(value, &rule->probability) || rule->probability <= 0.0 ||
+          rule->probability > 1.0) {
+        *error = std::string(name) + ": p must be in (0, 1], got '" + std::string(value) + "'";
+        return false;
+      }
+    } else if (key == "start") {
+      if (!ParseTime(value, &rule->start)) {
+        *error = std::string(name) + ": bad start time '" + std::string(value) + "'";
+        return false;
+      }
+    } else if (key == "end") {
+      if (!ParseTime(value, &rule->end)) {
+        *error = std::string(name) + ": bad end time '" + std::string(value) + "'";
+        return false;
+      }
+    } else if (key == "max") {
+      if (!ParseU64(value, &rule->max_count) || rule->max_count == 0) {
+        *error = std::string(name) + ": max must be a positive count";
+        return false;
+      }
+    } else if (key == "mult") {
+      if (!ParseDouble(value, &rule->magnitude) || rule->magnitude <= 0.0) {
+        *error = std::string(name) + ": mult must be > 0";
+        return false;
+      }
+    } else if (key == "wear") {
+      if (rule->kind != FaultKind::kDeviceDegrade) {
+        *error = std::string(name) + ": wear only applies to degrade rules";
+        return false;
+      }
+      if (!ParseDouble(value, &rule->wear) || rule->wear < 0.0) {
+        *error = std::string(name) + ": wear must be >= 0";
+        return false;
+      }
+    } else if (key == "len") {
+      if (rule->kind != FaultKind::kPebsBurst) {
+        *error = std::string(name) + ": len only applies to pebs.burst";
+        return false;
+      }
+      if (!ParseU64(value, &rule->burst_len) || rule->burst_len == 0) {
+        *error = std::string(name) + ": len must be a positive count";
+        return false;
+      }
+    } else if (key == "tier") {
+      if (rule->kind != FaultKind::kAllocFail) {
+        *error = std::string(name) + ": tier only applies to alloc.fail";
+        return false;
+      }
+      if (value != "dram" && value != "nvm") {
+        *error = std::string(name) + ": tier must be dram or nvm";
+        return false;
+      }
+      rule->target = std::string(value);
+    } else {
+      *error = std::string(name) + ": unknown key '" + std::string(key) + "'";
+      return false;
+    }
+  }
+  if (rule->end <= rule->start) {
+    *error = std::string(name) + ": window end must be after start";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kDmaFail:
+      return "dma_fail";
+    case FaultKind::kDmaTimeout:
+      return "dma_timeout";
+    case FaultKind::kDeviceDegrade:
+      return "device_degrade";
+    case FaultKind::kPebsDrop:
+      return "pebs_drop";
+    case FaultKind::kPebsBurst:
+      return "pebs_burst";
+    case FaultKind::kMigrationAbort:
+      return "migration_abort";
+    case FaultKind::kAllocFail:
+      return "alloc_fail";
+  }
+  return "unknown";
+}
+
+bool FaultPlan::Parse(const std::string& spec, FaultPlan* out, std::string* error) {
+  *out = FaultPlan{};
+  std::string_view rest = spec;
+  while (!rest.empty()) {
+    const size_t semi = rest.find(';');
+    const std::string_view item = Trim(rest.substr(0, semi));
+    rest = semi == std::string_view::npos ? std::string_view{} : rest.substr(semi + 1);
+    if (item.empty()) {
+      continue;  // tolerate empty items ("a;;b", trailing ';')
+    }
+    if (item.substr(0, 5) == "seed=") {
+      if (!ParseU64(Trim(item.substr(5)), &out->seed)) {
+        *error = "bad seed '" + std::string(item.substr(5)) + "'";
+        return false;
+      }
+      continue;
+    }
+    FaultRule rule;
+    if (!ParseRule(item, &rule, error)) {
+      return false;
+    }
+    out->rules.push_back(std::move(rule));
+  }
+  return true;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
+  rule_fired_.assign(plan_.rules.size(), 0);
+  for (uint32_t i = 0; i < plan_.rules.size(); ++i) {
+    const int kind = static_cast<int>(plan_.rules[i].kind);
+    rules_by_kind_[kind].push_back(i);
+    armed_mask_ |= 1u << kind;
+  }
+}
+
+const FaultRule* FaultInjector::Fire(FaultKind kind, SimTime now, std::string_view target) {
+  const int k = static_cast<int>(kind);
+  const uint64_t ordinal = opportunities_[k]++;
+  if (rules_by_kind_[k].empty()) {
+    return nullptr;
+  }
+  // One uniform draw per opportunity, shared by this kind's rules: a pure
+  // counter hash of (seed, kind, ordinal). Per-kind salt keeps kinds'
+  // streams independent; Mix64 is a full-avalanche finalizer, so the draw is
+  // uniform in [0, 1).
+  const uint64_t h = Mix64(plan_.seed ^ (0x9e3779b97f4a7c15ull * static_cast<uint64_t>(k + 1)) ^
+                           Mix64(ordinal));
+  const double draw = static_cast<double>(h >> 11) * 0x1.0p-53;
+  for (const uint32_t idx : rules_by_kind_[k]) {
+    const FaultRule& rule = plan_.rules[idx];
+    if (now < rule.start || now >= rule.end) {
+      continue;
+    }
+    if (rule_fired_[idx] >= rule.max_count) {
+      continue;
+    }
+    if (!rule.target.empty() && !target.empty() && rule.target != target) {
+      continue;
+    }
+    if (draw >= rule.probability) {
+      continue;
+    }
+    rule_fired_[idx]++;
+    injected_[k]++;
+    return &rule;
+  }
+  return nullptr;
+}
+
+DeviceDegrade FaultInjector::DegradeFor(std::string_view device) const {
+  for (const FaultRule& rule : plan_.rules) {
+    if (rule.kind != FaultKind::kDeviceDegrade) {
+      continue;
+    }
+    if (!rule.target.empty() && rule.target != device) {
+      continue;
+    }
+    DeviceDegrade degrade;
+    degrade.active = true;
+    degrade.multiplier = rule.magnitude;
+    degrade.wear_factor = rule.wear;
+    degrade.start = rule.start;
+    degrade.end = rule.end;
+    return degrade;
+  }
+  return DeviceDegrade{};
+}
+
+uint64_t FaultInjector::total_injected() const {
+  uint64_t total = 0;
+  for (const uint64_t n : injected_) {
+    total += n;
+  }
+  return total;
+}
+
+}  // namespace hemem

@@ -1,0 +1,142 @@
+// Deterministic virtual-time fault injection.
+//
+// A FaultPlan is a parsed list of fault rules ("during [start,end), each DMA
+// batch fails with probability p, at most max times"); a FaultInjector owned
+// by the Machine evaluates those rules at well-defined *opportunity points*
+// in the consumers (a DMA batch submission, a PEBS record append, a policy
+// allocation, a migration commit). Consumers harden against the injected
+// faults — retry with backoff, fall back to CPU copies, roll a migration
+// back, defer an allocation — and the tests assert that every recovery path
+// preserves the simulator's invariants.
+//
+// Determinism is the whole point: a fire/no-fire decision is a pure function
+// of (plan seed, fault kind, per-kind opportunity ordinal), via a SplitMix64
+// counter hash. The schedule therefore depends only on the seed and on how
+// many opportunities of that kind came before — never on wall clock, caller
+// identity, or what *other* fault kinds drew in between — so the same seed
+// replays the same schedule and adding a new draw site for one kind cannot
+// reshuffle another's.
+//
+// Inertness: an empty plan arms nothing. The Machine attaches the injector
+// to a component only when the plan carries rules of a kind that component
+// consumes (mirroring EnableTracing), so with no --fault-spec the hot paths
+// run the exact pre-fault instruction streams and the golden fingerprints
+// stay bit-identical.
+
+#ifndef HEMEM_SIM_FAULT_H_
+#define HEMEM_SIM_FAULT_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/units.h"
+
+namespace hemem {
+
+enum class FaultKind : uint8_t {
+  kDmaFail = 0,     // DMA batch submission errors out (bad descriptor / ioctl)
+  kDmaTimeout,      // DMA batch stalls for a while, then errors out
+  kDeviceDegrade,   // device latency/bandwidth multiplier, wear-accelerated
+  kPebsDrop,        // one PEBS record is lost
+  kPebsBurst,       // buffer-overflow burst: the next `len` records are lost
+  kMigrationAbort,  // migration batch aborts before its commit point
+  kAllocFail,       // transient frame-allocation failure on policy paths
+};
+inline constexpr int kNumFaultKinds = 7;
+
+const char* FaultKindName(FaultKind kind);
+
+struct FaultRule {
+  FaultKind kind = FaultKind::kDmaFail;
+  // Restricts the rule to one target: device name for kDeviceDegrade,
+  // tier name for kAllocFail. Empty matches any target.
+  std::string target;
+  double probability = 1.0;  // chance one opportunity fires, in (0, 1]
+  SimTime start = 0;         // active virtual-time window [start, end)
+  SimTime end = std::numeric_limits<SimTime>::max();
+  uint64_t max_count = std::numeric_limits<uint64_t>::max();  // cap on fires
+  // kDeviceDegrade: latency/busy multiplier. kDmaTimeout: stall length as a
+  // multiple of the batch's nominal engine time.
+  double magnitude = 2.0;
+  // kDeviceDegrade: wear acceleration — the effective multiplier grows by
+  // magnitude * wear * (media bytes written / capacity).
+  double wear = 0.0;
+  uint64_t burst_len = 64;  // kPebsBurst: records lost per burst
+};
+
+struct FaultPlan {
+  uint64_t seed = 1;
+  std::vector<FaultRule> rules;
+
+  bool empty() const { return rules.empty(); }
+
+  // Parses a spec like
+  //   "seed=42;dma.fail:p=0.1,start=1ms,end=50ms,max=100;nvm.degrade:mult=4,
+  //    wear=0.5;pebs.drop:p=0.05;pebs.burst:p=0.001,len=256;
+  //    migrate.abort:p=0.02;alloc.fail:p=0.1,tier=nvm"
+  // Rules are ';'-separated `name:key=value,...` items; `seed=N` may appear
+  // as an item. Time values take an ns/us/ms/s suffix (default ns). Returns
+  // false and sets *error on malformed input; *out is then unspecified.
+  static bool Parse(const std::string& spec, FaultPlan* out, std::string* error);
+};
+
+// Degradation parameters a MemoryDevice applies when armed; derived from the
+// device's kDeviceDegrade rule at attach time so the per-access path never
+// matches rule lists or compares target strings.
+struct DeviceDegrade {
+  bool active = false;
+  double multiplier = 1.0;
+  double wear_factor = 0.0;
+  SimTime start = 0;
+  SimTime end = std::numeric_limits<SimTime>::max();
+};
+
+class FaultInjector {
+ public:
+  FaultInjector() = default;  // inert: nothing armed, Fire never fires
+  explicit FaultInjector(FaultPlan plan);
+
+  bool armed(FaultKind kind) const {
+    return (armed_mask_ & (1u << static_cast<int>(kind))) != 0;
+  }
+  bool any_armed() const { return armed_mask_ != 0; }
+
+  // One fault opportunity of `kind` at virtual time `now` against `target`.
+  // Returns the rule that fired (at most one per opportunity, in plan order)
+  // or nullptr. Every call consumes one per-kind ordinal whether or not a
+  // rule matches, so schedules replay exactly under the same call sequence.
+  const FaultRule* Fire(FaultKind kind, SimTime now, std::string_view target = {});
+  bool ShouldFail(FaultKind kind, SimTime now, std::string_view target = {}) {
+    return Fire(kind, now, target) != nullptr;
+  }
+
+  // Degradation state for the device named `device` ("dram"/"nvm"): the
+  // first kDeviceDegrade rule targeting it, or an inactive default.
+  DeviceDegrade DegradeFor(std::string_view device) const;
+
+  uint64_t opportunities(FaultKind kind) const {
+    return opportunities_[static_cast<int>(kind)];
+  }
+  uint64_t injected(FaultKind kind) const {
+    return injected_[static_cast<int>(kind)];
+  }
+  uint64_t total_injected() const;
+
+  const FaultPlan& plan() const { return plan_; }
+
+ private:
+  FaultPlan plan_;
+  uint32_t armed_mask_ = 0;
+  // Rule indices by kind, preserving plan order.
+  std::vector<uint32_t> rules_by_kind_[kNumFaultKinds];
+  std::vector<uint64_t> rule_fired_;  // per-rule fire count (max_count cap)
+  uint64_t opportunities_[kNumFaultKinds] = {};
+  uint64_t injected_[kNumFaultKinds] = {};
+};
+
+}  // namespace hemem
+
+#endif  // HEMEM_SIM_FAULT_H_

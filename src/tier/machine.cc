@@ -72,10 +72,32 @@ Machine::Machine(MachineConfig config)
                   /*allow_overcommit=*/false),
       dma_(config.dma),
       tlb_(config.tlb),
-      pebs_(config.pebs) {
+      pebs_(config.pebs),
+      faults_(config.fault_plan) {
   if (config_.swap_bytes > 0) {
     swap_.emplace(config_.swap_override.value_or(
         BlockDeviceParams::NvmeSsd(config_.swap_bytes)));
+  }
+
+  // Arm only the components whose fault kinds the plan carries (mirrors
+  // EnableTracing): an empty or irrelevant plan leaves a component's hot
+  // path exactly as built, which is what keeps the golden fingerprints
+  // bit-identical with no --fault-spec.
+  if (faults_.armed(FaultKind::kDmaFail) || faults_.armed(FaultKind::kDmaTimeout)) {
+    dma_.SetFaultInjector(&faults_);
+  }
+  if (faults_.armed(FaultKind::kPebsDrop) || faults_.armed(FaultKind::kPebsBurst)) {
+    pebs_.SetFaultInjector(&faults_);
+  }
+  if (faults_.armed(FaultKind::kDeviceDegrade)) {
+    const DeviceDegrade dram_degrade = faults_.DegradeFor("dram");
+    if (dram_degrade.active) {
+      dram_.SetDegrade(dram_degrade);
+    }
+    const DeviceDegrade nvm_degrade = faults_.DegradeFor("nvm");
+    if (nvm_degrade.active) {
+      nvm_.SetDegrade(nvm_degrade);
+    }
   }
 
   metrics_.AddProvider(this, [this](obs::MetricsEmitter& e) {
@@ -91,6 +113,7 @@ Machine::Machine(MachineConfig config)
       e.Emit(p + "sequential_hits", s.sequential_hits);
       e.Emit(p + "queue_delay_total_ns", s.queue_delay_total_ns);
       e.Emit(p + "queue_delay_max_ns", s.queue_delay_max_ns);
+      e.Emit(p + "degraded_accesses", s.degraded_accesses);
     };
     device("device.dram.", dram_);
     device("device.nvm.", nvm_);
@@ -98,11 +121,17 @@ Machine::Machine(MachineConfig config)
     e.Emit("dma.batches", dma_.stats().batches);
     e.Emit("dma.copies", dma_.stats().copies);
     e.Emit("dma.bytes_copied", dma_.stats().bytes_copied);
+    e.Emit("dma.failed_attempts", dma_.stats().failed_attempts);
+    e.Emit("dma.timeouts", dma_.stats().timeouts);
+    e.Emit("dma.retries", dma_.stats().retries);
+    e.Emit("dma.exhausted_batches", dma_.stats().exhausted_batches);
+    e.Emit("dma.fallback_copies", dma_.stats().fallback_copies);
 
     e.Emit("pebs.accesses_counted", pebs_.stats().accesses_counted);
     e.Emit("pebs.samples_written", pebs_.stats().samples_written);
     e.Emit("pebs.samples_dropped", pebs_.stats().samples_dropped);
     e.Emit("pebs.samples_drained", pebs_.stats().samples_drained);
+    e.Emit("pebs.injected_drops", pebs_.stats().injected_drops);
     e.Emit("pebs.drop_rate", pebs_.stats().DropRate());
     e.Emit("pebs.pending", static_cast<uint64_t>(pebs_.pending()));
 
@@ -121,7 +150,26 @@ Machine::Machine(MachineConfig config)
       e.Emit("swap_device.bytes_read", s.bytes_read);
       e.Emit("swap_device.bytes_written", s.bytes_written);
     }
+
+    if (faults_.any_armed()) {
+      e.Emit("faults.injected.total", faults_.total_injected());
+      for (int k = 0; k < kNumFaultKinds; ++k) {
+        const auto kind = static_cast<FaultKind>(k);
+        if (!faults_.armed(kind)) {
+          continue;
+        }
+        const std::string name = FaultKindName(kind);
+        e.Emit("faults.injected." + name, faults_.injected(kind));
+        e.Emit("faults.opportunities." + name, faults_.opportunities(kind));
+      }
+    }
   });
+}
+
+void Machine::EnableShadow() {
+  if (!shadow_) {
+    shadow_.emplace(config_.page_bytes);
+  }
 }
 
 void Machine::EnableTracing() {

@@ -29,7 +29,9 @@
 #include "obs/trace.h"
 #include "pebs/pebs.h"
 #include "sim/engine.h"
+#include "sim/fault.h"
 #include "vm/page_table.h"
+#include "vm/shadow.h"
 #include "vm/tlb.h"
 
 namespace hemem {
@@ -49,6 +51,11 @@ struct MachineConfig {
   PebsParams pebs;
   TlbParams tlb;
   RadixCostModel radix;
+
+  // Deterministic fault schedule (see sim/fault.h). The default empty plan
+  // arms nothing and is provably inert — the golden fingerprint tests pin
+  // that down bit-for-bit.
+  FaultPlan fault_plan;
 
   // Scatter physical frame allocation over the device (true for the NVM pool
   // under memory mode, where fragmentation causes cache conflicts).
@@ -127,6 +134,17 @@ class Machine {
   obs::EventTracer& tracer() { return tracer_; }
   void EnableTracing();
 
+  // Fault injection. The injector always exists (inert for an empty plan);
+  // at construction it is attached only to the components whose fault kinds
+  // the plan actually arms, so a fault-free machine runs the exact pre-fault
+  // code paths.
+  FaultInjector& faults() { return faults_; }
+
+  // Data-integrity shadow (tests): off by default; call before the workload
+  // issues writes. Migration paths move shadow contents at commit time.
+  void EnableShadow();
+  ShadowMemory* shadow() { return shadow_ ? &*shadow_ : nullptr; }
+
  private:
   MachineConfig config_;
   obs::MetricsRegistry metrics_;
@@ -141,6 +159,8 @@ class Machine {
   Tlb tlb_;
   PebsBuffer pebs_;
   std::optional<BlockDevice> swap_;
+  FaultInjector faults_;
+  std::optional<ShadowMemory> shadow_;
   std::optional<obs::TraceEngineObserver> engine_trace_;
 };
 

@@ -1,0 +1,55 @@
+#include "vm/shadow.h"
+
+#include <cassert>
+
+namespace hemem {
+
+ShadowMemory::ShadowMemory(uint64_t page_bytes)
+    : page_bytes_(page_bytes), page_words_(page_bytes / sizeof(uint64_t)) {
+  assert(page_words_ > 0);
+}
+
+uint64_t ShadowMemory::Load(PageTable& page_table, uint64_t va) {
+  const PageTable::Resolution r = page_table.Resolve(va);
+  if (r.entry == nullptr || !r.entry->present) {
+    return 0;
+  }
+  const auto it = pages_.find(Key(r.entry->tier, r.entry->frame));
+  if (it == pages_.end()) {
+    return 0;
+  }
+  return it->second[(va & (page_bytes_ - 1)) / sizeof(uint64_t)];
+}
+
+void ShadowMemory::Store(PageTable& page_table, uint64_t va, uint64_t value) {
+  const PageTable::Resolution r = page_table.Resolve(va);
+  if (r.entry == nullptr || !r.entry->present) {
+    return;
+  }
+  std::vector<uint64_t>& page = pages_[Key(r.entry->tier, r.entry->frame)];
+  if (page.empty()) {
+    page.assign(page_words_, 0);
+  }
+  page[(va & (page_bytes_ - 1)) / sizeof(uint64_t)] = value;
+}
+
+void ShadowMemory::MovePage(Tier src_tier, uint32_t src_frame, Tier dst_tier,
+                            uint32_t dst_frame) {
+  const uint64_t src = Key(src_tier, src_frame);
+  const uint64_t dst = Key(dst_tier, dst_frame);
+  const auto it = pages_.find(src);
+  if (it == pages_.end()) {
+    // Source page was never written: the destination reads as zeros too.
+    pages_.erase(dst);
+    return;
+  }
+  std::vector<uint64_t> data = std::move(it->second);
+  pages_.erase(it);
+  pages_[dst] = std::move(data);
+}
+
+void ShadowMemory::DropPage(Tier tier, uint32_t frame) {
+  pages_.erase(Key(tier, frame));
+}
+
+}  // namespace hemem

@@ -1,0 +1,63 @@
+// Shadow contents for data-integrity verification.
+//
+// The simulator's working sets are synthetic — accesses are timed but no
+// payload bytes exist — so a lost or misdirected migration copy is invisible
+// to the timing model. ShadowMemory closes that hole for tests: it stores
+// 64-bit words keyed by *physical* placement (tier, frame, offset), and the
+// migration code moves a page's shadow contents only at its commit point.
+// A workload that writes through the shadow and reads its values back after
+// the run therefore catches lost copies, aborted-migration rollback bugs,
+// and frame double-use: any of those leaves a word resolving to the wrong
+// (tier, frame) and the readback mismatches.
+//
+// Purely bookkeeping — no virtual time is charged and no simulation state is
+// read beyond the page table, so enabling it cannot perturb execution.
+//
+// Known limitation: the swap tier is not shadowed; a page's contents are
+// dropped at swap-out, so verification is only meaningful with swap off.
+
+#ifndef HEMEM_VM_SHADOW_H_
+#define HEMEM_VM_SHADOW_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "vm/page_table.h"
+
+namespace hemem {
+
+class ShadowMemory {
+ public:
+  explicit ShadowMemory(uint64_t page_bytes);
+
+  // Word at `va` per the current translation; 0 for unmapped, non-present,
+  // or never-written locations (pages are zero-filled at first touch).
+  uint64_t Load(PageTable& page_table, uint64_t va);
+  // Stores through the current translation. No-op when the page is not
+  // present (callers access through the manager first, which faults it in).
+  void Store(PageTable& page_table, uint64_t va, uint64_t value);
+
+  // Migration commit: the destination frame takes over the source frame's
+  // contents (the source's backing is released).
+  void MovePage(Tier src_tier, uint32_t src_frame, Tier dst_tier, uint32_t dst_frame);
+  // Frees a frame's contents — on migration abort (the copy is discarded)
+  // and on zero-fill of a freshly allocated frame (stale contents from a
+  // prior owner must not leak through frame reuse).
+  void DropPage(Tier tier, uint32_t frame);
+
+  uint64_t pages_backed() const { return pages_.size(); }
+
+ private:
+  static uint64_t Key(Tier tier, uint32_t frame) {
+    return (static_cast<uint64_t>(tier) << 32) | frame;
+  }
+
+  uint64_t page_bytes_;
+  uint64_t page_words_;
+  std::unordered_map<uint64_t, std::vector<uint64_t>> pages_;
+};
+
+}  // namespace hemem
+
+#endif  // HEMEM_VM_SHADOW_H_

@@ -70,12 +70,18 @@ std::unique_ptr<TieredMemoryManager> MakeSystem(const std::string& kind, Machine
 
 // Fixed-seed workload: 300k single-thread ops over 128 MiB, 90% of them into
 // a 16 MiB hot prefix, every third op a store, 15 ns compute between ops.
-Fingerprint RunCase(const std::string& system, bool tracing = false) {
+Fingerprint RunCase(const std::string& system, bool tracing = false,
+                    const std::string& fault_spec = "") {
   constexpr uint64_t kWorkingSet = MiB(128);
   constexpr uint64_t kHotSet = MiB(16);
   constexpr uint64_t kOps = 300'000;
 
-  Machine machine(TinyMachineConfig());
+  MachineConfig config = TinyMachineConfig();
+  if (!fault_spec.empty()) {
+    std::string error;
+    EXPECT_TRUE(FaultPlan::Parse(fault_spec, &config.fault_plan, &error)) << error;
+  }
+  Machine machine(config);
   std::optional<obs::MetricsSampler> sampler;
   if (tracing) {
     machine.EnableTracing();
@@ -154,6 +160,27 @@ TEST(AccessGolden, FingerprintMatchesPreRefactorRecording) {
 TEST(AccessGolden, TracingDoesNotPerturbExecution) {
   for (const Fingerprint& golden : kGolden) {
     const Fingerprint actual = RunCase(golden.system, /*tracing=*/true);
+    SCOPED_TRACE(golden.system);
+    EXPECT_EQ(actual.end_ns, golden.end_ns);
+    EXPECT_EQ(actual.missing_faults, golden.missing_faults);
+    EXPECT_EQ(actual.wp_faults, golden.wp_faults);
+    EXPECT_EQ(actual.wp_wait_ns, golden.wp_wait_ns);
+    EXPECT_EQ(actual.pages_promoted, golden.pages_promoted);
+    EXPECT_EQ(actual.pages_demoted, golden.pages_demoted);
+    EXPECT_EQ(actual.bytes_migrated, golden.bytes_migrated);
+    EXPECT_EQ(actual.small_allocs, golden.small_allocs);
+    EXPECT_EQ(actual.managed_allocs, golden.managed_allocs);
+  }
+}
+
+// A fault plan with no rules must be provably inert: the injector exists on
+// the Machine, but nothing is armed, so no consumer's hot path changes and
+// every fingerprint stays bit-identical. This is the regression gate for the
+// "zero-cost when unused" property of the fault layer.
+TEST(AccessGolden, EmptyFaultPlanIsInert) {
+  for (const Fingerprint& golden : kGolden) {
+    // "seed=99" parses to a plan with a seed but zero rules — still empty.
+    const Fingerprint actual = RunCase(golden.system, /*tracing=*/false, "seed=99;");
     SCOPED_TRACE(golden.system);
     EXPECT_EQ(actual.end_ns, golden.end_ns);
     EXPECT_EQ(actual.missing_faults, golden.missing_faults);

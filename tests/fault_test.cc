@@ -1,0 +1,472 @@
+// Fault-injection layer tests: FaultPlan parsing, injector determinism, and
+// every consumer recovery path (DMA retry/backoff, CPU-copy fallback,
+// migration-abort rollback, deferred policy allocation, PEBS losses, device
+// degradation). The golden inertness gate for the *empty* plan lives in
+// access_golden_test.cc; these tests pin down behavior when rules fire.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/hemem.h"
+#include "mem/device.h"
+#include "mem/dma.h"
+#include "pebs/pebs.h"
+#include "sim/fault.h"
+#include "test_util.h"
+#include "vm/shadow.h"
+
+namespace hemem {
+namespace {
+
+FaultPlan MustParse(const std::string& spec) {
+  FaultPlan plan;
+  std::string error;
+  EXPECT_TRUE(FaultPlan::Parse(spec, &plan, &error)) << spec << ": " << error;
+  return plan;
+}
+
+// --- FaultPlan parsing -------------------------------------------------------
+
+TEST(FaultPlan, ParsesFullSpec) {
+  const FaultPlan plan = MustParse(
+      "seed=42;dma.fail:p=0.1,start=1ms,end=50ms,max=100;"
+      "nvm.degrade:mult=4,wear=0.5;pebs.drop:p=0.05;"
+      "pebs.burst:p=0.001,len=256;migrate.abort:p=0.02;"
+      "alloc.fail:p=0.1,tier=nvm;dma.timeout:p=0.2");
+  EXPECT_EQ(plan.seed, 42u);
+  ASSERT_EQ(plan.rules.size(), 7u);
+
+  EXPECT_EQ(plan.rules[0].kind, FaultKind::kDmaFail);
+  EXPECT_DOUBLE_EQ(plan.rules[0].probability, 0.1);
+  EXPECT_EQ(plan.rules[0].start, 1 * kMillisecond);
+  EXPECT_EQ(plan.rules[0].end, 50 * kMillisecond);
+  EXPECT_EQ(plan.rules[0].max_count, 100u);
+
+  EXPECT_EQ(plan.rules[1].kind, FaultKind::kDeviceDegrade);
+  EXPECT_EQ(plan.rules[1].target, "nvm");
+  EXPECT_DOUBLE_EQ(plan.rules[1].magnitude, 4.0);
+  EXPECT_DOUBLE_EQ(plan.rules[1].wear, 0.5);
+
+  EXPECT_EQ(plan.rules[2].kind, FaultKind::kPebsDrop);
+  EXPECT_EQ(plan.rules[3].kind, FaultKind::kPebsBurst);
+  EXPECT_EQ(plan.rules[3].burst_len, 256u);
+  EXPECT_EQ(plan.rules[4].kind, FaultKind::kMigrationAbort);
+
+  EXPECT_EQ(plan.rules[5].kind, FaultKind::kAllocFail);
+  EXPECT_EQ(plan.rules[5].target, "nvm");
+
+  // dma.timeout defaults its stall magnitude to 4x the nominal batch time.
+  EXPECT_EQ(plan.rules[6].kind, FaultKind::kDmaTimeout);
+  EXPECT_DOUBLE_EQ(plan.rules[6].magnitude, 4.0);
+}
+
+TEST(FaultPlan, ParsesTimeSuffixesAndTolerance) {
+  const FaultPlan plan = MustParse(" seed=3 ; ; dma.fail : start = 250ns , end = 1.5ms ;");
+  EXPECT_EQ(plan.seed, 3u);
+  ASSERT_EQ(plan.rules.size(), 1u);
+  EXPECT_EQ(plan.rules[0].start, 250);
+  EXPECT_EQ(plan.rules[0].end, static_cast<SimTime>(1.5 * kMillisecond));
+  EXPECT_EQ(MustParse("dma.fail:end=2s").rules[0].end, 2 * kSecond);
+  EXPECT_EQ(MustParse("dma.fail:end=3us").rules[0].end, 3 * kMicrosecond);
+  EXPECT_TRUE(MustParse("").empty());
+  EXPECT_TRUE(MustParse("seed=9").empty());
+}
+
+TEST(FaultPlan, RejectsMalformedSpecs) {
+  const char* bad[] = {
+      "bogus.kind",                  // unknown rule name
+      "dma.fail:p=0",                // probability out of (0, 1]
+      "dma.fail:p=1.5",              // probability out of (0, 1]
+      "dma.fail:p=nope",             // not a number
+      "dma.fail:frequency=1",        // unknown key
+      "dma.fail:p",                  // missing '='
+      "dma.fail:start=5x",           // bad time suffix
+      "dma.fail:start=2ms,end=1ms",  // empty window
+      "dma.fail:max=0",              // zero cap
+      "dma.fail:wear=1",             // wear is degrade-only
+      "dma.fail:len=8",              // len is burst-only
+      "dma.fail:tier=dram",          // tier is alloc-only
+      "alloc.fail:tier=ssd",         // unknown tier
+      "nvm.degrade:mult=0",          // zero multiplier
+      "pebs.burst:len=0",            // zero burst
+      "seed=abc",                    // bad seed
+  };
+  for (const char* spec : bad) {
+    FaultPlan plan;
+    std::string error;
+    EXPECT_FALSE(FaultPlan::Parse(spec, &plan, &error)) << spec;
+    EXPECT_FALSE(error.empty()) << spec;
+  }
+}
+
+// --- Injector determinism ----------------------------------------------------
+
+std::vector<bool> FireSchedule(uint64_t seed, int n) {
+  FaultPlan plan = MustParse("dma.fail:p=0.5");
+  plan.seed = seed;
+  FaultInjector injector(plan);
+  std::vector<bool> fired;
+  for (int i = 0; i < n; ++i) {
+    fired.push_back(injector.ShouldFail(FaultKind::kDmaFail, i * 100));
+  }
+  return fired;
+}
+
+TEST(FaultInjector, SameSeedSameSchedule) {
+  EXPECT_EQ(FireSchedule(7, 1000), FireSchedule(7, 1000));
+}
+
+TEST(FaultInjector, DifferentSeedDifferentSchedule) {
+  EXPECT_NE(FireSchedule(7, 1000), FireSchedule(8, 1000));
+}
+
+TEST(FaultInjector, ScheduleIndependentOfOtherKinds) {
+  // Interleaving opportunities of another kind must not reshuffle this
+  // kind's draws: each kind consumes its own ordinal stream.
+  FaultPlan plan = MustParse("seed=7;dma.fail:p=0.5;pebs.drop:p=0.5");
+  FaultInjector plain(MustParse("seed=7;dma.fail:p=0.5"));
+  FaultInjector interleaved(plan);
+  for (int i = 0; i < 1000; ++i) {
+    interleaved.Fire(FaultKind::kPebsDrop, i);
+    EXPECT_EQ(plain.ShouldFail(FaultKind::kDmaFail, i),
+              interleaved.ShouldFail(FaultKind::kDmaFail, i))
+        << "ordinal " << i;
+  }
+}
+
+TEST(FaultInjector, EmpiricalRateTracksProbability) {
+  FaultInjector injector(MustParse("seed=123;dma.fail:p=0.25"));
+  int fired = 0;
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    fired += injector.ShouldFail(FaultKind::kDmaFail, 0) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(fired) / kDraws, 0.25, 0.02);
+  EXPECT_EQ(injector.opportunities(FaultKind::kDmaFail), static_cast<uint64_t>(kDraws));
+  EXPECT_EQ(injector.injected(FaultKind::kDmaFail), static_cast<uint64_t>(fired));
+}
+
+TEST(FaultInjector, WindowMaxCountAndTargetFilters) {
+  FaultInjector windowed(MustParse("dma.fail:start=1ms,end=2ms"));
+  EXPECT_FALSE(windowed.ShouldFail(FaultKind::kDmaFail, kMillisecond / 2));
+  EXPECT_TRUE(windowed.ShouldFail(FaultKind::kDmaFail, kMillisecond + 1));
+  EXPECT_FALSE(windowed.ShouldFail(FaultKind::kDmaFail, 2 * kMillisecond));
+
+  FaultInjector capped(MustParse("dma.fail:max=3"));
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(capped.ShouldFail(FaultKind::kDmaFail, 0)) << i;
+  }
+  EXPECT_FALSE(capped.ShouldFail(FaultKind::kDmaFail, 0));
+  EXPECT_EQ(capped.injected(FaultKind::kDmaFail), 3u);
+
+  FaultInjector targeted(MustParse("alloc.fail:tier=nvm"));
+  EXPECT_FALSE(targeted.ShouldFail(FaultKind::kAllocFail, 0, "dram"));
+  EXPECT_TRUE(targeted.ShouldFail(FaultKind::kAllocFail, 0, "nvm"));
+}
+
+TEST(FaultInjector, DefaultConstructedIsInert) {
+  FaultInjector injector;
+  EXPECT_FALSE(injector.any_armed());
+  EXPECT_FALSE(injector.ShouldFail(FaultKind::kDmaFail, 0));
+  EXPECT_EQ(injector.total_injected(), 0u);
+}
+
+TEST(FaultInjector, ArmsOnlyPlannedKinds) {
+  FaultInjector injector(MustParse("dma.fail;migrate.abort:p=0.5"));
+  EXPECT_TRUE(injector.armed(FaultKind::kDmaFail));
+  EXPECT_TRUE(injector.armed(FaultKind::kMigrationAbort));
+  EXPECT_FALSE(injector.armed(FaultKind::kDmaTimeout));
+  EXPECT_FALSE(injector.armed(FaultKind::kPebsDrop));
+  EXPECT_FALSE(injector.armed(FaultKind::kAllocFail));
+}
+
+// --- DMA retry, backoff, and exhaustion --------------------------------------
+
+struct DmaRig {
+  MemoryDevice dram{DeviceParams::Dram(MiB(64))};
+  MemoryDevice nvm{DeviceParams::OptaneNvm(MiB(256))};
+  DmaEngine engine;
+  FaultInjector injector;
+
+  explicit DmaRig(const std::string& spec) : injector(MustParse(spec)) {
+    engine.SetFaultInjector(&injector);
+  }
+
+  std::vector<CopyRequest> Batch(int n) {
+    std::vector<CopyRequest> batch;
+    for (int i = 0; i < n; ++i) {
+      batch.push_back(CopyRequest{&nvm, &dram, MiB(1)});
+    }
+    return batch;
+  }
+};
+
+TEST(DmaRetry, RetriesThenSucceeds) {
+  // First two attempts fail (max=2), the third goes through.
+  DmaRig rig("dma.fail:max=2");
+  std::vector<SimTime> per_request;
+  const auto batch = rig.Batch(4);
+  const DmaBatchResult result = rig.engine.TryCopyBatch(0, batch, 2, &per_request);
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(result.attempts, 3);
+  EXPECT_EQ(per_request.size(), 4u);
+  EXPECT_EQ(rig.engine.stats().failed_attempts, 2u);
+  EXPECT_EQ(rig.engine.stats().retries, 2u);
+  EXPECT_EQ(rig.engine.stats().exhausted_batches, 0u);
+  EXPECT_EQ(rig.engine.stats().copies, 4u);
+  EXPECT_EQ(rig.engine.stats().bytes_copied, 4 * MiB(1));
+
+  // The retried batch lands exactly (2 failed submits + both backoffs) after
+  // where a clean engine would put it.
+  DmaRig clean("pebs.drop");  // armed kind the DMA engine never consults
+  const DmaBatchResult baseline = clean.engine.TryCopyBatch(0, clean.Batch(4), 2);
+  EXPECT_TRUE(baseline.ok);
+  const DmaParams& p = rig.engine.params();
+  EXPECT_EQ(result.done, baseline.done + 2 * p.submit_overhead + 20 * kMicrosecond +
+                             40 * kMicrosecond);
+}
+
+TEST(DmaRetry, ExhaustionLeavesNoPartialCopy) {
+  DmaRig rig("dma.fail");  // p defaults to 1: every attempt fails
+  std::vector<SimTime> per_request;
+  const auto batch = rig.Batch(4);
+  const DmaBatchResult result = rig.engine.TryCopyBatch(1000, batch, 2, &per_request);
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.attempts, 3);
+  EXPECT_TRUE(per_request.empty());
+  EXPECT_EQ(rig.engine.stats().failed_attempts, 3u);
+  EXPECT_EQ(rig.engine.stats().retries, 2u);
+  EXPECT_EQ(rig.engine.stats().exhausted_batches, 1u);
+  EXPECT_EQ(rig.engine.stats().copies, 0u);
+  EXPECT_EQ(rig.engine.stats().bytes_copied, 0u);
+  // No device bandwidth was occupied either: nothing moved.
+  EXPECT_EQ(rig.dram.stats().media_bytes_written, 0u);
+  // Give-up time is exact: 3 failed submits plus the 20us and 40us backoffs.
+  const DmaParams& p = rig.engine.params();
+  EXPECT_EQ(result.done, 1000 + 3 * p.submit_overhead + 60 * kMicrosecond);
+}
+
+TEST(DmaRetry, TimeoutStallsBeforeFailing) {
+  DmaRig fail("dma.fail");
+  DmaRig timeout("dma.timeout");
+  const DmaBatchResult fail_result = fail.engine.TryCopyBatch(0, fail.Batch(4), 2);
+  const DmaBatchResult timeout_result =
+      timeout.engine.TryCopyBatch(0, timeout.Batch(4), 2);
+  EXPECT_FALSE(timeout_result.ok);
+  EXPECT_EQ(timeout.engine.stats().timeouts, 3u);
+  // A timed-out attempt holds the caller for the stall (4x nominal batch
+  // time by default) before erroring, so exhaustion lands strictly later
+  // than with instant failures.
+  EXPECT_GT(timeout_result.done, fail_result.done);
+}
+
+// --- PEBS sample loss --------------------------------------------------------
+
+TEST(PebsFaults, DropRuleLosesRecords) {
+  PebsParams params;
+  params.SetAllPeriods(1);  // every access overflows into a record
+  PebsBuffer pebs(params);
+  FaultInjector injector(MustParse("pebs.drop"));
+  pebs.SetFaultInjector(&injector);
+  for (int i = 0; i < 10; ++i) {
+    pebs.CountAccess(i * 10, 0x1000 + i, PebsEvent::kStore);
+  }
+  EXPECT_EQ(pebs.stats().samples_written, 0u);
+  EXPECT_EQ(pebs.stats().samples_dropped, 10u);
+  EXPECT_EQ(pebs.stats().injected_drops, 10u);
+  EXPECT_EQ(pebs.pending(), 0u);
+}
+
+TEST(PebsFaults, BurstSwallowsConsecutiveRecords) {
+  PebsParams params;
+  params.SetAllPeriods(1);
+  PebsBuffer pebs(params);
+  FaultInjector injector(MustParse("pebs.burst:len=4,max=1"));
+  pebs.SetFaultInjector(&injector);
+  for (int i = 0; i < 10; ++i) {
+    pebs.CountAccess(i * 10, 0x1000 + i, PebsEvent::kStore);
+  }
+  // One burst of 4 at the first record; the remaining 6 get through.
+  EXPECT_EQ(pebs.stats().samples_dropped, 4u);
+  EXPECT_EQ(pebs.stats().injected_drops, 4u);
+  EXPECT_EQ(pebs.stats().samples_written, 6u);
+}
+
+// --- Device degradation ------------------------------------------------------
+
+TEST(DeviceDegradeFault, MultiplierSlowsAccessesInsideWindow) {
+  MemoryDevice clean(DeviceParams::OptaneNvm(MiB(64)));
+  MemoryDevice degraded(DeviceParams::OptaneNvm(MiB(64)));
+  DeviceDegrade degrade;
+  degrade.active = true;
+  degrade.multiplier = 3.0;
+  degrade.end = kMillisecond;
+  degraded.SetDegrade(degrade);
+
+  const SimTime clean_done = clean.Access(0, 0, 64, AccessKind::kLoad, 0);
+  const SimTime slow_done = degraded.Access(0, 0, 64, AccessKind::kLoad, 0);
+  EXPECT_GT(slow_done, clean_done);
+  EXPECT_EQ(degraded.stats().degraded_accesses, 1u);
+
+  // Outside the window the device is healthy again: same arithmetic, same
+  // completion offset as the clean device.
+  const SimTime clean_late = clean.Access(2 * kMillisecond, 0, 64, AccessKind::kLoad, 1);
+  const SimTime slow_late = degraded.Access(2 * kMillisecond, 0, 64, AccessKind::kLoad, 1);
+  EXPECT_EQ(slow_late, clean_late);
+  EXPECT_EQ(degraded.stats().degraded_accesses, 1u);
+}
+
+TEST(DeviceDegradeFault, WearAcceleratesDegradation) {
+  MemoryDevice steady(DeviceParams::OptaneNvm(MiB(64)));
+  MemoryDevice wearing(DeviceParams::OptaneNvm(MiB(64)));
+  DeviceDegrade degrade;
+  degrade.active = true;
+  degrade.multiplier = 2.0;
+  steady.SetDegrade(degrade);
+  degrade.wear_factor = 10.0;
+  wearing.SetDegrade(degrade);
+
+  // Burn half the capacity in writes: the wearing device's multiplier grows
+  // to 2 * (1 + 10 * 0.5) = 12x while the steady one stays at 2x.
+  steady.BulkTransfer(0, MiB(32), AccessKind::kStore);
+  wearing.BulkTransfer(0, MiB(32), AccessKind::kStore);
+  const SimTime t = kSecond;  // past the first transfer on both devices
+  const SimTime steady_done = steady.BulkTransfer(t, MiB(1), AccessKind::kStore);
+  const SimTime worn_done = wearing.BulkTransfer(t, MiB(1), AccessKind::kStore);
+  EXPECT_GT(worn_done, steady_done);
+}
+
+// --- HeMem recovery paths ----------------------------------------------------
+
+// The golden workload (300k fixed-seed ops, 90% into a hot prefix) under a
+// fault plan; returns the manager for stat inspection. Mirrors
+// access_golden_test.cc's RunCase so fault-free behavior is pinned there.
+struct HememRun {
+  std::unique_ptr<Machine> machine;
+  std::unique_ptr<Hemem> hemem;
+  SimTime end = 0;
+};
+
+HememRun RunHememUnderFaults(const std::string& fault_spec, uint64_t ops = 300'000) {
+  constexpr uint64_t kWorkingSet = MiB(128);
+  constexpr uint64_t kHotSet = MiB(16);
+
+  HememRun run;
+  MachineConfig config = TinyMachineConfig();
+  config.fault_plan = MustParse(fault_spec);
+  run.machine = std::make_unique<Machine>(config);
+  run.hemem = std::make_unique<Hemem>(*run.machine);
+  run.hemem->Start();
+  const uint64_t va = run.hemem->Mmap(kWorkingSet, {.label = "faulted"});
+
+  Rng access_rng(0xbeefull);
+  uint64_t op = 0;
+  ScriptThread thread([&](ScriptThread& self) mutable {
+    const bool hot = access_rng.NextBool(0.9);
+    const uint64_t span = hot ? kHotSet : kWorkingSet;
+    const uint64_t offset = access_rng.NextBounded(span / 64) * 64;
+    const AccessKind kind = op % 3 == 0 ? AccessKind::kStore : AccessKind::kLoad;
+    run.hemem->Access(self, va + offset, 64, kind);
+    self.Advance(15);
+    return ++op < ops;
+  });
+  run.machine->engine().AddThread(&thread);
+  run.end = run.machine->engine().Run();
+  return run;
+}
+
+// All 128 working-set pages stay resident in exactly one tier with exactly
+// one frame each, and the DRAM ownership counter agrees with the allocator.
+void ExpectFrameConservation(HememRun& run) {
+  const uint64_t dram_used = run.machine->frames(Tier::kDram).used_frames();
+  const uint64_t nvm_used = run.machine->frames(Tier::kNvm).used_frames();
+  EXPECT_EQ(dram_used + nvm_used, 128u);
+  EXPECT_EQ(run.hemem->dram_usage(), dram_used * run.machine->page_bytes());
+}
+
+TEST(HememFaultRecovery, MigrationAbortRollsBackCleanly) {
+  HememRun run = RunHememUnderFaults("migrate.abort");
+  // Every batch aborts before commit: nothing may migrate, yet the run must
+  // complete (no deadlock) with all pages still resident in their source
+  // tier and every frame accounted for.
+  EXPECT_GT(run.hemem->hstats().migration_aborts, 0u);
+  EXPECT_EQ(run.hemem->stats().pages_promoted, 0u);
+  EXPECT_EQ(run.hemem->stats().pages_demoted, 0u);
+  EXPECT_EQ(run.hemem->stats().bytes_migrated, 0u);
+  ExpectFrameConservation(run);
+}
+
+TEST(HememFaultRecovery, AllocFailureDefersMigration) {
+  HememRun run = RunHememUnderFaults("alloc.fail");
+  // Every policy-path allocation fails transiently: migrations are deferred
+  // rather than crashing, demand faults still map (they bypass the policy
+  // allocator), and the run completes.
+  EXPECT_GT(run.hemem->hstats().deferred_allocs, 0u);
+  EXPECT_EQ(run.hemem->stats().pages_promoted, 0u);
+  EXPECT_EQ(run.hemem->stats().missing_faults, 128u);
+  ExpectFrameConservation(run);
+}
+
+TEST(HememFaultRecovery, DmaExhaustionFallsBackToCpuCopy) {
+  HememRun run = RunHememUnderFaults("dma.fail");
+  // Every DMA submission fails: batches exhaust their retries and complete
+  // through the CPU copier instead, so migration still makes progress.
+  const DmaStats& dma = run.machine->dma().stats();
+  EXPECT_GT(dma.exhausted_batches, 0u);
+  EXPECT_GT(dma.fallback_copies, 0u);
+  EXPECT_EQ(dma.copies, 0u);  // nothing moved via the engine itself
+  EXPECT_GT(run.hemem->hstats().dma_fallback_batches, 0u);
+  EXPECT_GT(run.hemem->stats().pages_promoted, 0u);
+  EXPECT_GT(run.hemem->stats().bytes_migrated, 0u);
+  ExpectFrameConservation(run);
+}
+
+TEST(HememFaultRecovery, PartialDmaFailureStillMigrates) {
+  HememRun run = RunHememUnderFaults("seed=5;dma.fail:p=0.5");
+  const DmaStats& dma = run.machine->dma().stats();
+  EXPECT_GT(dma.retries, 0u);
+  EXPECT_GT(run.hemem->stats().pages_promoted, 0u);
+  ExpectFrameConservation(run);
+}
+
+// --- Shadow memory bookkeeping ----------------------------------------------
+
+TEST(ShadowMemory, FollowsPageAcrossMoveAndDrop) {
+  PageTable pt;
+  Region* region = pt.MapRegion(1ull << 40, MiB(4), MiB(1), true, "shadow-test");
+  ASSERT_NE(region, nullptr);
+  PageEntry& entry = region->pages[0];
+  entry.present = true;
+  entry.tier = Tier::kNvm;
+  entry.frame = 7;
+
+  ShadowMemory shadow(MiB(1));
+  const uint64_t va = region->base + 64;
+  EXPECT_EQ(shadow.Load(pt, va), 0u);  // zero-filled until written
+  shadow.Store(pt, va, 0xabcdull);
+  EXPECT_EQ(shadow.Load(pt, va), 0xabcdull);
+
+  // Migration commit: contents travel with the (tier, frame) identity.
+  shadow.MovePage(Tier::kNvm, 7, Tier::kDram, 3);
+  entry.tier = Tier::kDram;
+  entry.frame = 3;
+  EXPECT_EQ(shadow.Load(pt, va), 0xabcdull);
+
+  // A new owner of the old NVM frame must not see stale contents.
+  PageEntry& other = region->pages[1];
+  other.present = true;
+  other.tier = Tier::kNvm;
+  other.frame = 7;
+  EXPECT_EQ(shadow.Load(pt, region->base + MiB(1) + 64), 0u);
+
+  // Abort/zero-fill hygiene: dropping releases the backing.
+  shadow.DropPage(Tier::kDram, 3);
+  EXPECT_EQ(shadow.Load(pt, va), 0u);
+  EXPECT_EQ(shadow.pages_backed(), 0u);
+}
+
+}  // namespace
+}  // namespace hemem

@@ -9,6 +9,7 @@
 #include "apps/graph.h"
 #include "apps/gups.h"
 #include "core/hemem.h"
+#include "sim/fault.h"
 #include "test_util.h"
 #include "tier/memory_mode.h"
 #include "tier/nimble.h"
@@ -292,6 +293,108 @@ TEST(Integration, BcHememBeatsNvmOnLargeGraph) {
   const SimTime with_nvm = run(nvm);
 
   EXPECT_LT(with_hemem, with_nvm);
+}
+
+// ---------------------------------------------------------------------------
+// Data integrity under migration, with and without injected faults.
+//
+// GUPS verify mode mirrors every store into the machine's shadow memory with
+// an odd, address-derived delta; VerifyData() re-reads each touched word
+// through the page table at the end. A migration that loses, duplicates, or
+// mistranslates a page cannot keep the sums consistent, so mismatches == 0 is
+// an end-to-end proof that tiering preserved application data. The FaultSoak
+// suite (ctest label `soak`, longer timeout) repeats the check under
+// sustained multi-kind fault injection.
+
+MachineConfig FaultyItestMachine(const std::string& spec) {
+  MachineConfig config = ItestMachine();
+  std::string error;
+  EXPECT_TRUE(FaultPlan::Parse(spec, &config.fault_plan, &error)) << error;
+  return config;
+}
+
+GupsConfig VerifiedGups() {
+  GupsConfig config = HotGups(/*threads=*/2);
+  config.working_set = MiB(96);  // oversubscribes 64 MiB DRAM
+  config.hot_set = MiB(16);
+  config.verify = true;
+  config.updates_per_thread = 150'000;
+  config.warmup_updates_per_thread = 50'000;
+  return config;
+}
+
+TEST(Integration, GupsVerifyModeProvesMigrationsPreserveData) {
+  Machine machine(ItestMachine());
+  Hemem hemem(machine);
+  hemem.Start();
+  GupsBenchmark gups(hemem, VerifiedGups());
+  gups.Prepare();
+  const GupsResult result = gups.Run();
+  EXPECT_GT(result.total_updates, 0u);
+  // The run must actually migrate, or the verification proves nothing.
+  EXPECT_GT(hemem.stats().pages_promoted, 0u);
+  EXPECT_EQ(gups.VerifyData(), 0u);
+  EXPECT_GT(gups.verified_words(), 0u);
+}
+
+TEST(FaultSoak, DmaFaultStormRecoversWithDataIntact) {
+  // Heavy DMA failure plus timeouts: batches retry, exhaust, and fall back
+  // to CPU copies. The hot set must still reach DRAM and every word must
+  // hold its expected sum.
+  Machine machine(FaultyItestMachine(
+      "seed=11;dma.fail:p=0.3;dma.timeout:p=0.1"));
+  Hemem hemem(machine);
+  hemem.Start();
+  GupsBenchmark gups(hemem, VerifiedGups());
+  gups.Prepare();
+  const GupsResult result = gups.Run();
+  EXPECT_GT(result.total_updates, 0u);
+
+  const DmaStats& dma = machine.dma().stats();
+  EXPECT_GT(dma.failed_attempts, 0u);
+  EXPECT_GT(dma.retries, 0u);           // recovery actually exercised
+  EXPECT_GT(hemem.stats().pages_promoted, 0u);
+  EXPECT_EQ(gups.VerifyData(), 0u);
+  EXPECT_GT(gups.verified_words(), 0u);
+}
+
+TEST(FaultSoak, MultiKindFaultStormHoldsInvariants) {
+  // Every fault kind at once, over a longer run. Degrade multipliers stay
+  // mild (< 1.5): a 2x NVM slowdown pushes the device past saturation during
+  // the serial prefill and the warmup window never ends.
+  Machine machine(FaultyItestMachine(
+      "seed=23;dma.fail:p=0.2;dma.timeout:p=0.05;migrate.abort:p=0.15;"
+      "alloc.fail:p=0.2;pebs.drop:p=0.2;pebs.burst:len=16,max=8;"
+      "nvm.degrade:mult=1.3,wear=2;dram.degrade:mult=1.1"));
+  Hemem hemem(machine);
+  hemem.Start();
+  GupsConfig config = VerifiedGups();
+  config.updates_per_thread = 400'000;
+  GupsBenchmark gups(hemem, config);
+  gups.Prepare();
+  const GupsResult result = gups.Run();
+  EXPECT_GT(result.total_updates, 0u);
+
+  // The storm fired and the recovery paths ran.
+  EXPECT_GT(machine.faults().total_injected(), 0u);
+  EXPECT_GT(machine.faults().injected(FaultKind::kDmaFail), 0u);
+  const HememStats& hs = hemem.hstats();
+  EXPECT_GT(hs.migration_aborts + hs.deferred_allocs, 0u);
+
+  // Data survived and frames are conserved: every allocated frame is owned
+  // by exactly the pages the table says are present.
+  EXPECT_EQ(gups.VerifyData(), 0u);
+  EXPECT_GT(gups.verified_words(), 0u);
+  uint64_t present[2] = {0, 0};
+  machine.page_table().ForEachRegion([&](Region& region) {
+    for (const PageEntry& page : region.pages) {
+      if (page.present) present[static_cast<int>(page.tier)]++;
+    }
+  });
+  EXPECT_EQ(machine.frames(Tier::kDram).used_frames(),
+            present[static_cast<int>(Tier::kDram)]);
+  EXPECT_EQ(machine.frames(Tier::kNvm).used_frames(),
+            present[static_cast<int>(Tier::kNvm)]);
 }
 
 }  // namespace

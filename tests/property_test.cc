@@ -5,7 +5,10 @@
 #include <algorithm>
 #include <deque>
 #include <map>
+#include <memory>
 #include <set>
+#include <string>
+#include <tuple>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -13,10 +16,16 @@
 #include "apps/flexkvs.h"
 #include "common/histogram.h"
 #include "common/rng.h"
+#include "core/hemem.h"
 #include "core/page_lists.h"
+#include "sim/fault.h"
 #include "test_util.h"
 #include "tier/machine.h"
+#include "tier/memory_mode.h"
+#include "tier/nimble.h"
 #include "tier/plain.h"
+#include "tier/thermostat.h"
+#include "tier/xmem.h"
 
 namespace hemem {
 namespace {
@@ -222,6 +231,194 @@ TEST_P(KvsProperty, RandomOpsMatchReferenceVersions) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, KvsProperty, ::testing::Values(40u, 41u, 42u, 43u));
+
+// --- Fault-schedule sweep: invariants under randomized fault plans -----------
+//
+// Every tiering system runs a fixed hot/cold workload under a seed-derived
+// random fault plan (mixing DMA failures/timeouts, device degradation, PEBS
+// losses, migration aborts, and allocation failures). Whatever the plan, the
+// run must complete and leave the machine self-consistent: each page resident
+// in exactly one tier with a uniquely-owned frame, translations resolving to
+// their entries, frame pools conserved, and HeMem's list accounting intact.
+
+constexpr const char* kFaultMatrixSystems[] = {
+    "DRAM", "MM", "Nimble", "X-Mem", "Thermostat", "HeMem", "HeMem-PT-Sync",
+};
+
+std::unique_ptr<TieredMemoryManager> MakeFaultMatrixSystem(const std::string& kind,
+                                                           Machine& machine) {
+  if (kind == "DRAM") {
+    return std::make_unique<PlainMemory>(machine, Tier::kDram, /*overcommit=*/true);
+  }
+  if (kind == "MM") {
+    return std::make_unique<MemoryMode>(machine);
+  }
+  if (kind == "Nimble") {
+    return std::make_unique<Nimble>(machine);
+  }
+  if (kind == "X-Mem") {
+    return std::make_unique<XMem>(machine);
+  }
+  if (kind == "Thermostat") {
+    return std::make_unique<Thermostat>(machine);
+  }
+  HememParams params;
+  if (kind == "HeMem-PT-Sync") {
+    params.scan_mode = HememParams::ScanMode::kPtSync;
+  }
+  return std::make_unique<Hemem>(machine, params);
+}
+
+// Seed-derived plan: each kind joins with some probability, rates kept in a
+// range where the workload still makes forward progress. Degrade multipliers
+// stay mild (a saturated device is legal but makes the sweep crawl).
+std::string RandomFaultSpec(uint64_t seed) {
+  Rng rng(Mix64(seed ^ 0xfa1177ull));
+  std::string spec = "seed=" + std::to_string(1 + rng.NextBounded(1 << 20));
+  // Probability literal "0.NN" with NN uniform in [lo, hi] percent.
+  const auto pct = [&rng](uint64_t lo, uint64_t hi) {
+    const uint64_t v = rng.NextInRange(lo, hi);
+    return std::string("0.") + (v < 10 ? "0" : "") + std::to_string(v);
+  };
+  if (rng.NextBool(0.6)) {
+    spec += ";dma.fail:p=" + pct(10, 50);
+  }
+  if (rng.NextBool(0.3)) {
+    spec += ";dma.timeout:p=" + pct(5, 20);
+  }
+  if (rng.NextBool(0.5)) {
+    spec += ";migrate.abort:p=" + pct(5, 30);
+  }
+  if (rng.NextBool(0.5)) {
+    spec += ";alloc.fail:p=" + pct(10, 50);
+    if (rng.NextBool(0.5)) {
+      spec += rng.NextBool(0.5) ? ",tier=dram" : ",tier=nvm";
+    }
+  }
+  if (rng.NextBool(0.5)) {
+    spec += ";pebs.drop:p=" + pct(5, 30);
+  }
+  if (rng.NextBool(0.3)) {
+    spec += ";pebs.burst:p=0.01,len=" + std::to_string(8 + rng.NextBounded(64));
+  }
+  if (rng.NextBool(0.4)) {
+    spec += ";nvm.degrade:mult=1." + std::to_string(1 + rng.NextBounded(4));
+    if (rng.NextBool(0.5)) {
+      spec += ",start=1ms,end=" + std::to_string(2 + rng.NextBounded(20)) + "ms";
+    }
+  }
+  if (rng.NextBool(0.3)) {
+    spec += ";dram.degrade:mult=1." + std::to_string(1 + rng.NextBounded(3));
+  }
+  if (spec.find(';') == std::string::npos) {
+    spec += ";dma.fail:p=0.25";  // never sweep an empty plan
+  }
+  return spec;
+}
+
+class FaultMatrix
+    : public ::testing::TestWithParam<std::tuple<const char*, uint64_t>> {};
+
+TEST_P(FaultMatrix, InvariantsHoldUnderRandomFaultSchedule) {
+  const std::string system = std::get<0>(GetParam());
+  const uint64_t seed = std::get<1>(GetParam());
+  const std::string spec = RandomFaultSpec(seed);
+  SCOPED_TRACE(system + " under \"" + spec + "\"");
+
+  MachineConfig config = TinyMachineConfig();
+  std::string error;
+  ASSERT_TRUE(FaultPlan::Parse(spec, &config.fault_plan, &error)) << error;
+  Machine machine(config);
+  std::unique_ptr<TieredMemoryManager> manager = MakeFaultMatrixSystem(system, machine);
+  manager->Start();
+
+  constexpr uint64_t kWorkingSet = MiB(32);
+  constexpr uint64_t kHotSet = MiB(4);
+  constexpr uint64_t kOps = 60'000;
+  const uint64_t va = manager->Mmap(kWorkingSet, {.label = "fault-matrix"});
+
+  Rng access_rng(Mix64(seed) ^ 0xacce55ull);
+  uint64_t op = 0;
+  ScriptThread thread([&](ScriptThread& self) mutable {
+    const uint64_t span = access_rng.NextBool(0.9) ? kHotSet : kWorkingSet;
+    const uint64_t offset = access_rng.NextBounded(span / 64) * 64;
+    const AccessKind kind = op % 3 == 0 ? AccessKind::kStore : AccessKind::kLoad;
+    manager->Access(self, va + offset, 64, kind);
+    self.Advance(15);
+    return ++op < kOps;
+  });
+  machine.engine().AddThread(&thread);
+  const SimTime end = machine.engine().Run();
+
+  // The workload ran to completion in finite virtual time — no deadlock.
+  ASSERT_EQ(op, kOps);
+  ASSERT_GT(end, 0);
+
+  // Residency: each present page holds a valid, uniquely-owned (tier, frame)
+  // and is never simultaneously swapped; its translation resolves to itself.
+  std::set<uint64_t> frames_seen;
+  uint64_t present_pages[kNumTiers] = {0, 0};
+  machine.page_table().ForEachRegion([&](Region& region) {
+    for (uint64_t i = 0; i < region.num_pages(); ++i) {
+      PageEntry& entry = region.pages[i];
+      EXPECT_FALSE(entry.present && entry.swapped);
+      if (!entry.present) {
+        continue;
+      }
+      EXPECT_NE(entry.frame, kInvalidFrame);
+      const uint64_t key =
+          (static_cast<uint64_t>(entry.tier) << 32) | entry.frame;
+      EXPECT_TRUE(frames_seen.insert(key).second)
+          << "frame " << entry.frame << " owned by two pages";
+      present_pages[static_cast<int>(entry.tier)]++;
+      const uint64_t page_va = region.base + i * region.page_bytes;
+      const PageTable::Resolution res = machine.page_table().Resolve(page_va);
+      ASSERT_EQ(res.entry, &entry);
+      ASSERT_EQ(res.region, &region);
+    }
+  });
+
+  // Frame-pool conservation for the systems that allocate from the machine's
+  // shared pools (DRAM and MM run private allocators).
+  if (system != "DRAM" && system != "MM") {
+    EXPECT_EQ(machine.frames(Tier::kDram).used_frames(),
+              present_pages[static_cast<int>(Tier::kDram)]);
+    EXPECT_EQ(machine.frames(Tier::kNvm).used_frames(),
+              present_pages[static_cast<int>(Tier::kNvm)]);
+  }
+
+  // HeMem list accounting: every managed present page sits on exactly one
+  // hot/cold list, the counts agree, and DRAM ownership matches frames held.
+  if (auto* hemem = dynamic_cast<Hemem*>(manager.get())) {
+    uint64_t listed = 0;
+    for (uint64_t page_off = 0; page_off < kWorkingSet;
+         page_off += machine.page_bytes()) {
+      const auto probe = hemem->ProbePage(va + page_off);
+      ASSERT_TRUE(probe.has_value());
+      if (probe->list != PageListId::kNone) {
+        listed++;
+      }
+    }
+    EXPECT_EQ(listed, hemem->hot_pages(Tier::kDram) + hemem->hot_pages(Tier::kNvm) +
+                          hemem->cold_pages(Tier::kDram) + hemem->cold_pages(Tier::kNvm));
+    EXPECT_EQ(hemem->dram_usage(),
+              present_pages[static_cast<int>(Tier::kDram)] * machine.page_bytes());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ConfigsBySeeds, FaultMatrix,
+    ::testing::Combine(::testing::ValuesIn(kFaultMatrixSystems),
+                       ::testing::Values(101u, 102u, 103u, 104u, 105u, 106u, 107u, 108u)),
+    [](const ::testing::TestParamInfo<FaultMatrix::ParamType>& info) {
+      std::string name = std::get<0>(info.param);
+      for (char& c : name) {
+        if (c == '-') {
+          c = '_';
+        }
+      }
+      return name + "_seed" + std::to_string(std::get<1>(info.param));
+    });
 
 }  // namespace
 }  // namespace hemem

@@ -65,6 +65,7 @@ constexpr FlagSpec kFlagSpecs[] = {
     {"metrics-out", "write the JSON run report (metrics + series) here"},
     {"trace-out", "write a Chrome/Perfetto trace-event JSON file here"},
     {"sample-ms", "metric sampling interval in virtual ms (needs --metrics-out)"},
+    {"fault-spec", "fault plan, e.g. \"seed=7;dma.fail:p=0.2;nvm.degrade:mult=3\""},
 };
 
 void PrintFlagHelp(std::FILE* out) {
@@ -113,6 +114,21 @@ std::string FlagS(const std::map<std::string, std::string>& flags, const std::st
                   const std::string& fallback) {
   const auto it = flags.find(key);
   return it == flags.end() ? fallback : it->second;
+}
+
+// Folds --fault-spec into the machine config. A malformed spec is a usage
+// error: print the parser's message and exit like an unknown flag would.
+MachineConfig WithFaultPlan(MachineConfig config,
+                            const std::map<std::string, std::string>& flags) {
+  const std::string spec = FlagS(flags, "fault-spec", "");
+  if (!spec.empty()) {
+    std::string error;
+    if (!FaultPlan::Parse(spec, &config.fault_plan, &error)) {
+      std::fprintf(stderr, "bad --fault-spec: %s\n", error.c_str());
+      std::exit(2);
+    }
+  }
+  return config;
 }
 
 // Per-run observability wiring. Construct right after the Machine and BEFORE
@@ -172,7 +188,7 @@ int RunGupsCli(const std::map<std::string, std::string>& flags) {
   if (!record_path.empty()) {
     // Capture the access trace while running (use a modest op count: traces
     // hold every access).
-    Machine machine(GupsMachine());
+    Machine machine(WithFaultPlan(GupsMachine(), flags));
     auto manager = MakeSystem(system, machine);
     TraceRecorder recorder(*manager);
     recorder.Start();
@@ -198,7 +214,7 @@ int RunGupsCli(const std::map<std::string, std::string>& flags) {
       FlagD(flags, "window-ms", static_cast<double>(kGupsWindow / kMillisecond)) *
       static_cast<double>(kMillisecond));
 
-  Machine machine(GupsMachine());
+  Machine machine(WithFaultPlan(GupsMachine(), flags));
   ObsSession obs_session(machine, flags);
   auto manager = MakeSystem(system, machine);
   manager->Start();
@@ -222,7 +238,7 @@ int RunReplayCli(const std::map<std::string, std::string>& flags) {
     std::fprintf(stderr, "cannot load trace '%s'\n", path.c_str());
     return 1;
   }
-  Machine machine(GupsMachine());
+  Machine machine(WithFaultPlan(GupsMachine(), flags));
   ObsSession obs_session(machine, flags);
   auto manager = MakeSystem(system, machine);
   manager->Start();
@@ -235,7 +251,7 @@ int RunReplayCli(const std::map<std::string, std::string>& flags) {
 
 int RunKvsCli(const std::map<std::string, std::string>& flags) {
   const std::string system = FlagS(flags, "system", "HeMem");
-  Machine machine(GupsMachine());
+  Machine machine(WithFaultPlan(GupsMachine(), flags));
   ObsSession obs_session(machine, flags);
   auto manager = MakeSystem(system, machine);
   manager->Start();
@@ -261,7 +277,7 @@ int RunTpccCli(const std::map<std::string, std::string>& flags) {
   MachineConfig mc = MachineConfig::Scaled(115.0);
   mc.page_bytes = KiB(64);
   mc.pebs.SetAllPeriods(ScaledPebsPeriod(kPaperPebsPeriod, 40.0));
-  Machine machine(mc);
+  Machine machine(WithFaultPlan(mc, flags));
   ObsSession obs_session(machine, flags);
   auto manager = MakeSystem(system, machine);
   manager->Start();
@@ -293,7 +309,7 @@ int RunPageRankCli(const std::map<std::string, std::string>& flags) {
   MachineConfig mc = MachineConfig::Scaled(FlagD(flags, "scale", 8192.0));
   mc.page_bytes = KiB(64);
   mc.pebs.SetAllPeriods(ScaledPebsPeriod(kPaperPebsPeriod, 64.0));
-  Machine machine(mc);
+  Machine machine(WithFaultPlan(mc, flags));
   ObsSession obs_session(machine, flags);
   auto manager = MakeSystem(system, machine);
   manager->Start();
@@ -320,7 +336,7 @@ int RunBcCli(const std::map<std::string, std::string>& flags) {
   MachineConfig mc = MachineConfig::Scaled(FlagD(flags, "scale", 8192.0));
   mc.page_bytes = KiB(64);
   mc.pebs.SetAllPeriods(ScaledPebsPeriod(kPaperPebsPeriod, 64.0));
-  Machine machine(mc);
+  Machine machine(WithFaultPlan(mc, flags));
   ObsSession obs_session(machine, flags);
   auto manager = MakeSystem(system, machine);
   manager->Start();
