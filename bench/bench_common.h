@@ -17,6 +17,7 @@
 #include <cstdlib>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -131,6 +132,11 @@ inline void MaybeWriteReport(Machine& machine, const std::string& id,
     return;
   }
   meta.emplace_back("id", id);
+  // Sweep cells may finish concurrently under --jobs; ids are unique per
+  // cell, but serialize the writes so partially-written files can't race a
+  // reader (and so any shared WriteRunReport internals stay single-entry).
+  static std::mutex report_mutex;
+  std::lock_guard<std::mutex> lock(report_mutex);
   obs::WriteRunReport(std::string(dir) + "/" + id + ".json",
                       machine.metrics().Snapshot(), /*sampler=*/nullptr, meta);
 }

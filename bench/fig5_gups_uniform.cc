@@ -3,33 +3,51 @@
 // DRAM; MM degrades from conflict misses as the working set approaches DRAM
 // capacity while HeMem does not (3.2x at 128 GB); Nimble trails from scan +
 // migration overhead; past DRAM capacity every system converges to NVM.
+//
+// Sweep cells (working-set point x system) are independent sims; run them
+// with --jobs=N host threads. --x-list=8,32 overrides the working-set points
+// (CI smoke).
 
 #include "gups_bench.h"
+#include "sweep.h"
 
 using namespace hemem;
 using namespace hemem::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const SweepOptions sweep = ParseSweepArgs(argc, argv);
+  std::vector<double> ws_points = {8.0, 16.0, 32.0, 64.0, 128.0, 192.0, 256.0};
+  if (!sweep.x_list.empty()) {
+    ws_points = sweep.x_list;
+  }
+  const std::vector<std::string> systems = {"DRAM", "MM", "HeMem", "Nimble", "NVM"};
+
   PrintTitle("Figure 5", "Uniform GUPS vs working set (GUPS)",
              "16 threads, 8 B updates; sizes are paper-equivalent GB at 1/256 scale "
              "(DRAM = 192 GB)");
-  const std::vector<std::string> systems = {"DRAM", "MM", "HeMem", "Nimble", "NVM"};
   std::vector<std::string> cols = {"ws_GB"};
   cols.insert(cols.end(), systems.begin(), systems.end());
   PrintCols(cols);
 
-  for (const double ws_gb : {8.0, 16.0, 32.0, 64.0, 128.0, 192.0, 256.0}) {
-    PrintCell(Fmt("%.0f", ws_gb));
-    for (const auto& system : systems) {
-      GupsConfig config;
-      config.threads = 16;
-      config.working_set = PaperGiB(ws_gb);
-      config.hot_set = 0;  // uniform
-      // Uniform access needs no classification warmup; 200 ms covers
-      // fault-in and cache warm.
-      const GupsRunOutput out = RunGupsSystem(system, config, GupsMachine(), std::nullopt,
-                                              /*warmup=*/200 * kMillisecond);
-      PrintCell(out.result.gups);
+  std::vector<double> gups(ws_points.size() * systems.size(), 0.0);
+  ParallelFor(gups.size(), sweep.jobs, [&](size_t cell) {
+    const double ws_gb = ws_points[cell / systems.size()];
+    const std::string& system = systems[cell % systems.size()];
+    GupsConfig config;
+    config.threads = 16;
+    config.working_set = PaperGiB(ws_gb);
+    config.hot_set = 0;  // uniform
+    // Uniform access needs no classification warmup; 200 ms covers
+    // fault-in and cache warm.
+    const GupsRunOutput out = RunGupsSystem(system, config, GupsMachine(), std::nullopt,
+                                            /*warmup=*/200 * kMillisecond);
+    gups[cell] = out.result.gups;
+  });
+
+  for (size_t p = 0; p < ws_points.size(); ++p) {
+    PrintCell(Fmt("%.0f", ws_points[p]));
+    for (size_t s = 0; s < systems.size(); ++s) {
+      PrintCell(gups[p * systems.size() + s]);
     }
     EndRow();
   }

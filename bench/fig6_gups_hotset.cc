@@ -3,34 +3,50 @@
 // it there and stays flat; MM degrades as the hot set approaches DRAM
 // capacity (up to 2x below HeMem); Nimble trails badly; once the hot set
 // exceeds DRAM, everyone converges (HeMem detects this and stops migrating).
+//
+// Independent (hot-set point x system) cells; --jobs=N parallelizes across
+// host threads, --x-list=1,16 overrides the hot-set points.
 
 #include "gups_bench.h"
+#include "sweep.h"
 
 using namespace hemem;
 using namespace hemem::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const SweepOptions sweep = ParseSweepArgs(argc, argv);
+  std::vector<double> hot_points = {1.0, 4.0, 16.0, 64.0, 128.0, 192.0, 256.0};
+  if (!sweep.x_list.empty()) {
+    hot_points = sweep.x_list;
+  }
+  const std::vector<std::string> systems = {"MM", "HeMem", "Nimble"};
+
   PrintTitle("Figure 6", "GUPS vs hot set size, 512 GB working set (GUPS)",
              "16 threads, 90% of accesses to the hot set; paper-equivalent GB at "
              "1/256 scale (DRAM = 192 GB)");
-  const std::vector<std::string> systems = {"MM", "HeMem", "Nimble"};
   std::vector<std::string> cols = {"hot_GB"};
   cols.insert(cols.end(), systems.begin(), systems.end());
   PrintCols(cols);
 
-  for (const double hot_gb : {1.0, 4.0, 16.0, 64.0, 128.0, 192.0, 256.0}) {
-    PrintCell(Fmt("%.0f", hot_gb));
-    for (const auto& system : systems) {
-      GupsConfig config = StandardHotGups();
-      config.hot_set = PaperGiB(hot_gb);
-      // HeMem's classification+migration convergence for multi-GB hot sets
-      // needs a longer warmup at this timescale (the paper warms up for
-      // minutes); MM/Nimble converge quickly.
-      const SimTime warmup =
-          system == "MM" ? 300 * kMillisecond : 700 * kMillisecond;
-      const GupsRunOutput out =
-          RunGupsSystem(system, config, GupsMachine(), std::nullopt, warmup);
-      PrintCell(out.result.gups);
+  std::vector<double> gups(hot_points.size() * systems.size(), 0.0);
+  ParallelFor(gups.size(), sweep.jobs, [&](size_t cell) {
+    const double hot_gb = hot_points[cell / systems.size()];
+    const std::string& system = systems[cell % systems.size()];
+    GupsConfig config = StandardHotGups();
+    config.hot_set = PaperGiB(hot_gb);
+    // HeMem's classification+migration convergence for multi-GB hot sets
+    // needs a longer warmup at this timescale (the paper warms up for
+    // minutes); MM/Nimble converge quickly.
+    const SimTime warmup = system == "MM" ? 300 * kMillisecond : 700 * kMillisecond;
+    const GupsRunOutput out =
+        RunGupsSystem(system, config, GupsMachine(), std::nullopt, warmup);
+    gups[cell] = out.result.gups;
+  });
+
+  for (size_t p = 0; p < hot_points.size(); ++p) {
+    PrintCell(Fmt("%.0f", hot_points[p]));
+    for (size_t s = 0; s < systems.size(); ++s) {
+      PrintCell(gups[p * systems.size() + s]);
     }
     EndRow();
   }

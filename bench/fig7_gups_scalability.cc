@@ -3,30 +3,47 @@
 // threads HeMem's helper threads contend with GUPS for the 24-core socket
 // (~10% below MM); the CPU-copy configuration (HeMem-Threads, no DMA
 // engine) loses further ground.
+//
+// Independent (thread-count point x system) cells; --jobs=N parallelizes
+// across host threads, --x-list=1,16 overrides the thread-count points.
 
 #include "gups_bench.h"
+#include "sweep.h"
 
 using namespace hemem;
 using namespace hemem::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const SweepOptions sweep = ParseSweepArgs(argc, argv);
+  std::vector<double> thread_points = {1, 4, 8, 12, 16, 20, 21, 22, 24};
+  if (!sweep.x_list.empty()) {
+    thread_points = sweep.x_list;
+  }
+  const std::vector<std::string> systems = {"MM", "HeMem", "HeMem-Threads"};
+
   PrintTitle("Figure 7", "GUPS vs thread count (GUPS)",
              "512 GB working set / 16 GB hot set at 1/256 scale; 24-core socket");
-  const std::vector<std::string> systems = {"MM", "HeMem", "HeMem-Threads"};
   std::vector<std::string> cols = {"threads"};
   cols.insert(cols.end(), systems.begin(), systems.end());
   PrintCols(cols);
 
-  for (const int threads : {1, 4, 8, 12, 16, 20, 21, 22, 24}) {
-    PrintCell(Fmt("%.0f", threads));
-    for (const auto& system : systems) {
-      const GupsConfig config = StandardHotGups(threads);
-      // Few threads fault the working set in slowly; give them a longer
-      // warmup so measurement starts after the prefill completes.
-      const SimTime warmup = threads < 8 ? 1400 * kMillisecond : kGupsWarmup;
-      const GupsRunOutput out =
-          RunGupsSystem(system, config, GupsMachine(), std::nullopt, warmup);
-      PrintCell(out.result.gups);
+  std::vector<double> gups(thread_points.size() * systems.size(), 0.0);
+  ParallelFor(gups.size(), sweep.jobs, [&](size_t cell) {
+    const int threads = static_cast<int>(thread_points[cell / systems.size()]);
+    const std::string& system = systems[cell % systems.size()];
+    const GupsConfig config = StandardHotGups(threads);
+    // Few threads fault the working set in slowly; give them a longer
+    // warmup so measurement starts after the prefill completes.
+    const SimTime warmup = threads < 8 ? 1400 * kMillisecond : kGupsWarmup;
+    const GupsRunOutput out =
+        RunGupsSystem(system, config, GupsMachine(), std::nullopt, warmup);
+    gups[cell] = out.result.gups;
+  });
+
+  for (size_t p = 0; p < thread_points.size(); ++p) {
+    PrintCell(Fmt("%.0f", thread_points[p]));
+    for (size_t s = 0; s < systems.size(); ++s) {
+      PrintCell(gups[p * systems.size() + s]);
     }
     EndRow();
   }

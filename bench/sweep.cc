@@ -1,0 +1,80 @@
+#include "sweep.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+namespace hemem::bench {
+
+SweepOptions ParseSweepArgs(int argc, char** argv) {
+  SweepOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--jobs=", 7) == 0) {
+      opts.jobs = std::atoi(arg + 7);
+      if (opts.jobs < 1) {
+        opts.jobs = 1;
+      }
+    } else if (std::strncmp(arg, "--x-list=", 9) == 0) {
+      const char* p = arg + 9;
+      while (*p != '\0') {
+        char* end = nullptr;
+        const double v = std::strtod(p, &end);
+        if (end == p) {
+          break;
+        }
+        opts.x_list.push_back(v);
+        p = *end == ',' ? end + 1 : end;
+      }
+    }
+  }
+  return opts;
+}
+
+void ParallelFor(size_t n, int jobs, const std::function<void(size_t)>& fn) {
+  if (n == 0) {
+    return;
+  }
+  const size_t workers = std::min(static_cast<size_t>(jobs < 1 ? 1 : jobs), n);
+  if (workers == 1) {
+    for (size_t i = 0; i < n; ++i) {
+      fn(i);
+    }
+    return;
+  }
+  std::atomic<size_t> next{0};
+  auto drain = [&] {
+    for (;;) {
+      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) {
+        return;
+      }
+      fn(i);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (size_t w = 1; w < workers; ++w) {
+    pool.emplace_back(drain);
+  }
+  drain();  // the calling thread is worker 0
+  for (std::thread& t : pool) {
+    t.join();
+  }
+}
+
+double WallSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+unsigned HostCores() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+}  // namespace hemem::bench

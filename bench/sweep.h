@@ -1,0 +1,56 @@
+// Parallel sweep driver for the figure benches.
+//
+// Every figure bench is an embarrassingly parallel grid: independent
+// (system x parameter-point) simulations whose only shared state is stdout
+// and the optional report directory. ParallelFor runs those cells on a pool
+// of host threads (each cell builds its own Machine, so cells share nothing),
+// and callers write results into pre-sized slots indexed by cell — printing
+// happens after the join, in grid order, so the output is byte-identical to
+// a sequential run regardless of --jobs.
+//
+// Simulations themselves stay single-threaded and deterministic; parallelism
+// here is purely across independent runs (host wall-clock, not simulated
+// time).
+
+#ifndef HEMEM_BENCH_SWEEP_H_
+#define HEMEM_BENCH_SWEEP_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace hemem::bench {
+
+struct SweepOptions {
+  // Host threads for ParallelFor. 1 = sequential (the default); 0 is
+  // normalized to 1 at parse time.
+  int jobs = 1;
+  // Optional x-axis override (--x-list=8,16,32): benches that support it
+  // replace their built-in sweep points, letting CI run a 2-point smoke of a
+  // 7-point figure. Empty = use the bench's defaults.
+  std::vector<double> x_list;
+};
+
+// Parses --jobs=N and --x-list=a,b,c out of argv. Unrecognized arguments are
+// left for the caller (returned options ignore them), so benches with their
+// own flags can parse both.
+SweepOptions ParseSweepArgs(int argc, char** argv);
+
+// Runs fn(0..n-1) on `jobs` host threads (capped at n). Work is handed out
+// by atomic counter, so slow cells don't stall a fixed stripe. Blocks until
+// every index completes. jobs <= 1 degenerates to a plain loop on the
+// calling thread.
+void ParallelFor(size_t n, int jobs, const std::function<void(size_t)>& fn);
+
+// Monotonic wall-clock seconds since an arbitrary epoch; pairs of calls
+// bracket sweep timing for BENCH_* reports.
+double WallSeconds();
+
+// Parallel host capacity, for recording alongside sweep timings (speedup
+// from --jobs is bounded by this).
+unsigned HostCores();
+
+}  // namespace hemem::bench
+
+#endif  // HEMEM_BENCH_SWEEP_H_

@@ -52,6 +52,9 @@ Hemem::Hemem(Machine& machine, HememParams params)
   // runs after the device charge (with the post-access timestamp).
   wp_stall_cost_ = fault_costs_.userfaultfd_roundtrip;
   post_charge_hook_ = params_.scan_mode == ScanMode::kPebs;
+  // Skeleton + hooks only; the PEBS quantum budget (OnQuantumBegin) keeps
+  // batched counting exact.
+  batch_quantum_safe_ = true;
   drain_buf_.reserve(4096);
 
   trace_policy_track_ = machine.tracer().RegisterTrack("hemem.policy");
@@ -362,6 +365,18 @@ void Hemem::OnAccessCharged(SimThread& thread, uint64_t va, PageEntry& entry,
                               : (entry.tier == Tier::kNvm ? PebsEvent::kNvmLoad
                                                           : PebsEvent::kDramLoad);
   machine_.pebs().CountAccess(thread.now(), va, event, thread.stream_id());
+}
+
+void Hemem::OnQuantumBegin(SimThread& thread) {
+  if (post_charge_hook_) {
+    machine_.pebs().BeginQuantum(thread.stream_id());
+  }
+}
+
+void Hemem::OnQuantumEnd(SimThread&) {
+  if (post_charge_hook_) {
+    machine_.pebs().EndQuantum();
+  }
 }
 
 void Hemem::NoteSampleForCooling(HememPage* page, SimTime t) {

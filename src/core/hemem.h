@@ -137,6 +137,10 @@ class Hemem : public TieredMemoryManager {
   void OnAccessCharged(SimThread& thread, uint64_t va, PageEntry& entry,
                        AccessKind kind) override;
   void OnUnmapRegion(Region& region) override;
+  // Batched quanta: precompute the PEBS no-overflow budget for the quantum's
+  // stream so per-access counting degenerates to a counter bump.
+  void OnQuantumBegin(SimThread& thread) override;
+  void OnQuantumEnd(SimThread& thread) override;
 
  private:
   friend class PebsThread;

@@ -91,6 +91,11 @@ SimTime MemoryDevice::ReserveChannel(Direction& dir, SimTime start, SimTime busy
   const uint64_t best = std::min(best0, best1);
   const SimTime begin = std::max(start, static_cast<SimTime>(best >> 5));
   free[best & 31] = begin + busy;
+  // Maintain the ChannelPressure bounds: the popped argmin is the exact min
+  // at this instant and a valid lower bound afterwards (free times only
+  // grow); the max is exact incrementally.
+  dir.earliest_free_lb = static_cast<SimTime>(best >> 5);
+  dir.latest_free = std::max(dir.latest_free, begin + busy);
   return begin;
 }
 
@@ -106,10 +111,9 @@ SimTime MemoryDevice::Access(SimTime start, uint64_t addr, uint32_t size, Access
   const bool sequential = stream_last_end_[slot] == addr;
   stream_last_end_[slot] = addr + size;
 
-  const uint64_t requested = std::max<uint64_t>(size, 1);
   const uint64_t media_bytes = media_mask_ != 0
-                                   ? (requested + media_mask_) & ~media_mask_
-                                   : RoundUp(requested, params_.media_granularity);
+                                   ? (static_cast<uint64_t>(size) + media_mask_) & ~media_mask_
+                                   : RoundUp(size, params_.media_granularity);
   if (media_bytes != dir.memo_media_bytes) {
     dir.memo_media_bytes = media_bytes;
     dir.memo_busy = static_cast<SimTime>(static_cast<double>(media_bytes) / dir.channel_bw);
@@ -194,8 +198,102 @@ double MemoryDevice::DegradeMultiplier(SimTime at) const {
   return m;
 }
 
+void MemoryDevice::BatchRun::Open(SimTime start) {
+  open_ = true;
+  // Fast-path eligibility bound: the furthest access-start time provably
+  // outside the degrade window. Before the window the edge is its start;
+  // past it (or undegraded) there is no edge. An access inside the window
+  // computes fast_until_ = start, so it (and everything after, until the
+  // window passes) takes the exact scalar path.
+  if (!dev_.degraded_) {
+    fast_until_ = std::numeric_limits<SimTime>::max();
+  } else if (start >= dev_.degrade_.end) {
+    fast_until_ = std::numeric_limits<SimTime>::max();
+  } else if (start < dev_.degrade_.start) {
+    fast_until_ = dev_.degrade_.start;
+  } else {
+    fast_until_ = start;
+  }
+  last_end_ = dev_.stream_last_end_[slot_];
+  InitDir(read_run_, dev_.read_);
+  InitDir(write_run_, dev_.write_);
+}
+
+void MemoryDevice::BatchRun::InitDir(DirRun& d, Direction& dir) {
+  d.dir = &dir;
+  d.channels = static_cast<uint32_t>(dir.channel_free.size());
+  for (uint32_t i = 0; i < d.channels; ++i) {
+    d.ring[i] = (static_cast<uint64_t>(dir.channel_free[i]) << 5) | i;
+  }
+  // Ascending packed keys: the head is exactly the scalar argmin (earliest
+  // free time, ties to the lowest channel index).
+  std::sort(d.ring, d.ring + d.channels);
+  d.head = 0;
+  d.max_free = static_cast<SimTime>(d.ring[d.channels - 1] >> 5);
+  d.earliest_lb = dir.earliest_free_lb;
+  // The run's memo is keyed on raw size; the device's on media bytes. The
+  // mapping is many-to-one, so start unkeyed and inherit the busy pair for
+  // the flush-back (identical when no access recomputes it).
+  d.memo_size = ~0ull;
+  d.memo_media_bytes = dir.memo_media_bytes;
+  d.memo_busy = dir.memo_busy;
+  d.accesses = 0;
+  d.bytes_requested = 0;
+  d.media_bytes = 0;
+  d.sequential_hits = 0;
+}
+
+void MemoryDevice::BatchRun::FlushDir(DirRun& d) {
+  for (uint32_t i = 0; i < d.channels; ++i) {
+    const uint64_t key = d.ring[(d.head + i) & 31];
+    d.dir->channel_free[key & 31] = static_cast<SimTime>(key >> 5);
+  }
+  d.dir->memo_media_bytes = d.memo_media_bytes;
+  d.dir->memo_busy = d.memo_busy;
+  d.dir->earliest_free_lb = d.earliest_lb;
+  d.dir->latest_free = std::max(d.dir->latest_free, d.max_free);
+}
+
+void MemoryDevice::BatchRun::Close() {
+  if (!open_) {
+    return;
+  }
+  open_ = false;
+  dev_.stream_last_end_[slot_] = last_end_;
+  FlushDir(read_run_);
+  FlushDir(write_run_);
+  DeviceStats& s = dev_.stats_;
+  s.loads += read_run_.accesses;
+  s.bytes_requested_read += read_run_.bytes_requested;
+  s.media_bytes_read += read_run_.media_bytes;
+  s.stores += write_run_.accesses;
+  s.bytes_requested_written += write_run_.bytes_requested;
+  s.media_bytes_written += write_run_.media_bytes;
+  s.sequential_hits += read_run_.sequential_hits + write_run_.sequential_hits;
+  // Fast-path accesses have begin == start by the regime guard, so the
+  // queue-delay total adds zero, the max is unchanged, and no access was
+  // degraded — those stats need no flush.
+}
+
+SimTime MemoryDevice::BatchRun::ScalarAccess(SimTime start, uint64_t addr, uint32_t size,
+                                             AccessKind kind) {
+  Close();
+  return dev_.Access(start, addr, size, kind, stream_id_);
+}
+
 double MemoryDevice::ChannelPressure(SimTime at, AccessKind kind) const {
   const Direction& dir = kind == AccessKind::kLoad ? read_ : write_;
+  // O(1) common cases from the incrementally-maintained bounds. latest_free
+  // is the exact max free time, so at >= latest_free means every channel has
+  // drained. earliest_free_lb never exceeds the true min, so at below it
+  // means every channel is still busy. Both answers equal what the scan
+  // would return; only the transition band (some channels drained) scans.
+  if (at >= dir.latest_free) {
+    return 0.0;
+  }
+  if (at < dir.earliest_free_lb) {
+    return 1.0;
+  }
   int backed_up = 0;
   for (const SimTime free : dir.channel_free) {
     if (free > at) {

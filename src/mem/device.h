@@ -24,6 +24,7 @@
 #define HEMEM_MEM_DEVICE_H_
 
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -94,9 +95,12 @@ class MemoryDevice {
   // channel bandwidth but exposes no per-access latency. Returns completion.
   SimTime BulkTransfer(SimTime start, uint64_t bytes, AccessKind kind);
 
-  // Fraction of channel-time busy in the most recent `window` ending at `at`
-  // for the given direction; a cheap approximation from channel free times,
-  // used by policies that want to probe for spare bandwidth.
+  // Fraction of channels still busy at `at` for the given direction; a cheap
+  // approximation from channel free times, used by policies that want to
+  // probe for spare bandwidth. Warm for HeMem's policy thread, so the common
+  // cases answer O(1) from incrementally-maintained per-direction bounds
+  // (all channels drained / all channels backed up); only the narrow
+  // transition band scans the channel array.
   double ChannelPressure(SimTime at, AccessKind kind) const;
 
   const DeviceParams& params() const { return params_; }
@@ -124,6 +128,134 @@ class MemoryDevice {
   }
 
  private:
+  struct Direction;  // defined below; BatchRun::DirRun points into it
+
+ public:
+  // ---- Batched sequential-run reservation ----------------------------------
+  //
+  // A BatchRun serves one engine run quantum's accesses by one stream against
+  // this device. While every access falls in the *unloaded regime* — it
+  // starts at or after every channel's free time, so begin == start and the
+  // queue delay is exactly zero — the channel argmin degenerates: the popped
+  // key is the head of a sorted circular ring of packed
+  // (free_time << 5 | index) keys, and the replacement key (start + busy,
+  // same index) strictly exceeds every live key, so a tail append keeps the
+  // ring sorted. A whole run of accesses therefore reserves in O(1) each,
+  // with arithmetic identical to N scalar ReserveChannel calls (same popped
+  // key, same begin, same free-time writeback). Stats and the
+  // sequential-stream detector state accumulate locally and flush in bulk on
+  // Close(). Any access outside the regime — channel backlog, a degrade
+  // window the access could reach, zero busy time — transparently flushes
+  // and takes the scalar Access() path, so callers never branch on
+  // eligibility and results are bit-identical by construction.
+  //
+  // A BatchRun must be closed before anything else touches the device
+  // (another stream, a BulkTransfer, a stats reader); the tier layer closes
+  // runs before every slow-path fallback and at quantum end, and the engine's
+  // run horizon guarantees no other thread runs inside the quantum.
+  class BatchRun {
+   public:
+    BatchRun(MemoryDevice& dev, uint32_t stream_id)
+        : dev_(dev), slot_(stream_id % kMaxStreams), stream_id_(stream_id) {}
+    ~BatchRun() { Close(); }
+    BatchRun(const BatchRun&) = delete;
+    BatchRun& operator=(const BatchRun&) = delete;
+
+    // Exact equivalent of dev.Access(start, addr, size, kind, stream_id).
+    // Forced inline: this is the body of the batched quantum loop, and the
+    // ring/memo/stat fields only stay in registers when it inlines into it.
+    [[gnu::always_inline]] inline SimTime Access(SimTime start, uint64_t addr, uint32_t size,
+                                                 AccessKind kind) {
+      if (!open_) [[unlikely]] {
+        Open(start);
+      }
+      DirRun& d = kind == AccessKind::kLoad ? read_run_ : write_run_;
+      const bool sequential = last_end_ == addr;
+      // Memo keyed on the raw request size (accesses cluster on a few sizes),
+      // so a hit skips the media-granularity round-up entirely, not just the
+      // divide. memo_media_bytes rides along for the media-byte accounting.
+      if (size != d.memo_size) [[unlikely]] {
+        d.memo_size = size;
+        d.memo_media_bytes =
+            dev_.media_mask_ != 0
+                ? (static_cast<uint64_t>(size) + dev_.media_mask_) & ~dev_.media_mask_
+                : RoundUp(size, dev_.params_.media_granularity);
+        d.memo_busy = static_cast<SimTime>(static_cast<double>(d.memo_media_bytes) /
+                                           d.dir->channel_bw);
+      }
+      const uint64_t media_bytes = d.memo_media_bytes;
+      SimTime busy = d.memo_busy;
+      SimTime exposed = 0;
+      if (!sequential) {
+        busy += d.dir->random_penalty;
+        exposed = d.dir->exposed_latency;
+      }
+      // Regime guard. start >= max_free keeps begin == start (zero queue
+      // delay) and, with busy > 0, makes the appended key strictly larger
+      // than every live key, preserving the sorted ring. start < fast_until_
+      // keeps the access provably outside the degrade window.
+      if (start >= fast_until_ || start < d.max_free || busy <= 0) [[unlikely]] {
+        return ScalarAccess(start, addr, size, kind);
+      }
+      last_end_ = addr + size;
+      const uint64_t popped = d.ring[d.head & 31];
+      d.ring[(d.head + d.channels) & 31] =
+          (static_cast<uint64_t>(start + busy) << 5) | (popped & 31);
+      d.head++;
+      d.earliest_lb = static_cast<SimTime>(popped >> 5);
+      d.max_free = start + busy;
+      d.accesses++;
+      d.bytes_requested += size;
+      d.media_bytes += media_bytes;
+      d.sequential_hits += sequential ? 1 : 0;
+      return start + busy + exposed;
+    }
+
+    // Flushes deferred state back to the device: ring keys -> channel free
+    // times, stream detector slot, memoized busy divide, pressure bounds,
+    // stat accumulators. Idempotent; reopens lazily on the next Access.
+    void Close();
+
+   private:
+    struct DirRun {
+      Direction* dir = nullptr;
+      // Live window of `channels` sorted packed keys at [head, head+channels).
+      uint64_t ring[32];
+      uint32_t head = 0;
+      uint32_t channels = 0;
+      SimTime max_free = 0;
+      SimTime earliest_lb = 0;
+      // Raw-size memo key; ~0 forces a recompute on first use (the device's
+      // own memo is keyed on media bytes, which cannot seed this one).
+      uint64_t memo_size = ~0ull;
+      uint64_t memo_media_bytes = 0;
+      SimTime memo_busy = 0;
+      uint64_t accesses = 0;
+      uint64_t bytes_requested = 0;
+      uint64_t media_bytes = 0;
+      uint64_t sequential_hits = 0;
+    };
+
+    void Open(SimTime start);
+    void InitDir(DirRun& d, Direction& dir);
+    void FlushDir(DirRun& d);
+    SimTime ScalarAccess(SimTime start, uint64_t addr, uint32_t size, AccessKind kind);
+
+    MemoryDevice& dev_;
+    const size_t slot_;
+    const uint32_t stream_id_;
+    bool open_ = false;
+    // Exclusive bound on access starts eligible for the fast path: the next
+    // degrade-window edge ahead of the run, or unbounded when the device is
+    // not degraded. Crossing it falls back to scalar, which re-opens with a
+    // recomputed bound.
+    SimTime fast_until_ = 0;
+    uint64_t last_end_ = 0;
+    DirRun read_run_;
+    DirRun write_run_;
+  };
+
+ private:
   static constexpr int kMaxStreams = 512;
 
   struct Direction {
@@ -138,6 +270,13 @@ class MemoryDevice {
     // distinct media size instead of once per access.
     uint64_t memo_media_bytes = ~0ull;
     SimTime memo_busy = 0;
+    // Incrementally-maintained occupancy bounds for ChannelPressure.
+    // earliest_free_lb is a lower bound on min(channel_free): the pre-update
+    // argmin of the latest reservation — exact at that instant and never
+    // ahead of the true min afterwards, since free times only grow.
+    // latest_free is the exact running max of all reservations.
+    SimTime earliest_free_lb = 0;
+    SimTime latest_free = 0;
   };
 
   // Reserves the earliest-free channel; returns {begin, channel index}.

@@ -1,20 +1,58 @@
 #include "pebs/pebs.h"
 
+#include <algorithm>
+
 #include "obs/trace.h"
 
 namespace hemem {
 
 PebsBuffer::PebsBuffer(PebsParams params) : params_(params) {}
 
+void PebsBuffer::BeginQuantum(uint32_t stream_id) {
+  quantum_active_ = true;
+  quantum_stream_ = stream_id;
+  RefreshQuantumBudget(stream_id);
+}
+
+void PebsBuffer::RefreshQuantumBudget(uint32_t stream_id) {
+  // Counters stay strictly below their periods (reset on overflow), so every
+  // remaining headroom is >= 1 and the budget is >= 0.
+  const uint64_t* counters = counter_[stream_id % kMaxContexts];
+  uint64_t min_left = params_.period[0] - counters[0];
+  for (int e = 1; e < kNumPebsEvents; ++e) {
+    min_left = std::min(min_left, params_.period[e] - counters[e]);
+  }
+  quantum_budget_ = min_left - 1;
+}
+
 void PebsBuffer::CountAccess(SimTime now, uint64_t va, PebsEvent event,
                              uint32_t stream_id) {
+  // Quantum fast branch: provably no counter can reach its period within the
+  // budget, so the overflow machinery (and any injector draw) is skipped
+  // with bit-identical effect.
+  if (quantum_budget_ > 0 && stream_id == quantum_stream_) [[likely]] {
+    quantum_budget_--;
+    stats_.accesses_counted++;
+    counter_[stream_id % kMaxContexts][static_cast<int>(event)]++;
+    return;
+  }
   stats_.accesses_counted++;
   const int idx = static_cast<int>(event);
   uint64_t& counter = counter_[stream_id % kMaxContexts][idx];
   if (++counter < params_.period[idx]) {
+    if (quantum_active_ && stream_id == quantum_stream_) {
+      // Exhausted budget but no overflow yet (another event had the critical
+      // headroom): recompute so the fast branch resumes immediately.
+      RefreshQuantumBudget(stream_id);
+    }
     return;
   }
   counter = 0;
+  if (quantum_active_ && stream_id == quantum_stream_) [[unlikely]] {
+    // An overflow completed mid-quantum; the counters moved, so the
+    // record-free budget starts over from fresh headroom.
+    RefreshQuantumBudget(stream_id);
+  }
   if (injector_ != nullptr) [[unlikely]] {
     if (burst_remaining_ == 0) {
       if (const FaultRule* burst = injector_->Fire(FaultKind::kPebsBurst, now)) {

@@ -82,6 +82,24 @@ class PebsBuffer {
   // would alias the sampling stride with the thread interleaving pattern.
   void CountAccess(SimTime now, uint64_t va, PebsEvent event, uint32_t stream_id = 0);
 
+  // ---- Per-quantum precomputed sampling (batched access execution) ---------
+  //
+  // BeginQuantum computes, for `stream_id`'s hardware context, how many
+  // further counted accesses are guaranteed not to overflow any event
+  // counter: min over events of (period - counter) - 1 — strictly fewer
+  // accesses than the smallest remaining headroom cannot reach any period
+  // regardless of how they distribute over events. Within that budget
+  // CountAccess degenerates to two counter bumps — no period compare, no
+  // injector draw, no ring probe — which is exact because no record (and
+  // therefore no fault opportunity) can occur before an overflow. When an
+  // overflow does complete while a quantum is active, the budget is
+  // recomputed from the fresh counters.
+  void BeginQuantum(uint32_t stream_id);
+  void EndQuantum() {
+    quantum_budget_ = 0;
+    quantum_active_ = false;
+  }
+
   // Drains up to `max` records into `out` (appends). Returns count drained.
   size_t Drain(std::vector<PebsRecord>& out, size_t max);
 
@@ -106,6 +124,10 @@ class PebsBuffer {
  private:
   static constexpr uint32_t kMaxContexts = 64;
 
+  // Recomputes the quantum's record-free access budget from the stream's
+  // current counters (each strictly below its period).
+  void RefreshQuantumBudget(uint32_t stream_id);
+
   PebsParams params_;
   // counter_[context][event]
   uint64_t counter_[kMaxContexts][kNumPebsEvents] = {};
@@ -115,6 +137,11 @@ class PebsBuffer {
   bool overflow_open_ = false;
   FaultInjector* injector_ = nullptr;
   uint64_t burst_remaining_ = 0;  // records left to drop in the open burst
+  // Quantum state: accesses left on the fast counting branch, and the stream
+  // it was computed for (other streams take the normal path unaffected).
+  uint64_t quantum_budget_ = 0;
+  uint32_t quantum_stream_ = 0;
+  bool quantum_active_ = false;
   obs::EventTracer* tracer_ = nullptr;
   uint32_t trace_track_ = 0;
 };

@@ -10,17 +10,6 @@ SimThread::SimThread(std::string name, bool foreground, double cpu_share)
 
 SimThread::~SimThread() = default;
 
-void SimThread::Advance(SimTime ns) {
-  assert(ns >= 0);
-  now_ += ns;
-}
-
-void SimThread::AdvanceTo(SimTime t) {
-  if (t > now_) {
-    now_ = t;
-  }
-}
-
 void SimThread::set_cpu_share(double share) {
   if (engine_ != nullptr && !finished_) {
     engine_->cpu_demand_ += share - cpu_share_;
@@ -107,6 +96,12 @@ void Engine::Finish(SimThread* thread) {
 
 SimTime Engine::Run(SimTime deadline) {
   SimTime last = 0;
+  // Horizon contribution of the deadline: a slice may keep running while
+  // now <= deadline, i.e. now < deadline + 1 (guarding signed overflow at
+  // the "no deadline" sentinel).
+  const SimTime deadline_bound = deadline == std::numeric_limits<SimTime>::max()
+                                     ? deadline
+                                     : deadline + 1;
   while (live_foreground_ > 0 && !heap_.empty()) {
     std::pop_heap(heap_.begin(), heap_.end(), std::greater<>());
     const HeapEntry entry = heap_.back();
@@ -131,6 +126,14 @@ SimTime Engine::Run(SimTime deadline) {
       continue;
     }
     for (;;) {
+      // Publish the lookahead window for batched slices: the thread stays the
+      // unique earliest runnable thread while its clock is strictly below the
+      // second-smallest key (now the heap front — this thread is popped) and
+      // within the deadline. Access paths never add threads mid-slice, so the
+      // bound cannot shrink while the slice runs; penalties can arrive, which
+      // is why InRunQuantum() also checks pending_penalty_.
+      run_horizon_ = heap_.empty() ? deadline_bound
+                                   : std::min(heap_.front().time, deadline_bound);
       const bool alive = thread->RunSlice();
       last = thread->now();
       if (!alive) {

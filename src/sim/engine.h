@@ -24,6 +24,7 @@
 #ifndef HEMEM_SIM_ENGINE_H_
 #define HEMEM_SIM_ENGINE_H_
 
+#include <cassert>
 #include <cstdint>
 #include <functional>
 #include <limits>
@@ -71,10 +72,29 @@ class SimThread {
   double cpu_share() const { return cpu_share_; }
   void set_cpu_share(double share);
 
-  // Advances this thread's clock by `ns` of wall (device/wait) time.
-  void Advance(SimTime ns);
-  // Moves the clock to `t` if `t` is in the future.
-  void AdvanceTo(SimTime t);
+  // Advances this thread's clock by `ns` of wall (device/wait) time. Inline:
+  // called once per access from the batched quantum loop, where an
+  // out-of-line call would spill the loop's register state.
+  void Advance(SimTime ns) {
+    assert(ns >= 0);
+    now_ += ns;
+  }
+  // Moves the clock to `t` if `t` is in the future. Inline for the same
+  // reason as Advance.
+  void AdvanceTo(SimTime t) {
+    if (t > now_) {
+      now_ = t;
+    }
+  }
+  // Publishes a batched quantum's register-held clock. The quantum loop
+  // advances a local copy of the clock (keeping the per-access dependency
+  // chain out of memory) and stores it back here at every point where other
+  // code can observe thread time: before the generator, around skeleton
+  // fallbacks and hooks, and at quantum end. `t` must be monotone.
+  void SyncTime(SimTime t) {
+    assert(t >= now_);
+    now_ = t;
+  }
   // Advances by `ns` of CPU time, stretched by the engine's contention factor.
   void ChargeCompute(SimTime ns);
 
@@ -82,19 +102,32 @@ class SimThread {
   // thread's clock at the start of its next slice. Safe to call from any
   // other thread's slice.
   void AddPenalty(SimTime ns) { pending_penalty_ += ns; }
+  SimTime pending_penalty() const { return pending_penalty_; }
+
+  // True while this thread's slice may keep executing accesses back-to-back:
+  // no penalty is queued and the clock is still strictly below the engine's
+  // run horizon. Identical to the engine's own direct-run continuation test,
+  // so a slice that runs K accesses while this holds is indistinguishable
+  // from K single-access slices. Defined inline after Engine.
+  bool InRunQuantum() const;
 
   // Per-thread software TLB: the tier layer's access skeleton caches its
   // last translation here so repeat accesses skip the page-table walk even
   // when threads with disjoint working sets interleave (a shared last-region
-  // cache thrashes in that case). `region` is an opaque Region* — the sim
-  // layer sits below the vm layer and never dereferences it. `epoch` is the
-  // PageTable unmap epoch at fill time; a stale epoch invalidates the slot,
-  // since only unmaps can move or free a Region.
+  // cache thrashes in that case). `region` and `pages` are opaque pointers
+  // (Region* / PageEntry*) — the sim layer sits below the vm layer and never
+  // dereferences them; `pages` plus `page_shift` (the region's own page
+  // granularity) let the batched quantum loop index a page entry without
+  // touching the Region at all. `epoch` is the PageTable unmap epoch at fill
+  // time; a stale epoch invalidates the slot, since only unmaps can move or
+  // free a Region.
   struct TranslationCache {
     uint64_t base = 0;
     uint64_t bytes = 0;
     void* region = nullptr;
+    void* pages = nullptr;
     uint64_t epoch = ~0ull;
+    uint32_t page_shift = 0;
   };
   TranslationCache& translation_cache() { return tcache_; }
 
@@ -178,6 +211,28 @@ class Engine {
 
   int live_foreground() const { return live_foreground_; }
 
+  // ---- Batched slice execution (DESIGN.md "Engine fast path & batching") ---
+
+  // Exclusive upper bound on clock values at which the currently-running
+  // thread is still provably the unique earliest runnable thread and inside
+  // the Run deadline: min(smallest remaining heap key, deadline + 1).
+  // Maintained by Run() immediately before every slice; meaningful only while
+  // a slice is executing. A slice whose clock stays strictly below this bound
+  // would be re-dispatched immediately by the scheduler anyway, so it may run
+  // its next access in place without returning to the heap.
+  SimTime run_horizon() const { return run_horizon_; }
+
+  // Global batching knobs. Batching is purely an execution strategy — results
+  // are bit-identical either way (tests/batch_equivalence_test.cc) — so it
+  // defaults on; tests and benches force it off to cross-check and measure.
+  void set_batching(bool on) { batching_ = on; }
+  bool batching() const { return batching_; }
+  // Cap on the accesses one granted quantum executes before returning to the
+  // scheduler. Correctness never depends on it (the horizon check is exact);
+  // it only bounds how long a slice runs between scheduling points.
+  void set_quantum_ops(uint32_t k) { quantum_ops_ = k == 0 ? 1 : k; }
+  uint32_t quantum_ops() const { return quantum_ops_; }
+
  private:
   friend class SimThread;
 
@@ -201,7 +256,14 @@ class Engine {
   double cpu_demand_ = 0.0;  // sum of live threads' cpu_share, kept incrementally
   uint32_t next_stream_id_ = 0;
   EngineObserver* observer_ = nullptr;
+  SimTime run_horizon_ = 0;
+  bool batching_ = true;
+  uint32_t quantum_ops_ = 1024;
 };
+
+inline bool SimThread::InRunQuantum() const {
+  return pending_penalty_ == 0 && engine_ != nullptr && now_ < engine_->run_horizon();
+}
 
 }  // namespace hemem
 

@@ -236,6 +236,23 @@ FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
   }
 }
 
+bool FaultInjector::QuiescentIn(SimTime t0, SimTime t1) const {
+  if (armed_mask_ == 0) {
+    return true;
+  }
+  for (size_t i = 0; i < plan_.rules.size(); ++i) {
+    const FaultRule& rule = plan_.rules[i];
+    if (rule_fired_[i] >= rule.max_count) {
+      continue;  // cap exhausted: this rule can never fire again
+    }
+    if (rule.end <= t0 || rule.start >= t1) {
+      continue;  // active window disjoint from [t0, t1)
+    }
+    return false;
+  }
+  return true;
+}
+
 const FaultRule* FaultInjector::Fire(FaultKind kind, SimTime now, std::string_view target) {
   const int k = static_cast<int>(kind);
   const uint64_t ordinal = opportunities_[k]++;

@@ -117,6 +117,15 @@ class FaultInjector {
   // first kDeviceDegrade rule targeting it, or an inactive default.
   DeviceDegrade DegradeFor(std::string_view device) const;
 
+  // True when no rule of any kind can fire anywhere in virtual time
+  // [t0, t1): nothing is armed, or every rule's fire cap is exhausted or its
+  // window misses the span. Batched access execution uses this as a
+  // lookahead guard — proving a run quantum cannot intersect a fault window
+  // before taking time-invariant fast paths. It must never be used to skip
+  // Fire() calls a non-batched execution would make: skipping a call shifts
+  // that kind's opportunity ordinals and reshuffles its schedule.
+  bool QuiescentIn(SimTime t0, SimTime t1) const;
+
   uint64_t opportunities(FaultKind kind) const {
     return opportunities_[static_cast<int>(kind)];
   }

@@ -97,6 +97,21 @@ void TieredMemoryManager::ChargeDevice(SimThread& thread, Region&, uint64_t va,
   thread.AdvanceTo(done);
 }
 
+void TieredMemoryManager::OnQuantumBegin(SimThread&) {}
+
+void TieredMemoryManager::OnQuantumEnd(SimThread&) {}
+
+void TieredMemoryManager::QuantumSlowAccess(SimThread& thread, const AccessOp& op,
+                                            MemoryDevice::BatchRun& dram_run,
+                                            MemoryDevice::BatchRun& nvm_run) {
+  // Flush deferred device state first: the skeleton (faults, WP handling,
+  // custom charges) must observe fully-settled devices. The runs re-open
+  // lazily if the quantum continues.
+  dram_run.Close();
+  nvm_run.Close();
+  Access(thread, op.va, op.size, op.kind);
+}
+
 void TieredMemoryManager::OnUnmapRegion(Region&) {}
 
 FrameAllocator& TieredMemoryManager::FramePool(Tier tier) { return machine_.frames(tier); }

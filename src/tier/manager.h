@@ -25,6 +25,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <type_traits>
 #include <unordered_map>
 
 #include "mem/device.h"
@@ -121,6 +122,39 @@ class TieredMemoryManager {
     Access(thread, va, size, AccessKind::kStore);
   }
 
+  // One operation of a generator-driven access sequence (RunAccessQuantum).
+  struct AccessOp {
+    uint64_t va = 0;
+    uint32_t size = 0;
+    AccessKind kind = AccessKind::kLoad;
+  };
+
+  // Batched slice execution (DESIGN.md "Engine fast path & batching").
+  //
+  // Runs up to Engine::quantum_ops() accesses of a generator-driven workload
+  // inside the calling thread's current slice, charging `compute_ns` after
+  // each access (via ChargeCompute when `charge_compute`, else Advance).
+  // `gen(op)` fills the next operation and returns false when the workload is
+  // done; it is called once per executed access and may read `thread.now()`,
+  // which reflects the previous access's completion. It must not advance the
+  // thread clock — per-op compute time belongs to `compute_ns` (the quantum
+  // loop carries the clock in a register between gen calls) — and must not
+  // map or unmap regions (the loop validates the translation cache once per
+  // quantum). Returns gen's last verdict (false = workload finished).
+  //
+  // Execution is bit-identical to issuing the same operations one per slice:
+  // the loop continues only while SimThread::InRunQuantum() holds — the exact
+  // condition under which the engine would re-dispatch this thread
+  // immediately — and every access either takes the inline fast path (whose
+  // arithmetic mirrors AccessPage step for step) or falls back to the full
+  // skeleton after flushing all deferred device state. When batching is off,
+  // the manager opted out (batch_quantum_safe_), or the thread runs outside
+  // an engine, exactly one access executes per call through the historical
+  // Access() path.
+  template <typename Gen>
+  bool RunAccessQuantum(SimThread& thread, Gen&& gen, SimTime compute_ns,
+                        bool charge_compute = false);
+
  protected:
   // Single-page access (va+size never crosses a page). The base
   // implementation is the shared skeleton; managers customize it through the
@@ -160,6 +194,12 @@ class TieredMemoryManager {
   // shared allocators; managers with private pools (PlainMemory, MemoryMode)
   // override.
   virtual FrameAllocator& FramePool(Tier tier);
+
+  // Batched-quantum boundaries: invoked once per RunAccessQuantum call on the
+  // batched path, before the first and after the last access. Hemem uses
+  // them to precompute PEBS sampling decisions for the quantum.
+  virtual void OnQuantumBegin(SimThread& thread);
+  virtual void OnQuantumEnd(SimThread& thread);
 
   // ---- Region-attached metadata -------------------------------------------
 
@@ -216,7 +256,9 @@ class TieredMemoryManager {
       tc.base = region->base;
       tc.bytes = region->bytes;
       tc.region = region;
+      tc.pages = region->pages.data();
       tc.epoch = pt.unmap_epoch();
+      tc.page_shift = region->page_shift;
     }
     const uint64_t index = region->PageIndexOf(va);
     return {region, &region->pages[index], index};
@@ -244,6 +286,11 @@ class TieredMemoryManager {
   bool tracked_hook_ = false;      // invoke OnTrackedAccess pre-charge
   bool post_charge_hook_ = false;  // invoke OnAccessCharged post-charge
   bool custom_charge_ = false;     // invoke ChargeDevice instead of default
+  // Opt-in to the batched quantum fast path. A manager may set this only if
+  // its AccessPage behavior is exactly the base skeleton plus hooks; it must
+  // stay false for decorators that override AccessPage itself
+  // (TraceRecorder), which would be bypassed by the inline fast path.
+  bool batch_quantum_safe_ = false;
 
  private:
   // Publishes ManagerStats under "manager.<name()>."; name() is virtual, so
@@ -251,10 +298,244 @@ class TieredMemoryManager {
   // construction.
   void RegisterBaseMetrics();
 
+  // Quantum-invariant skeleton configuration, snapshotted into a by-value
+  // struct before the batched loop. Nothing mutates these fields mid-quantum,
+  // but the compiler cannot prove that across the stores AccessFast performs
+  // through entry/thread/device pointers — reading them from locals keeps
+  // them in registers instead of re-loading `this` members every access.
+  struct QuantumCtx {
+    uint64_t page_mask;
+    uint32_t page_shift;
+    bool wp_requires_flag;
+    bool tracked_hook;
+    bool post_charge_hook;
+    bool custom_charge;
+    bool device_runs;
+  };
+
+  // Batched-quantum fast path for one page-contained access that needs no
+  // fault, WP, or page-split work: mirrors the AccessPage skeleton step for
+  // step (translate, A/D bits, tracked hook, device charge, post-charge
+  // hook). Returns false — without having mutated anything — when the op
+  // needs the full skeleton, which the caller runs after flushing the
+  // deferred device runs.
+  // `now` is the quantum's register-held copy of thread.now(): the
+  // per-access clock dependency chain (WP check -> device charge ->
+  // advance -> loop test) runs through it instead of store/load-forwarding
+  // through the thread object every op. The caller keeps it in sync with
+  // thread time at observation points; this function syncs around the
+  // (rare) hook calls itself.
+  // Forced inline into RunAccessQuantum's loop (it is just over gcc's -O2
+  // size threshold, and an out-of-line call would spill the batch runs'
+  // register state every op).
+  //
+  // kPlain compiles the common manager profile — no tracking hooks, no
+  // custom charge, time-based WP, devices quiescent — with the other arms
+  // removed entirely: the flag tests cost a spilled load and a branch each
+  // per access, and dropping them also shrinks the loop's live state. The
+  // caller asserts the profile from the QuantumCtx before choosing the
+  // instantiation, so both compile to the same arithmetic.
+  template <bool kPlain>
+  [[gnu::always_inline]] inline bool AccessFast(SimThread& thread, SimTime& now,
+                                                const AccessOp& op, const QuantumCtx& ctx,
+                                                MemoryDevice::BatchRun& dram_run,
+                                                MemoryDevice::BatchRun& nvm_run) {
+    if ((op.va & ctx.page_mask) + op.size > ctx.page_mask + 1) [[unlikely]] {
+      return false;  // page-crossing: Access() owns the split loop
+    }
+    // Translation straight off the per-thread TLB slot, reduced to the
+    // region-bounds compare: the caller emptied a stale slot at quantum
+    // start, mid-quantum unmaps are impossible (no access path unmaps and
+    // gen must not mutate mappings), and any refill inside the quantum
+    // stamps the live epoch. A miss — emptied slot or a different region —
+    // falls back to the full skeleton, whose ResolveForAccess refills the
+    // slot with identical arithmetic.
+    const SimThread::TranslationCache& tc = thread.translation_cache();
+    if (op.va - tc.base >= tc.bytes) [[unlikely]] {
+      return false;  // TLB miss (or unmapped: AccessPage owns the assert)
+    }
+    const uint64_t index = (op.va - tc.base) >> tc.page_shift;
+    PageEntry& entry = static_cast<PageEntry*>(tc.pages)[index];
+    // Pinned before any hook runs: a hook that touches memory could refill
+    // the TLB slot, and the hooks below must see the region this op resolved
+    // against. Dead (and compiled out) on the plain profile.
+    Region* region = nullptr;
+    if constexpr (!kPlain) {
+      region = static_cast<Region*>(tc.region);
+    }
+    if (!entry.present) [[unlikely]] {
+      return false;  // missing-page fault path
+    }
+    if (op.kind == AccessKind::kStore &&
+        (!kPlain && ctx.wp_requires_flag ? entry.write_protected : entry.wp_until > now))
+        [[unlikely]] {
+      return false;  // WP stall (or Nimble's flag clear) path
+    }
+    entry.accessed = true;
+    if (op.kind == AccessKind::kStore) {
+      entry.dirty = true;
+    }
+    if constexpr (!kPlain) {
+      if (ctx.tracked_hook) [[unlikely]] {
+        thread.SyncTime(now);
+        OnTrackedAccess(thread, *region, index, entry, op.kind);
+        now = thread.now();
+      }
+    }
+    const uint64_t pa =
+        (static_cast<uint64_t>(entry.frame) << ctx.page_shift) | (op.va & ctx.page_mask);
+    if (!kPlain && ctx.custom_charge) [[unlikely]] {
+      // ChargeDevice implementations touch the devices directly (MemoryMode
+      // probes ChannelPressure), so they must see fully-flushed state.
+      dram_run.Close();
+      nvm_run.Close();
+      thread.SyncTime(now);
+      ChargeDevice(thread, *region, op.va, entry, op.size, op.kind);
+      now = thread.now();
+    } else if (kPlain || ctx.device_runs) [[likely]] {
+      // A branch, not a select: a cmov'd run pointer would turn every field
+      // access inside the inlined Access body into an indirect, may-alias
+      // load, while distinct arms address each run's own locals statically.
+      // The branch itself predicts perfectly whenever a thread's accesses
+      // cluster on one tier, which is the case batching exists for.
+      SimTime done;
+      if (entry.tier == Tier::kDram) {
+        done = dram_run.Access(now, pa, op.size, op.kind);
+      } else {
+        done = nvm_run.Access(now, pa, op.size, op.kind);
+      }
+      now = done > now ? done : now;
+    } else {
+      const SimTime done =
+          machine_.device(entry.tier).Access(now, pa, op.size, op.kind, thread.stream_id());
+      now = done > now ? done : now;
+    }
+    if constexpr (!kPlain) {
+      if (ctx.post_charge_hook) [[unlikely]] {
+        thread.SyncTime(now);
+        OnAccessCharged(thread, op.va, entry, op.kind);
+        now = thread.now();
+      }
+    }
+    return true;
+  }
+
+  // Cold half of the quantum loop: flush the deferred runs, then take the
+  // full skeleton for an op a fast-path guard rejected (page crossing,
+  // missing page, WP stall, unmapped). Out of line — and never inlined — so
+  // the hot loop's register allocation is not constrained by the skeleton's
+  // call tree. Defined in manager.cc.
+  [[gnu::noinline]] void QuantumSlowAccess(SimThread& thread, const AccessOp& op,
+                                           MemoryDevice::BatchRun& dram_run,
+                                           MemoryDevice::BatchRun& nvm_run);
+
   uint64_t page_mask_;
   uint32_t page_shift_ = 0;
   std::unordered_map<Region*, std::unique_ptr<RegionMetaBase>> region_meta_;
 };
+
+template <typename Gen>
+bool TieredMemoryManager::RunAccessQuantum(SimThread& thread, Gen&& gen,
+                                           SimTime compute_ns, bool charge_compute) {
+  Engine* engine = thread.engine();
+  AccessOp op;
+  if (engine == nullptr || !engine->batching() || !batch_quantum_safe_) {
+    // Reference path: exactly one access per slice through the historical
+    // entry point — the pre-batching execution shape.
+    if (!gen(op)) {
+      return false;
+    }
+    Access(thread, op.va, op.size, op.kind);
+    if (charge_compute) {
+      thread.ChargeCompute(compute_ns);
+    } else {
+      thread.Advance(compute_ns);
+    }
+    return true;
+  }
+
+  // Lookahead guards fixed for the whole quantum. The window is
+  // [now, horizon); the first access may start exactly at the horizon when
+  // the dispatch was a time tie, hence the max. Deferred device runs are
+  // only used when no fault rule can fire inside the window — a degrade rule
+  // going live mid-run would make per-access arithmetic time-dependent.
+  // (BatchRun enforces the same bound itself; the predicate makes the common
+  //  no-fault case branch-free and is the documented contract.)
+  const SimTime window_end = std::max(engine->run_horizon(), thread.now() + 1);
+  const QuantumCtx ctx{page_mask_,
+                       page_shift_,
+                       wp_requires_flag_,
+                       tracked_hook_,
+                       post_charge_hook_,
+                       custom_charge_,
+                       machine_.faults().QuiescentIn(thread.now(), window_end)};
+  MemoryDevice::BatchRun dram_run(machine_.device(Tier::kDram), thread.stream_id());
+  MemoryDevice::BatchRun nvm_run(machine_.device(Tier::kNvm), thread.stream_id());
+  OnQuantumBegin(thread);
+  // run_horizon_ is slice-invariant (Run() publishes it before dispatch and
+  // access paths never add threads mid-slice), so the continuation test can
+  // hold it in a register instead of re-chasing thread -> engine ->
+  // run_horizon_ every access. With `engine` known non-null here, the loop
+  // condition below is exactly InRunQuantum().
+  const SimTime horizon = engine->run_horizon();
+  uint32_t left = engine->quantum_ops();
+  // The thread clock is carried in `now` and published via SyncTime only
+  // where code outside the loop can read thread time: before each gen call
+  // (the documented contract), around skeleton fallbacks / compute charges,
+  // and once at quantum end. All clock arithmetic is identical either way;
+  // the register copy just keeps the per-access dependency chain out of
+  // memory. The loop is instantiated once per charge mode (gcc at -O2 does
+  // not unswitch loops, and the mode is fixed for the quantum).
+  SimTime now = thread.now();
+  // Validate the thread's TLB slot once for the whole quantum: emptying a
+  // stale slot here is what lets AccessFast's per-access check collapse to
+  // the bounds compare alone. Unmaps cannot happen mid-quantum, and a
+  // fallback refill stamps the live epoch, so the slot can only go from
+  // empty to valid while the loop runs.
+  {
+    SimThread::TranslationCache& tc = thread.translation_cache();
+    if (tc.epoch != machine_.page_table().unmap_epoch()) {
+      tc.bytes = 0;
+    }
+  }
+  const auto run_loop = [&](auto charge, auto plain) {
+    bool more;
+    do {
+      AccessOp next;
+      thread.SyncTime(now);
+      more = gen(next);
+      if (!more) {
+        break;
+      }
+      if (!AccessFast<decltype(plain)::value>(thread, now, next, ctx, dram_run, nvm_run))
+          [[unlikely]] {
+        QuantumSlowAccess(thread, next, dram_run, nvm_run);
+        now = thread.now();
+      }
+      if constexpr (decltype(charge)::value) {
+        thread.SyncTime(now);
+        thread.ChargeCompute(compute_ns);
+        now = thread.now();
+      } else {
+        now += compute_ns;
+      }
+    } while (--left != 0 && thread.pending_penalty() == 0 && now < horizon);
+    thread.SyncTime(now);
+    return more;
+  };
+  const bool plain_profile = !ctx.wp_requires_flag && !ctx.tracked_hook &&
+                             !ctx.post_charge_hook && !ctx.custom_charge && ctx.device_runs;
+  const bool more =
+      plain_profile
+          ? (charge_compute ? run_loop(std::true_type{}, std::true_type{})
+                            : run_loop(std::false_type{}, std::true_type{}))
+          : (charge_compute ? run_loop(std::true_type{}, std::false_type{})
+                            : run_loop(std::false_type{}, std::false_type{}));
+  OnQuantumEnd(thread);
+  // The runs' destructors flush here, before the slice returns to the
+  // engine — no deferred device state ever escapes the quantum.
+  return more;
+}
 
 }  // namespace hemem
 

@@ -47,6 +47,10 @@ MemoryMode::MemoryMode(Machine& machine)
                                       machine.page_bytes())) {
   assert(num_sets_ > 0);
   custom_charge_ = true;
+  // Batched quanta are safe: the fast path flushes deferred device runs
+  // before every ChargeDevice call, so the cache-probing model always sees
+  // exact channel state.
+  batch_quantum_safe_ = true;
   machine.metrics().AddProvider(this, [this](obs::MetricsEmitter& e) {
     e.Emit("mm.line_probes", mm_stats_.line_probes);
     e.Emit("mm.hits", mm_stats_.hits);

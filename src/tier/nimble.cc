@@ -28,6 +28,9 @@ Nimble::Nimble(Machine& machine, NimbleParams params)
   // The kernel clears the PTE write-protect flag on the first store, even
   // after the exchange copy has completed; stalls carry no extra fault cost.
   wp_requires_flag_ = true;
+  // Skeleton + flag-gated WP stalls only; the batched fast path defers any
+  // store against a write-protected page to the full skeleton.
+  batch_quantum_safe_ = true;
 }
 
 Nimble::~Nimble() = default;

@@ -8,7 +8,10 @@ PlainMemory::PlainMemory(Machine& machine, Tier tier, bool overcommit)
     : TieredMemoryManager(machine),
       tier_(tier),
       frames_(tier == Tier::kDram ? machine.config().dram_bytes : machine.config().nvm_bytes,
-              machine.page_bytes(), /*shuffle_seed=*/0, overcommit) {}
+              machine.page_bytes(), /*shuffle_seed=*/0, overcommit) {
+  // Pure base skeleton, no hooks: eligible for batched quantum execution.
+  batch_quantum_safe_ = true;
+}
 
 uint64_t PlainMemory::Mmap(uint64_t bytes, AllocOptions opts) {
   PageTable& pt = machine_.page_table();

@@ -1,0 +1,46 @@
+// Foreground thread driving a generator-based workload through the batched
+// access entry point.
+//
+// The generator fills one AccessOp per call and returns false when the
+// workload is done; the manager executes as many ops per slice as the
+// engine's run quantum allows (exactly one per slice when batching is off —
+// the historical ScriptThread shape). Because Gen is a template parameter,
+// the generator inlines into the quantum loop: benches get the full batched
+// throughput with no per-op indirect call, and tests can cross-check batched
+// against unbatched execution with the same generator code.
+
+#ifndef HEMEM_TIER_QUANTUM_THREAD_H_
+#define HEMEM_TIER_QUANTUM_THREAD_H_
+
+#include <string>
+#include <utility>
+
+#include "tier/manager.h"
+
+namespace hemem {
+
+template <typename Gen>
+class QuantumAccessThread : public SimThread {
+ public:
+  QuantumAccessThread(TieredMemoryManager& manager, Gen gen, SimTime compute_ns,
+                      bool charge_compute = false, std::string name = "quantum")
+      : SimThread(std::move(name)),
+        manager_(manager),
+        gen_(std::move(gen)),
+        compute_ns_(compute_ns),
+        charge_compute_(charge_compute) {}
+
+  bool RunSlice() override {
+    return manager_.RunAccessQuantum(*this, gen_, compute_ns_, charge_compute_);
+  }
+
+ private:
+  TieredMemoryManager& manager_;
+  Gen gen_;
+  SimTime compute_ns_;
+  bool charge_compute_;
+};
+
+}  // namespace hemem
+
+#endif  // HEMEM_TIER_QUANTUM_THREAD_H_

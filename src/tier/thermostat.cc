@@ -28,6 +28,9 @@ Thermostat::Thermostat(Machine& machine, ThermostatParams params)
   // Poison-sampled pages need the per-access counting hook; stores stalling
   // on an in-flight migration wait without any extra fault cost.
   tracked_hook_ = true;
+  // OnTrackedAccess only advances the calling thread's clock and bumps
+  // counters — quantum-safe without flushing device runs.
+  batch_quantum_safe_ = true;
   machine.metrics().AddProvider(this, [this](obs::MetricsEmitter& e) {
     e.Emit("thermostat.intervals", tstats_.intervals);
     e.Emit("thermostat.pages_sampled", tstats_.pages_sampled);

@@ -60,6 +60,9 @@ class TraceRecorder : public TieredMemoryManager {
   Trace TakeTrace() { return std::move(trace_); }
 
  protected:
+  // Overrides the skeleton itself, so this decorator must never opt into the
+  // batched quantum fast path (batch_quantum_safe_ stays false): a batched
+  // access would bypass this override and go unrecorded.
   void AccessPage(SimThread& thread, uint64_t va, uint32_t size, AccessKind kind) override;
 
  private:

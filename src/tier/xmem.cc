@@ -7,7 +7,10 @@ namespace hemem {
 XMem::XMem(Machine& machine, uint64_t large_threshold)
     : TieredMemoryManager(machine),
       large_threshold_(static_cast<uint64_t>(static_cast<double>(large_threshold) /
-                                             machine.config().label_scale)) {}
+                                             machine.config().label_scale)) {
+  // Placement happens at Mmap time; accesses are pure base skeleton.
+  batch_quantum_safe_ = true;
+}
 
 uint64_t XMem::Mmap(uint64_t bytes, AllocOptions opts) {
   PageTable& pt = machine_.page_table();

@@ -26,6 +26,7 @@
 #include "tier/memory_mode.h"
 #include "tier/nimble.h"
 #include "tier/plain.h"
+#include "tier/quantum_thread.h"
 #include "tier/thermostat.h"
 #include "tier/xmem.h"
 
@@ -70,8 +71,11 @@ std::unique_ptr<TieredMemoryManager> MakeSystem(const std::string& kind, Machine
 
 // Fixed-seed workload: 300k single-thread ops over 128 MiB, 90% of them into
 // a 16 MiB hot prefix, every third op a store, 15 ns compute between ops.
+// `batched` drives the same generator through RunAccessQuantum (the engine's
+// batched slice execution) instead of one ScriptThread op per slice; both
+// must land on identical fingerprints.
 Fingerprint RunCase(const std::string& system, bool tracing = false,
-                    const std::string& fault_spec = "") {
+                    const std::string& fault_spec = "", bool batched = false) {
   constexpr uint64_t kWorkingSet = MiB(128);
   constexpr uint64_t kHotSet = MiB(16);
   constexpr uint64_t kOps = 300'000;
@@ -94,17 +98,36 @@ Fingerprint RunCase(const std::string& system, bool tracing = false,
 
   Rng access_rng(0xbeefull);
   uint64_t op = 0;
-  ScriptThread thread([&](ScriptThread& self) mutable {
-    const bool hot = access_rng.NextBool(0.9);
-    const uint64_t span = hot ? kHotSet : kWorkingSet;
-    const uint64_t offset = access_rng.NextBounded(span / 64) * 64;
-    const AccessKind kind = op % 3 == 0 ? AccessKind::kStore : AccessKind::kLoad;
-    manager->Access(self, va + offset, 64, kind);
-    self.Advance(15);
-    return ++op < kOps;
-  });
-  machine.engine().AddThread(&thread);
-  const SimTime end = machine.engine().Run();
+  SimTime end = 0;
+  if (batched) {
+    auto gen = [&](TieredMemoryManager::AccessOp& next) {
+      if (op == kOps) {
+        return false;
+      }
+      const bool hot = access_rng.NextBool(0.9);
+      const uint64_t span = hot ? kHotSet : kWorkingSet;
+      next.va = va + access_rng.NextBounded(span / 64) * 64;
+      next.size = 64;
+      next.kind = op % 3 == 0 ? AccessKind::kStore : AccessKind::kLoad;
+      ++op;
+      return true;
+    };
+    QuantumAccessThread thread(*manager, gen, 15);
+    machine.engine().AddThread(&thread);
+    end = machine.engine().Run();
+  } else {
+    ScriptThread thread([&](ScriptThread& self) mutable {
+      const bool hot = access_rng.NextBool(0.9);
+      const uint64_t span = hot ? kHotSet : kWorkingSet;
+      const uint64_t offset = access_rng.NextBounded(span / 64) * 64;
+      const AccessKind kind = op % 3 == 0 ? AccessKind::kStore : AccessKind::kLoad;
+      manager->Access(self, va + offset, 64, kind);
+      self.Advance(15);
+      return ++op < kOps;
+    });
+    machine.engine().AddThread(&thread);
+    end = machine.engine().Run();
+  }
 
   const ManagerStats& s = manager->stats();
   return Fingerprint{"", end,        s.missing_faults, s.wp_faults,
@@ -191,6 +214,52 @@ TEST(AccessGolden, EmptyFaultPlanIsInert) {
     EXPECT_EQ(actual.bytes_migrated, golden.bytes_migrated);
     EXPECT_EQ(actual.small_allocs, golden.small_allocs);
     EXPECT_EQ(actual.managed_allocs, golden.managed_allocs);
+  }
+}
+
+// Batched slice execution must be a pure optimization: the same generator
+// driven through RunAccessQuantum (tracing on, so the full observability
+// stack is live too) lands on the exact stored fingerprints.
+TEST(AccessGolden, BatchedExecutionMatchesGoldens) {
+  for (const Fingerprint& golden : kGolden) {
+    const Fingerprint actual =
+        RunCase(golden.system, /*tracing=*/true, /*fault_spec=*/"", /*batched=*/true);
+    SCOPED_TRACE(golden.system);
+    EXPECT_EQ(actual.end_ns, golden.end_ns);
+    EXPECT_EQ(actual.missing_faults, golden.missing_faults);
+    EXPECT_EQ(actual.wp_faults, golden.wp_faults);
+    EXPECT_EQ(actual.wp_wait_ns, golden.wp_wait_ns);
+    EXPECT_EQ(actual.pages_promoted, golden.pages_promoted);
+    EXPECT_EQ(actual.pages_demoted, golden.pages_demoted);
+    EXPECT_EQ(actual.bytes_migrated, golden.bytes_migrated);
+    EXPECT_EQ(actual.small_allocs, golden.small_allocs);
+    EXPECT_EQ(actual.managed_allocs, golden.managed_allocs);
+  }
+}
+
+// Same property under a live (non-empty) fault plan: degrade windows on both
+// devices intersect the run — forcing the batched device fast path on and
+// off mid-run — and PEBS drops consume injector draws on overflow. Batched
+// and unbatched execution must stay bit-identical to each other.
+TEST(AccessGolden, BatchedExecutionUnderFaultPlanMatchesUnbatched) {
+  const std::string spec =
+      "seed=7;dram.degrade:mult=2,start=1ms,end=3ms;"
+      "nvm.degrade:mult=3,start=2ms,end=9ms;pebs.drop:p=0.2";
+  for (const Fingerprint& golden : kGolden) {
+    const Fingerprint unbatched =
+        RunCase(golden.system, /*tracing=*/true, spec, /*batched=*/false);
+    const Fingerprint batched =
+        RunCase(golden.system, /*tracing=*/true, spec, /*batched=*/true);
+    SCOPED_TRACE(golden.system);
+    EXPECT_EQ(batched.end_ns, unbatched.end_ns);
+    EXPECT_EQ(batched.missing_faults, unbatched.missing_faults);
+    EXPECT_EQ(batched.wp_faults, unbatched.wp_faults);
+    EXPECT_EQ(batched.wp_wait_ns, unbatched.wp_wait_ns);
+    EXPECT_EQ(batched.pages_promoted, unbatched.pages_promoted);
+    EXPECT_EQ(batched.pages_demoted, unbatched.pages_demoted);
+    EXPECT_EQ(batched.bytes_migrated, unbatched.bytes_migrated);
+    EXPECT_EQ(batched.small_allocs, unbatched.small_allocs);
+    EXPECT_EQ(batched.managed_allocs, unbatched.managed_allocs);
   }
 }
 

@@ -1,0 +1,200 @@
+// Batched-execution equivalence suite.
+//
+// The engine's batched slice execution (Engine run quanta +
+// TieredMemoryManager::RunAccessQuantum + MemoryDevice::BatchRun + the PEBS
+// quantum budget) claims to be a pure optimization: bit-identical results no
+// matter whether batching is on or off, and no matter the quantum size K.
+// This suite proves it over the full golden configuration space — every
+// system, tracing on and off, empty and non-empty fault plans — by running
+// one fixed workload unbatched (batching forced off: the historical
+// one-op-per-slice shape) and comparing against batching forced on with
+// K in {1, 7, 64, 1024}. The comparison covers the workload fingerprint
+// (final virtual time + ManagerStats) AND the entire metrics snapshot, which
+// folds in device stats (loads/stores/media bytes/queue delays/sequential
+// hits), PEBS stats, fault-injector opportunity counts, DMA stats, and TLB
+// stats — so a single deferred or double-counted increment anywhere fails
+// the suite.
+
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/hemem.h"
+#include "obs/metrics.h"
+#include "obs/sampler.h"
+#include "test_util.h"
+#include "tier/memory_mode.h"
+#include "tier/nimble.h"
+#include "tier/plain.h"
+#include "tier/quantum_thread.h"
+#include "tier/thermostat.h"
+#include "tier/xmem.h"
+
+namespace hemem {
+namespace {
+
+const char* const kSystems[] = {"DRAM",       "MM",    "Nimble",       "X-Mem",
+                                "Thermostat", "HeMem", "HeMem-PT-Sync"};
+
+// A live plan whose windows intersect the run: degrade windows on both
+// devices flip the device fast path off and back on mid-run, PEBS drops
+// consume injector draws at overflow points, and migration aborts exercise
+// rollback under batched foreground execution.
+const char kFaultSpec[] =
+    "seed=7;dram.degrade:mult=2,start=1ms,end=3ms;"
+    "nvm.degrade:mult=3,start=2ms,end=9ms;pebs.drop:p=0.2;migrate.abort:p=0.05";
+
+std::unique_ptr<TieredMemoryManager> MakeSystem(const std::string& kind, Machine& machine) {
+  if (kind == "DRAM") {
+    return std::make_unique<PlainMemory>(machine, Tier::kDram, /*overcommit=*/true);
+  }
+  if (kind == "MM") {
+    return std::make_unique<MemoryMode>(machine);
+  }
+  if (kind == "Nimble") {
+    return std::make_unique<Nimble>(machine);
+  }
+  if (kind == "X-Mem") {
+    return std::make_unique<XMem>(machine);
+  }
+  if (kind == "Thermostat") {
+    return std::make_unique<Thermostat>(machine);
+  }
+  HememParams params;
+  if (kind == "HeMem-PT-Sync") {
+    params.scan_mode = HememParams::ScanMode::kPtSync;
+  }
+  return std::make_unique<Hemem>(machine, params);
+}
+
+struct RunResult {
+  SimTime end_ns = 0;
+  ManagerStats stats;
+  std::vector<obs::MetricEntry> metrics;
+};
+
+// Same generator shape as the AccessGolden workload, smaller op count so the
+// 7 systems x 4 configs x 5 modes product stays inside the slow-test budget.
+RunResult RunCase(const std::string& system, bool tracing, const std::string& fault_spec,
+                  bool batched, uint32_t quantum_ops) {
+  constexpr uint64_t kWorkingSet = MiB(128);
+  constexpr uint64_t kHotSet = MiB(16);
+  constexpr uint64_t kOps = 120'000;
+
+  MachineConfig config = TinyMachineConfig();
+  if (!fault_spec.empty()) {
+    std::string error;
+    EXPECT_TRUE(FaultPlan::Parse(fault_spec, &config.fault_plan, &error)) << error;
+  }
+  Machine machine(config);
+  machine.engine().set_batching(batched);
+  machine.engine().set_quantum_ops(quantum_ops);
+  std::optional<obs::MetricsSampler> sampler;
+  if (tracing) {
+    machine.EnableTracing();
+    sampler.emplace(machine.metrics(), kMillisecond);
+    machine.engine().AddObserverThread(&*sampler);
+  }
+  std::unique_ptr<TieredMemoryManager> manager = MakeSystem(system, machine);
+  manager->Start();
+  const uint64_t va = manager->Mmap(kWorkingSet, {.label = "equiv"});
+
+  Rng access_rng(0xbeefull);
+  uint64_t op = 0;
+  auto gen = [&](TieredMemoryManager::AccessOp& next) {
+    if (op == kOps) {
+      return false;
+    }
+    const bool hot = access_rng.NextBool(0.9);
+    const uint64_t span = hot ? kHotSet : kWorkingSet;
+    next.va = va + access_rng.NextBounded(span / 64) * 64;
+    next.size = 64;
+    next.kind = op % 3 == 0 ? AccessKind::kStore : AccessKind::kLoad;
+    ++op;
+    return true;
+  };
+  QuantumAccessThread thread(*manager, gen, 15);
+  machine.engine().AddThread(&thread);
+
+  RunResult result;
+  result.end_ns = machine.engine().Run();
+  result.stats = manager->stats();
+  result.metrics = machine.metrics().Snapshot().entries();
+  return result;
+}
+
+void ExpectIdentical(const RunResult& expect, const RunResult& actual) {
+  EXPECT_EQ(actual.end_ns, expect.end_ns);
+  const ManagerStats& a = actual.stats;
+  const ManagerStats& e = expect.stats;
+  EXPECT_EQ(a.missing_faults, e.missing_faults);
+  EXPECT_EQ(a.wp_faults, e.wp_faults);
+  EXPECT_EQ(a.wp_wait_ns, e.wp_wait_ns);
+  EXPECT_EQ(a.pages_promoted, e.pages_promoted);
+  EXPECT_EQ(a.pages_demoted, e.pages_demoted);
+  EXPECT_EQ(a.bytes_migrated, e.bytes_migrated);
+
+  // Full metrics tree: identical names in identical order with bitwise-equal
+  // values. Doubles compare exactly — both runs perform the same arithmetic
+  // on the same operands, or they fail here.
+  ASSERT_EQ(actual.metrics.size(), expect.metrics.size());
+  for (size_t i = 0; i < expect.metrics.size(); ++i) {
+    const obs::MetricEntry& ae = actual.metrics[i];
+    const obs::MetricEntry& ee = expect.metrics[i];
+    SCOPED_TRACE(ee.name);
+    EXPECT_EQ(ae.name, ee.name);
+    EXPECT_EQ(static_cast<int>(ae.value.kind), static_cast<int>(ee.value.kind));
+    EXPECT_EQ(ae.value.u, ee.value.u);
+    EXPECT_EQ(ae.value.d, ee.value.d);
+  }
+}
+
+struct PlanConfig {
+  const char* label;
+  bool tracing;
+  const char* fault_spec;
+};
+
+constexpr PlanConfig kConfigs[] = {
+    {"plain", false, ""},
+    {"tracing", true, ""},
+    {"faults", false, kFaultSpec},
+    {"tracing+faults", true, kFaultSpec},
+};
+
+class BatchEquivalence : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(BatchEquivalence, BatchedMatchesUnbatchedAcrossConfigsAndQuanta) {
+  const std::string system = GetParam();
+  for (const PlanConfig& config : kConfigs) {
+    SCOPED_TRACE(config.label);
+    const RunResult reference =
+        RunCase(system, config.tracing, config.fault_spec, /*batched=*/false,
+                /*quantum_ops=*/1024);
+    for (const uint32_t k : {1u, 7u, 64u, 1024u}) {
+      SCOPED_TRACE("K=" + std::to_string(k));
+      const RunResult batched =
+          RunCase(system, config.tracing, config.fault_spec, /*batched=*/true, k);
+      ExpectIdentical(reference, batched);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSystems, BatchEquivalence, ::testing::ValuesIn(kSystems),
+                         [](const ::testing::TestParamInfo<const char*>& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '-') {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace hemem
