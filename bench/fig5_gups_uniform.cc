@@ -39,8 +39,9 @@ int main(int argc, char** argv) {
     config.hot_set = 0;  // uniform
     // Uniform access needs no classification warmup; 200 ms covers
     // fault-in and cache warm.
-    const GupsRunOutput out = RunGupsSystem(system, config, GupsMachine(), std::nullopt,
-                                            /*warmup=*/200 * kMillisecond);
+    const GupsRunOutput out =
+        RunGupsSystem(system, config, GupsMachine(), std::nullopt,
+                      /*warmup=*/200 * kMillisecond, kGupsWindow, sweep.host_workers);
     gups[cell] = out.result.gups;
   });
 

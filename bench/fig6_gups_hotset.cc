@@ -39,7 +39,8 @@ int main(int argc, char** argv) {
     // minutes); MM/Nimble converge quickly.
     const SimTime warmup = system == "MM" ? 300 * kMillisecond : 700 * kMillisecond;
     const GupsRunOutput out =
-        RunGupsSystem(system, config, GupsMachine(), std::nullopt, warmup);
+        RunGupsSystem(system, config, GupsMachine(), std::nullopt, warmup,
+                      kGupsWindow, sweep.host_workers);
     gups[cell] = out.result.gups;
   });
 

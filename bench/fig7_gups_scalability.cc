@@ -36,7 +36,8 @@ int main(int argc, char** argv) {
     // warmup so measurement starts after the prefill completes.
     const SimTime warmup = threads < 8 ? 1400 * kMillisecond : kGupsWarmup;
     const GupsRunOutput out =
-        RunGupsSystem(system, config, GupsMachine(), std::nullopt, warmup);
+        RunGupsSystem(system, config, GupsMachine(), std::nullopt, warmup,
+                      kGupsWindow, sweep.host_workers);
     gups[cell] = out.result.gups;
   });
 

@@ -11,6 +11,7 @@
 //                    overestimates the hot set).
 
 #include "gups_bench.h"
+#include "sweep.h"
 
 using namespace hemem;
 using namespace hemem::bench;
@@ -26,7 +27,8 @@ struct Config {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const SweepOptions sweep = ParseSweepArgs(argc, argv);
   PrintTitle("Figure 8", "HeMem overhead breakdown (GUPS)",
              "512 GB working set / 16 GB hot set at 1/256 scale, 16 threads");
   PrintCols({"config", "gups", "vs_opt"});
@@ -52,7 +54,9 @@ int main() {
     HememParams params;
     params.scan_mode = c.scan;
     params.enable_policy = c.migrate;
-    const GupsRunOutput out = RunGupsSystem("HeMem", gups, GupsMachine(), params);
+    const GupsRunOutput out =
+        RunGupsSystem("HeMem", gups, GupsMachine(), params, kGupsWarmup,
+                      kGupsWindow, sweep.host_workers);
     if (opt_gups == 0.0) {
       opt_gups = out.result.gups;
     }

@@ -8,11 +8,13 @@
 // shift happens at 300 ms of simulated time rather than 150 s.
 
 #include "gups_bench.h"
+#include "sweep.h"
 
 using namespace hemem;
 using namespace hemem::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const SweepOptions sweep = ParseSweepArgs(argc, argv);
   constexpr SimTime kShiftAt = 300 * kMillisecond;
   constexpr SimTime kEnd = 600 * kMillisecond;
   constexpr SimTime kBucket = 20 * kMillisecond;
@@ -29,7 +31,8 @@ int main() {
     config.series_bucket = kBucket;
     const GupsRunOutput out =
         RunGupsSystem(system, config, GupsMachine(), std::nullopt,
-                      /*warmup=*/100 * kMillisecond, /*window=*/kEnd - 100 * kMillisecond);
+                      /*warmup=*/100 * kMillisecond, /*window=*/kEnd - 100 * kMillisecond,
+                      sweep.host_workers);
     series.push_back(out.series);
   }
 

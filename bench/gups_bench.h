@@ -31,8 +31,10 @@ inline GupsRunOutput RunGupsSystem(const std::string& system, GupsConfig config,
                                    MachineConfig machine_config = GupsMachine(),
                                    std::optional<HememParams> hemem_params = std::nullopt,
                                    SimTime warmup = kGupsWarmup,
-                                   SimTime window = kGupsWindow) {
+                                   SimTime window = kGupsWindow,
+                                   int host_workers = 1) {
   Machine machine(machine_config);
+  machine.EnableHostWorkers(host_workers);
   std::unique_ptr<TieredMemoryManager> manager;
   if (hemem_params.has_value()) {
     manager = std::make_unique<Hemem>(machine, *hemem_params);

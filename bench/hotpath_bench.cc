@@ -19,10 +19,24 @@
 //   modeled Macc/s       simulated accesses per simulated second (virtual
 //                        time; identical in both modes by construction)
 //
-// A second section times a miniature GUPS sweep (independent cells on the
+// A second section measures the sharded parallel engine (DESIGN.md
+// "Parallel engine & epoch barriers"): a 4-thread uniform workload on the
+// parallel-eligible systems (DRAM, NVM, X-Mem) at --host-workers {1, 2, 4}.
+// Workers=1 is the serial engine; with symmetric thread clocks its
+// min-time-first scheduler degenerates to ~one op per dispatch, so epoch
+// execution (each worker running its shard's full quanta up to the shared
+// horizon) recovers the batched fast path on top of any wall-clock overlap
+// the host offers. Every worker count must produce bit-identical results —
+// end time, per-thread clocks, device stats — or the bench aborts.
+//
+// A third section times a miniature GUPS sweep (independent cells on the
 // --sweep-jobs host-thread pool, see bench/sweep.h) sequentially and in
-// parallel, recording host core count alongside — on a single-core host the
-// parallel sweep necessarily times at ~1x.
+// parallel, recording host core count alongside. The timed parallel run
+// always uses >= 2 jobs — comparing jobs=1 against jobs=1 just measures
+// noise (a prior report of 0.987x traced to exactly that: the default jobs
+// count is the host core count, which is 1 on a 1-core container). On hosts
+// with >= 2 cores the bench requires speedup > 1.0 and aborts otherwise; on
+// a 1-core host it reports the honest ~1x and says so.
 //
 // Output: a human-readable table on stdout and BENCH_hotpath.json (path
 // overridable with --out=...).
@@ -221,10 +235,178 @@ CaseResult RunCase(const std::string& system, uint64_t ops, int reps) {
   return result;
 }
 
+// ---------------------------------------------------------------------------
+// Parallel engine section: K symmetric threads, sharded across host workers.
+
+constexpr int kParThreads = 4;
+
+// Self-contained per-thread generator (no shared state, so the thread is
+// parallel-pure): thread t issues ops seq*K+t of the global mixed stream,
+// kind cycling per-thread so every thread carries the same load/store mix.
+struct ParGen {
+  uint64_t va = 0;
+  uint64_t tid = 0;
+  uint64_t seq = 0;
+  uint64_t total = 0;
+  bool operator()(TieredMemoryManager::AccessOp& next) {
+    if (seq == total) {
+      return false;
+    }
+    const uint64_t x = seq * kParThreads + tid;
+    next.va = va + MixBounded(x, kWorkingSet / kAccessBytes) * kAccessBytes;
+    next.size = kAccessBytes;
+    next.kind = (seq & 3) == 0 ? AccessKind::kStore : AccessKind::kLoad;
+    ++seq;
+    return true;
+  }
+};
+
+struct ParallelModeResult {
+  int workers = 1;
+  double accesses_per_s = 0.0;
+  SimTime end_ns = 0;
+  std::vector<SimTime> thread_end_ns;
+  DeviceStats dram;
+  DeviceStats nvm;
+  Engine::EpochStats epochs;
+  std::vector<Engine::WorkerStats> worker_stats;
+};
+
+bool SameDeviceStats(const DeviceStats& a, const DeviceStats& b) {
+  return a.loads == b.loads && a.stores == b.stores &&
+         a.bytes_requested_read == b.bytes_requested_read &&
+         a.bytes_requested_written == b.bytes_requested_written &&
+         a.media_bytes_read == b.media_bytes_read &&
+         a.media_bytes_written == b.media_bytes_written &&
+         a.sequential_hits == b.sequential_hits &&
+         a.queue_delay_total_ns == b.queue_delay_total_ns &&
+         a.queue_delay_max_ns == b.queue_delay_max_ns;
+}
+
+bool SameParallelFingerprint(const ParallelModeResult& a, const ParallelModeResult& b) {
+  return a.end_ns == b.end_ns && a.thread_end_ns == b.thread_end_ns &&
+         SameDeviceStats(a.dram, b.dram) && SameDeviceStats(a.nvm, b.nvm);
+}
+
+ParallelModeResult RunParallelMode(const std::string& system, uint64_t ops_per_thread,
+                                   int workers) {
+  Machine machine(HotpathMachine());
+  machine.EnableHostWorkers(workers);
+  std::unique_ptr<TieredMemoryManager> manager = MakeSystem(system, machine);
+  manager->Start();
+  const uint64_t va = manager->Mmap(kWorkingSet, {.label = "hotpath-par"});
+
+  std::vector<std::unique_ptr<QuantumAccessThread<ParGen>>> threads;
+  for (int t = 0; t < kParThreads; ++t) {
+    ParGen gen{va, static_cast<uint64_t>(t), 0, ops_per_thread};
+    threads.push_back(std::make_unique<QuantumAccessThread<ParGen>>(
+        *manager, gen, kComputePerOp, /*charge_compute=*/false,
+        "par#" + std::to_string(t)));
+    threads.back()->set_parallel_pure(true);
+    machine.engine().AddThread(threads.back().get());
+  }
+
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point t0 = Clock::now();
+  ParallelModeResult result;
+  result.workers = workers;
+  result.end_ns = machine.engine().Run();
+  const Clock::time_point t1 = Clock::now();
+
+  for (const auto& thread : threads) {
+    result.thread_end_ns.push_back(thread->now());
+  }
+  result.dram = machine.dram().stats();
+  result.nvm = machine.nvm().stats();
+  result.epochs = machine.engine().epoch_stats();
+  result.worker_stats = machine.engine().worker_stats();
+  const double wall_ns =
+      static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+  result.accesses_per_s =
+      static_cast<double>(ops_per_thread) * kParThreads / (wall_ns * 1e-9);
+  return result;
+}
+
+struct ParallelCaseResult {
+  std::string system;
+  uint64_t ops_per_thread = 0;
+  std::vector<ParallelModeResult> modes;  // one per worker count, ascending
+};
+
+ParallelCaseResult RunParallelCase(const std::string& system, uint64_t ops_per_thread,
+                                   const std::vector<int>& worker_counts, int reps) {
+  ParallelCaseResult result;
+  result.system = system;
+  result.ops_per_thread = ops_per_thread;
+  for (const int workers : worker_counts) {
+    ParallelModeResult best = RunParallelMode(system, ops_per_thread, workers);
+    for (int r = 1; r < reps; ++r) {
+      ParallelModeResult next = RunParallelMode(system, ops_per_thread, workers);
+      if (!SameParallelFingerprint(next, best)) {
+        std::fprintf(stderr,
+                     "hotpath_bench: PARALLEL NONDETERMINISM for %s at %d workers "
+                     "(end %lld vs %lld)\n",
+                     system.c_str(), workers, static_cast<long long>(next.end_ns),
+                     static_cast<long long>(best.end_ns));
+        std::exit(1);
+      }
+      if (next.accesses_per_s > best.accesses_per_s) {
+        best = std::move(next);
+      }
+    }
+    if (!result.modes.empty() && !SameParallelFingerprint(best, result.modes.front())) {
+      const ParallelModeResult& ref = result.modes.front();
+      std::fprintf(stderr,
+                   "hotpath_bench: PARALLEL FINGERPRINT MISMATCH for %s — %d workers "
+                   "diverged from %d workers (end %lld vs %lld)\n",
+                   system.c_str(), workers, ref.workers,
+                   static_cast<long long>(best.end_ns),
+                   static_cast<long long>(ref.end_ns));
+      for (size_t t = 0; t < best.thread_end_ns.size(); ++t) {
+        std::fprintf(stderr, "  thread %zu: %lld vs %lld\n", t,
+                     static_cast<long long>(best.thread_end_ns[t]),
+                     static_cast<long long>(ref.thread_end_ns[t]));
+      }
+      auto dump = [](const char* name, const DeviceStats& a, const DeviceStats& b) {
+        std::fprintf(stderr,
+                     "  %s: loads %llu/%llu stores %llu/%llu seq %llu/%llu "
+                     "qd_total %llu/%llu qd_max %llu/%llu media_w %llu/%llu\n",
+                     name, (unsigned long long)a.loads, (unsigned long long)b.loads,
+                     (unsigned long long)a.stores, (unsigned long long)b.stores,
+                     (unsigned long long)a.sequential_hits,
+                     (unsigned long long)b.sequential_hits,
+                     (unsigned long long)a.queue_delay_total_ns,
+                     (unsigned long long)b.queue_delay_total_ns,
+                     (unsigned long long)a.queue_delay_max_ns,
+                     (unsigned long long)b.queue_delay_max_ns,
+                     (unsigned long long)a.media_bytes_written,
+                     (unsigned long long)b.media_bytes_written);
+      };
+      dump("dram", best.dram, ref.dram);
+      dump("nvm", best.nvm, ref.nvm);
+      std::exit(1);
+    }
+    // Sharded execution must actually engage: a silent fall-back to serial
+    // would keep fingerprints trivially identical and fake the speedup story.
+    if (workers >= 2 && best.epochs.epochs == 0) {
+      std::fprintf(stderr,
+                   "hotpath_bench: NO EPOCHS for %s at %d workers (gate rejected %llu "
+                   "times) — parallel section is not exercising sharded execution\n",
+                   system.c_str(), workers,
+                   static_cast<unsigned long long>(best.epochs.rejected));
+      std::exit(1);
+    }
+    result.modes.push_back(std::move(best));
+  }
+  return result;
+}
+
 // Miniature Figure 5-style sweep for timing the --jobs driver: independent
 // (working-set x system) GUPS cells with shortened windows.
 struct SweepTiming {
-  int jobs = 1;
+  int jobs = 1;      // requested --sweep-jobs
+  int par_jobs = 1;  // jobs actually used for the timed parallel run (>= 2)
+  unsigned host_cores = 1;
   size_t cells = 0;
   double seq_seconds = 0.0;
   double par_seconds = 0.0;
@@ -235,6 +417,11 @@ SweepTiming TimeSweep(int jobs) {
   const std::vector<std::string> systems = {"DRAM", "MM", "HeMem"};
   SweepTiming timing;
   timing.jobs = jobs;
+  // The sequential leg is always jobs=1, so the parallel leg must not be:
+  // --sweep-jobs defaults to the host core count, and on a 1-core host that
+  // made this a jobs=1-vs-jobs=1 comparison whose "speedup" was pure noise.
+  timing.par_jobs = jobs < 2 ? 2 : jobs;
+  timing.host_cores = HostCores();
   timing.cells = ws_points.size() * systems.size();
   auto run_all = [&](int j) {
     std::vector<double> sink(timing.cells, 0.0);
@@ -254,7 +441,7 @@ SweepTiming TimeSweep(int jobs) {
   const std::vector<double> seq = run_all(1);
   timing.seq_seconds = WallSeconds() - t;
   t = WallSeconds();
-  const std::vector<double> par = run_all(jobs);
+  const std::vector<double> par = run_all(timing.par_jobs);
   timing.par_seconds = WallSeconds() - t;
   for (size_t i = 0; i < timing.cells; ++i) {
     if (seq[i] != par[i]) {
@@ -263,10 +450,68 @@ SweepTiming TimeSweep(int jobs) {
       std::exit(1);
     }
   }
+  // With real cores available, cell-level parallelism must pay off; anything
+  // else is a driver regression. A 1-core host can only interleave, so there
+  // the honest number (~1x) is reported without judgement.
+  if (timing.host_cores >= 2 && timing.par_seconds >= timing.seq_seconds) {
+    std::fprintf(stderr,
+                 "hotpath_bench: SWEEP REGRESSION — jobs=%d took %.3fs vs %.3fs "
+                 "sequential on %u host cores\n",
+                 timing.par_jobs, timing.par_seconds, timing.seq_seconds,
+                 timing.host_cores);
+    std::exit(1);
+  }
   return timing;
 }
 
+void WriteParallelJson(std::FILE* f, const std::vector<ParallelCaseResult>& parallel) {
+  std::fprintf(f, "  \"parallel\": {\n    \"threads\": %d,\n    \"systems\": [\n",
+               kParThreads);
+  for (size_t i = 0; i < parallel.size(); ++i) {
+    const ParallelCaseResult& r = parallel[i];
+    const double base = r.modes.front().accesses_per_s;
+    const double peak = r.modes.back().accesses_per_s;
+    std::fprintf(f,
+                 "      {\"system\": \"%s\", \"ops_per_thread\": %llu, "
+                 "\"speedup_vs_serial\": %.3f, \"identical\": true, \"modes\": [\n",
+                 r.system.c_str(), static_cast<unsigned long long>(r.ops_per_thread),
+                 base > 0.0 ? peak / base : 0.0);
+    for (size_t m = 0; m < r.modes.size(); ++m) {
+      const ParallelModeResult& mode = r.modes[m];
+      std::fprintf(f,
+                   "        {\"workers\": %d, \"accesses_per_s\": %.0f, "
+                   "\"end_ns\": %lld, \"epochs\": %llu, \"epochs_rejected\": %llu, "
+                   "\"barrier_ns\": %llu, \"epoch_virtual_ns\": %llu, "
+                   "\"worker_busy_ns\": [",
+                   mode.workers, mode.accesses_per_s,
+                   static_cast<long long>(mode.end_ns),
+                   static_cast<unsigned long long>(mode.epochs.epochs),
+                   static_cast<unsigned long long>(mode.epochs.rejected),
+                   static_cast<unsigned long long>(mode.epochs.barrier_ns),
+                   static_cast<unsigned long long>(mode.epochs.virtual_ns));
+      for (size_t w = 0; w < mode.worker_stats.size(); ++w) {
+        std::fprintf(f, "%s%llu", w > 0 ? ", " : "",
+                     static_cast<unsigned long long>(mode.worker_stats[w].busy_ns));
+      }
+      std::fprintf(f, "], \"worker_stall_ns\": [");
+      for (size_t w = 0; w < mode.worker_stats.size(); ++w) {
+        std::fprintf(f, "%s%llu", w > 0 ? ", " : "",
+                     static_cast<unsigned long long>(mode.worker_stats[w].stall_ns));
+      }
+      std::fprintf(f, "], \"worker_slices\": [");
+      for (size_t w = 0; w < mode.worker_stats.size(); ++w) {
+        std::fprintf(f, "%s%llu", w > 0 ? ", " : "",
+                     static_cast<unsigned long long>(mode.worker_stats[w].slices));
+      }
+      std::fprintf(f, "]}%s\n", m + 1 < r.modes.size() ? "," : "");
+    }
+    std::fprintf(f, "      ]}%s\n", i + 1 < parallel.size() ? "," : "");
+  }
+  std::fprintf(f, "    ]\n  },\n");
+}
+
 void WriteJson(const std::string& path, const std::vector<CaseResult>& results,
+               const std::vector<ParallelCaseResult>& parallel,
                const SweepTiming& sweep) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
@@ -305,10 +550,16 @@ void WriteJson(const std::string& path, const std::vector<CaseResult>& results,
         static_cast<unsigned long long>(r.batched.stats.bytes_migrated),
         i + 1 < results.size() ? "," : "");
   }
+  std::fprintf(f, "  ],\n");
+  if (!parallel.empty()) {
+    WriteParallelJson(f, parallel);
+  }
   std::fprintf(f,
-               "  ],\n  \"sweep\": {\"jobs\": %d, \"cells\": %zu, "
+               "  \"sweep\": {\"jobs\": %d, \"par_jobs\": %d, \"host_cores\": %u, "
+               "\"cells\": %zu, "
                "\"seq_seconds\": %.3f, \"par_seconds\": %.3f, \"speedup\": %.3f}\n}\n",
-               sweep.jobs, sweep.cells, sweep.seq_seconds, sweep.par_seconds,
+               sweep.jobs, sweep.par_jobs, sweep.host_cores, sweep.cells,
+               sweep.seq_seconds, sweep.par_seconds,
                sweep.par_seconds > 0.0 ? sweep.seq_seconds / sweep.par_seconds : 0.0);
   std::fclose(f);
   std::printf("# wrote %s\n", path.c_str());
@@ -325,6 +576,7 @@ int main(int argc, char** argv) {
   std::string out = "BENCH_hotpath.json";
   int sweep_jobs = static_cast<int>(HostCores());
   bool skip_sweep = false;
+  int host_workers = 4;  // max worker count for the parallel engine section
   int reps = 3;
   std::vector<std::string> systems = {"DRAM",  "NVM",        "MM",    "Nimble",
                                       "X-Mem", "Thermostat", "HeMem"};
@@ -340,6 +592,11 @@ int main(int argc, char** argv) {
       }
     } else if (std::strcmp(argv[i], "--no-sweep") == 0) {
       skip_sweep = true;
+    } else if (std::strncmp(argv[i], "--host-workers=", 15) == 0) {
+      host_workers = std::atoi(argv[i] + 15);
+      if (host_workers < 1) {
+        host_workers = 1;
+      }
     } else if (std::strncmp(argv[i], "--reps=", 7) == 0) {
       reps = std::atoi(argv[i] + 7);
       if (reps < 1) {
@@ -380,16 +637,58 @@ int main(int argc, char** argv) {
   }
   std::printf("# fingerprints: batched == unbatched for all %zu systems\n", results.size());
 
+  // Parallel engine section: only the systems whose managers opt into
+  // sharded epochs (eager mapping, no migrations) participate; host_workers=1
+  // is the serial engine and the reference fingerprint.
+  std::vector<ParallelCaseResult> parallel;
+  if (host_workers >= 2) {
+    std::vector<int> worker_counts;
+    for (const int w : {1, 2, 4}) {
+      if (w <= host_workers) {
+        worker_counts.push_back(w);
+      }
+    }
+    if (worker_counts.back() != host_workers) {
+      worker_counts.push_back(host_workers);
+    }
+    const uint64_t ops_per_thread = ops / kParThreads;
+    std::printf("\n");
+    PrintTitle("hotpath/parallel",
+               "sharded engine throughput, 4 symmetric threads (wall clock)",
+               "uniform 64 B loads/stores; --host-workers shards threads across epoch "
+               "workers; results bit-identical at every worker count");
+    std::vector<std::string> par_cols = {"system"};
+    for (const int w : worker_counts) {
+      par_cols.push_back("w=" + std::to_string(w));
+    }
+    par_cols.push_back("par_x");
+    par_cols.push_back("epochs");
+    PrintCols(par_cols);
+    for (const char* system : {"DRAM", "NVM", "X-Mem"}) {
+      ParallelCaseResult r = RunParallelCase(system, ops_per_thread, worker_counts, reps);
+      PrintCell(r.system);
+      for (const ParallelModeResult& mode : r.modes) {
+        PrintCell(Fmt("%.2fM/s", mode.accesses_per_s / 1e6));
+      }
+      PrintCell(Fmt("%.2fx",
+                    r.modes.back().accesses_per_s / r.modes.front().accesses_per_s));
+      PrintCell(Fmt("%.0f", static_cast<double>(r.modes.back().epochs.epochs)));
+      EndRow();
+      parallel.push_back(std::move(r));
+    }
+    std::printf("# fingerprints: identical across worker counts for all %zu systems\n",
+                parallel.size());
+  }
+
   SweepTiming sweep;
   if (!skip_sweep) {
-    std::printf("# timing mini GUPS sweep (6 cells), jobs=1 vs jobs=%d on %u host cores...\n",
-                sweep_jobs, HostCores());
     sweep = TimeSweep(sweep_jobs);
-    std::printf("# sweep: seq %.2fs, --jobs=%d %.2fs (%.2fx, %u host cores)\n",
-                sweep.seq_seconds, sweep.jobs, sweep.par_seconds,
+    std::printf("# sweep: seq %.2fs, --jobs=%d %.2fs (%.2fx, %u host cores%s)\n",
+                sweep.seq_seconds, sweep.par_jobs, sweep.par_seconds,
                 sweep.par_seconds > 0.0 ? sweep.seq_seconds / sweep.par_seconds : 0.0,
-                HostCores());
+                sweep.host_cores,
+                sweep.host_cores < 2 ? "; 1-core host, ~1x expected" : "");
   }
-  WriteJson(out, results, sweep);
+  WriteJson(out, results, parallel, sweep);
   return 0;
 }

@@ -18,6 +18,11 @@ SweepOptions ParseSweepArgs(int argc, char** argv) {
       if (opts.jobs < 1) {
         opts.jobs = 1;
       }
+    } else if (std::strncmp(arg, "--host-workers=", 15) == 0) {
+      opts.host_workers = std::atoi(arg + 15);
+      if (opts.host_workers < 1) {
+        opts.host_workers = 1;
+      }
     } else if (std::strncmp(arg, "--x-list=", 9) == 0) {
       const char* p = arg + 9;
       while (*p != '\0') {

@@ -30,9 +30,17 @@ struct SweepOptions {
   // replace their built-in sweep points, letting CI run a 2-point smoke of a
   // 7-point figure. Empty = use the bench's defaults.
   std::vector<double> x_list;
+  // Host workers for *intra*-simulation sharded epochs (--host-workers=N):
+  // each cell's Machine calls EnableHostWorkers(N), so eligible quanta run
+  // on N engine workers under epoch barriers (DESIGN.md "Parallel engine &
+  // epoch barriers"). Results stay bit-identical to serial at any value.
+  // Orthogonal to `jobs`, which parallelizes across independent cells; the
+  // two multiply (jobs * host_workers threads at peak), so on small hosts
+  // prefer raising jobs first — cell-level parallelism has no barrier cost.
+  int host_workers = 1;
 };
 
-// Parses --jobs=N and --x-list=a,b,c out of argv. Unrecognized arguments are
+// Parses --jobs=N, --host-workers=N, and --x-list=a,b,c out of argv. Unrecognized arguments are
 // left for the caller (returned options ignore them), so benches with their
 // own flags can parse both.
 SweepOptions ParseSweepArgs(int argc, char** argv);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cassert>
+#include <iterator>
 
 #include "obs/trace.h"
 
@@ -279,6 +280,121 @@ SimTime MemoryDevice::BatchRun::ScalarAccess(SimTime start, uint64_t addr, uint3
                                              AccessKind kind) {
   Close();
   return dev_.Access(start, addr, size, kind, stream_id_);
+}
+
+void MemoryDevice::MergeDirection(Direction& dir, bool read_dir,
+                                  const std::vector<const MemoryDevice*>& views,
+                                  SimTime horizon) {
+  // Quick out when no view touched this direction (bytes_requested covers
+  // Access and BulkTransfer alike — view stats are epoch deltas).
+  bool touched = false;
+  for (const MemoryDevice* v : views) {
+    touched |= (read_dir ? v->stats_.bytes_requested_read
+                         : v->stats_.bytes_requested_written) != 0;
+  }
+  if (!touched) {
+    return;
+  }
+
+  // Channel free times merge as a multiset: only the multiset is observable
+  // (the argmin pops the minimum value; tie-broken indices only select which
+  // slot is rewritten, a permutation). Reservations outliving the horizon
+  // appear verbatim in every view — under the epoch gate begin == start <
+  // horizon for every epoch access, so an inherited > horizon value is never
+  // the popped argmin and never changes — so take the base's copy once, then
+  // add each view's own new > horizon reservations (multiset difference
+  // against the base). Every remaining slot drained by the horizon pins to
+  // the horizon itself: every post-epoch access starts at or after it, so
+  // the drained values' exact history is unobservable.
+  std::vector<SimTime> base_over;
+  for (const SimTime free : dir.channel_free) {
+    if (free > horizon) {
+      base_over.push_back(free);
+    }
+  }
+  std::sort(base_over.begin(), base_over.end());
+  std::vector<SimTime> merged = base_over;
+  std::vector<SimTime> view_over;
+  std::vector<SimTime> fresh;
+  for (const MemoryDevice* v : views) {
+    const Direction& vd = read_dir ? v->read_ : v->write_;
+    view_over.clear();
+    for (const SimTime free : vd.channel_free) {
+      if (free > horizon) {
+        view_over.push_back(free);
+      }
+    }
+    std::sort(view_over.begin(), view_over.end());
+    fresh.clear();
+    std::set_difference(view_over.begin(), view_over.end(), base_over.begin(),
+                        base_over.end(), std::back_inserter(fresh));
+    merged.insert(merged.end(), fresh.begin(), fresh.end());
+  }
+  assert(merged.size() <= dir.channel_free.size() &&
+         "epoch gate must bound in-flight reservations to the channel count");
+  size_t i = 0;
+  for (; i < merged.size(); ++i) {
+    dir.channel_free[i] = merged[i];
+  }
+  for (; i < dir.channel_free.size(); ++i) {
+    dir.channel_free[i] = horizon;
+  }
+
+  // Pressure bounds: the exact min is a valid earliest-free lower bound (and
+  // no post-epoch query can observe the difference from the serial bound —
+  // queries at >= horizon see the same drained/backed-up partition); the max
+  // over all views' reservations is the exact running max.
+  dir.earliest_free_lb = *std::min_element(dir.channel_free.begin(), dir.channel_free.end());
+  for (const MemoryDevice* v : views) {
+    const Direction& vd = read_dir ? v->read_ : v->write_;
+    dir.latest_free = std::max(dir.latest_free, vd.latest_free);
+  }
+
+  // The busy memo caches a pure function of (media bytes, channel bw); any
+  // view's pair is valid. Take the last touching view's, matching its most
+  // recent compute.
+  for (const MemoryDevice* v : views) {
+    const Direction& vd = read_dir ? v->read_ : v->write_;
+    if ((read_dir ? v->stats_.bytes_requested_read : v->stats_.bytes_requested_written) !=
+        0) {
+      dir.memo_media_bytes = vd.memo_media_bytes;
+      dir.memo_busy = vd.memo_busy;
+    }
+  }
+}
+
+void MemoryDevice::MergeShardViews(const std::vector<const MemoryDevice*>& views,
+                                   SimTime horizon) {
+  MergeDirection(read_, /*read_dir=*/true, views, horizon);
+  MergeDirection(write_, /*read_dir=*/false, views, horizon);
+
+  // Stream-detector slots: views touch disjoint slots (the gate requires
+  // distinct stream ids below kStreamSlots), so copy every slot a view
+  // moved, comparing against the pre-merge base snapshot.
+  const std::vector<uint64_t> base_streams = stream_last_end_;
+  for (const MemoryDevice* v : views) {
+    for (size_t i = 0; i < base_streams.size(); ++i) {
+      if (v->stream_last_end_[i] != base_streams[i]) {
+        stream_last_end_[i] = v->stream_last_end_[i];
+      }
+    }
+  }
+
+  // Stats are epoch deltas (views reset at epoch start): sums, except the
+  // max-of-maxes for the queue-delay high-water mark.
+  for (const MemoryDevice* v : views) {
+    const DeviceStats& s = v->stats_;
+    stats_.loads += s.loads;
+    stats_.stores += s.stores;
+    stats_.bytes_requested_read += s.bytes_requested_read;
+    stats_.bytes_requested_written += s.bytes_requested_written;
+    stats_.media_bytes_read += s.media_bytes_read;
+    stats_.media_bytes_written += s.media_bytes_written;
+    stats_.sequential_hits += s.sequential_hits;
+    stats_.queue_delay_total_ns += s.queue_delay_total_ns;
+    stats_.queue_delay_max_ns = std::max(stats_.queue_delay_max_ns, s.queue_delay_max_ns);
+    stats_.degraded_accesses += s.degraded_accesses;
+  }
 }
 
 double MemoryDevice::ChannelPressure(SimTime at, AccessKind kind) const {

@@ -127,6 +127,40 @@ class MemoryDevice {
     degraded_ = degrade.active;
   }
 
+  // ---- Sharded-epoch support (DESIGN.md "Parallel engine & epoch barriers")
+
+  // Streams with distinct ids below this bound use distinct detector slots;
+  // the epoch gate requires it so per-shard views touch disjoint slots.
+  static constexpr int kStreamSlots = 512;
+
+  // Channels still reserved past `t` in the given direction. The gate's
+  // continuity check: with B inherited-busy channels and K concurrent
+  // streams, B + K <= channels guarantees begin == start for every access in
+  // the epoch window (each stream holds at most one in-flight reservation at
+  // any other stream's reservation instant).
+  int BusyChannelsAfter(SimTime t, AccessKind kind) const {
+    const Direction& dir = kind == AccessKind::kLoad ? read_ : write_;
+    int busy = 0;
+    for (const SimTime free : dir.channel_free) {
+      busy += free > t ? 1 : 0;
+    }
+    return busy;
+  }
+
+  bool degrade_active() const { return degraded_; }
+  const DeviceDegrade& degrade_window() const { return degrade_; }
+
+  // Folds per-shard epoch views (copies of this device at epoch start, stats
+  // reset) back into this device, in view order, with every epoch access
+  // completed by `horizon`. Stats merge additively (max for the queue-delay
+  // max); stream-detector slots are copied where a view moved them (views
+  // touch disjoint slots); channel free times merge as a multiset — values
+  // still reserved past the horizon are kept exactly, drained slots pin to
+  // the horizon, which no post-epoch query can distinguish (every later
+  // access starts at or after the horizon). MemoryDevice is copyable
+  // precisely to make these views cheap; BatchRuns must be closed.
+  void MergeShardViews(const std::vector<const MemoryDevice*>& views, SimTime horizon);
+
  private:
   struct Direction;  // defined below; BatchRun::DirRun points into it
 
@@ -256,7 +290,7 @@ class MemoryDevice {
   };
 
  private:
-  static constexpr int kMaxStreams = 512;
+  static constexpr int kMaxStreams = kStreamSlots;
 
   struct Direction {
     std::vector<SimTime> channel_free;
@@ -281,6 +315,9 @@ class MemoryDevice {
 
   // Reserves the earliest-free channel; returns {begin, channel index}.
   SimTime ReserveChannel(Direction& dir, SimTime start, SimTime busy);
+  // One direction of MergeShardViews.
+  void MergeDirection(Direction& dir, bool read_dir,
+                      const std::vector<const MemoryDevice*>& views, SimTime horizon);
   // Degrade multiplier in effect at `at` (1.0 outside the window).
   double DegradeMultiplier(SimTime at) const;
 

@@ -2,8 +2,39 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
 
 namespace hemem {
+
+namespace {
+uint64_t ElapsedNs(std::chrono::steady_clock::time_point from,
+                   std::chrono::steady_clock::time_point to) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(to - from).count());
+}
+}  // namespace
+
+// Persistent host-worker pool. Workers park on work_cv between epochs; the
+// scheduling thread publishes one job per epoch (epoch counter bumps, every
+// worker runs job(w) exactly once) and waits on done_cv until remaining hits
+// zero. All cross-thread state hand-off — thread clocks, per-worker stats,
+// shard views — is ordered by mu: workers finish their job before taking mu
+// to decrement remaining, and the scheduler only reads results after
+// observing remaining == 0 under mu.
+struct Engine::Pool {
+  std::mutex mu;
+  std::condition_variable work_cv;
+  std::condition_variable done_cv;
+  std::function<void(int)> job;
+  uint64_t epoch = 0;
+  int remaining = 0;
+  bool stop = false;
+  std::vector<std::thread> threads;
+};
 
 SimThread::SimThread(std::string name, bool foreground, double cpu_share)
     : name_(std::move(name)), foreground_(foreground), cpu_share_(cpu_share) {}
@@ -38,7 +69,70 @@ bool PeriodicThread::RunSlice() {
   return true;
 }
 
-Engine::Engine(int cores) : cores_(cores) {}
+Engine::Engine(int cores) : cores_(cores) { worker_stats_.resize(1); }
+
+Engine::~Engine() { StopPool(); }
+
+void Engine::set_host_workers(int n) {
+  if (n < 1) {
+    n = 1;
+  }
+  if (pool_ != nullptr && static_cast<int>(pool_->threads.size()) + 1 != n) {
+    StopPool();
+  }
+  host_workers_ = n;
+  worker_stats_.assign(static_cast<size_t>(n), WorkerStats{});
+}
+
+void Engine::EnsurePool() {
+  if (pool_ != nullptr || host_workers_ < 2) {
+    return;
+  }
+  pool_ = std::make_unique<Pool>();
+  pool_->threads.reserve(static_cast<size_t>(host_workers_ - 1));
+  for (int w = 1; w < host_workers_; ++w) {
+    pool_->threads.emplace_back([this, w] { PoolMain(w); });
+  }
+}
+
+void Engine::StopPool() {
+  if (pool_ == nullptr) {
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(pool_->mu);
+    pool_->stop = true;
+  }
+  pool_->work_cv.notify_all();
+  for (std::thread& t : pool_->threads) {
+    t.join();
+  }
+  pool_.reset();
+}
+
+void Engine::PoolMain(int worker) {
+  uint64_t seen = 0;
+  for (;;) {
+    std::function<void(int)> job;
+    {
+      std::unique_lock<std::mutex> lock(pool_->mu);
+      pool_->work_cv.wait(lock,
+                          [this, seen] { return pool_->stop || pool_->epoch != seen; });
+      if (pool_->stop) {
+        return;
+      }
+      seen = pool_->epoch;
+      job = pool_->job;
+    }
+    job(worker);
+    {
+      std::lock_guard<std::mutex> lock(pool_->mu);
+      if (--pool_->remaining == 0) {
+        pool_->done_cv.notify_all();
+      }
+    }
+  }
+}
 
 void Engine::AddThread(SimThread* thread) {
   thread->engine_ = this;
@@ -46,6 +140,9 @@ void Engine::AddThread(SimThread* thread) {
   threads_.push_back(thread);
   if (thread->foreground()) {
     live_foreground_++;
+    if (thread->parallel_pure_) {
+      live_pure_++;
+    }
   }
   cpu_demand_ += thread->cpu_share_;
   Push(thread);
@@ -87,6 +184,9 @@ void Engine::Finish(SimThread* thread) {
   thread->finished_ = true;
   if (thread->foreground()) {
     live_foreground_--;
+    if (thread->parallel_pure_) {
+      live_pure_--;
+    }
   }
   cpu_demand_ -= thread->cpu_share_;
   if (observer_ != nullptr) {
@@ -103,6 +203,13 @@ SimTime Engine::Run(SimTime deadline) {
                                      ? deadline
                                      : deadline + 1;
   while (live_foreground_ > 0 && !heap_.empty()) {
+    // Sharded epoch attempt (two compares on machines that never opt in):
+    // when several parallel-pure threads are runnable, execute them
+    // concurrently up to a safe horizon and merge at a barrier instead of
+    // dispatching them one by one.
+    if (TryParallelEpoch(deadline, last)) {
+      continue;
+    }
     std::pop_heap(heap_.begin(), heap_.end(), std::greater<>());
     const HeapEntry entry = heap_.back();
     heap_.pop_back();
@@ -134,6 +241,7 @@ SimTime Engine::Run(SimTime deadline) {
       // is why InRunQuantum() also checks pending_penalty_.
       run_horizon_ = heap_.empty() ? deadline_bound
                                    : std::min(heap_.front().time, deadline_bound);
+      thread->dispatch_horizon_ = run_horizon_;
       const bool alive = thread->RunSlice();
       last = thread->now();
       if (!alive) {
@@ -159,6 +267,221 @@ SimTime Engine::Run(SimTime deadline) {
     observer_->OnRunFinished(last);
   }
   return last;
+}
+
+bool Engine::TryParallelEpoch(SimTime deadline, SimTime& last) {
+  if (live_pure_ < 2 || host_workers_ < 2 || gate_ == nullptr) {
+    return false;
+  }
+  // A mid-epoch finish must not change the compute stretch other threads
+  // observe: with demand <= cores the factor is pinned at 1.0 before and
+  // after any finish (demand only shrinks), so it is order-independent.
+  if (cpu_demand_ > static_cast<double>(cores_)) {
+    return false;
+  }
+
+  // Horizon candidate: the epoch may run while every shardable thread stays
+  // strictly earlier than (a) the deadline — deadline parking is owned by
+  // the serial loop — (b) every non-shardable live thread's next wakeup
+  // (clock plus pending penalty), and (c) the optional span cap.
+  epoch_threads_.clear();
+  SimTime frontier = std::numeric_limits<SimTime>::max();
+  SimTime bound = deadline;
+  for (SimThread* t : threads_) {
+    if (t->finished_) {
+      continue;
+    }
+    const SimTime eff = t->now_ + t->pending_penalty_;
+    frontier = std::min(frontier, eff);
+    if (t->foreground_ && t->parallel_pure_ && t->pending_penalty_ == 0) {
+      epoch_threads_.push_back(t);
+    } else {
+      bound = std::min(bound, eff);
+    }
+  }
+  if (frontier >= bound) {
+    return false;
+  }
+  if (epoch_span_ > 0 && bound - frontier > epoch_span_) {
+    bound = frontier + epoch_span_;
+  }
+  // Candidates at/past the bound sit the epoch out; their heap entries stay
+  // untouched, preserving their tie-break order.
+  epoch_threads_.erase(std::remove_if(epoch_threads_.begin(), epoch_threads_.end(),
+                                      [bound](const SimThread* t) {
+                                        return t->now_ >= bound;
+                                      }),
+                       epoch_threads_.end());
+  if (epoch_threads_.size() < 2) {
+    return false;
+  }
+  // Fixed candidate order for the gate and for shard assignment: stream id
+  // (registration order), never host-execution order.
+  std::sort(epoch_threads_.begin(), epoch_threads_.end(),
+            [](const SimThread* a, const SimThread* b) {
+              return a->stream_id_ < b->stream_id_;
+            });
+
+  const SimTime horizon = gate_->EpochHorizon(frontier, bound, epoch_threads_);
+  if (horizon <= frontier) {
+    epoch_stats_.rejected++;
+    return false;
+  }
+  assert(horizon <= bound);
+  if (horizon < bound) {
+    epoch_threads_.erase(std::remove_if(epoch_threads_.begin(), epoch_threads_.end(),
+                                        [horizon](const SimThread* t) {
+                                          return t->now_ >= horizon;
+                                        }),
+                         epoch_threads_.end());
+    if (epoch_threads_.size() < 2) {
+      epoch_stats_.rejected++;
+      return false;
+    }
+  }
+
+  const int shards =
+      static_cast<int>(std::min<size_t>(static_cast<size_t>(host_workers_),
+                                        epoch_threads_.size()));
+  const int views = static_cast<int>(epoch_threads_.size());
+  EnsurePool();
+  const auto wall0 = std::chrono::steady_clock::now();
+  // One view per epoch *thread*, not per worker: every thread must execute
+  // against the epoch-start device state. A worker-shared view would leak
+  // its first thread's channel reservations into its second thread's
+  // accesses — queue delay the serial schedule never sees.
+  gate_->BeginEpoch(views);
+  epoch_alive_.assign(epoch_threads_.size(), 1);
+  worker_finish_ns_.assign(static_cast<size_t>(host_workers_), 0);
+
+  // Worker w owns epoch threads round-robin by candidate index. Each owned
+  // thread re-dispatches until the shared horizon — exactly the serial
+  // direct-run loop, so per-worker quantum caps (quantum_ops_) only split
+  // the work into more slices and can never stall the barrier.
+  auto job = [this, shards, horizon, wall0](int w) {
+    if (w >= shards) {
+      return;
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    WorkerStats& ws = worker_stats_[static_cast<size_t>(w)];
+    for (size_t i = static_cast<size_t>(w); i < epoch_threads_.size();
+         i += static_cast<size_t>(shards)) {
+      SimThread* t = epoch_threads_[i];
+      gate_->BindShard(static_cast<int>(i));
+      ws.threads_run++;
+      while (t->pending_penalty_ == 0 && t->now_ < horizon) {
+        t->dispatch_horizon_ = horizon;
+        const SimTime before = t->now_;
+        const bool alive = t->RunSlice();
+        ws.slices++;
+        if (!alive) {
+          epoch_alive_[i] = 0;
+          break;
+        }
+        if (t->now_ == before) {
+          break;  // no progress: hand the thread back to the serial loop
+        }
+      }
+    }
+    gate_->UnbindShard();
+    const auto t1 = std::chrono::steady_clock::now();
+    ws.busy_ns += ElapsedNs(t0, t1);
+    worker_finish_ns_[static_cast<size_t>(w)] = ElapsedNs(wall0, t1);
+  };
+
+  if (pool_ != nullptr) {
+    {
+      std::lock_guard<std::mutex> lock(pool_->mu);
+      pool_->job = job;
+      pool_->remaining = static_cast<int>(pool_->threads.size());
+      pool_->epoch++;
+    }
+    pool_->work_cv.notify_all();
+    job(0);
+    {
+      std::unique_lock<std::mutex> lock(pool_->mu);
+      pool_->done_cv.wait(lock, [this] { return pool_->remaining == 0; });
+    }
+  } else {
+    for (int w = 0; w < shards; ++w) {
+      job(w);
+    }
+  }
+  const auto wall1 = std::chrono::steady_clock::now();
+  const uint64_t epoch_wall_ns = ElapsedNs(wall0, wall1);
+  for (int w = 0; w < shards; ++w) {
+    worker_stats_[static_cast<size_t>(w)].stall_ns +=
+        epoch_wall_ns - worker_finish_ns_[static_cast<size_t>(w)];
+  }
+
+  // ---- Barrier: merge shared state, retire finishers, rebuild the heap ----
+  gate_->MergeEpoch(horizon, views);
+
+  // Finished threads retire in (finish time, stream id) order — the serial
+  // finish order: when a thread finishes in the serial schedule, the horizon
+  // at that instant exceeds its finish time, so every other live thread
+  // finishes strictly later (finish times are increasing along the serial
+  // schedule; ties cannot occur across the one-runnable-thread window, and
+  // stream id breaks any residual tie deterministically).
+  epoch_order_.clear();
+  for (size_t i = 0; i < epoch_threads_.size(); ++i) {
+    if (epoch_alive_[i] == 0) {
+      epoch_order_.push_back(epoch_threads_[i]);
+    }
+  }
+  std::sort(epoch_order_.begin(), epoch_order_.end(),
+            [](const SimThread* a, const SimThread* b) {
+              return a->now_ != b->now_ ? a->now_ < b->now_
+                                        : a->stream_id_ < b->stream_id_;
+            });
+  for (SimThread* t : epoch_order_) {
+    Finish(t);
+    last = t->now_;
+  }
+
+  // Heap rebuild. Entries of non-participants keep their original seq
+  // numbers (older seq wins time ties, as in serial); survivors re-enter in
+  // (clock, stream id) order with fresh — strictly larger — seqs, which is
+  // the order the serial scheduler would have re-pushed them in.
+  for (SimThread* t : epoch_threads_) {
+    t->in_epoch_ = true;
+  }
+  size_t kept = 0;
+  for (size_t i = 0; i < heap_.size(); ++i) {
+    if (!heap_[i].thread->in_epoch_) {
+      heap_[kept++] = heap_[i];
+    }
+  }
+  heap_.resize(kept);
+  epoch_order_.clear();
+  for (size_t i = 0; i < epoch_threads_.size(); ++i) {
+    epoch_threads_[i]->in_epoch_ = false;
+    if (epoch_alive_[i] != 0) {
+      epoch_order_.push_back(epoch_threads_[i]);
+    }
+  }
+  std::sort(epoch_order_.begin(), epoch_order_.end(),
+            [](const SimThread* a, const SimThread* b) {
+              return a->now_ != b->now_ ? a->now_ < b->now_
+                                        : a->stream_id_ < b->stream_id_;
+            });
+  for (SimThread* t : epoch_order_) {
+    heap_.push_back({t->now_, next_seq_++, t});
+  }
+  std::make_heap(heap_.begin(), heap_.end(), std::greater<>());
+
+  const auto wall2 = std::chrono::steady_clock::now();
+  epoch_stats_.epochs++;
+  epoch_stats_.epoch_threads += epoch_threads_.size();
+  // Virtual coverage is the span the epoch actually advanced, not the granted
+  // horizon — an unbounded run's final epoch is granted deadline+1.
+  SimTime covered = frontier;
+  for (const SimThread* t : epoch_threads_) {
+    covered = std::max(covered, t->now_);
+  }
+  epoch_stats_.virtual_ns += static_cast<uint64_t>(std::min(covered, horizon) - frontier);
+  epoch_stats_.barrier_ns += ElapsedNs(wall1, wall2);
+  return true;
 }
 
 }  // namespace hemem

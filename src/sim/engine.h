@@ -28,6 +28,7 @@
 #include <cstdint>
 #include <functional>
 #include <limits>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -37,6 +38,36 @@ namespace hemem {
 
 class Engine;
 class SimThread;
+
+// Policy hook for sharded epoch execution (DESIGN.md "Parallel engine &
+// epoch barriers"). The engine knows nothing about devices or page tables;
+// the tier layer implements this interface to answer "may the threads in
+// `shard_threads` run concurrently up to some horizon, and how is shared
+// device state split and re-merged?". All methods are called from the
+// engine's scheduling thread except BindShard/UnbindShard, which each worker
+// calls on its own host thread.
+class EpochGate {
+ public:
+  virtual ~EpochGate() = default;
+
+  // Largest safe epoch horizon in (frontier, want], or 0 to reject the
+  // epoch. `shard_threads` is the candidate set, sorted by stream id; the
+  // gate may inspect but not mutate the threads.
+  virtual SimTime EpochHorizon(SimTime frontier, SimTime want,
+                               const std::vector<SimThread*>& shard_threads) = 0;
+  // Snapshots shared state into one view per epoch thread (`views` =
+  // candidate count). Views are per *thread*, not per worker: each thread
+  // must execute against the epoch-start device state, never against a
+  // shard-sibling's completed reservations.
+  virtual void BeginEpoch(int views) = 0;
+  // Routes the calling host thread's device accesses to the view of epoch
+  // thread `view` (its candidate index). Workers re-bind per owned thread.
+  virtual void BindShard(int view) = 0;
+  virtual void UnbindShard() = 0;
+  // Folds the per-thread views back into shared state, in fixed candidate
+  // order, normalized at `horizon`. Runs after every worker has joined.
+  virtual void MergeEpoch(SimTime horizon, int views) = 0;
+};
 
 // Passive engine lifecycle hook. The obs layer's trace glue implements it
 // (the sim layer must not depend on obs); callbacks fire only on cold paths
@@ -105,11 +136,29 @@ class SimThread {
   SimTime pending_penalty() const { return pending_penalty_; }
 
   // True while this thread's slice may keep executing accesses back-to-back:
-  // no penalty is queued and the clock is still strictly below the engine's
-  // run horizon. Identical to the engine's own direct-run continuation test,
-  // so a slice that runs K accesses while this holds is indistinguishable
-  // from K single-access slices. Defined inline after Engine.
-  bool InRunQuantum() const;
+  // no penalty is queued and the clock is still strictly below the horizon
+  // published by whichever scheduler dispatched this slice (the serial run
+  // loop, or an epoch worker). Identical to the serial direct-run
+  // continuation test, so a slice that runs K accesses while this holds is
+  // indistinguishable from K single-access slices.
+  bool InRunQuantum() const { return pending_penalty_ == 0 && now_ < dispatch_horizon_; }
+
+  // Exclusive clock bound for the slice currently executing on this thread,
+  // written by the dispatching scheduler immediately before RunSlice(). Zero
+  // outside the engine (so InRunQuantum() is false there).
+  SimTime dispatch_horizon() const { return dispatch_horizon_; }
+
+  // Declares that this thread's slices touch no cross-thread state other
+  // than the tiering access path itself (self-contained generator, no shared
+  // counters, no engine mutation), making it eligible for sharded epoch
+  // execution (DESIGN.md "Parallel engine & epoch barriers"). Purity is the
+  // caller's contract — the engine cannot verify it. Must be set before
+  // AddThread; defaults off, so existing threads never run in epochs.
+  void set_parallel_pure(bool pure) {
+    assert(engine_ == nullptr && "set_parallel_pure must precede AddThread");
+    parallel_pure_ = pure;
+  }
+  bool parallel_pure() const { return parallel_pure_; }
 
   // Per-thread software TLB: the tier layer's access skeleton caches its
   // last translation here so repeat accesses skip the page-table walk even
@@ -144,7 +193,10 @@ class SimThread {
   TranslationCache tcache_;
   Engine* engine_ = nullptr;
   bool finished_ = false;
+  bool parallel_pure_ = false;
+  bool in_epoch_ = false;  // engine scratch: member of the current epoch set
   uint32_t stream_id_ = 0;
+  SimTime dispatch_horizon_ = 0;
 };
 
 // Convenience base for periodic background actors (policy thread, PEBS
@@ -175,6 +227,7 @@ class PeriodicThread : public SimThread {
 class Engine {
  public:
   explicit Engine(int cores = 24);
+  ~Engine();
 
   // Registers a thread (non-owning; callers keep threads alive for the run).
   void AddThread(SimThread* thread);
@@ -233,6 +286,45 @@ class Engine {
   void set_quantum_ops(uint32_t k) { quantum_ops_ = k == 0 ? 1 : k; }
   uint32_t quantum_ops() const { return quantum_ops_; }
 
+  // ---- Sharded epochs (DESIGN.md "Parallel engine & epoch barriers") ------
+
+  // Number of host worker threads epochs may use. 1 (the default) disables
+  // epochs entirely — Run() is the serial scheduler, byte for byte. N >= 2
+  // lazily spins up a persistent pool of N-1 host threads (the scheduling
+  // thread is worker 0) that is torn down in the destructor or on resize.
+  void set_host_workers(int n);
+  int host_workers() const { return host_workers_; }
+
+  // The tier layer's eligibility/merge policy; epochs also require this.
+  // Not owned; pass nullptr to detach.
+  void set_epoch_gate(EpochGate* gate) { gate_ = gate; }
+
+  // Optional cap on an epoch's virtual-time span (0 = unbounded). The
+  // horizon is always additionally bounded by the deadline and by every
+  // non-shardable live thread's next wakeup, so epochs terminate regardless
+  // of per-worker quantum caps — quantum_ops_ only splits an epoch's work
+  // into more RunSlice calls, it never extends the horizon (worker slices
+  // re-dispatch until the horizon, exactly like the serial direct-run loop).
+  void set_epoch_span(SimTime span) { epoch_span_ = span; }
+  SimTime epoch_span() const { return epoch_span_; }
+
+  struct EpochStats {
+    uint64_t epochs = 0;         // epochs executed
+    uint64_t rejected = 0;       // attempts rejected by the gate or filters
+    uint64_t epoch_threads = 0;  // cumulative thread participations
+    uint64_t virtual_ns = 0;     // cumulative virtual time covered by epochs
+    uint64_t barrier_ns = 0;     // host ns spent merging + rebuilding
+  };
+  const EpochStats& epoch_stats() const { return epoch_stats_; }
+
+  struct WorkerStats {
+    uint64_t busy_ns = 0;      // host ns executing shard slices
+    uint64_t stall_ns = 0;     // host ns waiting at epoch barriers
+    uint64_t slices = 0;       // RunSlice calls issued
+    uint64_t threads_run = 0;  // thread-epoch assignments
+  };
+  const std::vector<WorkerStats>& worker_stats() const { return worker_stats_; }
+
  private:
   friend class SimThread;
 
@@ -248,6 +340,16 @@ class Engine {
   void Push(SimThread* thread);
   void Finish(SimThread* thread);
 
+  // One epoch attempt: computes the horizon, runs shard workers, merges at
+  // the barrier. Returns true if an epoch executed (the caller re-enters the
+  // scheduling loop); false means fall through to the serial dispatcher.
+  bool TryParallelEpoch(SimTime deadline, SimTime& last);
+  void EnsurePool();
+  void StopPool();
+  void PoolMain(int worker);
+
+  struct Pool;  // defined in engine.cc
+
   int cores_;
   uint64_t next_seq_ = 0;
   std::vector<HeapEntry> heap_;
@@ -259,11 +361,22 @@ class Engine {
   SimTime run_horizon_ = 0;
   bool batching_ = true;
   uint32_t quantum_ops_ = 1024;
-};
 
-inline bool SimThread::InRunQuantum() const {
-  return pending_penalty_ == 0 && engine_ != nullptr && now_ < engine_->run_horizon();
-}
+  // Sharded-epoch state. live_pure_ counts live foreground parallel-pure
+  // threads so the per-dispatch epoch attempt is a two-compare no-op for
+  // every machine that never opts in.
+  int host_workers_ = 1;
+  int live_pure_ = 0;
+  EpochGate* gate_ = nullptr;
+  SimTime epoch_span_ = 0;
+  EpochStats epoch_stats_;
+  std::vector<WorkerStats> worker_stats_;
+  std::vector<SimThread*> epoch_threads_;   // scratch: current epoch set
+  std::vector<uint8_t> epoch_alive_;        // scratch: RunSlice outcomes
+  std::vector<uint64_t> worker_finish_ns_;  // scratch: per-worker join times
+  std::vector<SimThread*> epoch_order_;     // scratch: finish/rebuild ordering
+  std::unique_ptr<Pool> pool_;
+};
 
 }  // namespace hemem
 

@@ -2,8 +2,15 @@
 
 #include <algorithm>
 #include <cassert>
+#include <string>
+
+#include "tier/parallel.h"
 
 namespace hemem {
+
+namespace internal {
+thread_local ShardDeviceBinding tls_shard_devices;
+}  // namespace internal
 
 MachineConfig MachineConfig::Scaled(double s) {
   MachineConfig config;
@@ -164,6 +171,45 @@ Machine::Machine(MachineConfig config)
       }
     }
   });
+}
+
+Machine::~Machine() = default;  // here so ~ParallelCoordinator is complete
+
+void Machine::UnregisterManager(TieredMemoryManager* manager) {
+  managers_.erase(std::remove(managers_.begin(), managers_.end(), manager),
+                  managers_.end());
+}
+
+void Machine::EnableHostWorkers(int workers) {
+  if (workers < 2) {
+    engine_.set_epoch_gate(nullptr);
+    engine_.set_host_workers(1);
+    return;
+  }
+  if (parallel_ == nullptr) {
+    parallel_ = std::make_unique<ParallelCoordinator>(*this);
+    // Host-side execution metrics (wall-clock, nondeterministic across runs
+    // by nature) exist only on sharded machines, so default machines' metric
+    // trees — and every golden fingerprint — are unchanged.
+    metrics_.AddProvider(parallel_.get(), [this](obs::MetricsEmitter& e) {
+      const Engine::EpochStats& es = engine_.epoch_stats();
+      e.Emit("engine.epoch.count", es.epochs);
+      e.Emit("engine.epoch.rejected", es.rejected);
+      e.Emit("engine.epoch.threads", es.epoch_threads);
+      e.Emit("engine.epoch.virtual_ns", es.virtual_ns);
+      e.Emit("engine.epoch.barrier_ns", es.barrier_ns);
+      const std::vector<Engine::WorkerStats>& ws = engine_.worker_stats();
+      for (size_t w = 0; w < ws.size(); ++w) {
+        const std::string p = "engine.worker.#" + std::to_string(w) + ".";
+        e.Emit(p + "busy_ns", ws[w].busy_ns);
+        e.Emit(p + "stall_ns", ws[w].stall_ns);
+        e.Emit(p + "slices", ws[w].slices);
+        e.Emit(p + "threads_run", ws[w].threads_run);
+      }
+    });
+  }
+  engine_.set_epoch_gate(parallel_.get());
+  engine_.set_host_workers(workers);
 }
 
 void Machine::EnableShadow() {

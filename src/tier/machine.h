@@ -16,6 +16,7 @@
 #define HEMEM_TIER_MACHINE_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -35,6 +36,22 @@
 #include "vm/tlb.h"
 
 namespace hemem {
+
+class ParallelCoordinator;
+class TieredMemoryManager;
+
+namespace internal {
+// Per-host-thread device redirection for sharded epochs: while an epoch
+// worker is bound to a shard, Machine::device() resolves to the shard's
+// private device views instead of the shared devices. Keyed by machine so
+// nested/unrelated machines on one host thread cannot cross wires.
+struct ShardDeviceBinding {
+  const void* machine = nullptr;
+  MemoryDevice* dram = nullptr;
+  MemoryDevice* nvm = nullptr;
+};
+extern thread_local ShardDeviceBinding tls_shard_devices;
+}  // namespace internal
 
 struct MachineConfig {
   uint64_t dram_bytes = GiB(192);
@@ -103,14 +120,25 @@ class FrameAllocator {
 class Machine {
  public:
   explicit Machine(MachineConfig config);
+  ~Machine();
 
   Machine(const Machine&) = delete;
   Machine& operator=(const Machine&) = delete;
 
   Engine& engine() { return engine_; }
-  MemoryDevice& device(Tier tier) { return tier == Tier::kDram ? dram_ : nvm_; }
-  MemoryDevice& dram() { return dram_; }
-  MemoryDevice& nvm() { return nvm_; }
+  // Resolves a tier to its device. During a sharded epoch, each worker sees
+  // its own shard's device views through the thread-local binding; outside
+  // epochs (the binding check is one predictable compare) this is the shared
+  // device, as always.
+  MemoryDevice& device(Tier tier) {
+    const internal::ShardDeviceBinding& b = internal::tls_shard_devices;
+    if (b.machine == this) [[unlikely]] {
+      return tier == Tier::kDram ? *b.dram : *b.nvm;
+    }
+    return tier == Tier::kDram ? dram_ : nvm_;
+  }
+  MemoryDevice& dram() { return device(Tier::kDram); }
+  MemoryDevice& nvm() { return device(Tier::kNvm); }
   FrameAllocator& frames(Tier tier) {
     return tier == Tier::kDram ? dram_frames_ : nvm_frames_;
   }
@@ -145,6 +173,22 @@ class Machine {
   void EnableShadow();
   ShadowMemory* shadow() { return shadow_ ? &*shadow_ : nullptr; }
 
+  // Sharded epochs (DESIGN.md "Parallel engine & epoch barriers"): lets the
+  // engine execute eligible thread sets on `workers` host threads between
+  // deterministic barriers. Results are bit-identical at every worker count;
+  // workers < 2 restores the serial engine. Also registers the per-worker /
+  // per-epoch metrics providers (engine.worker.#n.*, engine.epoch.*) — only
+  // then, so default machines' metric trees are unchanged.
+  void EnableHostWorkers(int workers);
+  int host_workers() const { return engine_.host_workers(); }
+
+  // Manager registry: every TieredMemoryManager built against this machine
+  // registers itself so the epoch gate can check that all of them opted into
+  // parallel execution.
+  void RegisterManager(TieredMemoryManager* manager) { managers_.push_back(manager); }
+  void UnregisterManager(TieredMemoryManager* manager);
+  const std::vector<TieredMemoryManager*>& managers() const { return managers_; }
+
  private:
   MachineConfig config_;
   obs::MetricsRegistry metrics_;
@@ -162,6 +206,8 @@ class Machine {
   FaultInjector faults_;
   std::optional<ShadowMemory> shadow_;
   std::optional<obs::TraceEngineObserver> engine_trace_;
+  std::vector<TieredMemoryManager*> managers_;
+  std::unique_ptr<ParallelCoordinator> parallel_;  // built by EnableHostWorkers
 };
 
 }  // namespace hemem

@@ -2,7 +2,10 @@
 
 namespace hemem {
 
-TieredMemoryManager::~TieredMemoryManager() { machine_.metrics().RemoveOwner(this); }
+TieredMemoryManager::~TieredMemoryManager() {
+  machine_.UnregisterManager(this);
+  machine_.metrics().RemoveOwner(this);
+}
 
 void TieredMemoryManager::RegisterBaseMetrics() {
   machine_.metrics().AddProvider(this, [this](obs::MetricsEmitter& e) {
@@ -59,9 +62,10 @@ void TieredMemoryManager::AccessPage(SimThread& thread, uint64_t va, uint32_t si
     entry.write_protected = false;
   }
 
-  entry.accessed = true;  // hardware A/D bits (used by the PT-scan variants)
+  // Hardware A/D bits (used by the PT-scan variants).
+  MarkPageFlag(entry.accessed);
   if (kind == AccessKind::kStore) {
-    entry.dirty = true;
+    MarkPageFlag(entry.dirty);
   }
 
   if (tracked_hook_) [[unlikely]] {

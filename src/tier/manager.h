@@ -75,6 +75,7 @@ class TieredMemoryManager {
       page_shift_++;
     }
     RegisterBaseMetrics();
+    machine.RegisterManager(this);
   }
   // Unregisters this manager's metrics providers from the machine.
   virtual ~TieredMemoryManager();
@@ -154,6 +155,10 @@ class TieredMemoryManager {
   template <typename Gen>
   bool RunAccessQuantum(SimThread& thread, Gen&& gen, SimTime compute_ns,
                         bool charge_compute = false);
+
+  // Sharded-epoch eligibility (set by subclasses; read by the epoch gate).
+  bool parallel_quantum_safe() const { return parallel_quantum_safe_; }
+  uint32_t parallel_tier_mask() const { return parallel_tier_mask_; }
 
  protected:
   // Single-page access (va+size never crosses a page). The base
@@ -291,6 +296,15 @@ class TieredMemoryManager {
   // stay false for decorators that override AccessPage itself
   // (TraceRecorder), which would be bypassed by the inline fast path.
   bool batch_quantum_safe_ = false;
+  // Opt-in to sharded epoch execution (DESIGN.md "Parallel engine & epoch
+  // barriers"). A manager may set this only when its whole access path is
+  // free of cross-thread side effects once every page is mapped: plain
+  // profile (no hooks, no custom charge), eager mapping, no migrations, no
+  // background actors that mutate page state. parallel_tier_mask_ declares
+  // which devices (1 << Tier) accesses can reach, so the epoch gate checks
+  // channel continuity only where it matters.
+  bool parallel_quantum_safe_ = false;
+  uint32_t parallel_tier_mask_ = 0;
 
  private:
   // Publishes ManagerStats under "manager.<name()>."; name() is virtual, so
@@ -371,9 +385,9 @@ class TieredMemoryManager {
         [[unlikely]] {
       return false;  // WP stall (or Nimble's flag clear) path
     }
-    entry.accessed = true;
+    MarkPageFlag(entry.accessed);
     if (op.kind == AccessKind::kStore) {
-      entry.dirty = true;
+      MarkPageFlag(entry.dirty);
     }
     if constexpr (!kPlain) {
       if (ctx.tracked_hook) [[unlikely]] {
@@ -461,7 +475,7 @@ bool TieredMemoryManager::RunAccessQuantum(SimThread& thread, Gen&& gen,
   // going live mid-run would make per-access arithmetic time-dependent.
   // (BatchRun enforces the same bound itself; the predicate makes the common
   //  no-fault case branch-free and is the documented contract.)
-  const SimTime window_end = std::max(engine->run_horizon(), thread.now() + 1);
+  const SimTime window_end = std::max(thread.dispatch_horizon(), thread.now() + 1);
   const QuantumCtx ctx{page_mask_,
                        page_shift_,
                        wp_requires_flag_,
@@ -472,12 +486,12 @@ bool TieredMemoryManager::RunAccessQuantum(SimThread& thread, Gen&& gen,
   MemoryDevice::BatchRun dram_run(machine_.device(Tier::kDram), thread.stream_id());
   MemoryDevice::BatchRun nvm_run(machine_.device(Tier::kNvm), thread.stream_id());
   OnQuantumBegin(thread);
-  // run_horizon_ is slice-invariant (Run() publishes it before dispatch and
-  // access paths never add threads mid-slice), so the continuation test can
-  // hold it in a register instead of re-chasing thread -> engine ->
-  // run_horizon_ every access. With `engine` known non-null here, the loop
-  // condition below is exactly InRunQuantum().
-  const SimTime horizon = engine->run_horizon();
+  // The dispatch horizon is slice-invariant (the dispatching scheduler —
+  // serial loop or epoch worker — publishes it before RunSlice and access
+  // paths never add threads mid-slice), so the continuation test can hold it
+  // in a register instead of re-loading it from the thread every access. The
+  // loop condition below is exactly InRunQuantum().
+  const SimTime horizon = thread.dispatch_horizon();
   uint32_t left = engine->quantum_ops();
   // The thread clock is carried in `now` and published via SyncTime only
   // where code outside the loop can read thread time: before each gen call

@@ -1,0 +1,148 @@
+#include "tier/parallel.h"
+
+#include <cassert>
+
+#include "tier/machine.h"
+#include "tier/manager.h"
+#include "vm/page_table.h"
+
+namespace hemem {
+
+ParallelCoordinator::ParallelCoordinator(Machine& machine) : machine_(machine) {}
+
+ParallelCoordinator::~ParallelCoordinator() = default;
+
+bool ParallelCoordinator::FullyMapped() {
+  PageTable& pt = machine_.page_table();
+  if (mapped_ok_epoch_ == pt.unmap_epoch() &&
+      mapped_ok_bytes_ == pt.total_mapped_bytes()) {
+    return true;
+  }
+  bool all = true;
+  pt.ForEachRegion([&all](Region& region) {
+    if (!all) {
+      return;
+    }
+    for (const PageEntry& entry : region.pages) {
+      if (!entry.present) {
+        all = false;
+        return;
+      }
+    }
+  });
+  if (all) {
+    mapped_ok_epoch_ = pt.unmap_epoch();
+    mapped_ok_bytes_ = pt.total_mapped_bytes();
+  }
+  return all;
+}
+
+bool ParallelCoordinator::DeviceEligible(MemoryDevice& dev, SimTime frontier,
+                                         SimTime& want, int streams) const {
+  if (dev.degrade_active()) {
+    const DeviceDegrade& w = dev.degrade_window();
+    if (frontier >= w.start && frontier < w.end) {
+      return false;  // inside the window: wear-coupled timing is order-dependent
+    }
+    if (frontier < w.start && want > w.start) {
+      want = w.start;  // stop at the window edge; the serial loop crosses it
+      if (want <= frontier) {
+        return false;
+      }
+    }
+  }
+  // Channel continuity (see device.h BusyChannelsAfter): inherited backlog
+  // plus one in-flight reservation per epoch thread must fit per direction.
+  const int read_channels = dev.params().read_channels;
+  const int write_channels = dev.params().write_channels;
+  if (dev.BusyChannelsAfter(frontier, AccessKind::kLoad) + streams > read_channels) {
+    return false;
+  }
+  if (dev.BusyChannelsAfter(frontier, AccessKind::kStore) + streams > write_channels) {
+    return false;
+  }
+  return true;
+}
+
+SimTime ParallelCoordinator::EpochHorizon(SimTime frontier, SimTime want,
+                                          const std::vector<SimThread*>& shard_threads) {
+  // The shadow checker records every write centrally — inherently serial.
+  if (machine_.shadow() != nullptr) {
+    return 0;
+  }
+  const std::vector<TieredMemoryManager*>& managers = machine_.managers();
+  if (managers.empty()) {
+    return 0;
+  }
+  uint32_t tier_mask = 0;
+  for (TieredMemoryManager* manager : managers) {
+    if (!manager->parallel_quantum_safe()) {
+      return 0;
+    }
+    tier_mask |= manager->parallel_tier_mask();
+  }
+  if (tier_mask == 0) {
+    return 0;
+  }
+  // Distinct stream ids below the slot bound keep per-shard detector slots
+  // disjoint (ids are engine-unique, so only the bound needs checking).
+  for (const SimThread* thread : shard_threads) {
+    if (thread->stream_id() >= MemoryDevice::kStreamSlots) {
+      return 0;
+    }
+  }
+  if (!FullyMapped()) {
+    return 0;
+  }
+  const int streams = static_cast<int>(shard_threads.size());
+  if ((tier_mask & (1u << static_cast<int>(Tier::kDram))) != 0 &&
+      !DeviceEligible(machine_.dram(), frontier, want, streams)) {
+    return 0;
+  }
+  if ((tier_mask & (1u << static_cast<int>(Tier::kNvm))) != 0 &&
+      !DeviceEligible(machine_.nvm(), frontier, want, streams)) {
+    return 0;
+  }
+  return want > frontier ? want : 0;
+}
+
+void ParallelCoordinator::BeginEpoch(int shards) {
+  for (int s = static_cast<int>(views_.size()); s < shards; ++s) {
+    views_.push_back(std::make_unique<ShardView>(machine_.dram(), machine_.nvm()));
+  }
+  for (int s = 0; s < shards; ++s) {
+    ShardView& view = *views_[static_cast<size_t>(s)];
+    view.dram = machine_.dram();
+    view.nvm = machine_.nvm();
+    // View stats are epoch deltas; the merge adds them back. Device tracers
+    // only fire on bulk transfers, which cannot happen inside an epoch
+    // (fully mapped, no migrations) — detach anyway so a view can never
+    // write to the shared tracer.
+    view.dram.ResetStats();
+    view.nvm.ResetStats();
+    view.dram.SetTracer(nullptr, 0);
+    view.nvm.SetTracer(nullptr, 0);
+  }
+}
+
+void ParallelCoordinator::BindShard(int shard) {
+  ShardView& view = *views_[static_cast<size_t>(shard)];
+  internal::tls_shard_devices = {&machine_, &view.dram, &view.nvm};
+}
+
+void ParallelCoordinator::UnbindShard() { internal::tls_shard_devices = {}; }
+
+void ParallelCoordinator::MergeEpoch(SimTime horizon, int shards) {
+  merge_scratch_.clear();
+  for (int s = 0; s < shards; ++s) {
+    merge_scratch_.push_back(&views_[static_cast<size_t>(s)]->dram);
+  }
+  machine_.dram().MergeShardViews(merge_scratch_, horizon);
+  merge_scratch_.clear();
+  for (int s = 0; s < shards; ++s) {
+    merge_scratch_.push_back(&views_[static_cast<size_t>(s)]->nvm);
+  }
+  machine_.nvm().MergeShardViews(merge_scratch_, horizon);
+}
+
+}  // namespace hemem

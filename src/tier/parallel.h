@@ -1,0 +1,80 @@
+// Epoch gate for sharded parallel execution (DESIGN.md "Parallel engine &
+// epoch barriers").
+//
+// The engine asks, per scheduling round, whether the runnable parallel-pure
+// threads may execute concurrently up to a horizon. The coordinator answers
+// from tier-layer state the engine cannot see:
+//
+//  * every manager built against the machine opted in (parallel_quantum_safe:
+//    plain access profile, eager mapping, no migrations/hooks/daemons);
+//  * every page of every region is present, so no access can take a fault
+//    path (first-touch allocation orders threads through the frame pools);
+//  * per masked device direction, inherited channel backlog plus one
+//    in-flight reservation per epoch thread fits in the channel count, so
+//    begin == start holds for every epoch access — each thread's timing then
+//    depends only on its own access sequence, never on interleaving;
+//  * no degrade window overlaps the epoch (wear-coupled multipliers make
+//    timing order-dependent inside a window); a window ahead of the frontier
+//    just caps the horizon at its start edge.
+//
+// When an epoch runs, each epoch *thread* gets its own ShardView — a full
+// copy of the DRAM/NVM devices with stats zeroed, so view stats are epoch
+// deltas — and the worker executing it binds that view through a
+// thread-local that Machine::device() consults (re-binding per owned
+// thread, so no thread ever sees a sibling's reservations). At the barrier
+// the views merge back in fixed candidate order
+// (MemoryDevice::MergeShardViews), which the determinism argument reduces
+// to sums, maxes, disjoint slot copies, and a channel multiset union.
+
+#ifndef HEMEM_TIER_PARALLEL_H_
+#define HEMEM_TIER_PARALLEL_H_
+
+#include <memory>
+#include <vector>
+
+#include "mem/device.h"
+#include "sim/engine.h"
+
+namespace hemem {
+
+class Machine;
+
+class ParallelCoordinator : public EpochGate {
+ public:
+  explicit ParallelCoordinator(Machine& machine);
+  ~ParallelCoordinator() override;
+
+  SimTime EpochHorizon(SimTime frontier, SimTime want,
+                       const std::vector<SimThread*>& shard_threads) override;
+  void BeginEpoch(int shards) override;
+  void BindShard(int shard) override;
+  void UnbindShard() override;
+  void MergeEpoch(SimTime horizon, int shards) override;
+
+ private:
+  struct ShardView {
+    MemoryDevice dram;
+    MemoryDevice nvm;
+    ShardView(const MemoryDevice& d, const MemoryDevice& n) : dram(d), nvm(n) {}
+  };
+
+  bool FullyMapped();
+  // Degrade-window and channel-continuity check for one device; may shrink
+  // `want` to a window edge. `streams` is the epoch thread count.
+  bool DeviceEligible(MemoryDevice& dev, SimTime frontier, SimTime& want,
+                      int streams) const;
+
+  Machine& machine_;
+  std::vector<std::unique_ptr<ShardView>> views_;
+  std::vector<const MemoryDevice*> merge_scratch_;
+  // Positive-result cache for the fully-mapped scan: first-touch flips
+  // `present` without bumping either key, so only "everything mapped" is
+  // cacheable — and once fully mapped, only an unmap (epoch bump) or a new
+  // region (byte-count change) can unmap anything.
+  uint64_t mapped_ok_epoch_ = ~0ull;
+  uint64_t mapped_ok_bytes_ = ~0ull;
+};
+
+}  // namespace hemem
+
+#endif  // HEMEM_TIER_PARALLEL_H_

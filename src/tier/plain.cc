@@ -11,6 +11,11 @@ PlainMemory::PlainMemory(Machine& machine, Tier tier, bool overcommit)
               machine.page_bytes(), /*shuffle_seed=*/0, overcommit) {
   // Pure base skeleton, no hooks: eligible for batched quantum execution.
   batch_quantum_safe_ = true;
+  // Eagerly mapped, no migrations, no background actors: once every page is
+  // present the access path is side-effect-free across threads, so sharded
+  // epochs may run it. Accesses only ever reach the fixed tier's device.
+  parallel_quantum_safe_ = true;
+  parallel_tier_mask_ = 1u << static_cast<int>(tier);
 }
 
 uint64_t PlainMemory::Mmap(uint64_t bytes, AllocOptions opts) {

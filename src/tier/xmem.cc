@@ -10,6 +10,11 @@ XMem::XMem(Machine& machine, uint64_t large_threshold)
                                              machine.config().label_scale)) {
   // Placement happens at Mmap time; accesses are pure base skeleton.
   batch_quantum_safe_ = true;
+  // Static placement, eagerly mapped: sharded epochs may run the access
+  // path. Placement may land pages on either device.
+  parallel_quantum_safe_ = true;
+  parallel_tier_mask_ =
+      (1u << static_cast<int>(Tier::kDram)) | (1u << static_cast<int>(Tier::kNvm));
 }
 
 uint64_t XMem::Mmap(uint64_t bytes, AllocOptions opts) {

@@ -30,7 +30,7 @@ Region* PageTable::MapRegion(uint64_t base, uint64_t bytes, uint64_t page_bytes,
   assert(pos == regions_.begin() || (*(pos - 1))->end() <= base);
   total_mapped_ += region->bytes;
   regions_.insert(pos, std::move(region));
-  last_hit_ = raw;
+  last_hit_.store(raw, std::memory_order_relaxed);
   return raw;
 }
 
@@ -41,8 +41,8 @@ bool PageTable::UnmapRegion(uint64_t base) {
   if (pos == regions_.end() || (*pos)->base != base) {
     return false;
   }
-  if (last_hit_ == pos->get()) {
-    last_hit_ = nullptr;
+  if (last_hit_.load(std::memory_order_relaxed) == pos->get()) {
+    last_hit_.store(nullptr, std::memory_order_relaxed);
   }
   total_mapped_ -= (*pos)->bytes;
   regions_.erase(pos);
@@ -62,8 +62,9 @@ Region* PageTable::FindSlow(uint64_t va) {
   if (va >= (*pos)->end()) {
     return nullptr;
   }
-  last_hit_ = pos->get();
-  return last_hit_;
+  Region* hit = pos->get();
+  last_hit_.store(hit, std::memory_order_relaxed);
+  return hit;
 }
 
 PageEntry* PageTable::Lookup(uint64_t va) {

@@ -20,6 +20,7 @@
 #ifndef HEMEM_VM_PAGE_TABLE_H_
 #define HEMEM_VM_PAGE_TABLE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -49,6 +50,13 @@ struct PageEntry {
   // While a migration is in flight, stores must wait until this time.
   SimTime wp_until = 0;
 };
+
+// Sets a PageEntry A/D flag with a relaxed atomic store — the same machine
+// code as a plain store, but race-free when sharded epoch workers
+// (src/tier/parallel.h) touch one page concurrently. Setting a flag that is
+// already (or concurrently being) set is idempotent, and every reader (the
+// PT-scan variants) runs outside epochs, ordered by the barrier join.
+inline void MarkPageFlag(bool& flag) { __atomic_store_n(&flag, true, __ATOMIC_RELAXED); }
 
 // A mapped virtual region with uniform page (tracking) granularity.
 struct Region {
@@ -81,11 +89,15 @@ class PageTable {
   bool UnmapRegion(uint64_t base);
 
   // Region containing va, or nullptr. Cached for repeat lookups; the cache
-  // check stays inline so the common case costs one compare.
+  // check stays inline so the common case costs one compare. The cached
+  // pointer is relaxed-atomic because sharded epoch workers may race on it
+  // (Map/Unmap stay single-threaded): any raced value is either null or a
+  // live region the bounds check vets, so the answer is unaffected.
   Region* Find(uint64_t va) {
     // Unsigned wraparound folds the two range checks into one compare.
-    if (last_hit_ != nullptr && va - last_hit_->base < last_hit_->bytes) {
-      return last_hit_;
+    Region* hit = last_hit_.load(std::memory_order_relaxed);
+    if (hit != nullptr && va - hit->base < hit->bytes) {
+      return hit;
     }
     return FindSlow(va);
   }
@@ -128,7 +140,7 @@ class PageTable {
   Region* FindSlow(uint64_t va);
 
   std::vector<std::unique_ptr<Region>> regions_;  // sorted by base
-  Region* last_hit_ = nullptr;
+  std::atomic<Region*> last_hit_{nullptr};
   uint64_t next_va_ = 1ull << 40;  // arbitrary userspace heap base
   uint64_t total_mapped_ = 0;
   uint64_t unmap_epoch_ = 0;

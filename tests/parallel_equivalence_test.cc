@@ -1,0 +1,281 @@
+// Sharded-engine equivalence suite.
+//
+// The parallel engine (DESIGN.md "Parallel engine & epoch barriers") claims
+// sharded epoch execution is a pure optimization: bit-identical results at
+// any --host-workers count, for every system, with tracing on or off and
+// fault plans live or empty. This suite proves it by running a fixed
+// multi-thread workload serially (workers=1, the reference engine) and
+// comparing against workers in {2, 4} on the workload fingerprint (final
+// virtual time + per-thread clocks + ManagerStats) AND the entire metrics
+// snapshot, which folds in device stats (loads/stores/media bytes/queue
+// delays/sequential hits), PEBS stats, fault-injector opportunity counts,
+// DMA stats, and TLB stats. Parallel-only metrics (engine.epoch.*,
+// engine.worker.*) are stripped before comparing — they exist only when
+// sharding is enabled and describe host execution, not simulated behavior.
+//
+// The suite also checks the engagement story both ways: managers that opt
+// into sharded epochs (DRAM, X-Mem) must actually execute epochs, and
+// managers that cannot (migrating/sampling systems) must report zero — a
+// silent serial fallback would make the equality trivial, and a silently
+// sharded unsafe system would be a correctness hole.
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/hemem.h"
+#include "obs/metrics.h"
+#include "obs/sampler.h"
+#include "test_util.h"
+#include "tier/memory_mode.h"
+#include "tier/nimble.h"
+#include "tier/plain.h"
+#include "tier/quantum_thread.h"
+#include "tier/thermostat.h"
+#include "tier/xmem.h"
+
+namespace hemem {
+namespace {
+
+const char* const kSystems[] = {"DRAM",       "MM",    "Nimble",       "X-Mem",
+                                "Thermostat", "HeMem", "HeMem-PT-Sync"};
+
+// Systems whose managers opt into sharded epochs: eager mapping, no
+// migrations, no background actors (tier/plain.cc, tier/xmem.cc).
+bool ParallelSafe(const std::string& system) {
+  return system == "DRAM" || system == "X-Mem";
+}
+
+// Same live plan as the batch-equivalence suite: degrade windows on both
+// devices (which the epoch gate must refuse to cross), PEBS drops, and
+// migration aborts.
+const char kFaultSpec[] =
+    "seed=7;dram.degrade:mult=2,start=1ms,end=3ms;"
+    "nvm.degrade:mult=3,start=2ms,end=9ms;pebs.drop:p=0.2;migrate.abort:p=0.05";
+
+std::unique_ptr<TieredMemoryManager> MakeSystem(const std::string& kind, Machine& machine) {
+  if (kind == "DRAM") {
+    return std::make_unique<PlainMemory>(machine, Tier::kDram, /*overcommit=*/true);
+  }
+  if (kind == "MM") {
+    return std::make_unique<MemoryMode>(machine);
+  }
+  if (kind == "Nimble") {
+    return std::make_unique<Nimble>(machine);
+  }
+  if (kind == "X-Mem") {
+    return std::make_unique<XMem>(machine);
+  }
+  if (kind == "Thermostat") {
+    return std::make_unique<Thermostat>(machine);
+  }
+  HememParams params;
+  if (kind == "HeMem-PT-Sync") {
+    params.scan_mode = HememParams::ScanMode::kPtSync;
+  }
+  return std::make_unique<Hemem>(machine, params);
+}
+
+constexpr uint64_t kWorkingSet = MiB(128);
+constexpr uint64_t kHotSet = MiB(16);
+constexpr uint64_t kTotalOps = 120'000;
+
+// Self-contained per-thread generator: private Rng and op counter, so the
+// thread qualifies as parallel-pure (no shared mutable state on the access
+// path). Thread t draws from its own stream; the 90/10 hot/cold shape
+// matches the golden workloads.
+struct ThreadGen {
+  uint64_t va = 0;
+  uint64_t ops = 0;
+  Rng rng{0};
+  uint64_t op = 0;
+  bool operator()(TieredMemoryManager::AccessOp& next) {
+    if (op == ops) {
+      return false;
+    }
+    const bool hot = rng.NextBool(0.9);
+    const uint64_t span = hot ? kHotSet : kWorkingSet;
+    next.va = va + rng.NextBounded(span / 64) * 64;
+    next.size = 64;
+    next.kind = op % 3 == 0 ? AccessKind::kStore : AccessKind::kLoad;
+    ++op;
+    return true;
+  }
+};
+
+struct RunResult {
+  SimTime end_ns = 0;
+  std::vector<SimTime> thread_end_ns;
+  ManagerStats stats;
+  std::vector<obs::MetricEntry> metrics;
+  Engine::EpochStats epochs;
+};
+
+bool HostExecutionMetric(const std::string& name) {
+  return name.rfind("engine.epoch.", 0) == 0 || name.rfind("engine.worker.", 0) == 0;
+}
+
+RunResult RunCase(const std::string& system, bool tracing, const std::string& fault_spec,
+                  int workers, int n_threads, uint32_t quantum_ops = 1024) {
+  MachineConfig config = TinyMachineConfig();
+  if (!fault_spec.empty()) {
+    std::string error;
+    EXPECT_TRUE(FaultPlan::Parse(fault_spec, &config.fault_plan, &error)) << error;
+  }
+  Machine machine(config);
+  machine.EnableHostWorkers(workers);
+  machine.engine().set_quantum_ops(quantum_ops);
+  std::optional<obs::MetricsSampler> sampler;
+  if (tracing) {
+    machine.EnableTracing();
+    sampler.emplace(machine.metrics(), kMillisecond);
+    machine.engine().AddObserverThread(&*sampler);
+  }
+  std::unique_ptr<TieredMemoryManager> manager = MakeSystem(system, machine);
+  manager->Start();
+  const uint64_t va = manager->Mmap(kWorkingSet, {.label = "equiv"});
+
+  std::vector<std::unique_ptr<QuantumAccessThread<ThreadGen>>> threads;
+  for (int t = 0; t < n_threads; ++t) {
+    ThreadGen gen{va, kTotalOps / static_cast<uint64_t>(n_threads),
+                  Rng(0xbeefull + 0x9e3779b9ull * static_cast<uint64_t>(t)), 0};
+    threads.push_back(std::make_unique<QuantumAccessThread<ThreadGen>>(
+        *manager, gen, 15, /*charge_compute=*/false, "t#" + std::to_string(t)));
+    threads.back()->set_parallel_pure(true);
+    machine.engine().AddThread(threads.back().get());
+  }
+
+  RunResult result;
+  result.end_ns = machine.engine().Run();
+  for (const auto& thread : threads) {
+    result.thread_end_ns.push_back(thread->now());
+  }
+  result.stats = manager->stats();
+  const obs::MetricsSnapshot snapshot = machine.metrics().Snapshot();
+  for (const obs::MetricEntry& entry : snapshot.entries()) {
+    if (!HostExecutionMetric(entry.name)) {
+      result.metrics.push_back(entry);
+    }
+  }
+  result.epochs = machine.engine().epoch_stats();
+  return result;
+}
+
+void ExpectIdentical(const RunResult& expect, const RunResult& actual) {
+  EXPECT_EQ(actual.end_ns, expect.end_ns);
+  EXPECT_EQ(actual.thread_end_ns, expect.thread_end_ns);
+  const ManagerStats& a = actual.stats;
+  const ManagerStats& e = expect.stats;
+  EXPECT_EQ(a.missing_faults, e.missing_faults);
+  EXPECT_EQ(a.wp_faults, e.wp_faults);
+  EXPECT_EQ(a.wp_wait_ns, e.wp_wait_ns);
+  EXPECT_EQ(a.pages_promoted, e.pages_promoted);
+  EXPECT_EQ(a.pages_demoted, e.pages_demoted);
+  EXPECT_EQ(a.bytes_migrated, e.bytes_migrated);
+
+  // Full (host-execution-stripped) metrics tree: identical names in
+  // identical order with bitwise-equal values.
+  ASSERT_EQ(actual.metrics.size(), expect.metrics.size());
+  for (size_t i = 0; i < expect.metrics.size(); ++i) {
+    const obs::MetricEntry& ae = actual.metrics[i];
+    const obs::MetricEntry& ee = expect.metrics[i];
+    SCOPED_TRACE(ee.name);
+    EXPECT_EQ(ae.name, ee.name);
+    EXPECT_EQ(static_cast<int>(ae.value.kind), static_cast<int>(ee.value.kind));
+    EXPECT_EQ(ae.value.u, ee.value.u);
+    EXPECT_EQ(ae.value.d, ee.value.d);
+  }
+}
+
+struct PlanConfig {
+  const char* label;
+  bool tracing;
+  const char* fault_spec;
+};
+
+constexpr PlanConfig kConfigs[] = {
+    {"plain", false, ""},
+    {"tracing", true, ""},
+    {"faults", false, kFaultSpec},
+    {"tracing+faults", true, kFaultSpec},
+};
+
+class ParallelEquivalence : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ParallelEquivalence, ShardedMatchesSerialAcrossConfigsAndWorkers) {
+  const std::string system = GetParam();
+  constexpr int kThreads = 4;
+  for (const PlanConfig& config : kConfigs) {
+    SCOPED_TRACE(config.label);
+    const RunResult reference =
+        RunCase(system, config.tracing, config.fault_spec, /*workers=*/1, kThreads);
+    EXPECT_EQ(reference.epochs.epochs, 0u);  // workers=1 is the serial engine
+    for (const int workers : {2, 4}) {
+      SCOPED_TRACE("workers=" + std::to_string(workers));
+      const RunResult sharded =
+          RunCase(system, config.tracing, config.fault_spec, workers, kThreads);
+      ExpectIdentical(reference, sharded);
+      if (ParallelSafe(system)) {
+        // The fault configs carry degrade windows that suppress epochs for
+        // stretches of the run; the plain/tracing configs must shard.
+        if (config.fault_spec[0] == '\0') {
+          EXPECT_GT(sharded.epochs.epochs, 0u);
+        }
+      } else {
+        EXPECT_EQ(sharded.epochs.epochs, 0u);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSystems, ParallelEquivalence, ::testing::ValuesIn(kSystems),
+                         [](const ::testing::TestParamInfo<const char*>& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '-') {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+// Worker counts that do not divide the thread count: the round-robin shard
+// assignment must stay deterministic when shards are uneven, including more
+// workers than threads (excess workers no-op).
+TEST(ParallelSharding, RebalancesUnevenThreadCounts) {
+  for (const int n_threads : {3, 5}) {
+    SCOPED_TRACE("threads=" + std::to_string(n_threads));
+    const RunResult reference = RunCase("DRAM", false, "", /*workers=*/1, n_threads);
+    for (const int workers : {2, 4, 8}) {
+      SCOPED_TRACE("workers=" + std::to_string(workers));
+      const RunResult sharded = RunCase("DRAM", false, "", workers, n_threads);
+      ExpectIdentical(reference, sharded);
+      EXPECT_GT(sharded.epochs.epochs, 0u);
+    }
+  }
+}
+
+// quantum_ops=1 forces one access per RunSlice — the worst case for the
+// worker loop, which must keep re-dispatching each owned thread until the
+// shared horizon. A quantum cap can therefore never starve or extend an
+// epoch barrier: the run completes, results match serial, and the epoch
+// structure (count and coverage) is exactly what larger quanta produce.
+TEST(ParallelSharding, QuantumCapCannotStarveTheBarrier) {
+  const RunResult reference = RunCase("DRAM", false, "", /*workers=*/1, 4);
+  const RunResult wide = RunCase("DRAM", false, "", /*workers=*/2, 4,
+                                 /*quantum_ops=*/1024);
+  const RunResult narrow = RunCase("DRAM", false, "", /*workers=*/2, 4,
+                                   /*quantum_ops=*/1);
+  ExpectIdentical(reference, wide);
+  ExpectIdentical(reference, narrow);
+  EXPECT_GT(narrow.epochs.epochs, 0u);
+  EXPECT_EQ(narrow.epochs.epochs, wide.epochs.epochs);
+  EXPECT_EQ(narrow.epochs.virtual_ns, wide.epochs.virtual_ns);
+}
+
+}  // namespace
+}  // namespace hemem
