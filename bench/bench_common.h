@@ -15,6 +15,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -35,9 +36,12 @@ namespace hemem::bench {
 
 // Constructs a tiering system by name. Known names: DRAM, NVM, MM, Nimble,
 // X-Mem, HeMem, HeMem-PT-Sync, HeMem-PT-Async, HeMem-Threads (CPU-copy
-// migration instead of DMA).
-inline std::unique_ptr<TieredMemoryManager> MakeSystem(const std::string& kind,
-                                                       Machine& machine) {
+// migration instead of DMA). `policy` selects the migration policy for the
+// systems that classify through one (the HeMem variants and Thermostat);
+// hardware/static baselines ignore it.
+inline std::unique_ptr<TieredMemoryManager> MakeSystem(
+    const std::string& kind, Machine& machine,
+    const policy::PolicyChoice& policy = {}) {
   if (kind == "DRAM") {
     return std::make_unique<PlainMemory>(machine, Tier::kDram, /*overcommit=*/true);
   }
@@ -54,9 +58,14 @@ inline std::unique_ptr<TieredMemoryManager> MakeSystem(const std::string& kind,
     return std::make_unique<XMem>(machine);
   }
   if (kind == "Thermostat") {
-    return std::make_unique<Thermostat>(machine);
+    ThermostatParams tparams;
+    tparams.policy = policy.name;
+    tparams.policy_spec = policy.spec;
+    return std::make_unique<Thermostat>(machine, tparams);
   }
   HememParams params;
+  params.policy = policy.name;
+  params.policy_spec = policy.spec;
   if (kind == "HeMem-PT-Sync") {
     params.scan_mode = HememParams::ScanMode::kPtSync;
   } else if (kind == "HeMem-PT-Async") {
@@ -137,6 +146,8 @@ inline void MaybeWriteReport(Machine& machine, const std::string& id,
   // reader (and so any shared WriteRunReport internals stay single-entry).
   static std::mutex report_mutex;
   std::lock_guard<std::mutex> lock(report_mutex);
+  std::error_code ec;  // best-effort, like the write itself
+  std::filesystem::create_directories(dir, ec);
   obs::WriteRunReport(std::string(dir) + "/" + id + ".json",
                       machine.metrics().Snapshot(), /*sampler=*/nullptr, meta);
 }

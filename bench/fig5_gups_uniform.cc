@@ -41,7 +41,8 @@ int main(int argc, char** argv) {
     // fault-in and cache warm.
     const GupsRunOutput out =
         RunGupsSystem(system, config, GupsMachine(), std::nullopt,
-                      /*warmup=*/200 * kMillisecond, kGupsWindow, sweep.host_workers);
+                      /*warmup=*/200 * kMillisecond, kGupsWindow, sweep.host_workers,
+                      sweep.policy);
     gups[cell] = out.result.gups;
   });
 

@@ -40,7 +40,7 @@ int main(int argc, char** argv) {
     const SimTime warmup = system == "MM" ? 300 * kMillisecond : 700 * kMillisecond;
     const GupsRunOutput out =
         RunGupsSystem(system, config, GupsMachine(), std::nullopt, warmup,
-                      kGupsWindow, sweep.host_workers);
+                      kGupsWindow, sweep.host_workers, sweep.policy);
     gups[cell] = out.result.gups;
   });
 

@@ -37,7 +37,7 @@ int main(int argc, char** argv) {
     const SimTime warmup = threads < 8 ? 1400 * kMillisecond : kGupsWarmup;
     const GupsRunOutput out =
         RunGupsSystem(system, config, GupsMachine(), std::nullopt, warmup,
-                      kGupsWindow, sweep.host_workers);
+                      kGupsWindow, sweep.host_workers, sweep.policy);
     gups[cell] = out.result.gups;
   });
 

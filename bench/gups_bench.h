@@ -32,14 +32,18 @@ inline GupsRunOutput RunGupsSystem(const std::string& system, GupsConfig config,
                                    std::optional<HememParams> hemem_params = std::nullopt,
                                    SimTime warmup = kGupsWarmup,
                                    SimTime window = kGupsWindow,
-                                   int host_workers = 1) {
+                                   int host_workers = 1,
+                                   const policy::PolicyChoice& policy = {}) {
   Machine machine(machine_config);
   machine.EnableHostWorkers(host_workers);
   std::unique_ptr<TieredMemoryManager> manager;
   if (hemem_params.has_value()) {
-    manager = std::make_unique<Hemem>(machine, *hemem_params);
+    HememParams params = *hemem_params;
+    params.policy = policy.name;
+    params.policy_spec = policy.spec;
+    manager = std::make_unique<Hemem>(machine, params);
   } else {
-    manager = MakeSystem(system, machine);
+    manager = MakeSystem(system, machine, policy);
   }
   manager->Start();
 
@@ -55,7 +59,12 @@ inline GupsRunOutput RunGupsSystem(const std::string& system, GupsConfig config,
   out.pages_demoted = manager->stats().pages_demoted;
   out.pebs_drop_rate = machine.pebs().stats().DropRate();
   out.series = gups.series().buckets();
-  MaybeWriteReport(machine, "gups-" + system, {{"workload", "gups"}});
+  // Non-default policies get their own report files so a policy matrix over
+  // one system doesn't overwrite itself.
+  const std::string id = policy.name == "default"
+                             ? "gups-" + system
+                             : "gups-" + system + "-" + policy.name;
+  MaybeWriteReport(machine, id, {{"workload", "gups"}, {"policy", policy.name}});
   return out;
 }
 

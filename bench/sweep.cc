@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <thread>
@@ -13,7 +14,11 @@ SweepOptions ParseSweepArgs(int argc, char** argv) {
   SweepOptions opts;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
-    if (std::strncmp(arg, "--jobs=", 7) == 0) {
+    if (std::strncmp(arg, "--policy=", 9) == 0) {
+      opts.policy = policy::ParsePolicyFlag(arg + 9);
+    } else if (std::strncmp(arg, "--policy-spec=", 14) == 0) {
+      opts.policy.spec = arg + 14;
+    } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
       opts.jobs = std::atoi(arg + 7);
       if (opts.jobs < 1) {
         opts.jobs = 1;
@@ -35,6 +40,18 @@ SweepOptions ParseSweepArgs(int argc, char** argv) {
         p = *end == ',' ? end + 1 : end;
       }
     }
+  }
+  // Fail fast on a bad policy flag: one dry-run construction validates the
+  // name and spec before any cell spends simulation time on them.
+  std::string error;
+  if (policy::MakePolicy(opts.policy, policy::PolicyConfig{}, &error) == nullptr) {
+    std::fprintf(stderr, "--policy: %s\n", error.c_str());
+    std::string names;
+    for (const std::string& name : policy::RegisteredPolicyNames()) {
+      names += (names.empty() ? "" : " ") + name;
+    }
+    std::fprintf(stderr, "registered policies: %s\n", names.c_str());
+    std::exit(2);
   }
   return opts;
 }

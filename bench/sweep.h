@@ -20,6 +20,8 @@
 #include <string>
 #include <vector>
 
+#include "policy/policy.h"
+
 namespace hemem::bench {
 
 struct SweepOptions {
@@ -38,11 +40,16 @@ struct SweepOptions {
   // two multiply (jobs * host_workers threads at peak), so on small hosts
   // prefer raising jobs first — cell-level parallelism has no barrier cost.
   int host_workers = 1;
+  // Migration policy (--policy=name[:spec], --policy-spec=...): forwarded to
+  // every HeMem/Thermostat cell the bench builds. Validated at parse time; an
+  // unknown name or bad spec exits 2 listing the registered policies.
+  policy::PolicyChoice policy;
 };
 
-// Parses --jobs=N, --host-workers=N, and --x-list=a,b,c out of argv. Unrecognized arguments are
-// left for the caller (returned options ignore them), so benches with their
-// own flags can parse both.
+// Parses --jobs=N, --host-workers=N, --x-list=a,b,c, --policy=... and
+// --policy-spec=... out of argv. Unrecognized arguments are left for the
+// caller (returned options ignore them), so benches with their own flags can
+// parse both.
 SweepOptions ParseSweepArgs(int argc, char** argv);
 
 // Runs fn(0..n-1) on `jobs` host threads (capped at n). Work is handed out

@@ -1,6 +1,8 @@
 #include "core/daemon.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 
 namespace hemem {
 
@@ -26,6 +28,13 @@ class HememDaemon::DaemonThread : public PeriodicThread {
 
 HememDaemon::HememDaemon(Machine& machine, DaemonParams params)
     : machine_(machine), params_(params) {
+  std::string error;
+  policy_ = policy::MakePolicy({params_.policy, params_.policy_spec},
+                               policy::PolicyConfig{}, &error);
+  if (policy_ == nullptr) {
+    std::fprintf(stderr, "hemem-daemon: %s\n", error.c_str());
+    std::abort();
+  }
   trace_track_ = machine.tracer().RegisterTrack("daemon");
   machine.metrics().AddProvider(this, [this](obs::MetricsEmitter& e) {
     e.Emit("daemon.rebalances", stats_.rebalances);
@@ -60,19 +69,15 @@ SimTime HememDaemon::Rebalance() {
       static_cast<uint64_t>(params_.min_share * static_cast<double>(dram)), page);
 
   std::vector<double> demand(instances_.size());
-  double total_demand = 0.0;
   for (size_t i = 0; i < instances_.size(); ++i) {
     demand[i] = static_cast<double>(instances_[i]->hot_bytes(Tier::kDram) +
                                     instances_[i]->hot_bytes(Tier::kNvm) + page);
-    total_demand += demand[i];
   }
 
-  const uint64_t distributable =
-      dram - std::min(dram, floor_bytes * instances_.size());
+  std::vector<uint64_t> quotas(instances_.size());
+  policy_->Apportion(policy::ApportionInput{dram, floor_bytes, page}, demand, &quotas);
   for (size_t i = 0; i < instances_.size(); ++i) {
-    const auto share = static_cast<uint64_t>(
-        static_cast<double>(distributable) * demand[i] / total_demand);
-    instances_[i]->set_dram_quota(RoundUp(floor_bytes + share, page));
+    instances_[i]->set_dram_quota(quotas[i]);
   }
   // Bookkeeping cost: reading counters and poking quotas.
   return static_cast<SimTime>(instances_.size()) * kMicrosecond;

@@ -23,6 +23,10 @@ struct DaemonParams {
   SimTime rebalance_period = 100 * kMillisecond;  // paper-scale; scaled by label_scale
   // Every instance keeps at least this share of DRAM regardless of demand.
   double min_share = 0.10;
+  // Apportionment policy: the daemon builds the demand vector (hot bytes per
+  // instance) and delegates the DRAM split to MigrationPolicy::Apportion.
+  std::string policy = "default";
+  std::string policy_spec;
 };
 
 struct DaemonStats {
@@ -52,6 +56,7 @@ class HememDaemon {
 
   Machine& machine_;
   DaemonParams params_;
+  std::unique_ptr<policy::MigrationPolicy> policy_;
   std::vector<Hemem*> instances_;
   std::unique_ptr<DaemonThread> thread_;
   DaemonStats stats_;

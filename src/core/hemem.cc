@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 
 #include "core/scanner.h"
 
@@ -47,6 +49,22 @@ Hemem::Hemem(Machine& machine, HememParams params)
   if (params_.enable_swap && machine.swap() != nullptr) {
     swap_space_.emplace(machine.swap()->capacity(), machine.page_bytes());
   }
+  // The migration policy, configured from this instance's thresholds (so
+  // threshold sweeps — fig11/fig12 — configure whichever policy is active).
+  cool_.threshold = params_.cooling_threshold;
+  policy::PolicyConfig policy_config;
+  policy_config.hot_read_threshold = params_.hot_read_threshold;
+  policy_config.hot_write_threshold = params_.hot_write_threshold;
+  policy_config.cooling_threshold = params_.cooling_threshold;
+  std::string policy_error;
+  policy_ = policy::MakePolicy({params_.policy, params_.policy_spec}, policy_config,
+                               &policy_error);
+  if (policy_ == nullptr) {
+    // CLI layers validate --policy before construction; reaching here means
+    // a programmatic caller passed a bad name, which is unrecoverable.
+    std::fprintf(stderr, "hemem: %s\n", policy_error.c_str());
+    std::abort();
+  }
   // Skeleton configuration: a store stalling on an in-flight migration pays a
   // userfaultfd round trip before waiting out the copy, and PEBS counting
   // runs after the device charge (with the post-access timestamp).
@@ -70,7 +88,8 @@ Hemem::Hemem(Machine& machine, HememParams params)
     e.Emit("hemem.migration_aborts", hstats_.migration_aborts);
     e.Emit("hemem.deferred_allocs", hstats_.deferred_allocs);
     e.Emit("hemem.dma_fallback_batches", hstats_.dma_fallback_batches);
-    e.Emit("hemem.cool_clock", cool_clock_);
+    e.Emit("hemem.cool_clock", cool_.clock);
+    policy_->EmitMetrics(e);
     e.Emit("hemem.dram_usage_bytes", dram_usage());
     e.Emit("hemem.dram_quota_bytes", dram_quota_bytes_);
     e.Emit("hemem.hot_pages.dram", hot_pages(Tier::kDram));
@@ -147,6 +166,7 @@ uint64_t Hemem::Mmap(uint64_t bytes, AllocOptions opts) {
   }
   meta->pinned = opts.pin_tier.has_value();
   meta->preferred = opts.prefer_tier;
+  meta->create_epoch = cool_.clock;
   AttachRegionMeta(*region, std::move(meta));
 
   if (opts.pin_tier.has_value()) {
@@ -246,7 +266,7 @@ void Hemem::HandleMissingFault(SimThread& thread, Region& region, uint64_t index
     // Fresh pages start cold; FIFO order gives ephemeral data its DRAM grace
     // period before it becomes a demotion candidate.
     HememPage* page = &meta->pages[index];
-    page->cool_snapshot = cool_clock_;
+    page->cool_snapshot = cool_.clock;
     Classify(page);
   }
 }
@@ -292,7 +312,7 @@ void Hemem::HandleSwapInFault(SimThread& thread, Region& region, uint64_t index)
   HememRegionMeta* meta = MetaOfRegion(region);
   if (meta != nullptr && !meta->pinned) {
     HememPage* page = &meta->pages[index];
-    page->cool_snapshot = cool_clock_;
+    page->cool_snapshot = cool_.clock;
     Classify(page);
   }
 }
@@ -380,42 +400,28 @@ void Hemem::OnQuantumEnd(SimThread&) {
 }
 
 void Hemem::NoteSampleForCooling(HememPage* page, SimTime t) {
-  // Cooling epoch trigger. The paper advances the clock "once any page
-  // accumulates [the cooling threshold] of sampled accesses"; for uniform
-  // hot sets that makes a typical page accrue ~the threshold per epoch. We
-  // generalize the trigger to aggregate samples per *distinct* page sampled
-  // this epoch, which reduces to the paper's rule when pages are equally hot
-  // but stays stable under heavy per-page skew (one mega-hot page must not
-  // halve everyone hundreds of times per second; see DESIGN.md).
-  if (page->sample_stamp != cool_clock_) {
-    page->sample_stamp = cool_clock_;
-    distinct_sampled_++;
-  }
-  samples_since_cool_++;
-  if (samples_since_cool_ >=
-      static_cast<uint64_t>(params_.cooling_threshold) *
-          std::max<uint64_t>(1, distinct_sampled_)) {
-    cool_clock_++;
+  // Cooling epoch trigger — the arithmetic lives in policy::CoolingClock
+  // (the paper's rule generalized to aggregate samples per *distinct* page
+  // sampled this epoch; see DESIGN.md). Epoch bookkeeping that belongs to
+  // the manager — stats, tracing, decaying the triggering page — stays
+  // here.
+  if (cool_.NoteSample(&page->sample_stamp)) {
     hstats_.cooling_epochs++;
-    samples_since_cool_ = 0;
-    distinct_sampled_ = 0;
     if (machine_.tracer().enabled()) {
       machine_.tracer().Instant(trace_sampling_track_, "cooling_epoch", "hemem",
-                                t, {{"cool_clock", static_cast<double>(cool_clock_)}});
+                                t, {{"cool_clock", static_cast<double>(cool_.clock)}});
     }
     CoolPage(page);
   }
 }
 
 void Hemem::CoolPage(HememPage* page) {
-  const uint64_t missed = cool_clock_ - page->cool_snapshot;
+  const uint64_t missed = cool_.clock - page->cool_snapshot;
   if (missed == 0) {
     return;
   }
-  const int shifts = static_cast<int>(std::min<uint64_t>(missed, 31));
-  page->reads >>= shifts;
-  page->writes >>= shifts;
-  page->cool_snapshot = cool_clock_;
+  policy::DecayCounters(&page->reads, &page->writes, missed);
+  page->cool_snapshot = cool_.clock;
   if (page->write_heavy && page->writes < params_.hot_write_threshold) {
     // No longer write-heavy: the paper moves it to the ordinary hot list
     // (one second chance to stay in DRAM) instead of dropping it to cold.
@@ -438,23 +444,39 @@ void Hemem::DetachFromList(HememPage* page) {
   page->list = PageListId::kNone;
 }
 
+policy::PolicyFeatures Hemem::FeaturesFor(const HememPage& page) const {
+  policy::PolicyFeatures f;
+  f.reads = page.reads;
+  f.writes = page.writes;
+  f.write_heavy = page.write_heavy;
+  f.second_chance = page.second_chance;
+  f.accesses_since_cool = static_cast<uint64_t>(page.reads) + page.writes;
+  f.recency_bucket = policy::RecencyBucket(cool_.clock, page.sample_stamp);
+  f.rw_ratio_q8 = policy::RwRatioQ8(page.reads, page.writes);
+  f.region_pages = page.region->num_pages();
+  const HememRegionMeta* meta = MetaOfRegion(*page.region);
+  f.region_age_epochs = meta != nullptr ? cool_.clock - meta->create_epoch : 0;
+  f.tier = static_cast<int>(page.tier());
+  return f;
+}
+
 void Hemem::Classify(HememPage* page) {
   DetachFromList(page);
   const Tier tier = page->tier();
   page->list_tier = tier;
-  const bool hot = PageIsHot(*page);
-  if (!hot && page->second_chance) {
+  const policy::PolicyVerdict verdict = policy_->Classify(FeaturesFor(*page));
+  if (!verdict.hot && page->second_chance) {
     // Spent: the page rides the hot list once more, then must requalify.
     page->second_chance = false;
     page->list = PageListId::kHot;
     hot_[static_cast<int>(tier)].PushBack(page);
     return;
   }
-  if (hot) {
+  if (verdict.hot) {
     page->list = PageListId::kHot;
-    if (page->write_heavy) {
-      // Write-heavy pages jump the queue: NVM write bandwidth is the scarce
-      // resource, so they must reach DRAM before read-heavy pages.
+    if (verdict.front) {
+      // The paper default fronts write-heavy pages: NVM write bandwidth is
+      // the scarce resource, so they must reach DRAM before read-heavy ones.
       hot_[static_cast<int>(tier)].PushFront(page);
     } else {
       hot_[static_cast<int>(tier)].PushBack(page);
@@ -489,6 +511,11 @@ void Hemem::OnSample(uint64_t va, bool is_store, SimTime t) {
     page->reads++;
   }
   NoteSampleForCooling(page, t);
+  if (policy_->wants_observations()) {
+    // Learning hook, post-decay/post-increment so the policy sees the same
+    // counters Classify will. Gated: the default policy pays nothing.
+    policy_->ObserveSample(FeaturesFor(*page), is_store, t);
+  }
   Classify(page);
   hstats_.samples_processed++;
 }
@@ -553,6 +580,9 @@ SimTime Hemem::PtScanPass(SimTime start) {
         page.reads++;
       }
       NoteSampleForCooling(&page, start);
+      if (policy_->wants_observations()) {
+        policy_->ObserveScan(FeaturesFor(page), entry.dirty, start);
+      }
       Classify(&page);
       entry.accessed = false;
       entry.dirty = false;
@@ -697,13 +727,78 @@ std::optional<uint32_t> Hemem::TryAllocFrame(Tier tier, SimTime now) {
   return machine_.frames(tier).Alloc();
 }
 
+// The executor MigrationPolicy::Decide drives: pops detach pages from the
+// owner's lists, queued migrations accumulate into the owner's DMA batches,
+// and flushes call straight into MigrateBatch (which re-classifies moved
+// pages — a page demoted early in a pass can be promoted later in the same
+// pass, exactly as the pre-extraction code allowed).
+class Hemem::PolicyEnvAdapter : public policy::PolicyEnv {
+ public:
+  explicit PolicyEnvAdapter(Hemem& owner) : owner_(owner) {
+    batch_.reserve(static_cast<size_t>(owner.params_.dma_batch));
+  }
+
+  void* PopColdFront(int tier) override { return Detach(owner_.cold_[tier].PopFront()); }
+  void* PopHotFront(int tier) override { return Detach(owner_.hot_[tier].PopFront()); }
+  void* PopHotBack(int tier) override { return Detach(owner_.hot_[tier].PopBack()); }
+  bool HotEmpty(int tier) const override { return owner_.hot_[tier].empty(); }
+  void Requeue(void* page) override { owner_.Classify(static_cast<HememPage*>(page)); }
+  policy::PolicyFeatures FeaturesOf(void* page) const override {
+    return owner_.FeaturesFor(*static_cast<HememPage*>(page));
+  }
+
+  uint64_t PageBytes() const override { return owner_.machine_.page_bytes(); }
+  uint64_t FreeBytes(int tier) const override {
+    return owner_.machine_.frames(static_cast<Tier>(tier)).free_bytes();
+  }
+  uint64_t WatermarkBytes() const override { return owner_.watermark_bytes_; }
+  uint64_t DramUsage() const override { return owner_.dram_usage(); }
+  uint64_t DramQuota() const override { return owner_.dram_quota_bytes_; }
+  int DmaBatch() const override { return owner_.params_.dma_batch; }
+
+  bool TryAllocFrame(int tier, SimTime now, uint32_t* frame) override {
+    const std::optional<uint32_t> got =
+        owner_.TryAllocFrame(static_cast<Tier>(tier), now);
+    if (!got.has_value()) {
+      return false;
+    }
+    *frame = *got;
+    return true;
+  }
+
+  void QueueMigration(void* page, int dst_tier, uint32_t frame) override {
+    batch_.push_back(
+        Migration{static_cast<HememPage*>(page), static_cast<Tier>(dst_tier), frame});
+  }
+  size_t QueuedMigrations() const override { return batch_.size(); }
+  SimTime FlushMigrations(SimTime t) override { return owner_.MigrateBatch(t, batch_); }
+  SimTime MigrateOne(void* page, int dst_tier, uint32_t frame, SimTime t) override {
+    // One-element batch, independent of the pending queue (the paper's
+    // inline victim demotion mid-promotion).
+    std::vector<Migration> one;
+    one.push_back(
+        Migration{static_cast<HememPage*>(page), static_cast<Tier>(dst_tier), frame});
+    return owner_.MigrateBatch(t, one);
+  }
+  void NotePromotionStall() override { owner_.hstats_.promotion_stalls++; }
+
+ private:
+  static HememPage* Detach(HememPage* page) {
+    if (page != nullptr) {
+      page->list = PageListId::kNone;
+    }
+    return page;
+  }
+
+  Hemem& owner_;
+  std::vector<Migration> batch_;
+};
+
 SimTime Hemem::PolicyPass(SimTime start) {
   hstats_.policy_passes++;
   const uint64_t promoted_before = stats_.pages_promoted;
   const uint64_t demoted_before = stats_.pages_demoted;
   const uint64_t page_bytes = machine_.page_bytes();
-  const int dram = static_cast<int>(Tier::kDram);
-  const int nvm = static_cast<int>(Tier::kNvm);
   SimTime t = start + kPolicyBaseCost;
   // Rate cap per pass; never below one DMA batch or short scaled periods
   // could not migrate at all.
@@ -712,124 +807,18 @@ SimTime Hemem::PolicyPass(SimTime start) {
                             static_cast<double>(params_.policy_period)),
       static_cast<uint64_t>(params_.dma_batch) * page_bytes);
 
-  std::vector<Migration> batch;
-
   // Phase -1: with a swap tier enabled, free NVM first — the demotion phases
-  // below need NVM frames to demote into.
+  // need NVM frames to demote into. Mechanism (device streaming, swap-slot
+  // bookkeeping), so it stays manager-side; the policy decides the rest.
   if (swap_space_.has_value()) {
     t = SwapOutColdPages(t, &budget);
   }
 
-  // Phase 0: an externally assigned DRAM quota (HememDaemon) caps this
-  // instance; demote cold pages down to it.
-  if (dram_quota_bytes_ > 0) {
-    while (dram_usage() > dram_quota_bytes_ && budget >= page_bytes) {
-      HememPage* victim = cold_[dram].PopFront();
-      if (victim == nullptr) {
-        victim = hot_[dram].PopBack();
-      }
-      if (victim == nullptr) {
-        break;
-      }
-      victim->list = PageListId::kNone;
-      const std::optional<uint32_t> frame = TryAllocFrame(Tier::kNvm, t);
-      if (!frame.has_value()) {
-        Classify(victim);
-        break;
-      }
-      batch.push_back(Migration{victim, Tier::kNvm, *frame});
-      budget -= page_bytes;
-      if (static_cast<int>(batch.size()) >= params_.dma_batch) {
-        t = MigrateBatch(t, batch);
-      }
-    }
-    t = MigrateBatch(t, batch);
-  }
+  PolicyEnvAdapter env(*this);
+  policy::PolicyInput input{t, budget, &env};
+  const policy::MigrationPlan plan = policy_->Decide(input);
+  t = plan.end;
 
-  // Phase 1: keep the DRAM free watermark so allocations land in DRAM.
-  // Demote cold pages first; if none are cold, demote "random" data (we take
-  // the oldest hot page — deterministic and FIFO-fair).
-  FrameAllocator& dram_frames = machine_.frames(Tier::kDram);
-  FrameAllocator& nvm_frames = machine_.frames(Tier::kNvm);
-  while (dram_frames.free_bytes() +
-                 static_cast<uint64_t>(batch.size()) * page_bytes <
-             watermark_bytes_ &&
-         budget >= page_bytes) {
-    HememPage* victim = cold_[dram].PopFront();
-    if (victim == nullptr) {
-      victim = hot_[dram].PopBack();
-    }
-    if (victim == nullptr) {
-      break;
-    }
-    victim->list = PageListId::kNone;
-    const std::optional<uint32_t> frame = TryAllocFrame(Tier::kNvm, t);
-    if (!frame.has_value()) {
-      Classify(victim);  // put it back; NVM is full (or the alloc deferred)
-      break;
-    }
-    batch.push_back(Migration{victim, Tier::kNvm, *frame});
-    budget -= page_bytes;
-    if (static_cast<int>(batch.size()) >= params_.dma_batch) {
-      t = MigrateBatch(t, batch);
-    }
-  }
-  t = MigrateBatch(t, batch);
-
-  // Phase 2: promote the NVM hot list (write-heavy pages sit at its front).
-  bool stalled = false;
-  while (!stalled && budget >= page_bytes && !hot_[nvm].empty()) {
-    while (static_cast<int>(batch.size()) < params_.dma_batch && budget >= page_bytes) {
-      HememPage* hot_page = hot_[nvm].PopFront();
-      if (hot_page == nullptr) {
-        break;
-      }
-      hot_page->list = PageListId::kNone;
-      // Above the quota no promotion happens (the daemon gave the DRAM to
-      // someone else); otherwise a DRAM frame comes from free memory above
-      // the watermark, else by demoting a cold DRAM page. No cold DRAM page
-      // and no free memory means the hot set exceeds DRAM: stop migrating.
-      if (dram_quota_bytes_ > 0 && dram_usage() >= dram_quota_bytes_) {
-        Classify(hot_page);
-        stalled = true;
-        break;
-      }
-      std::optional<uint32_t> frame;
-      if (dram_frames.free_bytes() > watermark_bytes_) {
-        frame = TryAllocFrame(Tier::kDram, t);
-      }
-      if (!frame.has_value()) {
-        HememPage* victim = cold_[dram].PopFront();
-        if (victim == nullptr) {
-          Classify(hot_page);  // back onto the NVM hot list
-          stalled = true;
-          hstats_.promotion_stalls++;
-          break;
-        }
-        victim->list = PageListId::kNone;
-        const std::optional<uint32_t> nvm_frame = TryAllocFrame(Tier::kNvm, t);
-        if (!nvm_frame.has_value()) {
-          Classify(hot_page);
-          Classify(victim);
-          stalled = true;
-          break;
-        }
-        std::vector<Migration> demote_batch;
-        demote_batch.push_back(Migration{victim, Tier::kNvm, *nvm_frame});
-        budget = budget >= page_bytes ? budget - page_bytes : 0;
-        t = MigrateBatch(t, demote_batch);
-        frame = TryAllocFrame(Tier::kDram, t);
-        if (!frame.has_value()) {
-          Classify(hot_page);
-          stalled = true;
-          break;
-        }
-      }
-      batch.push_back(Migration{hot_page, Tier::kDram, *frame});
-      budget -= page_bytes;
-    }
-    t = MigrateBatch(t, batch);
-  }
   if (machine_.tracer().enabled()) {
     machine_.tracer().Duration(
         trace_policy_track_, "policy_pass", "hemem", start, t,

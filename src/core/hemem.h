@@ -33,6 +33,7 @@
 #include "mem/block_device.h"
 #include "mem/dma.h"
 #include "pebs/pebs.h"
+#include "policy/policy.h"
 #include "tier/machine.h"
 #include "tier/manager.h"
 
@@ -47,6 +48,13 @@ struct HememParams {
 
   ScanMode scan_mode = ScanMode::kPebs;
   bool enable_policy = true;  // watermark enforcement + migration
+
+  // Migration policy (--policy): classification + migration decisions are
+  // delegated to policy::MakePolicy(policy, policy_spec) with a
+  // PolicyConfig derived from the thresholds below. "default" reproduces
+  // the paper bit-exactly; see src/policy/.
+  std::string policy = "default";
+  std::string policy_spec;
 
   // Classification thresholds (paper Section 3.1, defaults from Section 5.1).
   uint32_t hot_read_threshold = 8;
@@ -111,7 +119,9 @@ class Hemem : public TieredMemoryManager {
   // DRAM bytes currently owned by this instance's pages.
   uint64_t dram_usage() const { return dram_pages_owned_ * machine_.page_bytes(); }
   const HememStats& hstats() const { return hstats_; }
-  uint64_t cooling_clock() const { return cool_clock_; }
+  uint64_t cooling_clock() const { return cool_.clock; }
+  // The active migration policy (for tests and the shoot-out bench).
+  const policy::MigrationPolicy& policy() const { return *policy_; }
   uint64_t hot_pages(Tier tier) const { return hot_[static_cast<int>(tier)].size(); }
   uint64_t cold_pages(Tier tier) const { return cold_[static_cast<int>(tier)].size(); }
   uint64_t hot_bytes(Tier tier) const { return hot_pages(tier) * machine_.page_bytes(); }
@@ -147,6 +157,10 @@ class Hemem : public TieredMemoryManager {
   friend class PtScanThread;
   friend class HememPolicyThread;
 
+  // PolicyEnv adapter the policy pass hands to MigrationPolicy::Decide
+  // (defined in hemem.cc; owns the pending DMA batch).
+  class PolicyEnvAdapter;
+
   struct Migration {
     HememPage* page = nullptr;
     Tier dst = Tier::kDram;
@@ -160,6 +174,7 @@ class Hemem : public TieredMemoryManager {
     std::vector<HememPage> pages;
     bool pinned = false;
     std::optional<Tier> preferred;  // fault-time placement hint
+    uint64_t create_epoch = 0;      // cooling epoch when the region mapped
   };
 
   HememRegionMeta* MetaOfRegion(const Region& region) const {
@@ -176,8 +191,11 @@ class Hemem : public TieredMemoryManager {
   void CoolPage(HememPage* page);
   // Unlinks the page from whichever list currently holds it.
   void DetachFromList(HememPage* page);
-  // Moves the page onto the list its counters demand.
+  // Moves the page onto the list the policy's verdict demands.
   void Classify(HememPage* page);
+  // Feature snapshot for the policy layer: one pass over the page's
+  // metadata, no allocation (sampling-path safe).
+  policy::PolicyFeatures FeaturesFor(const HememPage& page) const;
 
   // Page-table-scan tracking pass; returns simulated duration.
   SimTime PtScanPass(SimTime start);
@@ -201,11 +219,6 @@ class Hemem : public TieredMemoryManager {
   // lists, stats; one TLB shootdown per batch. Returns the new time cursor.
   SimTime MigrateBatch(SimTime t, std::vector<Migration>& batch);
 
-  bool PageIsHot(const HememPage& page) const {
-    return page.reads >= params_.hot_read_threshold ||
-           page.writes >= params_.hot_write_threshold;
-  }
-
   HememParams params_;
   uint64_t watermark_bytes_;
   uint64_t nvm_watermark_bytes_;
@@ -214,11 +227,11 @@ class Hemem : public TieredMemoryManager {
 
   PageList hot_[kNumTiers];
   PageList cold_[kNumTiers];
-  uint64_t cool_clock_ = 0;
-  uint64_t dram_quota_bytes_ = 0;   // 0 = uncapped
-  uint64_t dram_pages_owned_ = 0;   // this instance's DRAM-resident pages
-  uint64_t samples_since_cool_ = 0;
-  uint64_t distinct_sampled_ = 0;  // distinct pages sampled this epoch
+  policy::CoolingClock cool_;      // the paper's lazy cooling clock
+  uint64_t dram_quota_bytes_ = 0;  // 0 = uncapped
+  uint64_t dram_pages_owned_ = 0;  // this instance's DRAM-resident pages
+
+  std::unique_ptr<policy::MigrationPolicy> policy_;
 
   CpuCopier copier_;
   std::unique_ptr<PebsThread> pebs_thread_;

@@ -1,0 +1,138 @@
+// PolicyFeatures: the one per-page feature vector every migration policy
+// consumes, plus the shared cooling/decay arithmetic that used to be
+// duplicated between Hemem (lazy epoch clock) and Thermostat (interval
+// resets).
+//
+// The policy library sits between hemem_obs and hemem_mem in the link order,
+// below the page table and the tiered managers, so nothing here may mention
+// Region, PageEntry or Tier. Managers extract a PolicyFeatures snapshot from
+// their own metadata (one indexed load per field, no hashing, no allocation)
+// and hand it across the interface; tiers travel as small ints.
+
+#ifndef HEMEM_POLICY_FEATURES_H_
+#define HEMEM_POLICY_FEATURES_H_
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+
+namespace hemem::policy {
+
+// Tier indices as the policy layer sees them (matching Tier's underlying
+// values; the managers static_cast at the boundary).
+inline constexpr int kTierDram = 0;
+inline constexpr int kTierNvm = 1;
+
+// Per-page snapshot handed to Classify / Observe hooks. Extracted once per
+// event by the owning manager; every field is plain data so sampling-path
+// hooks stay allocation-free.
+struct PolicyFeatures {
+  uint32_t reads = 0;   // sampled loads since the last cooling decay
+  uint32_t writes = 0;  // sampled stores since the last cooling decay
+  bool write_heavy = false;
+  bool second_chance = false;
+  // reads + writes, widened: total sampled accesses surviving cooling.
+  uint64_t accesses_since_cool = 0;
+  // log2-bucketed cooling epochs since the page was last sampled; 0 = seen
+  // this epoch, kMaxRecencyBucket = not seen for >= 2^(max-1) epochs (or
+  // never sampled at all).
+  uint32_t recency_bucket = 0;
+  // Write share of the surviving counters in Q8 fixed point: 0 = all reads,
+  // 256 = all writes. 0 when no accesses survived.
+  uint32_t rw_ratio_q8 = 0;
+  uint64_t region_pages = 0;       // size of the containing region
+  uint64_t region_age_epochs = 0;  // cooling epochs since the region mapped
+  int tier = kTierDram;            // current residency
+};
+
+inline constexpr uint32_t kMaxRecencyBucket = 7;
+
+// The halving decay both managers share: one >>1 per missed epoch, clamped
+// at 31 shifts (beyond which any uint32 count is a constant). This is the
+// exact arithmetic Hemem::CoolPage always applied; Thermostat's end-of-
+// interval reset is the same operation with kFullDecayEpochs missed.
+inline constexpr uint64_t kFullDecayEpochs = 32;
+
+inline void DecayCounter(uint32_t* count, uint64_t missed_epochs) {
+  const int shifts = static_cast<int>(std::min<uint64_t>(missed_epochs, 31));
+  *count >>= shifts;
+}
+
+inline void DecayCounters(uint32_t* reads, uint32_t* writes, uint64_t missed_epochs) {
+  DecayCounter(reads, missed_epochs);
+  DecayCounter(writes, missed_epochs);
+}
+
+// The paper's lazy cooling clock, hoisted out of Hemem so the trigger
+// arithmetic has one home. The clock advances once the aggregate sample
+// count reaches threshold x (distinct pages sampled this epoch) — the
+// paper's "any page accumulates the threshold" rule generalized to stay
+// stable under per-page skew (see DESIGN.md "Policy layer").
+struct CoolingClock {
+  uint64_t clock = 0;
+  uint64_t samples_since_cool = 0;
+  uint64_t distinct_sampled = 0;  // distinct pages sampled this epoch
+  uint32_t threshold = 18;
+
+  // Accounts one sample against the page's epoch stamp; returns true when
+  // this sample advances the epoch (the caller then decays the page and
+  // bumps its own epoch counters/trace).
+  bool NoteSample(uint64_t* sample_stamp) {
+    if (*sample_stamp != clock) {
+      *sample_stamp = clock;
+      distinct_sampled++;
+    }
+    samples_since_cool++;
+    if (samples_since_cool >=
+        static_cast<uint64_t>(threshold) * std::max<uint64_t>(1, distinct_sampled)) {
+      clock++;
+      samples_since_cool = 0;
+      distinct_sampled = 0;
+      return true;
+    }
+    return false;
+  }
+};
+
+// Recency bucket from the cooling clock and the page's last-sampled epoch
+// stamp. A stamp ahead of the clock means "never sampled" (pages initialize
+// the stamp to ~0ull), which lands in the coldest bucket.
+inline uint32_t RecencyBucket(uint64_t clock, uint64_t sample_stamp) {
+  if (sample_stamp > clock) {
+    return kMaxRecencyBucket;
+  }
+  const uint64_t missed = clock - sample_stamp;
+  if (missed == 0) {
+    return 0;
+  }
+  return std::min<uint32_t>(static_cast<uint32_t>(std::bit_width(missed)),
+                            kMaxRecencyBucket);
+}
+
+inline uint32_t RwRatioQ8(uint32_t reads, uint32_t writes) {
+  const uint64_t total = static_cast<uint64_t>(reads) + writes;
+  if (total == 0) {
+    return 0;
+  }
+  return static_cast<uint32_t>((static_cast<uint64_t>(writes) << 8) / total);
+}
+
+// Exponentially weighted moving average; the rate estimator MemoryMode uses
+// for its sampled-set hit/writeback rates. Kept here so every tier shares
+// one implementation (and one arithmetic: v += alpha * (x - v), the exact
+// expression the inline versions used).
+class Ewma {
+ public:
+  explicit Ewma(double alpha) : alpha_(alpha) {}
+
+  void Observe(double x) { value_ += alpha_ * (x - value_); }
+  double value() const { return value_; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+};
+
+}  // namespace hemem::policy
+
+#endif  // HEMEM_POLICY_FEATURES_H_

@@ -1,0 +1,128 @@
+#include "policy/paper_default.h"
+
+namespace hemem::policy {
+
+// The three phases below are the pre-refactor Hemem::PolicyPass moved onto
+// the PolicyEnv executor, line for line: the same pop order, the same
+// alloc-failure handling, the same budget arithmetic, the same flush
+// points. Do not "clean up" control flow here without re-recording the
+// AccessGolden fingerprints — the goldens are the spec.
+MigrationPlan PaperDefaultPolicy::Decide(PolicyInput& in) {
+  PolicyEnv& env = *in.env;
+  const uint64_t page_bytes = env.PageBytes();
+  const int dram = kTierDram;
+  const int nvm = kTierNvm;
+  SimTime t = in.now;
+  uint64_t budget = in.budget_bytes;
+
+  // Phase 0: an externally assigned DRAM quota (HememDaemon) caps this
+  // instance; demote cold pages down to it.
+  if (env.DramQuota() > 0) {
+    while (env.DramUsage() > env.DramQuota() && budget >= page_bytes) {
+      void* victim = env.PopColdFront(dram);
+      if (victim == nullptr) {
+        victim = env.PopHotBack(dram);
+      }
+      if (victim == nullptr) {
+        break;
+      }
+      OnDemotionCandidate(env, victim);
+      uint32_t frame = 0;
+      if (!env.TryAllocFrame(nvm, t, &frame)) {
+        env.Requeue(victim);
+        break;
+      }
+      env.QueueMigration(victim, nvm, frame);
+      budget -= page_bytes;
+      if (env.QueuedMigrations() >= static_cast<size_t>(env.DmaBatch())) {
+        t = env.FlushMigrations(t);
+      }
+    }
+    t = env.FlushMigrations(t);
+  }
+
+  // Phase 1: keep the DRAM free watermark so allocations land in DRAM.
+  // Demote cold pages first; if none are cold, demote "random" data (the
+  // oldest hot page — deterministic and FIFO-fair).
+  while (env.FreeBytes(dram) + env.QueuedMigrations() * page_bytes <
+             env.WatermarkBytes() &&
+         budget >= page_bytes) {
+    void* victim = env.PopColdFront(dram);
+    if (victim == nullptr) {
+      victim = env.PopHotBack(dram);
+    }
+    if (victim == nullptr) {
+      break;
+    }
+    OnDemotionCandidate(env, victim);
+    uint32_t frame = 0;
+    if (!env.TryAllocFrame(nvm, t, &frame)) {
+      env.Requeue(victim);  // put it back; NVM is full (or the alloc deferred)
+      break;
+    }
+    env.QueueMigration(victim, nvm, frame);
+    budget -= page_bytes;
+    if (env.QueuedMigrations() >= static_cast<size_t>(env.DmaBatch())) {
+      t = env.FlushMigrations(t);
+    }
+  }
+  t = env.FlushMigrations(t);
+
+  // Phase 2: promote the NVM hot list (write-heavy pages sit at its front).
+  bool stalled = false;
+  while (!stalled && budget >= page_bytes && !env.HotEmpty(nvm)) {
+    while (env.QueuedMigrations() < static_cast<size_t>(env.DmaBatch()) &&
+           budget >= page_bytes) {
+      void* hot_page = env.PopHotFront(nvm);
+      if (hot_page == nullptr) {
+        break;
+      }
+      // Above the quota no promotion happens (the daemon gave the DRAM to
+      // someone else); otherwise a DRAM frame comes from free memory above
+      // the watermark, else by demoting a cold DRAM page. No cold DRAM page
+      // and no free memory means the hot set exceeds DRAM: stop migrating.
+      if (env.DramQuota() > 0 && env.DramUsage() >= env.DramQuota()) {
+        env.Requeue(hot_page);
+        stalled = true;
+        break;
+      }
+      uint32_t frame = 0;
+      bool have_frame = false;
+      if (env.FreeBytes(dram) > env.WatermarkBytes()) {
+        have_frame = env.TryAllocFrame(dram, t, &frame);
+      }
+      if (!have_frame) {
+        void* victim = env.PopColdFront(dram);
+        if (victim == nullptr) {
+          env.Requeue(hot_page);  // back onto the NVM hot list
+          stalled = true;
+          env.NotePromotionStall();
+          break;
+        }
+        OnDemotionCandidate(env, victim);
+        uint32_t nvm_frame = 0;
+        if (!env.TryAllocFrame(nvm, t, &nvm_frame)) {
+          env.Requeue(hot_page);
+          env.Requeue(victim);
+          stalled = true;
+          break;
+        }
+        budget = budget >= page_bytes ? budget - page_bytes : 0;
+        t = env.MigrateOne(victim, nvm, nvm_frame, t);
+        have_frame = env.TryAllocFrame(dram, t, &frame);
+        if (!have_frame) {
+          env.Requeue(hot_page);
+          stalled = true;
+          break;
+        }
+      }
+      env.QueueMigration(hot_page, dram, frame);
+      budget -= page_bytes;
+    }
+    t = env.FlushMigrations(t);
+  }
+
+  return MigrationPlan{t, budget, stalled};
+}
+
+}  // namespace hemem::policy

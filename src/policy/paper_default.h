@@ -1,0 +1,49 @@
+// PaperDefaultPolicy: HeMem's policy exactly as the paper describes it,
+// extracted verbatim from the pre-refactor Hemem::Classify/PolicyPass.
+//
+// Classification: a page is hot once its surviving read count reaches the
+// read threshold or its write count the write threshold; write-heavy pages
+// jump the hot queue. Migration: demote to an external quota, then to the
+// DRAM free watermark (cold first, then oldest hot), then promote the NVM
+// hot list — taking DRAM frames from free memory above the watermark, else
+// by demoting a cold DRAM page inline, stalling when neither exists.
+//
+// This class is the refactor's equivalence oracle: under it, every
+// AccessGolden fingerprint must stay bit-identical to the pre-extraction
+// recordings (tests/policy_test.cc asserts this).
+
+#ifndef HEMEM_POLICY_PAPER_DEFAULT_H_
+#define HEMEM_POLICY_PAPER_DEFAULT_H_
+
+#include "policy/policy.h"
+
+namespace hemem::policy {
+
+class PaperDefaultPolicy : public MigrationPolicy {
+ public:
+  explicit PaperDefaultPolicy(PolicyConfig config) : MigrationPolicy(config) {}
+
+  const char* name() const override { return "default"; }
+
+  PolicyVerdict Classify(const PolicyFeatures& features) const override {
+    return PolicyVerdict{features.reads >= config_.hot_read_threshold ||
+                             features.writes >= config_.hot_write_threshold,
+                         features.write_heavy};
+  }
+
+  MigrationPlan Decide(PolicyInput& in) override;
+
+ protected:
+  // Learning hook for subclasses: called with every page popped as a
+  // demotion victim (it sat at the cold-list front, or the hot-list back
+  // under quota pressure) before it is queued for demotion. The default
+  // does nothing, so the base Decide stays bit-exact.
+  virtual void OnDemotionCandidate(PolicyEnv& env, void* page) {
+    (void)env;
+    (void)page;
+  }
+};
+
+}  // namespace hemem::policy
+
+#endif  // HEMEM_POLICY_PAPER_DEFAULT_H_

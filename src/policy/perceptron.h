@@ -1,0 +1,63 @@
+// PerceptronPolicy: an online-learned hot/cold scorer over PolicyFeatures.
+//
+// Shape borrowed from hashed-perceptron branch/reuse predictors (and the
+// LDOS swappable-policy thread): a small integer weight vector scores the
+// feature vector; the page is hot when the score clears zero. Training is
+// mistake-driven with a margin, from two label sources the sampling and
+// policy paths provide for free:
+//
+//   * a page being *sampled* is being touched right now -> train hot,
+//   * a page popped as a *demotion victim* sat at the cold-list front
+//     (or the hot-list tail under quota pressure) -> train cold.
+//
+// All state is int32; updates are clamped, order-deterministic (driven by
+// the deterministic sample/pass streams) and wall-clock-free, so two
+// identical runs replay bit-identically (tests/policy_test.cc asserts
+// this). Migration mechanics are inherited unchanged from the paper
+// default; only the classification boundary moves.
+
+#ifndef HEMEM_POLICY_PERCEPTRON_H_
+#define HEMEM_POLICY_PERCEPTRON_H_
+
+#include "policy/paper_default.h"
+
+namespace hemem::policy {
+
+class PerceptronPolicy : public PaperDefaultPolicy {
+ public:
+  explicit PerceptronPolicy(PolicyConfig config);
+
+  const char* name() const override { return "perceptron"; }
+  bool wants_observations() const override { return true; }
+
+  PolicyVerdict Classify(const PolicyFeatures& features) const override;
+  void ObserveSample(const PolicyFeatures& features, bool is_store, SimTime t) override;
+  void ObserveScan(const PolicyFeatures& features, bool dirty, SimTime t) override;
+  void EmitMetrics(obs::MetricsEmitter& e) const override;
+
+  // Deterministic digest of the weight vector, for replay tests.
+  uint64_t WeightChecksum() const;
+  uint64_t updates() const { return updates_; }
+
+ protected:
+  void OnDemotionCandidate(PolicyEnv& env, void* page) override;
+
+ private:
+  static constexpr int kNumWeights = 8;  // [0] is the bias
+  static constexpr int32_t kWeightMin = -64;
+  static constexpr int32_t kWeightMax = 63;
+  static constexpr int32_t kMargin = 8;
+
+  void Features(const PolicyFeatures& f, int32_t (&x)[kNumWeights]) const;
+  int32_t Score(const int32_t (&x)[kNumWeights]) const;
+  void Train(const PolicyFeatures& f, bool hot_label);
+
+  int32_t weights_[kNumWeights];
+  uint64_t updates_ = 0;       // weight vector changes
+  uint64_t hot_trains_ = 0;    // hot-label training events
+  uint64_t cold_trains_ = 0;   // cold-label training events
+};
+
+}  // namespace hemem::policy
+
+#endif  // HEMEM_POLICY_PERCEPTRON_H_

@@ -1,0 +1,80 @@
+#include "policy/policy.h"
+
+#include <algorithm>
+
+#include "policy/paper_default.h"
+#include "policy/perceptron.h"
+#include "policy/scheme.h"
+
+namespace hemem::policy {
+
+// Demand-proportional DRAM split with a per-instance floor — the
+// HememDaemon::Rebalance arithmetic, verbatim (doubles and all, so daemon
+// ablations keep their recorded quotas).
+void MigrationPolicy::Apportion(const ApportionInput& in, const std::vector<double>& demand,
+                                std::vector<uint64_t>* quotas) const {
+  double total_demand = 0.0;
+  for (const double d : demand) {
+    total_demand += d;
+  }
+  const uint64_t distributable =
+      in.dram_bytes - std::min(in.dram_bytes, in.floor_bytes * demand.size());
+  for (size_t i = 0; i < demand.size(); ++i) {
+    const auto share = static_cast<uint64_t>(
+        static_cast<double>(distributable) * demand[i] / total_demand);
+    (*quotas)[i] = RoundUp(in.floor_bytes + share, in.page_bytes);
+  }
+}
+
+PolicyChoice ParsePolicyFlag(const std::string& value) {
+  PolicyChoice choice;
+  const size_t colon = value.find(':');
+  choice.name = value.substr(0, colon);
+  if (colon != std::string::npos) {
+    choice.spec = value.substr(colon + 1);
+  }
+  if (choice.name.empty()) {
+    choice.name = "default";
+  }
+  return choice;
+}
+
+const std::vector<std::string>& RegisteredPolicyNames() {
+  static const std::vector<std::string> kNames = {"default", "perceptron", "scheme"};
+  return kNames;
+}
+
+std::unique_ptr<MigrationPolicy> MakePolicy(const PolicyChoice& choice,
+                                            const PolicyConfig& config,
+                                            std::string* error) {
+  if (choice.name == "default") {
+    return std::make_unique<PaperDefaultPolicy>(config);
+  }
+  if (choice.name == "perceptron") {
+    return std::make_unique<PerceptronPolicy>(config);
+  }
+  if (choice.name == "scheme") {
+    std::vector<SchemeRule> rules;
+    std::string parse_error;
+    if (!ParseSchemeSpec(choice.spec, &rules, &parse_error)) {
+      if (error != nullptr) {
+        *error = "bad scheme spec: " + parse_error;
+      }
+      return nullptr;
+    }
+    return std::make_unique<SchemePolicy>(config, std::move(rules));
+  }
+  if (error != nullptr) {
+    std::string names;
+    for (const std::string& name : RegisteredPolicyNames()) {
+      if (!names.empty()) {
+        names += "|";
+      }
+      names += name;
+    }
+    *error = "unknown policy '" + choice.name + "' (registered: " + names + ")";
+  }
+  return nullptr;
+}
+
+}  // namespace hemem::policy

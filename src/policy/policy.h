@@ -1,0 +1,203 @@
+// MigrationPolicy: the pluggable hot/cold classification + migration layer.
+//
+// HeMem's contribution is asynchronous *sampling* feeding a *policy*; this
+// interface is the seam between the two. A manager owns the mechanism —
+// lists, frames, DMA batches, fault handling, cooling bookkeeping — and a
+// MigrationPolicy owns the decisions:
+//
+//   * Classify(features)    -> hot/cold verdict on every sampling event,
+//   * ObserveSample/Scan    -> optional learning hooks on the sampling path,
+//   * Decide(PolicyInput)   -> one migration pass, driven through a
+//                              PolicyEnv the manager implements,
+//   * Apportion(...)        -> the daemon's cross-instance DRAM split.
+//
+// Contract (see DESIGN.md "Policy layer"):
+//   * Sampling-path hooks (Classify, ObserveSample, ObserveScan) run once
+//     per PEBS record / scanned PTE on the manager's tracking thread. They
+//     must be allocation-free and must not touch the PolicyEnv.
+//   * Decide may interleave list pops, frame allocations and migrations
+//     through its PolicyEnv — pages it migrates are re-classified onto the
+//     destination tier's lists immediately, so a page demoted early in a
+//     pass can legitimately be promoted later in the same pass (the paper
+//     default depends on this).
+//   * Determinism: policies run inside a deterministic simulation. State
+//     updates may depend only on the features/times handed in (integer or
+//     fixed-point arithmetic for learned state; no wall clock, no
+//     unseeded randomness), so identical runs replay bit-identically.
+//
+// This library links below the page table and the managers, so the
+// interface is plain data: pages travel as opaque handles, tiers as small
+// ints (policy::kTierDram / kTierNvm).
+
+#ifndef HEMEM_POLICY_POLICY_H_
+#define HEMEM_POLICY_POLICY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "obs/metrics.h"
+#include "policy/features.h"
+
+namespace hemem::policy {
+
+// Classification thresholds, derived by each manager from its own params at
+// construction (so existing threshold sweeps keep working).
+struct PolicyConfig {
+  uint32_t hot_read_threshold = 8;
+  uint32_t hot_write_threshold = 4;
+  uint32_t cooling_threshold = 18;
+};
+
+// Sampling-path verdict: hot/cold, plus whether the page should jump to the
+// front of the hot queue (the paper sends write-heavy pages first because
+// NVM write bandwidth is the scarce resource).
+struct PolicyVerdict {
+  bool hot = false;
+  bool front = false;
+};
+
+// The executor a manager hands to Decide: list access, accounting, frame
+// allocation and migration, all by opaque page handle. Implemented by
+// Hemem's policy-pass adapter; migrations queue into DMA batches and flush
+// either explicitly or when the batch fills.
+class PolicyEnv {
+ public:
+  virtual ~PolicyEnv() = default;
+
+  // List access. Pops detach the page (it is on no list until Requeue or a
+  // migration re-classifies it); nullptr when the list is empty.
+  virtual void* PopColdFront(int tier) = 0;
+  virtual void* PopHotFront(int tier) = 0;
+  virtual void* PopHotBack(int tier) = 0;
+  virtual bool HotEmpty(int tier) const = 0;
+  // Re-classifies a popped page back onto the list its counters demand.
+  virtual void Requeue(void* page) = 0;
+  // Feature snapshot for a popped page (for policies that learn from
+  // migration candidates; the paper default never calls this).
+  virtual PolicyFeatures FeaturesOf(void* page) const = 0;
+
+  // Accounting.
+  virtual uint64_t PageBytes() const = 0;
+  virtual uint64_t FreeBytes(int tier) const = 0;
+  virtual uint64_t WatermarkBytes() const = 0;
+  virtual uint64_t DramUsage() const = 0;
+  virtual uint64_t DramQuota() const = 0;  // 0 = uncapped
+  virtual int DmaBatch() const = 0;
+
+  // Frame allocation with the manager's fault-injection draws; false means
+  // "defer to a later pass" (pool empty or a transient alloc fault fired).
+  virtual bool TryAllocFrame(int tier, SimTime now, uint32_t* frame) = 0;
+
+  // Migration. QueueMigration adds to the pending DMA batch;
+  // FlushMigrations copies the batch (returns the new time cursor) and
+  // re-classifies the moved pages. MigrateOne copies a single page
+  // immediately *without* disturbing the pending batch (the paper's inline
+  // victim demotion during promotion). NotePromotionStall records that the
+  // hot set exceeded DRAM.
+  virtual void QueueMigration(void* page, int dst_tier, uint32_t frame) = 0;
+  virtual size_t QueuedMigrations() const = 0;
+  virtual SimTime FlushMigrations(SimTime t) = 0;
+  virtual SimTime MigrateOne(void* page, int dst_tier, uint32_t frame, SimTime t) = 0;
+  virtual void NotePromotionStall() = 0;
+};
+
+// One policy pass: the time cursor (base cost already applied), the
+// migration byte budget for this pass, and the executor.
+struct PolicyInput {
+  SimTime now = 0;
+  uint64_t budget_bytes = 0;
+  PolicyEnv* env = nullptr;
+};
+
+// What the pass did: final time cursor, unspent budget, and whether
+// promotion stalled (hot set exceeded DRAM).
+struct MigrationPlan {
+  SimTime end = 0;
+  uint64_t budget_left = 0;
+  bool stalled = false;
+};
+
+// Input to the daemon's cross-instance DRAM apportionment.
+struct ApportionInput {
+  uint64_t dram_bytes = 0;   // the global pool being divided
+  uint64_t floor_bytes = 0;  // per-instance minimum share (page-rounded)
+  uint64_t page_bytes = 0;
+};
+
+class MigrationPolicy {
+ public:
+  explicit MigrationPolicy(PolicyConfig config) : config_(config) {}
+  virtual ~MigrationPolicy() = default;
+
+  virtual const char* name() const = 0;
+
+  // True when the policy wants ObserveSample/ObserveScan calls. Managers
+  // gate feature extraction on this so the default policy's sampling path
+  // stays as lean as the pre-extraction code.
+  virtual bool wants_observations() const { return false; }
+
+  // Sampling-path hooks (allocation-free; see the contract above). The
+  // features are the page's post-decay, post-increment counters.
+  virtual void ObserveSample(const PolicyFeatures& features, bool is_store, SimTime t) {
+    (void)features;
+    (void)is_store;
+    (void)t;
+  }
+  virtual void ObserveScan(const PolicyFeatures& features, bool dirty, SimTime t) {
+    (void)features;
+    (void)dirty;
+    (void)t;
+  }
+
+  // Hot/cold verdict for one page. Pure: called on every sampling event and
+  // from Requeue/migration re-classification.
+  virtual PolicyVerdict Classify(const PolicyFeatures& features) const = 0;
+
+  // One migration pass over the PolicyEnv.
+  virtual MigrationPlan Decide(PolicyInput& in) = 0;
+
+  // Cross-instance DRAM split (HememDaemon). The default implements the
+  // demand-proportional share with a per-instance floor; `demand` is one
+  // hot-bytes signal per instance, `quotas` is pre-sized to match.
+  virtual void Apportion(const ApportionInput& in, const std::vector<double>& demand,
+                         std::vector<uint64_t>* quotas) const;
+
+  // Policy-owned metrics, merged into the owning manager's provider.
+  virtual void EmitMetrics(obs::MetricsEmitter& e) const { (void)e; }
+
+  const PolicyConfig& config() const { return config_; }
+
+ protected:
+  PolicyConfig config_;
+};
+
+// ---------------------------------------------------------------------------
+// Registry: --policy=default|perceptron|scheme[:spec] plumbing.
+
+struct PolicyChoice {
+  std::string name = "default";
+  std::string spec;  // scheme rules (or future policy-specific config)
+};
+
+// Splits a --policy flag value at the first ':' into name and inline spec
+// ("scheme:hot:min_acc=2" -> {scheme, "hot:min_acc=2"}). Never fails; name
+// validation happens in MakePolicy.
+PolicyChoice ParsePolicyFlag(const std::string& value);
+
+// Constructs the named policy, or returns nullptr with *error set (unknown
+// name, malformed scheme spec). The error message lists the registered
+// names so CLI callers can surface it verbatim.
+std::unique_ptr<MigrationPolicy> MakePolicy(const PolicyChoice& choice,
+                                            const PolicyConfig& config,
+                                            std::string* error);
+
+// Registered policy names, for help text and error messages.
+const std::vector<std::string>& RegisteredPolicyNames();
+
+}  // namespace hemem::policy
+
+#endif  // HEMEM_POLICY_POLICY_H_

@@ -1,0 +1,147 @@
+#include "policy/scheme.h"
+
+#include <cstdlib>
+
+namespace hemem::policy {
+
+namespace {
+
+// Splits `s` on `sep`, dropping empty pieces (so trailing separators are
+// legal, as in --fault-spec).
+std::vector<std::string> Split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= s.size()) {
+    size_t end = s.find(sep, start);
+    if (end == std::string::npos) {
+      end = s.size();
+    }
+    if (end > start) {
+      out.push_back(s.substr(start, end - start));
+    }
+    start = end + 1;
+  }
+  return out;
+}
+
+bool ParseUint(const std::string& s, uint64_t* out) {
+  if (s.empty() || s[0] == '-' || s[0] == '+') {
+    return false;  // strtoull would silently wrap negatives
+  }
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (end != s.c_str() + s.size()) {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+bool Fail(std::string* error, const std::string& message) {
+  if (error != nullptr) {
+    *error = message;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool SchemeRule::Matches(const PolicyFeatures& f) const {
+  if (tier >= 0 && f.tier != tier) {
+    return false;
+  }
+  if (f.accesses_since_cool < min_acc || f.accesses_since_cool > max_acc) {
+    return false;
+  }
+  if (f.writes < min_writes || f.writes > max_writes) {
+    return false;
+  }
+  if (f.recency_bucket < min_age || f.recency_bucket > max_age) {
+    return false;
+  }
+  if (f.region_pages < min_pages || f.region_pages > max_pages) {
+    return false;
+  }
+  return true;
+}
+
+bool ParseSchemeSpec(const std::string& spec, std::vector<SchemeRule>* out,
+                     std::string* error) {
+  std::vector<SchemeRule> rules;
+  for (const std::string& rule_str : Split(spec, ';')) {
+    const size_t colon = rule_str.find(':');
+    const std::string action = rule_str.substr(0, colon);
+    SchemeRule rule;
+    if (action == "hot") {
+      rule.hot = true;
+    } else if (action == "cold") {
+      rule.hot = false;
+    } else {
+      return Fail(error, "unknown scheme action '" + action + "' (hot|cold)");
+    }
+    if (colon != std::string::npos) {
+      for (const std::string& cond : Split(rule_str.substr(colon + 1), ',')) {
+        const size_t eq = cond.find('=');
+        if (eq == std::string::npos) {
+          return Fail(error, "scheme condition '" + cond + "' is not key=value");
+        }
+        const std::string key = cond.substr(0, eq);
+        uint64_t value = 0;
+        if (!ParseUint(cond.substr(eq + 1), &value)) {
+          return Fail(error, "scheme condition '" + cond + "' needs an unsigned value");
+        }
+        if (key == "min_acc") {
+          rule.min_acc = value;
+        } else if (key == "max_acc") {
+          rule.max_acc = value;
+        } else if (key == "min_writes") {
+          rule.min_writes = static_cast<uint32_t>(value);
+        } else if (key == "max_writes") {
+          rule.max_writes = static_cast<uint32_t>(value);
+        } else if (key == "min_age") {
+          rule.min_age = static_cast<uint32_t>(value);
+        } else if (key == "max_age") {
+          rule.max_age = static_cast<uint32_t>(value);
+        } else if (key == "min_pages") {
+          rule.min_pages = value;
+        } else if (key == "max_pages") {
+          rule.max_pages = value;
+        } else if (key == "tier") {
+          if (value > 1) {
+            return Fail(error, "scheme tier must be 0 (DRAM) or 1 (NVM)");
+          }
+          rule.tier = static_cast<int>(value);
+        } else {
+          return Fail(error, "unknown scheme key '" + key + "'");
+        }
+      }
+    }
+    rules.push_back(rule);
+  }
+  *out = std::move(rules);
+  return true;
+}
+
+PolicyVerdict SchemePolicy::Classify(const PolicyFeatures& f) const {
+  for (size_t i = 0; i < rules_.size(); ++i) {
+    if (rules_[i].Matches(f)) {
+      rule_hits_[i]++;
+      return PolicyVerdict{rules_[i].hot, f.write_heavy};
+    }
+  }
+  fallback_hits_++;
+  // No rule matched: the paper thresholds decide.
+  return PaperDefaultPolicy::Classify(f);
+}
+
+void SchemePolicy::EmitMetrics(obs::MetricsEmitter& e) const {
+  e.Emit("policy.scheme.rules", static_cast<uint64_t>(rules_.size()));
+  e.Emit("policy.scheme.fallback_hits", fallback_hits_);
+  uint64_t matched = 0;
+  for (const uint64_t h : rule_hits_) {
+    matched += h;
+  }
+  e.Emit("policy.scheme.rule_hits", matched);
+}
+
+}  // namespace hemem::policy

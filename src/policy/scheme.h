@@ -1,0 +1,81 @@
+// SchemePolicy: DAMON-style declarative classification rules.
+//
+// DAMON's operation schemes express policy as predicates over region
+// history ("pages of regions larger than X accessed less than Y for Z
+// intervals: demote"). Here a scheme is an ordered rule list matched
+// against each page's PolicyFeatures; the first matching rule decides
+// hot/cold, and pages no rule matches fall back to the paper thresholds.
+// Migration mechanics are inherited from the paper default — rules move
+// only the classification boundary, which is what drives the migration
+// phases' pop order.
+//
+// Grammar (mirrors --fault-spec's name:key=value,... shape):
+//   spec  := rule (';' rule)* [';']
+//   rule  := ('hot' | 'cold') [':' cond (',' cond)*]
+//   cond  := key '=' uint
+//   key   := min_acc | max_acc   surviving sampled accesses (reads+writes)
+//          | min_writes | max_writes
+//          | min_age | max_age   recency bucket (cooling epochs since
+//                                last sample, log2-bucketed, 0..7)
+//          | min_pages | max_pages   containing region size, in pages
+//          | tier                0 = DRAM, 1 = NVM
+//
+// Example: "hot:tier=1,min_acc=2;cold:max_acc=0,min_age=2" promotes NVM
+// pages after two surviving samples and declares pages unseen for two
+// epochs cold.
+
+#ifndef HEMEM_POLICY_SCHEME_H_
+#define HEMEM_POLICY_SCHEME_H_
+
+#include <string>
+#include <vector>
+
+#include "policy/paper_default.h"
+
+namespace hemem::policy {
+
+struct SchemeRule {
+  bool hot = false;  // the action when the rule matches
+  uint64_t min_acc = 0;
+  uint64_t max_acc = UINT64_MAX;
+  uint32_t min_writes = 0;
+  uint32_t max_writes = UINT32_MAX;
+  uint32_t min_age = 0;
+  uint32_t max_age = UINT32_MAX;
+  uint64_t min_pages = 0;
+  uint64_t max_pages = UINT64_MAX;
+  int tier = -1;  // -1 = any
+
+  bool Matches(const PolicyFeatures& f) const;
+};
+
+// Parses a scheme spec. Returns false and sets *error (with the offending
+// token) on malformed input; an empty spec parses to an empty rule list.
+bool ParseSchemeSpec(const std::string& spec, std::vector<SchemeRule>* out,
+                     std::string* error);
+
+class SchemePolicy : public PaperDefaultPolicy {
+ public:
+  SchemePolicy(PolicyConfig config, std::vector<SchemeRule> rules)
+      : PaperDefaultPolicy(config),
+        rules_(std::move(rules)),
+        rule_hits_(rules_.size(), 0) {}
+
+  const char* name() const override { return "scheme"; }
+
+  PolicyVerdict Classify(const PolicyFeatures& features) const override;
+  void EmitMetrics(obs::MetricsEmitter& e) const override;
+
+  const std::vector<SchemeRule>& rules() const { return rules_; }
+
+ private:
+  std::vector<SchemeRule> rules_;
+  // First-match counters, one per rule plus a fallback slot; mutable so the
+  // pure-verdict Classify can account matches without changing behavior.
+  mutable std::vector<uint64_t> rule_hits_;
+  mutable uint64_t fallback_hits_ = 0;
+};
+
+}  // namespace hemem::policy
+
+#endif  // HEMEM_POLICY_SCHEME_H_

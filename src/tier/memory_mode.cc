@@ -36,6 +36,8 @@ MemoryMode::MemoryMode(Machine& machine)
                      ? std::countr_zero(num_sets_)
                      : -1),
       sampled_sets_(num_sets_ >> sample_shift_),
+      hit_rate_(kRateAlpha),
+      writeback_rate_(kRateAlpha),
       pool_(machine.config().nvm_bytes, machine.page_bytes(),
             /*shuffle_seed=*/0x5eed5eed5eed5eedull, /*allow_overcommit=*/false,
             // Physical fragmentation at ~1/12th-of-DRAM granularity: small
@@ -92,18 +94,18 @@ MemoryMode::LineOutcome MemoryMode::ProbeLine(uint64_t line_addr, bool is_store)
     state.valid = true;
     state.tag = tag;
     state.dirty = out.hit ? (state.dirty || is_store) : is_store;
-    hit_rate_ += kRateAlpha * ((out.hit ? 1.0 : 0.0) - hit_rate_);
-    writeback_rate_ += kRateAlpha * ((out.writeback ? 1.0 : 0.0) - writeback_rate_);
+    hit_rate_.Observe(out.hit ? 1.0 : 0.0);
+    writeback_rate_.Observe(out.writeback ? 1.0 : 0.0);
   } else {
     // Deterministic extrapolation from the sampled rates: the hash varies
     // per access, so a line hits with the measured steady-state probability.
     const uint64_t h = Mix64(line_addr ^ (access_seq_ * 0x9e3779b97f4a7c15ull));
     const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
-    out.hit = u < hit_rate_;
+    out.hit = u < hit_rate_.value();
     if (!out.hit) {
       const uint64_t h2 = Mix64(h);
       const double u2 = static_cast<double>(h2 >> 11) * 0x1.0p-53;
-      out.writeback = u2 < writeback_rate_;
+      out.writeback = u2 < writeback_rate_.value();
     }
   }
   if (out.hit) {

@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "policy/features.h"
 #include "tier/machine.h"
 #include "tier/manager.h"
 
@@ -86,9 +87,10 @@ class MemoryMode : public TieredMemoryManager {
   // (the mask is contiguous low bits, so sampled sets are exactly the
   // multiples of 2^sample_shift_). Bounded by kMaxSampledSets entries.
   std::vector<SetState> sampled_sets_;
-  // EWMA rates measured on sampled sets, applied to the rest.
-  double hit_rate_ = 0.0;
-  double writeback_rate_ = 0.0;
+  // EWMA rates measured on sampled sets, applied to the rest (the shared
+  // policy-layer estimator; identical arithmetic to the old inline update).
+  policy::Ewma hit_rate_;
+  policy::Ewma writeback_rate_;
   uint64_t access_seq_ = 0;
   FrameAllocator pool_;  // shuffled physical allocation over the NVM pool
   MemoryModeStats mm_stats_;

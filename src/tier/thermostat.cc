@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
 
 namespace hemem {
 
@@ -25,6 +28,19 @@ Thermostat::Thermostat(Machine& machine, ThermostatParams params)
           8 * machine.page_bytes())),
       copier_(params.copy_threads),
       rng_(0x7e57a7) {
+  // Thermostat has no write counts, so only the read threshold is live: a
+  // sampled page is hot when interval accesses reach cold_access_threshold.
+  policy::PolicyConfig config;
+  config.hot_read_threshold = static_cast<uint32_t>(
+      std::min<uint64_t>(params_.cold_access_threshold,
+                         std::numeric_limits<uint32_t>::max()));
+  config.hot_write_threshold = std::numeric_limits<uint32_t>::max();
+  std::string error;
+  policy_ = policy::MakePolicy({params_.policy, params_.policy_spec}, config, &error);
+  if (policy_ == nullptr) {
+    std::fprintf(stderr, "thermostat: %s\n", error.c_str());
+    std::abort();
+  }
   // Poison-sampled pages need the per-access counting hook; stores stalling
   // on an in-flight migration wait without any extra fault cost.
   tracked_hook_ = true;
@@ -102,8 +118,14 @@ SimTime Thermostat::SamplePass(SimTime start) {
       continue;
     }
     PageEntry& entry = EntryOf(info);
-    const bool hot = info.interval_accesses >= params_.cold_access_threshold;
-    info.interval_accesses = 0;
+    policy::PolicyFeatures features;
+    features.reads = info.interval_accesses;
+    features.accesses_since_cool = info.interval_accesses;
+    features.region_pages = info.region->num_pages();
+    features.tier = static_cast<int>(entry.tier);
+    const bool hot = policy_->Classify(features).hot;
+    // Full decay = interval reset (a 31-bit shift zeroes any realistic count).
+    policy::DecayCounter(&info.interval_accesses, policy::kFullDecayEpochs);
     if (budget < page) {
       continue;
     }
@@ -152,7 +174,7 @@ SimTime Thermostat::SamplePass(SimTime start) {
       continue;
     }
     info.sampled = true;
-    info.interval_accesses = 0;
+    policy::DecayCounter(&info.interval_accesses, policy::kFullDecayEpochs);
     sampled_ids_.push_back(id);
   }
   tstats_.pages_sampled += sampled_ids_.size();

@@ -21,6 +21,7 @@
 
 #include "common/rng.h"
 #include "mem/dma.h"
+#include "policy/policy.h"
 #include "tier/machine.h"
 #include "tier/manager.h"
 
@@ -36,6 +37,10 @@ struct ThermostatParams {
   SimTime poison_fault_cost = 300;  // per access to a poisoned page
   uint64_t migrate_budget_per_pass = MiB(128);  // paper-scale bytes
   int copy_threads = 4;
+  // Hot/cold verdicts route through policy::MakePolicy; "default" reproduces
+  // the threshold test above exactly (reads = interval accesses).
+  std::string policy = "default";
+  std::string policy_spec;
 };
 
 struct ThermostatStats {
@@ -83,6 +88,7 @@ class Thermostat : public TieredMemoryManager {
 
   ThermostatParams params_;
   uint64_t scaled_budget_;
+  std::unique_ptr<policy::MigrationPolicy> policy_;
   CpuCopier copier_;
   Rng rng_;
   std::vector<PageInfo> pages_;

@@ -1,0 +1,333 @@
+// Policy-layer tests: the --policy plumbing, the scheme-spec grammar,
+// perceptron replay determinism, and the refactor's equivalence oracle —
+// Hemem under an explicit --policy=default must land on the exact
+// AccessGolden fingerprints recorded before the MigrationPolicy extraction.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/hemem.h"
+#include "policy/features.h"
+#include "policy/paper_default.h"
+#include "policy/perceptron.h"
+#include "policy/policy.h"
+#include "policy/scheme.h"
+#include "test_util.h"
+
+namespace hemem {
+namespace {
+
+using policy::MakePolicy;
+using policy::ParsePolicyFlag;
+using policy::ParseSchemeSpec;
+using policy::PolicyChoice;
+using policy::PolicyConfig;
+using policy::PolicyFeatures;
+using policy::SchemeRule;
+
+// ---------------------------------------------------------------------------
+// Flag parsing + registry.
+
+TEST(PolicyTest, ParsePolicyFlagSplitsAtFirstColon) {
+  PolicyChoice c = ParsePolicyFlag("default");
+  EXPECT_EQ(c.name, "default");
+  EXPECT_TRUE(c.spec.empty());
+
+  c = ParsePolicyFlag("scheme:hot:tier=1,min_acc=2");
+  EXPECT_EQ(c.name, "scheme");
+  EXPECT_EQ(c.spec, "hot:tier=1,min_acc=2");
+
+  c = ParsePolicyFlag("");
+  EXPECT_EQ(c.name, "default");
+}
+
+TEST(PolicyTest, MakePolicyBuildsEveryRegisteredName) {
+  for (const std::string& name : policy::RegisteredPolicyNames()) {
+    std::string error;
+    auto p = MakePolicy({name, ""}, PolicyConfig{}, &error);
+    ASSERT_NE(p, nullptr) << name << ": " << error;
+    EXPECT_STREQ(p->name(), name.c_str());
+  }
+}
+
+TEST(PolicyTest, UnknownPolicyFailsListingRegisteredNames) {
+  std::string error;
+  auto p = MakePolicy({"nonesuch", ""}, PolicyConfig{}, &error);
+  EXPECT_EQ(p, nullptr);
+  EXPECT_NE(error.find("nonesuch"), std::string::npos) << error;
+  for (const std::string& name : policy::RegisteredPolicyNames()) {
+    EXPECT_NE(error.find(name), std::string::npos)
+        << "error should list registered policy '" << name << "': " << error;
+  }
+}
+
+TEST(PolicyTest, MalformedSchemeSpecFailsMakePolicy) {
+  std::string error;
+  auto p = MakePolicy({"scheme", "hot:min_acc=notanumber"}, PolicyConfig{}, &error);
+  EXPECT_EQ(p, nullptr);
+  EXPECT_FALSE(error.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Scheme-spec grammar.
+
+TEST(PolicyTest, SchemeSpecAccepts) {
+  const char* good[] = {
+      "",                                  // empty rule list
+      "hot",                               // unconditional
+      "cold",
+      "hot:tier=1",
+      "hot:tier=1,min_acc=2;cold:max_acc=0,min_age=2",
+      "hot:min_writes=4,max_writes=100,min_pages=1,max_pages=4096;",
+      "hot:min_age=0,max_age=7",
+  };
+  for (const char* spec : good) {
+    std::vector<SchemeRule> rules;
+    std::string error;
+    EXPECT_TRUE(ParseSchemeSpec(spec, &rules, &error)) << spec << ": " << error;
+  }
+}
+
+TEST(PolicyTest, SchemeSpecRejects) {
+  const char* bad[] = {
+      "warm:tier=1",        // unknown action
+      "hot:heat=9",         // unknown key
+      "hot:min_acc",        // missing value
+      "hot:min_acc=",       // empty value
+      "hot:min_acc=12x",    // trailing junk
+      "hot:min_acc=-1",     // not a uint
+      "hot:tier=2",         // tier out of range
+      ":min_acc=1",         // missing action
+  };
+  for (const char* spec : bad) {
+    std::vector<SchemeRule> rules;
+    std::string error;
+    EXPECT_FALSE(ParseSchemeSpec(spec, &rules, &error)) << spec;
+    EXPECT_FALSE(error.empty()) << spec;
+  }
+}
+
+TEST(PolicyTest, SchemeFirstMatchWinsWithDefaultFallback) {
+  std::vector<SchemeRule> rules;
+  std::string error;
+  ASSERT_TRUE(ParseSchemeSpec("hot:tier=1,min_acc=2;cold:min_age=3", &rules, &error))
+      << error;
+  policy::SchemePolicy scheme(PolicyConfig{}, rules);
+
+  // NVM page with two surviving accesses: first rule fires hot, even though
+  // the paper thresholds (8 reads / 4 writes) would say cold.
+  PolicyFeatures f;
+  f.tier = policy::kTierNvm;
+  f.reads = 2;
+  f.accesses_since_cool = 2;
+  EXPECT_TRUE(scheme.Classify(f).hot);
+
+  // Same counters in DRAM: rule 1's tier filter misses; rule 2 needs age>=3;
+  // fallback (paper thresholds) says cold.
+  f.tier = policy::kTierDram;
+  EXPECT_FALSE(scheme.Classify(f).hot);
+
+  // Stale page: heavy counters but not sampled for >= 4 epochs — the cold
+  // rule overrides the paper thresholds that would call it hot.
+  f.reads = 100;
+  f.accesses_since_cool = 100;
+  f.recency_bucket = 3;
+  EXPECT_FALSE(scheme.Classify(f).hot);
+
+  // Unmatched pages keep the paper verdict, including the write-heavy
+  // front-of-queue bit.
+  PolicyFeatures wh;
+  wh.writes = 5;
+  wh.write_heavy = true;
+  wh.accesses_since_cool = 5;
+  wh.recency_bucket = 0;
+  const policy::PolicyVerdict v = scheme.Classify(wh);
+  EXPECT_TRUE(v.hot);
+  EXPECT_TRUE(v.front);
+}
+
+TEST(PolicyTest, SchemeRuleBoundsAreInclusive) {
+  std::vector<SchemeRule> rules;
+  std::string error;
+  ASSERT_TRUE(ParseSchemeSpec("hot:min_acc=3,max_acc=5", &rules, &error)) << error;
+  policy::SchemePolicy scheme(PolicyConfig{}, rules);
+  PolicyFeatures f;
+  for (uint64_t acc = 0; acc <= 8; ++acc) {
+    f.accesses_since_cool = acc;
+    EXPECT_EQ(scheme.Classify(f).hot, acc >= 3 && acc <= 5) << acc;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Feature extraction helpers.
+
+TEST(PolicyTest, RecencyBucketIsLogScaled) {
+  const uint64_t clock = 100;
+  EXPECT_EQ(policy::RecencyBucket(clock, 100), 0u);  // seen this epoch
+  EXPECT_EQ(policy::RecencyBucket(clock, 99), 1u);
+  EXPECT_EQ(policy::RecencyBucket(clock, 98), 2u);
+  EXPECT_EQ(policy::RecencyBucket(clock, 96), 3u);
+  EXPECT_EQ(policy::RecencyBucket(clock, 0), policy::kMaxRecencyBucket);
+}
+
+TEST(PolicyTest, DecayCounterClampsShift) {
+  uint32_t count = 0xffffffffu;
+  policy::DecayCounter(&count, policy::kFullDecayEpochs);
+  EXPECT_EQ(count, 1u);  // 31-shift clamp leaves the top bit
+  count = 1000;
+  policy::DecayCounter(&count, policy::kFullDecayEpochs);
+  EXPECT_EQ(count, 0u);  // any realistic count zeroes out
+  count = 8;
+  policy::DecayCounter(&count, 1);
+  EXPECT_EQ(count, 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Perceptron determinism.
+
+// Feeds one deterministic synthetic sample stream; returns the checksum.
+uint64_t TrainSynthetic(policy::PerceptronPolicy& p) {
+  Rng rng(0x5eedull);
+  for (int i = 0; i < 5000; ++i) {
+    PolicyFeatures f;
+    f.reads = static_cast<uint32_t>(rng.NextBounded(16));
+    f.writes = static_cast<uint32_t>(rng.NextBounded(8));
+    f.write_heavy = f.writes > f.reads;
+    f.accesses_since_cool = f.reads + f.writes;
+    f.recency_bucket = static_cast<uint32_t>(rng.NextBounded(8));
+    f.rw_ratio_q8 = policy::RwRatioQ8(f.reads, f.writes);
+    f.region_pages = 1u << rng.NextBounded(12);
+    f.tier = rng.NextBool(0.5) ? policy::kTierNvm : policy::kTierDram;
+    p.ObserveSample(f, f.write_heavy, i * 1000);
+  }
+  return p.WeightChecksum();
+}
+
+TEST(PolicyTest, PerceptronReplaysBitIdentically) {
+  policy::PerceptronPolicy a(PolicyConfig{});
+  policy::PerceptronPolicy b(PolicyConfig{});
+  EXPECT_EQ(a.WeightChecksum(), b.WeightChecksum());  // identical init
+  const uint64_t ca = TrainSynthetic(a);
+  const uint64_t cb = TrainSynthetic(b);
+  EXPECT_EQ(ca, cb);
+  EXPECT_EQ(a.updates(), b.updates());
+  EXPECT_GT(a.updates(), 0u) << "stream should cause at least one update";
+
+  // Classification agrees everywhere after identical training.
+  Rng rng(0x7777ull);
+  for (int i = 0; i < 200; ++i) {
+    PolicyFeatures f;
+    f.reads = static_cast<uint32_t>(rng.NextBounded(20));
+    f.writes = static_cast<uint32_t>(rng.NextBounded(10));
+    f.accesses_since_cool = f.reads + f.writes;
+    f.recency_bucket = static_cast<uint32_t>(rng.NextBounded(8));
+    f.tier = policy::kTierNvm;
+    EXPECT_EQ(a.Classify(f).hot, b.Classify(f).hot);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: the same fixed-seed workload as tests/access_golden_test.cc,
+// run through Hemem with an explicit PolicyChoice.
+
+struct Fingerprint {
+  SimTime end_ns;
+  uint64_t wp_faults;
+  SimTime wp_wait_ns;
+  uint64_t pages_promoted;
+  uint64_t pages_demoted;
+  uint64_t bytes_migrated;
+};
+
+Fingerprint RunHemem(const PolicyChoice& choice,
+                     HememParams::ScanMode scan = HememParams::ScanMode::kPebs) {
+  constexpr uint64_t kWorkingSet = MiB(128);
+  constexpr uint64_t kHotSet = MiB(16);
+  constexpr uint64_t kOps = 300'000;
+
+  Machine machine(TinyMachineConfig());
+  HememParams params;
+  params.scan_mode = scan;
+  params.policy = choice.name;
+  params.policy_spec = choice.spec;
+  Hemem manager(machine, params);
+  manager.Start();
+  const uint64_t va = manager.Mmap(kWorkingSet, {.label = "golden"});
+
+  Rng access_rng(0xbeefull);
+  uint64_t op = 0;
+  ScriptThread thread([&](ScriptThread& self) mutable {
+    const bool hot = access_rng.NextBool(0.9);
+    const uint64_t span = hot ? kHotSet : kWorkingSet;
+    const uint64_t offset = access_rng.NextBounded(span / 64) * 64;
+    const AccessKind kind = op % 3 == 0 ? AccessKind::kStore : AccessKind::kLoad;
+    manager.Access(self, va + offset, 64, kind);
+    self.Advance(15);
+    return ++op < kOps;
+  });
+  machine.engine().AddThread(&thread);
+  const SimTime end = machine.engine().Run();
+
+  const ManagerStats& s = manager.stats();
+  return Fingerprint{end,
+                     s.wp_faults,
+                     s.wp_wait_ns,
+                     s.pages_promoted,
+                     s.pages_demoted,
+                     s.bytes_migrated};
+}
+
+// The refactor's equivalence oracle: --policy=default must reproduce the
+// pre-extraction AccessGolden fingerprints exactly, for both the PEBS and
+// the synchronous page-table-scan configurations.
+TEST(AccessGolden, DefaultPolicyIsExact) {
+  const Fingerprint pebs = RunHemem({"default", ""});
+  EXPECT_EQ(pebs.end_ns, 62100003);  // tests/access_golden_test.cc kGolden
+  EXPECT_EQ(pebs.wp_faults, 28u);
+  EXPECT_EQ(pebs.wp_wait_ns, 11348247);
+  EXPECT_EQ(pebs.pages_promoted, 15u);
+  EXPECT_EQ(pebs.pages_demoted, 81u);
+  EXPECT_EQ(pebs.bytes_migrated, 100663296u);
+
+  const Fingerprint pt = RunHemem({"default", ""}, HememParams::ScanMode::kPtSync);
+  EXPECT_EQ(pt.end_ns, 67156299);
+  EXPECT_EQ(pt.wp_faults, 45u);
+  EXPECT_EQ(pt.wp_wait_ns, 23382973);
+  EXPECT_EQ(pt.pages_promoted, 49u);
+  EXPECT_EQ(pt.pages_demoted, 115u);
+  EXPECT_EQ(pt.bytes_migrated, 171966464u);
+}
+
+// A learned policy in the loop must replay bit-identically run-to-run: the
+// whole stack (sampling order, training order, migration interleave) is
+// deterministic. Also checks the run actually diverged from the default —
+// i.e. the policy is live, not silently ignored.
+TEST(PolicyTest, PerceptronEndToEndIsDeterministic) {
+  const Fingerprint a = RunHemem({"perceptron", ""});
+  const Fingerprint b = RunHemem({"perceptron", ""});
+  EXPECT_EQ(a.end_ns, b.end_ns);
+  EXPECT_EQ(a.wp_faults, b.wp_faults);
+  EXPECT_EQ(a.wp_wait_ns, b.wp_wait_ns);
+  EXPECT_EQ(a.pages_promoted, b.pages_promoted);
+  EXPECT_EQ(a.pages_demoted, b.pages_demoted);
+  EXPECT_EQ(a.bytes_migrated, b.bytes_migrated);
+}
+
+// An always-cold scheme disables promotion entirely; an aggressive hot
+// scheme must promote at least as much as the default. Both pin down that
+// scheme rules actually steer the migration phases.
+TEST(PolicyTest, SchemeRulesSteerMigration) {
+  const Fingerprint def = RunHemem({"default", ""});
+  const Fingerprint frozen = RunHemem({"scheme", "cold"});
+  EXPECT_EQ(frozen.pages_promoted, 0u);
+  const Fingerprint eager = RunHemem({"scheme", "hot:tier=1,min_acc=1"});
+  EXPECT_GE(eager.pages_promoted, def.pages_promoted);
+}
+
+}  // namespace
+}  // namespace hemem

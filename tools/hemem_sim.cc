@@ -48,6 +48,8 @@ struct FlagSpec {
 constexpr FlagSpec kFlagSpecs[] = {
     {"workload", "gups|kvs|tpcc|bc|pagerank|replay (default gups)"},
     {"system", "tiering system: DRAM|NVM|MM|Nimble|X-Mem|Thermostat|HeMem|..."},
+    {"policy", "migration policy: default|perceptron|scheme[:spec]"},
+    {"policy-spec", "policy spec, e.g. \"hot:tier=1,min_acc=2;cold:max_acc=0\""},
     {"scale", "machine divisor (bc, pagerank)"},
     {"threads", "worker threads"},
     {"ws-gb", "working set, paper-equivalent GiB (gups, kvs)"},
@@ -116,6 +118,23 @@ std::string FlagS(const std::map<std::string, std::string>& flags, const std::st
   return it == flags.end() ? fallback : it->second;
 }
 
+// Resolves --policy / --policy-spec. Like --fault-spec, a bad value is a
+// usage error: an unknown policy name or malformed spec prints the policy
+// library's message (which lists the registered names) and exits 2.
+policy::PolicyChoice PolicyFromFlags(const std::map<std::string, std::string>& flags) {
+  policy::PolicyChoice choice = policy::ParsePolicyFlag(FlagS(flags, "policy", "default"));
+  const std::string spec = FlagS(flags, "policy-spec", "");
+  if (!spec.empty()) {
+    choice.spec = spec;
+  }
+  std::string error;
+  if (policy::MakePolicy(choice, policy::PolicyConfig{}, &error) == nullptr) {
+    std::fprintf(stderr, "bad --policy: %s\n", error.c_str());
+    std::exit(2);
+  }
+  return choice;
+}
+
 // Folds --fault-spec into the machine config. A malformed spec is a usage
 // error: print the parser's message and exit like an unknown flag would.
 MachineConfig WithFaultPlan(MachineConfig config,
@@ -179,6 +198,7 @@ class ObsSession {
 
 int RunGupsCli(const std::map<std::string, std::string>& flags) {
   const std::string system = FlagS(flags, "system", "HeMem");
+  const policy::PolicyChoice policy = PolicyFromFlags(flags);
   GupsConfig config = StandardHotGups(static_cast<int>(FlagD(flags, "threads", 16)));
   config.working_set = PaperGiB(FlagD(flags, "ws-gb", 512));
   config.hot_set = PaperGiB(FlagD(flags, "hot-gb", 16));
@@ -189,7 +209,7 @@ int RunGupsCli(const std::map<std::string, std::string>& flags) {
     // Capture the access trace while running (use a modest op count: traces
     // hold every access).
     Machine machine(WithFaultPlan(GupsMachine(), flags));
-    auto manager = MakeSystem(system, machine);
+    auto manager = MakeSystem(system, machine, policy);
     TraceRecorder recorder(*manager);
     recorder.Start();
     config.updates_per_thread = static_cast<uint64_t>(FlagD(flags, "updates", 100'000));
@@ -216,7 +236,7 @@ int RunGupsCli(const std::map<std::string, std::string>& flags) {
 
   Machine machine(WithFaultPlan(GupsMachine(), flags));
   ObsSession obs_session(machine, flags);
-  auto manager = MakeSystem(system, machine);
+  auto manager = MakeSystem(system, machine, policy);
   manager->Start();
 
   config.updates_per_thread = ~0ull >> 2;  // deadline-bounded
@@ -227,11 +247,12 @@ int RunGupsCli(const std::map<std::string, std::string>& flags) {
 
   std::printf("gups=%.4f updates=%lu elapsed_ms=%.1f\n", result.gups,
               result.total_updates, static_cast<double>(result.elapsed) / 1e6);
-  return obs_session.Finish({{"workload", "gups"}, {"system", system}});
+  return obs_session.Finish({{"workload", "gups"}, {"system", system}, {"policy", policy.name}});
 }
 
 int RunReplayCli(const std::map<std::string, std::string>& flags) {
   const std::string system = FlagS(flags, "system", "HeMem");
+  const policy::PolicyChoice policy = PolicyFromFlags(flags);
   const std::string path = FlagS(flags, "trace", "");
   Trace trace;
   if (path.empty() || !Trace::LoadFrom(path, &trace)) {
@@ -240,20 +261,21 @@ int RunReplayCli(const std::map<std::string, std::string>& flags) {
   }
   Machine machine(WithFaultPlan(GupsMachine(), flags));
   ObsSession obs_session(machine, flags);
-  auto manager = MakeSystem(system, machine);
+  auto manager = MakeSystem(system, machine, policy);
   manager->Start();
   TraceReplayer replayer(*manager, trace, flags.count("preserve-gaps") > 0);
   const TraceReplayer::Result result = replayer.Run();
   std::printf("replayed %lu accesses in %.1f ms under %s\n", result.accesses,
               static_cast<double>(result.elapsed) / 1e6, manager->name());
-  return obs_session.Finish({{"workload", "replay"}, {"system", system}});
+  return obs_session.Finish({{"workload", "replay"}, {"system", system}, {"policy", policy.name}});
 }
 
 int RunKvsCli(const std::map<std::string, std::string>& flags) {
   const std::string system = FlagS(flags, "system", "HeMem");
+  const policy::PolicyChoice policy = PolicyFromFlags(flags);
   Machine machine(WithFaultPlan(GupsMachine(), flags));
   ObsSession obs_session(machine, flags);
-  auto manager = MakeSystem(system, machine);
+  auto manager = MakeSystem(system, machine, policy);
   manager->Start();
   KvsConfig config;
   config.value_bytes = 4096;
@@ -269,17 +291,18 @@ int RunKvsCli(const std::map<std::string, std::string>& flags) {
   std::printf("mops=%.3f p50_us=%lu p99_us=%lu p999_us=%lu\n", result.mops,
               result.latency.Percentile(0.5), result.latency.Percentile(0.99),
               result.latency.Percentile(0.999));
-  return obs_session.Finish({{"workload", "kvs"}, {"system", system}});
+  return obs_session.Finish({{"workload", "kvs"}, {"system", system}, {"policy", policy.name}});
 }
 
 int RunTpccCli(const std::map<std::string, std::string>& flags) {
   const std::string system = FlagS(flags, "system", "HeMem");
+  const policy::PolicyChoice policy = PolicyFromFlags(flags);
   MachineConfig mc = MachineConfig::Scaled(115.0);
   mc.page_bytes = KiB(64);
   mc.pebs.SetAllPeriods(ScaledPebsPeriod(kPaperPebsPeriod, 40.0));
   Machine machine(WithFaultPlan(mc, flags));
   ObsSession obs_session(machine, flags);
-  auto manager = MakeSystem(system, machine);
+  auto manager = MakeSystem(system, machine, policy);
   manager->Start();
   SiloConfig sconfig;
   sconfig.warehouses = static_cast<int>(FlagD(flags, "warehouses", 432));
@@ -297,11 +320,12 @@ int RunTpccCli(const std::map<std::string, std::string>& flags) {
   const TpccResult result = tpcc.Run();
   std::printf("txn_per_sec=%.0f transactions=%lu\n", result.txn_per_sec,
               result.total_transactions);
-  return obs_session.Finish({{"workload", "tpcc"}, {"system", system}});
+  return obs_session.Finish({{"workload", "tpcc"}, {"system", system}, {"policy", policy.name}});
 }
 
 int RunPageRankCli(const std::map<std::string, std::string>& flags) {
   const std::string system = FlagS(flags, "system", "HeMem");
+  const policy::PolicyChoice policy = PolicyFromFlags(flags);
   KroneckerConfig kconfig;
   kconfig.scale = static_cast<int>(FlagD(flags, "graph-scale", 18));
   kconfig.seed = static_cast<uint64_t>(FlagD(flags, "seed", 12));
@@ -311,7 +335,7 @@ int RunPageRankCli(const std::map<std::string, std::string>& flags) {
   mc.pebs.SetAllPeriods(ScaledPebsPeriod(kPaperPebsPeriod, 64.0));
   Machine machine(WithFaultPlan(mc, flags));
   ObsSession obs_session(machine, flags);
-  auto manager = MakeSystem(system, machine);
+  auto manager = MakeSystem(system, machine, policy);
   manager->Start();
   SimGraph sim_graph(*manager, graph);
   PageRankConfig pconfig;
@@ -324,11 +348,12 @@ int RunPageRankCli(const std::map<std::string, std::string>& flags) {
     std::printf("iteration %zu: %.1f ms\n", i + 1,
                 static_cast<double>(result.iteration_time[i]) / 1e6);
   }
-  return obs_session.Finish({{"workload", "pagerank"}, {"system", system}});
+  return obs_session.Finish({{"workload", "pagerank"}, {"system", system}, {"policy", policy.name}});
 }
 
 int RunBcCli(const std::map<std::string, std::string>& flags) {
   const std::string system = FlagS(flags, "system", "HeMem");
+  const policy::PolicyChoice policy = PolicyFromFlags(flags);
   KroneckerConfig kconfig;
   kconfig.scale = static_cast<int>(FlagD(flags, "graph-scale", 18));
   kconfig.seed = static_cast<uint64_t>(FlagD(flags, "seed", 12));
@@ -338,7 +363,7 @@ int RunBcCli(const std::map<std::string, std::string>& flags) {
   mc.pebs.SetAllPeriods(ScaledPebsPeriod(kPaperPebsPeriod, 64.0));
   Machine machine(WithFaultPlan(mc, flags));
   ObsSession obs_session(machine, flags);
-  auto manager = MakeSystem(system, machine);
+  auto manager = MakeSystem(system, machine, policy);
   manager->Start();
   SimGraph sim_graph(*manager, graph);
   BcConfig bconfig;
@@ -352,7 +377,7 @@ int RunBcCli(const std::map<std::string, std::string>& flags) {
                 static_cast<double>(result.iteration_time[i]) / 1e6,
                 static_cast<double>(result.iteration_nvm_writes[i]) / 1048576.0);
   }
-  return obs_session.Finish({{"workload", "bc"}, {"system", system}});
+  return obs_session.Finish({{"workload", "bc"}, {"system", system}, {"policy", policy.name}});
 }
 
 }  // namespace
