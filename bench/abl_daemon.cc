@@ -7,6 +7,7 @@
 // capacity.
 
 #include "gups_bench.h"
+#include "sweep.h"
 
 #include "core/daemon.h"
 
@@ -14,6 +15,8 @@ using namespace hemem;
 using namespace hemem::bench;
 
 namespace {
+
+const SweepOptions* g_sweep = nullptr;
 
 struct PairOut {
   double skewed_gups = 0.0;
@@ -24,6 +27,10 @@ struct PairOut {
 
 PairOut RunPair(bool with_daemon) {
   Machine machine(GupsMachine());
+  std::optional<CellObs> cell_obs;
+  if (g_sweep != nullptr) {
+    cell_obs.emplace(machine, *g_sweep);
+  }
   Hemem skewed(machine);
   Hemem uniform(machine);
   skewed.Start();
@@ -62,12 +69,18 @@ PairOut RunPair(bool with_daemon) {
   out.uniform_gups = uniform_gups.Run().gups;
   out.skewed_quota = skewed.dram_quota();
   out.uniform_quota = uniform.dram_quota();
+  if (cell_obs.has_value()) {
+    cell_obs->Finish(with_daemon ? "daemon-on" : "daemon-off",
+                     {{"workload", "gups-pair"}});
+  }
   return out;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const SweepOptions sweep = ParseSweepArgs(argc, argv);
+  g_sweep = &sweep;
   PrintTitle("Ablation: HeMem daemon", "two instances sharing a socket (GUPS)",
              "skewed: 256 GB WS / 64 GB hot; uniform: 256 GB WS; quotas in paper GB");
   PrintCols({"config", "skewed", "uniform", "quota_skewed", "quota_uniform"});

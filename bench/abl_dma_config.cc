@@ -7,11 +7,15 @@
 // implies (larger batches hold pages under copy longer).
 
 #include "bench_common.h"
+#include "sweep.h"
 
 using namespace hemem;
 using namespace hemem::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  // Raw-device bench: no Machine, so the obs outputs have nothing to write,
+  // but the sweep flags must parse so drivers can pass them uniformly.
+  (void)ParseSweepArgs(argc, argv);
   PrintTitle("Ablation: DMA config", "migration throughput (GB/s) by batch x channels",
              "512 x 2 MiB page copies NVM->DRAM; wp = mean per-page copy window (us)");
   PrintCols({"batch", "ch1", "ch2", "ch4", "ch8", "wp_us_ch2"});

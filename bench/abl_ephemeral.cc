@@ -8,8 +8,11 @@
 // those allocations never fall back to NVM; X-Mem shows the same rule
 // statically; MM has no notion of allocations at all.
 
+#include <optional>
+
 #include "apps/gups.h"
 #include "bench_common.h"
+#include "sweep.h"
 
 #include "sim/script_thread.h"
 
@@ -18,6 +21,8 @@ using namespace hemem::bench;
 
 namespace {
 
+const SweepOptions* g_sweep = nullptr;
+
 struct Out {
   double alloc_work_us = 0.0;  // mean time to allocate + fill + use a buffer
   double dram_fraction = 0.0;  // small-buffer accesses served from DRAM
@@ -25,6 +30,10 @@ struct Out {
 
 Out RunEphemeral(const std::string& system) {
   Machine machine(GupsMachine());
+  std::optional<CellObs> cell_obs;
+  if (g_sweep != nullptr) {
+    cell_obs.emplace(machine, *g_sweep);
+  }
   std::unique_ptr<TieredMemoryManager> manager = MakeSystem(system, machine);
   manager->Start();
 
@@ -68,12 +77,18 @@ Out RunEphemeral(const std::string& system) {
   const double nvm_loads =
       static_cast<double>(machine.nvm().stats().loads - nvm_loads_before);
   out.dram_fraction = dram_loads / (dram_loads + nvm_loads);
+  if (cell_obs.has_value()) {
+    cell_obs->Finish("ephemeral-" + system,
+                     {{"workload", "ephemeral"}, {"system", system}});
+  }
   return out;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const SweepOptions sweep = ParseSweepArgs(argc, argv);
+  g_sweep = &sweep;
   PrintTitle("Ablation: ephemeral allocations", "small short-lived buffers under pressure",
              "700 GB cold heap resident; 64 KiB scratch buffers allocated/freed "
              "continuously");

@@ -5,11 +5,13 @@
 // total physical memory (DRAM+NVM = 960 GB paper-equivalent at 1/256 scale).
 
 #include "gups_bench.h"
+#include "sweep.h"
 
 using namespace hemem;
 using namespace hemem::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const SweepOptions sweep = ParseSweepArgs(argc, argv);
   PrintTitle("Ablation: swap tier", "GUPS vs working set with disk swap",
              "16 GB hot set; DRAM+NVM = 960 GB paper-equivalent; swap = NVMe model");
   PrintCols({"ws_GB", "gups", "swapped_out", "swapped_in", "disk_MB_written"});
@@ -19,6 +21,8 @@ int main() {
     mc.swap_bytes = PaperGiB(1024.0);
 
     Machine machine(mc);
+    std::optional<CellObs> cell_obs;
+    cell_obs.emplace(machine, sweep);
     HememParams params;
     params.enable_swap = true;
     params.nvm_free_watermark = GiB(32);
@@ -43,6 +47,7 @@ int main() {
     PrintCell(static_cast<double>(machine.swap()->stats().bytes_written) /
               (1024.0 * 1024.0));
     EndRow();
+    cell_obs->Finish(Fmt("swap-ws%.0f", ws_gb), {{"workload", "gups-swap"}});
   }
   return 0;
 }

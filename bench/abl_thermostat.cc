@@ -5,18 +5,22 @@
 // the paper makes qualitatively in Section 6.
 
 #include "gups_bench.h"
+#include "sweep.h"
 
 using namespace hemem;
 using namespace hemem::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const SweepOptions sweep = ParseSweepArgs(argc, argv);
   PrintTitle("Ablation: tracking mechanisms", "hot-set GUPS by tracking approach",
              "512 GB WS / 16 GB hot at 1/256 scale, 16 threads");
   PrintCols({"system", "gups", "promoted", "nvm_wear_MB"});
 
   for (const std::string system :
        {"HeMem", "HeMem-PT-Async", "Thermostat", "MM", "NVM"}) {
-    const GupsRunOutput out = RunGupsSystem(system, StandardHotGups());
+    const GupsRunOutput out = RunGupsSystem(
+        system, StandardHotGups(), GupsMachine(), std::nullopt, kGupsWarmup,
+        kGupsWindow, sweep.host_workers, sweep.policy, &sweep, "tracking");
     PrintCell(system);
     PrintCell(out.result.gups);
     PrintCell(Fmt("%.0f", static_cast<double>(out.pages_promoted)));

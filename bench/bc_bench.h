@@ -3,6 +3,8 @@
 #ifndef HEMEM_BENCH_BC_BENCH_H_
 #define HEMEM_BENCH_BC_BENCH_H_
 
+#include <optional>
+
 #include "apps/bc.h"
 #include "apps/graph.h"
 #include "bench_common.h"
@@ -24,9 +26,17 @@ inline MachineConfig BcMachine(double scale) {
   return config;
 }
 
+// `sweep`/`cell`: per-cell --metrics-out/--trace-out/--sample-ms outputs
+// (cf. CellObs); cell ids come out as "bc-<system>[-<cell>]".
 inline BcResult RunBc(const std::string& system, const CsrGraph& graph, int iterations,
-                      double machine_scale, uint64_t* nvm_writes_total = nullptr) {
+                      double machine_scale, uint64_t* nvm_writes_total = nullptr,
+                      const SweepOptions* sweep = nullptr,
+                      const std::string& cell = "") {
   Machine machine(BcMachine(machine_scale));
+  std::optional<CellObs> cell_obs;
+  if (sweep != nullptr) {
+    cell_obs.emplace(machine, *sweep);
+  }
   std::unique_ptr<TieredMemoryManager> manager = MakeSystem(system, machine);
   manager->Start();
   SimGraph sim_graph(*manager, graph);
@@ -37,6 +47,10 @@ inline BcResult RunBc(const std::string& system, const CsrGraph& graph, int iter
   BcResult result = bc.Run();
   if (nvm_writes_total != nullptr) {
     *nvm_writes_total = machine.nvm().stats().media_bytes_written;
+  }
+  if (cell_obs.has_value()) {
+    const std::string id = "bc-" + system + (cell.empty() ? "" : "-" + cell);
+    cell_obs->Finish(id, {{"workload", "bc"}, {"system", system}});
   }
   return result;
 }

@@ -24,6 +24,8 @@
 
 #include "core/hemem.h"
 #include "obs/report.h"
+#include "obs/sampler.h"
+#include "sweep.h"
 #include "tier/machine.h"
 #include "tier/manager.h"
 #include "tier/memory_mode.h"
@@ -151,6 +153,59 @@ inline void MaybeWriteReport(Machine& machine, const std::string& id,
   obs::WriteRunReport(std::string(dir) + "/" + id + ".json",
                       machine.metrics().Snapshot(), /*sampler=*/nullptr, meta);
 }
+
+// Splices a cell id into a base output path before its extension
+// ("reports/m.json" + "gups-HeMem-ws64" -> "reports/m-gups-HeMem-ws64.json"),
+// so one --metrics-out/--trace-out flag fans out to one file per sweep cell.
+inline std::string CellOutName(const std::string& base, const std::string& id) {
+  const size_t dot = base.rfind('.');
+  const size_t slash = base.find_last_of('/');
+  if (dot == std::string::npos ||
+      (slash != std::string::npos && dot < slash)) {
+    return base + "-" + id + ".json";
+  }
+  return base.substr(0, dot) + "-" + id + base.substr(dot);
+}
+
+// Per-cell observability wiring for the sweep benches — the bench twin of
+// hemem_sim's --metrics-out/--trace-out/--sample-ms flags. Construct right
+// after the cell's Machine and BEFORE its manager (tracing has to be on when
+// managers register their trace tracks); call Finish(id) after the workload,
+// with an id unique per cell so concurrent --jobs cells never share a file.
+class CellObs {
+ public:
+  CellObs(Machine& machine, const SweepOptions& sweep)
+      : machine_(machine),
+        metrics_out_(sweep.metrics_out),
+        trace_out_(sweep.trace_out) {
+    if (!trace_out_.empty()) {
+      machine.EnableTracing();
+    }
+    if (sweep.sample_ms > 0.0 && !metrics_out_.empty()) {
+      sampler_ = std::make_unique<obs::MetricsSampler>(
+          machine.metrics(),
+          static_cast<SimTime>(sweep.sample_ms * static_cast<double>(kMillisecond)));
+      machine.engine().AddObserverThread(sampler_.get());
+    }
+  }
+
+  void Finish(const std::string& id, obs::ReportMeta meta = {}) {
+    if (!metrics_out_.empty()) {
+      meta.emplace_back("id", id);
+      obs::WriteRunReport(CellOutName(metrics_out_, id),
+                          machine_.metrics().Snapshot(), sampler_.get(), meta);
+    }
+    if (!trace_out_.empty()) {
+      machine_.tracer().WriteJson(CellOutName(trace_out_, id));
+    }
+  }
+
+ private:
+  Machine& machine_;
+  std::string metrics_out_;
+  std::string trace_out_;
+  std::unique_ptr<obs::MetricsSampler> sampler_;
+};
 
 // ---------------------------------------------------------------------------
 // Output helpers: every bench prints a commented header followed by

@@ -5,11 +5,13 @@
 // and performance falls off.
 
 #include "gups_bench.h"
+#include "sweep.h"
 
 using namespace hemem;
 using namespace hemem::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const SweepOptions sweep = ParseSweepArgs(argc, argv);
   PrintTitle("Figure 10", "PEBS sampling period sensitivity (GUPS)",
              "min/avg/max over 3 seeds; drop rate of PEBS samples; periods are "
              "paper-equivalent (scaled per bench_common.h ScaledPebsPeriod)");
@@ -28,7 +30,10 @@ int main() {
       mc.pebs.SetAllPeriods(period);
       GupsConfig config = StandardHotGups();
       config.seed = 42 + static_cast<uint64_t>(run);
-      const GupsRunOutput out = RunGupsSystem("HeMem", config, mc);
+      const GupsRunOutput out = RunGupsSystem(
+          "HeMem", config, mc, std::nullopt, kGupsWarmup, kGupsWindow,
+          sweep.host_workers, sweep.policy, &sweep,
+          Fmt("p%.0f", static_cast<double>(paper_period)) + Fmt("-r%.0f", run));
       min = std::min(min, out.result.gups);
       max = std::max(max, out.result.gups);
       sum += out.result.gups;

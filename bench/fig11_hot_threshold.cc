@@ -5,11 +5,13 @@
 // too long to qualify) and GUPS declines.
 
 #include "gups_bench.h"
+#include "sweep.h"
 
 using namespace hemem;
 using namespace hemem::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const SweepOptions sweep = ParseSweepArgs(argc, argv);
   PrintTitle("Figure 11", "Hot read-threshold sensitivity (GUPS)",
              "write threshold = read/2; PEBS period 5k");
   PrintCols({"threshold", "gups", "promoted_pages"});
@@ -20,8 +22,10 @@ int main() {
     params.hot_write_threshold = std::max(1u, threshold / 2);
     // Cooling stays at the paper's fixed 18: thresholds above it can never
     // be reached (counts are halved first), the paper's right-hand cliff.
-    const GupsRunOutput out =
-        RunGupsSystem("HeMem", StandardHotGups(), GupsMachine(), params);
+    const GupsRunOutput out = RunGupsSystem(
+        "HeMem", StandardHotGups(), GupsMachine(), params, kGupsWarmup,
+        kGupsWindow, sweep.host_workers, sweep.policy, &sweep,
+        Fmt("thr%.0f", static_cast<double>(threshold)));
     PrintCell(Fmt("%.0f", static_cast<double>(threshold)));
     PrintCell(out.result.gups);
     PrintCell(Fmt("%.0f", static_cast<double>(out.pages_promoted)));

@@ -8,11 +8,13 @@
 #include <numeric>
 
 #include "gups_bench.h"
+#include "sweep.h"
 
 using namespace hemem;
 using namespace hemem::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const SweepOptions sweep = ParseSweepArgs(argc, argv);
   // The shift happens only after classification+migration converge (~400 ms
   // at this scale, cf. Figure 9); "steady" is then meaningful.
   constexpr SimTime kShiftAt = 450 * kMillisecond;
@@ -33,7 +35,9 @@ int main() {
     config.series_bucket = kBucket;
     const GupsRunOutput out =
         RunGupsSystem("HeMem", config, GupsMachine(), params,
-                      /*warmup=*/100 * kMillisecond, /*window=*/kEnd - 100 * kMillisecond);
+                      /*warmup=*/100 * kMillisecond, /*window=*/kEnd - 100 * kMillisecond,
+                      sweep.host_workers, sweep.policy, &sweep,
+                      Fmt("cool%.0f", static_cast<double>(cooling)));
 
     auto bucket_gups = [&](size_t b) {
       return b < out.series.size() ? out.series[b] / static_cast<double>(kBucket) : 0.0;

@@ -4,13 +4,18 @@
 // 82%) while the working set fits DRAM; past DRAM, MM edges out HeMem (17%);
 // static NVM placement (X-Mem) runs at ~1/3 of HeMem/MM throughput.
 
+#include <optional>
+
 #include "apps/silo.h"
 #include "bench_common.h"
+#include "sweep.h"
 
 using namespace hemem;
 using namespace hemem::bench;
 
 namespace {
+
+const SweepOptions* g_sweep = nullptr;
 
 // Machine scaled so 864 warehouses' footprint ~= DRAM capacity; tracking
 // granularity and sampling period scale with it (cf. GupsMachine).
@@ -33,6 +38,10 @@ SiloConfig ScaledSilo(int warehouses) {
 
 double RunTpcc(const std::string& system, int warehouses) {
   Machine machine(TpccMachine());
+  std::optional<CellObs> cell_obs;
+  if (g_sweep != nullptr) {
+    cell_obs.emplace(machine, *g_sweep);
+  }
   std::unique_ptr<TieredMemoryManager> manager = MakeSystem(system, machine);
   manager->Start();
   SiloDb db(*manager, ScaledSilo(warehouses));
@@ -42,12 +51,19 @@ double RunTpcc(const std::string& system, int warehouses) {
   config.warmup_transactions_per_thread = 500;
   TpccBenchmark tpcc(db, config);
   tpcc.Prepare();
-  return tpcc.Run().txn_per_sec;
+  const double txn_per_sec = tpcc.Run().txn_per_sec;
+  if (cell_obs.has_value()) {
+    cell_obs->Finish("tpcc-" + system + "-w" + std::to_string(warehouses),
+                     {{"workload", "tpcc"}, {"system", system}});
+  }
+  return txn_per_sec;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const SweepOptions sweep = ParseSweepArgs(argc, argv);
+  g_sweep = &sweep;
   PrintTitle("Figure 13", "Silo TPC-C throughput vs warehouses (txn/s)",
              "16 threads; 864 warehouses ~= DRAM capacity (1/115 scale)");
   const std::vector<std::string> systems = {"HeMem", "MM", "Nimble", "NVM"};

@@ -5,11 +5,13 @@
 // accesses are the worst case for Optane); Nimble lands between them.
 
 #include "bc_bench.h"
+#include "sweep.h"
 
 using namespace hemem;
 using namespace hemem::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const SweepOptions sweep = ParseSweepArgs(argc, argv);
   constexpr int kIterations = 5;
   PrintTitle("Figure 14", "BC per-iteration runtime, graph fits DRAM (ms)",
              "Kronecker 2^18 vertices / degree 16; footprint ~78% of DRAM (fits)");
@@ -21,7 +23,8 @@ int main() {
   const std::vector<std::string> systems = {"DRAM", "HeMem", "Nimble", "MM"};
   std::vector<BcResult> results;
   for (const auto& system : systems) {
-    results.push_back(RunBc(system, graph, kIterations, 6144.0));
+    results.push_back(
+        RunBc(system, graph, kIterations, 6144.0, nullptr, &sweep, "small"));
   }
 
   std::vector<std::string> cols = {"iteration"};

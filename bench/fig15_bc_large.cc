@@ -7,11 +7,13 @@
 // beat MM (58% / 16%).
 
 #include "bc_bench.h"
+#include "sweep.h"
 
 using namespace hemem;
 using namespace hemem::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const SweepOptions sweep = ParseSweepArgs(argc, argv);
   constexpr int kIterations = 5;
   PrintTitle("Figure 15", "BC per-iteration runtime, graph exceeds DRAM (ms)",
              "Kronecker 2^19 vertices / degree 16 at 1/1024 scale; lower is better");
@@ -23,7 +25,8 @@ int main() {
   const std::vector<std::string> systems = {"HeMem", "HeMem-PT-Async", "Nimble", "MM"};
   std::vector<BcResult> results;
   for (const auto& system : systems) {
-    results.push_back(RunBc(system, graph, kIterations, 8192.0));
+    results.push_back(
+        RunBc(system, graph, kIterations, 8192.0, nullptr, &sweep, "large"));
   }
 
   std::vector<std::string> cols = {"iteration"};

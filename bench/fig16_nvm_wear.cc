@@ -6,11 +6,13 @@
 // overestimated hot set) and then converges to the PEBS level.
 
 #include "bc_bench.h"
+#include "sweep.h"
 
 using namespace hemem;
 using namespace hemem::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const SweepOptions sweep = ParseSweepArgs(argc, argv);
   constexpr int kIterations = 6;
   PrintTitle("Figure 16", "NVM media bytes written per BC iteration (MB)",
              "Kronecker 2^19 vertices at 1/1024 scale; lower is better (wear)");
@@ -22,7 +24,8 @@ int main() {
   const std::vector<std::string> systems = {"HeMem", "HeMem-PT-Async", "MM"};
   std::vector<BcResult> results;
   for (const auto& system : systems) {
-    results.push_back(RunBc(system, graph, kIterations, 8192.0));
+    results.push_back(
+        RunBc(system, graph, kIterations, 8192.0, nullptr, &sweep, "wear"));
   }
 
   std::vector<std::string> cols = {"iteration"};

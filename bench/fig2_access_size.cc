@@ -6,11 +6,15 @@
 
 #include "bench_common.h"
 #include "device_workload.h"
+#include "sweep.h"
 
 using namespace hemem;
 using namespace hemem::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  // Raw-device bench: no Machine, so the obs outputs have nothing to write,
+  // but the sweep flags must parse so drivers can pass them uniformly.
+  (void)ParseSweepArgs(argc, argv);
   PrintTitle("Figure 2", "Throughput vs access size, 16 threads (GB/s)",
              "columns are device/pattern/direction");
   PrintCols({"size_B", "dram_seq_rd", "dram_rnd_rd", "dram_seq_wr", "dram_rnd_wr",

@@ -4,12 +4,16 @@
 // the scan time by orders of magnitude.
 
 #include "bench_common.h"
+#include "sweep.h"
 #include "vm/page_table.h"
 
 using namespace hemem;
 using namespace hemem::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  // Cost-model bench: no Machine, so the obs outputs have nothing to write,
+  // but the sweep flags must parse so drivers can pass them uniformly.
+  (void)ParseSweepArgs(argc, argv);
   PrintTitle("Figure 3", "Page table scan time (ms)",
              "4-level radix cost model; A/D-bit check of the full mapping");
   PrintCols({"capacity_GB", "base_4K", "huge_2M", "giga_1G"});

@@ -42,7 +42,7 @@ int main(int argc, char** argv) {
     const GupsRunOutput out =
         RunGupsSystem(system, config, GupsMachine(), std::nullopt,
                       /*warmup=*/200 * kMillisecond, kGupsWindow, sweep.host_workers,
-                      sweep.policy);
+                      sweep.policy, &sweep, Fmt("ws%.0f", ws_gb));
     gups[cell] = out.result.gups;
   });
 

@@ -40,7 +40,8 @@ int main(int argc, char** argv) {
     const SimTime warmup = system == "MM" ? 300 * kMillisecond : 700 * kMillisecond;
     const GupsRunOutput out =
         RunGupsSystem(system, config, GupsMachine(), std::nullopt, warmup,
-                      kGupsWindow, sweep.host_workers, sweep.policy);
+                      kGupsWindow, sweep.host_workers, sweep.policy, &sweep,
+                      Fmt("hot%.0f", hot_gb));
     gups[cell] = out.result.gups;
   });
 

@@ -37,7 +37,8 @@ int main(int argc, char** argv) {
     const SimTime warmup = threads < 8 ? 1400 * kMillisecond : kGupsWarmup;
     const GupsRunOutput out =
         RunGupsSystem(system, config, GupsMachine(), std::nullopt, warmup,
-                      kGupsWindow, sweep.host_workers, sweep.policy);
+                      kGupsWindow, sweep.host_workers, sweep.policy, &sweep,
+                      Fmt("t%.0f", static_cast<double>(threads)));
     gups[cell] = out.result.gups;
   });
 

@@ -56,7 +56,7 @@ int main(int argc, char** argv) {
     params.enable_policy = c.migrate;
     const GupsRunOutput out =
         RunGupsSystem("HeMem", gups, GupsMachine(), params, kGupsWarmup,
-                      kGupsWindow, sweep.host_workers, sweep.policy);
+                      kGupsWindow, sweep.host_workers, sweep.policy, &sweep, c.name);
     if (opt_gups == 0.0) {
       opt_gups = out.result.gups;
     }

@@ -32,7 +32,7 @@ int main(int argc, char** argv) {
     const GupsRunOutput out =
         RunGupsSystem(system, config, GupsMachine(), std::nullopt,
                       /*warmup=*/100 * kMillisecond, /*window=*/kEnd - 100 * kMillisecond,
-                      sweep.host_workers, sweep.policy);
+                      sweep.host_workers, sweep.policy, &sweep, "shift");
     series.push_back(out.series);
   }
 

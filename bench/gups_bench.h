@@ -27,14 +27,23 @@ struct GupsRunOutput {
   std::vector<double> series;  // updates per series bucket
 };
 
+// `sweep` (optional) carries the per-cell observability outputs
+// (--metrics-out/--trace-out/--sample-ms); `cell` disambiguates this run's
+// derived file names within the bench's sweep ("ws64", "t8", ...).
 inline GupsRunOutput RunGupsSystem(const std::string& system, GupsConfig config,
                                    MachineConfig machine_config = GupsMachine(),
                                    std::optional<HememParams> hemem_params = std::nullopt,
                                    SimTime warmup = kGupsWarmup,
                                    SimTime window = kGupsWindow,
                                    int host_workers = 1,
-                                   const policy::PolicyChoice& policy = {}) {
+                                   const policy::PolicyChoice& policy = {},
+                                   const SweepOptions* sweep = nullptr,
+                                   const std::string& cell = "") {
   Machine machine(machine_config);
+  std::optional<CellObs> cell_obs;
+  if (sweep != nullptr) {
+    cell_obs.emplace(machine, *sweep);
+  }
   machine.EnableHostWorkers(host_workers);
   std::unique_ptr<TieredMemoryManager> manager;
   if (hemem_params.has_value()) {
@@ -65,6 +74,10 @@ inline GupsRunOutput RunGupsSystem(const std::string& system, GupsConfig config,
                              ? "gups-" + system
                              : "gups-" + system + "-" + policy.name;
   MaybeWriteReport(machine, id, {{"workload", "gups"}, {"policy", policy.name}});
+  if (cell_obs.has_value()) {
+    cell_obs->Finish(cell.empty() ? id : id + "-" + cell,
+                     {{"workload", "gups"}, {"system", system}, {"policy", policy.name}});
+  }
   return out;
 }
 

@@ -61,7 +61,10 @@ struct CellResult {
   uint64_t pages_promoted = 0;
   uint64_t pages_demoted = 0;
   double regret = 0.0;
+  obs::MigrationAudit::Summary audit;
 };
+
+const SweepOptions* g_sweep = nullptr;
 
 // Best-case DRAM fraction for a hot-set workload: the oracle pins the hot
 // set (it fits DRAM in every case here) and fills the remaining DRAM with
@@ -82,6 +85,14 @@ CellResult RunCell(const WorkloadCase& wl, const policy::PolicyChoice& choice,
                    int host_workers) {
   const MachineConfig machine_config = GupsMachine();
   Machine machine(machine_config);
+  // The shoot-out always runs under access observation: the audit trail is
+  // what turns the scalar regret into per-decision attribution below.
+  // Observation is golden-pinned bit-identical, so the scores don't move.
+  machine.EnableAccessObservation();
+  std::optional<CellObs> cell_obs;
+  if (g_sweep != nullptr) {
+    cell_obs.emplace(machine, *g_sweep);
+  }
   machine.EnableHostWorkers(host_workers);
   // Sample every 10 ms of virtual time; an observer thread, so the simulated
   // execution (and any golden fingerprint) is untouched.
@@ -137,11 +148,16 @@ CellResult RunCell(const WorkloadCase& wl, const policy::PolicyChoice& choice,
     regret_n++;
   }
   cell.regret = regret_n == 0 ? 0.0 : regret_sum / static_cast<double>(regret_n);
+  cell.audit = machine.observation()->audit().Summarize();
 
   MaybeWriteReport(machine, std::string("shootout-") + wl.name + "-" + choice.name,
                    {{"workload", wl.name},
                     {"policy", choice.name},
                     {"policy.regret", Fmt("%.4f", cell.regret)}});
+  if (cell_obs.has_value()) {
+    cell_obs->Finish(std::string("shootout-") + wl.name + "-" + choice.name,
+                     {{"workload", wl.name}, {"policy", choice.name}});
+  }
   return cell;
 }
 
@@ -222,10 +238,12 @@ int main(int argc, char** argv) {
     workloads = std::move(picked);
   }
 
+  g_sweep = &sweep;
   PrintTitle("Policy shoot-out", "registered policies on the GUPS shapes",
              "regret = mean DRAM-hit shortfall vs oracle placement over the "
-             "measured window");
-  PrintCols({"workload", "policy", "GUPS", "migr_MB", "promoted", "demoted", "regret"});
+             "measured window; good/churn/pong classify individual decisions");
+  PrintCols({"workload", "policy", "GUPS", "migr_MB", "promoted", "demoted", "regret",
+             "good", "churn", "pong"});
 
   std::vector<CellResult> cells(workloads.size() * policies.size());
   const double t0 = WallSeconds();
@@ -246,6 +264,11 @@ int main(int argc, char** argv) {
       PrintCell(Fmt("%.0f", static_cast<double>(cell.pages_promoted)));
       PrintCell(Fmt("%.0f", static_cast<double>(cell.pages_demoted)));
       PrintCell(Fmt("%.4f", cell.regret));
+      PrintCell(Fmt("%.0f", static_cast<double>(cell.audit.good_promotions +
+                                                cell.audit.good_demotions)));
+      PrintCell(Fmt("%.0f", static_cast<double>(cell.audit.churn_promotions +
+                                                cell.audit.premature_demotions)));
+      PrintCell(Fmt("%.0f", static_cast<double>(cell.audit.ping_pongs)));
       EndRow();
     }
   }
@@ -270,11 +293,23 @@ int main(int argc, char** argv) {
       std::fprintf(f,
                    "      {\"policy\": \"%s\", \"gups\": %.6f, \"bytes_migrated\": %llu, "
                    "\"pages_promoted\": %llu, \"pages_demoted\": %llu, "
-                   "\"regret\": %.6f}%s\n",
+                   "\"regret\": %.6f,\n"
+                   "       \"audit\": {\"passes\": %llu, \"migrations\": %llu, "
+                   "\"aborted\": %llu, \"good_promotions\": %llu, "
+                   "\"churn_promotions\": %llu, \"good_demotions\": %llu, "
+                   "\"premature_demotions\": %llu, \"ping_pongs\": %llu}}%s\n",
                    policies[p].label, cell.gups,
                    static_cast<unsigned long long>(cell.bytes_migrated),
                    static_cast<unsigned long long>(cell.pages_promoted),
                    static_cast<unsigned long long>(cell.pages_demoted), cell.regret,
+                   static_cast<unsigned long long>(cell.audit.passes),
+                   static_cast<unsigned long long>(cell.audit.migrations),
+                   static_cast<unsigned long long>(cell.audit.aborted),
+                   static_cast<unsigned long long>(cell.audit.good_promotions),
+                   static_cast<unsigned long long>(cell.audit.churn_promotions),
+                   static_cast<unsigned long long>(cell.audit.good_demotions),
+                   static_cast<unsigned long long>(cell.audit.premature_demotions),
+                   static_cast<unsigned long long>(cell.audit.ping_pongs),
                    p + 1 < policies.size() ? "," : "");
     }
     std::fprintf(f, "    ]}%s\n", w + 1 < workloads.size() ? "," : "");

@@ -28,6 +28,12 @@ SweepOptions ParseSweepArgs(int argc, char** argv) {
       if (opts.host_workers < 1) {
         opts.host_workers = 1;
       }
+    } else if (std::strncmp(arg, "--metrics-out=", 14) == 0) {
+      opts.metrics_out = arg + 14;
+    } else if (std::strncmp(arg, "--trace-out=", 12) == 0) {
+      opts.trace_out = arg + 12;
+    } else if (std::strncmp(arg, "--sample-ms=", 12) == 0) {
+      opts.sample_ms = std::atof(arg + 12);
     } else if (std::strncmp(arg, "--x-list=", 9) == 0) {
       const char* p = arg + 9;
       while (*p != '\0') {

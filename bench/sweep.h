@@ -44,6 +44,15 @@ struct SweepOptions {
   // every HeMem/Thermostat cell the bench builds. Validated at parse time; an
   // unknown name or bad spec exits 2 listing the registered policies.
   policy::PolicyChoice policy;
+  // Per-cell observability outputs (--metrics-out=, --trace-out=,
+  // --sample-ms=N): base paths from which every sweep cell derives its own
+  // file name by splicing the cell id before the extension
+  // ("m.json" + cell "gups-HeMem-ws64" -> "m-gups-HeMem-ws64.json"; see
+  // bench_common.h CellOutName). sample_ms > 0 attaches a per-cell
+  // MetricsSampler so the reports carry time series.
+  std::string metrics_out;
+  std::string trace_out;
+  double sample_ms = 0.0;
 };
 
 // Parses --jobs=N, --host-workers=N, --x-list=a,b,c, --policy=... and

@@ -4,11 +4,15 @@
 
 #include "bench_common.h"
 #include "device_workload.h"
+#include "sweep.h"
 
 using namespace hemem;
 using namespace hemem::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  // Raw-device bench: no Machine, so the obs outputs have nothing to write,
+  // but the sweep flags must parse so drivers can pass them uniformly.
+  (void)ParseSweepArgs(argc, argv);
   PrintTitle("Table 1", "Main memory technology comparison",
              "bandwidths measured on the device model with 16 streaming threads");
 

@@ -5,11 +5,13 @@
 // MM is 0.86x and Nimble 0.36x of HeMem.
 
 #include "gups_bench.h"
+#include "sweep.h"
 
 using namespace hemem;
 using namespace hemem::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const SweepOptions sweep = ParseSweepArgs(argc, argv);
   PrintTitle("Table 2", "GUPS write skew",
              "256 GB hot / 512 GB WS, 128 GB write-only, 16 threads (1/256 scale)");
   PrintCols({"system", "gups", "x_vs_hemem", "nvm_media_writes_MB"});
@@ -26,7 +28,9 @@ int main() {
     config.write_only_hot_fraction = 0.5;  // 128 GB of the 256 GB hot set
     // The 256 GB hot set needs a long convergence window (cf. Figure 6).
     const GupsRunOutput out = RunGupsSystem(system, config, GupsMachine(), std::nullopt,
-                                            /*warmup=*/900 * kMillisecond);
+                                            /*warmup=*/900 * kMillisecond, kGupsWindow,
+                                            sweep.host_workers, sweep.policy, &sweep,
+                                            "writeskew");
     rows.push_back({system, out.result.gups, out.nvm_media_writes});
   }
   const double hemem = rows[0].gups;

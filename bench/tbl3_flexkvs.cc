@@ -4,8 +4,11 @@
 // at 700 GB (hot set still fits) HeMem leads MM/Nimble by ~14-15% and static
 // NVM placement by ~18%; HeMem's latency beats MM across percentiles.
 
+#include <optional>
+
 #include "apps/flexkvs.h"
 #include "bench_common.h"
+#include "sweep.h"
 
 using namespace hemem;
 using namespace hemem::bench;
@@ -13,6 +16,8 @@ using namespace hemem::bench;
 namespace {
 
 constexpr double kKvsScale = 256.0;
+
+const SweepOptions* g_sweep = nullptr;
 
 KvsConfig ScaledKvs(double paper_gb) {
   KvsConfig config;
@@ -28,18 +33,30 @@ KvsConfig ScaledKvs(double paper_gb) {
   return config;
 }
 
-KvsResult RunKvs(const std::string& system, const KvsConfig& config) {
+KvsResult RunKvs(const std::string& system, const KvsConfig& config,
+                 const std::string& cell) {
   Machine machine(GupsMachine());  // same 1/256-scale platform discipline
+  std::optional<CellObs> cell_obs;
+  if (g_sweep != nullptr) {
+    cell_obs.emplace(machine, *g_sweep);
+  }
   std::unique_ptr<TieredMemoryManager> manager = MakeSystem(system, machine);
   manager->Start();
   FlexKvs kvs(*manager, config);
   kvs.Prepare();
-  return kvs.Run();
+  KvsResult result = kvs.Run();
+  if (cell_obs.has_value()) {
+    cell_obs->Finish("kvs-" + system + "-" + cell,
+                     {{"workload", "flexkvs"}, {"system", system}});
+  }
+  return result;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const SweepOptions sweep = ParseSweepArgs(argc, argv);
+  g_sweep = &sweep;
   PrintTitle("Table 3", "FlexKVS throughput (Mops/s) and 700 GB latency (us)",
              "8 server threads, 90/10 GET/SET, 20% hot keys / 90% hot accesses "
              "(1/256 scale; DRAM = 192 GB)");
@@ -50,7 +67,7 @@ int main() {
   for (const auto& system : systems) {
     PrintCell(system);
     for (const double gb : {16.0, 128.0, 700.0}) {
-      PrintCell(RunKvs(system, ScaledKvs(gb)).mops);
+      PrintCell(RunKvs(system, ScaledKvs(gb), Fmt("ws%.0f", gb)).mops);
     }
     if (system == "MM" || system == "HeMem") {
       // Latency at the 700 GB point, 30% load (paper uses the TAS stack;
@@ -58,7 +75,7 @@ int main() {
       KvsConfig config = ScaledKvs(700.0);
       config.load = 0.3;
       config.net_rtt = 8 * kMicrosecond;
-      const KvsResult result = RunKvs(system, config);
+      const KvsResult result = RunKvs(system, config, "lat700");
       for (const double q : {0.5, 0.9, 0.99, 0.999}) {
         PrintCell(static_cast<double>(result.latency.Percentile(q)));
       }

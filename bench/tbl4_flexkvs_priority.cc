@@ -6,8 +6,11 @@
 // by ~47% and 99p by ~16% over MM, with no tangible harm to the regular
 // instance (MM cannot prioritize).
 
+#include <optional>
+
 #include "apps/flexkvs.h"
 #include "bench_common.h"
+#include "sweep.h"
 
 using namespace hemem;
 using namespace hemem::bench;
@@ -16,6 +19,8 @@ namespace {
 
 constexpr double kKvsScale = 256.0;
 
+const SweepOptions* g_sweep = nullptr;
+
 struct PairResult {
   Histogram priority;
   Histogram regular;
@@ -23,6 +28,10 @@ struct PairResult {
 
 PairResult RunPair(const std::string& system) {
   Machine machine(GupsMachine());  // same 1/256-scale platform discipline
+  std::optional<CellObs> cell_obs;
+  if (g_sweep != nullptr) {
+    cell_obs.emplace(machine, *g_sweep);
+  }
   std::unique_ptr<TieredMemoryManager> manager = MakeSystem(system, machine);
   manager->Start();
 
@@ -56,12 +65,18 @@ PairResult RunPair(const std::string& system) {
   PairResult out;
   out.priority = priority_kvs.Run().latency;  // engine drained; collects
   out.regular = regular_kvs.Run().latency;
+  if (cell_obs.has_value()) {
+    cell_obs->Finish("kvs-priority-" + system,
+                     {{"workload", "flexkvs-priority"}, {"system", system}});
+  }
   return out;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const SweepOptions sweep = ParseSweepArgs(argc, argv);
+  g_sweep = &sweep;
   PrintTitle("Table 4", "FlexKVS latency with priority (us)",
              "priority: 16 GB pinned to DRAM under HeMem; regular: 500 GB uniform "
              "(1/256 scale)");

@@ -1,0 +1,348 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+
+namespace hemem::json {
+
+const Value* Value::Get(const std::string& key) const {
+  if (kind != Kind::kObject) {
+    return nullptr;
+  }
+  for (const auto& [name, value] : members) {
+    if (name == key) {
+      return &value;
+    }
+  }
+  return nullptr;
+}
+
+namespace {
+
+class Parser {
+ public:
+  Parser(const std::string& text, std::string* error) : s_(text), error_(error) {}
+
+  bool Run(Value* out) {
+    SkipWs();
+    if (!ParseValue(out, 0)) {
+      return false;
+    }
+    SkipWs();
+    if (pos_ != s_.size()) {
+      return Fail("trailing characters after top-level value");
+    }
+    return true;
+  }
+
+ private:
+  // Reports in the files this parses nest ~6 deep; 200 guards against a
+  // pathological input blowing the host stack, not against real data.
+  static constexpr int kMaxDepth = 200;
+
+  bool ParseValue(Value* out, int depth) {
+    if (depth > kMaxDepth) {
+      return Fail("nesting too deep");
+    }
+    switch (Peek()) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"':
+        out->kind = Value::Kind::kString;
+        return ParseString(&out->text);
+      case 't':
+        out->kind = Value::Kind::kBool;
+        out->boolean = true;
+        return Literal("true");
+      case 'f':
+        out->kind = Value::Kind::kBool;
+        out->boolean = false;
+        return Literal("false");
+      case 'n':
+        out->kind = Value::Kind::kNull;
+        return Literal("null");
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  bool ParseObject(Value* out, int depth) {
+    out->kind = Value::Kind::kObject;
+    ++pos_;  // '{'
+    SkipWs();
+    if (Peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      std::string key;
+      if (!ParseString(&key)) {
+        return false;
+      }
+      SkipWs();
+      if (Peek() != ':') {
+        return Fail("expected ':' in object");
+      }
+      ++pos_;
+      SkipWs();
+      Value member;
+      if (!ParseValue(&member, depth + 1)) {
+        return false;
+      }
+      out->members.emplace_back(std::move(key), std::move(member));
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      return Fail("expected ',' or '}' in object");
+    }
+  }
+
+  bool ParseArray(Value* out, int depth) {
+    out->kind = Value::Kind::kArray;
+    ++pos_;  // '['
+    SkipWs();
+    if (Peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      Value item;
+      if (!ParseValue(&item, depth + 1)) {
+        return false;
+      }
+      out->items.push_back(std::move(item));
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      return Fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    if (Peek() != '"') {
+      return Fail("expected string");
+    }
+    ++pos_;
+    out->clear();
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Fail("raw control character in string");
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        ++pos_;
+        continue;
+      }
+      ++pos_;
+      if (pos_ >= s_.size()) {
+        return Fail("truncated escape");
+      }
+      const char e = s_[pos_++];
+      switch (e) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          unsigned cp = 0;
+          if (!Hex4(&cp)) {
+            return false;
+          }
+          // Combine a surrogate pair when one follows; a lone surrogate
+          // decodes to U+FFFD rather than invalid UTF-8.
+          if (cp >= 0xD800 && cp <= 0xDBFF && pos_ + 1 < s_.size() &&
+              s_[pos_] == '\\' && s_[pos_ + 1] == 'u') {
+            pos_ += 2;
+            unsigned low = 0;
+            if (!Hex4(&low)) {
+              return false;
+            }
+            if (low >= 0xDC00 && low <= 0xDFFF) {
+              cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+            } else {
+              cp = 0xFFFD;
+            }
+          } else if (cp >= 0xD800 && cp <= 0xDFFF) {
+            cp = 0xFFFD;
+          }
+          AppendUtf8(out, cp);
+          break;
+        }
+        default:
+          return Fail("invalid escape");
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  bool Hex4(unsigned* out) {
+    unsigned v = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (pos_ >= s_.size() || !std::isxdigit(static_cast<unsigned char>(s_[pos_]))) {
+        return Fail("invalid \\u escape");
+      }
+      const char c = s_[pos_++];
+      v = v * 16 + static_cast<unsigned>(
+                       c <= '9' ? c - '0' : (c | 0x20) - 'a' + 10);
+    }
+    *out = v;
+    return true;
+  }
+
+  static void AppendUtf8(std::string* out, unsigned cp) {
+    if (cp < 0x80) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  bool ParseNumber(Value* out) {
+    const size_t start = pos_;
+    if (Peek() == '-') {
+      ++pos_;
+    }
+    // Integer part: "0" alone or a nonzero-led digit run (RFC 8259 rejects
+    // leading zeros).
+    if (Peek() == '0') {
+      ++pos_;
+    } else if (std::isdigit(static_cast<unsigned char>(Peek()))) {
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) {
+        ++pos_;
+      }
+    } else {
+      return Fail("expected value");
+    }
+    if (Peek() == '.') {
+      ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(Peek()))) {
+        return Fail("digits required after decimal point");
+      }
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) {
+        ++pos_;
+      }
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      ++pos_;
+      if (Peek() == '+' || Peek() == '-') {
+        ++pos_;
+      }
+      if (!std::isdigit(static_cast<unsigned char>(Peek()))) {
+        return Fail("digits required in exponent");
+      }
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) {
+        ++pos_;
+      }
+    }
+    out->kind = Value::Kind::kNumber;
+    out->text = s_.substr(start, pos_ - start);
+    out->number = std::strtod(out->text.c_str(), nullptr);
+    return true;
+  }
+
+  bool Literal(const char* lit) {
+    const size_t len = std::strlen(lit);
+    if (s_.compare(pos_, len, lit) != 0) {
+      return Fail("expected value");
+    }
+    pos_ += len;
+    return true;
+  }
+
+  char Peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+
+  void SkipWs() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' ||
+                                s_[pos_] == '\n' || s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Fail(const char* what) {
+    if (error_ != nullptr && error_->empty()) {
+      *error_ = std::string(what) + " at byte " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  const std::string& s_;
+  std::string* error_;
+  size_t pos_ = 0;
+};
+
+void FlattenInto(const Value& v, const std::string& prefix,
+                 std::map<std::string, double>* out) {
+  switch (v.kind) {
+    case Value::Kind::kNumber:
+      (*out)[prefix] = v.number;
+      break;
+    case Value::Kind::kObject:
+      for (const auto& [key, member] : v.members) {
+        FlattenInto(member, prefix.empty() ? key : prefix + "." + key, out);
+      }
+      break;
+    case Value::Kind::kArray:
+      for (size_t i = 0; i < v.items.size(); ++i) {
+        const std::string key = std::to_string(i);
+        FlattenInto(v.items[i], prefix.empty() ? key : prefix + "." + key, out);
+      }
+      break;
+    default:
+      break;  // strings / bools / nulls carry no diffable number
+  }
+}
+
+}  // namespace
+
+bool Parse(const std::string& text, Value* out, std::string* error) {
+  if (error != nullptr) {
+    error->clear();
+  }
+  *out = Value{};
+  Parser parser(text, error);
+  return parser.Run(out);
+}
+
+std::map<std::string, double> FlattenNumbers(const Value& v) {
+  std::map<std::string, double> out;
+  FlattenInto(v, "", &out);
+  return out;
+}
+
+}  // namespace hemem::json

@@ -1,0 +1,56 @@
+// Minimal strict JSON (RFC 8259) parser.
+//
+// The obs layer *writes* several JSON artifacts (run reports, traces, heat
+// timelines, audit trails, BENCH_*.json); tools/report_diff has to *read*
+// them back without growing a third-party dependency. This parser accepts
+// exactly the RFC 8259 grammar — no comments, no trailing commas, no NaN —
+// mirroring the checker tests/obs_test.cc uses to validate the writers, so
+// "report_diff can load it" and "the CI validator accepts it" stay the same
+// predicate.
+//
+// Not a hot-path component: parse cost is irrelevant next to running the
+// simulations that produce the files.
+
+#ifndef HEMEM_COMMON_JSON_H_
+#define HEMEM_COMMON_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hemem::json {
+
+struct Value {
+  enum class Kind : uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string text;                                    // original token for numbers
+  std::vector<Value> items;                            // kArray
+  std::vector<std::pair<std::string, Value>> members;  // kObject, file order
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+
+  // Member lookup on objects; nullptr when absent or not an object.
+  const Value* Get(const std::string& key) const;
+};
+
+// Parses `text` into `*out`. On failure returns false and, when `error` is
+// non-null, stores a one-line message with the byte offset of the problem.
+bool Parse(const std::string& text, Value* out, std::string* error = nullptr);
+
+// Flattens every numeric leaf under `v` into dotted-path form: object
+// members join with '.', array elements with their index
+// ("workloads.0.policies.1.gups"). Strings/bools/nulls are skipped —
+// report_diff's thresholds only make sense on numbers.
+std::map<std::string, double> FlattenNumbers(const Value& v);
+
+}  // namespace hemem::json
+
+#endif  // HEMEM_COMMON_JSON_H_

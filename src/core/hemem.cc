@@ -668,6 +668,9 @@ SimTime Hemem::MigrateBatch(SimTime t, std::vector<Migration>& batch) {
       }
       m.page->entry().wp_until = per_request[i];
       Classify(m.page);  // back onto its source tier's list
+      if (m.audit_id != 0) {
+        machine_.observation()->audit().OnMigrationAborted(m.audit_id, done);
+      }
     }
     hstats_.migration_aborts++;
     if (machine_.tracer().enabled()) {
@@ -703,6 +706,9 @@ SimTime Hemem::MigrateBatch(SimTime t, std::vector<Migration>& batch) {
     stats_.bytes_migrated += page_bytes;
     // Re-enqueue on the destination tier's list matching its temperature.
     Classify(m.page);
+    if (m.audit_id != 0) {
+      machine_.observation()->audit().OnMigrationComplete(m.audit_id, per_request[i]);
+    }
   }
   // Remaps are batched under one shootdown.
   machine_.tlb().ShootdownBatch(machine_.engine(), nullptr, 1);
@@ -767,8 +773,8 @@ class Hemem::PolicyEnvAdapter : public policy::PolicyEnv {
   }
 
   void QueueMigration(void* page, int dst_tier, uint32_t frame) override {
-    batch_.push_back(
-        Migration{static_cast<HememPage*>(page), static_cast<Tier>(dst_tier), frame});
+    batch_.push_back(Stamp(static_cast<HememPage*>(page),
+                           static_cast<Tier>(dst_tier), frame, pass_time_));
   }
   size_t QueuedMigrations() const override { return batch_.size(); }
   SimTime FlushMigrations(SimTime t) override { return owner_.MigrateBatch(t, batch_); }
@@ -777,10 +783,19 @@ class Hemem::PolicyEnvAdapter : public policy::PolicyEnv {
     // inline victim demotion mid-promotion).
     std::vector<Migration> one;
     one.push_back(
-        Migration{static_cast<HememPage*>(page), static_cast<Tier>(dst_tier), frame});
+        Stamp(static_cast<HememPage*>(page), static_cast<Tier>(dst_tier), frame, t));
     return owner_.MigrateBatch(t, one);
   }
   void NotePromotionStall() override { owner_.hstats_.promotion_stalls++; }
+
+  // Audit context for this pass (PolicyPass sets it when access observation
+  // is on; see obs/audit.h). Migrations queued through this adapter carry
+  // the decision-record ids MigrateBatch reports completion/abort against.
+  void SetAudit(obs::MigrationAudit* audit, uint64_t pass_id, SimTime pass_time) {
+    audit_ = audit;
+    pass_id_ = pass_id;
+    pass_time_ = pass_time;
+  }
 
  private:
   static HememPage* Detach(HememPage* page) {
@@ -790,8 +805,21 @@ class Hemem::PolicyEnvAdapter : public policy::PolicyEnv {
     return page;
   }
 
+  Migration Stamp(HememPage* page, Tier dst, uint32_t frame, SimTime now) {
+    Migration m{page, dst, frame};
+    if (audit_ != nullptr) {
+      m.audit_id = audit_->OnMigrationQueued(pass_id_, page->va(),
+                                             static_cast<int>(page->tier()),
+                                             static_cast<int>(dst), now);
+    }
+    return m;
+  }
+
   Hemem& owner_;
   std::vector<Migration> batch_;
+  obs::MigrationAudit* audit_ = nullptr;
+  uint64_t pass_id_ = 0;
+  SimTime pass_time_ = 0;
 };
 
 SimTime Hemem::PolicyPass(SimTime start) {
@@ -816,6 +844,10 @@ SimTime Hemem::PolicyPass(SimTime start) {
 
   PolicyEnvAdapter env(*this);
   policy::PolicyInput input{t, budget, &env};
+  if (obs::AccessObservation* ob = machine_.observation()) {
+    input.decision_id = ob->audit().BeginDecisionPass(policy_->name(), t);
+    env.SetAudit(&ob->audit(), input.decision_id, t);
+  }
   const policy::MigrationPlan plan = policy_->Decide(input);
   t = plan.end;
 

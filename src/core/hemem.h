@@ -165,6 +165,10 @@ class Hemem : public TieredMemoryManager {
     HememPage* page = nullptr;
     Tier dst = Tier::kDram;
     uint32_t frame = kInvalidFrame;
+    // Audit decision-record id (obs::MigrationAudit::OnMigrationQueued);
+    // 0 when access observation is off. MigrateBatch reports completion or
+    // abort back against it.
+    uint64_t audit_id = 0;
   };
 
   // Region-attached metadata (lives in Region::manager_data via the base

@@ -100,8 +100,10 @@ SimTime MemoryDevice::ReserveChannel(Direction& dir, SimTime start, SimTime busy
   return begin;
 }
 
-SimTime MemoryDevice::Access(SimTime start, uint64_t addr, uint32_t size, AccessKind kind,
-                             uint32_t stream_id) {
+template <bool kAttributed>
+SimTime MemoryDevice::AccessImpl(SimTime start, uint64_t addr, uint32_t size,
+                                 AccessKind kind, uint32_t stream_id,
+                                 AccessBreakdown* split) {
   assert(size > 0);
   Direction& dir = kind == AccessKind::kLoad ? read_ : write_;
 
@@ -159,7 +161,23 @@ SimTime MemoryDevice::Access(SimTime start, uint64_t addr, uint32_t size, Access
     stats_.sequential_hits++;
   }
 
+  if constexpr (kAttributed) {
+    split->queue = begin - start;
+    split->media = busy + exposed;
+  }
+
   return begin + busy + exposed;
+}
+
+SimTime MemoryDevice::Access(SimTime start, uint64_t addr, uint32_t size, AccessKind kind,
+                             uint32_t stream_id) {
+  return AccessImpl<false>(start, addr, size, kind, stream_id, nullptr);
+}
+
+SimTime MemoryDevice::AccessAttributed(SimTime start, uint64_t addr, uint32_t size,
+                                       AccessKind kind, uint32_t stream_id,
+                                       AccessBreakdown* split) {
+  return AccessImpl<true>(start, addr, size, kind, stream_id, split);
 }
 
 SimTime MemoryDevice::BulkTransfer(SimTime start, uint64_t bytes, AccessKind kind) {

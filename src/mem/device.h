@@ -91,6 +91,24 @@ class MemoryDevice {
   SimTime Access(SimTime start, uint64_t addr, uint32_t size, AccessKind kind,
                  uint32_t stream_id);
 
+  // Queue-vs-media decomposition of one access's device time:
+  //   queue — channel-queue wait (begin - start),
+  //   media — channel occupancy plus exposed latency (completion - begin).
+  // queue + media == AccessAttributed() - start, exactly.
+  struct AccessBreakdown {
+    SimTime queue = 0;
+    SimTime media = 0;
+  };
+
+  // Access() with the breakdown reported. Identical arithmetic — both are
+  // thin wrappers over one shared template whose kAttributed=false
+  // instantiation *is* the plain Access body, so the split costs the hot
+  // path nothing (not even a dead branch; see the tracing note below).
+  // Used by the observed access skeleton (Machine::EnableAccessObservation).
+  SimTime AccessAttributed(SimTime start, uint64_t addr, uint32_t size,
+                           AccessKind kind, uint32_t stream_id,
+                           AccessBreakdown* split);
+
   // Times a bulk, streaming transfer (page migration / DMA traffic): occupies
   // channel bandwidth but exposes no per-access latency. Returns completion.
   SimTime BulkTransfer(SimTime start, uint64_t bytes, AccessKind kind);
@@ -315,6 +333,10 @@ class MemoryDevice {
 
   // Reserves the earliest-free channel; returns {begin, channel index}.
   SimTime ReserveChannel(Direction& dir, SimTime start, SimTime busy);
+  // Shared Access body; kAttributed fills `split` (see AccessAttributed).
+  template <bool kAttributed>
+  SimTime AccessImpl(SimTime start, uint64_t addr, uint32_t size, AccessKind kind,
+                     uint32_t stream_id, AccessBreakdown* split);
   // One direction of MergeShardViews.
   void MergeDirection(Direction& dir, bool read_dir,
                       const std::vector<const MemoryDevice*>& views, SimTime horizon);

@@ -1,0 +1,60 @@
+// Aggregate handle for the second-generation observability layer.
+//
+// Machine::EnableAccessObservation() constructs one of these; a single
+// Machine::observation() null-check is the only thing the tier layer pays
+// when the feature is off (the access skeleton dispatches to its observed
+// twin on that pointer, and RunAccessQuantum routes observed runs through
+// the reference path so AccessFast never grows an instrumentation branch).
+//
+// Everything in here is purely observational: it reads clocks and page
+// state, never advances or mutates them, so enabling it is bit-identical on
+// the access goldens (AccessGolden.ObservationDoesNotPerturbExecution).
+
+#ifndef HEMEM_OBS_ACCESS_OBS_H_
+#define HEMEM_OBS_ACCESS_OBS_H_
+
+#include "obs/audit.h"
+#include "obs/heatmap.h"
+#include "obs/latency.h"
+#include "obs/metrics.h"
+
+namespace hemem::obs {
+
+struct ObservationOptions {
+  HeatTimeline::Options heat;
+  MigrationAudit::Options audit;
+};
+
+class AccessObservation {
+ public:
+  AccessObservation(MetricsRegistry& registry, const ObservationOptions& options)
+      : latency_(registry), heat_(options.heat), audit_(options.audit) {
+    audit_.RegisterMetrics(registry);
+    registry.AddProvider(this, [this](MetricsEmitter& e) {
+      e.Emit("heat.samples", heat_.samples());
+      e.Emit("heat.cells", static_cast<uint64_t>(heat_.cells().size()));
+    });
+    registry_ = &registry;
+  }
+
+  ~AccessObservation() { registry_->RemoveOwner(this); }
+
+  AccessObservation(const AccessObservation&) = delete;
+  AccessObservation& operator=(const AccessObservation&) = delete;
+
+  LatencyRecorder& latency() { return latency_; }
+  HeatTimeline& heat() { return heat_; }
+  MigrationAudit& audit() { return audit_; }
+  const HeatTimeline& heat() const { return heat_; }
+  const MigrationAudit& audit() const { return audit_; }
+
+ private:
+  MetricsRegistry* registry_ = nullptr;
+  LatencyRecorder latency_;
+  HeatTimeline heat_;
+  MigrationAudit audit_;
+};
+
+}  // namespace hemem::obs
+
+#endif  // HEMEM_OBS_ACCESS_OBS_H_

@@ -1,0 +1,164 @@
+#include "obs/audit.h"
+
+#include <cassert>
+#include <cinttypes>
+#include <cstdio>
+
+namespace hemem::obs {
+
+uint64_t MigrationAudit::BeginDecisionPass(const std::string& policy, SimTime now) {
+  Pass pass;
+  pass.id = static_cast<uint64_t>(passes_.size()) + 1;
+  pass.policy = policy;
+  pass.begin_ns = now;
+  passes_.push_back(std::move(pass));
+  return passes_.back().id;
+}
+
+uint64_t MigrationAudit::OnMigrationQueued(uint64_t pass_id, uint64_t page_va,
+                                           int src_tier, int dst_tier,
+                                           SimTime now) {
+  Record r;
+  r.id = static_cast<uint64_t>(records_.size()) + 1;
+  // pass_id 0 = a migration outside any Decide() pass (e.g. a fault-path
+  // inline demotion); it audits like any other, under a synthetic pass 0.
+  r.pass = pass_id > 0 ? static_cast<uint32_t>(pass_id - 1) : ~0u;
+  r.page_va = page_va;
+  r.src_tier = static_cast<int8_t>(src_tier);
+  r.dst_tier = static_cast<int8_t>(dst_tier);
+  r.queued_ns = now;
+  records_.push_back(r);
+  if (r.pass != ~0u) {
+    passes_[r.pass].migrations++;
+  }
+  return records_.back().id;
+}
+
+void MigrationAudit::OnMigrationComplete(uint64_t record_id, SimTime now) {
+  if (record_id == 0 || record_id > records_.size()) {
+    return;
+  }
+  Record& r = records_[record_id - 1];
+  r.completed_ns = now;
+
+  // If this move reverses the page's previous move within the window, the
+  // previous decision was a ping-pong (it got undone almost immediately).
+  const auto it = live_.find(r.page_va);
+  if (it != live_.end()) {
+    Record& prev = records_[it->second];
+    if (prev.stored == Outcome::kPending && r.dst_tier == prev.src_tier &&
+        now - prev.completed_ns <= options_.ping_pong_window) {
+      prev.stored = Outcome::kPingPong;
+    }
+  }
+  live_[r.page_va] = static_cast<uint32_t>(record_id - 1);
+}
+
+void MigrationAudit::OnMigrationAborted(uint64_t record_id, SimTime now) {
+  (void)now;
+  if (record_id == 0 || record_id > records_.size()) {
+    return;
+  }
+  records_[record_id - 1].stored = Outcome::kAborted;
+}
+
+MigrationAudit::Outcome MigrationAudit::Classify(const Record& r) const {
+  if (r.stored != Outcome::kPending) {
+    return r.stored;
+  }
+  const bool justified = r.accesses_after >= options_.good_access_threshold;
+  if (r.dst_tier == 0) {  // promotion
+    return justified ? Outcome::kGoodPromotion : Outcome::kChurnPromotion;
+  }
+  return justified ? Outcome::kPrematureDemotion : Outcome::kGoodDemotion;
+}
+
+const char* MigrationAudit::OutcomeName(Outcome o) {
+  switch (o) {
+    case Outcome::kAborted: return "aborted";
+    case Outcome::kGoodPromotion: return "good_promotion";
+    case Outcome::kChurnPromotion: return "churn_promotion";
+    case Outcome::kGoodDemotion: return "good_demotion";
+    case Outcome::kPrematureDemotion: return "premature_demotion";
+    case Outcome::kPingPong: return "ping_pong";
+    default: return "pending";
+  }
+}
+
+MigrationAudit::Summary MigrationAudit::Summarize() const {
+  Summary s;
+  s.passes = passes_.size();
+  s.migrations = records_.size();
+  for (const Record& r : records_) {
+    switch (Classify(r)) {
+      case Outcome::kAborted: s.aborted++; break;
+      case Outcome::kGoodPromotion: s.good_promotions++; break;
+      case Outcome::kChurnPromotion: s.churn_promotions++; break;
+      case Outcome::kGoodDemotion: s.good_demotions++; break;
+      case Outcome::kPrematureDemotion: s.premature_demotions++; break;
+      case Outcome::kPingPong: s.ping_pongs++; break;
+      default: break;
+    }
+  }
+  return s;
+}
+
+void MigrationAudit::RegisterMetrics(MetricsRegistry& registry) {
+  registry.AddProvider(this, [this](MetricsEmitter& e) {
+    const Summary s = Summarize();
+    e.Emit("audit.passes", s.passes);
+    e.Emit("audit.migrations", s.migrations);
+    e.Emit("audit.aborted", s.aborted);
+    e.Emit("audit.good_promotions", s.good_promotions);
+    e.Emit("audit.churn_promotions", s.churn_promotions);
+    e.Emit("audit.good_demotions", s.good_demotions);
+    e.Emit("audit.premature_demotions", s.premature_demotions);
+    e.Emit("audit.ping_pongs", s.ping_pongs);
+  });
+}
+
+bool MigrationAudit::WriteJson(const std::string& path) const {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  const Summary s = Summarize();
+  std::fprintf(f,
+               "{\"good_access_threshold\": %" PRIu64
+               ", \"ping_pong_window_ns\": %" PRId64 ",\n\"summary\": {"
+               "\"passes\": %" PRIu64 ", \"migrations\": %" PRIu64
+               ", \"aborted\": %" PRIu64 ", \"good_promotions\": %" PRIu64
+               ", \"churn_promotions\": %" PRIu64 ", \"good_demotions\": %" PRIu64
+               ", \"premature_demotions\": %" PRIu64 ", \"ping_pongs\": %" PRIu64
+               "},\n\"truncated\": %s,\n\"decisions\": [",
+               options_.good_access_threshold, options_.ping_pong_window,
+               s.passes, s.migrations, s.aborted, s.good_promotions,
+               s.churn_promotions, s.good_demotions, s.premature_demotions,
+               s.ping_pongs,
+               records_.size() > options_.max_json_decisions ? "true" : "false");
+  const size_t limit =
+      records_.size() > options_.max_json_decisions ? options_.max_json_decisions
+                                                    : records_.size();
+  for (size_t i = 0; i < limit; ++i) {
+    const Record& r = records_[i];
+    const char* policy =
+        r.pass != ~0u ? passes_[r.pass].policy.c_str() : "(inline)";
+    std::fprintf(f,
+                 "%s\n{\"id\": %" PRIu64 ", \"pass\": %" PRId64
+                 ", \"policy\": \"%s\", \"page\": %" PRIu64
+                 ", \"src\": %d, \"dst\": %d, \"queued_ns\": %" PRId64
+                 ", \"completed_ns\": %" PRId64 ", \"accesses_after\": %" PRIu64
+                 ", \"outcome\": \"%s\"}",
+                 i == 0 ? "" : ",", r.id,
+                 r.pass != ~0u ? static_cast<int64_t>(r.pass) + 1 : 0, policy,
+                 r.page_va, static_cast<int>(r.src_tier),
+                 static_cast<int>(r.dst_tier), r.queued_ns, r.completed_ns,
+                 r.accesses_after, OutcomeName(Classify(r)));
+  }
+  std::fputs("\n]}\n", f);
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace hemem::obs

@@ -1,0 +1,136 @@
+// Migration-causality audit trail.
+//
+// Every policy decision pass gets a pass id; every migration the pass queues
+// gets its own decision record, stamped through the manager's migration
+// machinery (Hemem::Migration carries the record id) so completion, abort,
+// and every subsequent access to the moved page land back on the record.
+// Post-hoc each record classifies as:
+//   good_promotion      promoted page was accessed >= threshold times before
+//                       its next migration (the move paid for itself)
+//   churn_promotion     promoted page saw fewer accesses — wasted bandwidth
+//   good_demotion       demoted page stayed cold
+//   premature_demotion  demoted page kept getting accessed (now from NVM)
+//   ping_pong           the move was reversed within the ping-pong window
+//   aborted             the migration rolled back (fault injection)
+// This turns policy_shootout's scalar regret into per-decision attribution:
+// BENCH_policy.json gains an "audit" block with these counts per policy.
+//
+// Tier convention matches the vm layer: 0 = DRAM, 1 = NVM; a migration with
+// dst_tier == 0 is a promotion.
+
+#ifndef HEMEM_OBS_AUDIT_H_
+#define HEMEM_OBS_AUDIT_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/units.h"
+#include "obs/metrics.h"
+
+namespace hemem::obs {
+
+class MigrationAudit {
+ public:
+  struct Options {
+    // Post-move accesses that justify a promotion (or convict a demotion).
+    uint64_t good_access_threshold = 4;
+    // A reversal completing within this much virtual time of the original
+    // move marks the original as ping-pong.
+    SimTime ping_pong_window = 50 * kMillisecond;
+    // WriteJson caps the per-decision listing (the summary always covers
+    // every record).
+    size_t max_json_decisions = 50'000;
+  };
+
+  enum class Outcome : uint8_t {
+    kPending,  // storage state only; Classify() resolves it
+    kAborted,
+    kGoodPromotion,
+    kChurnPromotion,
+    kGoodDemotion,
+    kPrematureDemotion,
+    kPingPong,
+  };
+
+  struct Record {
+    uint64_t id = 0;       // 1-based decision id
+    uint32_t pass = 0;     // index into passes()
+    uint64_t page_va = 0;  // page base address
+    int8_t src_tier = 0;
+    int8_t dst_tier = 0;
+    SimTime queued_ns = 0;
+    SimTime completed_ns = -1;  // -1 while in flight / after abort
+    uint64_t accesses_after = 0;
+    Outcome stored = Outcome::kPending;  // kAborted / kPingPong stick here
+  };
+
+  struct Pass {
+    uint64_t id = 0;
+    std::string policy;
+    SimTime begin_ns = 0;
+    uint32_t migrations = 0;
+  };
+
+  struct Summary {
+    uint64_t passes = 0;
+    uint64_t migrations = 0;
+    uint64_t aborted = 0;
+    uint64_t good_promotions = 0;
+    uint64_t churn_promotions = 0;
+    uint64_t good_demotions = 0;
+    uint64_t premature_demotions = 0;
+    uint64_t ping_pongs = 0;
+  };
+
+  explicit MigrationAudit(const Options& options) : options_(options) {}
+
+  // One policy Decide() invocation; returns its pass id (1-based).
+  uint64_t BeginDecisionPass(const std::string& policy, SimTime now);
+
+  // A migration queued under `pass_id`; returns the decision-record id the
+  // caller stamps onto its migration descriptor (0 is never returned).
+  uint64_t OnMigrationQueued(uint64_t pass_id, uint64_t page_va, int src_tier,
+                             int dst_tier, SimTime now);
+
+  void OnMigrationComplete(uint64_t record_id, SimTime now);
+  void OnMigrationAborted(uint64_t record_id, SimTime now);
+
+  // Called from the observed access path for every access; attributes the
+  // access to the page's most recent completed migration, if any. The miss
+  // path (page never migrated) is one hash probe.
+  void OnPageAccess(uint64_t page_va, SimTime now) {
+    (void)now;
+    const auto it = live_.find(page_va);
+    if (it == live_.end()) {
+      return;
+    }
+    records_[it->second].accesses_after++;
+  }
+
+  // Final class of a record (resolves kPending via the access threshold).
+  Outcome Classify(const Record& r) const;
+  static const char* OutcomeName(Outcome o);
+
+  Summary Summarize() const;
+  const std::vector<Record>& records() const { return records_; }
+  const std::vector<Pass>& passes() const { return passes_; }
+  const Options& options() const { return options_; }
+
+  // Registers audit.* summary metrics on `registry` (owner = this).
+  void RegisterMetrics(MetricsRegistry& registry);
+
+  bool WriteJson(const std::string& path) const;
+
+ private:
+  Options options_;
+  std::vector<Record> records_;
+  std::vector<Pass> passes_;
+  // page va -> index of its most recent *completed* migration record.
+  std::unordered_map<uint64_t, uint32_t> live_;
+};
+
+}  // namespace hemem::obs
+
+#endif  // HEMEM_OBS_AUDIT_H_

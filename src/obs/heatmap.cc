@@ -1,0 +1,104 @@
+#include "obs/heatmap.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <unordered_map>
+#include <vector>
+
+namespace hemem::obs {
+
+bool HeatTimeline::WriteJson(const std::string& path) const {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  std::fprintf(f,
+               "{\"chunk_bytes\": %" PRIu64 ", \"window_ns\": %" PRId64
+               ", \"samples\": %" PRIu64 ",\n\"chunks\": [",
+               options_.chunk_bytes, options_.window_ns, samples_);
+  uint64_t current_chunk = ~0ull;
+  bool first_chunk = true;
+  bool first_window = true;
+  for (const auto& [key, cell] : cells_) {
+    const auto& [chunk, window] = key;
+    if (chunk != current_chunk) {
+      if (!first_chunk) {
+        std::fputs("]}", f);
+      }
+      std::fprintf(f, "%s\n{\"base\": %" PRIu64 ", \"windows\": [",
+                   first_chunk ? "" : ",", chunk * options_.chunk_bytes);
+      current_chunk = chunk;
+      first_chunk = false;
+      first_window = true;
+    }
+    std::fprintf(f,
+                 "%s{\"w\": %" PRIu64 ", \"reads\": %" PRIu64
+                 ", \"writes\": %" PRIu64 ", \"tier\": %d}",
+                 first_window ? "" : ", ", window, cell.reads, cell.writes,
+                 static_cast<int>(cell.last_tier));
+    first_window = false;
+  }
+  if (!first_chunk) {
+    std::fputs("]}", f);
+  }
+  std::fputs("\n]}\n", f);
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+void HeatTimeline::EmitCounters(EventTracer& tracer, int max_chunk_tracks) const {
+  if (!tracer.enabled() || cells_.empty()) {
+    return;
+  }
+
+  // Rank chunks by total accesses to pick which get their own track.
+  std::unordered_map<uint64_t, uint64_t> chunk_totals;
+  for (const auto& [key, cell] : cells_) {
+    chunk_totals[key.first] += cell.reads + cell.writes;
+  }
+  std::vector<std::pair<uint64_t, uint64_t>> ranked(chunk_totals.begin(),
+                                                    chunk_totals.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    return a.second != b.second ? a.second > b.second : a.first < b.first;
+  });
+  if (static_cast<int>(ranked.size()) > max_chunk_tracks) {
+    ranked.resize(static_cast<size_t>(max_chunk_tracks));
+  }
+  std::unordered_map<uint64_t, TrackId> chunk_track;
+  for (const auto& [chunk, total] : ranked) {
+    char name[64];
+    std::snprintf(name, sizeof(name), "heat/chunk@%" PRIu64 "MiB",
+                  chunk * options_.chunk_bytes >> 20);
+    chunk_track[chunk] = tracer.RegisterTrack(name);
+  }
+  const TrackId dram_track = tracer.RegisterTrack("heat/dram");
+  const TrackId nvm_track = tracer.RegisterTrack("heat/nvm");
+
+  // One counter sample per touched (chunk, window); per-tier aggregates
+  // accumulate across chunks of the same window (the map iterates
+  // chunk-major, so windows repeat — aggregate first, then emit).
+  std::map<uint64_t, std::pair<uint64_t, uint64_t>> tier_per_window;
+  for (const auto& [key, cell] : cells_) {
+    const auto& [chunk, window] = key;
+    const SimTime ts = static_cast<SimTime>(window) * options_.window_ns;
+    const auto it = chunk_track.find(chunk);
+    if (it != chunk_track.end()) {
+      tracer.Counter(it->second, "accesses", "heat", ts,
+                     {{"reads", static_cast<double>(cell.reads)},
+                      {"writes", static_cast<double>(cell.writes)}});
+    }
+    auto& [dram, nvm] = tier_per_window[window];
+    (cell.last_tier == 0 ? dram : nvm) += cell.reads + cell.writes;
+  }
+  for (const auto& [window, counts] : tier_per_window) {
+    const SimTime ts = static_cast<SimTime>(window) * options_.window_ns;
+    tracer.Counter(dram_track, "accesses", "heat", ts,
+                   {{"accesses", static_cast<double>(counts.first)}});
+    tracer.Counter(nvm_track, "accesses", "heat", ts,
+                   {{"accesses", static_cast<double>(counts.second)}});
+  }
+}
+
+}  // namespace hemem::obs

@@ -1,0 +1,87 @@
+// Address-space heat timelines.
+//
+// A chunked (address-chunk x time-window) matrix of observed accesses: each
+// cell counts reads and writes and remembers the tier that served the last
+// access, so a run's hotset drift (fig9) and the tiering manager's migration
+// lag become visible as a 2-D heat map. Fed from the observed access path
+// (Machine::EnableAccessObservation); never touched on the plain hot path.
+//
+// Outputs:
+//  * WriteJson — compact JSON, sparse over touched cells:
+//      {"chunk_bytes":..,"window_ns":..,"chunks":[
+//        {"base":<va>,"windows":[{"w":<idx>,"reads":..,"writes":..,"tier":..},..]},..]}
+//  * EmitCounters — Perfetto counter tracks ('C' phase), one track per
+//    hottest chunk plus per-tier aggregate tracks, one sample per window.
+
+#ifndef HEMEM_OBS_HEATMAP_H_
+#define HEMEM_OBS_HEATMAP_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "common/units.h"
+#include "obs/trace.h"
+
+namespace hemem::obs {
+
+class HeatTimeline {
+ public:
+  struct Options {
+    uint64_t chunk_bytes = MiB(4);         // address-space bin width
+    SimTime window_ns = 10 * kMillisecond;  // time bin width
+  };
+
+  struct Cell {
+    uint64_t reads = 0;
+    uint64_t writes = 0;
+    int8_t last_tier = -1;  // tier of the most recent access in the window
+  };
+
+  // (chunk index, window index) -> cell; ordered so emission walks the
+  // address space and time monotonically.
+  using CellMap = std::map<std::pair<uint64_t, uint64_t>, Cell>;
+
+  explicit HeatTimeline(const Options& options) : options_(options) {}
+
+  void Record(uint64_t va, bool is_store, int tier, SimTime now) {
+    const uint64_t chunk = va / options_.chunk_bytes;
+    const uint64_t window =
+        static_cast<uint64_t>(now) / static_cast<uint64_t>(options_.window_ns);
+    // Accesses cluster heavily in (chunk, window); one cached cell pointer
+    // turns the common case into two compares.
+    if (cached_cell_ == nullptr || cached_key_.first != chunk ||
+        cached_key_.second != window) {
+      cached_key_ = {chunk, window};
+      cached_cell_ = &cells_[cached_key_];
+    }
+    cached_cell_->reads += is_store ? 0 : 1;
+    cached_cell_->writes += is_store ? 1 : 0;
+    cached_cell_->last_tier = static_cast<int8_t>(tier);
+    ++samples_;
+  }
+
+  const Options& options() const { return options_; }
+  const CellMap& cells() const { return cells_; }
+  uint64_t samples() const { return samples_; }
+
+  bool WriteJson(const std::string& path) const;
+
+  // Emits per-window counter samples onto the tracer: aggregate
+  // "heat.dram"/"heat.nvm" access-rate tracks, plus one track per chunk for
+  // the `max_chunk_tracks` chunks with the most total accesses (a cap keeps
+  // a TiB-wide sweep from minting thousands of Perfetto tracks).
+  void EmitCounters(EventTracer& tracer, int max_chunk_tracks = 24) const;
+
+ private:
+  Options options_;
+  CellMap cells_;
+  uint64_t samples_ = 0;
+  std::pair<uint64_t, uint64_t> cached_key_ = {~0ull, ~0ull};
+  Cell* cached_cell_ = nullptr;
+};
+
+}  // namespace hemem::obs
+
+#endif  // HEMEM_OBS_HEATMAP_H_

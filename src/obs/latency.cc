@@ -1,0 +1,49 @@
+#include "obs/latency.h"
+
+namespace hemem::obs {
+
+const char* LatencyRecorder::ComponentName(int c) {
+  switch (c) {
+    case kTranslation: return "translation";
+    case kFault: return "fault";
+    case kWpStall: return "wp_stall";
+    case kQueue: return "queue";
+    case kMedia: return "media";
+    case kOther: return "other";
+    default: return "total";
+  }
+}
+
+LatencyRecorder::LatencyRecorder(MetricsRegistry& registry) : registry_(registry) {}
+
+LatencyRecorder::~LatencyRecorder() { registry_.RemoveOwner(this); }
+
+int LatencyRecorder::RegisterManager(const std::string& name) {
+  auto slot = std::make_unique<ManagerSlot>();
+  slot->name = name;
+  static const char* kTierNames[kNumTiers] = {"dram", "nvm"};
+  for (int tier = 0; tier < kNumTiers; ++tier) {
+    TierSlot& ts = slot->tiers[static_cast<size_t>(tier)];
+    const std::string prefix =
+        "latency." + name + "." + kTierNames[tier] + ".";
+    for (int c = 0; c < kNumComponents; ++c) {
+      ts.hist[static_cast<size_t>(c)] =
+          registry_.AddHistogram(this, prefix + ComponentName(c));
+    }
+    // Exact component sums next to the bucketed percentiles; report_diff and
+    // the additivity test read these.
+    registry_.AddProvider(this, [&ts, prefix](MetricsEmitter& e) {
+      e.Emit(prefix + "translation.sum_ns", ts.totals.translation_ns);
+      e.Emit(prefix + "fault.sum_ns", ts.totals.fault_ns);
+      e.Emit(prefix + "wp_stall.sum_ns", ts.totals.wp_stall_ns);
+      e.Emit(prefix + "queue.sum_ns", ts.totals.queue_ns);
+      e.Emit(prefix + "media.sum_ns", ts.totals.media_ns);
+      e.Emit(prefix + "other.sum_ns", ts.totals.other_ns);
+      e.Emit(prefix + "total.sum_ns", ts.totals.end_to_end_ns);
+    });
+  }
+  slots_.push_back(std::move(slot));
+  return static_cast<int>(slots_.size()) - 1;
+}
+
+}  // namespace hemem::obs

@@ -1,0 +1,141 @@
+// Latency attribution: where did each access's virtual nanoseconds go?
+//
+// The tier layer's access skeleton (TieredMemoryManager::AccessPage) times
+// every step of an access — translation, missing-page fault, WP stall, the
+// device charge split into channel queueing vs media time, and the residual
+// hook/bookkeeping segments — and records the decomposition here, into
+// per-(manager, tier) HDR histograms plus exact integer component totals.
+//
+// Two contracts, both enforced by tests:
+//  * Inert when disabled: nothing in this file is reachable unless
+//    Machine::EnableAccessObservation() ran, and enabling it must not move a
+//    single simulated clock (AccessGolden.ObservationDoesNotPerturbExecution).
+//  * Additive when enabled: the components of every access sum exactly to
+//    its end-to-end latency — Record() asserts it per access, and the exact
+//    ComponentTotals let tests assert it over whole runs without histogram
+//    bucketing error.
+//
+// Metric names (MetricsRegistry): latency.<manager>.<tier>.<component> is a
+// histogram (emitting .count/.mean/.min/.p50/.p99/.p999/.max), with
+// component one of translation / fault / wp_stall / queue / media / other /
+// total; latency.<manager>.<tier>.<component>.sum_ns is the exact total.
+
+#ifndef HEMEM_OBS_LATENCY_H_
+#define HEMEM_OBS_LATENCY_H_
+
+#include <array>
+#include <cassert>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "obs/metrics.h"
+
+namespace hemem::obs {
+
+class LatencyRecorder {
+ public:
+  // Decomposition of one access, in virtual nanoseconds. `other` covers the
+  // explicitly-timed residual segments (A/D-bit updates, tracking hooks,
+  // post-charge hooks) — it is measured, not computed as a remainder, so the
+  // additivity assertion below really does prove the skeleton timed every
+  // step it executed.
+  struct Sample {
+    SimTime translation = 0;
+    SimTime fault = 0;
+    SimTime wp_stall = 0;
+    SimTime queue = 0;
+    SimTime media = 0;
+    SimTime other = 0;
+
+    SimTime Sum() const {
+      return translation + fault + wp_stall + queue + media + other;
+    }
+  };
+
+  // Exact (unbucketed) sums, for the additivity test and the .sum_ns metrics.
+  struct ComponentTotals {
+    uint64_t count = 0;
+    uint64_t translation_ns = 0;
+    uint64_t fault_ns = 0;
+    uint64_t wp_stall_ns = 0;
+    uint64_t queue_ns = 0;
+    uint64_t media_ns = 0;
+    uint64_t other_ns = 0;
+    uint64_t end_to_end_ns = 0;
+  };
+
+  static constexpr int kNumTiers = 2;  // 0 = dram, 1 = nvm (vm layer's Tier)
+
+  explicit LatencyRecorder(MetricsRegistry& registry);
+  ~LatencyRecorder();
+
+  LatencyRecorder(const LatencyRecorder&) = delete;
+  LatencyRecorder& operator=(const LatencyRecorder&) = delete;
+
+  // Registers one manager's histogram set (both tiers) under
+  // latency.<name>.*; returns the slot Record() takes. Managers register
+  // from their constructor, so slots are stable for the manager's lifetime.
+  int RegisterManager(const std::string& name);
+
+  // Records one access charged against `tier` (the tier the page resided on
+  // when the device was charged). `end_to_end` is the access's full
+  // entry-to-exit virtual time; the components must sum to it exactly.
+  void Record(int slot, int tier, const Sample& s, SimTime end_to_end) {
+    assert(s.Sum() == end_to_end &&
+           "latency components must sum to end-to-end time");
+    assert(slot >= 0 && static_cast<size_t>(slot) < slots_.size());
+    TierSlot& ts = slots_[static_cast<size_t>(slot)]->tiers[tier & 1];
+    ts.hist[kTranslation]->Record(static_cast<uint64_t>(s.translation));
+    ts.hist[kFault]->Record(static_cast<uint64_t>(s.fault));
+    ts.hist[kWpStall]->Record(static_cast<uint64_t>(s.wp_stall));
+    ts.hist[kQueue]->Record(static_cast<uint64_t>(s.queue));
+    ts.hist[kMedia]->Record(static_cast<uint64_t>(s.media));
+    ts.hist[kOther]->Record(static_cast<uint64_t>(s.other));
+    ts.hist[kTotal]->Record(static_cast<uint64_t>(end_to_end));
+    ts.totals.count++;
+    ts.totals.translation_ns += static_cast<uint64_t>(s.translation);
+    ts.totals.fault_ns += static_cast<uint64_t>(s.fault);
+    ts.totals.wp_stall_ns += static_cast<uint64_t>(s.wp_stall);
+    ts.totals.queue_ns += static_cast<uint64_t>(s.queue);
+    ts.totals.media_ns += static_cast<uint64_t>(s.media);
+    ts.totals.other_ns += static_cast<uint64_t>(s.other);
+    ts.totals.end_to_end_ns += static_cast<uint64_t>(end_to_end);
+  }
+
+  const ComponentTotals& totals(int slot, int tier) const {
+    return slots_[static_cast<size_t>(slot)]->tiers[tier & 1].totals;
+  }
+
+ private:
+  enum Component {
+    kTranslation,
+    kFault,
+    kWpStall,
+    kQueue,
+    kMedia,
+    kOther,
+    kTotal,
+    kNumComponents,
+  };
+  static const char* ComponentName(int c);
+
+  struct TierSlot {
+    std::array<HistogramMetric*, kNumComponents> hist = {};
+    ComponentTotals totals;
+  };
+  struct ManagerSlot {
+    std::string name;
+    std::array<TierSlot, kNumTiers> tiers;
+  };
+
+  MetricsRegistry& registry_;
+  // unique_ptr keeps TierSlot addresses stable across RegisterManager calls
+  // (managers hold no pointers in, but the metrics provider does).
+  std::vector<std::unique_ptr<ManagerSlot>> slots_;
+};
+
+}  // namespace hemem::obs
+
+#endif  // HEMEM_OBS_LATENCY_H_

@@ -81,8 +81,10 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
       const Histogram& h = reg.histogram->histogram();
       raw.push_back({reg.name + ".count", MetricValue::Of(h.count())});
       raw.push_back({reg.name + ".mean", MetricValue::Of(h.Mean())});
+      raw.push_back({reg.name + ".min", MetricValue::Of(h.min())});
       raw.push_back({reg.name + ".p50", MetricValue::Of(h.Percentile(0.5))});
       raw.push_back({reg.name + ".p99", MetricValue::Of(h.Percentile(0.99))});
+      raw.push_back({reg.name + ".p999", MetricValue::Of(h.Percentile(0.999))});
       raw.push_back({reg.name + ".max", MetricValue::Of(h.max())});
     } else if (reg.provider) {
       reg.provider(emitter);

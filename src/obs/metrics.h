@@ -87,7 +87,8 @@ class Gauge {
   double value_ = 0.0;
 };
 
-// Distribution metric; snapshots emit <name>.count/.mean/.p50/.p99/.max.
+// Distribution metric; snapshots emit
+// <name>.count/.mean/.min/.p50/.p99/.p999/.max.
 class HistogramMetric {
  public:
   void Record(uint64_t v) { hist_.Record(v); }

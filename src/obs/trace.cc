@@ -59,6 +59,21 @@ void EventTracer::Instant(TrackId track, const char* name, const char* cat,
   events_.push_back(std::move(e));
 }
 
+void EventTracer::Counter(TrackId track, const char* name, const char* cat,
+                          SimTime t, std::initializer_list<TraceArg> args) {
+  Event e;
+  e.name = name;
+  e.cat = cat;
+  e.phase = 'C';
+  e.track = track;
+  e.ts = t;
+  e.args.reserve(args.size());
+  for (const TraceArg& a : args) {
+    e.args.emplace_back(a.key, a.value);
+  }
+  events_.push_back(std::move(e));
+}
+
 namespace {
 
 // Trace-event names here are identifiers plus the occasional dot/dash, but
@@ -114,6 +129,16 @@ bool EventTracer::WriteJson(const std::string& path) const {
 
   std::fputs("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n", f);
   bool first = true;
+
+  // Process-name metadata, then track names, so viewers label everything
+  // before any event: one simulated machine = one Perfetto process row.
+  if (!process_name_.empty()) {
+    std::fputs("{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":0,"
+               "\"args\":{\"name\":\"", f);
+    WriteEscaped(f, process_name_);
+    std::fputs("\"}}", f);
+    first = false;
+  }
 
   // Track-name metadata first, so viewers label tracks before any event.
   for (const auto& [track, name] : track_names_) {

@@ -42,7 +42,7 @@ class EventTracer {
   struct Event {
     std::string name;
     const char* cat;  // callers pass string literals
-    char phase;       // 'X' duration, 'i' instant
+    char phase;       // 'X' duration, 'i' instant, 'C' counter
     TrackId track;
     SimTime ts = 0;
     SimTime dur = 0;
@@ -68,6 +68,18 @@ class EventTracer {
   void Instant(TrackId track, const char* name, const char* cat, SimTime t,
                std::initializer_list<TraceArg> args = {});
 
+  // Counter sample at `t` ('C' phase). Each arg key becomes one series on
+  // the counter track in Perfetto; repeated calls with the same name build
+  // the timeline (heat timelines use this for per-window access counts).
+  void Counter(TrackId track, const char* name, const char* cat, SimTime t,
+               std::initializer_list<TraceArg> args);
+
+  // Display name for the whole trace's process row (pid 0). The "M"
+  // process_name metadata record is emitted by WriteJson; when unset the
+  // trace keeps Perfetto's bare "pid 0" label.
+  void set_process_name(std::string name) { process_name_ = std::move(name); }
+  const std::string& process_name() const { return process_name_; }
+
   size_t event_count() const { return events_.size(); }
   const std::vector<Event>& events() const { return events_; }
 
@@ -81,6 +93,7 @@ class EventTracer {
 
  private:
   bool enabled_ = false;
+  std::string process_name_;
   std::vector<Event> events_;
   // (track id, display name); thread tracks and component tracks share it.
   std::vector<std::pair<TrackId, std::string>> track_names_;

@@ -111,6 +111,9 @@ struct PolicyInput {
   SimTime now = 0;
   uint64_t budget_bytes = 0;
   PolicyEnv* env = nullptr;
+  // Audit pass id (obs::MigrationAudit::BeginDecisionPass); 0 when access
+  // observation is off. The manager stamps it; policies never touch it.
+  uint64_t decision_id = 0;
 };
 
 // What the pass did: final time cursor, unspent budget, and whether

@@ -218,11 +218,18 @@ void Machine::EnableShadow() {
   }
 }
 
+void Machine::EnableAccessObservation(const obs::ObservationOptions& options) {
+  if (observation_ == nullptr) {
+    observation_ = std::make_unique<obs::AccessObservation>(metrics_, options);
+  }
+}
+
 void Machine::EnableTracing() {
   if (tracer_.enabled()) {
     return;
   }
   tracer_.set_enabled(true);
+  tracer_.set_process_name("hemem-sim");
   engine_trace_.emplace(tracer_);
   engine_.set_observer(&*engine_trace_);
   dram_.SetTracer(&tracer_, tracer_.RegisterTrack("device.dram"));

@@ -25,6 +25,7 @@
 #include "mem/block_device.h"
 #include "mem/device.h"
 #include "mem/dma.h"
+#include "obs/access_obs.h"
 #include "obs/engine_trace.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -162,6 +163,16 @@ class Machine {
   obs::EventTracer& tracer() { return tracer_; }
   void EnableTracing();
 
+  // Access observation (DESIGN.md "Latency attribution & audit"): latency
+  // component histograms, the address-space heat timeline, and the
+  // migration-causality audit. Off by default; call before constructing
+  // managers so they can register their latency slots. When off, the tier
+  // layer pays exactly one null-pointer compare per access skeleton entry
+  // and the batched quantum fast path is untouched — the access goldens pin
+  // both directions down bit-for-bit.
+  void EnableAccessObservation(const obs::ObservationOptions& options = {});
+  obs::AccessObservation* observation() { return observation_.get(); }
+
   // Fault injection. The injector always exists (inert for an empty plan);
   // at construction it is attached only to the components whose fault kinds
   // the plan actually arms, so a fault-free machine runs the exact pre-fault
@@ -206,6 +217,7 @@ class Machine {
   FaultInjector faults_;
   std::optional<ShadowMemory> shadow_;
   std::optional<obs::TraceEngineObserver> engine_trace_;
+  std::unique_ptr<obs::AccessObservation> observation_;
   std::vector<TieredMemoryManager*> managers_;
   std::unique_ptr<ParallelCoordinator> parallel_;  // built by EnableHostWorkers
 };

@@ -23,9 +23,35 @@ void TieredMemoryManager::RegisterBaseMetrics() {
 
 void TieredMemoryManager::AccessPage(SimThread& thread, uint64_t va, uint32_t size,
                                      AccessKind kind) {
+  if (observation_ == nullptr) [[likely]] {
+    AccessPageImpl<false>(thread, va, size, kind);
+  } else {
+    AccessPageImpl<true>(thread, va, size, kind);
+  }
+}
+
+template <bool kObserve>
+void TieredMemoryManager::AccessPageImpl(SimThread& thread, uint64_t va, uint32_t size,
+                                         AccessKind kind) {
+  // Latency attribution (kObserve only): every step below is bracketed by
+  // thread-clock reads, so the components sum to the end-to-end time by
+  // construction — LatencyRecorder::Record asserts it per access. Reading
+  // the clock never advances it, which is what keeps the observed twin
+  // bit-identical to the plain one (AccessGolden pins this down).
+  [[maybe_unused]] obs::LatencyRecorder::Sample sample;
+  [[maybe_unused]] SimTime mark = 0;
+  if constexpr (kObserve) {
+    mark = thread.now();
+  }
+  const SimTime entry_time = mark;
+
   const PageTable::Resolution r = ResolveForAccess(thread, va);
   assert(r.region != nullptr && "access to unmapped address");
   PageEntry& entry = *r.entry;
+  if constexpr (kObserve) {
+    sample.translation = thread.now() - mark;
+    mark = thread.now();
+  }
 
   if (!entry.present) [[unlikely]] {
     const SimTime fault_start = thread.now();
@@ -35,6 +61,10 @@ void TieredMemoryManager::AccessPage(SimThread& thread, uint64_t va, uint32_t si
       machine_.tracer().Duration(
           thread.stream_id(), "page_fault", "vm", fault_start, thread.now(),
           {{"tier", static_cast<double>(static_cast<int>(entry.tier))}});
+    }
+    if constexpr (kObserve) {
+      sample.fault = thread.now() - mark;
+      mark = thread.now();
     }
   }
 
@@ -60,6 +90,10 @@ void TieredMemoryManager::AccessPage(SimThread& thread, uint64_t va, uint32_t si
       }
     }
     entry.write_protected = false;
+    if constexpr (kObserve) {
+      sample.wp_stall = thread.now() - mark;
+      mark = thread.now();
+    }
   }
 
   // Hardware A/D bits (used by the PT-scan variants).
@@ -70,10 +104,29 @@ void TieredMemoryManager::AccessPage(SimThread& thread, uint64_t va, uint32_t si
 
   if (tracked_hook_) [[unlikely]] {
     OnTrackedAccess(thread, *r.region, r.index, entry, kind);
+    if constexpr (kObserve) {
+      sample.other += thread.now() - mark;
+      mark = thread.now();
+    }
   }
 
   if (custom_charge_) [[unlikely]] {
     ChargeDevice(thread, *r.region, va, entry, size, kind);
+    if constexpr (kObserve) {
+      // Custom charges (MemoryMode's cache-probing model) have no
+      // queue-vs-media split; the whole charge counts as media time.
+      sample.media = thread.now() - mark;
+      mark = thread.now();
+    }
+  } else if constexpr (kObserve) {
+    MemoryDevice::AccessBreakdown split;
+    const SimTime done = machine_.device(entry.tier).AccessAttributed(
+        thread.now(), PhysicalAddress(entry, va), size, kind, thread.stream_id(),
+        &split);
+    thread.AdvanceTo(done);
+    sample.queue = split.queue;
+    sample.media = split.media;
+    mark = thread.now();
   } else {
     const SimTime done = machine_.device(entry.tier).Access(
         thread.now(), PhysicalAddress(entry, va), size, kind, thread.stream_id());
@@ -82,6 +135,21 @@ void TieredMemoryManager::AccessPage(SimThread& thread, uint64_t va, uint32_t si
 
   if (post_charge_hook_) [[unlikely]] {
     OnAccessCharged(thread, va, entry, kind);
+    if constexpr (kObserve) {
+      sample.other += thread.now() - mark;
+      mark = thread.now();
+    }
+  }
+
+  if constexpr (kObserve) {
+    if (latency_slot_ < 0) {
+      latency_slot_ = observation_->latency().RegisterManager(name());
+    }
+    const int tier = static_cast<int>(entry.tier);
+    const SimTime now = thread.now();
+    observation_->latency().Record(latency_slot_, tier, sample, now - entry_time);
+    observation_->heat().Record(va, kind == AccessKind::kStore, tier, now);
+    observation_->audit().OnPageAccess(va & ~page_mask_, now);
   }
 }
 

@@ -68,7 +68,9 @@ struct FaultCosts {
 class TieredMemoryManager {
  public:
   explicit TieredMemoryManager(Machine& machine)
-      : machine_(machine), page_mask_(machine.page_bytes() - 1) {
+      : machine_(machine),
+        observation_(machine.observation()),
+        page_mask_(machine.page_bytes() - 1) {
     uint64_t bytes = machine.page_bytes();
     while (bytes > 1) {
       bytes >>= 1;
@@ -149,9 +151,9 @@ class TieredMemoryManager {
   // immediately — and every access either takes the inline fast path (whose
   // arithmetic mirrors AccessPage step for step) or falls back to the full
   // skeleton after flushing all deferred device state. When batching is off,
-  // the manager opted out (batch_quantum_safe_), or the thread runs outside
-  // an engine, exactly one access executes per call through the historical
-  // Access() path.
+  // the manager opted out (batch_quantum_safe_), access observation is
+  // enabled on the machine, or the thread runs outside an engine, exactly
+  // one access executes per call through the historical Access() path.
   template <typename Gen>
   bool RunAccessQuantum(SimThread& thread, Gen&& gen, SimTime compute_ns,
                         bool charge_compute = false);
@@ -164,6 +166,9 @@ class TieredMemoryManager {
   // Single-page access (va+size never crosses a page). The base
   // implementation is the shared skeleton; managers customize it through the
   // hooks below. Only decorators (TraceRecorder) override the method itself.
+  // With access observation enabled the skeleton runs an instrumented twin
+  // that times every step (AccessPageImpl<true>); the plain twin is the
+  // historical body, unchanged.
   virtual void AccessPage(SimThread& thread, uint64_t va, uint32_t size, AccessKind kind);
 
   // ---- Hooks into the skeleton (all optional) ------------------------------
@@ -306,6 +311,13 @@ class TieredMemoryManager {
   bool parallel_quantum_safe_ = false;
   uint32_t parallel_tier_mask_ = 0;
 
+  // Access observation (Machine::EnableAccessObservation), cached at
+  // construction: one null compare on the skeleton entry is the whole cost
+  // when the layer is off. The latency slot registers lazily on the first
+  // observed access (name() is virtual and unavailable in this constructor).
+  obs::AccessObservation* observation_ = nullptr;
+  int latency_slot_ = -1;
+
  private:
   // Publishes ManagerStats under "manager.<name()>."; name() is virtual, so
   // the provider resolves it lazily at snapshot time, never during
@@ -443,6 +455,13 @@ class TieredMemoryManager {
                                            MemoryDevice::BatchRun& dram_run,
                                            MemoryDevice::BatchRun& nvm_run);
 
+  // The skeleton body, compiled twice: kObserve = false is the historical
+  // access path bit for bit; kObserve = true brackets every step with
+  // thread-clock reads and records the decomposition (latency histograms,
+  // heat timeline, audit access attribution). Defined in manager.cc.
+  template <bool kObserve>
+  void AccessPageImpl(SimThread& thread, uint64_t va, uint32_t size, AccessKind kind);
+
   uint64_t page_mask_;
   uint32_t page_shift_ = 0;
   std::unordered_map<Region*, std::unique_ptr<RegionMetaBase>> region_meta_;
@@ -453,9 +472,13 @@ bool TieredMemoryManager::RunAccessQuantum(SimThread& thread, Gen&& gen,
                                            SimTime compute_ns, bool charge_compute) {
   Engine* engine = thread.engine();
   AccessOp op;
-  if (engine == nullptr || !engine->batching() || !batch_quantum_safe_) {
+  if (engine == nullptr || !engine->batching() || !batch_quantum_safe_ ||
+      observation_ != nullptr) {
     // Reference path: exactly one access per slice through the historical
-    // entry point — the pre-batching execution shape.
+    // entry point — the pre-batching execution shape. Observed runs always
+    // take it: the observation hooks live in the full skeleton, so AccessFast
+    // never grows an instrumentation branch and the disabled-case fast path
+    // stays byte-identical.
     if (!gen(op)) {
       return false;
     }

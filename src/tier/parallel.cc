@@ -70,6 +70,13 @@ SimTime ParallelCoordinator::EpochHorizon(SimTime frontier, SimTime want,
   if (machine_.shadow() != nullptr) {
     return 0;
   }
+  // So do the access-observation recorders (latency histograms, heat cells,
+  // audit counters): epochs stay rejected while observation is on, every
+  // access runs on the serial loop in global time order, and the observed
+  // run is bit-identical at any --host-workers count.
+  if (machine_.observation() != nullptr) {
+    return 0;
+  }
   const std::vector<TieredMemoryManager*>& managers = machine_.managers();
   if (managers.empty()) {
     return 0;

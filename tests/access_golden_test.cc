@@ -21,6 +21,7 @@
 
 #include "common/rng.h"
 #include "core/hemem.h"
+#include "obs/access_obs.h"
 #include "obs/sampler.h"
 #include "test_util.h"
 #include "tier/memory_mode.h"
@@ -75,7 +76,8 @@ std::unique_ptr<TieredMemoryManager> MakeSystem(const std::string& kind, Machine
 // batched slice execution) instead of one ScriptThread op per slice; both
 // must land on identical fingerprints.
 Fingerprint RunCase(const std::string& system, bool tracing = false,
-                    const std::string& fault_spec = "", bool batched = false) {
+                    const std::string& fault_spec = "", bool batched = false,
+                    bool observe = false, int host_workers = 1) {
   constexpr uint64_t kWorkingSet = MiB(128);
   constexpr uint64_t kHotSet = MiB(16);
   constexpr uint64_t kOps = 300'000;
@@ -91,6 +93,12 @@ Fingerprint RunCase(const std::string& system, bool tracing = false,
     machine.EnableTracing();
     sampler.emplace(machine.metrics(), kMillisecond);
     machine.engine().AddObserverThread(&*sampler);
+  }
+  if (observe) {
+    machine.EnableAccessObservation();
+  }
+  if (host_workers > 1) {
+    machine.EnableHostWorkers(host_workers);
   }
   std::unique_ptr<TieredMemoryManager> manager = MakeSystem(system, machine);
   manager->Start();
@@ -261,6 +269,101 @@ TEST(AccessGolden, BatchedExecutionUnderFaultPlanMatchesUnbatched) {
     EXPECT_EQ(batched.small_allocs, unbatched.small_allocs);
     EXPECT_EQ(batched.managed_allocs, unbatched.managed_allocs);
   }
+}
+
+// Full access observation (latency attribution + heat timeline + migration
+// audit) reads clocks and state but never advances anything: with it enabled
+// every fingerprint must stay bit-identical. This is the enabled-direction
+// twin of the hot path's "one null compare when off" guarantee.
+TEST(AccessGolden, ObservationDoesNotPerturbExecution) {
+  for (const Fingerprint& golden : kGolden) {
+    const Fingerprint actual = RunCase(golden.system, /*tracing=*/true,
+                                       /*fault_spec=*/"", /*batched=*/false,
+                                       /*observe=*/true);
+    SCOPED_TRACE(golden.system);
+    EXPECT_EQ(actual.end_ns, golden.end_ns);
+    EXPECT_EQ(actual.missing_faults, golden.missing_faults);
+    EXPECT_EQ(actual.wp_faults, golden.wp_faults);
+    EXPECT_EQ(actual.wp_wait_ns, golden.wp_wait_ns);
+    EXPECT_EQ(actual.pages_promoted, golden.pages_promoted);
+    EXPECT_EQ(actual.pages_demoted, golden.pages_demoted);
+    EXPECT_EQ(actual.bytes_migrated, golden.bytes_migrated);
+    EXPECT_EQ(actual.small_allocs, golden.small_allocs);
+    EXPECT_EQ(actual.managed_allocs, golden.managed_allocs);
+  }
+}
+
+// Observation under host workers: observed runs reject parallel epochs (the
+// coordinator returns horizon 0, as it does for the shadow engine), so the
+// sharded engine degrades to the sequential path and fingerprints still
+// match. Batched quanta likewise fall back to the reference path.
+TEST(AccessGolden, ObservationUnderHostWorkersMatchesGoldens) {
+  for (const Fingerprint& golden : kGolden) {
+    const Fingerprint actual = RunCase(golden.system, /*tracing=*/false,
+                                       /*fault_spec=*/"", /*batched=*/true,
+                                       /*observe=*/true, /*host_workers=*/2);
+    SCOPED_TRACE(golden.system);
+    EXPECT_EQ(actual.end_ns, golden.end_ns);
+    EXPECT_EQ(actual.missing_faults, golden.missing_faults);
+    EXPECT_EQ(actual.wp_faults, golden.wp_faults);
+    EXPECT_EQ(actual.wp_wait_ns, golden.wp_wait_ns);
+    EXPECT_EQ(actual.pages_promoted, golden.pages_promoted);
+    EXPECT_EQ(actual.pages_demoted, golden.pages_demoted);
+    EXPECT_EQ(actual.bytes_migrated, golden.bytes_migrated);
+    EXPECT_EQ(actual.small_allocs, golden.small_allocs);
+    EXPECT_EQ(actual.managed_allocs, golden.managed_allocs);
+  }
+}
+
+// The latency decomposition is exactly additive: over a HeMem run with
+// faults, WP stalls, and migrations, the per-component exact sums must add
+// up to the end-to-end total — no nanosecond unattributed. (Record() also
+// asserts this per access in debug builds; the exact ComponentTotals make
+// the property checkable in release builds, free of histogram bucketing.)
+TEST(AccessGolden, LatencyComponentsSumExactlyToEndToEnd) {
+  constexpr uint64_t kWorkingSet = MiB(128);
+  constexpr uint64_t kHotSet = MiB(16);
+  constexpr uint64_t kOps = 150'000;
+
+  Machine machine(TinyMachineConfig());
+  machine.EnableAccessObservation();
+  Hemem manager(machine, {});
+  manager.Start();
+  const uint64_t va = manager.Mmap(kWorkingSet, {.label = "latency"});
+
+  Rng access_rng(0xbeefull);
+  uint64_t op = 0;
+  ScriptThread thread([&](ScriptThread& self) mutable {
+    const bool hot = access_rng.NextBool(0.9);
+    const uint64_t span = hot ? kHotSet : kWorkingSet;
+    const uint64_t offset = access_rng.NextBounded(span / 64) * 64;
+    const AccessKind kind = op % 3 == 0 ? AccessKind::kStore : AccessKind::kLoad;
+    manager.Access(self, va + offset, 64, kind);
+    self.Advance(15);
+    return ++op < kOps;
+  });
+  machine.engine().AddThread(&thread);
+  machine.engine().Run();
+
+  const obs::LatencyRecorder& recorder = machine.observation()->latency();
+  uint64_t count = 0;
+  uint64_t fault_ns = 0;
+  uint64_t wp_ns = 0;
+  for (int tier = 0; tier < obs::LatencyRecorder::kNumTiers; ++tier) {
+    const obs::LatencyRecorder::ComponentTotals& t = recorder.totals(0, tier);
+    SCOPED_TRACE(tier);
+    EXPECT_EQ(t.end_to_end_ns, t.translation_ns + t.fault_ns + t.wp_stall_ns +
+                                   t.queue_ns + t.media_ns + t.other_ns);
+    count += t.count;
+    fault_ns += t.fault_ns;
+    wp_ns += t.wp_stall_ns;
+  }
+  // Every access was recorded, and the interesting components really fired
+  // (this workload faults in 128 MiB and migrates under write protection).
+  EXPECT_EQ(count, kOps);
+  EXPECT_GT(fault_ns, 0u);
+  EXPECT_GT(wp_ns, 0u);
+  EXPECT_GT(machine.observation()->heat().samples(), 0u);
 }
 
 }  // namespace

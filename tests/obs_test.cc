@@ -11,6 +11,10 @@
 
 #include <gtest/gtest.h>
 
+#include "common/json.h"
+#include "obs/audit.h"
+#include "obs/heatmap.h"
+#include "obs/latency.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
 #include "obs/sampler.h"
@@ -431,6 +435,365 @@ TEST(RunReport, WritesWellFormedNestedJson) {
   EXPECT_NE(text.find("\"loads\": 11"), std::string::npos);
   EXPECT_NE(text.find("\"series\""), std::string::npos);
   EXPECT_NE(text.find("\"period_ns\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram percentile edge cases (and their snapshot emission)
+
+TEST(HistogramEdgeCases, EmptyHistogramReportsZeros) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.Percentile(0.5), 0u);
+  EXPECT_EQ(h.Percentile(0.999), 0u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+}
+
+TEST(HistogramEdgeCases, SingleSampleDominatesEveryPercentile) {
+  Histogram h;
+  h.Record(42);  // < 64, so the log-linear bucketing is exact here
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 42u);
+  EXPECT_EQ(h.max(), 42u);
+  EXPECT_EQ(h.Percentile(0.0), 42u);
+  EXPECT_EQ(h.Percentile(0.5), 42u);
+  EXPECT_EQ(h.Percentile(0.99), 42u);
+  EXPECT_EQ(h.Percentile(0.999), 42u);
+  EXPECT_EQ(h.Percentile(1.0), 42u);
+}
+
+TEST(HistogramEdgeCases, AllSamplesInOneBucketCollapsePercentiles) {
+  Histogram h;
+  for (int i = 0; i < 10'000; ++i) {
+    h.Record(1'000'000);
+  }
+  // Every percentile reads the same (single) bucket; min/max stay exact even
+  // though the bucket midpoint may round.
+  EXPECT_EQ(h.Percentile(0.5), h.Percentile(0.99));
+  EXPECT_EQ(h.Percentile(0.99), h.Percentile(0.999));
+  EXPECT_EQ(h.min(), 1'000'000u);
+  EXPECT_EQ(h.max(), 1'000'000u);
+  // ~1% relative bucketing precision.
+  EXPECT_NEAR(static_cast<double>(h.Percentile(0.5)), 1e6, 1e4);
+}
+
+TEST(HistogramEdgeCases, SnapshotEmitsMinAndP999) {
+  MetricsRegistry registry;
+  int owner = 0;
+  obs::HistogramMetric* h = registry.AddHistogram(&owner, "x.lat");
+  // Empty histogram still emits the full leaf set, all zero.
+  MetricsSnapshot empty = registry.Snapshot();
+  ASSERT_NE(empty.Find("x.lat.min"), nullptr);
+  ASSERT_NE(empty.Find("x.lat.p999"), nullptr);
+  EXPECT_EQ(empty.Find("x.lat.min")->u, 0u);
+  EXPECT_EQ(empty.Find("x.lat.p999")->u, 0u);
+
+  // 995 samples of 10 and five of 50: p50/p99 stay at the body, p999
+  // resolves the 0.5% tail that p99 cannot see.
+  for (int i = 0; i < 995; ++i) {
+    h->Record(10);
+  }
+  for (int i = 0; i < 5; ++i) {
+    h->Record(50);
+  }
+  const MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.Find("x.lat.min")->u, 10u);
+  EXPECT_EQ(snap.Find("x.lat.p50")->u, 10u);
+  EXPECT_EQ(snap.Find("x.lat.p99")->u, 10u);
+  EXPECT_EQ(snap.Find("x.lat.p999")->u, 50u);
+  EXPECT_EQ(snap.Find("x.lat.max")->u, 50u);
+}
+
+// ---------------------------------------------------------------------------
+// Strict JSON parser (common/json.h)
+
+TEST(JsonParser, ParsesNestedDocument) {
+  json::Value v;
+  std::string err;
+  ASSERT_TRUE(json::Parse(
+      R"({"a": {"b": [1, 2.5, -3e2]}, "s": "x\n", "t": true, "n": null})", &v,
+      &err))
+      << err;
+  ASSERT_TRUE(v.is_object());
+  const json::Value* a = v.Get("a");
+  ASSERT_NE(a, nullptr);
+  const json::Value* b = a->Get("b");
+  ASSERT_NE(b, nullptr);
+  ASSERT_TRUE(b->is_array());
+  ASSERT_EQ(b->items.size(), 3u);
+  EXPECT_DOUBLE_EQ(b->items[1].number, 2.5);
+  EXPECT_DOUBLE_EQ(b->items[2].number, -300.0);
+  EXPECT_EQ(v.Get("s")->text, "x\n");
+  EXPECT_TRUE(v.Get("t")->boolean);
+}
+
+TEST(JsonParser, RejectsNonRfc8259Extensions) {
+  json::Value v;
+  for (const char* bad : {
+           "{\"a\": 1,}",        // trailing comma
+           "{'a': 1}",           // single quotes
+           "{\"a\": NaN}",       // NaN
+           "{\"a\": 01}",        // leading zero
+           "[1 2]",              // missing comma
+           "{\"a\": 1} extra",   // trailing garbage
+           "\"unterminated",     // unterminated string
+           "{\"a\"}",            // missing value
+           "",                   // empty input
+       }) {
+    std::string err;
+    EXPECT_FALSE(json::Parse(bad, &v, &err)) << bad;
+    EXPECT_FALSE(err.empty()) << bad;
+  }
+}
+
+TEST(JsonParser, FlattenNumbersProducesDottedPaths) {
+  json::Value v;
+  ASSERT_TRUE(json::Parse(
+      R"({"metrics": {"gups": 1.5, "runs": [{"n": 2}, {"n": 3}]}, "id": "x"})",
+      &v));
+  const std::map<std::string, double> flat = json::FlattenNumbers(v);
+  ASSERT_EQ(flat.size(), 3u);  // strings skipped
+  EXPECT_DOUBLE_EQ(flat.at("metrics.gups"), 1.5);
+  EXPECT_DOUBLE_EQ(flat.at("metrics.runs.0.n"), 2.0);
+  EXPECT_DOUBLE_EQ(flat.at("metrics.runs.1.n"), 3.0);
+}
+
+// ---------------------------------------------------------------------------
+// Latency attribution recorder
+
+TEST(LatencyRecorder, RecordsComponentsAndExactTotals) {
+  MetricsRegistry registry;
+  obs::LatencyRecorder recorder(registry);
+  const int slot = recorder.RegisterManager("HeMem");
+
+  obs::LatencyRecorder::Sample s;
+  s.translation = 5;
+  s.fault = 100;
+  s.queue = 7;
+  s.media = 30;
+  s.other = 8;
+  recorder.Record(slot, /*tier=*/0, s, s.Sum());
+  s = {};
+  s.media = 40;
+  s.wp_stall = 1000;
+  recorder.Record(slot, /*tier=*/1, s, s.Sum());
+
+  const obs::LatencyRecorder::ComponentTotals& dram = recorder.totals(slot, 0);
+  EXPECT_EQ(dram.count, 1u);
+  EXPECT_EQ(dram.fault_ns, 100u);
+  EXPECT_EQ(dram.end_to_end_ns,
+            dram.translation_ns + dram.fault_ns + dram.wp_stall_ns +
+                dram.queue_ns + dram.media_ns + dram.other_ns);
+  const obs::LatencyRecorder::ComponentTotals& nvm = recorder.totals(slot, 1);
+  EXPECT_EQ(nvm.wp_stall_ns, 1000u);
+  EXPECT_EQ(nvm.end_to_end_ns, 1040u);
+
+  const MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_NE(snap.Find("latency.HeMem.dram.fault.count"), nullptr);
+  EXPECT_EQ(snap.Find("latency.HeMem.dram.fault.count")->u, 1u);
+  EXPECT_EQ(snap.Find("latency.HeMem.dram.fault.sum_ns")->u, 100u);
+  EXPECT_EQ(snap.Find("latency.HeMem.nvm.wp_stall.min")->u, 1000u);
+  // Values ≥ 64 land in log-linear buckets (~1% relative error).
+  EXPECT_NEAR(static_cast<double>(snap.Find("latency.HeMem.nvm.wp_stall.p999")->u),
+              1000.0, 10.0);
+  EXPECT_EQ(snap.Find("latency.HeMem.nvm.total.sum_ns")->u, 1040u);
+  EXPECT_EQ(snap.Find("latency.HeMem.dram.total.sum_ns")->u, 150u);
+}
+
+#ifndef NDEBUG
+TEST(LatencyRecorderDeathTest, NonAdditiveSampleAsserts) {
+  MetricsRegistry registry;
+  obs::LatencyRecorder recorder(registry);
+  const int slot = recorder.RegisterManager("HeMem");
+  obs::LatencyRecorder::Sample s;
+  s.media = 10;
+  EXPECT_DEATH(recorder.Record(slot, 0, s, /*end_to_end=*/11),
+               "sum to end-to-end");
+}
+#endif
+
+// ---------------------------------------------------------------------------
+// Heat timeline
+
+TEST(HeatTimeline, BinsAccessesByChunkAndWindow) {
+  obs::HeatTimeline::Options opt;
+  opt.chunk_bytes = 1024;
+  opt.window_ns = 100;
+  obs::HeatTimeline heat(opt);
+
+  heat.Record(0, /*is_store=*/false, /*tier=*/0, /*now=*/10);
+  heat.Record(100, /*is_store=*/true, /*tier=*/0, /*now=*/20);   // same cell
+  heat.Record(100, /*is_store=*/false, /*tier=*/1, /*now=*/150);  // next window
+  heat.Record(5000, /*is_store=*/false, /*tier=*/1, /*now=*/10);  // chunk 4
+
+  EXPECT_EQ(heat.samples(), 4u);
+  ASSERT_EQ(heat.cells().size(), 3u);
+  const auto& c00 = heat.cells().at({0, 0});
+  EXPECT_EQ(c00.reads, 1u);
+  EXPECT_EQ(c00.writes, 1u);
+  EXPECT_EQ(c00.last_tier, 0);
+  const auto& c01 = heat.cells().at({0, 1});
+  EXPECT_EQ(c01.reads, 1u);
+  EXPECT_EQ(c01.last_tier, 1);
+  EXPECT_EQ(heat.cells().at({4, 0}).reads, 1u);
+}
+
+TEST(HeatTimeline, WriteJsonIsValidAndSparse) {
+  obs::HeatTimeline::Options opt;
+  opt.chunk_bytes = 4096;
+  opt.window_ns = 1000;
+  obs::HeatTimeline heat(opt);
+  heat.Record(0, false, 0, 10);
+  heat.Record(4096 * 7, true, 1, 2500);
+
+  const std::string path = TempPath("heat.json");
+  ASSERT_TRUE(heat.WriteJson(path));
+  const std::string text = ReadFile(path);
+  JsonChecker checker(text);
+  EXPECT_TRUE(checker.Valid()) << text;
+
+  // Cross-check with the real parser too: chunk bases and window indices.
+  json::Value v;
+  ASSERT_TRUE(json::Parse(text, &v));
+  EXPECT_DOUBLE_EQ(v.Get("chunk_bytes")->number, 4096.0);
+  ASSERT_TRUE(v.Get("chunks")->is_array());
+  ASSERT_EQ(v.Get("chunks")->items.size(), 2u);  // sparse: only touched chunks
+  const json::Value& second = v.Get("chunks")->items[1];
+  EXPECT_DOUBLE_EQ(second.Get("base")->number, 4096.0 * 7);
+  EXPECT_DOUBLE_EQ(second.Get("windows")->items[0].Get("w")->number, 2.0);
+  EXPECT_DOUBLE_EQ(second.Get("windows")->items[0].Get("writes")->number, 1.0);
+}
+
+TEST(HeatTimeline, EmitCountersWritesPerTierAndPerChunkTracks) {
+  obs::HeatTimeline::Options opt;
+  opt.chunk_bytes = 4096;
+  opt.window_ns = 1000;
+  obs::HeatTimeline heat(opt);
+  for (int i = 0; i < 10; ++i) {
+    heat.Record(0, false, 0, 100 * i);
+  }
+  heat.Record(4096, true, 1, 500);
+
+  EventTracer tracer;
+  tracer.set_enabled(true);
+  heat.EmitCounters(tracer, /*max_chunk_tracks=*/1);
+  EXPECT_GT(tracer.event_count(), 0u);
+
+  const std::string path = TempPath("heat_counters.json");
+  ASSERT_TRUE(tracer.WriteJson(path));
+  const std::string text = ReadFile(path);
+  JsonChecker checker(text);
+  EXPECT_TRUE(checker.Valid()) << text;
+  EXPECT_NE(text.find("heat/dram"), std::string::npos);
+  EXPECT_NE(text.find("heat/nvm"), std::string::npos);
+  // Only the hottest chunk gets a dedicated track under the cap of 1.
+  EXPECT_NE(text.find("heat/chunk@0MiB"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Migration-causality audit
+
+TEST(MigrationAudit, ClassifiesPromotionsAndDemotions) {
+  obs::MigrationAudit::Options opt;
+  opt.good_access_threshold = 4;
+  opt.ping_pong_window = 1000;
+  obs::MigrationAudit audit(opt);
+
+  const uint64_t pass = audit.BeginDecisionPass("default", 0);
+  EXPECT_EQ(pass, 1u);
+
+  // Promotion that pays for itself: 5 accesses after completion.
+  const uint64_t good = audit.OnMigrationQueued(pass, 0x1000, 1, 0, 10);
+  audit.OnMigrationComplete(good, 20);
+  for (int i = 0; i < 5; ++i) {
+    audit.OnPageAccess(0x1000, 30 + i);
+  }
+  // Promotion nobody touches again: churn.
+  const uint64_t churn = audit.OnMigrationQueued(pass, 0x2000, 1, 0, 10);
+  audit.OnMigrationComplete(churn, 25);
+  // Demotion that stays cold: good.
+  const uint64_t cold = audit.OnMigrationQueued(pass, 0x3000, 0, 1, 10);
+  audit.OnMigrationComplete(cold, 30);
+  // Demotion that keeps being accessed: premature.
+  const uint64_t premature = audit.OnMigrationQueued(pass, 0x4000, 0, 1, 10);
+  audit.OnMigrationComplete(premature, 30);
+  for (int i = 0; i < 6; ++i) {
+    audit.OnPageAccess(0x4000, 40 + i);
+  }
+  // Aborted migration.
+  const uint64_t aborted = audit.OnMigrationQueued(pass, 0x5000, 1, 0, 10);
+  audit.OnMigrationAborted(aborted, 15);
+
+  const obs::MigrationAudit::Summary sum = audit.Summarize();
+  EXPECT_EQ(sum.passes, 1u);
+  EXPECT_EQ(sum.migrations, 5u);
+  EXPECT_EQ(sum.good_promotions, 1u);
+  EXPECT_EQ(sum.churn_promotions, 1u);
+  EXPECT_EQ(sum.good_demotions, 1u);
+  EXPECT_EQ(sum.premature_demotions, 1u);
+  EXPECT_EQ(sum.aborted, 1u);
+  EXPECT_EQ(sum.ping_pongs, 0u);
+}
+
+TEST(MigrationAudit, ReversalWithinWindowMarksPingPong) {
+  obs::MigrationAudit::Options opt;
+  opt.good_access_threshold = 1;
+  opt.ping_pong_window = 1000;
+  obs::MigrationAudit audit(opt);
+
+  const uint64_t p1 = audit.BeginDecisionPass("default", 0);
+  const uint64_t promote = audit.OnMigrationQueued(p1, 0x1000, 1, 0, 0);
+  audit.OnMigrationComplete(promote, 100);
+  audit.OnPageAccess(0x1000, 150);
+
+  // Reversed within the window: the original promotion becomes ping-pong.
+  const uint64_t p2 = audit.BeginDecisionPass("default", 500);
+  const uint64_t demote = audit.OnMigrationQueued(p2, 0x1000, 0, 1, 500);
+  audit.OnMigrationComplete(demote, 600);
+
+  // A second reversal far outside the window: no ping-pong for the demotion.
+  const uint64_t p3 = audit.BeginDecisionPass("default", 50'000);
+  const uint64_t late = audit.OnMigrationQueued(p3, 0x1000, 1, 0, 50'000);
+  audit.OnMigrationComplete(late, 50'100);
+
+  const obs::MigrationAudit::Summary sum = audit.Summarize();
+  EXPECT_EQ(sum.ping_pongs, 1u);
+  EXPECT_EQ(sum.passes, 3u);
+  EXPECT_EQ(sum.migrations, 3u);
+}
+
+TEST(MigrationAudit, WriteJsonIsValidAndMetricsRegister) {
+  obs::MigrationAudit::Options opt;
+  obs::MigrationAudit audit(opt);
+  MetricsRegistry registry;
+  audit.RegisterMetrics(registry);
+
+  const uint64_t pass = audit.BeginDecisionPass("scheme", 0);
+  const uint64_t id = audit.OnMigrationQueued(pass, 0x1000, 1, 0, 10);
+  audit.OnMigrationComplete(id, 20);
+  for (int i = 0; i < 8; ++i) {
+    audit.OnPageAccess(0x1000, 30 + i);
+  }
+
+  const std::string path = TempPath("audit.json");
+  ASSERT_TRUE(audit.WriteJson(path));
+  const std::string text = ReadFile(path);
+  JsonChecker checker(text);
+  EXPECT_TRUE(checker.Valid()) << text;
+
+  json::Value v;
+  ASSERT_TRUE(json::Parse(text, &v));
+  ASSERT_TRUE(v.Get("decisions")->is_array());
+  ASSERT_EQ(v.Get("decisions")->items.size(), 1u);
+  EXPECT_EQ(v.Get("decisions")->items[0].Get("outcome")->text,
+            "good_promotion");
+
+  const MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_NE(snap.Find("audit.migrations"), nullptr);
+  EXPECT_EQ(snap.Find("audit.migrations")->u, 1u);
+  EXPECT_EQ(snap.Find("audit.good_promotions")->u, 1u);
+  EXPECT_EQ(snap.Find("audit.ping_pongs")->u, 0u);
 }
 
 TEST(RunReport, SnapshotToJsonHandlesLeafPrefixConflict) {

@@ -67,6 +67,9 @@ constexpr FlagSpec kFlagSpecs[] = {
     {"metrics-out", "write the JSON run report (metrics + series) here"},
     {"trace-out", "write a Chrome/Perfetto trace-event JSON file here"},
     {"sample-ms", "metric sampling interval in virtual ms (needs --metrics-out)"},
+    {"observe", "enable access observation (latency.*/audit.* metrics)"},
+    {"heatmap-out", "write the address-space heat timeline JSON here"},
+    {"audit-out", "write the migration-causality audit JSON here"},
     {"fault-spec", "fault plan, e.g. \"seed=7;dma.fail:p=0.2;nvm.degrade:mult=3\""},
 };
 
@@ -158,9 +161,14 @@ class ObsSession {
   ObsSession(Machine& machine, const std::map<std::string, std::string>& flags)
       : machine_(machine),
         metrics_out_(FlagS(flags, "metrics-out", "")),
-        trace_out_(FlagS(flags, "trace-out", "")) {
+        trace_out_(FlagS(flags, "trace-out", "")),
+        heatmap_out_(FlagS(flags, "heatmap-out", "")),
+        audit_out_(FlagS(flags, "audit-out", "")) {
     if (!trace_out_.empty()) {
       machine.EnableTracing();
+    }
+    if (flags.count("observe") > 0 || !heatmap_out_.empty() || !audit_out_.empty()) {
+      machine.EnableAccessObservation();
     }
     const double sample_ms = FlagD(flags, "sample-ms", 0.0);
     if (sample_ms > 0.0) {
@@ -182,9 +190,27 @@ class ObsSession {
       std::fprintf(stderr, "failed to write %s\n", metrics_out_.c_str());
       status = 1;
     }
-    if (!trace_out_.empty() && !machine_.tracer().WriteJson(trace_out_)) {
-      std::fprintf(stderr, "failed to write %s\n", trace_out_.c_str());
+    obs::AccessObservation* observation = machine_.observation();
+    if (!heatmap_out_.empty() && observation != nullptr &&
+        !observation->heat().WriteJson(heatmap_out_)) {
+      std::fprintf(stderr, "failed to write %s\n", heatmap_out_.c_str());
       status = 1;
+    }
+    if (!audit_out_.empty() && observation != nullptr &&
+        !observation->audit().WriteJson(audit_out_)) {
+      std::fprintf(stderr, "failed to write %s\n", audit_out_.c_str());
+      status = 1;
+    }
+    if (!trace_out_.empty()) {
+      // Heat counter tracks ride along in the Perfetto trace when both the
+      // tracer and access observation are on.
+      if (observation != nullptr) {
+        observation->heat().EmitCounters(machine_.tracer());
+      }
+      if (!machine_.tracer().WriteJson(trace_out_)) {
+        std::fprintf(stderr, "failed to write %s\n", trace_out_.c_str());
+        status = 1;
+      }
     }
     return status;
   }
@@ -193,6 +219,8 @@ class ObsSession {
   Machine& machine_;
   std::string metrics_out_;
   std::string trace_out_;
+  std::string heatmap_out_;
+  std::string audit_out_;
   std::unique_ptr<obs::MetricsSampler> sampler_;
 };
 

@@ -1,0 +1,225 @@
+// report_diff: compare two JSON metric files with per-metric threshold gates.
+//
+// Diffs every numeric leaf of two obs run reports (obs::WriteRunReport) or
+// BENCH_*.json files, flattened to dotted paths. Each metric passes when its
+// relative difference is within the tolerance that applies to it; the most
+// specific matching rule wins (last rule given on the command line, among
+// those that match). CI uses this as the perf-regression sentinel: a
+// committed baseline report vs a freshly-generated one, with host-time
+// metrics (engine.worker.*, wall-clock) ignored — every virtual-time metric
+// in the simulator is deterministic, so those gate at zero tolerance.
+//
+// Usage:
+//   report_diff [options] BASELINE.json CURRENT.json
+//     --rel-tol=R        default relative tolerance (default 0: exact)
+//     --abs-tol=A        absolute slack applied before the relative check
+//                        (default 0)
+//     --tol=GLOB=R       per-metric override: paths matching GLOB ('*'
+//                        matches any run, '?' one character) tolerate R;
+//                        repeatable, later flags win over earlier ones
+//     --ignore=GLOB      never compare paths matching GLOB; repeatable
+//     --allow-missing    a baseline metric absent from CURRENT is a note,
+//                        not a failure
+//     --max-print=N      cap the printed offender list (default 40)
+//
+// Exit status: 0 all gates pass, 1 at least one gate failed, 2 usage or
+// parse error.
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+
+namespace {
+
+struct TolRule {
+  std::string pattern;
+  double rel_tol = 0.0;
+  bool ignore = false;
+};
+
+// Classic glob match: '*' any run, '?' one char, everything else literal.
+bool GlobMatch(const char* pattern, const char* text) {
+  if (*pattern == '\0') {
+    return *text == '\0';
+  }
+  if (*pattern == '*') {
+    for (const char* t = text;; ++t) {
+      if (GlobMatch(pattern + 1, t)) {
+        return true;
+      }
+      if (*t == '\0') {
+        return false;
+      }
+    }
+  }
+  if (*text == '\0') {
+    return false;
+  }
+  if (*pattern == '?' || *pattern == *text) {
+    return GlobMatch(pattern + 1, text + 1);
+  }
+  return false;
+}
+
+std::string ReadFile(const std::string& path, bool* ok) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    *ok = false;
+    return {};
+  }
+  std::string out;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out.append(buf, n);
+  }
+  *ok = std::ferror(f) == 0;
+  std::fclose(f);
+  return out;
+}
+
+bool LoadFlattened(const std::string& path, std::map<std::string, double>* out) {
+  bool ok = false;
+  const std::string text = ReadFile(path, &ok);
+  if (!ok) {
+    std::fprintf(stderr, "report_diff: cannot read %s\n", path.c_str());
+    return false;
+  }
+  hemem::json::Value root;
+  std::string error;
+  if (!hemem::json::Parse(text, &root, &error)) {
+    std::fprintf(stderr, "report_diff: %s: %s\n", path.c_str(), error.c_str());
+    return false;
+  }
+  *out = hemem::json::FlattenNumbers(root);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double rel_tol = 0.0;
+  double abs_tol = 0.0;
+  bool allow_missing = false;
+  int max_print = 40;
+  std::vector<TolRule> rules;
+  std::vector<std::string> paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--rel-tol=", 0) == 0) {
+      rel_tol = std::atof(arg.c_str() + 10);
+    } else if (arg.rfind("--abs-tol=", 0) == 0) {
+      abs_tol = std::atof(arg.c_str() + 10);
+    } else if (arg.rfind("--max-print=", 0) == 0) {
+      max_print = std::atoi(arg.c_str() + 12);
+    } else if (arg == "--allow-missing") {
+      allow_missing = true;
+    } else if (arg.rfind("--ignore=", 0) == 0) {
+      rules.push_back(TolRule{arg.substr(9), 0.0, /*ignore=*/true});
+    } else if (arg.rfind("--tol=", 0) == 0) {
+      const std::string body = arg.substr(6);
+      const size_t eq = body.rfind('=');
+      if (eq == std::string::npos || eq == 0) {
+        std::fprintf(stderr, "report_diff: --tol wants GLOB=R, got %s\n", arg.c_str());
+        return 2;
+      }
+      rules.push_back(
+          TolRule{body.substr(0, eq), std::atof(body.c_str() + eq + 1), false});
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "report_diff: unknown flag %s\n", arg.c_str());
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.size() != 2) {
+    std::fprintf(stderr, "usage: report_diff [options] BASELINE.json CURRENT.json\n");
+    return 2;
+  }
+
+  std::map<std::string, double> base;
+  std::map<std::string, double> cur;
+  if (!LoadFlattened(paths[0], &base) || !LoadFlattened(paths[1], &cur)) {
+    return 2;
+  }
+
+  // Resolves the rule applying to `name`: later command-line rules win.
+  const auto rule_for = [&rules, rel_tol](const std::string& name) {
+    TolRule r{"", rel_tol, false};
+    for (const TolRule& candidate : rules) {
+      if (GlobMatch(candidate.pattern.c_str(), name.c_str())) {
+        r = candidate;
+      }
+    }
+    return r;
+  };
+
+  uint64_t compared = 0;
+  uint64_t ignored = 0;
+  uint64_t added = 0;
+  uint64_t missing = 0;
+  uint64_t failed = 0;
+  int printed = 0;
+  const auto offend = [&](const char* fmt, const std::string& name, double b,
+                          double c, double rel) {
+    if (printed < max_print) {
+      std::fprintf(stderr, fmt, name.c_str(), b, c, rel);
+    } else if (printed == max_print) {
+      std::fprintf(stderr, "  ... (further offenders suppressed)\n");
+    }
+    printed++;
+  };
+
+  for (const auto& [name, value] : base) {
+    const TolRule rule = rule_for(name);
+    if (rule.ignore) {
+      ignored++;
+      continue;
+    }
+    const auto it = cur.find(name);
+    if (it == cur.end()) {
+      missing++;
+      if (!allow_missing) {
+        failed++;
+        if (printed < max_print) {
+          std::fprintf(stderr, "  MISSING %s (baseline %.17g)\n", name.c_str(), value);
+        }
+        printed++;
+      }
+      continue;
+    }
+    compared++;
+    const double diff = std::fabs(it->second - value);
+    if (diff <= abs_tol) {
+      continue;
+    }
+    const double denom = std::fabs(value) > 0.0 ? std::fabs(value) : 1.0;
+    const double rel = diff / denom;
+    if (rel > rule.rel_tol) {
+      failed++;
+      offend("  FAIL %s: baseline %.17g, current %.17g (rel %.4g)\n", name,
+             value, it->second, rel);
+    }
+  }
+  for (const auto& [name, value] : cur) {
+    (void)value;
+    if (base.find(name) == base.end() && !rule_for(name).ignore) {
+      added++;
+    }
+  }
+
+  std::fprintf(stderr,
+               "report_diff: %" PRIu64 " compared, %" PRIu64 " ignored, %" PRIu64
+               " missing, %" PRIu64 " new, %" PRIu64 " failed (%s vs %s)\n",
+               compared, ignored, missing, added, failed, paths[0].c_str(),
+               paths[1].c_str());
+  return failed == 0 ? 0 : 1;
+}
