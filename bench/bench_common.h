@@ -40,10 +40,12 @@ namespace hemem::bench {
 // X-Mem, HeMem, HeMem-PT-Sync, HeMem-PT-Async, HeMem-Threads (CPU-copy
 // migration instead of DMA). `policy` selects the migration policy for the
 // systems that classify through one (the HeMem variants and Thermostat);
-// hardware/static baselines ignore it.
+// hardware/static baselines ignore it. `migration` ("exclusive" or "nomad")
+// selects the HeMem migration mode; the non-HeMem systems ignore it.
 inline std::unique_ptr<TieredMemoryManager> MakeSystem(
     const std::string& kind, Machine& machine,
-    const policy::PolicyChoice& policy = {}) {
+    const policy::PolicyChoice& policy = {},
+    const std::string& migration = "exclusive") {
   if (kind == "DRAM") {
     return std::make_unique<PlainMemory>(machine, Tier::kDram, /*overcommit=*/true);
   }
@@ -68,6 +70,9 @@ inline std::unique_ptr<TieredMemoryManager> MakeSystem(
   HememParams params;
   params.policy = policy.name;
   params.policy_spec = policy.spec;
+  if (migration == "nomad") {
+    params.migration = HememParams::MigrationMode::kNomad;
+  }
   if (kind == "HeMem-PT-Sync") {
     params.scan_mode = HememParams::ScanMode::kPtSync;
   } else if (kind == "HeMem-PT-Async") {

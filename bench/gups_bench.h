@@ -45,14 +45,19 @@ inline GupsRunOutput RunGupsSystem(const std::string& system, GupsConfig config,
     cell_obs.emplace(machine, *sweep);
   }
   machine.EnableHostWorkers(host_workers);
+  const bool nomad = sweep != nullptr && sweep->migration == "nomad";
   std::unique_ptr<TieredMemoryManager> manager;
   if (hemem_params.has_value()) {
     HememParams params = *hemem_params;
     params.policy = policy.name;
     params.policy_spec = policy.spec;
+    if (nomad) {
+      params.migration = HememParams::MigrationMode::kNomad;
+    }
     manager = std::make_unique<Hemem>(machine, params);
   } else {
-    manager = MakeSystem(system, machine, policy);
+    manager = MakeSystem(system, machine, policy,
+                         nomad ? "nomad" : "exclusive");
   }
   manager->Start();
 
@@ -69,10 +74,15 @@ inline GupsRunOutput RunGupsSystem(const std::string& system, GupsConfig config,
   out.pebs_drop_rate = machine.pebs().stats().DropRate();
   out.series = gups.series().buckets();
   // Non-default policies get their own report files so a policy matrix over
-  // one system doesn't overwrite itself.
-  const std::string id = policy.name == "default"
-                             ? "gups-" + system
-                             : "gups-" + system + "-" + policy.name;
+  // one system doesn't overwrite itself; likewise nomad-mode HeMem runs get
+  // a "-nomad" suffix so exclusive baselines are never overwritten (the
+  // non-HeMem baselines ignore --migration and keep their plain ids).
+  std::string id = policy.name == "default"
+                       ? "gups-" + system
+                       : "gups-" + system + "-" + policy.name;
+  if (nomad && (hemem_params.has_value() || system.rfind("HeMem", 0) == 0)) {
+    id += "-nomad";
+  }
   MaybeWriteReport(machine, id, {{"workload", "gups"}, {"policy", policy.name}});
   if (cell_obs.has_value()) {
     cell_obs->Finish(cell.empty() ? id : id + "-" + cell,

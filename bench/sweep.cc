@@ -28,6 +28,13 @@ SweepOptions ParseSweepArgs(int argc, char** argv) {
       if (opts.host_workers < 1) {
         opts.host_workers = 1;
       }
+    } else if (std::strncmp(arg, "--migration=", 12) == 0) {
+      opts.migration = arg + 12;
+      if (opts.migration != "exclusive" && opts.migration != "nomad") {
+        std::fprintf(stderr, "--migration: unknown mode '%s' (exclusive|nomad)\n",
+                     opts.migration.c_str());
+        std::exit(2);
+      }
     } else if (std::strncmp(arg, "--metrics-out=", 14) == 0) {
       opts.metrics_out = arg + 14;
     } else if (std::strncmp(arg, "--trace-out=", 12) == 0) {

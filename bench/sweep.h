@@ -53,10 +53,15 @@ struct SweepOptions {
   std::string metrics_out;
   std::string trace_out;
   double sample_ms = 0.0;
+  // Migration mode (--migration=exclusive|nomad): forwarded to every HeMem
+  // cell the bench builds. "nomad" enables non-exclusive transactional
+  // migration (DESIGN.md "Migration state machine"); report ids gain a
+  // "-nomad" suffix so exclusive baselines are never overwritten.
+  std::string migration = "exclusive";
 };
 
-// Parses --jobs=N, --host-workers=N, --x-list=a,b,c, --policy=... and
-// --policy-spec=... out of argv. Unrecognized arguments are left for the
+// Parses --jobs=N, --host-workers=N, --x-list=a,b,c, --policy=...,
+// --policy-spec=... and --migration=... out of argv. Unrecognized arguments are left for the
 // caller (returned options ignore them), so benches with their own flags can
 // parse both.
 SweepOptions ParseSweepArgs(int argc, char** argv);

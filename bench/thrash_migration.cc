@@ -1,0 +1,123 @@
+// Adversarial migration churn: exclusive vs nomad transactional migration.
+//
+// The workload is built to punish exclusive migration: a hot set that
+// rotates every 50 ms (each rotation swaps in chunks the tiering system has
+// just demoted), with a write-only slice so the remaining hot data is
+// read-mostly. Under exclusive migration every store that races a promotion
+// copy stalls for the userfaultfd round trip plus the remaining copy time
+// (wp_wait_ns); under nomad the same store aborts that page's transaction
+// and proceeds immediately, and demotions of still-clean pages flip back
+// onto their retained NVM shadow with zero bytes moved (shadow_demotions).
+//
+// Expected shape (EXPERIMENTS.md "Adversarial churn"): nomad holds GUPS
+// through the rotations, cuts wp_wait_ns by >=10x, and serves a nonzero
+// share of demotions as shadow flips; the price is the aborted-copy
+// bandwidth (txn_aborts) and the shadow frames held on NVM.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gups_bench.h"
+#include "sweep.h"
+
+using namespace hemem;
+using namespace hemem::bench;
+
+namespace {
+
+constexpr SimTime kWarmup = 150 * kMillisecond;
+constexpr SimTime kEnd = 900 * kMillisecond;
+constexpr SimTime kShiftPeriod = 50 * kMillisecond;
+
+struct ModeResult {
+  GupsResult result;
+  ManagerStats stats;
+  HememStats hstats;
+  uint64_t shadow_pages = 0;
+};
+
+ModeResult RunMode(const std::string& mode, const SweepOptions& sweep) {
+  Machine machine(GupsMachine());
+  CellObs obs(machine, sweep);
+  machine.EnableHostWorkers(sweep.host_workers);
+  HememParams params;
+  params.policy = sweep.policy.name;
+  params.policy_spec = sweep.policy.spec;
+  if (mode == "nomad") {
+    params.migration = HememParams::MigrationMode::kNomad;
+  }
+  auto manager = std::make_unique<Hemem>(machine, params);
+  manager->Start();
+
+  GupsConfig config = StandardHotGups();
+  // 75/25 hot/cold split (vs the standard 90/10): the extra cold traffic is
+  // what lets PEBS re-sample rotated-out pages quickly enough to reclassify
+  // them cold within the window — the paper's 90/10 split leaves a cold
+  // page sampled roughly once per run at this scale, so stale-hot pages
+  // would pin the DRAM hot list and demotion would never reach them.
+  config.hot_fraction = 0.75;
+  config.shift_at = kWarmup;
+  config.shift_period = kShiftPeriod;
+  config.shift_bytes = PaperGiB(8);
+  // A quarter of the hot set takes pure stores; everything else is pure
+  // loads, so demoted-then-clean pages exist for nomad's shadow flips.
+  config.write_only_hot_fraction = 0.25;
+  // Demand-fault the working set instead of prefilling: prefill would seed
+  // DRAM with ~12k never-hot pages at the front of the cold list, and every
+  // demotion for the whole run would drain that pool instead of reaching
+  // the rotated-out (shadow-holding) pages this bench is about.
+  config.prefill = false;
+  config.series_bucket = 20 * kMillisecond;
+  config.updates_per_thread = ~0ull >> 2;  // deadline-bounded
+  config.measure_after = kWarmup;
+  GupsBenchmark gups(*manager, config);
+  gups.Prepare();
+
+  ModeResult out;
+  out.result = gups.Run(kEnd);
+  out.stats = manager->stats();
+  out.hstats = manager->hstats();
+  out.shadow_pages = manager->shadow_pages();
+  const std::string id =
+      mode == "nomad" ? "thrash-HeMem-nomad" : "thrash-HeMem";
+  MaybeWriteReport(machine, id,
+                   {{"workload", "thrash"}, {"migration", mode}});
+  obs.Finish(id, {{"workload", "thrash"}, {"migration", mode}});
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const SweepOptions sweep = ParseSweepArgs(argc, argv);
+
+  PrintTitle("Thrash", "GUPS under adversarial hot-set rotation",
+             "8 GB (paper-equivalent) rotates every 50 ms; exclusive vs "
+             "nomad migration");
+
+  // --migration selects a single mode (CI smoke); the default runs both so
+  // the printed table is the comparison.
+  std::vector<std::string> modes;
+  if (sweep.migration == "nomad") {
+    modes = {"nomad"};
+  } else {
+    modes = {"exclusive", "nomad"};
+  }
+
+  PrintCols({"mode", "gups", "wp_wait_ms", "wp_faults", "promoted", "demoted",
+             "txn_aborts", "shadow_flips"});
+  for (const std::string& mode : modes) {
+    const ModeResult out = RunMode(mode, sweep);
+    PrintCell(mode);
+    PrintCell(out.result.gups);
+    PrintCell(Fmt("%.3f", static_cast<double>(out.stats.wp_wait_ns) / 1e6));
+    PrintCell(Fmt("%.0f", static_cast<double>(out.stats.wp_faults)));
+    PrintCell(Fmt("%.0f", static_cast<double>(out.stats.pages_promoted)));
+    PrintCell(Fmt("%.0f", static_cast<double>(out.stats.pages_demoted)));
+    PrintCell(Fmt("%.0f", static_cast<double>(out.hstats.txn_aborts)));
+    PrintCell(Fmt("%.0f", static_cast<double>(out.hstats.shadow_demotions)));
+    EndRow();
+  }
+  return 0;
+}

@@ -58,6 +58,7 @@ class GupsBenchmark::Worker : public SimThread {
       write_only_chunks_ = static_cast<uint64_t>(config.write_only_hot_fraction *
                                                  static_cast<double>(hot_chunks));
     }
+    next_shift_ = config.shift_at;
     remaining_warmup_ = config.warmup_updates_per_thread;
     remaining_ = config.updates_per_thread;
     if (config.prefill) {
@@ -120,8 +121,9 @@ class GupsBenchmark::Worker : public SimThread {
       DoSplitUpdate();
       return;
     }
-    if (config.shift_at > 0 && !shifted_ && now() >= config.shift_at) {
+    if (next_shift_ > 0 && now() >= next_shift_) {
       ShiftHotSet();
+      next_shift_ = config.shift_period > 0 ? next_shift_ + config.shift_period : 0;
     }
 
     const uint64_t obj = config.object_bytes;
@@ -201,13 +203,17 @@ class GupsBenchmark::Worker : public SimThread {
   }
 
   void ShiftHotSet() {
-    shifted_ = true;
     const GupsConfig& config = bench_.config_;
     uint64_t n = config.shift_bytes / static_cast<uint64_t>(config.threads) / chunk_bytes_;
     n = std::min<uint64_t>({n, hot_.size(), cold_.size()});
+    // Periodic shifts rotate through the cold chunks so every round swaps in
+    // data the tiering system has had time to demote (round 0 matches the
+    // one-shot figure-9 shift exactly).
+    const uint64_t base = shift_round_ * n;
     for (uint64_t i = 0; i < n; ++i) {
-      std::swap(hot_[i], cold_[i]);
+      std::swap(hot_[i], cold_[(base + i) % cold_.size()]);
     }
+    shift_round_++;
   }
 
   GupsBenchmark& bench_;
@@ -229,7 +235,8 @@ class GupsBenchmark::Worker : public SimThread {
   uint64_t remaining_ = 0;
   uint64_t completed_ = 0;
   bool measuring_ = false;
-  bool shifted_ = false;
+  SimTime next_shift_ = 0;  // 0 = shifting disabled (or one-shot consumed)
+  uint64_t shift_round_ = 0;
   SimTime measure_start_ = 0;
   SimTime measure_end_ = 0;
 };

@@ -57,6 +57,10 @@ struct GupsConfig {
   // Dynamic variant: at shift_at, shift_bytes of hot becomes cold & vice versa.
   SimTime shift_at = 0;
   uint64_t shift_bytes = 0;
+  // Adversarial churn (bench/thrash): repeat the shift every shift_period
+  // after shift_at, rotating through the cold chunks so each shift exposes
+  // data the tiering system has demoted. 0 keeps the one-shot behavior.
+  SimTime shift_period = 0;
 
   // Asymmetric variant (Table 2): leading fraction of the hot set is
   // write-only; every other access is a pure load. Disabled when 0.

@@ -17,6 +17,10 @@ constexpr SimTime kPolicyBaseCost = 2 * kMicrosecond;
 // PTE traffic (list moves, counter updates).
 constexpr SimTime kPtPerPageCost = 5;
 
+// Policy-thread cost of handing one migration batch to the asynchronous copy
+// engine (descriptor setup; the copy itself runs in the background).
+constexpr SimTime kTxnSubmitCost = 1 * kMicrosecond;
+
 }  // namespace
 
 Hemem::Hemem(Machine& machine, HememParams params)
@@ -70,9 +74,17 @@ Hemem::Hemem(Machine& machine, HememParams params)
   // runs after the device charge (with the post-access timestamp).
   wp_stall_cost_ = fault_costs_.userfaultfd_roundtrip;
   post_charge_hook_ = params_.scan_mode == ScanMode::kPebs;
+  // Nomad mode: stores never wait out a copy — they abort the transaction
+  // (OnWpConflict) after the same fault round-trip.
+  wp_txn_abort_ = nomad();
   // Skeleton + hooks only; the PEBS quantum budget (OnQuantumBegin) keeps
   // batched counting exact.
   batch_quantum_safe_ = true;
+  // Epoch eligibility is dynamic (EpochEligible): accesses can reach both
+  // devices, and epochs are granted whenever the access path is momentarily
+  // pure — PT/no-scan tracking, no WP window, no in-flight transaction.
+  parallel_tier_mask_ = (1u << static_cast<int>(Tier::kDram)) |
+                        (1u << static_cast<int>(Tier::kNvm));
   drain_buf_.reserve(4096);
 
   trace_policy_track_ = machine.tracer().RegisterTrack("hemem.policy");
@@ -96,6 +108,18 @@ Hemem::Hemem(Machine& machine, HememParams params)
     e.Emit("hemem.hot_pages.nvm", hot_pages(Tier::kNvm));
     e.Emit("hemem.cold_pages.dram", cold_pages(Tier::kDram));
     e.Emit("hemem.cold_pages.nvm", cold_pages(Tier::kNvm));
+    if (nomad()) {
+      // Emitted only in nomad mode so exclusive-mode reports (and their
+      // committed CI baselines) keep their exact key set.
+      e.Emit("hemem.migration.txn_starts", hstats_.txn_starts);
+      e.Emit("hemem.migration.txn_commits", hstats_.txn_commits);
+      e.Emit("hemem.migration.txn_aborts", hstats_.txn_aborts);
+      e.Emit("hemem.migration.shadow_demotions", hstats_.shadow_demotions);
+      e.Emit("hemem.migration.shadow_invalidations", hstats_.shadow_invalidations);
+      e.Emit("hemem.migration.shadow_reclaims", hstats_.shadow_reclaims);
+      e.Emit("hemem.migration.shadow_pages", shadow_pages());
+      e.Emit("hemem.migration.pending_txns", pending_txns());
+    }
   });
 }
 
@@ -195,10 +219,28 @@ void Hemem::OnUnmapRegion(Region& region) {
   // Unlink every tracked page from the hot/cold lists before the base class
   // destroys the metadata — a HememPage must never dangle on a list. The
   // base Munmap then detaches the region slot and releases the frames.
+  // Nomad state referring into the region goes with it: in-flight
+  // transactions are cancelled (destination frames return to their pools)
+  // and live shadows are released — ReleaseRegionFrames only knows about
+  // the mapped frame.
   HememRegionMeta* meta = MetaOfRegion(region);
   if (meta != nullptr) {
     for (HememPage& page : meta->pages) {
       DetachFromList(&page);
+      if (page.txn_slot >= 0) {
+        PendingTxn txn = txns_[page.txn_slot];
+        machine_.frames(txn.dst).Free(txn.frame);
+        if (ShadowMemory* shadow = machine_.shadow()) {
+          shadow->DropPage(txn.dst, txn.frame);
+        }
+        if (txn.audit_id != 0) {
+          machine_.observation()->audit().OnMigrationAborted(txn.audit_id, 0);
+        }
+        RemoveTxnSlot(page.txn_slot);
+      }
+      if (page.shadow_slot >= 0) {
+        DropShadow(&page, ShadowDrop::kUnmapped);
+      }
     }
   }
   for (const PageEntry& entry : region.pages) {
@@ -217,8 +259,15 @@ std::optional<Hemem::PageProbe> Hemem::ProbePage(uint64_t va) {
   if (page == nullptr) {
     return std::nullopt;
   }
-  return PageProbe{page->reads,  page->writes, page->write_heavy,
-                   page->list == PageListId::kHot, page->tier(), page->list};
+  return PageProbe{page->reads,
+                   page->writes,
+                   page->write_heavy,
+                   page->list == PageListId::kHot,
+                   page->tier(),
+                   page->list,
+                   page->entry().shadow_frame,
+                   page->entry().dirty,
+                   page->txn_slot >= 0};
 }
 
 HememPage* Hemem::MetaOf(Region* region, uint64_t index) {
@@ -244,6 +293,13 @@ void Hemem::HandleMissingFault(SimThread& thread, Region& region, uint64_t index
   std::optional<uint32_t> frame = machine_.frames(tier).Alloc();
   if (!frame.has_value()) {
     tier = tier == Tier::kDram ? Tier::kNvm : Tier::kDram;
+    frame = machine_.frames(tier).Alloc();
+  }
+  if (!frame.has_value() && !shadowed_.empty()) {
+    // Nomad: both pools exhausted, but shadow copies hold reclaimable NVM
+    // frames — and a demand fault must map.
+    DropShadow(shadowed_.back(), ShadowDrop::kReclaimed);
+    tier = Tier::kNvm;
     frame = machine_.frames(tier).Alloc();
   }
   assert(frame.has_value() && "machine out of physical memory");
@@ -285,6 +341,12 @@ void Hemem::HandleSwapInFault(SimThread& thread, Region& region, uint64_t index)
   std::optional<uint32_t> frame = machine_.frames(tier).Alloc();
   if (!frame.has_value()) {
     tier = Tier::kNvm;
+    frame = machine_.frames(tier).Alloc();
+  }
+  if (!frame.has_value() && !shadowed_.empty()) {
+    // Nomad: reclaim a shadow frame — a major fault must map (see
+    // HandleMissingFault).
+    DropShadow(shadowed_.back(), ShadowDrop::kReclaimed);
     frame = machine_.frames(tier).Alloc();
   }
   assert(frame.has_value() && "machine out of physical memory");
@@ -457,11 +519,18 @@ policy::PolicyFeatures Hemem::FeaturesFor(const HememPage& page) const {
   const HememRegionMeta* meta = MetaOfRegion(*page.region);
   f.region_age_epochs = meta != nullptr ? cool_.clock - meta->create_epoch : 0;
   f.tier = static_cast<int>(page.tier());
+  f.shadow_clean = page.shadow_slot >= 0 && !page.entry().dirty;
   return f;
 }
 
 void Hemem::Classify(HememPage* page) {
   DetachFromList(page);
+  if (page->txn_slot >= 0) [[unlikely]] {
+    // An in-flight transaction owns this page: it stays off the lists so the
+    // policy cannot queue a second migration before the first resolves
+    // (FinalizeTxns re-classifies it).
+    return;
+  }
   const Tier tier = page->tier();
   page->list_tier = tier;
   const policy::PolicyVerdict verdict = policy_->Classify(FeaturesFor(*page));
@@ -572,6 +641,11 @@ SimTime Hemem::PtScanPass(SimTime start) {
       // of how many times the page was touched — the fidelity loss that
       // makes PT variants overestimate the hot set under background traffic.
       if (entry.dirty) {
+        if (page.shadow_slot >= 0) {
+          // The store that set the dirty bit made the NVM shadow stale; drop
+          // it here, before the scan clears the bit and the evidence is gone.
+          DropShadow(&page, ShadowDrop::kInvalidated);
+        }
         page.writes++;
         if (page.writes >= params_.hot_write_threshold) {
           page.write_heavy = true;
@@ -603,13 +677,10 @@ SimTime Hemem::PtScanPass(SimTime start) {
   return work;
 }
 
-SimTime Hemem::MigrateBatch(SimTime t, std::vector<Migration>& batch) {
-  if (batch.empty()) {
-    return t;
-  }
+SimTime Hemem::RunCopyEngine(SimTime t, const std::vector<Migration>& batch,
+                             std::vector<SimTime>* per_request) {
   const uint64_t page_bytes = machine_.page_bytes();
   SimTime done = t;
-  std::vector<SimTime> per_request;
   if (params_.use_dma) {
     std::vector<CopyRequest> reqs;
     reqs.reserve(batch.size());
@@ -618,22 +689,22 @@ SimTime Hemem::MigrateBatch(SimTime t, std::vector<Migration>& batch) {
                                  page_bytes});
     }
     const DmaBatchResult result =
-        machine_.dma().TryCopyBatch(t, reqs, params_.dma_channels, &per_request);
+        machine_.dma().TryCopyBatch(t, reqs, params_.dma_channels, per_request);
     if (result.ok) {
       done = result.done;
     } else {
       // Retries exhausted: fall back to the synchronous CPU copiers from the
       // moment the engine gave up, as HeMem's migration threads do when the
       // I/OAT ioctl interface errors out. The batch still completes — only
-      // slower — so the policy's bookkeeping below is unchanged.
+      // slower — so the callers' bookkeeping is unchanged.
       hstats_.dma_fallback_batches++;
       machine_.dma().NoteFallback(batch.size());
       done = result.done;
-      per_request.clear();
+      per_request->clear();
       for (const Migration& m : batch) {
-        per_request.push_back(copier_.Copy(result.done, machine_.device(m.page->tier()),
-                                           machine_.device(m.dst), page_bytes));
-        done = std::max(done, per_request.back());
+        per_request->push_back(copier_.Copy(result.done, machine_.device(m.page->tier()),
+                                            machine_.device(m.dst), page_bytes));
+        done = std::max(done, per_request->back());
       }
       if (machine_.tracer().enabled()) {
         machine_.tracer().Duration(trace_policy_track_, "dma_fallback_copy", "hemem",
@@ -643,11 +714,24 @@ SimTime Hemem::MigrateBatch(SimTime t, std::vector<Migration>& batch) {
     }
   } else {
     for (const Migration& m : batch) {
-      per_request.push_back(copier_.Copy(t, machine_.device(m.page->tier()),
-                                         machine_.device(m.dst), page_bytes));
-      done = std::max(done, per_request.back());
+      per_request->push_back(copier_.Copy(t, machine_.device(m.page->tier()),
+                                          machine_.device(m.dst), page_bytes));
+      done = std::max(done, per_request->back());
     }
   }
+  return done;
+}
+
+SimTime Hemem::MigrateBatch(SimTime t, std::vector<Migration>& batch) {
+  if (batch.empty()) {
+    return t;
+  }
+  if (nomad()) {
+    return BeginTxnBatch(t, batch);
+  }
+  const uint64_t page_bytes = machine_.page_bytes();
+  std::vector<SimTime> per_request;
+  SimTime done = RunCopyEngine(t, batch, &per_request);
 
   // Commit point. An abort fired here models Nomad-style migration failure
   // (contending writer, racing unmap): the copied data is discarded and the
@@ -667,6 +751,7 @@ SimTime Hemem::MigrateBatch(SimTime t, std::vector<Migration>& batch) {
         shadow->DropPage(m.dst, m.frame);
       }
       m.page->entry().wp_until = per_request[i];
+      wp_clear_time_ = std::max(wp_clear_time_, per_request[i]);
       Classify(m.page);  // back onto its source tier's list
       if (m.audit_id != 0) {
         machine_.observation()->audit().OnMigrationAborted(m.audit_id, done);
@@ -688,6 +773,7 @@ SimTime Hemem::MigrateBatch(SimTime t, std::vector<Migration>& batch) {
     const Tier src = entry.tier;
     // Stores block only while this page's own copy is in flight.
     entry.wp_until = per_request[i];
+    wp_clear_time_ = std::max(wp_clear_time_, per_request[i]);
     if (shadow != nullptr) {
       shadow->MovePage(src, entry.frame, m.dst, m.frame);
     }
@@ -723,6 +809,352 @@ SimTime Hemem::MigrateBatch(SimTime t, std::vector<Migration>& batch) {
   return done;
 }
 
+// ---- Nomad (non-exclusive transactional migration) --------------------------
+
+SimTime Hemem::BeginTxnBatch(SimTime t, std::vector<Migration>& batch) {
+  // Injected abort (migrate.abort plans): under nomad the failure fires at
+  // submission — the copy engine refuses the batch before any transaction
+  // starts. Rollback is total and instantaneous: every page stays resident
+  // and mapped in its source tier (which was authoritative throughout, so no
+  // data was ever at risk), the claimed destination frames return to their
+  // pools, and the cursor advances by the submission cost alone — which
+  // keeps the fault tests' virtual-time arithmetic exactly computable.
+  FaultInjector& faults = machine_.faults();
+  if (faults.armed(FaultKind::kMigrationAbort) &&
+      faults.Fire(FaultKind::kMigrationAbort, t) != nullptr) [[unlikely]] {
+    ShadowMemory* shadow = machine_.shadow();
+    for (const Migration& m : batch) {
+      machine_.frames(m.dst).Free(m.frame);
+      if (shadow != nullptr) {
+        shadow->DropPage(m.dst, m.frame);
+      }
+      Classify(m.page);  // back onto its source tier's list
+      if (m.audit_id != 0) {
+        machine_.observation()->audit().OnMigrationAborted(m.audit_id, t);
+      }
+    }
+    hstats_.migration_aborts++;
+    if (machine_.tracer().enabled()) {
+      machine_.tracer().Instant(trace_policy_track_, "migrate_abort", "hemem", t,
+                                {{"pages", static_cast<double>(batch.size())}});
+    }
+    batch.clear();
+    return t + kTxnSubmitCost;
+  }
+
+  // The copies run asynchronously against the device model; the policy
+  // thread only pays the descriptor-submission cost. Each page's source
+  // mapping stays authoritative while its copy is in flight: loads proceed
+  // untouched, and wp_until (set to the copy's completion time) routes any
+  // store that races the copy to the conflict path (OnWpConflict), which
+  // aborts that page's transaction instead of stalling the writer. A store
+  // after the copy completes but before the commit proceeds normally — it
+  // lands on the still-mapped source, and the commit folds it in (the
+  // engine's commit-time delta re-sync; see FinalizeTxns).
+  std::vector<SimTime> per_request;
+  RunCopyEngine(t, batch, &per_request);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const Migration& m = batch[i];
+    assert(m.page->txn_slot < 0 && "page already has a transaction in flight");
+    m.page->entry().wp_until = per_request[i];
+    m.page->txn_slot = static_cast<int32_t>(txns_.size());
+    txns_.push_back(PendingTxn{m.page, m.dst, m.frame, per_request[i], false, m.audit_id});
+    hstats_.txn_starts++;
+  }
+  if (machine_.tracer().enabled()) {
+    machine_.tracer().Duration(
+        trace_policy_track_,
+        batch[0].dst == Tier::kDram ? "txn_promote" : "txn_demote", "hemem", t,
+        t + kTxnSubmitCost, {{"pages", static_cast<double>(batch.size())}});
+  }
+  batch.clear();
+  return t + kTxnSubmitCost;
+}
+
+void Hemem::RemoveTxnSlot(int32_t slot) {
+  txns_[slot].page->txn_slot = -1;
+  if (slot != static_cast<int32_t>(txns_.size()) - 1) {
+    txns_[slot] = txns_.back();
+    txns_[slot].page->txn_slot = slot;
+  }
+  txns_.pop_back();
+}
+
+SimTime Hemem::FinalizeTxns(SimTime t) {
+  if (txns_.empty()) {
+    return t;
+  }
+  const uint64_t page_bytes = machine_.page_bytes();
+  ShadowMemory* shadow = machine_.shadow();
+  for (int32_t slot = 0; slot < static_cast<int32_t>(txns_.size());) {
+    if (!txns_[slot].aborted && txns_[slot].done > t) {
+      ++slot;  // copy still in flight; resolve at a later pass
+      continue;
+    }
+    const PendingTxn txn = txns_[slot];
+    RemoveTxnSlot(slot);  // swap-erase: re-examine `slot` next iteration
+    HememPage* page = txn.page;
+    PageEntry& entry = page->entry();
+    if (txn.aborted) {
+      // A store raced the copy: the destination data is stale, the source
+      // mapping (never remapped) simply keeps serving. Only now is the
+      // destination frame safe to reuse — the copy engine may have written
+      // it until txn.done.
+      machine_.frames(txn.dst).Free(txn.frame);
+      if (shadow != nullptr) {
+        shadow->DropPage(txn.dst, txn.frame);
+      }
+      if (txn.audit_id != 0) {
+        machine_.observation()->audit().OnMigrationAborted(txn.audit_id, t);
+      }
+    } else {
+      const Tier src = entry.tier;
+      if (txn.dst == Tier::kDram) {
+        // Promotion commit: the NVM source frame is retained as a clean
+        // shadow instead of being freed — a later unwritten demotion flips
+        // back onto it with no data movement (TryFlipDemote).
+        if (shadow != nullptr) {
+          shadow->CopyPage(src, entry.frame, Tier::kDram, txn.frame);
+        }
+        assert(page->shadow_slot < 0);
+        entry.shadow_frame = entry.frame;
+        // The copy is exact as of this commit: a store that raced the copy
+        // aborted the transaction, and a store after the copy completed
+        // landed on the source, which the commit-time re-sync just captured.
+        // From here the dirty bit means "shadow is stale".
+        entry.dirty = false;
+        page->shadow_slot = static_cast<int32_t>(shadowed_.size());
+        shadowed_.push_back(page);
+        stats_.pages_promoted++;
+        dram_pages_owned_++;
+      } else {
+        // Demotion commit: the DRAM source frame frees one pass after the
+        // policy decided — the price of never blocking the application.
+        if (page->shadow_slot >= 0) {
+          // The full copy just superseded the page's old shadow (a policy
+          // that skips TryFlipDemote can queue such a demotion).
+          DropShadow(page, ShadowDrop::kInvalidated);
+        }
+        if (shadow != nullptr) {
+          shadow->MovePage(src, entry.frame, txn.dst, txn.frame);
+        }
+        machine_.frames(src).Free(entry.frame);
+        stats_.pages_demoted++;
+        if (src == Tier::kDram) {
+          dram_pages_owned_--;
+        }
+      }
+      entry.tier = txn.dst;
+      entry.frame = txn.frame;
+      stats_.bytes_migrated += page_bytes;
+      hstats_.txn_commits++;
+      pass_remaps_++;
+      if (txn.audit_id != 0) {
+        machine_.observation()->audit().OnMigrationComplete(txn.audit_id, txn.done);
+      }
+    }
+    entry.wp_until = 0;
+    Classify(page);
+  }
+  return t;
+}
+
+void Hemem::SweepShadows() {
+  for (int32_t i = 0; i < static_cast<int32_t>(shadowed_.size());) {
+    if (shadowed_[i]->entry().dirty) {
+      DropShadow(shadowed_[i], ShadowDrop::kInvalidated);  // swap-erase: retry i
+    } else {
+      ++i;
+    }
+  }
+}
+
+void Hemem::DropShadow(HememPage* page, ShadowDrop why) {
+  PageEntry& entry = page->entry();
+  assert(page->shadow_slot >= 0 && entry.has_shadow());
+  if (ShadowMemory* shadow = machine_.shadow()) {
+    shadow->DropPage(Tier::kNvm, entry.shadow_frame);
+  }
+  machine_.frames(Tier::kNvm).Free(entry.shadow_frame);
+  entry.shadow_frame = kInvalidFrame;
+  const int32_t slot = page->shadow_slot;
+  page->shadow_slot = -1;
+  if (slot != static_cast<int32_t>(shadowed_.size()) - 1) {
+    shadowed_[slot] = shadowed_.back();
+    shadowed_[slot]->shadow_slot = slot;
+  }
+  shadowed_.pop_back();
+  switch (why) {
+    case ShadowDrop::kInvalidated:
+      hstats_.shadow_invalidations++;
+      break;
+    case ShadowDrop::kReclaimed:
+      hstats_.shadow_reclaims++;
+      break;
+    case ShadowDrop::kUnmapped:
+      break;
+  }
+}
+
+bool Hemem::TryFlipDemote(HememPage* page, SimTime t) {
+  (void)t;
+  PageEntry& entry = page->entry();
+  if (page->shadow_slot < 0 || entry.dirty || entry.tier != Tier::kDram) {
+    return false;
+  }
+  // The NVM shadow is byte-identical to the DRAM page (clean since its
+  // promotion commit), so demotion is a mapping flip: the shadow frame
+  // becomes the mapping, the DRAM frame frees immediately, no data moves.
+  const uint32_t dram_frame = entry.frame;
+  const uint32_t nvm_frame = entry.shadow_frame;
+  // Unlink the registry entry without freeing the shadow frame.
+  const int32_t slot = page->shadow_slot;
+  page->shadow_slot = -1;
+  if (slot != static_cast<int32_t>(shadowed_.size()) - 1) {
+    shadowed_[slot] = shadowed_.back();
+    shadowed_[slot]->shadow_slot = slot;
+  }
+  shadowed_.pop_back();
+  entry.shadow_frame = kInvalidFrame;
+  if (ShadowMemory* shadow = machine_.shadow()) {
+    shadow->DropPage(Tier::kDram, dram_frame);  // the NVM copy is authoritative now
+  }
+  machine_.frames(Tier::kDram).Free(dram_frame);
+  entry.tier = Tier::kNvm;
+  entry.frame = nvm_frame;
+  stats_.pages_demoted++;
+  dram_pages_owned_--;
+  hstats_.shadow_demotions++;
+  pass_remaps_++;
+  Classify(page);
+  return true;
+}
+
+void Hemem::OnWpConflict(SimThread& thread, Region& region, uint64_t index,
+                         PageEntry& entry) {
+  (void)thread;
+  HememPage* page = MetaOf(&region, index);
+  assert(page != nullptr && page->txn_slot >= 0 &&
+         "WP conflict on a page with no transaction in flight");
+  // Mark the transaction aborted; FinalizeTxns returns the destination frame
+  // at the next pass (the copy engine may still be writing it). The source
+  // mapping was authoritative all along, so the store proceeds immediately.
+  txns_[page->txn_slot].aborted = true;
+  hstats_.txn_aborts++;
+  entry.wp_until = 0;
+}
+
+bool Hemem::EpochEligible(SimTime frontier) {
+  // PEBS counts on every access (post_charge_hook_), so the kPebs access
+  // path is never epoch-pure. Otherwise purity is momentary: no
+  // transactional copy in flight (a store would mutate txns_) and every
+  // exclusive-mode WP window expired (a store would mutate wp stats and
+  // block). Clean shadows and swept state don't matter — they only change
+  // on the policy thread, which the engine's epoch bound already fences out,
+  // and the A/D bits an epoch access sets are explicitly allowed.
+  if (post_charge_hook_) {
+    return false;
+  }
+  for (const PendingTxn& txn : txns_) {
+    // A live copy still in flight at the frontier could be aborted by an
+    // in-epoch store (mutating txns_ — serializing). Once the copy has
+    // completed, stores to the page run the fast path again; the commit
+    // itself happens on the policy thread, which the epoch bound fences out.
+    if (!txn.aborted && txn.done > frontier) {
+      return false;
+    }
+  }
+  return frontier >= wp_clear_time_;
+}
+
+uint64_t Hemem::pending_txn_frames(Tier tier) const {
+  uint64_t n = 0;
+  for (const PendingTxn& txn : txns_) {
+    if (txn.dst == tier) {
+      n++;
+    }
+  }
+  return n;
+}
+
+bool Hemem::CheckNomadInvariants(std::string* why) const {
+  const auto fail = [why](const std::string& message) {
+    if (why != nullptr) {
+      *why = message;
+    }
+    return false;
+  };
+  // Every frame a page maps is "writable" (the primary mapping); shadow and
+  // transaction-destination frames are not mapped by anyone. One ownership
+  // table over all three roles proves no frame plays two of them — the
+  // simulator's form of "no page has two writable mappings".
+  std::unordered_map<uint64_t, const char*> owners;
+  const auto key = [](Tier tier, uint32_t frame) {
+    return (static_cast<uint64_t>(tier) << 32) | frame;
+  };
+  const auto claim = [&owners, &key, &fail](Tier tier, uint32_t frame,
+                                            const char* role) {
+    const auto [it, inserted] = owners.emplace(key(tier, frame), role);
+    if (!inserted) {
+      return fail(std::string("frame ") + std::to_string(frame) + " on " +
+                  TierName(tier) + " is both " + it->second + " and " + role);
+    }
+    return true;
+  };
+  bool ok = true;
+  machine_.page_table().ForEachRegion([&](Region& region) {
+    for (const PageEntry& entry : region.pages) {
+      if (ok && entry.present) {
+        ok = claim(entry.tier, entry.frame, "a primary mapping");
+      }
+    }
+  });
+  if (!ok) {
+    return false;
+  }
+  for (size_t i = 0; i < shadowed_.size(); ++i) {
+    const HememPage* page = shadowed_[i];
+    const PageEntry& entry = page->entry();
+    if (page->shadow_slot != static_cast<int32_t>(i)) {
+      return fail("shadow registry slot " + std::to_string(i) +
+                  " points at a page recording slot " +
+                  std::to_string(page->shadow_slot));
+    }
+    if (!entry.present || !entry.has_shadow() || entry.tier != Tier::kDram) {
+      return fail("shadowed page at slot " + std::to_string(i) +
+                  " is not a present DRAM page with a shadow frame");
+    }
+    if (!claim(Tier::kNvm, entry.shadow_frame, "a shadow")) {
+      return false;
+    }
+    // The load-bearing invariant: a shadow the sweep would flip onto must
+    // hold exactly the primary's bytes. Dirty shadows are exempt — stale by
+    // definition, unreachable by TryFlipDemote, dropped at the next sweep.
+    const ShadowMemory* shadow = machine_.shadow();
+    if (!entry.dirty && shadow != nullptr &&
+        !shadow->PagesEqual(Tier::kDram, entry.frame, Tier::kNvm,
+                            entry.shadow_frame)) {
+      return fail("clean shadow frame " + std::to_string(entry.shadow_frame) +
+                  " differs from its DRAM primary " +
+                  std::to_string(entry.frame));
+    }
+  }
+  for (size_t i = 0; i < txns_.size(); ++i) {
+    if (txns_[i].page->txn_slot != static_cast<int32_t>(i)) {
+      return fail("transaction slot " + std::to_string(i) +
+                  " points at a page recording slot " +
+                  std::to_string(txns_[i].page->txn_slot));
+    }
+    if (!claim(txns_[i].dst, txns_[i].frame, "a transaction destination")) {
+      return false;
+    }
+  }
+  if (why != nullptr) {
+    why->clear();
+  }
+  return true;
+}
+
 std::optional<uint32_t> Hemem::TryAllocFrame(Tier tier, SimTime now) {
   FaultInjector& faults = machine_.faults();
   if (faults.armed(FaultKind::kAllocFail) &&
@@ -730,7 +1162,14 @@ std::optional<uint32_t> Hemem::TryAllocFrame(Tier tier, SimTime now) {
     hstats_.deferred_allocs++;
     return std::nullopt;
   }
-  return machine_.frames(tier).Alloc();
+  std::optional<uint32_t> frame = machine_.frames(tier).Alloc();
+  if (!frame.has_value() && tier == Tier::kNvm && !shadowed_.empty()) {
+    // NVM pressure: shadow frames are a cache of reclaimable capacity.
+    // Dropping one (the cheapest registry entry) frees exactly one frame.
+    DropShadow(shadowed_.back(), ShadowDrop::kReclaimed);
+    frame = machine_.frames(tier).Alloc();
+  }
+  return frame;
 }
 
 // The executor MigrationPolicy::Decide drives: pops detach pages from the
@@ -788,6 +1227,22 @@ class Hemem::PolicyEnvAdapter : public policy::PolicyEnv {
   }
   void NotePromotionStall() override { owner_.hstats_.promotion_stalls++; }
 
+  bool TryFlipDemote(void* page, SimTime now) override {
+    HememPage* p = static_cast<HememPage*>(page);
+    if (!owner_.TryFlipDemote(p, now)) {
+      return false;
+    }
+    if (audit_ != nullptr) {
+      // A flip is decided and done in one step: queue the decision record
+      // and resolve it as a shadow demotion immediately.
+      const uint64_t id =
+          audit_->OnMigrationQueued(pass_id_, p->va(), static_cast<int>(Tier::kDram),
+                                    static_cast<int>(Tier::kNvm), now);
+      audit_->OnShadowFlip(id, now);
+    }
+    return true;
+  }
+
   // Audit context for this pass (PolicyPass sets it when access observation
   // is on; see obs/audit.h). Migrations queued through this adapter carry
   // the decision-record ids MigrateBatch reports completion/abort against.
@@ -835,6 +1290,21 @@ SimTime Hemem::PolicyPass(SimTime start) {
                             static_cast<double>(params_.policy_period)),
       static_cast<uint64_t>(params_.dma_batch) * page_bytes);
 
+  if (nomad()) {
+    // Resolve the previous pass's transactions first (commits attach
+    // shadows, aborts free destination frames), then drop shadows that a
+    // store invalidated since — the rest of the pass runs under the
+    // invariant "shadowed implies clean".
+    t = FinalizeTxns(t);
+    SweepShadows();
+    // Copies still in flight count against this pass's budget: the policy
+    // thread no longer sits out the copy time (exclusive mode's implicit
+    // throttle), so without this charge a short pass period would multiply
+    // the configured migration rate.
+    const uint64_t in_flight = static_cast<uint64_t>(txns_.size()) * page_bytes;
+    budget = budget > in_flight ? budget - in_flight : 0;
+  }
+
   // Phase -1: with a swap tier enabled, free NVM first — the demotion phases
   // need NVM frames to demote into. Mechanism (device streaming, swap-slot
   // bookkeeping), so it stays manager-side; the policy decides the rest.
@@ -850,6 +1320,14 @@ SimTime Hemem::PolicyPass(SimTime start) {
   }
   const policy::MigrationPlan plan = policy_->Decide(input);
   t = plan.end;
+
+  if (pass_remaps_ > 0) {
+    // Nomad remaps (transaction commits + shadow flips) accumulate across
+    // the whole pass and share one batched shootdown.
+    machine_.tlb().ShootdownBatch(machine_.engine(), nullptr, 1);
+    t += machine_.tlb().params().initiator_cost;
+    pass_remaps_ = 0;
+  }
 
   if (machine_.tracer().enabled()) {
     machine_.tracer().Duration(

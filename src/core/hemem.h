@@ -46,7 +46,18 @@ class HememPolicyThread;
 struct HememParams {
   enum class ScanMode { kNone, kPebs, kPtSync, kPtAsync };
 
+  // Migration mechanism (--migration). kExclusive is the paper's HeMem: a
+  // migration owns the page, stores stall behind the in-flight copy
+  // (wp_until), and the source frame is freed at commit. kNomad is
+  // non-exclusive transactional migration (Nomad, see DESIGN.md "Migration
+  // state machine"): copies run concurrently with access, a store during a
+  // copy aborts the transaction instead of stalling, and a promoted page
+  // keeps its NVM frame as a clean shadow so demoting an unwritten page is
+  // a metadata flip with no data movement.
+  enum class MigrationMode { kExclusive, kNomad };
+
   ScanMode scan_mode = ScanMode::kPebs;
+  MigrationMode migration = MigrationMode::kExclusive;
   bool enable_policy = true;  // watermark enforcement + migration
 
   // Migration policy (--policy): classification + migration decisions are
@@ -95,6 +106,13 @@ struct HememStats {
   uint64_t migration_aborts = 0;      // batches rolled back before commit
   uint64_t deferred_allocs = 0;       // policy allocations deferred by faults
   uint64_t dma_fallback_batches = 0;  // batches completed by CPU copy
+  // Non-exclusive (Nomad) migration mode only.
+  uint64_t txn_starts = 0;            // transactional copies started
+  uint64_t txn_commits = 0;           // committed at a later policy pass
+  uint64_t txn_aborts = 0;            // aborted by a conflicting store
+  uint64_t shadow_demotions = 0;      // zero-copy demotions (metadata flip)
+  uint64_t shadow_invalidations = 0;  // shadows dropped (page went dirty)
+  uint64_t shadow_reclaims = 0;       // shadows dropped for NVM pressure
 };
 
 class Hemem : public TieredMemoryManager {
@@ -135,8 +153,34 @@ class Hemem : public TieredMemoryManager {
     bool on_hot_list = false;
     Tier tier = Tier::kDram;
     PageListId list = PageListId::kNone;
+    // Nomad-mode state.
+    uint32_t shadow_frame = kInvalidFrame;
+    bool dirty = false;
+    bool pending_txn = false;
   };
   std::optional<PageProbe> ProbePage(uint64_t va);
+
+  // Nomad-mode introspection (tests, frame-conservation invariants).
+  uint64_t shadow_pages() const { return shadowed_.size(); }
+  uint64_t pending_txns() const { return txns_.size(); }
+  // Destination frames held by in-flight transactions on `tier`.
+  uint64_t pending_txn_frames(Tier tier) const;
+  // Test oracle for the nomad metadata invariants: registry/transaction
+  // linkage is bijective, shadows hang only off present DRAM pages, no frame
+  // is simultaneously a primary mapping, a shadow, or a transaction
+  // destination, and every clean shadow is byte-identical to its DRAM page
+  // (checked when the machine's ShadowMemory is enabled). A dirty shadow is
+  // legal — it is stale by definition and the next sweep drops it. Returns
+  // true when everything holds; otherwise fills *why with the violation.
+  bool CheckNomadInvariants(std::string* why) const;
+
+  // Dynamic epoch eligibility: HeMem's access path is epoch-pure exactly
+  // when no hook fires per access (PT/no-scan modes; PEBS counts per
+  // access), every WP window has expired, and no transactional copy is in
+  // flight. Pending clean shadows do not block — flipping them moves no
+  // data and only runs on the policy thread, which the engine's epoch bound
+  // already fences out.
+  bool EpochEligible(SimTime frontier) override;
 
  protected:
   // Skeleton hooks: the shared AccessPage handles WP stalls (with the
@@ -147,6 +191,9 @@ class Hemem : public TieredMemoryManager {
   void OnAccessCharged(SimThread& thread, uint64_t va, PageEntry& entry,
                        AccessKind kind) override;
   void OnUnmapRegion(Region& region) override;
+  // Nomad: a store raced an in-flight transactional copy — abort it.
+  void OnWpConflict(SimThread& thread, Region& region, uint64_t index,
+                    PageEntry& entry) override;
   // Batched quanta: precompute the PEBS no-overflow budget for the quantum's
   // stream so per-access counting degenerates to a counter bump.
   void OnQuantumBegin(SimThread& thread) override;
@@ -221,7 +268,48 @@ class Hemem : public TieredMemoryManager {
   std::optional<uint32_t> TryAllocFrame(Tier tier, SimTime now);
   // Copies every page in `batch` to its destination; updates mappings,
   // lists, stats; one TLB shootdown per batch. Returns the new time cursor.
+  // Exclusive mode commits in place (stores stall via wp_until); nomad mode
+  // starts transactions instead (BeginTxnBatch) and returns after the
+  // submission cost only.
   SimTime MigrateBatch(SimTime t, std::vector<Migration>& batch);
+  // The shared copy engine: DMA with CPU-copier fallback (or CPU copiers
+  // outright when use_dma is off). Fills per-page completion times and
+  // returns the batch completion time.
+  SimTime RunCopyEngine(SimTime t, const std::vector<Migration>& batch,
+                        std::vector<SimTime>* per_request);
+
+  // ---- Nomad (non-exclusive transactional migration) ----------------------
+
+  struct PendingTxn {
+    HememPage* page = nullptr;
+    Tier dst = Tier::kDram;
+    uint32_t frame = kInvalidFrame;  // destination frame, held until resolve
+    SimTime done = 0;                // copy completion time
+    bool aborted = false;            // a store conflicted mid-copy
+    uint64_t audit_id = 0;
+  };
+
+  bool nomad() const { return params_.migration == HememParams::MigrationMode::kNomad; }
+  // Starts one transactional copy per migration: destination frames stay
+  // reserved, pages leave the FIFO lists, and wp_until is set to a sentinel
+  // so any store conflicts (OnWpConflict) until the transaction resolves.
+  SimTime BeginTxnBatch(SimTime t, std::vector<Migration>& batch);
+  // Resolves transactions whose copy has completed by `t`: commits remap the
+  // page (promotions retain the source frame as a clean shadow), aborts free
+  // the destination. One batched shootdown when anything committed.
+  SimTime FinalizeTxns(SimTime t);
+  // Drops shadows whose page has been written since promotion (the dirty bit
+  // says the NVM copy is stale). Runs at every policy-pass start, so within
+  // a pass "has shadow" implies "shadow is clean".
+  void SweepShadows();
+  // Unlinks and frees `page`'s shadow frame. `why` picks the stat bucket.
+  enum class ShadowDrop { kInvalidated, kReclaimed, kUnmapped };
+  void DropShadow(HememPage* page, ShadowDrop why);
+  // Swap-erases txns_[slot], fixing the moved entry's back-link.
+  void RemoveTxnSlot(int32_t slot);
+  // Zero-copy demotion: if `page` holds a clean shadow, flip the mapping to
+  // it and free the DRAM frame. Returns false (no-op) otherwise.
+  bool TryFlipDemote(HememPage* page, SimTime t);
 
   HememParams params_;
   uint64_t watermark_bytes_;
@@ -249,6 +337,16 @@ class Hemem : public TieredMemoryManager {
 
   std::vector<PebsRecord> drain_buf_;
   HememStats hstats_;
+
+  // Nomad state: in-flight transactions, the registry of DRAM pages holding
+  // a live NVM shadow (swap-erase indexed by HememPage::shadow_slot), and
+  // the latest exclusive-mode WP-window expiry (EpochEligible quiescence).
+  std::vector<PendingTxn> txns_;
+  std::vector<HememPage*> shadowed_;
+  SimTime wp_clear_time_ = 0;
+  // Pending flip + commit remaps accumulated within the current policy
+  // pass; one batched TLB shootdown covers them.
+  uint64_t pass_remaps_ = 0;
 
   // Trace tracks (registered at construction; events gated on the tracer's
   // enabled flag). Policy: migrations, swap-out, policy passes. Sampling:

@@ -39,6 +39,12 @@ struct HememPage {
   HememPage* prev = nullptr;
   HememPage* next = nullptr;
 
+  // Nomad mode: index into Hemem::txns_ while a transactional copy is in
+  // flight (-1 otherwise), and into Hemem::shadowed_ while the page holds a
+  // live NVM shadow (swap-erase registries; both -1 in exclusive mode).
+  int32_t txn_slot = -1;
+  int32_t shadow_slot = -1;
+
   PageEntry& entry() const { return region->pages[index]; }
   Tier tier() const { return entry().tier; }
   uint64_t va() const { return region->base + static_cast<uint64_t>(index) * region->page_bytes; }

@@ -54,6 +54,27 @@ void MigrationAudit::OnMigrationComplete(uint64_t record_id, SimTime now) {
   live_[r.page_va] = static_cast<uint32_t>(record_id - 1);
 }
 
+void MigrationAudit::OnShadowFlip(uint64_t record_id, SimTime now) {
+  if (record_id == 0 || record_id > records_.size()) {
+    return;
+  }
+  Record& r = records_[record_id - 1];
+  r.completed_ns = now;
+  // Same reversal rule as a completed copy: a flip undoing the page's recent
+  // promotion still convicts that promotion of ping-pong — the promotion's
+  // copy was wasted even though the flip itself was free.
+  const auto it = live_.find(r.page_va);
+  if (it != live_.end()) {
+    Record& prev = records_[it->second];
+    if (prev.stored == Outcome::kPending && r.dst_tier == prev.src_tier &&
+        now - prev.completed_ns <= options_.ping_pong_window) {
+      prev.stored = Outcome::kPingPong;
+    }
+  }
+  live_[r.page_va] = static_cast<uint32_t>(record_id - 1);
+  r.stored = Outcome::kShadowDemotion;
+}
+
 void MigrationAudit::OnMigrationAborted(uint64_t record_id, SimTime now) {
   (void)now;
   if (record_id == 0 || record_id > records_.size()) {
@@ -81,6 +102,7 @@ const char* MigrationAudit::OutcomeName(Outcome o) {
     case Outcome::kGoodDemotion: return "good_demotion";
     case Outcome::kPrematureDemotion: return "premature_demotion";
     case Outcome::kPingPong: return "ping_pong";
+    case Outcome::kShadowDemotion: return "shadow_demotion";
     default: return "pending";
   }
 }
@@ -97,6 +119,7 @@ MigrationAudit::Summary MigrationAudit::Summarize() const {
       case Outcome::kGoodDemotion: s.good_demotions++; break;
       case Outcome::kPrematureDemotion: s.premature_demotions++; break;
       case Outcome::kPingPong: s.ping_pongs++; break;
+      case Outcome::kShadowDemotion: s.shadow_demotions++; break;
       default: break;
     }
   }
@@ -114,6 +137,7 @@ void MigrationAudit::RegisterMetrics(MetricsRegistry& registry) {
     e.Emit("audit.good_demotions", s.good_demotions);
     e.Emit("audit.premature_demotions", s.premature_demotions);
     e.Emit("audit.ping_pongs", s.ping_pongs);
+    e.Emit("audit.shadow_demotions", s.shadow_demotions);
   });
 }
 
@@ -130,11 +154,12 @@ bool MigrationAudit::WriteJson(const std::string& path) const {
                ", \"aborted\": %" PRIu64 ", \"good_promotions\": %" PRIu64
                ", \"churn_promotions\": %" PRIu64 ", \"good_demotions\": %" PRIu64
                ", \"premature_demotions\": %" PRIu64 ", \"ping_pongs\": %" PRIu64
+               ", \"shadow_demotions\": %" PRIu64
                "},\n\"truncated\": %s,\n\"decisions\": [",
                options_.good_access_threshold, options_.ping_pong_window,
                s.passes, s.migrations, s.aborted, s.good_promotions,
                s.churn_promotions, s.good_demotions, s.premature_demotions,
-               s.ping_pongs,
+               s.ping_pongs, s.shadow_demotions,
                records_.size() > options_.max_json_decisions ? "true" : "false");
   const size_t limit =
       records_.size() > options_.max_json_decisions ? options_.max_json_decisions

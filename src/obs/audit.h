@@ -52,6 +52,10 @@ class MigrationAudit {
     kGoodDemotion,
     kPrematureDemotion,
     kPingPong,
+    // Non-exclusive migration mode: a demotion served by flipping the
+    // mapping back onto the page's clean NVM shadow — zero bytes moved, so
+    // the decision cost nothing even if the page heats up again.
+    kShadowDemotion,
   };
 
   struct Record {
@@ -82,6 +86,7 @@ class MigrationAudit {
     uint64_t good_demotions = 0;
     uint64_t premature_demotions = 0;
     uint64_t ping_pongs = 0;
+    uint64_t shadow_demotions = 0;
   };
 
   explicit MigrationAudit(const Options& options) : options_(options) {}
@@ -96,6 +101,11 @@ class MigrationAudit {
 
   void OnMigrationComplete(uint64_t record_id, SimTime now);
   void OnMigrationAborted(uint64_t record_id, SimTime now);
+  // A zero-copy shadow-flip demotion resolved the record the instant it was
+  // queued. Maintains the same reversal bookkeeping as a completed copy
+  // (the flip can expose an earlier promotion as ping-pong), then stores the
+  // sticky kShadowDemotion outcome.
+  void OnShadowFlip(uint64_t record_id, SimTime now);
 
   // Called from the observed access path for every access; attributes the
   // access to the page's most recent completed migration, if any. The miss

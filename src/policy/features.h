@@ -43,6 +43,10 @@ struct PolicyFeatures {
   uint64_t region_pages = 0;       // size of the containing region
   uint64_t region_age_epochs = 0;  // cooling epochs since the region mapped
   int tier = kTierDram;            // current residency
+  // Non-exclusive migration mode: the page holds an NVM shadow copy that is
+  // still exact (no store since its promotion committed), so demoting it is
+  // free. Always false in exclusive mode.
+  bool shadow_clean = false;
 };
 
 inline constexpr uint32_t kMaxRecencyBucket = 7;

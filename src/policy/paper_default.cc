@@ -27,6 +27,9 @@ MigrationPlan PaperDefaultPolicy::Decide(PolicyInput& in) {
         break;
       }
       OnDemotionCandidate(env, victim);
+      if (env.TryFlipDemote(victim, t)) {
+        continue;  // zero-copy shadow flip: no frame, no bytes, no queue slot
+      }
       uint32_t frame = 0;
       if (!env.TryAllocFrame(nvm, t, &frame)) {
         env.Requeue(victim);
@@ -55,6 +58,9 @@ MigrationPlan PaperDefaultPolicy::Decide(PolicyInput& in) {
       break;
     }
     OnDemotionCandidate(env, victim);
+    if (env.TryFlipDemote(victim, t)) {
+      continue;  // zero-copy shadow flip raised FreeBytes(dram) directly
+    }
     uint32_t frame = 0;
     if (!env.TryAllocFrame(nvm, t, &frame)) {
       env.Requeue(victim);  // put it back; NVM is full (or the alloc deferred)
@@ -100,15 +106,17 @@ MigrationPlan PaperDefaultPolicy::Decide(PolicyInput& in) {
           break;
         }
         OnDemotionCandidate(env, victim);
-        uint32_t nvm_frame = 0;
-        if (!env.TryAllocFrame(nvm, t, &nvm_frame)) {
-          env.Requeue(hot_page);
-          env.Requeue(victim);
-          stalled = true;
-          break;
+        if (!env.TryFlipDemote(victim, t)) {
+          uint32_t nvm_frame = 0;
+          if (!env.TryAllocFrame(nvm, t, &nvm_frame)) {
+            env.Requeue(hot_page);
+            env.Requeue(victim);
+            stalled = true;
+            break;
+          }
+          budget = budget >= page_bytes ? budget - page_bytes : 0;
+          t = env.MigrateOne(victim, nvm, nvm_frame, t);
         }
-        budget = budget >= page_bytes ? budget - page_bytes : 0;
-        t = env.MigrateOne(victim, nvm, nvm_frame, t);
         have_frame = env.TryAllocFrame(dram, t, &frame);
         if (!have_frame) {
           env.Requeue(hot_page);

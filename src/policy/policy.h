@@ -103,6 +103,18 @@ class PolicyEnv {
   virtual SimTime FlushMigrations(SimTime t) = 0;
   virtual SimTime MigrateOne(void* page, int dst_tier, uint32_t frame, SimTime t) = 0;
   virtual void NotePromotionStall() = 0;
+
+  // Zero-copy demotion (non-exclusive migration mode): when the popped page
+  // still holds a clean NVM shadow of itself, the manager flips the mapping
+  // back onto it — the DRAM frame frees immediately, no bytes move, no
+  // destination frame is needed — and returns true; the caller skips the
+  // copy path for this victim. The default (and every exclusive-mode
+  // manager) returns false, leaving the copy-demotion flow bit-identical.
+  virtual bool TryFlipDemote(void* page, SimTime now) {
+    (void)page;
+    (void)now;
+    return false;
+  }
 };
 
 // One policy pass: the time cursor (base cost already applied), the

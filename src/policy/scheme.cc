@@ -50,6 +50,9 @@ bool SchemeRule::Matches(const PolicyFeatures& f) const {
   if (tier >= 0 && f.tier != tier) {
     return false;
   }
+  if (shadow >= 0 && static_cast<int>(f.shadow_clean) != shadow) {
+    return false;
+  }
   if (f.accesses_since_cool < min_acc || f.accesses_since_cool > max_acc) {
     return false;
   }
@@ -111,6 +114,11 @@ bool ParseSchemeSpec(const std::string& spec, std::vector<SchemeRule>* out,
             return Fail(error, "scheme tier must be 0 (DRAM) or 1 (NVM)");
           }
           rule.tier = static_cast<int>(value);
+        } else if (key == "shadow") {
+          if (value > 1) {
+            return Fail(error, "scheme shadow must be 0 (none) or 1 (clean shadow)");
+          }
+          rule.shadow = static_cast<int>(value);
         } else {
           return Fail(error, "unknown scheme key '" + key + "'");
         }

@@ -19,6 +19,11 @@
 //                                last sample, log2-bucketed, 0..7)
 //          | min_pages | max_pages   containing region size, in pages
 //          | tier                0 = DRAM, 1 = NVM
+//          | shadow              0 = no clean shadow, 1 = clean NVM shadow
+//                                (non-exclusive migration mode; a rule like
+//                                "cold:shadow=1,max_acc=0" demotes idle
+//                                shadowed pages first — those demotions are
+//                                free)
 //
 // Example: "hot:tier=1,min_acc=2;cold:max_acc=0,min_age=2" promotes NVM
 // pages after two surviving samples and declares pages unseen for two
@@ -44,7 +49,8 @@ struct SchemeRule {
   uint32_t max_age = UINT32_MAX;
   uint64_t min_pages = 0;
   uint64_t max_pages = UINT64_MAX;
-  int tier = -1;  // -1 = any
+  int tier = -1;    // -1 = any
+  int shadow = -1;  // -1 = any, 0/1 = match pages without/with a clean shadow
 
   bool Matches(const PolicyFeatures& f) const;
 };

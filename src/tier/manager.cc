@@ -79,14 +79,31 @@ void TieredMemoryManager::AccessPageImpl(SimThread& thread, uint64_t va, uint32_
     if (entry.wp_until > thread.now()) {
       const SimTime stall_start = thread.now();
       stats_.wp_faults++;
-      stats_.wp_wait_ns += entry.wp_until - thread.now();
-      if (wp_stall_cost_ > 0) {
-        thread.Advance(wp_stall_cost_);
-      }
-      thread.AdvanceTo(entry.wp_until);
-      if (machine_.tracer().enabled()) {
-        machine_.tracer().Duration(thread.stream_id(), "wp_stall", "vm",
-                                   stall_start, thread.now());
+      if (wp_txn_abort_) {
+        // Transactional mode (Nomad): the store conflicts with an in-flight
+        // copy. It pays one fault round-trip, aborts the transaction, and
+        // proceeds against the still-authoritative source mapping — no wait
+        // for the copy, no wp_wait_ns.
+        if (wp_stall_cost_ > 0) {
+          thread.Advance(wp_stall_cost_);
+        }
+        OnWpConflict(thread, *r.region, r.index, entry);
+        assert(entry.wp_until <= thread.now() &&
+               "OnWpConflict must release the page");
+        if (machine_.tracer().enabled()) {
+          machine_.tracer().Duration(thread.stream_id(), "wp_conflict", "vm",
+                                     stall_start, thread.now());
+        }
+      } else {
+        stats_.wp_wait_ns += entry.wp_until - thread.now();
+        if (wp_stall_cost_ > 0) {
+          thread.Advance(wp_stall_cost_);
+        }
+        thread.AdvanceTo(entry.wp_until);
+        if (machine_.tracer().enabled()) {
+          machine_.tracer().Duration(thread.stream_id(), "wp_stall", "vm",
+                                     stall_start, thread.now());
+        }
       }
     }
     entry.write_protected = false;
@@ -159,6 +176,10 @@ void TieredMemoryManager::OnMissingPage(SimThread& thread, Region& region, uint6
 
 void TieredMemoryManager::OnTrackedAccess(SimThread&, Region&, uint64_t, PageEntry&,
                                           AccessKind) {}
+
+void TieredMemoryManager::OnWpConflict(SimThread&, Region&, uint64_t, PageEntry& entry) {
+  entry.wp_until = 0;
+}
 
 void TieredMemoryManager::OnAccessCharged(SimThread&, uint64_t, PageEntry&, AccessKind) {}
 

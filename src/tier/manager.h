@@ -162,6 +162,19 @@ class TieredMemoryManager {
   bool parallel_quantum_safe() const { return parallel_quantum_safe_; }
   uint32_t parallel_tier_mask() const { return parallel_tier_mask_; }
 
+  // Dynamic epoch eligibility, queried by the epoch gate per proposed epoch.
+  // `frontier` is the epoch's start time. The static parallel_quantum_safe_
+  // flag is the default answer; managers whose access path is pure only in
+  // certain states (HeMem between migrations) override this to grant epochs
+  // exactly when the path is momentarily side-effect-free. Must be
+  // conservative: returning true promises that every access the manager
+  // serves inside the epoch mutates nothing beyond per-page A/D flags and
+  // sharded device views.
+  virtual bool EpochEligible(SimTime frontier) {
+    (void)frontier;
+    return parallel_quantum_safe_;
+  }
+
  protected:
   // Single-page access (va+size never crosses a page). The base
   // implementation is the shared skeleton; managers customize it through the
@@ -176,6 +189,15 @@ class TieredMemoryManager {
   // A not-present page was touched. Must leave the entry present (or the
   // skeleton asserts). Default: kernel anonymous first-touch, DRAM first.
   virtual void OnMissingPage(SimThread& thread, Region& region, uint64_t index);
+
+  // A store hit a page whose wp_until is still in the future while the
+  // manager runs in transactional-migration mode (`wp_txn_abort_`). The
+  // store does not wait for the copy: the handler must abort the in-flight
+  // transaction and release the page (wp_until <= now on return); the store
+  // then proceeds against the still-authoritative source mapping. Only
+  // invoked when `wp_txn_abort_` is set.
+  virtual void OnWpConflict(SimThread& thread, Region& region, uint64_t index,
+                            PageEntry& entry);
 
   // Called after fault/WP/A-D handling and before the device charge, for
   // tracking costs that gate the access itself (Thermostat's poison faults).
@@ -293,6 +315,10 @@ class TieredMemoryManager {
   // Skeleton configuration, set once at construction by subclasses.
   SimTime wp_stall_cost_ = 0;      // charged per WP stall (HeMem: userfaultfd)
   bool wp_requires_flag_ = false;  // stall gated on write_protected (Nimble)
+  // Transactional (non-exclusive) migration: a store against an in-flight
+  // copy pays one fault round-trip and aborts the transaction via
+  // OnWpConflict instead of stalling until wp_until.
+  bool wp_txn_abort_ = false;
   bool tracked_hook_ = false;      // invoke OnTrackedAccess pre-charge
   bool post_charge_hook_ = false;  // invoke OnAccessCharged post-charge
   bool custom_charge_ = false;     // invoke ChargeDevice instead of default

@@ -83,7 +83,12 @@ SimTime ParallelCoordinator::EpochHorizon(SimTime frontier, SimTime want,
   }
   uint32_t tier_mask = 0;
   for (TieredMemoryManager* manager : managers) {
-    if (!manager->parallel_quantum_safe()) {
+    // Dynamic eligibility: statically-safe managers (PlainMemory, X-Mem)
+    // always grant; stateful ones (HeMem) grant exactly when their access
+    // path is momentarily pure — fully mapped, no in-flight copies, no WP
+    // windows pending. Clean shadow-flip demotions queue no data movement,
+    // so a Nomad-mode HeMem between passes still grants epochs.
+    if (!manager->EpochEligible(frontier)) {
       return 0;
     }
     tier_mask |= manager->parallel_tier_mask();

@@ -49,6 +49,12 @@ struct PageEntry {
   bool dirty = false;     // hardware D bit (set on stores)
   // While a migration is in flight, stores must wait until this time.
   SimTime wp_until = 0;
+  // Non-exclusive (Nomad) tiering: NVM frame still holding a valid copy of a
+  // promoted DRAM page. kInvalidFrame when the page has no shadow. The copy
+  // is stale once `dirty` is set; managers drop it before acting on it.
+  uint32_t shadow_frame = kInvalidFrame;
+
+  bool has_shadow() const { return shadow_frame != kInvalidFrame; }
 };
 
 // Sets a PageEntry A/D flag with a relaxed atomic store — the same machine

@@ -48,6 +48,31 @@ void ShadowMemory::MovePage(Tier src_tier, uint32_t src_frame, Tier dst_tier,
   pages_[dst] = std::move(data);
 }
 
+void ShadowMemory::CopyPage(Tier src_tier, uint32_t src_frame, Tier dst_tier,
+                            uint32_t dst_frame) {
+  const uint64_t src = Key(src_tier, src_frame);
+  const uint64_t dst = Key(dst_tier, dst_frame);
+  const auto it = pages_.find(src);
+  if (it == pages_.end()) {
+    pages_.erase(dst);
+    return;
+  }
+  std::vector<uint64_t> data = it->second;  // insertion below may rehash
+  pages_[dst] = std::move(data);
+}
+
+bool ShadowMemory::PagesEqual(Tier a_tier, uint32_t a_frame, Tier b_tier,
+                              uint32_t b_frame) const {
+  const auto a = pages_.find(Key(a_tier, a_frame));
+  const auto b = pages_.find(Key(b_tier, b_frame));
+  const bool a_absent = a == pages_.end();
+  const bool b_absent = b == pages_.end();
+  if (a_absent || b_absent) {
+    return a_absent == b_absent;
+  }
+  return a->second == b->second;
+}
+
 void ShadowMemory::DropPage(Tier tier, uint32_t frame) {
   pages_.erase(Key(tier, frame));
 }

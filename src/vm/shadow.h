@@ -41,6 +41,14 @@ class ShadowMemory {
   // Migration commit: the destination frame takes over the source frame's
   // contents (the source's backing is released).
   void MovePage(Tier src_tier, uint32_t src_frame, Tier dst_tier, uint32_t dst_frame);
+  // Non-exclusive commit: the destination frame receives a copy of the
+  // source frame's contents and the source stays valid (Nomad keeps the NVM
+  // copy live as a shadow after promotion).
+  void CopyPage(Tier src_tier, uint32_t src_frame, Tier dst_tier, uint32_t dst_frame);
+  // True when both frames currently resolve to identical contents (both
+  // absent counts as equal: never-written pages read as zeros). Test oracle
+  // for the clean-shadow invariant.
+  bool PagesEqual(Tier a_tier, uint32_t a_frame, Tier b_tier, uint32_t b_frame) const;
   // Frees a frame's contents — on migration abort (the copy is discarded)
   // and on zero-fill of a freshly allocated frame (stale contents from a
   // prior owner must not leak through frame reuse).

@@ -350,7 +350,8 @@ struct HememRun {
   SimTime end = 0;
 };
 
-HememRun RunHememUnderFaults(const std::string& fault_spec, uint64_t ops = 300'000) {
+HememRun RunHememUnderFaults(const std::string& fault_spec, uint64_t ops = 300'000,
+                             HememParams params = HememParams{}) {
   constexpr uint64_t kWorkingSet = MiB(128);
   constexpr uint64_t kHotSet = MiB(16);
 
@@ -358,7 +359,7 @@ HememRun RunHememUnderFaults(const std::string& fault_spec, uint64_t ops = 300'0
   MachineConfig config = TinyMachineConfig();
   config.fault_plan = MustParse(fault_spec);
   run.machine = std::make_unique<Machine>(config);
-  run.hemem = std::make_unique<Hemem>(*run.machine);
+  run.hemem = std::make_unique<Hemem>(*run.machine, params);
   run.hemem->Start();
   const uint64_t va = run.hemem->Mmap(kWorkingSet, {.label = "faulted"});
 
@@ -397,6 +398,58 @@ TEST(HememFaultRecovery, MigrationAbortRollsBackCleanly) {
   EXPECT_EQ(run.hemem->stats().pages_demoted, 0u);
   EXPECT_EQ(run.hemem->stats().bytes_migrated, 0u);
   ExpectFrameConservation(run);
+}
+
+TEST(HememFaultRecovery, NomadMigrationAbortKeepsSourceAuthoritative) {
+  HememParams nomad;
+  nomad.migration = HememParams::MigrationMode::kNomad;
+  HememRun run = RunHememUnderFaults("migrate.abort", 300'000, nomad);
+  // Under nomad the injected abort fires at submission: the copy engine
+  // refuses the batch before any transaction starts, so the source mapping
+  // — authoritative throughout — simply keeps serving.
+  EXPECT_GT(run.hemem->hstats().migration_aborts, 0u);
+  EXPECT_EQ(run.hemem->hstats().txn_starts, 0u);
+  EXPECT_EQ(run.hemem->stats().pages_promoted, 0u);
+  EXPECT_EQ(run.hemem->stats().pages_demoted, 0u);
+  EXPECT_EQ(run.hemem->stats().bytes_migrated, 0u);
+  EXPECT_EQ(run.hemem->shadow_pages(), 0u);
+  EXPECT_EQ(run.hemem->pending_txns(), 0u);
+  // Exactly zero writer-visible cost: no transaction means no WP window, so
+  // no store ever faulted or waited — unlike exclusive mode, where stores
+  // that race an (ultimately aborted) copy still wait out wp_until.
+  EXPECT_EQ(run.hemem->stats().wp_faults, 0u);
+  EXPECT_EQ(run.hemem->stats().wp_wait_ns, 0u);
+  ExpectFrameConservation(run);
+
+  // Exact virtual-time check: with every batch refused at submission the
+  // abort cost lands on the policy thread alone, so the application
+  // timeline is bit-identical to a run where migration never happens at
+  // all (alloc.fail defers every attempt before a batch even forms).
+  HememRun no_migrations = RunHememUnderFaults("alloc.fail", 300'000, nomad);
+  EXPECT_EQ(run.end, no_migrations.end);
+}
+
+TEST(HememFaultRecovery, NomadPartialAbortStillMigratesAndConserves) {
+  HememParams params;
+  params.migration = HememParams::MigrationMode::kNomad;
+  HememRun run = RunHememUnderFaults("seed=13;migrate.abort:p=0.3", 300'000, params);
+  // Some batches abort, the rest commit transactionally.
+  EXPECT_GT(run.hemem->hstats().migration_aborts, 0u);
+  EXPECT_GT(run.hemem->hstats().txn_commits, 0u);
+  EXPECT_GT(run.hemem->stats().pages_promoted, 0u);
+  // Every frame is a primary mapping, a live shadow, or an in-flight
+  // transaction destination; the nomad metadata invariants hold.
+  const uint64_t dram_used = run.machine->frames(Tier::kDram).used_frames();
+  const uint64_t nvm_used = run.machine->frames(Tier::kNvm).used_frames();
+  EXPECT_EQ(dram_used + nvm_used,
+            128u + run.hemem->shadow_pages() +
+                run.hemem->pending_txn_frames(Tier::kDram) +
+                run.hemem->pending_txn_frames(Tier::kNvm));
+  EXPECT_EQ(run.hemem->dram_usage(),
+            (dram_used - run.hemem->pending_txn_frames(Tier::kDram)) *
+                run.machine->page_bytes());
+  std::string why;
+  EXPECT_TRUE(run.hemem->CheckNomadInvariants(&why)) << why;
 }
 
 TEST(HememFaultRecovery, AllocFailureDefersMigration) {

@@ -358,6 +358,51 @@ TEST(FaultSoak, DmaFaultStormRecoversWithDataIntact) {
   EXPECT_GT(gups.verified_words(), 0u);
 }
 
+TEST(FaultSoak, NomadAbortStormKeepsNvmCopyAuthoritative) {
+  // Heavy transactional aborts under nomad migration: every aborted copy
+  // must leave the (never-remapped) source authoritative, committed
+  // promotions must retain byte-identical clean shadows, and the checksum
+  // oracle must hold across the whole run.
+  Machine machine(FaultyItestMachine(
+      "seed=17;migrate.abort:p=0.25;dma.fail:p=0.2;pebs.drop:p=0.2"));
+  HememParams params;
+  params.migration = HememParams::MigrationMode::kNomad;
+  Hemem hemem(machine, params);
+  hemem.Start();
+  GupsConfig config = VerifiedGups();
+  config.updates_per_thread = 400'000;
+  GupsBenchmark gups(hemem, config);
+  gups.Prepare();
+  const GupsResult result = gups.Run();
+  EXPECT_GT(result.total_updates, 0u);
+
+  // The storm fired, migration still made progress, and every migration ran
+  // transactionally (stores abort copies instead of waiting them out).
+  EXPECT_GT(machine.faults().injected(FaultKind::kMigrationAbort), 0u);
+  EXPECT_GT(hemem.stats().pages_promoted, 0u);
+  EXPECT_GT(hemem.hstats().txn_commits, 0u);
+  EXPECT_EQ(hemem.stats().wp_wait_ns, 0u);
+
+  // Data survived and frames are conserved — counting live shadows and
+  // in-flight transaction destinations alongside the primary mappings.
+  EXPECT_EQ(gups.VerifyData(), 0u);
+  EXPECT_GT(gups.verified_words(), 0u);
+  uint64_t present[2] = {0, 0};
+  machine.page_table().ForEachRegion([&](Region& region) {
+    for (const PageEntry& page : region.pages) {
+      if (page.present) present[static_cast<int>(page.tier)]++;
+    }
+  });
+  EXPECT_EQ(machine.frames(Tier::kDram).used_frames(),
+            present[static_cast<int>(Tier::kDram)] +
+                hemem.pending_txn_frames(Tier::kDram));
+  EXPECT_EQ(machine.frames(Tier::kNvm).used_frames(),
+            present[static_cast<int>(Tier::kNvm)] + hemem.shadow_pages() +
+                hemem.pending_txn_frames(Tier::kNvm));
+  std::string why;
+  EXPECT_TRUE(hemem.CheckNomadInvariants(&why)) << why;
+}
+
 TEST(FaultSoak, MultiKindFaultStormHoldsInvariants) {
   // Every fault kind at once, over a longer run. Degrade multipliers stay
   // mild (< 1.5): a 2x NVM slowdown pushes the device past saturation during

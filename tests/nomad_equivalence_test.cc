@@ -1,0 +1,220 @@
+// Differential suite for non-exclusive (Nomad) transactional migration.
+//
+// Exclusive migration is the golden-pinned default; nomad changes *when*
+// copies happen (concurrently with access, committed a pass later) and
+// *whether* demotion moves bytes (clean shadows flip), but must never change
+// what the application reads. This suite proves it the only way that
+// matters: a verified GUPS workload (every store mirrored into ShadowMemory,
+// every written word re-read through the page table afterwards) runs in both
+// migration modes over a matrix of configurations × fault plans ×
+// --host-workers, and each run must end with
+//
+//   * zero verification mismatches (no lost, duplicated, or misdirected
+//     copy — the data oracle),
+//   * conserved frame pools (every allocated frame is a primary mapping, a
+//     live shadow, or an in-flight transaction destination — nothing leaks,
+//     nothing is double-owned),
+//   * the nomad metadata invariants (Hemem::CheckNomadInvariants: bijective
+//     registry/transaction linkage, clean shadows byte-identical to their
+//     DRAM primaries, no frame in two roles),
+//   * and bit-identical workload output across host-worker counts within a
+//     mode (the sharded engine must not perturb either protocol).
+//
+// Configurations without a hot-set rotation drive identical access streams
+// in both modes (the generator is RNG-only), so their verified footprints
+// must also match across modes exactly. Rotating configurations shift at
+// fixed *virtual times*, and the two modes run at different speeds, so their
+// streams legitimately diverge — each still verifies against its own oracle.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "apps/gups.h"
+#include "core/hemem.h"
+#include "sim/fault.h"
+#include "test_util.h"
+
+namespace hemem {
+namespace {
+
+struct SuiteConfig {
+  const char* name;
+  HememParams::ScanMode scan;
+  int threads;
+  uint64_t working_set;
+  uint64_t hot_set;
+  double write_only_hot_fraction;
+  bool rotate;  // periodic hot-set shift (exercises shadow flips/aborts)
+};
+
+// Seven configurations spanning the axes the golden suites pin: both scan
+// modes, thread counts, DRAM pressure, write skew, and hot-set churn.
+constexpr SuiteConfig kConfigs[] = {
+    {"pebs", HememParams::ScanMode::kPebs, 2, MiB(96), MiB(16), 0.0, false},
+    {"pebs_writeheavy", HememParams::ScanMode::kPebs, 2, MiB(96), MiB(16), 0.5,
+     false},
+    {"pebs_rotate", HememParams::ScanMode::kPebs, 2, MiB(96), MiB(16), 0.25,
+     true},
+    {"pebs_threads4", HememParams::ScanMode::kPebs, 4, MiB(96), MiB(16), 0.0,
+     false},
+    {"pebs_pressure", HememParams::ScanMode::kPebs, 2, MiB(128), MiB(40), 0.25,
+     false},
+    {"ptsync", HememParams::ScanMode::kPtSync, 2, MiB(96), MiB(16), 0.0,
+     false},
+    {"ptsync_rotate", HememParams::ScanMode::kPtSync, 2, MiB(96), MiB(16),
+     0.25, true},
+};
+
+// Live plans: none, a mixed storm, and an abort-heavy plan aimed squarely at
+// the transactional commit/rollback paths.
+constexpr const char* kFaultPlans[] = {
+    "",
+    "seed=7;dma.fail:p=0.2;migrate.abort:p=0.1;pebs.drop:p=0.2;"
+    "alloc.fail:p=0.2",
+    "seed=13;migrate.abort:p=0.3",
+};
+
+struct RunOut {
+  uint64_t total_updates = 0;
+  uint64_t mismatches = 0;
+  uint64_t verified_words = 0;
+  uint64_t pages_promoted = 0;
+  uint64_t faults_injected = 0;
+};
+
+RunOut RunOnce(const SuiteConfig& suite, const std::string& fault_spec,
+               int workers, bool nomad) {
+  MachineConfig machine_config = TinyMachineConfig();
+  if (!fault_spec.empty()) {
+    std::string error;
+    EXPECT_TRUE(FaultPlan::Parse(fault_spec, &machine_config.fault_plan, &error))
+        << error;
+  }
+  Machine machine(machine_config);
+  machine.EnableHostWorkers(workers);
+  HememParams params;
+  params.scan_mode = suite.scan;
+  if (nomad) {
+    params.migration = HememParams::MigrationMode::kNomad;
+  }
+  Hemem hemem(machine, params);
+  hemem.Start();
+
+  GupsConfig config;
+  config.threads = suite.threads;
+  config.working_set = suite.working_set;
+  config.hot_set = suite.hot_set;
+  config.hot_fraction = 0.9;
+  config.write_only_hot_fraction = suite.write_only_hot_fraction;
+  config.updates_per_thread = 80'000;
+  config.warmup_updates_per_thread = 20'000;
+  config.verify = true;
+  if (suite.rotate) {
+    config.shift_at = 2 * kMillisecond;
+    config.shift_period = 2 * kMillisecond;
+    config.shift_bytes = MiB(8);
+  }
+  GupsBenchmark gups(hemem, config);
+  gups.Prepare();
+
+  RunOut out;
+  out.total_updates = gups.Run().total_updates;
+  out.mismatches = gups.VerifyData();
+  out.verified_words = gups.verified_words();
+  out.pages_promoted = hemem.stats().pages_promoted;
+  out.faults_injected = machine.faults().total_injected();
+
+  // Data oracle: every written word reads back its expected running sum.
+  EXPECT_EQ(out.mismatches, 0u);
+  EXPECT_GT(out.verified_words, 0u);
+
+  // Frame conservation: each allocated frame is a primary mapping, a live
+  // shadow, or an in-flight transaction destination — exactly one of them.
+  uint64_t present[kNumTiers] = {0, 0};
+  machine.page_table().ForEachRegion([&](Region& region) {
+    for (const PageEntry& entry : region.pages) {
+      if (entry.present) {
+        present[static_cast<int>(entry.tier)]++;
+      }
+    }
+  });
+  EXPECT_EQ(machine.frames(Tier::kDram).used_frames(),
+            present[static_cast<int>(Tier::kDram)] +
+                hemem.pending_txn_frames(Tier::kDram));
+  EXPECT_EQ(machine.frames(Tier::kNvm).used_frames(),
+            present[static_cast<int>(Tier::kNvm)] + hemem.shadow_pages() +
+                hemem.pending_txn_frames(Tier::kNvm));
+
+  std::string why;
+  EXPECT_TRUE(hemem.CheckNomadInvariants(&why)) << why;
+
+  if (nomad) {
+    // Nomad actually ran as nomad: every migration is transactional, and
+    // every promotion leaves a shadow (live now, or since invalidated,
+    // flipped, or reclaimed).
+    const HememStats& hs = hemem.hstats();
+    if (out.pages_promoted > 0) {
+      EXPECT_GT(hs.txn_commits, 0u);
+      EXPECT_GT(hemem.shadow_pages() + hs.shadow_invalidations +
+                    hs.shadow_demotions + hs.shadow_reclaims,
+                0u);
+    }
+    // The exclusive-mode stall is retired wholesale: a conflicting store
+    // aborts the transaction instead of waiting out the copy.
+    EXPECT_EQ(hemem.stats().wp_wait_ns, 0u);
+  } else {
+    // Exclusive mode must not grow nomad state behind the goldens' back.
+    EXPECT_EQ(hemem.shadow_pages(), 0u);
+    EXPECT_EQ(hemem.pending_txns(), 0u);
+    EXPECT_EQ(hemem.hstats().txn_starts, 0u);
+  }
+  return out;
+}
+
+class NomadEquivalence : public ::testing::TestWithParam<SuiteConfig> {};
+
+TEST_P(NomadEquivalence, DataIntactAcrossModesFaultsAndWorkers) {
+  const SuiteConfig& suite = GetParam();
+  for (const char* fault_spec : kFaultPlans) {
+    SCOPED_TRACE(fault_spec[0] == '\0' ? "no faults" : fault_spec);
+    std::vector<RunOut> exclusive_runs;
+    std::vector<RunOut> nomad_runs;
+    for (const int workers : {1, 2}) {
+      SCOPED_TRACE("workers=" + std::to_string(workers));
+      exclusive_runs.push_back(RunOnce(suite, fault_spec, workers, false));
+      nomad_runs.push_back(RunOnce(suite, fault_spec, workers, true));
+      if (fault_spec[0] != '\0') {
+        EXPECT_GT(exclusive_runs.back().faults_injected, 0u);
+        EXPECT_GT(nomad_runs.back().faults_injected, 0u);
+      }
+    }
+    // The sharded engine is an execution detail: within a mode, worker
+    // count must not change what the workload did.
+    for (const auto* runs : {&exclusive_runs, &nomad_runs}) {
+      EXPECT_EQ((*runs)[0].total_updates, (*runs)[1].total_updates);
+      EXPECT_EQ((*runs)[0].verified_words, (*runs)[1].verified_words);
+      EXPECT_EQ((*runs)[0].pages_promoted, (*runs)[1].pages_promoted);
+    }
+    // Without a rotation the access stream is RNG-only — timing-independent
+    // — so the two modes wrote the exact same footprint. (Rotations fire at
+    // fixed virtual times and the modes run at different speeds, so their
+    // streams legitimately diverge there.)
+    if (!suite.rotate) {
+      EXPECT_EQ(exclusive_runs[0].total_updates, nomad_runs[0].total_updates);
+      EXPECT_EQ(exclusive_runs[0].verified_words,
+                nomad_runs[0].verified_words);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, NomadEquivalence,
+                         ::testing::ValuesIn(kConfigs),
+                         [](const ::testing::TestParamInfo<SuiteConfig>& info) {
+                           return info.param.name;
+                         });
+
+}  // namespace
+}  // namespace hemem

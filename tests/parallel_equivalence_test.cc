@@ -14,10 +14,12 @@
 // sharding is enabled and describe host execution, not simulated behavior.
 //
 // The suite also checks the engagement story both ways: managers that opt
-// into sharded epochs (DRAM, X-Mem) must actually execute epochs, and
-// managers that cannot (migrating/sampling systems) must report zero — a
-// silent serial fallback would make the equality trivial, and a silently
-// sharded unsafe system would be a correctness hole.
+// into sharded epochs (DRAM, X-Mem) or earn them conditionally between
+// policy passes (PT-scan HeMem in either migration mode) must actually
+// execute epochs, and managers that cannot (PEBS sampling, other migrating
+// systems) must report zero — a silent serial fallback would make the
+// equality trivial, and a silently sharded unsafe system would be a
+// correctness hole.
 
 #include <memory>
 #include <optional>
@@ -41,13 +43,25 @@
 namespace hemem {
 namespace {
 
-const char* const kSystems[] = {"DRAM",       "MM",    "Nimble",       "X-Mem",
-                                "Thermostat", "HeMem", "HeMem-PT-Sync"};
+const char* const kSystems[] = {"DRAM",  "MM",            "Nimble",
+                                "X-Mem", "Thermostat",    "HeMem",
+                                "HeMem-PT-Sync", "HeMem-PT-Sync-Nomad"};
 
 // Systems whose managers opt into sharded epochs: eager mapping, no
 // migrations, no background actors (tier/plain.cc, tier/xmem.cc).
 bool ParallelSafe(const std::string& system) {
   return system == "DRAM" || system == "X-Mem";
+}
+
+// Systems that are *conditionally* eligible: the manager grants epochs
+// between policy passes whenever no WP window and no migration transaction
+// is outstanding (Hemem::EpochEligible). PT-scan HeMem qualifies because
+// hotness flows through A/D bits (an allowed in-epoch write); PEBS HeMem
+// does not (the sampler is a background actor). Nomad mode stays eligible
+// because pages with only a clean shadow carry no WP — outstanding
+// transactions, not shadows, are what pause sharding.
+bool ConditionallyEligible(const std::string& system) {
+  return system == "HeMem-PT-Sync" || system == "HeMem-PT-Sync-Nomad";
 }
 
 // Same live plan as the batch-equivalence suite: degrade windows on both
@@ -74,8 +88,11 @@ std::unique_ptr<TieredMemoryManager> MakeSystem(const std::string& kind, Machine
     return std::make_unique<Thermostat>(machine);
   }
   HememParams params;
-  if (kind == "HeMem-PT-Sync") {
+  if (kind == "HeMem-PT-Sync" || kind == "HeMem-PT-Sync-Nomad") {
     params.scan_mode = HememParams::ScanMode::kPtSync;
+  }
+  if (kind == "HeMem-PT-Sync-Nomad") {
+    params.migration = HememParams::MigrationMode::kNomad;
   }
   return std::make_unique<Hemem>(machine, params);
 }
@@ -219,13 +236,16 @@ TEST_P(ParallelEquivalence, ShardedMatchesSerialAcrossConfigsAndWorkers) {
       const RunResult sharded =
           RunCase(system, config.tracing, config.fault_spec, workers, kThreads);
       ExpectIdentical(reference, sharded);
-      if (ParallelSafe(system)) {
+      if (ParallelSafe(system) || ConditionallyEligible(system)) {
         // The fault configs carry degrade windows that suppress epochs for
         // stretches of the run; the plain/tracing configs must shard.
         if (config.fault_spec[0] == '\0') {
           EXPECT_GT(sharded.epochs.epochs, 0u);
         }
       } else {
+        // Migrating/sampling systems that cannot prove quiescence must
+        // report zero — a silently sharded unsafe system would be a
+        // correctness hole.
         EXPECT_EQ(sharded.epochs.epochs, 0u);
       }
     }

@@ -243,6 +243,7 @@ INSTANTIATE_TEST_SUITE_P(Seeds, KvsProperty, ::testing::Values(40u, 41u, 42u, 43
 
 constexpr const char* kFaultMatrixSystems[] = {
     "DRAM", "MM", "Nimble", "X-Mem", "Thermostat", "HeMem", "HeMem-PT-Sync",
+    "HeMem-Nomad", "HeMem-PT-Sync-Nomad",
 };
 
 std::unique_ptr<TieredMemoryManager> MakeFaultMatrixSystem(const std::string& kind,
@@ -263,8 +264,11 @@ std::unique_ptr<TieredMemoryManager> MakeFaultMatrixSystem(const std::string& ki
     return std::make_unique<Thermostat>(machine);
   }
   HememParams params;
-  if (kind == "HeMem-PT-Sync") {
+  if (kind == "HeMem-PT-Sync" || kind == "HeMem-PT-Sync-Nomad") {
     params.scan_mode = HememParams::ScanMode::kPtSync;
+  }
+  if (kind == "HeMem-Nomad" || kind == "HeMem-PT-Sync-Nomad") {
+    params.migration = HememParams::MigrationMode::kNomad;
   }
   return std::make_unique<Hemem>(machine, params);
 }
@@ -379,17 +383,31 @@ TEST_P(FaultMatrix, InvariantsHoldUnderRandomFaultSchedule) {
   });
 
   // Frame-pool conservation for the systems that allocate from the machine's
-  // shared pools (DRAM and MM run private allocators).
+  // shared pools (DRAM and MM run private allocators). Under nomad
+  // migration, live shadows and in-flight transaction destinations own
+  // frames beyond the primary mappings — counted, never double-counted.
   if (system != "DRAM" && system != "MM") {
+    uint64_t dram_extra = 0;
+    uint64_t nvm_extra = 0;
+    if (auto* hemem = dynamic_cast<Hemem*>(manager.get())) {
+      dram_extra = hemem->pending_txn_frames(Tier::kDram);
+      nvm_extra = hemem->shadow_pages() + hemem->pending_txn_frames(Tier::kNvm);
+    }
     EXPECT_EQ(machine.frames(Tier::kDram).used_frames(),
-              present_pages[static_cast<int>(Tier::kDram)]);
+              present_pages[static_cast<int>(Tier::kDram)] + dram_extra);
     EXPECT_EQ(machine.frames(Tier::kNvm).used_frames(),
-              present_pages[static_cast<int>(Tier::kNvm)]);
+              present_pages[static_cast<int>(Tier::kNvm)] + nvm_extra);
   }
 
   // HeMem list accounting: every managed present page sits on exactly one
-  // hot/cold list, the counts agree, and DRAM ownership matches frames held.
+  // hot/cold list (pages owned by an in-flight transaction sit on none),
+  // the counts agree, and DRAM ownership matches frames held. The nomad
+  // metadata invariants — bijective shadow/transaction linkage, clean
+  // shadows byte-identical to their primaries, no frame in two roles —
+  // must hold whatever the fault plan did.
   if (auto* hemem = dynamic_cast<Hemem*>(manager.get())) {
+    std::string why;
+    EXPECT_TRUE(hemem->CheckNomadInvariants(&why)) << why;
     uint64_t listed = 0;
     for (uint64_t page_off = 0; page_off < kWorkingSet;
          page_off += machine.page_bytes()) {

@@ -50,6 +50,7 @@ constexpr FlagSpec kFlagSpecs[] = {
     {"system", "tiering system: DRAM|NVM|MM|Nimble|X-Mem|Thermostat|HeMem|..."},
     {"policy", "migration policy: default|perceptron|scheme[:spec]"},
     {"policy-spec", "policy spec, e.g. \"hot:tier=1,min_acc=2;cold:max_acc=0\""},
+    {"migration", "HeMem migration mode: exclusive|nomad (default exclusive)"},
     {"scale", "machine divisor (bc, pagerank)"},
     {"threads", "worker threads"},
     {"ws-gb", "working set, paper-equivalent GiB (gups, kvs)"},
@@ -136,6 +137,19 @@ policy::PolicyChoice PolicyFromFlags(const std::map<std::string, std::string>& f
     std::exit(2);
   }
   return choice;
+}
+
+// Resolves --migration. Only "exclusive" and "nomad" exist; anything else is
+// a usage error. The mode reaches MakeSystem, where non-HeMem systems
+// ignore it.
+std::string MigrationFromFlags(const std::map<std::string, std::string>& flags) {
+  const std::string mode = FlagS(flags, "migration", "exclusive");
+  if (mode != "exclusive" && mode != "nomad") {
+    std::fprintf(stderr, "bad --migration: unknown mode '%s' (exclusive|nomad)\n",
+                 mode.c_str());
+    std::exit(2);
+  }
+  return mode;
 }
 
 // Folds --fault-spec into the machine config. A malformed spec is a usage
@@ -237,7 +251,7 @@ int RunGupsCli(const std::map<std::string, std::string>& flags) {
     // Capture the access trace while running (use a modest op count: traces
     // hold every access).
     Machine machine(WithFaultPlan(GupsMachine(), flags));
-    auto manager = MakeSystem(system, machine, policy);
+    auto manager = MakeSystem(system, machine, policy, MigrationFromFlags(flags));
     TraceRecorder recorder(*manager);
     recorder.Start();
     config.updates_per_thread = static_cast<uint64_t>(FlagD(flags, "updates", 100'000));
@@ -264,7 +278,7 @@ int RunGupsCli(const std::map<std::string, std::string>& flags) {
 
   Machine machine(WithFaultPlan(GupsMachine(), flags));
   ObsSession obs_session(machine, flags);
-  auto manager = MakeSystem(system, machine, policy);
+  auto manager = MakeSystem(system, machine, policy, MigrationFromFlags(flags));
   manager->Start();
 
   config.updates_per_thread = ~0ull >> 2;  // deadline-bounded
@@ -289,7 +303,7 @@ int RunReplayCli(const std::map<std::string, std::string>& flags) {
   }
   Machine machine(WithFaultPlan(GupsMachine(), flags));
   ObsSession obs_session(machine, flags);
-  auto manager = MakeSystem(system, machine, policy);
+  auto manager = MakeSystem(system, machine, policy, MigrationFromFlags(flags));
   manager->Start();
   TraceReplayer replayer(*manager, trace, flags.count("preserve-gaps") > 0);
   const TraceReplayer::Result result = replayer.Run();
@@ -303,7 +317,7 @@ int RunKvsCli(const std::map<std::string, std::string>& flags) {
   const policy::PolicyChoice policy = PolicyFromFlags(flags);
   Machine machine(WithFaultPlan(GupsMachine(), flags));
   ObsSession obs_session(machine, flags);
-  auto manager = MakeSystem(system, machine, policy);
+  auto manager = MakeSystem(system, machine, policy, MigrationFromFlags(flags));
   manager->Start();
   KvsConfig config;
   config.value_bytes = 4096;
@@ -330,7 +344,7 @@ int RunTpccCli(const std::map<std::string, std::string>& flags) {
   mc.pebs.SetAllPeriods(ScaledPebsPeriod(kPaperPebsPeriod, 40.0));
   Machine machine(WithFaultPlan(mc, flags));
   ObsSession obs_session(machine, flags);
-  auto manager = MakeSystem(system, machine, policy);
+  auto manager = MakeSystem(system, machine, policy, MigrationFromFlags(flags));
   manager->Start();
   SiloConfig sconfig;
   sconfig.warehouses = static_cast<int>(FlagD(flags, "warehouses", 432));
@@ -363,7 +377,7 @@ int RunPageRankCli(const std::map<std::string, std::string>& flags) {
   mc.pebs.SetAllPeriods(ScaledPebsPeriod(kPaperPebsPeriod, 64.0));
   Machine machine(WithFaultPlan(mc, flags));
   ObsSession obs_session(machine, flags);
-  auto manager = MakeSystem(system, machine, policy);
+  auto manager = MakeSystem(system, machine, policy, MigrationFromFlags(flags));
   manager->Start();
   SimGraph sim_graph(*manager, graph);
   PageRankConfig pconfig;
@@ -391,7 +405,7 @@ int RunBcCli(const std::map<std::string, std::string>& flags) {
   mc.pebs.SetAllPeriods(ScaledPebsPeriod(kPaperPebsPeriod, 64.0));
   Machine machine(WithFaultPlan(mc, flags));
   ObsSession obs_session(machine, flags);
-  auto manager = MakeSystem(system, machine, policy);
+  auto manager = MakeSystem(system, machine, policy, MigrationFromFlags(flags));
   manager->Start();
   SimGraph sim_graph(*manager, graph);
   BcConfig bconfig;
