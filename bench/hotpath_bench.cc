@@ -21,13 +21,19 @@
 //
 // A second section measures the sharded parallel engine (DESIGN.md
 // "Parallel engine & epoch barriers"): a 4-thread uniform workload on the
-// parallel-eligible systems (DRAM, NVM, X-Mem) at --host-workers {1, 2, 4}.
-// Workers=1 is the serial engine; with symmetric thread clocks its
-// min-time-first scheduler degenerates to ~one op per dispatch, so epoch
-// execution (each worker running its shard's full quanta up to the shared
-// horizon) recovers the batched fast path on top of any wall-clock overlap
-// the host offers. Every worker count must produce bit-identical results —
-// end time, per-thread clocks, device stats — or the bench aborts.
+// parallel-eligible systems — DRAM, NVM, X-Mem (statically safe), plus
+// HeMem in PEBS mode for both migration modes (conditionally eligible:
+// sampling runs shard-locally and merges at the barrier, DESIGN.md
+// "Sampling under epochs") — at --host-workers {1, 2, 4}. Workers=1 is the
+// serial engine; with symmetric thread clocks its min-time-first scheduler
+// degenerates to ~one op per dispatch, so epoch execution (each worker
+// running its shard's full quanta up to the shared horizon) recovers the
+// batched fast path on top of any wall-clock overlap the host offers.
+// Every worker count must produce bit-identical results — end time,
+// per-thread clocks, device stats — or the bench aborts. Thermostat rides
+// along as the expected-serial reference: its access hook mutates shared
+// per-page state, so the gate must refuse every epoch (the bench aborts if
+// it ever grants one) and its row shows what non-sharding systems pay.
 //
 // A third section times a miniature GUPS sweep (independent cells on the
 // --sweep-jobs host-thread pool, see bench/sweep.h) sequentially and in
@@ -240,6 +246,29 @@ CaseResult RunCase(const std::string& system, uint64_t ops, int reps) {
 
 constexpr int kParThreads = 4;
 
+// Parallel-section rows. `expect_epochs` encodes the engagement story both
+// ways: eligible systems must grant epochs at workers >= 2 (a silent serial
+// fallback would fake the speedup) and expected-serial systems must not (a
+// silently sharded unsafe system would be a correctness hole).
+struct ParallelSystem {
+  const char* name;
+  bool expect_epochs;
+};
+constexpr ParallelSystem kParallelSystems[] = {
+    {"DRAM", true},  {"NVM", true},         {"X-Mem", true},
+    {"HeMem", true}, {"HeMem-Nomad", true}, {"Thermostat", false},
+};
+
+// "HeMem-Nomad" is a bench-local alias (PEBS scan + nomad migration); the
+// shared factory spells it as a migration-mode argument.
+std::unique_ptr<TieredMemoryManager> MakeParallelSystem(const std::string& system,
+                                                        Machine& machine) {
+  if (system == "HeMem-Nomad") {
+    return MakeSystem("HeMem", machine, {}, "nomad");
+  }
+  return MakeSystem(system, machine);
+}
+
 // Self-contained per-thread generator (no shared state, so the thread is
 // parallel-pure): thread t issues ops seq*K+t of the global mixed stream,
 // kind cycling per-thread so every thread carries the same load/store mix.
@@ -292,7 +321,7 @@ ParallelModeResult RunParallelMode(const std::string& system, uint64_t ops_per_t
                                    int workers) {
   Machine machine(HotpathMachine());
   machine.EnableHostWorkers(workers);
-  std::unique_ptr<TieredMemoryManager> manager = MakeSystem(system, machine);
+  std::unique_ptr<TieredMemoryManager> manager = MakeParallelSystem(system, machine);
   manager->Start();
   const uint64_t va = manager->Mmap(kWorkingSet, {.label = "hotpath-par"});
 
@@ -334,7 +363,8 @@ struct ParallelCaseResult {
 };
 
 ParallelCaseResult RunParallelCase(const std::string& system, uint64_t ops_per_thread,
-                                   const std::vector<int>& worker_counts, int reps) {
+                                   const std::vector<int>& worker_counts, int reps,
+                                   bool expect_epochs) {
   ParallelCaseResult result;
   result.system = system;
   result.ops_per_thread = ops_per_thread;
@@ -386,14 +416,23 @@ ParallelCaseResult RunParallelCase(const std::string& system, uint64_t ops_per_t
       dump("nvm", best.nvm, ref.nvm);
       std::exit(1);
     }
-    // Sharded execution must actually engage: a silent fall-back to serial
-    // would keep fingerprints trivially identical and fake the speedup story.
-    if (workers >= 2 && best.epochs.epochs == 0) {
+    // Sharded execution must actually engage for eligible systems: a silent
+    // fall-back to serial would keep fingerprints trivially identical and
+    // fake the speedup story. Expected-serial systems must stay serial.
+    if (expect_epochs && workers >= 2 && best.epochs.epochs == 0) {
       std::fprintf(stderr,
                    "hotpath_bench: NO EPOCHS for %s at %d workers (gate rejected %llu "
                    "times) — parallel section is not exercising sharded execution\n",
                    system.c_str(), workers,
                    static_cast<unsigned long long>(best.epochs.rejected));
+      std::exit(1);
+    }
+    if (!expect_epochs && best.epochs.epochs != 0) {
+      std::fprintf(stderr,
+                   "hotpath_bench: UNEXPECTED EPOCHS for %s at %d workers (%llu granted) "
+                   "— a system with shared access-path state was sharded\n",
+                   system.c_str(), workers,
+                   static_cast<unsigned long long>(best.epochs.epochs));
       std::exit(1);
     }
     result.modes.push_back(std::move(best));
@@ -478,15 +517,25 @@ void WriteParallelJson(std::FILE* f, const std::vector<ParallelCaseResult>& para
                  base > 0.0 ? peak / base : 0.0);
     for (size_t m = 0; m < r.modes.size(); ++m) {
       const ParallelModeResult& mode = r.modes[m];
+      // Fraction of gate decisions that granted an epoch: how often the
+      // manager's eligibility held at this worker count (0 when the gate was
+      // never consulted, i.e. the serial engine).
+      const uint64_t decisions = mode.epochs.epochs + mode.epochs.rejected;
+      const double grant_rate =
+          decisions == 0 ? 0.0
+                         : static_cast<double>(mode.epochs.epochs) /
+                               static_cast<double>(decisions);
       std::fprintf(f,
                    "        {\"workers\": %d, \"accesses_per_s\": %.0f, "
                    "\"end_ns\": %lld, \"epochs\": %llu, \"epochs_rejected\": %llu, "
+                   "\"epoch_grant_rate\": %.4f, "
                    "\"barrier_ns\": %llu, \"epoch_virtual_ns\": %llu, "
                    "\"worker_busy_ns\": [",
                    mode.workers, mode.accesses_per_s,
                    static_cast<long long>(mode.end_ns),
                    static_cast<unsigned long long>(mode.epochs.epochs),
                    static_cast<unsigned long long>(mode.epochs.rejected),
+                   grant_rate,
                    static_cast<unsigned long long>(mode.epochs.barrier_ns),
                    static_cast<unsigned long long>(mode.epochs.virtual_ns));
       for (size_t w = 0; w < mode.worker_stats.size(); ++w) {
@@ -637,9 +686,10 @@ int main(int argc, char** argv) {
   }
   std::printf("# fingerprints: batched == unbatched for all %zu systems\n", results.size());
 
-  // Parallel engine section: only the systems whose managers opt into
-  // sharded epochs (eager mapping, no migrations) participate; host_workers=1
-  // is the serial engine and the reference fingerprint.
+  // Parallel engine section: the statically safe systems (DRAM, NVM, X-Mem),
+  // the conditionally eligible PEBS HeMem modes (shard-local sampling), and
+  // Thermostat as the expected-serial reference; host_workers=1 is the
+  // serial engine and the reference fingerprint.
   std::vector<ParallelCaseResult> parallel;
   if (host_workers >= 2) {
     std::vector<int> worker_counts;
@@ -663,16 +713,24 @@ int main(int argc, char** argv) {
     }
     par_cols.push_back("par_x");
     par_cols.push_back("epochs");
+    par_cols.push_back("grant");
     PrintCols(par_cols);
-    for (const char* system : {"DRAM", "NVM", "X-Mem"}) {
-      ParallelCaseResult r = RunParallelCase(system, ops_per_thread, worker_counts, reps);
+    for (const ParallelSystem& ps : kParallelSystems) {
+      ParallelCaseResult r = RunParallelCase(ps.name, ops_per_thread, worker_counts,
+                                             reps, ps.expect_epochs);
       PrintCell(r.system);
       for (const ParallelModeResult& mode : r.modes) {
         PrintCell(Fmt("%.2fM/s", mode.accesses_per_s / 1e6));
       }
       PrintCell(Fmt("%.2fx",
                     r.modes.back().accesses_per_s / r.modes.front().accesses_per_s));
-      PrintCell(Fmt("%.0f", static_cast<double>(r.modes.back().epochs.epochs)));
+      const Engine::EpochStats& es = r.modes.back().epochs;
+      const uint64_t decisions = es.epochs + es.rejected;
+      PrintCell(Fmt("%.0f", static_cast<double>(es.epochs)));
+      PrintCell(decisions == 0
+                    ? std::string("n/a")
+                    : Fmt("%.0f%%", 100.0 * static_cast<double>(es.epochs) /
+                                        static_cast<double>(decisions)));
       EndRow();
       parallel.push_back(std::move(r));
     }

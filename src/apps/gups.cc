@@ -18,7 +18,13 @@ class GupsBenchmark::Worker : public SimThread {
         bench_(bench),
         rng_(Mix64(bench.config_.seed) ^ static_cast<uint64_t>(index) * 0xabcd1234ull),
         part_base_(part_base),
-        part_bytes_(part_bytes) {
+        part_bytes_(part_bytes),
+        series_(bench.config_.series_bucket) {
+    // Verify mode funnels every store through the shared shadow map; plain
+    // mode keeps all mutable state thread-private (rng, hot/cold layout, the
+    // per-worker series merged after the run), so the thread qualifies for
+    // sharded epoch execution under --host-workers.
+    set_parallel_pure(!bench.config_.verify);
     const GupsConfig& config = bench_.config_;
     if (config.split_hot_region) {
       // Split layout: this thread's hot slice lives in the dedicated hot
@@ -90,7 +96,7 @@ class GupsBenchmark::Worker : public SimThread {
         remaining_--;
         completed_++;
       }
-      bench_.series_.Record(now());
+      series_.Record(now());
     }
     return true;
   }
@@ -98,6 +104,7 @@ class GupsBenchmark::Worker : public SimThread {
   uint64_t completed() const { return completed_; }
   SimTime measure_start() const { return measure_start_; }
   SimTime measure_end() const { return measure_end_ == 0 ? now() : measure_end_; }
+  const TimeSeries& series() const { return series_; }
 
  private:
   void DoPrefillTouch() {
@@ -229,6 +236,7 @@ class GupsBenchmark::Worker : public SimThread {
   uint64_t hot_part_bytes_ = 0;
   uint64_t write_only_bytes_ = 0;
 
+  TimeSeries series_;  // merged into the bench series after the run
   uint64_t prefill_total_ = 0;
   uint64_t prefill_remaining_ = 0;
   uint64_t remaining_warmup_ = 0;
@@ -285,6 +293,7 @@ GupsResult GupsBenchmark::Run(SimTime deadline) {
     result.total_updates += worker->completed();
     start = std::min(start, worker->measure_start());
     end = std::max(end, worker->measure_end());
+    series_.Merge(worker->series());
   }
   result.elapsed = std::max<SimTime>(end - start, 1);
   result.gups = static_cast<double>(result.total_updates) /

@@ -53,6 +53,20 @@ class TimeSeries {
     return out;
   }
 
+  // Folds another series (same bucket width) into this one, bucket-wise.
+  // For count-valued series (Record with the default 1.0) the result is
+  // bit-identical to recording everything into one series in any order:
+  // per-bucket sums are exact small integers.
+  void Merge(const TimeSeries& other) {
+    if (other.buckets_.size() > buckets_.size()) {
+      buckets_.resize(other.buckets_.size(), 0.0);
+    }
+    for (size_t i = 0; i < other.buckets_.size(); ++i) {
+      buckets_[i] += other.buckets_[i];
+    }
+    last_time_ = std::max(last_time_, other.last_time_);
+  }
+
   const std::vector<double>& buckets() const { return buckets_; }
   SimTime bucket_width() const { return bucket_width_; }
   // Largest time seen by Record (0 when nothing has been recorded).

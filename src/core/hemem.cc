@@ -74,6 +74,11 @@ Hemem::Hemem(Machine& machine, HememParams params)
   // runs after the device charge (with the post-access timestamp).
   wp_stall_cost_ = fault_costs_.userfaultfd_roundtrip;
   post_charge_hook_ = params_.scan_mode == ScanMode::kPebs;
+  // PEBS counting is epoch-compatible: inside an epoch OnAccessCharged
+  // routes into the worker's shard-local PebsBuffer::ShardState, and the
+  // barrier merge restores the serial sample stream exactly. The gate must
+  // then keep shard streams on distinct counter rows.
+  epoch_sampling_ = post_charge_hook_;
   // Nomad mode: stores never wait out a copy — they abort the transaction
   // (OnWpConflict) after the same fault round-trip.
   wp_txn_abort_ = nomad();
@@ -206,7 +211,7 @@ uint64_t Hemem::Mmap(uint64_t bytes, AllocOptions opts) {
       assert(frame.has_value() && "machine out of physical memory");
       entry.frame = *frame;
       entry.tier = tier;
-      entry.present = true;
+      machine_.page_table().SetPresent(entry);
       if (tier == Tier::kDram) {
         dram_pages_owned_++;
       }
@@ -305,7 +310,7 @@ void Hemem::HandleMissingFault(SimThread& thread, Region& region, uint64_t index
   assert(frame.has_value() && "machine out of physical memory");
   entry.frame = *frame;
   entry.tier = tier;
-  entry.present = true;
+  machine_.page_table().SetPresent(entry);
   if (tier == Tier::kDram) {
     dram_pages_owned_++;
   }
@@ -365,7 +370,7 @@ void Hemem::HandleSwapInFault(SimThread& thread, Region& region, uint64_t index)
   entry.frame = *frame;
   entry.tier = tier;
   entry.swapped = false;
-  entry.present = true;
+  machine_.page_table().SetPresent(entry);
   if (tier == Tier::kDram) {
     dram_pages_owned_++;
   }
@@ -407,7 +412,7 @@ SimTime Hemem::SwapOutColdPages(SimTime t, uint64_t* budget) {
     }
     nvm_frames.Free(entry.frame);
     entry.frame = slot;
-    entry.present = false;
+    machine_.page_table().ClearPresent(entry);
     entry.swapped = true;
     *budget -= page_bytes;
     hstats_.pages_swapped_out++;
@@ -441,22 +446,38 @@ void Hemem::OnMissingPage(SimThread& thread, Region& region, uint64_t index) {
 void Hemem::OnAccessCharged(SimThread& thread, uint64_t va, PageEntry& entry,
                             AccessKind kind) {
   // Runs only in kPebs mode (post_charge_hook_): counts the access in the
-  // CPU's sample buffer with the post-access timestamp.
+  // CPU's sample buffer with the post-access timestamp. Inside an epoch the
+  // count lands in the worker's shard-local view instead (keyed by the op's
+  // start time for the barrier merge); outside epochs pebs_shard() is null
+  // and this is the serial path unchanged.
   const PebsEvent event = kind == AccessKind::kStore
                               ? PebsEvent::kStore
                               : (entry.tier == Tier::kNvm ? PebsEvent::kNvmLoad
                                                           : PebsEvent::kDramLoad);
+  if (PebsBuffer::ShardState* shard = machine_.pebs_shard()) [[unlikely]] {
+    machine_.pebs().CountAccessShard(*shard, thread.access_op_start(),
+                                     thread.now(), va, event, thread.stream_id());
+    return;
+  }
   machine_.pebs().CountAccess(thread.now(), va, event, thread.stream_id());
 }
 
 void Hemem::OnQuantumBegin(SimThread& thread) {
   if (post_charge_hook_) {
+    if (PebsBuffer::ShardState* shard = machine_.pebs_shard()) [[unlikely]] {
+      machine_.pebs().BeginQuantumShard(*shard, thread.stream_id());
+      return;
+    }
     machine_.pebs().BeginQuantum(thread.stream_id());
   }
 }
 
 void Hemem::OnQuantumEnd(SimThread&) {
   if (post_charge_hook_) {
+    if (PebsBuffer::ShardState* shard = machine_.pebs_shard()) [[unlikely]] {
+      PebsBuffer::EndQuantumShard(*shard);
+      return;
+    }
     machine_.pebs().EndQuantum();
   }
 }
@@ -1045,16 +1066,15 @@ void Hemem::OnWpConflict(SimThread& thread, Region& region, uint64_t index,
 }
 
 bool Hemem::EpochEligible(SimTime frontier) {
-  // PEBS counts on every access (post_charge_hook_), so the kPebs access
-  // path is never epoch-pure. Otherwise purity is momentary: no
-  // transactional copy in flight (a store would mutate txns_) and every
-  // exclusive-mode WP window expired (a store would mutate wp stats and
-  // block). Clean shadows and swept state don't matter — they only change
-  // on the policy thread, which the engine's epoch bound already fences out,
-  // and the A/D bits an epoch access sets are explicitly allowed.
-  if (post_charge_hook_) {
-    return false;
-  }
+  // Purity is momentary: no transactional copy in flight (a store would
+  // mutate txns_) and every exclusive-mode WP window expired (a store would
+  // mutate wp stats and block). PEBS counting (post_charge_hook_) no longer
+  // serializes: inside epochs it lands in shard-local state merged
+  // deterministically at the barrier — the gate adds the distinct-counter-row
+  // stream check (epoch_sampling_). Clean shadows and swept state don't
+  // matter — they only change on the policy thread, which the engine's epoch
+  // bound already fences out, and the A/D bits an epoch access sets are
+  // explicitly allowed.
   for (const PendingTxn& txn : txns_) {
     // A live copy still in flight at the frontier could be aborted by an
     // in-epoch store (mutating txns_ — serializing). Once the copy has

@@ -175,11 +175,13 @@ class Hemem : public TieredMemoryManager {
   bool CheckNomadInvariants(std::string* why) const;
 
   // Dynamic epoch eligibility: HeMem's access path is epoch-pure exactly
-  // when no hook fires per access (PT/no-scan modes; PEBS counts per
-  // access), every WP window has expired, and no transactional copy is in
-  // flight. Pending clean shadows do not block — flipping them moves no
-  // data and only runs on the policy thread, which the engine's epoch bound
-  // already fences out.
+  // when every WP window has expired and no transactional copy is in
+  // flight. PEBS counting does not serialize — inside epochs it lands in
+  // shard-local views merged deterministically at the barrier (DESIGN.md
+  // "Sampling under epochs"); the gate pairs this with the
+  // distinct-counter-row stream check via epoch_sampling(). Pending clean
+  // shadows do not block — flipping them moves no data and only runs on the
+  // policy thread, which the engine's epoch bound already fences out.
   bool EpochEligible(SimTime frontier) override;
 
  protected:

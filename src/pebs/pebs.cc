@@ -6,7 +6,8 @@
 
 namespace hemem {
 
-PebsBuffer::PebsBuffer(PebsParams params) : params_(params) {}
+PebsBuffer::PebsBuffer(PebsParams params)
+    : params_(params), slots_(params.buffer_capacity) {}
 
 void PebsBuffer::BeginQuantum(uint32_t stream_id) {
   quantum_active_ = true;
@@ -23,6 +24,31 @@ void PebsBuffer::RefreshQuantumBudget(uint32_t stream_id) {
     min_left = std::min(min_left, params_.period[e] - counters[e]);
   }
   quantum_budget_ = min_left - 1;
+}
+
+void PebsBuffer::RefreshShardBudget(ShardState& shard) {
+  uint64_t min_left = params_.period[0] - shard.counters[0];
+  for (int e = 1; e < kNumPebsEvents; ++e) {
+    min_left = std::min(min_left, params_.period[e] - shard.counters[e]);
+  }
+  shard.quantum_budget = min_left - 1;
+}
+
+void PebsBuffer::BindShardStream(ShardState& shard, uint32_t stream_id) {
+  // Snapshot the stream's counter row into the shard. The epoch gate admits
+  // at most one shard per context (stream ids distinct mod kMaxContexts), so
+  // the row is private to this shard until the barrier writes it back.
+  shard.stream = stream_id;
+  const uint64_t* row = counter_[stream_id % kMaxContexts];
+  std::copy(row, row + kNumPebsEvents, shard.counters);
+}
+
+void PebsBuffer::BeginQuantumShard(ShardState& shard, uint32_t stream_id) {
+  if (shard.stream == ShardState::kNoStream) {
+    BindShardStream(shard, stream_id);
+  }
+  shard.quantum_active = true;
+  RefreshShardBudget(shard);
 }
 
 void PebsBuffer::CountAccess(SimTime now, uint64_t va, PebsEvent event,
@@ -53,6 +79,40 @@ void PebsBuffer::CountAccess(SimTime now, uint64_t va, PebsEvent event,
     // record-free budget starts over from fresh headroom.
     RefreshQuantumBudget(stream_id);
   }
+  AppendRecord(now, va, event);
+}
+
+void PebsBuffer::CountAccessShard(ShardState& shard, SimTime op_start,
+                                  SimTime now, uint64_t va, PebsEvent event,
+                                  uint32_t stream_id) {
+  if (shard.stream == ShardState::kNoStream) [[unlikely]] {
+    BindShardStream(shard, stream_id);
+  }
+  if (shard.quantum_budget > 0) [[likely]] {
+    shard.quantum_budget--;
+    shard.accesses_counted++;
+    shard.counters[static_cast<int>(event)]++;
+    return;
+  }
+  shard.accesses_counted++;
+  const int idx = static_cast<int>(event);
+  uint64_t& counter = shard.counters[idx];
+  if (++counter < params_.period[idx]) {
+    if (shard.quantum_active) {
+      RefreshShardBudget(shard);
+    }
+    return;
+  }
+  counter = 0;
+  if (shard.quantum_active) [[unlikely]] {
+    RefreshShardBudget(shard);
+  }
+  // The record tail is order-sensitive across shards (injector ordinals,
+  // capacity) — defer it; the barrier replays in serial order.
+  shard.deferred.push_back(ShardState::Deferred{op_start, va, event, now});
+}
+
+void PebsBuffer::AppendRecord(SimTime now, uint64_t va, PebsEvent event) {
   if (injector_ != nullptr) [[unlikely]] {
     if (burst_remaining_ == 0) {
       if (const FaultRule* burst = injector_->Fire(FaultKind::kPebsBurst, now)) {
@@ -76,7 +136,7 @@ void PebsBuffer::CountAccess(SimTime now, uint64_t va, PebsEvent event,
       return;
     }
   }
-  if (ring_.size() >= params_.buffer_capacity) {
+  if (count_ >= params_.buffer_capacity) {
     // Hardware keeps writing past a full buffer only by overwriting the
     // interrupt threshold; in practice the record is lost.
     stats_.samples_dropped++;
@@ -84,7 +144,7 @@ void PebsBuffer::CountAccess(SimTime now, uint64_t va, PebsEvent event,
       overflow_open_ = true;
       if (tracer_ != nullptr) [[unlikely]] {
         tracer_->Instant(trace_track_, "pebs_buffer_full", "pebs", now,
-                         {{"pending", static_cast<double>(ring_.size())}});
+                         {{"pending", static_cast<double>(count_)}});
       }
     }
     return;
@@ -95,15 +155,61 @@ void PebsBuffer::CountAccess(SimTime now, uint64_t va, PebsEvent event,
       tracer_->Instant(trace_track_, "pebs_buffer_recovered", "pebs", now);
     }
   }
-  ring_.push_back(PebsRecord{va, event, now});
+  size_t slot = head_ + count_;
+  if (slot >= slots_.size()) {
+    slot -= slots_.size();
+  }
+  slots_[slot] = PebsRecord{va, event, now};
+  count_++;
   stats_.samples_written++;
+}
+
+void PebsBuffer::MergeShardSamples(ShardState* const* shards, size_t count) {
+  // Counter rows and access counts are per stream, so write-back order does
+  // not matter; do it first so the replayed tail runs against final rows.
+  for (size_t s = 0; s < count; ++s) {
+    ShardState& shard = *shards[s];
+    if (shard.stream == ShardState::kNoStream) {
+      continue;
+    }
+    uint64_t* row = counter_[shard.stream % kMaxContexts];
+    std::copy(shard.counters, shard.counters + kNumPebsEvents, row);
+    stats_.accesses_counted += shard.accesses_counted;
+  }
+  // K-way merge of the deferred overflows. Each shard's list is already
+  // sorted by op start (thread clocks are monotone); strict < makes the
+  // lowest shard index win ties, matching the engine's stream-order tiebreak.
+  std::vector<size_t> pos(count, 0);
+  for (;;) {
+    size_t best = count;
+    SimTime best_start = 0;
+    for (size_t s = 0; s < count; ++s) {
+      if (pos[s] >= shards[s]->deferred.size()) {
+        continue;
+      }
+      const SimTime start = shards[s]->deferred[pos[s]].start;
+      if (best == count || start < best_start) {
+        best = s;
+        best_start = start;
+      }
+    }
+    if (best == count) {
+      break;
+    }
+    const ShardState::Deferred& d = shards[best]->deferred[pos[best]++];
+    AppendRecord(d.time, d.va, d.event);
+  }
 }
 
 size_t PebsBuffer::Drain(std::vector<PebsRecord>& out, size_t max) {
   size_t n = 0;
-  while (n < max && !ring_.empty()) {
-    out.push_back(ring_.front());
-    ring_.pop_front();
+  while (n < max && count_ > 0) {
+    out.push_back(slots_[head_]);
+    head_++;
+    if (head_ == slots_.size()) {
+      head_ = 0;
+    }
+    count_--;
     ++n;
   }
   stats_.samples_drained += n;

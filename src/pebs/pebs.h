@@ -14,13 +14,23 @@
 // record each time a counter crosses its period. Determinism: counters are
 // exact, so sampling is stride-based rather than statistically perturbed —
 // the same workload always yields the same sample stream.
+//
+// Sharded epochs (DESIGN.md "Sampling under epochs"): during an epoch each
+// shard thread counts into a ShardState — a private copy of its stream's
+// counter row plus a deferred-record list — via CountAccessShard. Counting
+// is exact shard-locally because counter rows are per stream and the epoch
+// gate guarantees one stream per shard (distinct mod kMaxContexts). The
+// order-sensitive tail (injector draws, buffer-full drops, the ring append)
+// is deferred: MergeShardSamples replays the deferred records at the epoch
+// barrier in (op start time, shard order) order, which is exactly the order
+// the serial scheduler would have executed the overflows in, so the
+// post-merge ring, counters, and stats are bit-identical to a serial run.
 
 #ifndef HEMEM_PEBS_PEBS_H_
 #define HEMEM_PEBS_PEBS_H_
 
 #include <cstddef>
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "common/units.h"
@@ -73,6 +83,43 @@ struct PebsStats {
 
 class PebsBuffer {
  public:
+  // Hardware contexts (counter rows); stream ids alias modulo this. Public
+  // so the epoch gate can check that shard streams map to distinct rows.
+  static constexpr uint32_t kMaxContexts = 64;
+
+  // Per-shard sampling state for epoch execution. One ShardState belongs to
+  // exactly one epoch shard (= one foreground thread = one stream); the
+  // coordinator owns them inside its ShardViews and resets them per epoch.
+  struct ShardState {
+    static constexpr uint32_t kNoStream = ~0u;
+
+    // A counter overflow whose record emission is deferred to the barrier.
+    // `start` is the access op's start time (the merge key); `time` is the
+    // thread clock at the overflow, i.e. the timestamp the serial run would
+    // have stamped into the PebsRecord.
+    struct Deferred {
+      SimTime start = 0;
+      uint64_t va = 0;
+      PebsEvent event = PebsEvent::kNvmLoad;
+      SimTime time = 0;
+    };
+
+    uint32_t stream = kNoStream;  // bound on first use within the epoch
+    uint64_t counters[kNumPebsEvents] = {};  // private copy of the stream row
+    uint64_t accesses_counted = 0;
+    uint64_t quantum_budget = 0;
+    bool quantum_active = false;
+    std::vector<Deferred> deferred;
+
+    void Reset() {
+      stream = kNoStream;
+      accesses_counted = 0;
+      quantum_budget = 0;
+      quantum_active = false;
+      deferred.clear();
+    }
+  };
+
   explicit PebsBuffer(PebsParams params = PebsParams{});
 
   // Called by the tiering manager on every access it wants monitored.
@@ -81,6 +128,14 @@ class PebsBuffer {
   // logical thread), as real PMUs are per-core — a single global counter
   // would alias the sampling stride with the thread interleaving pattern.
   void CountAccess(SimTime now, uint64_t va, PebsEvent event, uint32_t stream_id = 0);
+
+  // Epoch-shard variant of CountAccess: counts into `shard`'s private state
+  // and defers record emission (see MergeShardSamples). `op_start` is the
+  // enclosing access op's start time (SimThread::access_op_start()); `now`
+  // is the thread clock at the charge point, as in CountAccess. The first
+  // call binds `shard` to `stream_id` and snapshots its counter row.
+  void CountAccessShard(ShardState& shard, SimTime op_start, SimTime now,
+                        uint64_t va, PebsEvent event, uint32_t stream_id);
 
   // ---- Per-quantum precomputed sampling (batched access execution) ---------
   //
@@ -100,10 +155,28 @@ class PebsBuffer {
     quantum_active_ = false;
   }
 
+  // Shard-local quantum bracket, same budget math against the shard's
+  // private counters. Static EndQuantumShard: no shared state is involved.
+  void BeginQuantumShard(ShardState& shard, uint32_t stream_id);
+  static void EndQuantumShard(ShardState& shard) {
+    shard.quantum_budget = 0;
+    shard.quantum_active = false;
+  }
+
+  // Epoch-barrier merge. `shards` must be in the coordinator's canonical
+  // view order (ascending stream id — the same tiebreak the engine's heap
+  // rebuild uses). Writes shard counter rows back, accumulates access
+  // counts, then replays every deferred overflow through the serial record
+  // tail (injector draws, capacity check, ring append) in ascending
+  // (op start, shard order) — the serial execution order of the overflows —
+  // so ring contents, fault-draw ordinals, and stats match a serial run
+  // bit for bit. Serial only; called at the barrier with workers parked.
+  void MergeShardSamples(ShardState* const* shards, size_t count);
+
   // Drains up to `max` records into `out` (appends). Returns count drained.
   size_t Drain(std::vector<PebsRecord>& out, size_t max);
 
-  size_t pending() const { return ring_.size(); }
+  size_t pending() const { return count_; }
   const PebsStats& stats() const { return stats_; }
   const PebsParams& params() const { return params_; }
 
@@ -122,16 +195,24 @@ class PebsBuffer {
   void SetFaultInjector(FaultInjector* injector) { injector_ = injector; }
 
  private:
-  static constexpr uint32_t kMaxContexts = 64;
-
   // Recomputes the quantum's record-free access budget from the stream's
   // current counters (each strictly below its period).
   void RefreshQuantumBudget(uint32_t stream_id);
+  void RefreshShardBudget(ShardState& shard);
+  void BindShardStream(ShardState& shard, uint32_t stream_id);
+
+  // The order-sensitive record tail shared by CountAccess and the barrier
+  // replay: injector draws, buffer-full accounting, the ring append.
+  void AppendRecord(SimTime now, uint64_t va, PebsEvent event);
 
   PebsParams params_;
   // counter_[context][event]
   uint64_t counter_[kMaxContexts][kNumPebsEvents] = {};
-  std::deque<PebsRecord> ring_;
+  // Fixed-capacity ring: slots_ is sized once at construction; head_/count_
+  // index into it. CountAccess's append is alloc-free.
+  std::vector<PebsRecord> slots_;
+  size_t head_ = 0;
+  size_t count_ = 0;
   PebsStats stats_;
   // True while records are being dropped on the floor (buffer at capacity).
   bool overflow_open_ = false;

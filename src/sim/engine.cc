@@ -161,7 +161,7 @@ void Engine::AddObserverThread(SimThread* thread) {
 }
 
 void Engine::Push(SimThread* thread) {
-  heap_.push_back({thread->now(), next_seq_++, thread});
+  heap_.push_back({thread->now(), thread->stream_id_, next_seq_++, thread});
   std::push_heap(heap_.begin(), heap_.end(), std::greater<>());
 }
 
@@ -250,7 +250,9 @@ SimTime Engine::Run(SimTime deadline) {
       }
       // While the thread stays strictly earliest and penalty-free, a heap
       // round trip would pop it right back; run the next slice directly.
-      // (>= falls through to the heap so time ties keep seq order.)
+      // (>= falls through to the heap so time ties resolve by the global
+      // (clock, stream id) order — the push is a round trip, not a demotion,
+      // when this thread's stream id still wins the tie.)
       if (thread->pending_penalty_ != 0 ||
           (!heap_.empty() && thread->now() >= heap_.front().time)) {
         Push(thread);
@@ -439,10 +441,10 @@ bool Engine::TryParallelEpoch(SimTime deadline, SimTime& last) {
     last = t->now_;
   }
 
-  // Heap rebuild. Entries of non-participants keep their original seq
-  // numbers (older seq wins time ties, as in serial); survivors re-enter in
-  // (clock, stream id) order with fresh — strictly larger — seqs, which is
-  // the order the serial scheduler would have re-pushed them in.
+  // Heap rebuild. Entries of non-participants are untouched; survivors
+  // re-enter keyed by (clock, stream id) — the engine's dispatch order is
+  // that strict total order (HeapEntry), so rebuilding from merged clocks
+  // alone reproduces the serial schedule exactly, clock ties included.
   for (SimThread* t : epoch_threads_) {
     t->in_epoch_ = true;
   }
@@ -466,7 +468,7 @@ bool Engine::TryParallelEpoch(SimTime deadline, SimTime& last) {
                                         : a->stream_id_ < b->stream_id_;
             });
   for (SimThread* t : epoch_order_) {
-    heap_.push_back({t->now_, next_seq_++, t});
+    heap_.push_back({t->now_, t->stream_id_, next_seq_++, t});
   }
   std::make_heap(heap_.begin(), heap_.end(), std::greater<>());
 

@@ -180,6 +180,14 @@ class SimThread {
   };
   TranslationCache& translation_cache() { return tcache_; }
 
+  // Scratch slot for the tier layer: the start time of the access op
+  // currently executing on this thread, written by the access entry points
+  // before any sampling hook can run. Sampling under epochs keys its
+  // deterministic barrier merge on it (DESIGN.md "Sampling under epochs").
+  // Like the translation cache, the sim layer stores but never interprets it.
+  void set_access_op_start(SimTime t) { access_op_start_ = t; }
+  SimTime access_op_start() const { return access_op_start_; }
+
   Engine* engine() const { return engine_; }
 
  private:
@@ -191,6 +199,7 @@ class SimThread {
   SimTime now_ = 0;
   SimTime pending_penalty_ = 0;
   TranslationCache tcache_;
+  SimTime access_op_start_ = 0;
   Engine* engine_ = nullptr;
   bool finished_ = false;
   bool parallel_pure_ = false;
@@ -328,12 +337,24 @@ class Engine {
  private:
   friend class SimThread;
 
+  // Dispatch order is the strict total order (clock, stream id): clock ties
+  // between distinct threads always resolve to the lower stream id, making
+  // the schedule a pure function of current thread states rather than of
+  // push history. That history-independence is what lets the epoch barrier
+  // rebuild the heap from merged clocks alone and land on exactly the serial
+  // schedule (DESIGN.md "Parallel engine & epoch barriers"). The seq is a
+  // final FIFO tiebreak reachable only by observer threads, which share one
+  // sentinel stream id and never touch simulation state.
   struct HeapEntry {
     SimTime time;
+    uint32_t stream;
     uint64_t seq;
     SimThread* thread;
     bool operator>(const HeapEntry& other) const {
-      return time != other.time ? time > other.time : seq > other.seq;
+      if (time != other.time) {
+        return time > other.time;
+      }
+      return stream != other.stream ? stream > other.stream : seq > other.seq;
     }
   };
 

@@ -50,6 +50,9 @@ struct ShardDeviceBinding {
   const void* machine = nullptr;
   MemoryDevice* dram = nullptr;
   MemoryDevice* nvm = nullptr;
+  // Shard-local PEBS sampling state (null when no manager samples); see
+  // PebsBuffer::ShardState.
+  PebsBuffer::ShardState* pebs = nullptr;
 };
 extern thread_local ShardDeviceBinding tls_shard_devices;
 }  // namespace internal
@@ -147,6 +150,13 @@ class Machine {
   PageTable& page_table() { return page_table_; }
   Tlb& tlb() { return tlb_; }
   PebsBuffer& pebs() { return pebs_; }
+  // The calling worker's shard-local PEBS state during an epoch, else null.
+  // Sampling managers route CountAccess through this so epoch shards count
+  // privately and merge at the barrier.
+  PebsBuffer::ShardState* pebs_shard() const {
+    const internal::ShardDeviceBinding& b = internal::tls_shard_devices;
+    return b.machine == this ? b.pebs : nullptr;
+  }
   // The swap block device, or nullptr when the machine has none.
   BlockDevice* swap() { return swap_ ? &*swap_ : nullptr; }
   const MachineConfig& config() const { return config_; }

@@ -221,7 +221,7 @@ Tier TieredMemoryManager::KernelFirstTouch(SimThread& thread, Region& region,
   assert(frame.has_value() && "machine out of physical memory");
   entry.frame = *frame;
   entry.tier = tier;
-  entry.present = true;
+  machine_.page_table().SetPresent(entry);
   thread.Advance(fault_costs_.kernel_fault);
   // Zero-fill the fresh page.
   thread.AdvanceTo(
@@ -245,7 +245,7 @@ void TieredMemoryManager::ReleaseRegionFrames(Region& region) {
   for (PageEntry& entry : region.pages) {
     if (entry.present) {
       FramePool(entry.tier).Free(entry.frame);
-      entry.present = false;
+      machine_.page_table().ClearPresent(entry);
       entry.frame = kInvalidFrame;
     }
   }

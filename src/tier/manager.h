@@ -99,6 +99,10 @@ class TieredMemoryManager {
   // Accesses may span page boundaries; they are split here so managers only
   // ever see page-contained accesses.
   void Access(SimThread& thread, uint64_t va, uint32_t size, AccessKind kind) {
+    // Op start time, before any fault/WP/device work (and shared by every
+    // chunk of a page-crossing op — chunks execute without preemption).
+    // Sampling hooks read it as the deterministic epoch-merge key.
+    thread.set_access_op_start(thread.now());
     if ((va & page_mask_) + size <= page_mask_ + 1) [[likely]] {
       AccessPage(thread, va, size, kind);
       return;
@@ -161,6 +165,12 @@ class TieredMemoryManager {
   // Sharded-epoch eligibility (set by subclasses; read by the epoch gate).
   bool parallel_quantum_safe() const { return parallel_quantum_safe_; }
   uint32_t parallel_tier_mask() const { return parallel_tier_mask_; }
+  // True when the manager samples accesses into the machine's PEBS buffer
+  // and supports doing so inside epochs via shard-local views (HeMem in PEBS
+  // mode). The epoch gate then additionally requires the shard threads'
+  // stream ids to be distinct modulo the PEBS context count, so no two
+  // shards alias one counter row.
+  bool epoch_sampling() const { return epoch_sampling_; }
 
   // Dynamic epoch eligibility, queried by the epoch gate per proposed epoch.
   // `frontier` is the epoch's start time. The static parallel_quantum_safe_
@@ -336,6 +346,9 @@ class TieredMemoryManager {
   // channel continuity only where it matters.
   bool parallel_quantum_safe_ = false;
   uint32_t parallel_tier_mask_ = 0;
+  // Sampling managers set this alongside their epoch support; see
+  // epoch_sampling().
+  bool epoch_sampling_ = false;
 
   // Access observation (Machine::EnableAccessObservation), cached at
   // construction: one null compare on the skeleton entry is the whole cost
@@ -392,6 +405,12 @@ class TieredMemoryManager {
                                                 const AccessOp& op, const QuantumCtx& ctx,
                                                 MemoryDevice::BatchRun& dram_run,
                                                 MemoryDevice::BatchRun& nvm_run) {
+    // Op start for the post-charge hook (dead and compiled out on the plain
+    // profile): the hook may sample, and the sampling merge keys on it.
+    [[maybe_unused]] SimTime op_start = 0;
+    if constexpr (!kPlain) {
+      op_start = now;
+    }
     if ((op.va & ctx.page_mask) + op.size > ctx.page_mask + 1) [[unlikely]] {
       return false;  // page-crossing: Access() owns the split loop
     }
@@ -464,6 +483,7 @@ class TieredMemoryManager {
     }
     if constexpr (!kPlain) {
       if (ctx.post_charge_hook) [[unlikely]] {
+        thread.set_access_op_start(op_start);
         thread.SyncTime(now);
         OnAccessCharged(thread, op.va, entry, op.kind);
         now = thread.now();

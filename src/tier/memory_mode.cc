@@ -72,7 +72,7 @@ uint64_t MemoryMode::Mmap(uint64_t bytes, AllocOptions opts) {
     assert(frame.has_value() && "memory-mode pool exhausted");
     entry.frame = *frame;
     entry.tier = Tier::kNvm;  // home location; DRAM is invisible cache
-    entry.present = true;
+    pt.SetPresent(entry);
   }
   stats_.managed_allocs++;
   return base;

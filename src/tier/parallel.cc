@@ -12,29 +12,11 @@ ParallelCoordinator::ParallelCoordinator(Machine& machine) : machine_(machine) {
 
 ParallelCoordinator::~ParallelCoordinator() = default;
 
-bool ParallelCoordinator::FullyMapped() {
-  PageTable& pt = machine_.page_table();
-  if (mapped_ok_epoch_ == pt.unmap_epoch() &&
-      mapped_ok_bytes_ == pt.total_mapped_bytes()) {
-    return true;
-  }
-  bool all = true;
-  pt.ForEachRegion([&all](Region& region) {
-    if (!all) {
-      return;
-    }
-    for (const PageEntry& entry : region.pages) {
-      if (!entry.present) {
-        all = false;
-        return;
-      }
-    }
-  });
-  if (all) {
-    mapped_ok_epoch_ = pt.unmap_epoch();
-    mapped_ok_bytes_ = pt.total_mapped_bytes();
-  }
-  return all;
+bool ParallelCoordinator::FullyMapped() const {
+  // The page table maintains the not-present count incrementally at
+  // map/unmap and every present-bit flip, so the gate's precondition is one
+  // counter read per scheduling round — no region scan, no result cache.
+  return machine_.page_table().missing_pages() == 0;
 }
 
 bool ParallelCoordinator::DeviceEligible(MemoryDevice& dev, SimTime frontier,
@@ -82,6 +64,7 @@ SimTime ParallelCoordinator::EpochHorizon(SimTime frontier, SimTime want,
     return 0;
   }
   uint32_t tier_mask = 0;
+  bool sampling = false;
   for (TieredMemoryManager* manager : managers) {
     // Dynamic eligibility: statically-safe managers (PlainMemory, X-Mem)
     // always grant; stateful ones (HeMem) grant exactly when their access
@@ -92,15 +75,28 @@ SimTime ParallelCoordinator::EpochHorizon(SimTime frontier, SimTime want,
       return 0;
     }
     tier_mask |= manager->parallel_tier_mask();
+    sampling |= manager->epoch_sampling();
   }
   if (tier_mask == 0) {
     return 0;
   }
   // Distinct stream ids below the slot bound keep per-shard detector slots
   // disjoint (ids are engine-unique, so only the bound needs checking).
+  // Sampling managers additionally need the ids distinct modulo the PEBS
+  // context count: each shard privatizes its stream's counter row for the
+  // epoch, which is only exact when no two shards alias one row.
+  uint64_t pebs_rows_seen = 0;
+  static_assert(PebsBuffer::kMaxContexts <= 64, "seen mask is one word");
   for (const SimThread* thread : shard_threads) {
     if (thread->stream_id() >= MemoryDevice::kStreamSlots) {
       return 0;
+    }
+    if (sampling) {
+      const uint64_t row_bit = 1ull << (thread->stream_id() % PebsBuffer::kMaxContexts);
+      if ((pebs_rows_seen & row_bit) != 0) {
+        return 0;
+      }
+      pebs_rows_seen |= row_bit;
     }
   }
   if (!FullyMapped()) {
@@ -134,12 +130,13 @@ void ParallelCoordinator::BeginEpoch(int shards) {
     view.nvm.ResetStats();
     view.dram.SetTracer(nullptr, 0);
     view.nvm.SetTracer(nullptr, 0);
+    view.pebs.Reset();
   }
 }
 
 void ParallelCoordinator::BindShard(int shard) {
   ShardView& view = *views_[static_cast<size_t>(shard)];
-  internal::tls_shard_devices = {&machine_, &view.dram, &view.nvm};
+  internal::tls_shard_devices = {&machine_, &view.dram, &view.nvm, &view.pebs};
 }
 
 void ParallelCoordinator::UnbindShard() { internal::tls_shard_devices = {}; }
@@ -155,6 +152,15 @@ void ParallelCoordinator::MergeEpoch(SimTime horizon, int shards) {
     merge_scratch_.push_back(&views_[static_cast<size_t>(s)]->nvm);
   }
   machine_.nvm().MergeShardViews(merge_scratch_, horizon);
+  // Sampling: replay the shards' deferred PEBS overflows through the shared
+  // buffer in (op start, view order) order — the serial execution order.
+  // View order is candidate order (ascending stream id), the same tiebreak
+  // the engine's heap rebuild uses.
+  pebs_scratch_.clear();
+  for (int s = 0; s < shards; ++s) {
+    pebs_scratch_.push_back(&views_[static_cast<size_t>(s)]->pebs);
+  }
+  machine_.pebs().MergeShardSamples(pebs_scratch_.data(), pebs_scratch_.size());
 }
 
 }  // namespace hemem

@@ -25,6 +25,13 @@
 // the views merge back in fixed candidate order
 // (MemoryDevice::MergeShardViews), which the determinism argument reduces
 // to sums, maxes, disjoint slot copies, and a channel multiset union.
+//
+// When a registered manager samples (HeMem in PEBS mode), each view also
+// carries a PebsBuffer::ShardState: the shard counts accesses privately and
+// defers record emission; the barrier replays the deferred overflows in
+// (op start time, view order) order, reproducing the serial ring, counters,
+// and stats bit for bit (DESIGN.md "Sampling under epochs"). The gate then
+// also requires shard stream ids distinct modulo the PEBS context count.
 
 #ifndef HEMEM_TIER_PARALLEL_H_
 #define HEMEM_TIER_PARALLEL_H_
@@ -33,6 +40,7 @@
 #include <vector>
 
 #include "mem/device.h"
+#include "pebs/pebs.h"
 #include "sim/engine.h"
 
 namespace hemem {
@@ -55,10 +63,13 @@ class ParallelCoordinator : public EpochGate {
   struct ShardView {
     MemoryDevice dram;
     MemoryDevice nvm;
+    // Shard-local PEBS sampling state (bound only when a sampling manager's
+    // hook fires inside the epoch; merged at the barrier in view order).
+    PebsBuffer::ShardState pebs;
     ShardView(const MemoryDevice& d, const MemoryDevice& n) : dram(d), nvm(n) {}
   };
 
-  bool FullyMapped();
+  bool FullyMapped() const;
   // Degrade-window and channel-continuity check for one device; may shrink
   // `want` to a window edge. `streams` is the epoch thread count.
   bool DeviceEligible(MemoryDevice& dev, SimTime frontier, SimTime& want,
@@ -67,12 +78,7 @@ class ParallelCoordinator : public EpochGate {
   Machine& machine_;
   std::vector<std::unique_ptr<ShardView>> views_;
   std::vector<const MemoryDevice*> merge_scratch_;
-  // Positive-result cache for the fully-mapped scan: first-touch flips
-  // `present` without bumping either key, so only "everything mapped" is
-  // cacheable — and once fully mapped, only an unmap (epoch bump) or a new
-  // region (byte-count change) can unmap anything.
-  uint64_t mapped_ok_epoch_ = ~0ull;
-  uint64_t mapped_ok_bytes_ = ~0ull;
+  std::vector<PebsBuffer::ShardState*> pebs_scratch_;
 };
 
 }  // namespace hemem

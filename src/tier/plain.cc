@@ -28,7 +28,7 @@ uint64_t PlainMemory::Mmap(uint64_t bytes, AllocOptions opts) {
     assert(frame.has_value() && "PlainMemory device out of capacity");
     entry.frame = *frame;
     entry.tier = tier_;
-    entry.present = true;
+    pt.SetPresent(entry);
   }
   stats_.managed_allocs++;
   return base;

@@ -43,7 +43,7 @@ uint64_t XMem::Mmap(uint64_t bytes, AllocOptions opts) {
     assert(frame.has_value() && "machine out of physical memory");
     entry.frame = *frame;
     entry.tier = tier;
-    entry.present = true;
+    pt.SetPresent(entry);
   }
   return base;
 }

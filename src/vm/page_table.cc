@@ -29,6 +29,7 @@ Region* PageTable::MapRegion(uint64_t base, uint64_t bytes, uint64_t page_bytes,
   assert(pos == regions_.end() || (*pos)->base >= base + region->bytes);
   assert(pos == regions_.begin() || (*(pos - 1))->end() <= base);
   total_mapped_ += region->bytes;
+  missing_pages_ += raw->pages.size();  // pages start not-present
   regions_.insert(pos, std::move(region));
   last_hit_.store(raw, std::memory_order_relaxed);
   return raw;
@@ -45,6 +46,11 @@ bool PageTable::UnmapRegion(uint64_t base) {
     last_hit_.store(nullptr, std::memory_order_relaxed);
   }
   total_mapped_ -= (*pos)->bytes;
+  for (const PageEntry& entry : (*pos)->pages) {
+    if (!entry.present) {
+      missing_pages_--;
+    }
+  }
   regions_.erase(pos);
   ++unmap_epoch_;
   return true;

@@ -127,6 +127,31 @@ class PageTable {
   // Entry for va (region must exist). Never returns nullptr for mapped vas.
   PageEntry* Lookup(uint64_t va);
 
+  // Not-present page entries across all regions, maintained incrementally:
+  // MapRegion adds the new region's page count (pages start not-present),
+  // UnmapRegion subtracts the region's remaining not-present entries, and
+  // every present-bit flip routes through SetPresent/ClearPresent. The epoch
+  // gate's fully-mapped precondition is `missing_pages() == 0` — O(1) per
+  // scheduling round instead of a full region scan. All flips happen on the
+  // serial loop (fault paths and migrations never run inside epochs), so the
+  // counter needs no synchronization.
+  uint64_t missing_pages() const { return missing_pages_; }
+
+  // Present-bit transitions. Idempotent: a flip to the value already held
+  // leaves the counter alone.
+  void SetPresent(PageEntry& entry) {
+    if (!entry.present) {
+      entry.present = true;
+      missing_pages_--;
+    }
+  }
+  void ClearPresent(PageEntry& entry) {
+    if (entry.present) {
+      entry.present = false;
+      missing_pages_++;
+    }
+  }
+
   // Bumped on every UnmapRegion. Region pointers are stable across MapRegion
   // (only unmap invalidates them), so callers holding cached translations —
   // the per-thread translation caches in SimThread — revalidate by comparing
@@ -150,6 +175,7 @@ class PageTable {
   uint64_t next_va_ = 1ull << 40;  // arbitrary userspace heap base
   uint64_t total_mapped_ = 0;
   uint64_t unmap_epoch_ = 0;
+  uint64_t missing_pages_ = 0;
 };
 
 // Timing model for walking/scanning a 4-level radix page table.

@@ -375,16 +375,20 @@ TEST(MetricsSampler, BucketsAlignToSamplingIntervals) {
   MetricsSampler sampler(registry, kMillisecond);
   engine.AddObserverThread(&sampler);
 
-  // Increment strictly inside each interval: +5 at 0.5 ms, +7 at 1.5 ms,
-  // +9 at 2.5 ms. Half-period slices put every increment mid-interval, so
-  // the engine's run-ahead (a slice straddling a tick time commits before
-  // the tick pops) cannot move an increment across a sampling boundary; the
-  // trailing idle step keeps the worker live past the 3 ms tick.
+  // Increment strictly inside each interval: +5 at 0.75 ms, +7 at 1.75 ms,
+  // +9 at 2.75 ms. An increment is committed by the slice that *starts* at
+  // the previous 0.25/0.75/... boundary, and the engine dispatches a slice
+  // before any tick it straddles — also before a tick it ties, since
+  // observer threads lose clock ties in the (clock, stream id) dispatch
+  // order. The idle 0.75 ms lead-in therefore keeps the first increment out
+  // of the sampler's t=0 baseline tick, and the off-grid slice boundaries
+  // (0.75, 1.25, ...) keep every later increment inside its own interval.
+  // The trailing idle step keeps the worker live past the 3 ms tick.
   int step = 0;
   ScriptThread worker([&](ScriptThread& self) {
-    self.Advance(kMillisecond / 2);
-    if (step % 2 == 0 && step < 6) {
-      counter->Add(5 + static_cast<uint64_t>(step));
+    self.Advance(step == 0 ? 3 * kMillisecond / 4 : kMillisecond / 2);
+    if (step % 2 == 1 && step < 6) {
+      counter->Add(5 + static_cast<uint64_t>(step) - 1);
     }
     return ++step < 7;
   });

@@ -15,9 +15,11 @@
 //
 // The suite also checks the engagement story both ways: managers that opt
 // into sharded epochs (DRAM, X-Mem) or earn them conditionally between
-// policy passes (PT-scan HeMem in either migration mode) must actually
-// execute epochs, and managers that cannot (PEBS sampling, other migrating
-// systems) must report zero — a silent serial fallback would make the
+// policy passes (HeMem in every scan/migration mode — PEBS sampling counts
+// into shard-local state and replays deferred records at the barrier, see
+// DESIGN.md "Sampling under epochs") must actually execute epochs, and
+// managers that cannot (Thermostat's shared per-page counters, MM's probe
+// state, Nimble) must report zero — a silent serial fallback would make the
 // equality trivial, and a silently sharded unsafe system would be a
 // correctness hole.
 
@@ -28,8 +30,10 @@
 
 #include <gtest/gtest.h>
 
+#include "apps/gups.h"
 #include "common/rng.h"
 #include "core/hemem.h"
+#include "mem/device.h"
 #include "obs/metrics.h"
 #include "obs/sampler.h"
 #include "test_util.h"
@@ -43,9 +47,10 @@
 namespace hemem {
 namespace {
 
-const char* const kSystems[] = {"DRAM",  "MM",            "Nimble",
-                                "X-Mem", "Thermostat",    "HeMem",
-                                "HeMem-PT-Sync", "HeMem-PT-Sync-Nomad"};
+const char* const kSystems[] = {"DRAM",  "MM",         "Nimble",
+                                "X-Mem", "Thermostat", "HeMem",
+                                "HeMem-Nomad",   "HeMem-PT-Sync",
+                                "HeMem-PT-Sync-Nomad"};
 
 // Systems whose managers opt into sharded epochs: eager mapping, no
 // migrations, no background actors (tier/plain.cc, tier/xmem.cc).
@@ -57,11 +62,13 @@ bool ParallelSafe(const std::string& system) {
 // between policy passes whenever no WP window and no migration transaction
 // is outstanding (Hemem::EpochEligible). PT-scan HeMem qualifies because
 // hotness flows through A/D bits (an allowed in-epoch write); PEBS HeMem
-// does not (the sampler is a background actor). Nomad mode stays eligible
-// because pages with only a clean shadow carry no WP — outstanding
-// transactions, not shadows, are what pause sharding.
+// qualifies because sampling runs shard-locally and the barrier replays
+// deferred records in serial order (pebs.h "Sharded epochs"). Nomad mode
+// stays eligible because pages with only a clean shadow carry no WP —
+// outstanding transactions, not shadows, are what pause sharding.
 bool ConditionallyEligible(const std::string& system) {
-  return system == "HeMem-PT-Sync" || system == "HeMem-PT-Sync-Nomad";
+  return system == "HeMem" || system == "HeMem-Nomad" ||
+         system == "HeMem-PT-Sync" || system == "HeMem-PT-Sync-Nomad";
 }
 
 // Same live plan as the batch-equivalence suite: degrade windows on both
@@ -91,7 +98,7 @@ std::unique_ptr<TieredMemoryManager> MakeSystem(const std::string& kind, Machine
   if (kind == "HeMem-PT-Sync" || kind == "HeMem-PT-Sync-Nomad") {
     params.scan_mode = HememParams::ScanMode::kPtSync;
   }
-  if (kind == "HeMem-PT-Sync-Nomad") {
+  if (kind == "HeMem-Nomad" || kind == "HeMem-PT-Sync-Nomad") {
     params.migration = HememParams::MigrationMode::kNomad;
   }
   return std::make_unique<Hemem>(machine, params);
@@ -243,9 +250,9 @@ TEST_P(ParallelEquivalence, ShardedMatchesSerialAcrossConfigsAndWorkers) {
           EXPECT_GT(sharded.epochs.epochs, 0u);
         }
       } else {
-        // Migrating/sampling systems that cannot prove quiescence must
-        // report zero — a silently sharded unsafe system would be a
-        // correctness hole.
+        // Systems whose access path mutates shared state (MM's probe line,
+        // Thermostat's per-page counters, Nimble) must report zero — a
+        // silently sharded unsafe system would be a correctness hole.
         EXPECT_EQ(sharded.epochs.epochs, 0u);
       }
     }
@@ -295,6 +302,100 @@ TEST(ParallelSharding, QuantumCapCannotStarveTheBarrier) {
   EXPECT_GT(narrow.epochs.epochs, 0u);
   EXPECT_EQ(narrow.epochs.epochs, wide.epochs.epochs);
   EXPECT_EQ(narrow.epochs.virtual_ns, wide.epochs.virtual_ns);
+}
+
+// Many identical threads make virtual-clock ties pervasive: two GUPS workers
+// routinely issue accesses stamped the same nanosecond, and which one reaches
+// the device first decides who eats the channel queue delay. The engine
+// resolves such ties by the strict (clock, stream id) total order — a pure
+// function of thread states — so the epoch barrier's heap rebuild lands on
+// exactly the serial schedule. A history-dependent tiebreak (FIFO by push
+// order) passes the 4-thread suite above but diverges here within a few
+// epochs, showing up as a queue_delay_total_ns delta that then snowballs
+// through migration decisions. This pins that bug class with the smallest
+// workload that reproduced it: 16 GUPS threads on the tiny machine, HeMem in
+// both sampling modes.
+struct GupsFingerprint {
+  DeviceStats dram;
+  DeviceStats nvm;
+  ManagerStats stats;
+  uint64_t epochs = 0;
+};
+
+GupsFingerprint RunGupsCase(HememParams::ScanMode scan_mode, int workers) {
+  constexpr int kGupsThreads = 16;
+  MachineConfig mc = TinyMachineConfig();
+  Machine machine(mc);
+  machine.EnableHostWorkers(workers);
+  HememParams params;
+  params.scan_mode = scan_mode;
+  Hemem manager(machine, params);
+  manager.Start();
+
+  GupsConfig config;
+  config.threads = kGupsThreads;
+  config.working_set = mc.dram_bytes + mc.nvm_bytes / 2;
+  config.hot_set = mc.dram_bytes / 4;
+  config.hot_fraction = 0.9;
+  config.updates_per_thread = kTotalOps / kGupsThreads;
+  GupsBenchmark gups(manager, config);
+  gups.Prepare();
+  gups.Run();
+
+  GupsFingerprint fp;
+  fp.dram = machine.dram().stats();
+  fp.nvm = machine.nvm().stats();
+  fp.stats = manager.stats();
+  fp.epochs = machine.engine().epoch_stats().epochs;
+  return fp;
+}
+
+void ExpectSameDevice(const DeviceStats& e, const DeviceStats& a) {
+  EXPECT_EQ(a.loads, e.loads);
+  EXPECT_EQ(a.stores, e.stores);
+  EXPECT_EQ(a.bytes_requested_read, e.bytes_requested_read);
+  EXPECT_EQ(a.bytes_requested_written, e.bytes_requested_written);
+  EXPECT_EQ(a.media_bytes_read, e.media_bytes_read);
+  EXPECT_EQ(a.media_bytes_written, e.media_bytes_written);
+  EXPECT_EQ(a.sequential_hits, e.sequential_hits);
+  // The tie-order canary: queue delay is the only device stat that depends on
+  // *interleaving* rather than on per-thread op streams alone.
+  EXPECT_EQ(a.queue_delay_total_ns, e.queue_delay_total_ns);
+  EXPECT_EQ(a.queue_delay_max_ns, e.queue_delay_max_ns);
+}
+
+TEST(ParallelSharding, GupsClockTiesResolveIdenticallyAcrossWorkers) {
+  const struct {
+    const char* label;
+    HememParams::ScanMode scan_mode;
+  } kModes[] = {
+      {"pebs", HememParams::ScanMode::kPebs},
+      {"pt-sync", HememParams::ScanMode::kPtSync},
+  };
+  for (const auto& mode : kModes) {
+    SCOPED_TRACE(mode.label);
+    const GupsFingerprint reference = RunGupsCase(mode.scan_mode, /*workers=*/1);
+    EXPECT_EQ(reference.epochs, 0u);
+    for (const int workers : {2, 4}) {
+      SCOPED_TRACE("workers=" + std::to_string(workers));
+      const GupsFingerprint sharded = RunGupsCase(mode.scan_mode, workers);
+      {
+        SCOPED_TRACE("dram");
+        ExpectSameDevice(reference.dram, sharded.dram);
+      }
+      {
+        SCOPED_TRACE("nvm");
+        ExpectSameDevice(reference.nvm, sharded.nvm);
+      }
+      EXPECT_EQ(sharded.stats.missing_faults, reference.stats.missing_faults);
+      EXPECT_EQ(sharded.stats.wp_faults, reference.stats.wp_faults);
+      EXPECT_EQ(sharded.stats.wp_wait_ns, reference.stats.wp_wait_ns);
+      EXPECT_EQ(sharded.stats.pages_promoted, reference.stats.pages_promoted);
+      EXPECT_EQ(sharded.stats.pages_demoted, reference.stats.pages_demoted);
+      EXPECT_EQ(sharded.stats.bytes_migrated, reference.stats.bytes_migrated);
+      EXPECT_GT(sharded.epochs, 0u);
+    }
+  }
 }
 
 }  // namespace

@@ -137,6 +137,136 @@ TEST(Pebs, ContextSamplingIsFairAcrossThreads) {
   }
 }
 
+// ---- Sharded-epoch counting (pebs.h "Sharded epochs") ----------------------
+
+// A schedule entry: one counted access with its serial execution time. The
+// schedule is built round-major (all streams at round r before round r+1),
+// which is the serial order — ties on `t` across streams resolve in stream
+// order, exactly the engine's heap tiebreak.
+struct ShardAccess {
+  SimTime t = 0;
+  uint64_t va = 0;
+  PebsEvent ev = PebsEvent::kNvmLoad;
+  uint32_t stream = 0;
+};
+
+std::vector<ShardAccess> MakeSchedule(int n_streams, int rounds) {
+  std::vector<ShardAccess> sched;
+  uint64_t x = 0x9e3779b97f4a7c15ull;
+  for (int r = 0; r < rounds; ++r) {
+    for (int s = 0; s < n_streams; ++s) {
+      x ^= x >> 12;
+      x ^= x << 25;
+      x ^= x >> 27;
+      ShardAccess a;
+      a.t = static_cast<SimTime>(r) * 10;  // deliberate cross-stream ties
+      a.va = 0x10000u * static_cast<uint64_t>(s + 1) + (x % 256) * 64;
+      a.ev = static_cast<PebsEvent>(x % 3);
+      a.stream = static_cast<uint32_t>(s);
+      sched.push_back(a);
+    }
+  }
+  return sched;
+}
+
+void ExpectSameBufferState(PebsBuffer& serial, PebsBuffer& sharded) {
+  EXPECT_EQ(sharded.stats().accesses_counted, serial.stats().accesses_counted);
+  EXPECT_EQ(sharded.stats().samples_written, serial.stats().samples_written);
+  EXPECT_EQ(sharded.stats().samples_dropped, serial.stats().samples_dropped);
+  ASSERT_EQ(sharded.pending(), serial.pending());
+  std::vector<PebsRecord> a;
+  std::vector<PebsRecord> b;
+  serial.Drain(a, serial.pending());
+  sharded.Drain(b, sharded.pending());
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE("record " + std::to_string(i));
+    EXPECT_EQ(b[i].va, a[i].va);
+    EXPECT_EQ(static_cast<int>(b[i].event), static_cast<int>(a[i].event));
+    EXPECT_EQ(b[i].time, a[i].time);
+  }
+}
+
+// Per-shard counting + barrier merge must reproduce the serial ring byte for
+// byte: same records, same order, same timestamps, same drop accounting —
+// for 2, 4, and 8 shards. The capacity is small enough that the ring fills,
+// so the merge's replay order decides *which* overflows survive; the sharded
+// side additionally brackets accesses in quantum windows (the batched fast
+// path), which must be semantics-free.
+TEST(PebsShard, MergeReproducesSerialRingAcrossShardCounts) {
+  for (const int n_shards : {2, 4, 8}) {
+    SCOPED_TRACE("shards=" + std::to_string(n_shards));
+    const std::vector<ShardAccess> sched = MakeSchedule(n_shards, 600);
+
+    PebsBuffer serial(SmallParams(7, 32));
+    for (const ShardAccess& a : sched) {
+      serial.CountAccess(a.t, a.va, a.ev, a.stream);
+    }
+
+    PebsBuffer sharded(SmallParams(7, 32));
+    std::vector<PebsBuffer::ShardState> states(static_cast<size_t>(n_shards));
+    std::vector<int> since_quantum(static_cast<size_t>(n_shards), 0);
+    for (const ShardAccess& a : sched) {
+      PebsBuffer::ShardState& shard = states[a.stream];
+      // Re-open a quantum window every 17 accesses, mimicking the engine's
+      // periodic quantum brackets inside an epoch slice.
+      if (since_quantum[a.stream]++ % 17 == 0) {
+        sharded.BeginQuantumShard(shard, a.stream);
+      }
+      sharded.CountAccessShard(shard, a.t, a.t, a.va, a.ev, a.stream);
+    }
+    std::vector<PebsBuffer::ShardState*> ptrs;
+    for (PebsBuffer::ShardState& s : states) {
+      PebsBuffer::EndQuantumShard(s);
+      ptrs.push_back(&s);
+    }
+    sharded.MergeShardSamples(ptrs.data(), ptrs.size());
+
+    ExpectSameBufferState(serial, sharded);
+  }
+}
+
+// Two consecutive epochs with a partial drain in between: the second epoch
+// re-binds fresh ShardStates (counter rows round-trip through the write-back)
+// and its replay lands in a ring whose head has wrapped. A shard that stays
+// idle in an epoch (never bound) must contribute nothing.
+TEST(PebsShard, MergeAcrossEpochsWithDrainsAndIdleShards) {
+  constexpr int kShards = 4;
+  const std::vector<ShardAccess> sched = MakeSchedule(kShards, 400);
+  const size_t half = sched.size() / 2;
+
+  PebsBuffer serial(SmallParams(5, 16));
+  PebsBuffer sharded(SmallParams(5, 16));
+  std::vector<PebsRecord> sink;
+
+  size_t begin = 0;
+  for (const size_t end : {half, sched.size()}) {
+    for (size_t i = begin; i < end; ++i) {
+      const ShardAccess& a = sched[i];
+      serial.CountAccess(a.t, a.va, a.ev, a.stream);
+    }
+    std::vector<PebsBuffer::ShardState> states(kShards + 1);  // last stays idle
+    for (size_t i = begin; i < end; ++i) {
+      const ShardAccess& a = sched[i];
+      sharded.CountAccessShard(states[a.stream], a.t, a.t, a.va, a.ev, a.stream);
+    }
+    std::vector<PebsBuffer::ShardState*> ptrs;
+    for (PebsBuffer::ShardState& s : states) {
+      ptrs.push_back(&s);
+    }
+    sharded.MergeShardSamples(ptrs.data(), ptrs.size());
+    ASSERT_EQ(sharded.pending(), serial.pending());
+    if (end == half) {
+      // Drain most of both rings so the second epoch wraps head_.
+      const size_t take = serial.pending() - 2;
+      serial.Drain(sink, take);
+      sharded.Drain(sink, take);
+    }
+    begin = end;
+  }
+  ExpectSameBufferState(serial, sharded);
+}
+
 class PebsPeriodTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(PebsPeriodTest, SampleCountMatchesPeriod) {
